@@ -1,0 +1,481 @@
+//! The ten benchmark kernels, as mini-C source.
+//!
+//! The kernels mirror the BEEBS programs used in the paper's evaluation
+//! (2dfir, blowfish, crc32, cubic, dijkstra, fdct, float_matmult,
+//! int_matmult, rijndael, sha).  They are re-implementations sized for the
+//! simulated STM32F100 (8 KB of RAM) rather than verbatim copies: each keeps
+//! the structural property that matters for the placement optimization —
+//! hot inner loops for the integer kernels, large read-only tables for the
+//! crypto kernels, and library-call-dominated code for the float kernels.
+//! Every `main` returns a deterministic checksum so the optimizer can be
+//! checked for semantic preservation.
+
+/// 16×16 integer matrix multiplication (`int_matmult`).
+pub const INT_MATMULT: &str = r#"
+int ma[256];
+int mb[256];
+int mc[256];
+
+void initm() {
+    for (int i = 0; i < 256; i++) {
+        ma[i] = (i * 7 + 3) % 19 - 9;
+        mb[i] = (i * 13 + 5) % 17 - 8;
+    }
+}
+
+void multiply() {
+    for (int i = 0; i < 16; i++) {
+        for (int j = 0; j < 16; j++) {
+            int acc = 0;
+            for (int k = 0; k < 16; k++) {
+                acc += ma[i * 16 + k] * mb[k * 16 + j];
+            }
+            mc[i * 16 + j] = acc;
+        }
+    }
+}
+
+int main() {
+    int check = 0;
+    for (int rep = 0; rep < 4; rep++) {
+        initm();
+        multiply();
+        for (int i = 0; i < 256; i++) { check += mc[i]; }
+    }
+    return check;
+}
+"#;
+
+/// 8×8 software-float matrix multiplication (`float_matmult`).
+pub const FLOAT_MATMULT: &str = r#"
+float fa[64];
+float fb[64];
+float fc[64];
+
+void initf() {
+    for (int i = 0; i < 64; i++) {
+        fa[i] = (float)((i % 9) - 4) * 0.5f;
+        fb[i] = (float)((i % 7) - 3) * 0.25f;
+    }
+}
+
+void fmultiply() {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            float acc = 0.0f;
+            for (int k = 0; k < 8; k++) {
+                acc = acc + fa[i * 8 + k] * fb[k * 8 + j];
+            }
+            fc[i * 8 + j] = acc;
+        }
+    }
+}
+
+int main() {
+    int check = 0;
+    for (int rep = 0; rep < 2; rep++) {
+        initf();
+        fmultiply();
+        for (int i = 0; i < 64; i++) { check += (int)(fc[i] * 4.0f); }
+    }
+    return check;
+}
+"#;
+
+/// 3×3 FIR filter over an 18×18 image with a one-pixel border (`2dfir`).
+pub const FIR2D: &str = r#"
+int image[400];
+int output[400];
+const int coeff[9] = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+
+void initimg() {
+    for (int i = 0; i < 400; i++) { image[i] = (i * 11 + 7) % 64; }
+}
+
+void fir2d() {
+    for (int y = 1; y < 19; y++) {
+        for (int x = 1; x < 19; x++) {
+            int acc = 0;
+            for (int ky = 0; ky < 3; ky++) {
+                for (int kx = 0; kx < 3; kx++) {
+                    acc += image[(y + ky - 1) * 20 + (x + kx - 1)] * coeff[ky * 3 + kx];
+                }
+            }
+            output[y * 20 + x] = acc / 16;
+        }
+    }
+}
+
+int main() {
+    int check = 0;
+    initimg();
+    for (int rep = 0; rep < 6; rep++) {
+        fir2d();
+        for (int i = 0; i < 400; i++) { check += output[i]; }
+    }
+    return check;
+}
+"#;
+
+/// Bitwise CRC-32 over a 256-byte message (`crc32`).
+pub const CRC32: &str = r#"
+unsigned char msg[256];
+
+void initmsg() {
+    for (int i = 0; i < 256; i++) { msg[i] = (i * 61 + 17) % 251; }
+}
+
+unsigned crc32(int len) {
+    unsigned crc = 0xffffffff;
+    for (int i = 0; i < len; i++) {
+        crc = crc ^ (unsigned)msg[i];
+        for (int b = 0; b < 8; b++) {
+            if ((crc & 1) != 0) {
+                crc = (crc >> 1) ^ 0xedb88320;
+            } else {
+                crc = crc >> 1;
+            }
+        }
+    }
+    return crc ^ 0xffffffff;
+}
+
+int main() {
+    initmsg();
+    unsigned check = 0;
+    for (int rep = 0; rep < 8; rep++) {
+        check = check ^ crc32(256);
+        check = check + rep;
+    }
+    return (int)(check & 0x7fffffff);
+}
+"#;
+
+/// A condensed Blowfish-style 16-round Feistel cipher (`blowfish`).
+pub const BLOWFISH: &str = r#"
+unsigned parr[18];
+unsigned sbox[256];
+unsigned enc_l;
+unsigned enc_r;
+
+void bf_init() {
+    unsigned seed = 0x243f6a88;
+    for (int i = 0; i < 18; i++) {
+        seed = seed * 1664525 + 1013904223;
+        parr[i] = seed;
+    }
+    for (int i = 0; i < 256; i++) {
+        seed = seed * 1664525 + 1013904223;
+        sbox[i] = seed;
+    }
+}
+
+unsigned bf_round(unsigned x) {
+    unsigned a = sbox[(x >> 24) & 0xff];
+    unsigned b = sbox[((x >> 16) & 0xff) ^ 0x55];
+    unsigned c = sbox[((x >> 8) & 0xff) ^ 0xaa];
+    unsigned d = sbox[x & 0xff];
+    return ((a + b) ^ c) + d;
+}
+
+void bf_encrypt() {
+    unsigned l = enc_l;
+    unsigned r = enc_r;
+    for (int i = 0; i < 16; i++) {
+        l = l ^ parr[i];
+        r = r ^ bf_round(l);
+        unsigned t = l;
+        l = r;
+        r = t;
+    }
+    unsigned t = l;
+    l = r;
+    r = t;
+    r = r ^ parr[16];
+    l = l ^ parr[17];
+    enc_l = l;
+    enc_r = r;
+}
+
+int main() {
+    bf_init();
+    unsigned check = 0;
+    for (int rep = 0; rep < 3; rep++) {
+        for (int blk = 0; blk < 48; blk++) {
+            enc_l = (unsigned)(blk * 0x01010101 + rep);
+            enc_r = (unsigned)(blk * 0x10101010 + 7);
+            bf_encrypt();
+            check = check ^ enc_l ^ enc_r;
+        }
+    }
+    return (int)(check & 0x7fffffff);
+}
+"#;
+
+/// All-pairs-from-every-source shortest paths on a 16-node dense graph
+/// (`dijkstra`).
+pub const DIJKSTRA: &str = r#"
+int graph[256];
+int dist[16];
+int visited[16];
+
+void dij_init() {
+    for (int i = 0; i < 256; i++) {
+        int w = (i * 37 + 11) % 23;
+        if (w == 0) { w = 25; }
+        graph[i] = w;
+    }
+    for (int i = 0; i < 16; i++) { graph[i * 16 + i] = 0; }
+}
+
+int dijkstra(int src) {
+    for (int i = 0; i < 16; i++) {
+        dist[i] = 1000000;
+        visited[i] = 0;
+    }
+    dist[src] = 0;
+    for (int iter = 0; iter < 16; iter++) {
+        int best = 0 - 1;
+        int bestd = 1000000;
+        for (int i = 0; i < 16; i++) {
+            if (visited[i] == 0 && dist[i] < bestd) {
+                bestd = dist[i];
+                best = i;
+            }
+        }
+        if (best < 0) { break; }
+        visited[best] = 1;
+        for (int j = 0; j < 16; j++) {
+            int nd = dist[best] + graph[best * 16 + j];
+            if (nd < dist[j]) { dist[j] = nd; }
+        }
+    }
+    int sum = 0;
+    for (int i = 0; i < 16; i++) { sum += dist[i]; }
+    return sum;
+}
+
+int main() {
+    dij_init();
+    int check = 0;
+    for (int rep = 0; rep < 4; rep++) {
+        for (int s = 0; s < 16; s++) { check += dijkstra(s) * (s + 1); }
+    }
+    return check;
+}
+"#;
+
+/// 8×8 integer forward DCT with a fixed-point cosine table (`fdct`).
+pub const FDCT: &str = r#"
+int block[64];
+int dct_out[64];
+const int costab[64] = {
+     256,  256,  256,  256,  256,  256,  256,  256,
+     251,  213,  142,   50,  -50, -142, -213, -251,
+     237,   98,  -98, -237, -237,  -98,   98,  237,
+     213,  -50, -251, -142,  142,  251,   50, -213,
+     181, -181, -181,  181,  181, -181, -181,  181,
+     142, -251,   50,  213, -213,  -50,  251, -142,
+      98, -237,  237,  -98,  -98,  237, -237,   98,
+      50, -142,  213, -251,  251, -213,  142,  -50
+};
+
+void fdct_init(int seed) {
+    for (int i = 0; i < 64; i++) {
+        block[i] = ((i * seed + 13) % 255) - 128;
+    }
+}
+
+void fdct() {
+    for (int u = 0; u < 8; u++) {
+        for (int v = 0; v < 8; v++) {
+            int acc = 0;
+            for (int x = 0; x < 8; x++) {
+                int cx = costab[u * 8 + x];
+                for (int y = 0; y < 8; y++) {
+                    acc += ((block[x * 8 + y] * cx) >> 8) * costab[v * 8 + y];
+                }
+            }
+            dct_out[u * 8 + v] = acc >> 8;
+        }
+    }
+}
+
+int main() {
+    int check = 0;
+    for (int rep = 0; rep < 10; rep++) {
+        fdct_init(rep * 3 + 1);
+        fdct();
+        for (int i = 0; i < 64; i++) { check += dct_out[i]; }
+    }
+    return check;
+}
+"#;
+
+/// Newton–Raphson cubic root finding with software floats (`cubic`).
+pub const CUBIC: &str = r#"
+float ca;
+float cb;
+float cc;
+float cd;
+
+float cubic_eval(float x) {
+    return ((ca * x + cb) * x + cc) * x + cd;
+}
+
+float cubic_deriv(float x) {
+    return (ca * 3.0f * x + cb * 2.0f) * x + cc;
+}
+
+float cubic_root(float guess) {
+    float x = guess;
+    for (int i = 0; i < 12; i++) {
+        float fx = cubic_eval(x);
+        float dx = cubic_deriv(x);
+        if (fabsf(dx) < 0.0001f) { return x; }
+        x = x - fx / dx;
+    }
+    return x;
+}
+
+int main() {
+    int check = 0;
+    for (int k = 1; k <= 6; k++) {
+        ca = 1.0f;
+        cb = (float)(0 - k);
+        cc = (float)(k * 2 - 7) * 0.5f;
+        cd = (float)(3 - k);
+        float r = cubic_root(3.0f);
+        check += (int)(r * 1000.0f);
+        float s = sqrtf((float)(k * k + 1));
+        check += (int)(s * 100.0f);
+    }
+    return check;
+}
+"#;
+
+/// An AES-style substitution/shift/mix/add round function (`rijndael`).
+pub const RIJNDAEL: &str = r#"
+const int aes_sbox[64] = {
+     99, 124, 119, 123, 242, 107, 111, 197,  48,   1, 103,  43, 254, 215, 171, 118,
+    202, 130, 201, 125, 250,  89,  71, 240, 173, 212, 162, 175, 156, 164, 114, 192,
+    183, 253, 147,  38,  54,  63, 247, 204,  52, 165, 229, 241, 113, 216,  49,  21,
+      4, 199,  35, 195,  24, 150,   5, 154,   7,  18, 128, 226, 235,  39, 178, 117
+};
+
+unsigned char state[16];
+unsigned char roundkey[16];
+
+int xtime(int x) {
+    x = x << 1;
+    if ((x & 0x100) != 0) { x = (x ^ 0x1b); }
+    return x & 0xff;
+}
+
+void sub_shift() {
+    unsigned char tmp[16];
+    for (int i = 0; i < 16; i++) {
+        tmp[i] = (unsigned char)aes_sbox[state[i] & 63];
+    }
+    for (int c = 0; c < 4; c++) {
+        for (int r = 0; r < 4; r++) {
+            state[c * 4 + r] = tmp[((c + r) % 4) * 4 + r];
+        }
+    }
+}
+
+void mix_add(int round) {
+    for (int c = 0; c < 4; c++) {
+        int a0 = state[c * 4];
+        int a1 = state[c * 4 + 1];
+        int a2 = state[c * 4 + 2];
+        int a3 = state[c * 4 + 3];
+        state[c * 4] = (unsigned char)(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3 ^ roundkey[c * 4] ^ round);
+        state[c * 4 + 1] = (unsigned char)(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3 ^ roundkey[c * 4 + 1]);
+        state[c * 4 + 2] = (unsigned char)(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3) ^ roundkey[c * 4 + 2]);
+        state[c * 4 + 3] = (unsigned char)((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3) ^ roundkey[c * 4 + 3]);
+    }
+}
+
+int main() {
+    for (int i = 0; i < 16; i++) { roundkey[i] = (i * 7 + 1) & 0xff; }
+    int check = 0;
+    for (int blk = 0; blk < 40; blk++) {
+        for (int i = 0; i < 16; i++) { state[i] = (blk * 16 + i) & 0xff; }
+        for (int round = 0; round < 10; round++) {
+            sub_shift();
+            mix_add(round);
+        }
+        for (int i = 0; i < 16; i++) { check += state[i] * (i + 1); }
+    }
+    return check;
+}
+"#;
+
+/// A SHA-1-style 80-round compression function (`sha`).
+pub const SHA: &str = r#"
+unsigned w[80];
+unsigned h0;
+unsigned h1;
+unsigned h2;
+unsigned h3;
+unsigned h4;
+
+unsigned rotl(unsigned x, int n) {
+    return (x << n) | (x >> (32 - n));
+}
+
+void sha_block(int seed) {
+    for (int i = 0; i < 16; i++) {
+        w[i] = (unsigned)(seed * 73 + i * 40503 + 12345);
+    }
+    for (int i = 16; i < 80; i++) {
+        w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    unsigned a = h0;
+    unsigned b = h1;
+    unsigned c = h2;
+    unsigned d = h3;
+    unsigned e = h4;
+    for (int i = 0; i < 80; i++) {
+        unsigned f = 0;
+        unsigned k = 0;
+        if (i < 20) {
+            f = (b & c) | ((~b) & d);
+            k = 0x5a827999;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ed9eba1;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdc;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xca62c1d6;
+        }
+        unsigned temp = rotl(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = temp;
+    }
+    h0 = h0 + a;
+    h1 = h1 + b;
+    h2 = h2 + c;
+    h3 = h3 + d;
+    h4 = h4 + e;
+}
+
+int main() {
+    h0 = 0x67452301;
+    h1 = 0xefcdab89;
+    h2 = 0x98badcfe;
+    h3 = 0x10325476;
+    h4 = 0xc3d2e1f0;
+    for (int blk = 0; blk < 20; blk++) {
+        sha_block(blk + 1);
+    }
+    return (int)((h0 ^ h1 ^ h2 ^ h3 ^ h4) & 0x7fffffff);
+}
+"#;

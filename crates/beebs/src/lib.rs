@@ -1,0 +1,254 @@
+//! A BEEBS-like embedded benchmark suite for the flash/RAM reproduction.
+//!
+//! The paper evaluates its optimization on BEEBS, a benchmark suite built to
+//! characterize the energy consumption of embedded platforms.  This crate
+//! provides re-implementations of the same ten kernels in the mini-C dialect
+//! understood by `flashram-minicc`, together with the soft-float support
+//! library that the float-heavy kernels depend on.
+//!
+//! Each benchmark is a self-contained program whose `main` returns a
+//! deterministic checksum, which the tests and the placement optimizer use
+//! to verify that code transformations preserve semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use flashram_beebs::Benchmark;
+//! use flashram_minicc::OptLevel;
+//! use flashram_mcu::Board;
+//!
+//! let bench = Benchmark::by_name("int_matmult").unwrap();
+//! let program = bench.compile(OptLevel::O2)?;
+//! let result = Board::stm32vldiscovery().run(&program).unwrap();
+//! assert_ne!(result.return_value, 0);
+//! # Ok::<(), flashram_minicc::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod softfloat;
+
+use flashram_ir::MachineProgram;
+use flashram_minicc::{compile_program, CompileError, OptLevel, SourceUnit};
+
+pub use softfloat::SOFT_FLOAT_LIBRARY;
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Benchmark {
+    /// Benchmark name, matching the paper's figures (e.g. `int_matmult`).
+    pub name: &'static str,
+    /// The mini-C source of the benchmark.
+    pub source: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Whether the kernel is dominated by calls into the soft-float library
+    /// (the paper's `cubic` / `float_matmult` limitation).
+    pub float_heavy: bool,
+}
+
+impl Benchmark {
+    /// The full suite, in the order used by Figure 5 of the paper.
+    pub fn all() -> Vec<Benchmark> {
+        vec![
+            Benchmark {
+                name: "2dfir",
+                source: kernels::FIR2D,
+                description: "3x3 FIR filter over an 18x18 image",
+                float_heavy: false,
+            },
+            Benchmark {
+                name: "blowfish",
+                source: kernels::BLOWFISH,
+                description: "16-round Feistel cipher with key-derived S-box",
+                float_heavy: false,
+            },
+            Benchmark {
+                name: "crc32",
+                source: kernels::CRC32,
+                description: "bitwise CRC-32 of a 256-byte message",
+                float_heavy: false,
+            },
+            Benchmark {
+                name: "cubic",
+                source: kernels::CUBIC,
+                description: "Newton-Raphson cubic root finding in software float",
+                float_heavy: true,
+            },
+            Benchmark {
+                name: "dijkstra",
+                source: kernels::DIJKSTRA,
+                description: "single-source shortest paths on a dense 16-node graph",
+                float_heavy: false,
+            },
+            Benchmark {
+                name: "fdct",
+                source: kernels::FDCT,
+                description: "8x8 integer forward DCT with fixed-point cosine table",
+                float_heavy: false,
+            },
+            Benchmark {
+                name: "float_matmult",
+                source: kernels::FLOAT_MATMULT,
+                description: "8x8 software-float matrix multiplication",
+                float_heavy: true,
+            },
+            Benchmark {
+                name: "int_matmult",
+                source: kernels::INT_MATMULT,
+                description: "16x16 integer matrix multiplication",
+                float_heavy: false,
+            },
+            Benchmark {
+                name: "rijndael",
+                source: kernels::RIJNDAEL,
+                description: "AES-style substitution/shift/mix rounds",
+                float_heavy: false,
+            },
+            Benchmark {
+                name: "sha",
+                source: kernels::SHA,
+                description: "SHA-1-style 80-round compression function",
+                float_heavy: false,
+            },
+        ]
+    }
+
+    /// Look a benchmark up by name.
+    pub fn by_name(name: &str) -> Option<Benchmark> {
+        Benchmark::all().into_iter().find(|b| b.name == name)
+    }
+
+    /// The source units of the program: the soft-float library plus the
+    /// kernel itself (every benchmark links the library, as a real toolchain
+    /// would link `libgcc`).
+    pub fn source_units(&self) -> Vec<SourceUnit<'static>> {
+        vec![
+            SourceUnit::library(SOFT_FLOAT_LIBRARY),
+            SourceUnit { code: self.source, is_library: false },
+        ]
+    }
+
+    /// Compile the benchmark at the given optimization level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler and link errors (which would indicate a bug in
+    /// the kernel source shipped with this crate).
+    pub fn compile(&self, opt: OptLevel) -> Result<MachineProgram, CompileError> {
+        compile_program(&self.source_units(), opt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashram_mcu::{Board, RunConfig};
+
+    #[test]
+    fn suite_has_the_papers_ten_benchmarks() {
+        let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "2dfir",
+                "blowfish",
+                "crc32",
+                "cubic",
+                "dijkstra",
+                "fdct",
+                "float_matmult",
+                "int_matmult",
+                "rijndael",
+                "sha"
+            ]
+        );
+        assert!(Benchmark::by_name("fdct").is_some());
+        assert!(Benchmark::by_name("absent").is_none());
+    }
+
+    #[test]
+    fn every_benchmark_compiles_at_o2() {
+        for b in Benchmark::all() {
+            let prog = b.compile(OptLevel::O2).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(prog.validate().is_empty(), "{}", b.name);
+            assert!(prog.function("main").is_some(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn checksums_agree_across_optimization_levels() {
+        let board = Board::stm32vldiscovery();
+        let config = RunConfig { max_cycles: 100_000_000 };
+        for b in Benchmark::all() {
+            let reference = board
+                .run_with_config(&b.compile(OptLevel::O0).unwrap(), &config)
+                .unwrap_or_else(|e| panic!("{} at O0: {e}", b.name));
+            assert_ne!(reference.return_value, 0, "{} checksum should be non-trivial", b.name);
+            for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os] {
+                let r = board
+                    .run_with_config(&b.compile(level).unwrap(), &config)
+                    .unwrap_or_else(|e| panic!("{} at {level}: {e}", b.name));
+                assert_eq!(
+                    r.return_value, reference.return_value,
+                    "{} diverges at {level}",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn float_heavy_benchmarks_spend_their_time_in_library_code() {
+        let board = Board::stm32vldiscovery();
+        for name in ["cubic", "float_matmult"] {
+            let b = Benchmark::by_name(name).unwrap();
+            let prog = b.compile(OptLevel::O2).unwrap();
+            let r = board.run(&prog).unwrap();
+            // Count block executions attributable to library functions.
+            let mut library_blocks = 0u64;
+            let mut total = 0u64;
+            for (block, count) in r.profile.iter() {
+                total += count;
+                if prog.functions[block.func.index()].is_library {
+                    library_blocks += count;
+                }
+            }
+            assert!(
+                library_blocks * 2 > total,
+                "{name}: library code should dominate ({library_blocks}/{total})"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_kernels_fit_comfortably_in_ram_budget() {
+        let board = Board::stm32vldiscovery();
+        for b in Benchmark::all() {
+            let prog = b.compile(OptLevel::O2).unwrap();
+            let spare = board.spare_ram(&prog).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(
+                spare >= 1024,
+                "{} leaves only {spare} bytes of spare RAM",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn benchmarks_have_meaningful_runtimes() {
+        let board = Board::stm32vldiscovery();
+        for b in Benchmark::all() {
+            let prog = b.compile(OptLevel::O2).unwrap();
+            let r = board.run(&prog).unwrap();
+            assert!(
+                r.cycles() > 20_000,
+                "{} runs for only {} cycles — too short to be representative",
+                b.name,
+                r.cycles()
+            );
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The soft-float support library, written in mini-C and compiled as an
+//! opaque *library* translation unit.
+//!
+//! The modelled Cortex-M3 has no floating-point hardware, so every `float`
+//! operation the compiler sees becomes a call into these routines — and
+//! because they are statically linked library code, the placement optimizer
+//! is not allowed to move them into RAM.  This reproduces the limitation the
+//! paper reports for `cubic` and `float_matmult`: benchmarks dominated by
+//! library calls barely benefit from the optimization.
+//!
+//! The implementation is single-precision IEEE-754 with truncating rounding
+//! and without subnormal support (subnormals flush to zero); that is more
+//! than enough numerical fidelity for deterministic benchmark checksums.
+
+/// Mini-C source of the support library.
+///
+/// The routines operate on the raw bit patterns (`unsigned`), which is also
+/// why they do not themselves trigger soft-float expansion when compiled.
+pub const SOFT_FLOAT_LIBRARY: &str = r#"
+// ---- IEEE-754 single precision in software (library unit) ----
+
+unsigned __f32_pack(unsigned s, int e, unsigned m) {
+    if (m == 0) { return s << 31; }
+    while (m >= 0x1000000) { m = m >> 1; e = e + 1; }
+    while (m < 0x800000) { m = m << 1; e = e - 1; }
+    if (e <= 0) { return s << 31; }
+    if (e >= 255) { return (s << 31) | 0x7f800000; }
+    return (s << 31) | ((unsigned)e << 23) | (m & 0x7fffff);
+}
+
+unsigned __f32_add(unsigned a, unsigned b) {
+    unsigned sa = a >> 31;
+    unsigned sb = b >> 31;
+    int ea = (int)((a >> 23) & 0xff);
+    int eb = (int)((b >> 23) & 0xff);
+    unsigned ma = a & 0x7fffff;
+    unsigned mb = b & 0x7fffff;
+    if (ea == 0) { return b; }
+    if (eb == 0) { return a; }
+    ma = (ma | 0x800000) << 3;
+    mb = (mb | 0x800000) << 3;
+    if (ea > eb) {
+        int d = ea - eb;
+        if (d > 26) { mb = 0; } else { mb = mb >> d; }
+        eb = ea;
+    } else {
+        int d = eb - ea;
+        if (d > 26) { ma = 0; } else { ma = ma >> d; }
+        ea = eb;
+    }
+    unsigned s = sa;
+    unsigned m = 0;
+    if (sa == sb) {
+        m = ma + mb;
+        s = sa;
+    } else {
+        if (ma >= mb) { m = ma - mb; s = sa; }
+        else { m = mb - ma; s = sb; }
+    }
+    if (m == 0) { return 0; }
+    return __f32_pack(s, ea - 3, m);
+}
+
+unsigned __f32_sub(unsigned a, unsigned b) {
+    return __f32_add(a, b ^ 0x80000000);
+}
+
+unsigned __f32_mul(unsigned a, unsigned b) {
+    unsigned s = (a >> 31) ^ (b >> 31);
+    int ea = (int)((a >> 23) & 0xff);
+    int eb = (int)((b >> 23) & 0xff);
+    if (ea == 0) { return s << 31; }
+    if (eb == 0) { return s << 31; }
+    unsigned ma = (a & 0x7fffff) | 0x800000;
+    unsigned mb = (b & 0x7fffff) | 0x800000;
+    unsigned ah = ma >> 12;
+    unsigned al = ma & 0xfff;
+    unsigned bh = mb >> 12;
+    unsigned bl = mb & 0xfff;
+    unsigned hi = ah * bh;
+    unsigned mid = ah * bl + al * bh;
+    unsigned lo = al * bl;
+    unsigned m = (hi << 1) + (mid >> 11) + (lo >> 23);
+    return __f32_pack(s, ea + eb - 127, m);
+}
+
+unsigned __f32_div(unsigned a, unsigned b) {
+    unsigned s = (a >> 31) ^ (b >> 31);
+    int ea = (int)((a >> 23) & 0xff);
+    int eb = (int)((b >> 23) & 0xff);
+    if (eb == 0) { return (s << 31) | 0x7f800000; }
+    if (ea == 0) { return s << 31; }
+    unsigned ma = (a & 0x7fffff) | 0x800000;
+    unsigned mb = (b & 0x7fffff) | 0x800000;
+    unsigned q = 0;
+    unsigned rem = ma;
+    if (rem >= mb) { rem = rem - mb; q = 1; }
+    for (int i = 0; i < 25; i++) {
+        q = q << 1;
+        rem = rem << 1;
+        if (rem >= mb) { rem = rem - mb; q = q | 1; }
+    }
+    return __f32_pack(s, ea - eb + 125, q);
+}
+
+int __f32_eq(unsigned a, unsigned b) {
+    unsigned az = a & 0x7fffffff;
+    unsigned bz = b & 0x7fffffff;
+    if (az == 0) { if (bz == 0) { return 1; } }
+    if (a == b) { return 1; }
+    return 0;
+}
+
+int __f32_lt(unsigned a, unsigned b) {
+    unsigned az = a & 0x7fffffff;
+    unsigned bz = b & 0x7fffffff;
+    if (az == 0) { if (bz == 0) { return 0; } }
+    int sa = (int)(a >> 31);
+    int sb = (int)(b >> 31);
+    if (sa != sb) { return sa > sb; }
+    if (sa == 0) { return az < bz; }
+    return az > bz;
+}
+
+int __f32_le(unsigned a, unsigned b) {
+    if (__f32_eq(a, b)) { return 1; }
+    return __f32_lt(a, b);
+}
+
+unsigned __f32_from_int(int x) {
+    if (x == 0) { return 0; }
+    unsigned s = 0;
+    unsigned m = 0;
+    if (x < 0) { s = 1; m = (unsigned)(0 - x); } else { m = (unsigned)x; }
+    return __f32_pack(s, 150, m);
+}
+
+int __f32_to_int(unsigned a) {
+    int e = (int)((a >> 23) & 0xff);
+    if (e == 0) { return 0; }
+    unsigned m = (a & 0x7fffff) | 0x800000;
+    int shift = e - 150;
+    int v = 0;
+    if (shift >= 8) {
+        v = 0x7fffffff;
+    } else if (shift >= 0) {
+        v = (int)(m << shift);
+    } else if (shift < -24) {
+        v = 0;
+    } else {
+        v = (int)(m >> (0 - shift));
+    }
+    if ((a >> 31) != 0) { v = 0 - v; }
+    return v;
+}
+
+unsigned fabsf(unsigned x) {
+    return x & 0x7fffffff;
+}
+
+unsigned sqrtf(unsigned x) {
+    if ((x & 0x7fffffff) == 0) { return 0; }
+    if ((x >> 31) != 0) { return 0; }
+    int e = (int)((x >> 23) & 0xff);
+    int ge = (e - 127) / 2 + 127;
+    unsigned g = ((unsigned)ge << 23) | (x & 0x7fffff);
+    for (int i = 0; i < 6; i++) {
+        unsigned q = __f32_div(x, g);
+        unsigned sum = __f32_add(g, q);
+        g = __f32_mul(sum, 0x3f000000);
+    }
+    return g;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+    use flashram_mcu::Board;
+
+    fn run(app: &str) -> i32 {
+        let prog = compile_program(
+            &[SourceUnit::library(SOFT_FLOAT_LIBRARY), SourceUnit::application(app)],
+            OptLevel::O2,
+        )
+        .unwrap();
+        Board::stm32vldiscovery().run(&prog).unwrap().return_value
+    }
+
+    #[test]
+    fn library_compiles_as_library_unit() {
+        let prog = compile_program(
+            &[
+                SourceUnit::library(SOFT_FLOAT_LIBRARY),
+                SourceUnit::application("int main() { return 0; }"),
+            ],
+            OptLevel::O2,
+        )
+        .unwrap();
+        assert!(prog.function("__f32_add").unwrap().is_library);
+        assert!(prog.function("sqrtf").unwrap().is_library);
+    }
+
+    #[test]
+    fn basic_arithmetic_matches_ieee() {
+        assert_eq!(run("int main() { float a = 1.5f; float b = 2.25f; return (int)((a + b) * 4.0f); }"), 15);
+        assert_eq!(run("int main() { float a = 10.0f; float b = 4.0f; return (int)(a / b * 100.0f); }"), 250);
+        assert_eq!(run("int main() { float a = 3.0f; float b = 7.0f; return (int)(a * b); }"), 21);
+        assert_eq!(run("int main() { float a = 5.5f; float b = 2.25f; return (int)((a - b) * 8.0f); }"), 26);
+    }
+
+    #[test]
+    fn negative_values_and_conversions() {
+        assert_eq!(run("int main() { float a = -2.5f; return (int)(a * -4.0f); }"), 10);
+        assert_eq!(run("int main() { int x = -7; float f = (float)x; return (int)(f * 3.0f); }"), -21);
+        assert_eq!(run("int main() { float a = -3.75f; return (int)fabsf(a * 4.0f); }"), 15);
+    }
+
+    #[test]
+    fn comparisons_work() {
+        assert_eq!(run("int main() { float a = 1.0f; float b = 2.0f; if (a < b) return 1; return 0; }"), 1);
+        assert_eq!(run("int main() { float a = 2.0f; float b = 2.0f; if (a <= b) return 1; return 0; }"), 1);
+        assert_eq!(run("int main() { float a = 3.0f; float b = 2.0f; if (a > b) return 1; return 0; }"), 1);
+        assert_eq!(run("int main() { float a = -1.0f; float b = 1.0f; if (a >= b) return 1; return 0; }"), 0);
+        assert_eq!(run("int main() { float a = 0.0f; float b = -0.0f; if (a == b) return 1; return 0; }"), 1);
+    }
+
+    #[test]
+    fn sqrt_converges() {
+        // sqrt(16) = 4, sqrt(2) ≈ 1.414
+        assert_eq!(run("int main() { float x = 16.0f; return (int)(sqrtf(x) * 100.0f); }"), 400);
+        let v = run("int main() { float x = 2.0f; return (int)(sqrtf(x) * 1000.0f); }");
+        assert!((1410..=1418).contains(&v), "sqrt(2)*1000 ≈ 1414, got {v}");
+    }
+
+    #[test]
+    fn division_accuracy_is_reasonable() {
+        let v = run("int main() { float a = 1.0f; float b = 3.0f; return (int)(a / b * 100000.0f); }");
+        assert!((33320..=33340).contains(&v), "1/3*1e5 ≈ 33333, got {v}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion bench regenerating the Figure 5 rows (one representative
+//! benchmark per group to keep `cargo bench` runtimes sane) and printing the
+//! measured percentage changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flashram_beebs::Benchmark;
+use flashram_bench::run_benchmark;
+use flashram_mcu::Board;
+use flashram_minicc::OptLevel;
+
+fn bench_beebs(c: &mut Criterion) {
+    let board = Board::stm32vldiscovery();
+    for name in ["int_matmult", "fdct", "crc32", "float_matmult"] {
+        let bench = Benchmark::by_name(name).unwrap();
+        let result = run_benchmark(&board, &bench, OptLevel::O2, 1.5);
+        println!(
+            "\n{name} @O2: energy {:+.1}%, time {:+.1}%, power {:+.1}% ({} blocks in RAM)",
+            result.energy_change_pct(),
+            result.time_change_pct(),
+            result.power_change_pct(),
+            result.blocks_in_ram
+        );
+        c.bench_function(&format!("optimize_and_measure/{name}"), |b| {
+            b.iter(|| std::hint::black_box(run_benchmark(&board, &bench, OptLevel::O2, 1.5)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_beebs
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench regenerating the Figure 9 period sweep for `fdct`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flashram_bench::case_study_series;
+use flashram_mcu::Board;
+use flashram_minicc::OptLevel;
+
+fn bench_case_study(c: &mut Criterion) {
+    let board = Board::stm32vldiscovery();
+    let multiples = [1.0, 2.0, 4.0, 8.0, 16.0];
+    let series = case_study_series(&board, &["fdct"], OptLevel::O2, &multiples);
+    let s = &series[0];
+    println!(
+        "\nfdct case study: k_e = {:.3}, k_t = {:.3}, best battery extension {:.1}%",
+        s.measurement.k_e(),
+        s.measurement.k_t(),
+        (s.best_extension - 1.0) * 100.0
+    );
+    for (t, pct) in &s.series {
+        println!("  T = {t:7.4} s -> {pct:5.1}% of baseline energy");
+    }
+    c.bench_function("case_study/fdct", |b| {
+        b.iter(|| std::hint::black_box(case_study_series(&board, &["fdct"], OptLevel::O2, &multiples)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_case_study
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench regenerating the Figure 1 series (per-instruction power
+//! in flash vs RAM).  The measured quantity is the harness runtime; the
+//! interesting output is printed once at the start.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flashram_bench::figure1_series;
+use flashram_mcu::Board;
+
+fn bench_figure1(c: &mut Criterion) {
+    let board = Board::stm32vldiscovery();
+    let series = figure1_series(&board);
+    println!("\nFigure 1 series (mW):");
+    for row in &series {
+        println!("  {:<12} flash {:6.2}  ram {:6.2}", row.label, row.flash_mw, row.ram_mw);
+    }
+    c.bench_function("figure1_instruction_power", |b| {
+        b.iter(|| std::hint::black_box(figure1_series(&board)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figure1
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for the placement ILP itself: model construction plus
+//! branch-and-bound solve time per benchmark (the cost a compiler would pay
+//! to run this pass at link time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flashram_beebs::Benchmark;
+use flashram_bench::solve_placement_once;
+use flashram_mcu::Board;
+use flashram_minicc::OptLevel;
+
+fn bench_solver(c: &mut Criterion) {
+    let board = Board::stm32vldiscovery();
+    for name in ["fdct", "sha", "dijkstra"] {
+        let bench = Benchmark::by_name(name).unwrap();
+        let selected = solve_placement_once(&board, &bench, OptLevel::O2);
+        println!("\n{name}: ILP selects {selected} blocks for RAM");
+        c.bench_function(&format!("placement_ilp/{name}"), |b| {
+            b.iter(|| std::hint::black_box(solve_placement_once(&board, &bench, OptLevel::O2)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solver
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation study of the cost model's two refinements over the prior
+//! scratchpad-allocation formulation (Steinke et al.), as called out in
+//! Section 4 of the paper:
+//!
+//! 1. using **cycle counts** rather than instruction counts as the cost
+//!    metric, and
+//! 2. modelling the **instrumentation cost** of memory-crossing branches,
+//!    which is what makes the solver "cluster" adjacent blocks into RAM.
+//!
+//! Each variant drives the same solver and transformation; only the model
+//! parameters change.  The measured outcome shows what each refinement buys.
+
+use flashram_bench::model_ablation;
+use flashram_mcu::Board;
+use flashram_minicc::OptLevel;
+
+fn main() {
+    let board = Board::stm32vldiscovery();
+    let names = ["int_matmult", "fdct", "sha", "dijkstra", "crc32"];
+    let rows = model_ablation(&board, &names, OptLevel::O2, 1.5);
+
+    println!("Model ablation at O2 (measured % change vs all-in-flash baseline)");
+    println!(
+        "{:<16} {:>22} {:>22} {:>22}",
+        "", "full model", "instruction-count C_b", "no instrumentation cost"
+    );
+    println!(
+        "{:<16} {:>10} {:>11} {:>10} {:>11} {:>10} {:>11}",
+        "benchmark", "energy %", "time %", "energy %", "time %", "energy %", "time %"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>10.1} {:>11.1} {:>10.1} {:>11.1} {:>10.1} {:>11.1}",
+            r.benchmark,
+            r.full.energy_pct,
+            r.full.time_pct,
+            r.instruction_metric.energy_pct,
+            r.instruction_metric.time_pct,
+            r.no_instrumentation_cost.energy_pct,
+            r.no_instrumentation_cost.time_pct,
+        );
+    }
+    println!();
+    println!("the full model should match or beat both ablated variants on energy while keeping");
+    println!("the time overhead within the configured X_limit; ignoring instrumentation costs in");
+    println!("particular tends to scatter isolated blocks into RAM and pay for it in extra cycles.");
+}

@@ -1,0 +1,25 @@
+//! Regenerates the Figure 4 table: byte and cycle costs of the direct
+//! terminators and of the long-range indirect sequences the transformation
+//! substitutes.
+
+use flashram_bench::figure4_table;
+
+fn main() {
+    println!("Figure 4 — instrumentation sequences and their costs");
+    println!(
+        "{:<26} {:>12} {:>12} {:>14} {:>14} {:>8} {:>8}",
+        "terminator", "bytes", "cycles", "instr bytes", "instr cycles", "K_b", "T_b"
+    );
+    for row in figure4_table() {
+        println!(
+            "{:<26} {:>12} {:>12} {:>14} {:>14} {:>8} {:>8}",
+            row.kind,
+            row.direct_bytes,
+            row.direct_cycles,
+            row.indirect_bytes,
+            row.indirect_cycles,
+            row.indirect_bytes - row.direct_bytes,
+            row.indirect_cycles - row.direct_cycles,
+        );
+    }
+}

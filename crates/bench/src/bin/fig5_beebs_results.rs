@@ -1,0 +1,49 @@
+//! Regenerates Figure 5: per-benchmark percentage change in energy and
+//! execution time at O2 and Os, with both the static frequency estimate and
+//! actual (profiled) frequencies.
+
+use flashram_bench::beebs_sweep;
+use flashram_mcu::Board;
+use flashram_minicc::OptLevel;
+
+fn main() {
+    let board = Board::stm32vldiscovery();
+    let results = beebs_sweep(&board, &[OptLevel::O2, OptLevel::Os], 1.5);
+    println!("Figure 5 — optimization results on the benchmark suite (percent change vs baseline)");
+    println!(
+        "{:<16} {:>5} {:>10} {:>10} {:>10} {:>14} {:>8}",
+        "benchmark", "level", "energy %", "time %", "power %", "energy%(prof)", "blocks"
+    );
+    for r in &results {
+        println!(
+            "{:<16} {:>5} {:>10.1} {:>10.1} {:>10.1} {:>14.1} {:>8}",
+            r.benchmark,
+            r.level.to_string(),
+            r.energy_change_pct(),
+            r.time_change_pct(),
+            r.power_change_pct(),
+            r.profiled_energy_change_pct(),
+            r.blocks_in_ram
+        );
+    }
+    let best_energy = results
+        .iter()
+        .min_by(|a, b| a.energy_change_pct().total_cmp(&b.energy_change_pct()))
+        .unwrap();
+    let best_power = results
+        .iter()
+        .min_by(|a, b| a.power_change_pct().total_cmp(&b.power_change_pct()))
+        .unwrap();
+    println!(
+        "\nlargest energy reduction: {:.1}% ({} at {})",
+        -best_energy.energy_change_pct(),
+        best_energy.benchmark,
+        best_energy.level
+    );
+    println!(
+        "largest power reduction:  {:.1}% ({} at {})",
+        -best_power.power_change_pct(),
+        best_power.benchmark,
+        best_power.level
+    );
+}

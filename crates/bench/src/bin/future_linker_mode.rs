@@ -1,0 +1,39 @@
+//! The paper's future-work experiment: what happens when the optimization is
+//! moved into the linker and can see *all* emitted code, including the
+//! statically linked library routines it currently has to treat as opaque?
+//!
+//! The paper predicts that the library-bound benchmarks (`cubic`,
+//! `float_matmult`) would then improve as well.  This binary runs both
+//! variants on the library-heavy and the library-free benchmarks and prints
+//! the comparison.
+
+use flashram_bench::linker_mode_comparison;
+use flashram_mcu::Board;
+use flashram_minicc::OptLevel;
+
+fn main() {
+    let board = Board::stm32vldiscovery();
+    let names = ["cubic", "float_matmult", "int_matmult", "fdct", "crc32"];
+    let rows = linker_mode_comparison(&board, &names, OptLevel::O2, 1.5);
+
+    println!("Future work — application-only vs whole-program (linker-level) placement at O2");
+    println!(
+        "{:<16} {:>14} {:>14} {:>14} {:>14} {:>16}",
+        "benchmark", "energy% (app)", "energy% (whole)", "power% (app)", "power% (whole)", "extra RAM blocks"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>14.1} {:>14.1} {:>14.1} {:>14.1} {:>16}",
+            r.benchmark,
+            r.app_only_energy_pct,
+            r.whole_program_energy_pct,
+            r.app_only_power_pct,
+            r.whole_program_power_pct,
+            r.extra_blocks_in_ram,
+        );
+    }
+    println!();
+    println!("negative numbers are savings; the whole-program column should pull ahead on the");
+    println!("library-bound benchmarks (cubic, float_matmult), which is exactly the improvement");
+    println!("the paper's future-work section predicts for a linker-level implementation.");
+}

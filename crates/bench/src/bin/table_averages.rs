@@ -1,0 +1,32 @@
+//! Regenerates the Section 6 headline averages: the mean change in energy,
+//! power and execution time across all benchmarks and optimization levels
+//! (the paper reports −7.7 % energy, −21.9 % power, +19.5 % time).
+
+use flashram_bench::{averages, beebs_sweep};
+use flashram_mcu::Board;
+use flashram_minicc::OptLevel;
+
+fn main() {
+    let board = Board::stm32vldiscovery();
+    let results = beebs_sweep(&board, &OptLevel::ALL, 1.5);
+    println!("Section 6 — per-benchmark results across all optimization levels");
+    println!(
+        "{:<16} {:>5} {:>10} {:>10} {:>10}",
+        "benchmark", "level", "energy %", "time %", "power %"
+    );
+    for r in &results {
+        println!(
+            "{:<16} {:>5} {:>10.1} {:>10.1} {:>10.1}",
+            r.benchmark,
+            r.level.to_string(),
+            r.energy_change_pct(),
+            r.time_change_pct(),
+            r.power_change_pct()
+        );
+    }
+    let avg = averages(&results);
+    println!("\naverages over {} runs:", results.len());
+    println!("  energy change: {:+.1}%   (paper: -7.7%)", avg.energy_pct);
+    println!("  power change:  {:+.1}%   (paper: -21.9%)", avg.power_pct);
+    println!("  time change:   {:+.1}%   (paper: +19.5%)", avg.time_pct);
+}

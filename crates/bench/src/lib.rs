@@ -1,0 +1,673 @@
+//! Experiment harnesses that regenerate the paper's tables and figures.
+//!
+//! Each public function corresponds to one experiment of the evaluation
+//! (Section 6 and Section 7); the binaries in `src/bin/` print the resulting
+//! series as text tables, and the Criterion benches in `benches/` wrap the
+//! same harnesses so `cargo bench` re-runs every experiment.
+//!
+//! | Paper artifact | Harness | Binary |
+//! |---|---|---|
+//! | Figure 1 (per-instruction power, flash vs RAM) | [`figure1_series`] | `fig1_instruction_power` |
+//! | Figure 4 (instrumentation costs) | [`figure4_table`] | `fig4_instrumentation_costs` |
+//! | Figure 5 + Section 6 averages | [`beebs_sweep`] | `fig5_beebs_results`, `table_averages` |
+//! | Figure 6 (trade-off space) | [`tradeoff_space`] | `fig6_tradeoff_space` |
+//! | Figure 9 + Section 7 numbers | [`case_study_series`] | `fig9_case_study` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flashram_beebs::Benchmark;
+use flashram_core::{
+    evaluate_placement, extract_params, measure_case_study, period_sweep, CaseStudyMeasurement,
+    FrequencySource, ModelConfig, OptimizerConfig, PlacementModel, PlacementScope, RamOptimizer,
+};
+use flashram_ilp::ExhaustiveSolver;
+use flashram_ir::{
+    BlockId, BlockRef, FuncId, GlobalData, MachineBlock, MachineFunction, MachineProgram, Section,
+};
+use flashram_isa::{Cond, Inst, MemWidth, Reg, TermKind, Terminator};
+use flashram_mcu::{Board, PowerModel, RunConfig};
+use flashram_minicc::OptLevel;
+
+/// One bar pair of Figure 1: the average power of a tight loop of one
+/// instruction kind, executed from flash and from RAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstructionPower {
+    /// Label used in the figure (`store`, `load`, `add`, `nop`, `branch`,
+    /// `flash load`).
+    pub label: String,
+    /// Average power when the loop runs from flash (mW).
+    pub flash_mw: f64,
+    /// Average power when the loop runs from RAM (mW).
+    pub ram_mw: f64,
+}
+
+/// Build the Figure 1 micro-benchmarks (a loop of sixteen identical
+/// instructions) and measure them from flash and from RAM.
+pub fn figure1_series(board: &Board) -> Vec<InstructionPower> {
+    let kinds: Vec<(&str, Vec<Inst>)> = vec![
+        ("store", vec![Inst::Store { rs: Reg::R1, base: Reg::R7, offset: 0, width: MemWidth::Word }]),
+        ("ram load", vec![Inst::Load { rd: Reg::R1, base: Reg::R7, offset: 0, width: MemWidth::Word }]),
+        ("add", vec![Inst::AddImm { rd: Reg::R1, rn: Reg::R1, imm: 1 }]),
+        ("nop", vec![Inst::Nop]),
+        ("branch", vec![]),
+        ("flash load", vec![Inst::Load { rd: Reg::R1, base: Reg::R6, offset: 0, width: MemWidth::Word }]),
+    ];
+    let mut out = Vec::new();
+    for (label, body) in kinds {
+        let flash = measure_instruction_loop(board, &body, Section::Flash);
+        let ram = measure_instruction_loop(board, &body, Section::Ram);
+        out.push(InstructionPower { label: label.to_string(), flash_mw: flash, ram_mw: ram });
+    }
+    out
+}
+
+/// Build and run a 16-instruction loop placed in the given section,
+/// returning the measured average power in milliwatts.
+fn measure_instruction_loop(board: &Board, body: &[Inst], section: Section) -> f64 {
+    // Globals: one word in RAM (r7 points at it), one word in flash (r6).
+    let globals = vec![
+        GlobalData { name: "ram_word".into(), bytes: vec![1, 0, 0, 0], mutable: true },
+        GlobalData { name: "flash_word".into(), bytes: vec![2, 0, 0, 0], mutable: false },
+    ];
+    let mut loop_insts = Vec::new();
+    for _ in 0..16 {
+        if body.is_empty() {
+            // The "branch" variant: approximate a branch-dominated loop with
+            // register moves so the loop's own branch dominates.
+            loop_insts.push(Inst::MovReg { rd: Reg::R2, rm: Reg::R1 });
+        } else {
+            loop_insts.extend_from_slice(body);
+        }
+    }
+    loop_insts.push(Inst::SubImm { rd: Reg::R0, rn: Reg::R0, imm: 1 });
+    loop_insts.push(Inst::CmpImm { rn: Reg::R0, imm: 0 });
+
+    let entry = MachineBlock::new(
+        vec![
+            Inst::MovImm { rd: Reg::R0, imm: 4000 },
+            Inst::MovImm { rd: Reg::R1, imm: 0 },
+            Inst::LdrLit {
+                rd: Reg::R7,
+                value: flashram_isa::inst::LitValue::Symbol(flashram_isa::SymbolId(0)),
+            },
+            Inst::LdrLit {
+                rd: Reg::R6,
+                value: flashram_isa::inst::LitValue::Symbol(flashram_isa::SymbolId(1)),
+            },
+        ],
+        Terminator::FallThrough { target: BlockId(1) },
+    );
+    let mut loop_block = MachineBlock::new(
+        loop_insts,
+        Terminator::CondBranch { cond: Cond::Ne, target: BlockId(1), fallthrough: BlockId(2) },
+    );
+    loop_block.section = section;
+    let exit = MachineBlock::new(vec![], Terminator::Return);
+    let func = MachineFunction {
+        name: "main".into(),
+        blocks: vec![entry, loop_block, exit],
+        frame_size: 0,
+        num_params: 0,
+        is_library: false,
+    };
+    let program = MachineProgram { functions: vec![func], globals, entry: FuncId(0) };
+    board
+        .run_with_config(&program, &RunConfig { max_cycles: 50_000_000 })
+        .expect("instruction-power microbenchmark must run")
+        .avg_power_mw
+}
+
+/// One row of the Figure 4 table: a terminator kind and the byte/cycle cost
+/// of its direct and instrumented forms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrumentationRow {
+    /// Terminator kind name.
+    pub kind: String,
+    /// Direct form size in bytes.
+    pub direct_bytes: u32,
+    /// Direct form taken-path cycles.
+    pub direct_cycles: u64,
+    /// Instrumented form size in bytes.
+    pub indirect_bytes: u32,
+    /// Instrumented form taken-path cycles.
+    pub indirect_cycles: u64,
+}
+
+/// The Figure 4 instrumentation-cost table.
+pub fn figure4_table() -> Vec<InstrumentationRow> {
+    [
+        ("unconditional branch", TermKind::Uncond),
+        ("conditional branch", TermKind::Cond),
+        ("short conditional branch", TermKind::ShortCond),
+        ("fall through", TermKind::FallThrough),
+    ]
+    .into_iter()
+    .map(|(name, kind)| {
+        let ind = kind.indirect_form();
+        InstrumentationRow {
+            kind: name.to_string(),
+            direct_bytes: kind.size_bytes(),
+            direct_cycles: kind.taken_cycles(),
+            indirect_bytes: ind.size_bytes(),
+            indirect_cycles: ind.taken_cycles(),
+        }
+    })
+    .collect()
+}
+
+/// The measured effect of the optimization on one benchmark at one level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Baseline (all code in flash) energy in mJ.
+    pub base_energy_mj: f64,
+    /// Baseline execution time in seconds.
+    pub base_time_s: f64,
+    /// Baseline average power in mW.
+    pub base_power_mw: f64,
+    /// Optimized energy in mJ (static frequency estimate).
+    pub opt_energy_mj: f64,
+    /// Optimized execution time in seconds.
+    pub opt_time_s: f64,
+    /// Optimized average power in mW.
+    pub opt_power_mw: f64,
+    /// Optimized energy when actual (profiled) frequencies are used.
+    pub profiled_energy_mj: f64,
+    /// Optimized time when actual frequencies are used.
+    pub profiled_time_s: f64,
+    /// Number of blocks moved to RAM (static-estimate run).
+    pub blocks_in_ram: usize,
+}
+
+impl BenchmarkResult {
+    /// Percentage change in energy (negative = saving).
+    pub fn energy_change_pct(&self) -> f64 {
+        100.0 * (self.opt_energy_mj - self.base_energy_mj) / self.base_energy_mj
+    }
+
+    /// Percentage change in execution time (positive = slower).
+    pub fn time_change_pct(&self) -> f64 {
+        100.0 * (self.opt_time_s - self.base_time_s) / self.base_time_s
+    }
+
+    /// Percentage change in average power (negative = lower power).
+    pub fn power_change_pct(&self) -> f64 {
+        100.0 * (self.opt_power_mw - self.base_power_mw) / self.base_power_mw
+    }
+
+    /// Percentage change in energy for the profile-guided variant.
+    pub fn profiled_energy_change_pct(&self) -> f64 {
+        100.0 * (self.profiled_energy_mj - self.base_energy_mj) / self.base_energy_mj
+    }
+}
+
+/// Run the optimization on one benchmark at one level and measure the
+/// result, with both the static frequency estimate and profiled frequencies.
+pub fn run_benchmark(
+    board: &Board,
+    bench: &Benchmark,
+    level: OptLevel,
+    x_limit: f64,
+) -> BenchmarkResult {
+    let program = bench.compile(level).expect("benchmark compiles");
+    let base = board.run(&program).expect("baseline runs");
+
+    let optimizer = RamOptimizer::with_config(OptimizerConfig {
+        x_limit,
+        ..OptimizerConfig::default()
+    });
+    let placement = optimizer.optimize(&program, board).expect("placement succeeds");
+    let opt = board.run(&placement.program).expect("optimized program runs");
+    assert_eq!(
+        base.return_value, opt.return_value,
+        "{}: optimization changed the program result",
+        bench.name
+    );
+
+    let profiled = optimizer
+        .optimize_with_profile(&program, board)
+        .expect("profile-guided placement succeeds");
+    let prof = board.run(&profiled.program).expect("profiled program runs");
+    assert_eq!(base.return_value, prof.return_value);
+
+    BenchmarkResult {
+        benchmark: bench.name.to_string(),
+        level,
+        base_energy_mj: base.energy_mj,
+        base_time_s: base.time_s,
+        base_power_mw: base.avg_power_mw,
+        opt_energy_mj: opt.energy_mj,
+        opt_time_s: opt.time_s,
+        opt_power_mw: opt.avg_power_mw,
+        profiled_energy_mj: prof.energy_mj,
+        profiled_time_s: prof.time_s,
+        blocks_in_ram: placement.selected.len(),
+    }
+}
+
+/// Run the whole suite over the given levels (Figure 5 uses O2 and Os; the
+/// Section 6 averages use all five).
+pub fn beebs_sweep(board: &Board, levels: &[OptLevel], x_limit: f64) -> Vec<BenchmarkResult> {
+    let mut out = Vec::new();
+    for bench in Benchmark::all() {
+        for &level in levels {
+            out.push(run_benchmark(board, &bench, level, x_limit));
+        }
+    }
+    out
+}
+
+/// Aggregate averages over a sweep (the Section 6 headline numbers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepAverages {
+    /// Average percentage change in energy.
+    pub energy_pct: f64,
+    /// Average percentage change in power.
+    pub power_pct: f64,
+    /// Average percentage change in execution time.
+    pub time_pct: f64,
+}
+
+/// Compute the average percentage changes over a sweep.
+pub fn averages(results: &[BenchmarkResult]) -> SweepAverages {
+    let n = results.len().max(1) as f64;
+    SweepAverages {
+        energy_pct: results.iter().map(BenchmarkResult::energy_change_pct).sum::<f64>() / n,
+        power_pct: results.iter().map(BenchmarkResult::power_change_pct).sum::<f64>() / n,
+        time_pct: results.iter().map(BenchmarkResult::time_change_pct).sum::<f64>() / n,
+    }
+}
+
+/// One point of the Figure 6 trade-off space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Model-estimated energy (objective units).
+    pub energy: f64,
+    /// Model-estimated weighted cycles.
+    pub cycles: f64,
+    /// RAM used by the placement in bytes.
+    pub ram_bytes: u32,
+}
+
+/// The Figure 6 data for one benchmark: the space of possible placements of
+/// the most significant blocks, plus the solver's choices as the RAM and
+/// time constraints are swept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffSpace {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Sampled placement points (`2^k` combinations of the `k` hottest
+    /// blocks).
+    pub points: Vec<TradeoffPoint>,
+    /// Solver choices while relaxing `R_spare` (bytes, point).
+    pub ram_sweep: Vec<(u32, TradeoffPoint)>,
+    /// Solver choices while relaxing `X_limit` (factor, point).
+    pub time_sweep: Vec<(f64, TradeoffPoint)>,
+    /// The all-in-flash baseline point.
+    pub baseline: TradeoffPoint,
+}
+
+/// Enumerate the placement space of the `k` most significant blocks of a
+/// benchmark and record the solver's trajectory while constraints relax.
+pub fn tradeoff_space(
+    board: &Board,
+    bench: &Benchmark,
+    level: OptLevel,
+    k: usize,
+) -> TradeoffSpace {
+    let program = bench.compile(level).expect("benchmark compiles");
+    let params = flashram_core::extract_params(&program, &FrequencySource::default());
+    let spare = board.spare_ram(&program).expect("program fits");
+    let (e_flash, e_ram) = board.power.model_coefficients();
+    let config = ModelConfig { x_limit: 10.0, r_spare: spare, e_flash, e_ram };
+
+    // The k blocks with the largest energy leverage (frequency × cycles).
+    let mut ranked: Vec<(BlockRef, u64)> = params
+        .blocks
+        .iter()
+        .map(|(r, p)| (*r, p.frequency * p.cycles))
+        .collect();
+    ranked.sort_by_key(|(_, w)| std::cmp::Reverse(*w));
+    let chosen: Vec<BlockRef> = ranked.iter().take(k).map(|(r, _)| *r).collect();
+
+    // Enumerate all subsets of the chosen blocks.
+    let mut points = Vec::with_capacity(1 << chosen.len());
+    for mask in 0u32..(1u32 << chosen.len()) {
+        let subset: Vec<BlockRef> = chosen
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, r)| *r)
+            .collect();
+        let est = evaluate_placement(&params, &subset, &config);
+        points.push(TradeoffPoint {
+            energy: est.energy,
+            cycles: est.cycles,
+            ram_bytes: est.ram_bytes,
+        });
+    }
+    let baseline_est = evaluate_placement(&params, &[], &config);
+    let baseline = TradeoffPoint {
+        energy: baseline_est.energy,
+        cycles: baseline_est.cycles,
+        ram_bytes: 0,
+    };
+
+    // Solver trajectory: relax the RAM constraint (generous time bound).
+    let mut ram_sweep = Vec::new();
+    for budget in [32u32, 64, 128, 256, 512, 1024, spare] {
+        let cfg = ModelConfig { x_limit: 10.0, r_spare: budget.min(spare), e_flash, e_ram };
+        let model = PlacementModel::build(&params, &cfg);
+        if let Ok(sol) = flashram_ilp::BranchBound::new().solve(&model.problem) {
+            let est = evaluate_placement(&params, &model.selected_blocks(&sol), &cfg);
+            ram_sweep.push((
+                budget.min(spare),
+                TradeoffPoint { energy: est.energy, cycles: est.cycles, ram_bytes: est.ram_bytes },
+            ));
+        }
+    }
+    // Solver trajectory: relax the time constraint (generous RAM bound).
+    let mut time_sweep = Vec::new();
+    for x_limit in [1.0, 1.05, 1.1, 1.2, 1.4, 1.8, 2.5] {
+        let cfg = ModelConfig { x_limit, r_spare: spare, e_flash, e_ram };
+        let model = PlacementModel::build(&params, &cfg);
+        if let Ok(sol) = flashram_ilp::BranchBound::new().solve(&model.problem) {
+            let est = evaluate_placement(&params, &model.selected_blocks(&sol), &cfg);
+            time_sweep.push((
+                x_limit,
+                TradeoffPoint { energy: est.energy, cycles: est.cycles, ram_bytes: est.ram_bytes },
+            ));
+        }
+    }
+
+    TradeoffSpace { benchmark: bench.name.to_string(), points, ram_sweep, time_sweep, baseline }
+}
+
+/// The Figure 9 series for one benchmark: measured case-study factors and
+/// the per-period energy percentages over a period sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseStudySeries {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Measured active-region characteristics.
+    pub measurement: CaseStudyMeasurement,
+    /// `(period seconds, energy % of baseline)` points.
+    pub series: Vec<(f64, f64)>,
+    /// Battery-life extension at the shortest period of the sweep.
+    pub best_extension: f64,
+}
+
+/// Run the Section 7 case study for the given benchmarks.
+pub fn case_study_series(
+    board: &Board,
+    names: &[&str],
+    level: OptLevel,
+    period_multiples: &[f64],
+) -> Vec<CaseStudySeries> {
+    let sleep = PowerModel::stm32f100().sleep_mw;
+    names
+        .iter()
+        .map(|name| {
+            let bench = Benchmark::by_name(name).expect("known benchmark");
+            let program = bench.compile(level).expect("benchmark compiles");
+            let placement = RamOptimizer::new().optimize(&program, board).expect("placement");
+            let measurement =
+                measure_case_study(board, &program, &placement.program).expect("simulation");
+            let series = period_sweep(&measurement, period_multiples, sleep);
+            let best_extension =
+                measurement.battery_life_extension(&flashram_mcu::SleepScenario {
+                    period_s: measurement.base_time_s * period_multiples[0].max(1.01),
+                    sleep_power_mw: sleep,
+                });
+            CaseStudySeries { benchmark: name.to_string(), measurement, series, best_extension }
+        })
+        .collect()
+}
+
+/// Build and solve the placement ILP for one benchmark, returning the number
+/// of blocks selected (used by the solver Criterion bench).
+pub fn solve_placement_once(board: &Board, bench: &Benchmark, level: OptLevel) -> usize {
+    let program = bench.compile(level).expect("benchmark compiles");
+    RamOptimizer::new()
+        .optimize(&program, board)
+        .expect("placement succeeds")
+        .selected
+        .len()
+}
+
+/// The exhaustive solver, re-exported for verification binaries.
+pub fn exhaustive_solver() -> ExhaustiveSolver {
+    ExhaustiveSolver::new()
+}
+
+/// One row of the future-work experiment: the measured effect of the
+/// application-only pass (the paper's prototype) versus the whole-program
+/// ("linker level") pass that may also relocate library code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkerModeComparison {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Energy change of the application-only pass, percent (negative = saving).
+    pub app_only_energy_pct: f64,
+    /// Energy change of the whole-program pass, percent.
+    pub whole_program_energy_pct: f64,
+    /// Power change of the application-only pass, percent.
+    pub app_only_power_pct: f64,
+    /// Power change of the whole-program pass, percent.
+    pub whole_program_power_pct: f64,
+    /// How many more blocks the whole-program pass moved into RAM.
+    pub extra_blocks_in_ram: usize,
+}
+
+/// Run both placement scopes on the named benchmarks and measure them
+/// (the paper's future-work section, quantified).
+pub fn linker_mode_comparison(
+    board: &Board,
+    names: &[&str],
+    level: OptLevel,
+    x_limit: f64,
+) -> Vec<LinkerModeComparison> {
+    names
+        .iter()
+        .map(|name| {
+            let bench = Benchmark::by_name(name).expect("known benchmark");
+            let program = bench.compile(level).expect("benchmark compiles");
+            let base = board.run(&program).expect("baseline runs");
+            let pct = |after: f64, before: f64| 100.0 * (after - before) / before;
+
+            let mut energy = [0.0f64; 2];
+            let mut power = [0.0f64; 2];
+            let mut blocks = [0usize; 2];
+            for (i, scope) in [PlacementScope::ApplicationOnly, PlacementScope::WholeProgram]
+                .into_iter()
+                .enumerate()
+            {
+                let placement = RamOptimizer::with_config(OptimizerConfig {
+                    x_limit,
+                    scope,
+                    ..OptimizerConfig::default()
+                })
+                .optimize(&program, board)
+                .expect("placement succeeds");
+                let run = board.run(&placement.program).expect("optimized program runs");
+                assert_eq!(base.return_value, run.return_value, "{name}: semantics changed");
+                energy[i] = pct(run.energy_mj, base.energy_mj);
+                power[i] = pct(run.avg_power_mw, base.avg_power_mw);
+                blocks[i] = placement.selected.len();
+            }
+            LinkerModeComparison {
+                benchmark: bench.name.to_string(),
+                app_only_energy_pct: energy[0],
+                whole_program_energy_pct: energy[1],
+                app_only_power_pct: power[0],
+                whole_program_power_pct: power[1],
+                extra_blocks_in_ram: blocks[1].saturating_sub(blocks[0]),
+            }
+        })
+        .collect()
+}
+
+/// The measured outcome of one cost-model variant in the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AblationOutcome {
+    /// Measured energy change, percent (negative = saving).
+    pub energy_pct: f64,
+    /// Measured execution-time change, percent.
+    pub time_pct: f64,
+    /// Measured average-power change, percent.
+    pub power_pct: f64,
+    /// Blocks the variant placed in RAM.
+    pub blocks_in_ram: usize,
+}
+
+/// Ablation results for one benchmark: the full Section 4 model against the
+/// two simplifications it improves on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The full model (cycle metric + instrumentation costs).
+    pub full: AblationOutcome,
+    /// `C_b` replaced by the block's instruction count (the Steinke-style
+    /// metric the paper argues against for the Cortex-M3).
+    pub instruction_metric: AblationOutcome,
+    /// Instrumentation costs `K_b`/`T_b` forced to zero (no clustering
+    /// pressure).
+    pub no_instrumentation_cost: AblationOutcome,
+}
+
+/// Run the cost-model ablation on the named benchmarks.
+pub fn model_ablation(
+    board: &Board,
+    names: &[&str],
+    level: OptLevel,
+    x_limit: f64,
+) -> Vec<AblationResult> {
+    names
+        .iter()
+        .map(|name| {
+            let bench = Benchmark::by_name(name).expect("known benchmark");
+            let program = bench.compile(level).expect("benchmark compiles");
+            let base = board.run(&program).expect("baseline runs");
+            let spare = board.spare_ram(&program).expect("program fits");
+            let (e_flash, e_ram) = board.power.model_coefficients();
+            let config = ModelConfig { x_limit, r_spare: spare, e_flash, e_ram };
+            let params = extract_params(&program, &FrequencySource::default());
+
+            let measure = |params: &flashram_core::ProgramParams| -> AblationOutcome {
+                let model = PlacementModel::build(params, &config);
+                let solution =
+                    flashram_ilp::BranchBound::new().solve(&model.problem).expect("solvable");
+                let selected = model.selected_blocks(&solution);
+                let transformed = flashram_core::apply_placement(&program, &selected);
+                let run = board.run(&transformed).expect("transformed program runs");
+                assert_eq!(base.return_value, run.return_value, "{name}: semantics changed");
+                AblationOutcome {
+                    energy_pct: 100.0 * (run.energy_mj - base.energy_mj) / base.energy_mj,
+                    time_pct: 100.0 * (run.time_s - base.time_s) / base.time_s,
+                    power_pct: 100.0 * (run.avg_power_mw - base.avg_power_mw) / base.avg_power_mw,
+                    blocks_in_ram: selected.len(),
+                }
+            };
+
+            let full = measure(&params);
+
+            // Variant 1: instruction count instead of cycles for C_b.
+            let mut inst_params = params.clone();
+            for (r, p) in inst_params.blocks.iter_mut() {
+                p.cycles = program.block(*r).insts.len() as u64 + 1;
+            }
+            let instruction_metric = measure(&inst_params);
+
+            // Variant 2: instrumentation considered free by the model.
+            let mut free_params = params.clone();
+            for p in free_params.blocks.values_mut() {
+                p.instr_bytes = 0;
+                p.instr_cycles = 0;
+            }
+            let no_instrumentation_cost = measure(&free_params);
+
+            AblationResult {
+                benchmark: bench.name.to_string(),
+                full,
+                instruction_metric,
+                no_instrumentation_cost,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_reproduces_the_flash_ram_gap() {
+        let board = Board::stm32vldiscovery();
+        let series = figure1_series(&board);
+        assert_eq!(series.len(), 6);
+        for row in &series {
+            if row.label == "flash load" {
+                // Loads that hit flash from RAM-resident code stay expensive.
+                assert!(
+                    row.ram_mw > row.flash_mw * 0.85,
+                    "{}: {} vs {}",
+                    row.label,
+                    row.ram_mw,
+                    row.flash_mw
+                );
+            } else {
+                assert!(
+                    row.ram_mw < row.flash_mw * 0.8,
+                    "{}: RAM should be much cheaper ({} vs {})",
+                    row.label,
+                    row.ram_mw,
+                    row.flash_mw
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_table_matches_the_isa_costs() {
+        let table = figure4_table();
+        assert_eq!(table.len(), 4);
+        let uncond = &table[0];
+        assert_eq!((uncond.indirect_bytes, uncond.indirect_cycles), (4, 4));
+        let cond = &table[1];
+        assert_eq!((cond.indirect_bytes, cond.indirect_cycles), (8, 7));
+    }
+
+    #[test]
+    fn single_benchmark_run_shows_the_paper_shape() {
+        let board = Board::stm32vldiscovery();
+        let bench = Benchmark::by_name("int_matmult").unwrap();
+        let r = run_benchmark(&board, &bench, OptLevel::O2, 1.5);
+        assert!(r.power_change_pct() < 0.0, "power must drop: {r:?}");
+        assert!(r.energy_change_pct() < 5.0, "energy should not blow up: {r:?}");
+        assert!(r.time_change_pct() >= -1.0, "time should not improve: {r:?}");
+        assert!(r.blocks_in_ram > 0);
+    }
+
+    #[test]
+    fn tradeoff_space_contains_the_solver_choices() {
+        let board = Board::stm32vldiscovery();
+        let bench = Benchmark::by_name("fdct").unwrap();
+        let space = tradeoff_space(&board, &bench, OptLevel::O2, 6);
+        assert_eq!(space.points.len(), 64);
+        assert!(!space.ram_sweep.is_empty());
+        assert!(!space.time_sweep.is_empty());
+        // Relaxing RAM monotonically improves (or keeps) the model energy.
+        for w in space.ram_sweep.windows(2) {
+            assert!(w[1].1.energy <= w[0].1.energy + 1e-6);
+        }
+        // Every solver point is at least as good as the baseline.
+        for (_, p) in &space.ram_sweep {
+            assert!(p.energy <= space.baseline.energy + 1e-6);
+        }
+    }
+}

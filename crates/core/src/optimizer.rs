@@ -1,0 +1,340 @@
+//! The end-to-end optimization pipeline.
+//!
+//! [`RamOptimizer`] glues the pieces together exactly as the paper's
+//! prototype does: extract the per-block parameters from the compiled
+//! program, build the ILP, solve it, and rewrite the code.  The optimizer
+//! can also run with simpler selection policies (greedy, or none) so the
+//! evaluation can compare against baselines, and with either the static
+//! frequency estimate or a measured profile (Figure 5).
+
+use flashram_ilp::{BranchBound, GreedySolver, SolveError};
+use flashram_ir::{BlockRef, MachineProgram};
+use flashram_mcu::Board;
+
+use crate::model::{evaluate_placement, ModelConfig, PlacementEstimate, PlacementModel};
+use crate::params::{extract_params_scoped, FrequencySource, PlacementScope, ProgramParams};
+use crate::transform::apply_placement_scoped;
+
+/// Which selection algorithm chooses the blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Solver {
+    /// The paper's approach: branch-and-bound ILP over the Section 4 model.
+    #[default]
+    Ilp,
+    /// A greedy knapsack-style heuristic baseline.
+    Greedy,
+    /// No relocation at all (the measurement baseline).
+    None,
+}
+
+/// Configuration of the optimization pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerConfig {
+    /// Maximum execution-time growth (`X_limit`, Section 4.1).
+    pub x_limit: f64,
+    /// RAM available for code, in bytes.  `None` derives it from the board:
+    /// whatever the program's data, stack reserve and existing RAM code
+    /// leave free.
+    pub r_spare: Option<u32>,
+    /// Source of the block-frequency parameter `F_b`.
+    pub frequency: FrequencySource,
+    /// Selection algorithm.
+    pub solver: Solver,
+    /// Whether library code may be relocated too (the paper's future-work
+    /// linker-level mode).
+    pub scope: PlacementScope,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            x_limit: 1.5,
+            r_spare: None,
+            frequency: FrequencySource::default(),
+            solver: Solver::Ilp,
+            scope: PlacementScope::ApplicationOnly,
+        }
+    }
+}
+
+/// Errors from the optimization pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeError {
+    /// The program does not fit the board even before optimization.
+    DoesNotFit(String),
+    /// The ILP solver failed (infeasible models indicate a bug, budget
+    /// exhaustion can legitimately happen on huge programs).
+    Solver(SolveError),
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizeError::DoesNotFit(w) => write!(f, "{w}"),
+            OptimizeError::Solver(e) => write!(f, "placement solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+impl From<SolveError> for OptimizeError {
+    fn from(e: SolveError) -> Self {
+        OptimizeError::Solver(e)
+    }
+}
+
+/// The outcome of one optimization run.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// The transformed program (selected blocks in the RAM section, crossing
+    /// terminators rewritten).
+    pub program: MachineProgram,
+    /// The blocks placed in RAM.
+    pub selected: Vec<BlockRef>,
+    /// The extracted model parameters (useful for reporting and plots).
+    pub params: ProgramParams,
+    /// Model-based estimate of the chosen placement.
+    pub predicted: PlacementEstimate,
+    /// Model-based estimate of the all-in-flash baseline.
+    pub predicted_base: PlacementEstimate,
+    /// The RAM budget that was actually used for the model.
+    pub r_spare: u32,
+    /// The model configuration (power coefficients, `X_limit`).
+    pub model_config: ModelConfig,
+}
+
+impl Placement {
+    /// Predicted relative energy (optimized / baseline) from the cost model.
+    pub fn predicted_energy_ratio(&self) -> f64 {
+        if self.predicted_base.energy == 0.0 {
+            1.0
+        } else {
+            self.predicted.energy / self.predicted_base.energy
+        }
+    }
+
+    /// Predicted relative execution time from the cost model.
+    pub fn predicted_time_ratio(&self) -> f64 {
+        if self.predicted_base.cycles == 0.0 {
+            1.0
+        } else {
+            self.predicted.cycles / self.predicted_base.cycles
+        }
+    }
+}
+
+/// The flash-to-RAM basic-block placement optimizer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RamOptimizer {
+    /// Pass configuration.
+    pub config: OptimizerConfig,
+}
+
+impl RamOptimizer {
+    /// An optimizer with default configuration.
+    pub fn new() -> RamOptimizer {
+        RamOptimizer::default()
+    }
+
+    /// An optimizer with the given configuration.
+    pub fn with_config(config: OptimizerConfig) -> RamOptimizer {
+        RamOptimizer { config }
+    }
+
+    /// Derive the model coefficients for a given board.
+    pub fn model_config_for(&self, board: &Board, r_spare: u32) -> ModelConfig {
+        let (e_flash, e_ram) = board.power.model_coefficients();
+        ModelConfig { x_limit: self.config.x_limit, r_spare, e_flash, e_ram }
+    }
+
+    /// Run the optimization against a program that will execute on `board`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::DoesNotFit`] when the unoptimized program
+    /// already exceeds the board's memories, or a solver error.
+    pub fn optimize(
+        &self,
+        program: &MachineProgram,
+        board: &Board,
+    ) -> Result<Placement, OptimizeError> {
+        let spare = match self.config.r_spare {
+            Some(s) => s,
+            None => board
+                .spare_ram(program)
+                .map_err(|e| OptimizeError::DoesNotFit(e.to_string()))?,
+        };
+        let params = extract_params_scoped(program, &self.config.frequency, self.config.scope);
+        let model_config = self.model_config_for(board, spare);
+
+        let selected: Vec<BlockRef> = match self.config.solver {
+            Solver::None => Vec::new(),
+            Solver::Ilp => {
+                let model = PlacementModel::build(&params, &model_config);
+                let solution = BranchBound::new().solve(&model.problem)?;
+                model.selected_blocks(&solution)
+            }
+            Solver::Greedy => {
+                let model = PlacementModel::build(&params, &model_config);
+                let solution = GreedySolver { allow_unset: false }.solve(&model.problem)?;
+                model.selected_blocks(&solution)
+            }
+        };
+
+        let predicted = evaluate_placement(&params, &selected, &model_config);
+        let predicted_base = evaluate_placement(&params, &[], &model_config);
+        let program = apply_placement_scoped(program, &selected, self.config.scope);
+        Ok(Placement {
+            program,
+            selected,
+            params,
+            predicted,
+            predicted_base,
+            r_spare: spare,
+            model_config,
+        })
+    }
+
+    /// Convenience wrapper that first profiles the program on the board and
+    /// then optimizes using the measured block frequencies (the "actual
+    /// frequency" variant of Figure 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and solver errors.
+    pub fn optimize_with_profile(
+        &self,
+        program: &MachineProgram,
+        board: &Board,
+    ) -> Result<Placement, OptimizeError> {
+        let run = board
+            .run(program)
+            .map_err(|e| OptimizeError::DoesNotFit(format!("profiling run failed: {e}")))?;
+        let mut with_profile = self.clone();
+        with_profile.config.frequency = FrequencySource::Profiled(run.profile);
+        with_profile.optimize(program, board)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashram_mcu::Board;
+    use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+
+    const HOT_LOOP: &str = "
+        int data[64];
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 64; i++) { data[i] = i * 3; }
+            for (int rep = 0; rep < 40; rep++) {
+                for (int i = 0; i < 64; i++) { s += data[i] * rep; }
+            }
+            return s;
+        }
+    ";
+
+    fn program() -> MachineProgram {
+        compile_program(&[SourceUnit::application(HOT_LOOP)], OptLevel::O2).unwrap()
+    }
+
+    #[test]
+    fn optimization_reduces_energy_and_power_in_simulation() {
+        let board = Board::stm32vldiscovery();
+        let prog = program();
+        let base = board.run(&prog).unwrap();
+        let placement = RamOptimizer::new().optimize(&prog, &board).unwrap();
+        assert!(!placement.selected.is_empty());
+        let opt = board.run(&placement.program).unwrap();
+        assert_eq!(base.return_value, opt.return_value, "semantics must be preserved");
+        assert!(
+            opt.energy_mj < base.energy_mj,
+            "energy should drop: {} -> {}",
+            base.energy_mj,
+            opt.energy_mj
+        );
+        assert!(opt.avg_power_mw < base.avg_power_mw);
+        assert!(opt.time_s >= base.time_s, "RAM execution is never faster");
+        // The model's predicted direction matches the measurement.
+        assert!(placement.predicted_energy_ratio() < 1.0);
+        assert!(placement.predicted_time_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn time_bound_is_respected_in_simulation() {
+        let board = Board::stm32vldiscovery();
+        let prog = program();
+        let base = board.run(&prog).unwrap();
+        for x_limit in [1.05, 1.2, 1.5] {
+            let optimizer = RamOptimizer::with_config(OptimizerConfig {
+                x_limit,
+                ..OptimizerConfig::default()
+            });
+            let placement = optimizer.optimize(&prog, &board).unwrap();
+            let opt = board.run(&placement.program).unwrap();
+            let ratio = opt.time_s / base.time_s;
+            assert!(
+                ratio <= x_limit * 1.10 + 0.02,
+                "time grew by {ratio:.3} with X_limit {x_limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn none_solver_is_identity() {
+        let board = Board::stm32vldiscovery();
+        let prog = program();
+        let optimizer = RamOptimizer::with_config(OptimizerConfig {
+            solver: Solver::None,
+            ..OptimizerConfig::default()
+        });
+        let placement = optimizer.optimize(&prog, &board).unwrap();
+        assert!(placement.selected.is_empty());
+        assert_eq!(placement.program, prog);
+        assert!((placement.predicted_energy_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_baseline_never_beats_the_ilp_model() {
+        let board = Board::stm32vldiscovery();
+        let prog = program();
+        let ilp = RamOptimizer::new().optimize(&prog, &board).unwrap();
+        let greedy = RamOptimizer::with_config(OptimizerConfig {
+            solver: Solver::Greedy,
+            ..OptimizerConfig::default()
+        })
+        .optimize(&prog, &board)
+        .unwrap();
+        assert!(ilp.predicted.energy <= greedy.predicted.energy + 1e-6);
+    }
+
+    #[test]
+    fn profile_guided_optimization_also_preserves_semantics() {
+        let board = Board::stm32vldiscovery();
+        let prog = program();
+        let base = board.run(&prog).unwrap();
+        let placement = RamOptimizer::new().optimize_with_profile(&prog, &board).unwrap();
+        let opt = board.run(&placement.program).unwrap();
+        assert_eq!(base.return_value, opt.return_value);
+        assert!(opt.avg_power_mw < base.avg_power_mw);
+    }
+
+    #[test]
+    fn explicit_tiny_ram_budget_limits_selection() {
+        let board = Board::stm32vldiscovery();
+        let prog = program();
+        let placement = RamOptimizer::with_config(OptimizerConfig {
+            r_spare: Some(16),
+            ..OptimizerConfig::default()
+        })
+        .optimize(&prog, &board)
+        .unwrap();
+        let used: u32 = placement
+            .selected
+            .iter()
+            .map(|r| placement.program.block(*r).size_bytes())
+            .sum();
+        assert!(used <= 16, "selected {used} bytes with a 16-byte budget");
+    }
+}

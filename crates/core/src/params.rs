@@ -1,0 +1,225 @@
+//! Extraction of the per-basic-block model parameters (Section 4.1).
+//!
+//! For every candidate block `b` the model needs its size `S_b`, cycle count
+//! `C_b`, execution frequency `F_b`, instrumentation costs `K_b`/`T_b`, the
+//! RAM-contention penalty `L_b` and its successor set `Succ(b)`.  All of
+//! these are derived from the machine-level program; `F_b` can come either
+//! from the loop-depth-based static estimate or from a profile collected by
+//! the simulator (Figure 5 of the paper compares the two).
+
+use std::collections::BTreeMap;
+
+use flashram_ir::{BlockId, BlockRef, MachineProgram, ProfileData};
+use flashram_isa::CORTEX_M3_TIMING;
+
+/// Which functions' blocks are candidates for relocation.
+///
+/// The paper's prototype runs before linking, so statically linked library
+/// code (soft-float routines, compiler intrinsics) is opaque to it —
+/// [`PlacementScope::ApplicationOnly`].  Its future-work section proposes
+/// moving the pass into the linker so that every emitted block is visible;
+/// [`PlacementScope::WholeProgram`] implements that extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlacementScope {
+    /// Only blocks of application translation units are candidates (the
+    /// paper's prototype, and the default).
+    #[default]
+    ApplicationOnly,
+    /// Blocks of library functions are candidates too (the paper's proposed
+    /// linker-level implementation).
+    WholeProgram,
+}
+
+/// Where the execution-frequency parameter `F_b` comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrequencySource {
+    /// Static estimate from loop depth: `F_b = iterations_per_loop ^ depth`.
+    Static {
+        /// Assumed iterations of each loop level (the paper notes a rough
+        /// estimate is good enough; 16 is the default).
+        iterations_per_loop: u64,
+    },
+    /// Measured per-block execution counts from a profiling run.
+    Profiled(ProfileData),
+}
+
+impl Default for FrequencySource {
+    fn default() -> Self {
+        FrequencySource::Static { iterations_per_loop: 16 }
+    }
+}
+
+/// The Section 4.1 parameters of one basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockParams {
+    /// `S_b`: size of the block in bytes.
+    pub size_bytes: u32,
+    /// `C_b`: cycles to execute the block once (body plus its terminator).
+    pub cycles: u64,
+    /// `F_b`: estimated or measured execution count.
+    pub frequency: u64,
+    /// `K_b`: extra bytes if the block must be instrumented.
+    pub instr_bytes: u32,
+    /// `T_b`: extra cycles per execution if the block is instrumented.
+    pub instr_cycles: u64,
+    /// `L_b`: extra cycles per execution when the block runs from RAM
+    /// (memory-bus contention on its loads and stores).
+    pub ram_extra_cycles: u64,
+    /// `Succ(b)`: successor blocks within the same function.
+    pub successors: Vec<BlockId>,
+    /// Number of memory operations (used for reporting).
+    pub memory_ops: u32,
+}
+
+/// Parameters for every optimizable block of a program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProgramParams {
+    /// Per-block parameters, keyed by block reference.
+    pub blocks: BTreeMap<BlockRef, BlockParams>,
+}
+
+impl ProgramParams {
+    /// Total estimated base execution cycles `Σ C_b · F_b` (all code in
+    /// flash, no instrumentation).
+    pub fn base_weighted_cycles(&self) -> f64 {
+        self.blocks
+            .values()
+            .map(|p| p.cycles as f64 * p.frequency as f64)
+            .sum()
+    }
+
+    /// The candidate block references, in a stable order.
+    pub fn block_refs(&self) -> Vec<BlockRef> {
+        self.blocks.keys().copied().collect()
+    }
+
+    /// Look up one block's parameters.
+    pub fn get(&self, block: BlockRef) -> Option<&BlockParams> {
+        self.blocks.get(&block)
+    }
+}
+
+/// Extract the model parameters for every block of every non-library
+/// function of `program` (the paper's application-only scope).
+pub fn extract_params(program: &MachineProgram, frequency: &FrequencySource) -> ProgramParams {
+    extract_params_scoped(program, frequency, PlacementScope::ApplicationOnly)
+}
+
+/// Extract the model parameters for every candidate block of `program`,
+/// where `scope` decides whether library functions are candidates.
+pub fn extract_params_scoped(
+    program: &MachineProgram,
+    frequency: &FrequencySource,
+    scope: PlacementScope,
+) -> ProgramParams {
+    let timing = CORTEX_M3_TIMING;
+    let mut blocks = BTreeMap::new();
+    for (fi, func) in program.functions.iter().enumerate() {
+        if func.is_library && scope == PlacementScope::ApplicationOnly {
+            continue;
+        }
+        let cfg = func.cfg();
+        let loops = cfg.loop_info();
+        for (bi, block) in func.blocks.iter().enumerate() {
+            let r = BlockRef::new(fi, bi);
+            let freq = match frequency {
+                FrequencySource::Static { iterations_per_loop } => {
+                    let depth = loops.depth(bi).min(6);
+                    iterations_per_loop.saturating_pow(depth).max(1)
+                }
+                FrequencySource::Profiled(profile) => profile.block_count(r).max(0),
+            };
+            let instr = block.term.instrumentation_cost();
+            let ram_extra = u64::from(block.load_count()) * timing.ram_load_contention_cycles
+                + u64::from(block.store_count()) * timing.ram_store_contention_cycles;
+            blocks.insert(
+                r,
+                BlockParams {
+                    size_bytes: block.size_bytes(),
+                    cycles: block.body_cycles() + block.term.taken_cycles(),
+                    frequency: freq,
+                    instr_bytes: instr.extra_bytes,
+                    instr_cycles: instr.extra_cycles,
+                    ram_extra_cycles: ram_extra,
+                    successors: block.term.successors().into_iter().copied().collect(),
+                    memory_ops: block.load_count() + block.store_count(),
+                },
+            );
+        }
+    }
+    ProgramParams { blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+
+    const LOOPY: &str = "
+        int work(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < n; j++) { s += i * j; }
+            }
+            return s;
+        }
+        int main() { return work(10); }
+    ";
+
+    fn program() -> MachineProgram {
+        compile_program(&[SourceUnit::application(LOOPY)], OptLevel::O1).unwrap()
+    }
+
+    #[test]
+    fn static_frequencies_grow_with_loop_depth() {
+        let prog = program();
+        let params = extract_params(&prog, &FrequencySource::default());
+        let freqs: Vec<u64> = params.blocks.values().map(|p| p.frequency).collect();
+        let max = *freqs.iter().max().unwrap();
+        let min = *freqs.iter().min().unwrap();
+        assert_eq!(min, 1, "straight-line blocks get frequency 1");
+        assert_eq!(max, 16 * 16, "depth-2 blocks get 16^2");
+    }
+
+    #[test]
+    fn profiled_frequencies_use_the_profile() {
+        let prog = program();
+        let mut profile = ProfileData::new();
+        let some_block = prog.optimizable_block_refs()[0];
+        for _ in 0..7 {
+            profile.record_block(some_block);
+        }
+        let params = extract_params(&prog, &FrequencySource::Profiled(profile));
+        assert_eq!(params.get(some_block).unwrap().frequency, 7);
+    }
+
+    #[test]
+    fn parameters_reflect_block_contents() {
+        let prog = program();
+        let params = extract_params(&prog, &FrequencySource::default());
+        for (r, p) in &params.blocks {
+            let block = prog.block(*r);
+            assert_eq!(p.size_bytes, block.size_bytes());
+            assert!(p.cycles >= block.body_cycles());
+            assert_eq!(p.successors.len(), block.term.successors().len());
+            let instr = block.term.instrumentation_cost();
+            assert_eq!(p.instr_bytes, instr.extra_bytes);
+            assert_eq!(p.instr_cycles, instr.extra_cycles);
+        }
+        assert!(params.base_weighted_cycles() > 0.0);
+    }
+
+    #[test]
+    fn library_functions_are_excluded() {
+        let lib = "int helper(int x) { return x + 1; }";
+        let app = "int main() { return helper(2); }";
+        let prog = compile_program(
+            &[SourceUnit::library(lib), SourceUnit::application(app)],
+            OptLevel::O1,
+        )
+        .unwrap();
+        let params = extract_params(&prog, &FrequencySource::default());
+        let helper = prog.function_index("helper").unwrap();
+        assert!(params.blocks.keys().all(|r| r.func != helper));
+    }
+}

@@ -1,0 +1,235 @@
+//! Human-readable reporting of a placement decision.
+//!
+//! The paper's prototype prints which basic blocks were chosen for RAM and
+//! what the model expects the move to cost and save; firmware engineers need
+//! the same visibility to trust a pass that rewrites their binary layout.
+//! [`PlacementReport`] gathers that information from a [`Placement`] and
+//! renders it as a plain-text table (via [`std::fmt::Display`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use flashram_ir::{BlockRef, Section};
+
+use crate::optimizer::Placement;
+use crate::transform::{instrumented_blocks, relocated_code_bytes};
+
+/// One row of the report: a basic block and how the placement treats it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockReport {
+    /// The block.
+    pub block: BlockRef,
+    /// Name of the function that owns the block.
+    pub function: String,
+    /// Where the block ends up.
+    pub section: Section,
+    /// Whether the transformation rewrote the block's terminator into the
+    /// long-range indirect form.
+    pub instrumented: bool,
+    /// `S_b`: block size in bytes.
+    pub size_bytes: u32,
+    /// `C_b`: cycles per execution.
+    pub cycles: u64,
+    /// `F_b`: the frequency the model used.
+    pub frequency: u64,
+    /// The block's share of the model's baseline weighted cycles, in percent.
+    pub weight_pct: f64,
+}
+
+/// A per-function summary line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionReport {
+    /// Function name.
+    pub function: String,
+    /// Number of candidate blocks in the function.
+    pub blocks: usize,
+    /// Number of those placed in RAM.
+    pub blocks_in_ram: usize,
+    /// Bytes of the function's code placed in RAM.
+    pub ram_bytes: u32,
+}
+
+/// A structured report of one placement decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementReport {
+    /// Per-block rows, hottest first.
+    pub blocks: Vec<BlockReport>,
+    /// Per-function summaries, in program order.
+    pub functions: Vec<FunctionReport>,
+    /// Total bytes of code relocated to RAM.
+    pub ram_code_bytes: u32,
+    /// The RAM budget the model was given.
+    pub r_spare: u32,
+    /// Number of instrumented (rewritten) terminators.
+    pub instrumented_blocks: usize,
+    /// Model-predicted energy ratio (optimized / baseline).
+    pub predicted_energy_ratio: f64,
+    /// Model-predicted execution-time ratio (optimized / baseline).
+    pub predicted_time_ratio: f64,
+}
+
+impl PlacementReport {
+    /// Build a report from a finished [`Placement`].
+    pub fn from_placement(placement: &Placement) -> PlacementReport {
+        let program = &placement.program;
+        let instrumented = instrumented_blocks(program);
+        let base_weight: f64 = placement.params.base_weighted_cycles().max(1.0);
+
+        let mut blocks: Vec<BlockReport> = placement
+            .params
+            .blocks
+            .iter()
+            .map(|(r, p)| BlockReport {
+                block: *r,
+                function: program.functions[r.func.index()].name.clone(),
+                section: program.block(*r).section,
+                instrumented: instrumented.contains(r),
+                size_bytes: p.size_bytes,
+                cycles: p.cycles,
+                frequency: p.frequency,
+                weight_pct: 100.0 * (p.cycles as f64 * p.frequency as f64) / base_weight,
+            })
+            .collect();
+        blocks.sort_by(|a, b| b.weight_pct.total_cmp(&a.weight_pct));
+
+        let mut per_function: BTreeMap<String, FunctionReport> = BTreeMap::new();
+        for row in &blocks {
+            let entry = per_function.entry(row.function.clone()).or_insert_with(|| FunctionReport {
+                function: row.function.clone(),
+                blocks: 0,
+                blocks_in_ram: 0,
+                ram_bytes: 0,
+            });
+            entry.blocks += 1;
+            if row.section == Section::Ram {
+                entry.blocks_in_ram += 1;
+                entry.ram_bytes += row.size_bytes;
+            }
+        }
+
+        PlacementReport {
+            blocks,
+            functions: per_function.into_values().collect(),
+            ram_code_bytes: relocated_code_bytes(program),
+            r_spare: placement.r_spare,
+            instrumented_blocks: instrumented.len(),
+            predicted_energy_ratio: placement.predicted_energy_ratio(),
+            predicted_time_ratio: placement.predicted_time_ratio(),
+        }
+    }
+
+    /// The rows that were placed in RAM, hottest first.
+    pub fn ram_blocks(&self) -> impl Iterator<Item = &BlockReport> {
+        self.blocks.iter().filter(|b| b.section == Section::Ram)
+    }
+}
+
+impl fmt::Display for PlacementReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "placement: {} of {} blocks in RAM ({} / {} bytes), {} instrumented terminators",
+            self.ram_blocks().count(),
+            self.blocks.len(),
+            self.ram_code_bytes,
+            self.r_spare,
+            self.instrumented_blocks,
+        )?;
+        writeln!(
+            f,
+            "model prediction: energy x{:.3}, time x{:.3}",
+            self.predicted_energy_ratio, self.predicted_time_ratio
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:<20} {:>8} {:>6} {:>8} {:>10} {:>8} {:>7} {:>6}",
+            "function", "block", "sect", "bytes", "cycles", "freq", "weight", "instr"
+        )?;
+        for row in &self.blocks {
+            writeln!(
+                f,
+                "{:<20} {:>8} {:>6} {:>8} {:>10} {:>8} {:>6.1}% {:>6}",
+                row.function,
+                row.block.to_string(),
+                match row.section {
+                    Section::Ram => "ram",
+                    Section::Flash => "flash",
+                },
+                row.size_bytes,
+                row.cycles,
+                row.frequency,
+                row.weight_pct,
+                if row.instrumented { "yes" } else { "" },
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{:<20} {:>8} {:>8} {:>10}", "function", "blocks", "in ram", "ram bytes")?;
+        for func in &self.functions {
+            writeln!(
+                f,
+                "{:<20} {:>8} {:>8} {:>10}",
+                func.function, func.blocks, func.blocks_in_ram, func.ram_bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::RamOptimizer;
+    use flashram_mcu::Board;
+    use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+
+    const SRC: &str = "
+        int data[48];
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 48; i++) { data[i] = i * 5 + 1; }
+            for (int rep = 0; rep < 30; rep++) {
+                for (int i = 0; i < 48; i++) { s += data[i] ^ rep; }
+            }
+            return s;
+        }
+    ";
+
+    fn placement() -> Placement {
+        let prog = compile_program(&[SourceUnit::application(SRC)], OptLevel::O2).unwrap();
+        RamOptimizer::new().optimize(&prog, &Board::stm32vldiscovery()).unwrap()
+    }
+
+    #[test]
+    fn report_counts_match_the_placement() {
+        let p = placement();
+        let report = PlacementReport::from_placement(&p);
+        assert_eq!(report.blocks.len(), p.params.blocks.len());
+        assert_eq!(report.ram_blocks().count(), p.selected.len());
+        assert_eq!(report.ram_code_bytes, crate::transform::relocated_code_bytes(&p.program));
+        assert!(report.predicted_energy_ratio <= 1.0);
+        assert!(report.predicted_time_ratio >= 1.0);
+        // Per-function summaries add up to the totals.
+        let total_in_ram: usize = report.functions.iter().map(|f| f.blocks_in_ram).sum();
+        assert_eq!(total_in_ram, p.selected.len());
+    }
+
+    #[test]
+    fn rows_are_sorted_hottest_first_and_weights_sum_to_one() {
+        let report = PlacementReport::from_placement(&placement());
+        for pair in report.blocks.windows(2) {
+            assert!(pair[0].weight_pct >= pair[1].weight_pct);
+        }
+        let total: f64 = report.blocks.iter().map(|b| b.weight_pct).sum();
+        assert!((total - 100.0).abs() < 1e-6, "weights sum to {total}%");
+    }
+
+    #[test]
+    fn display_output_mentions_every_function() {
+        let p = placement();
+        let text = PlacementReport::from_placement(&p).to_string();
+        assert!(text.contains("placement:"));
+        assert!(text.contains("main"));
+        assert!(text.contains("model prediction"));
+    }
+}

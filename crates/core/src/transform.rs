@@ -1,0 +1,177 @@
+//! The code transformation (Section 5).
+//!
+//! Once the solver has chosen the set `R` of blocks to live in RAM, the
+//! transformation (1) retargets those blocks to the RAM-loaded section so
+//! the startup code will copy them there, and (2) rewrites the terminator of
+//! every block that has a successor in the other memory into the long-range
+//! indirect form of Figure 4.  Nothing else about the code changes, which is
+//! why the optimization is safe to run at the very end of compilation.
+
+use std::collections::BTreeSet;
+
+use flashram_ir::{BlockRef, MachineProgram, Section};
+
+use crate::params::PlacementScope;
+
+/// Apply a placement to a program, returning the transformed copy.
+///
+/// Blocks of library functions are never moved even if listed (defensive
+/// guard mirroring the paper's limitation).  Use [`apply_placement_scoped`]
+/// with [`PlacementScope::WholeProgram`] for the linker-level variant that
+/// may relocate library code as well.
+pub fn apply_placement(program: &MachineProgram, in_ram: &[BlockRef]) -> MachineProgram {
+    apply_placement_scoped(program, in_ram, PlacementScope::ApplicationOnly)
+}
+
+/// Apply a placement under an explicit [`PlacementScope`].
+///
+/// With [`PlacementScope::ApplicationOnly`] any listed library block is
+/// silently ignored; with [`PlacementScope::WholeProgram`] every listed block
+/// is relocated.
+pub fn apply_placement_scoped(
+    program: &MachineProgram,
+    in_ram: &[BlockRef],
+    scope: PlacementScope,
+) -> MachineProgram {
+    let mut out = program.clone();
+    let ram_set: BTreeSet<BlockRef> = in_ram
+        .iter()
+        .copied()
+        .filter(|r| {
+            scope == PlacementScope::WholeProgram
+                || !program.functions[r.func.index()].is_library
+        })
+        .collect();
+
+    // 1. Retarget sections.
+    for r in program.block_refs() {
+        let section = if ram_set.contains(&r) { Section::Ram } else { Section::Flash };
+        out.block_mut(r).section = section;
+    }
+
+    // 2. Instrument blocks whose successors live in the other memory.
+    for r in program.block_refs() {
+        let my_section = out.block(r).section;
+        let needs_instr = out
+            .block(r)
+            .term
+            .successors()
+            .iter()
+            .any(|s| out.functions[r.func.index()].blocks[s.index()].section != my_section);
+        if needs_instr {
+            let block = out.block_mut(r);
+            block.term = block.term.clone().into_indirect();
+        }
+    }
+    out
+}
+
+/// The set of blocks whose terminators were instrumented by
+/// [`apply_placement`] (the paper's set `I`), derived from a transformed
+/// program.
+pub fn instrumented_blocks(program: &MachineProgram) -> Vec<BlockRef> {
+    program
+        .block_refs()
+        .into_iter()
+        .filter(|r| program.block(*r).term.is_indirect())
+        .collect()
+}
+
+/// Bytes of RAM consumed by relocated code in a transformed program.
+pub fn relocated_code_bytes(program: &MachineProgram) -> u32 {
+    program.ram_code_size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+
+    const SRC: &str = "
+        int work(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { s += i; }
+            return s;
+        }
+        int main() { return work(100); }
+    ";
+
+    fn program() -> MachineProgram {
+        compile_program(&[SourceUnit::application(SRC)], OptLevel::O1).unwrap()
+    }
+
+    #[test]
+    fn placement_moves_blocks_and_instruments_edges() {
+        let prog = program();
+        let work = prog.function_index("work").unwrap();
+        // Move one mid-function block (the loop body region) into RAM.
+        let candidates = prog.optimizable_block_refs();
+        let target = candidates
+            .iter()
+            .find(|r| r.func == work && r.block.index() == 1)
+            .copied()
+            .unwrap_or(candidates[0]);
+        let out = apply_placement(&prog, &[target]);
+        assert_eq!(out.block(target).section, Section::Ram);
+        let instrumented = instrumented_blocks(&out);
+        assert!(
+            !instrumented.is_empty(),
+            "an isolated RAM block must force instrumentation somewhere"
+        );
+        assert!(relocated_code_bytes(&out) >= out.block(target).size_bytes());
+        // The original program is untouched.
+        assert_eq!(prog.ram_code_size(), 0);
+    }
+
+    #[test]
+    fn empty_placement_changes_nothing() {
+        let prog = program();
+        let out = apply_placement(&prog, &[]);
+        assert_eq!(out, prog);
+        assert!(instrumented_blocks(&out).is_empty());
+    }
+
+    #[test]
+    fn whole_function_in_ram_needs_no_internal_instrumentation() {
+        let prog = program();
+        let work = prog.function_index("work").unwrap();
+        let all_work: Vec<BlockRef> = prog
+            .optimizable_block_refs()
+            .into_iter()
+            .filter(|r| r.func == work)
+            .collect();
+        let out = apply_placement(&prog, &all_work);
+        // Every block of `work` is in RAM, so only blocks with successors in
+        // other functions (there are none — calls are not successors) need
+        // instrumentation; internal edges must remain direct.
+        for r in &all_work {
+            let block = out.block(*r);
+            assert_eq!(block.section, Section::Ram);
+            assert!(
+                !block.term.is_indirect(),
+                "block {r} should not be instrumented when its whole function moved"
+            );
+        }
+    }
+
+    #[test]
+    fn library_blocks_are_never_moved() {
+        let lib = "int helper(int x) { return x * 2; }";
+        let app = "int main() { return helper(21); }";
+        let prog = compile_program(
+            &[SourceUnit::library(lib), SourceUnit::application(app)],
+            OptLevel::O1,
+        )
+        .unwrap();
+        let helper = prog.function_index("helper").unwrap();
+        let helper_blocks: Vec<BlockRef> = prog
+            .block_refs()
+            .into_iter()
+            .filter(|r| r.func == helper)
+            .collect();
+        let out = apply_placement(&prog, &helper_blocks);
+        for r in helper_blocks {
+            assert_eq!(out.block(r).section, Section::Flash);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Tests for the whole-program ("linker level") placement scope — the
+//! paper's future-work extension in which the pass can also relocate
+//! statically linked library code.
+
+use flashram_beebs::Benchmark;
+use flashram_core::{
+    apply_placement_scoped, extract_params_scoped, FrequencySource, OptimizerConfig,
+    PlacementScope, RamOptimizer,
+};
+use flashram_ir::Section;
+use flashram_mcu::Board;
+use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+
+const LIBRARY: &str = "
+    int lib_scale(int x, int k) {
+        int acc = 0;
+        for (int i = 0; i < k; i++) { acc += x; }
+        return acc;
+    }
+";
+
+const APPLICATION: &str = "
+    int main() {
+        int s = 0;
+        for (int rep = 0; rep < 60; rep++) { s += lib_scale(rep, 9); }
+        return s;
+    }
+";
+
+fn library_bound_program() -> flashram_ir::MachineProgram {
+    compile_program(
+        &[SourceUnit::library(LIBRARY), SourceUnit::application(APPLICATION)],
+        OptLevel::Os,
+    )
+    .unwrap()
+}
+
+#[test]
+fn whole_program_scope_extracts_library_blocks_too() {
+    let prog = library_bound_program();
+    let lib_func = prog.function_index("lib_scale").unwrap();
+    let app_only =
+        extract_params_scoped(&prog, &FrequencySource::default(), PlacementScope::ApplicationOnly);
+    let whole =
+        extract_params_scoped(&prog, &FrequencySource::default(), PlacementScope::WholeProgram);
+    assert!(app_only.blocks.keys().all(|r| r.func != lib_func));
+    assert!(whole.blocks.keys().any(|r| r.func == lib_func));
+    assert!(whole.blocks.len() > app_only.blocks.len());
+}
+
+#[test]
+fn whole_program_scope_may_move_library_blocks() {
+    let prog = library_bound_program();
+    let lib_func = prog.function_index("lib_scale").unwrap();
+    let lib_blocks: Vec<_> =
+        prog.block_refs().into_iter().filter(|r| r.func == lib_func).collect();
+
+    // Application-only transform refuses to move them.
+    let guarded = apply_placement_scoped(&prog, &lib_blocks, PlacementScope::ApplicationOnly);
+    assert!(guarded.block_refs().iter().all(|r| guarded.block(*r).section == Section::Flash));
+
+    // Whole-program transform does move them.
+    let moved = apply_placement_scoped(&prog, &lib_blocks, PlacementScope::WholeProgram);
+    for r in &lib_blocks {
+        assert_eq!(moved.block(*r).section, Section::Ram);
+    }
+
+    // And the relocated program still computes the same thing.
+    let board = Board::stm32vldiscovery();
+    let before = board.run(&prog).unwrap();
+    let after = board.run(&moved).unwrap();
+    assert_eq!(before.return_value, after.return_value);
+    assert!(after.avg_power_mw < before.avg_power_mw);
+}
+
+#[test]
+fn whole_program_optimizer_beats_application_only_on_library_bound_code() {
+    let board = Board::stm32vldiscovery();
+    let prog = library_bound_program();
+    let before = board.run(&prog).unwrap();
+
+    let app_only = RamOptimizer::new().optimize(&prog, &board).unwrap();
+    let whole = RamOptimizer::with_config(OptimizerConfig {
+        scope: PlacementScope::WholeProgram,
+        ..OptimizerConfig::default()
+    })
+    .optimize(&prog, &board)
+    .unwrap();
+
+    let app_run = board.run(&app_only.program).unwrap();
+    let whole_run = board.run(&whole.program).unwrap();
+    assert_eq!(before.return_value, app_run.return_value);
+    assert_eq!(before.return_value, whole_run.return_value);
+
+    // The library loop dominates this program, so whole-program placement
+    // must save strictly more energy than the application-only pass.
+    assert!(
+        whole_run.energy_mj < app_run.energy_mj,
+        "whole-program: {} mJ, application-only: {} mJ",
+        whole_run.energy_mj,
+        app_run.energy_mj
+    );
+    assert!(whole_run.avg_power_mw < before.avg_power_mw);
+}
+
+#[test]
+fn whole_program_scope_helps_the_library_bound_beebs_kernels() {
+    let board = Board::stm32vldiscovery();
+    let bench = Benchmark::by_name("cubic").unwrap();
+    let prog = bench.compile(OptLevel::O2).unwrap();
+    let before = board.run(&prog).unwrap();
+
+    let app_only = RamOptimizer::new().optimize(&prog, &board).unwrap();
+    let whole = RamOptimizer::with_config(OptimizerConfig {
+        scope: PlacementScope::WholeProgram,
+        ..OptimizerConfig::default()
+    })
+    .optimize(&prog, &board)
+    .unwrap();
+
+    let app_run = board.run(&app_only.program).unwrap();
+    let whole_run = board.run(&whole.program).unwrap();
+    assert_eq!(before.return_value, whole_run.return_value);
+
+    // cubic spends most of its time in the soft-float library, so the
+    // linker-level pass should find meaningfully more savings.
+    let app_saving = before.energy_mj - app_run.energy_mj;
+    let whole_saving = before.energy_mj - whole_run.energy_mj;
+    assert!(
+        whole_saving > app_saving,
+        "whole-program saving {whole_saving} mJ should exceed application-only {app_saving} mJ"
+    );
+    assert!(whole.selected.len() > app_only.selected.len());
+}
+
+#[test]
+fn default_scope_is_application_only_and_unchanged() {
+    let config = OptimizerConfig::default();
+    assert_eq!(config.scope, PlacementScope::ApplicationOnly);
+}

@@ -1,0 +1,306 @@
+//! Branch-and-bound 0-1 ILP solver over the simplex relaxation.
+//!
+//! Branching fixes one fractional binary variable to 0 and to 1 in turn; the
+//! LP relaxation of each node provides the bound used for pruning.  The
+//! search is depth-first with the "most fractional variable" branching rule,
+//! exploring the rounded value first so that good incumbents appear early.
+
+use crate::expr::Var;
+use crate::problem::{Problem, Solution, SolveError};
+use crate::simplex::{SimplexOutcome, SimplexSolver};
+
+/// Statistics about a branch-and-bound run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchBoundStats {
+    /// Number of nodes whose relaxation was solved.
+    pub nodes_explored: usize,
+    /// Number of nodes pruned by bound.
+    pub nodes_pruned: usize,
+    /// Whether the node budget was exhausted (the returned solution is then
+    /// the best incumbent, not necessarily optimal).
+    pub budget_exhausted: bool,
+}
+
+/// A 0-1 ILP solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchBound {
+    /// LP solver used for the relaxations.
+    pub lp: SimplexSolver,
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub max_nodes: usize,
+    /// Integrality tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for BranchBound {
+    fn default() -> Self {
+        BranchBound { lp: SimplexSolver::default(), max_nodes: 20_000, tolerance: 1e-6 }
+    }
+}
+
+impl BranchBound {
+    /// A solver with default budgets.
+    pub fn new() -> BranchBound {
+        BranchBound::default()
+    }
+
+    /// Solve the problem to optimality (within the node budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Infeasible`] or [`SolveError::Unbounded`] when
+    /// the problem has no optimal solution, [`SolveError::BudgetExhausted`]
+    /// when the node budget ran out before any integer-feasible solution was
+    /// found, and [`SolveError::InvalidModel`] for malformed models.
+    pub fn solve(&self, problem: &Problem) -> Result<Solution, SolveError> {
+        self.solve_with_stats(problem).map(|(s, _)| s)
+    }
+
+    /// Solve and also report search statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`BranchBound::solve`].
+    pub fn solve_with_stats(
+        &self,
+        problem: &Problem,
+    ) -> Result<(Solution, BranchBoundStats), SolveError> {
+        problem.check()?;
+        let mut stats = BranchBoundStats::default();
+        let mut incumbent: Option<Solution> = None;
+
+        // Each stack entry is a set of fixings to apply on top of the problem.
+        let mut stack: Vec<Vec<(Var, f64)>> = vec![Vec::new()];
+
+        while let Some(fixings) = stack.pop() {
+            if stats.nodes_explored >= self.max_nodes {
+                stats.budget_exhausted = true;
+                break;
+            }
+            stats.nodes_explored += 1;
+
+            let outcome = self.lp.solve_relaxation(problem, &fixings);
+            let relaxed = match outcome {
+                SimplexOutcome::Optimal(s) => s,
+                SimplexOutcome::Infeasible => continue,
+                SimplexOutcome::Unbounded => {
+                    // The relaxation being unbounded at the root means the
+                    // ILP itself is unbounded (binaries alone cannot bound
+                    // a continuous ray).
+                    if fixings.is_empty() {
+                        return Err(SolveError::Unbounded);
+                    }
+                    continue;
+                }
+                SimplexOutcome::IterationLimit => {
+                    stats.budget_exhausted = true;
+                    continue;
+                }
+            };
+
+            // Bound: prune when the relaxation cannot beat the incumbent.
+            if let Some(best) = &incumbent {
+                if !problem.is_better(relaxed.objective, best.objective)
+                    && (relaxed.objective - best.objective).abs() > self.tolerance
+                {
+                    stats.nodes_pruned += 1;
+                    continue;
+                }
+            }
+
+            // Find the most fractional binary variable.
+            let mut branch_var: Option<Var> = None;
+            let mut most_fractional = self.tolerance;
+            for v in problem.binary_vars() {
+                let val = relaxed.value(v);
+                let frac = (val - val.round()).abs();
+                if frac > most_fractional {
+                    most_fractional = frac;
+                    branch_var = Some(v);
+                }
+            }
+
+            match branch_var {
+                None => {
+                    // Integer feasible: candidate incumbent.
+                    let mut values = relaxed.values.clone();
+                    for v in problem.binary_vars() {
+                        let idx = v.index();
+                        values[idx] = values[idx].round();
+                    }
+                    let objective = problem.objective_value(&values);
+                    let candidate = Solution { values, objective };
+                    let better = incumbent
+                        .as_ref()
+                        .map_or(true, |best| problem.is_better(objective, best.objective));
+                    if better {
+                        incumbent = Some(candidate);
+                    }
+                }
+                Some(v) => {
+                    let val = relaxed.value(v);
+                    let rounded = val.round().clamp(0.0, 1.0);
+                    let other = 1.0 - rounded;
+                    // Explore the rounded branch first (pushed last).
+                    let mut far = fixings.clone();
+                    far.push((v, other));
+                    stack.push(far);
+                    let mut near = fixings;
+                    near.push((v, rounded));
+                    stack.push(near);
+                }
+            }
+        }
+
+        match incumbent {
+            Some(sol) => Ok((sol, stats)),
+            None if stats.budget_exhausted => Err(SolveError::BudgetExhausted(format!(
+                "no integer solution within {} nodes",
+                self.max_nodes
+            ))),
+            None => Err(SolveError::Infeasible),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinearExpr;
+    use crate::problem::{Cmp, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // Items (value, weight): (10,5), (7,4), (4,3), capacity 9 → pick 1 & 2 = 17.
+        let values = [10.0, 7.0, 4.0];
+        let weights = [5.0, 4.0, 3.0];
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<Var> = (0..3).map(|i| p.add_binary(format!("x{i}"))).collect();
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().copied().zip(weights.iter().copied())),
+            Cmp::Le,
+            9.0,
+        );
+        p.set_objective(LinearExpr::from_terms(
+            xs.iter().copied().zip(values.iter().copied()),
+        ));
+        let sol = BranchBound::new().solve(&p).unwrap();
+        assert_close(sol.objective, 17.0);
+        assert!(sol.is_set(xs[0]));
+        assert!(sol.is_set(xs[1]));
+        assert!(!sol.is_set(xs[2]));
+    }
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 0.0, None);
+        p.add_constraint(LinearExpr::var(x), Cmp::Ge, 2.0);
+        p.set_objective(LinearExpr::var(x));
+        let sol = BranchBound::new().solve(&p).unwrap();
+        assert_close(sol.value(x), 2.0);
+    }
+
+    #[test]
+    fn infeasible_integer_problem() {
+        // x + y = 1.5 with x, y binary is LP-feasible but has no integer point.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Eq, 1.5);
+        p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]));
+        assert_eq!(BranchBound::new().solve(&p), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn equality_selection() {
+        // Exactly two of four items, minimize cost.
+        let costs = [5.0, 1.0, 3.0, 2.0];
+        let mut p = Problem::new(Sense::Minimize);
+        let xs: Vec<Var> = (0..4).map(|i| p.add_binary(format!("x{i}"))).collect();
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().map(|v| (*v, 1.0))),
+            Cmp::Eq,
+            2.0,
+        );
+        p.set_objective(LinearExpr::from_terms(
+            xs.iter().copied().zip(costs.iter().copied()),
+        ));
+        let sol = BranchBound::new().solve(&p).unwrap();
+        assert_close(sol.objective, 3.0);
+        assert!(sol.is_set(xs[1]) && sol.is_set(xs[3]));
+    }
+
+    #[test]
+    fn mixed_integer_problem() {
+        // max 2x + 3b s.t. x + 4b <= 5, x <= 3, b binary → b=1, x=1? obj=5 vs b=0,x=3 obj=6.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", 0.0, Some(3.0));
+        let b = p.add_binary("b");
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (b, 4.0)]), Cmp::Le, 5.0);
+        p.set_objective(LinearExpr::from_terms([(x, 2.0), (b, 3.0)]));
+        let sol = BranchBound::new().solve(&p).unwrap();
+        assert_close(sol.objective, 6.0);
+        assert!(!sol.is_set(b));
+        assert_close(sol.value(x), 3.0);
+    }
+
+    #[test]
+    fn stats_are_reported() {
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<Var> = (0..6).map(|i| p.add_binary(format!("x{i}"))).collect();
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().map(|v| (*v, 1.0))),
+            Cmp::Le,
+            3.0,
+        );
+        p.set_objective(LinearExpr::from_terms(
+            xs.iter().enumerate().map(|(i, v)| (*v, 1.0 + i as f64)),
+        ));
+        let (sol, stats) = BranchBound::new().solve_with_stats(&p).unwrap();
+        assert_close(sol.objective, 4.0 + 5.0 + 6.0);
+        assert!(stats.nodes_explored >= 1);
+        assert!(!stats.budget_exhausted);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<Var> = (0..10).map(|i| p.add_binary(format!("x{i}"))).collect();
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().map(|v| (*v, 1.0))),
+            Cmp::Le,
+            5.0,
+        );
+        p.set_objective(LinearExpr::from_terms(xs.iter().map(|v| (*v, 1.0))));
+        let solver = BranchBound { max_nodes: 0, ..BranchBound::default() };
+        assert!(matches!(
+            solver.solve(&p),
+            Err(SolveError::BudgetExhausted(_))
+        ));
+    }
+
+    #[test]
+    fn solution_respects_all_constraints() {
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<Var> = (0..8).map(|i| p.add_binary(format!("x{i}"))).collect();
+        let weights = [3.0, 5.0, 2.0, 7.0, 4.0, 1.0, 6.0, 2.5];
+        let values = [4.0, 6.0, 3.0, 8.0, 5.0, 1.0, 7.0, 3.5];
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().copied().zip(weights.iter().copied())),
+            Cmp::Le,
+            12.0,
+        );
+        // Pairwise exclusion: x0 + x1 <= 1.
+        p.add_constraint(LinearExpr::from_terms([(xs[0], 1.0), (xs[1], 1.0)]), Cmp::Le, 1.0);
+        p.set_objective(LinearExpr::from_terms(
+            xs.iter().copied().zip(values.iter().copied()),
+        ));
+        let sol = BranchBound::new().solve(&p).unwrap();
+        assert!(p.is_feasible(&sol.values, 1e-6));
+    }
+}

@@ -1,0 +1,251 @@
+//! Linear expressions over problem variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A variable handle returned by [`Problem`](crate::Problem) when a variable
+/// is added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub usize);
+
+impl Var {
+    /// The variable's column index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + constant`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinearExpr {
+    terms: BTreeMap<Var, f64>,
+    constant: f64,
+}
+
+impl LinearExpr {
+    /// The zero expression.
+    pub fn new() -> LinearExpr {
+        LinearExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> LinearExpr {
+        LinearExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// An expression consisting of a single variable with coefficient 1.
+    pub fn var(v: Var) -> LinearExpr {
+        LinearExpr::from_terms([(v, 1.0)])
+    }
+
+    /// Build an expression from `(variable, coefficient)` pairs.  Repeated
+    /// variables have their coefficients summed.
+    pub fn from_terms<I: IntoIterator<Item = (Var, f64)>>(terms: I) -> LinearExpr {
+        let mut e = LinearExpr::new();
+        for (v, c) in terms {
+            e.add_term(v, c);
+        }
+        e
+    }
+
+    /// Add `coeff · var` to the expression.
+    pub fn add_term(&mut self, var: Var, coeff: f64) -> &mut Self {
+        let entry = self.terms.entry(var).or_insert(0.0);
+        *entry += coeff;
+        if entry.abs() < 1e-12 {
+            self.terms.remove(&var);
+        }
+        self
+    }
+
+    /// Add a constant to the expression.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// The coefficient of a variable (0 if absent).
+    pub fn coeff(&self, var: Var) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate over `(variable, coefficient)` pairs in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (Var, f64)> + '_ {
+        self.terms.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Number of variables with non-zero coefficients.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluate the expression for a full assignment of variable values
+    /// (indexed by variable number).
+    pub fn evaluate(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(v, c)| c * values.get(v.index()).copied().unwrap_or(0.0))
+                .sum::<f64>()
+    }
+
+    /// Multiply the whole expression by a scalar.
+    pub fn scaled(mut self, k: f64) -> LinearExpr {
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+        self.terms.retain(|_, c| c.abs() >= 1e-12);
+        self
+    }
+
+    /// The largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        self.terms.keys().next_back().map(|v| v.index())
+    }
+}
+
+impl From<Var> for LinearExpr {
+    fn from(v: Var) -> LinearExpr {
+        LinearExpr::var(v)
+    }
+}
+
+impl Add for LinearExpr {
+    type Output = LinearExpr;
+    fn add(mut self, rhs: LinearExpr) -> LinearExpr {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinearExpr {
+    fn add_assign(&mut self, rhs: LinearExpr) {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinearExpr {
+    type Output = LinearExpr;
+    fn sub(self, rhs: LinearExpr) -> LinearExpr {
+        self + rhs.scaled(-1.0)
+    }
+}
+
+impl Mul<f64> for LinearExpr {
+    type Output = LinearExpr;
+    fn mul(self, k: f64) -> LinearExpr {
+        self.scaled(k)
+    }
+}
+
+impl fmt::Display for LinearExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                write!(f, "{c}·{v}")?;
+                first = false;
+            } else if *c >= 0.0 {
+                write!(f, " + {c}·{v}")?;
+            } else {
+                write!(f, " - {}·{v}", -c)?;
+            }
+        }
+        if self.constant != 0.0 || first {
+            if first {
+                write!(f, "{}", self.constant)?;
+            } else if self.constant >= 0.0 {
+                write!(f, " + {}", self.constant)?;
+            } else {
+                write!(f, " - {}", -self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_and_evaluating() {
+        let x = Var(0);
+        let y = Var(1);
+        let e = LinearExpr::from_terms([(x, 2.0), (y, -1.0), (x, 0.5)]);
+        assert_eq!(e.coeff(x), 2.5);
+        assert_eq!(e.coeff(y), -1.0);
+        assert_eq!(e.coeff(Var(7)), 0.0);
+        assert_eq!(e.evaluate(&[2.0, 4.0]), 1.0);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let x = Var(0);
+        let mut e = LinearExpr::var(x);
+        e.add_term(x, -1.0);
+        assert_eq!(e.num_terms(), 0);
+        assert!(e.is_constant());
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let x = Var(0);
+        let y = Var(1);
+        let a = LinearExpr::from_terms([(x, 1.0)]) + LinearExpr::from_terms([(y, 2.0)]);
+        let b = a.clone() - LinearExpr::from_terms([(x, 1.0)]);
+        assert_eq!(b.coeff(x), 0.0);
+        assert_eq!(b.coeff(y), 2.0);
+        let c = a * 3.0;
+        assert_eq!(c.coeff(x), 3.0);
+        assert_eq!(c.coeff(y), 6.0);
+    }
+
+    #[test]
+    fn constants_accumulate() {
+        let mut e = LinearExpr::constant(2.0);
+        e.add_constant(1.5);
+        assert_eq!(e.constant_part(), 3.5);
+        assert_eq!(e.evaluate(&[]), 3.5);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = LinearExpr::from_terms([(Var(0), 1.0), (Var(1), -2.0)]);
+        let s = e.to_string();
+        assert!(s.contains("x0"));
+        assert!(s.contains("- 2"));
+    }
+
+    #[test]
+    fn max_var_tracks_largest_index() {
+        assert_eq!(LinearExpr::new().max_var(), None);
+        let e = LinearExpr::from_terms([(Var(3), 1.0), (Var(11), 2.0)]);
+        assert_eq!(e.max_var(), Some(11));
+    }
+}

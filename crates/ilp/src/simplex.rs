@@ -1,0 +1,522 @@
+//! A dense two-phase simplex solver for the LP relaxation.
+//!
+//! The solver is deliberately straightforward: the flash/RAM placement
+//! models are small (a few hundred variables and constraints), so a dense
+//! tableau with Dantzig pricing — falling back to Bland's rule if cycling is
+//! suspected — is fast enough and easy to trust.  Binary variables are
+//! relaxed to the interval `[0, 1]`.
+
+use crate::expr::Var;
+use crate::problem::{Cmp, Problem, Sense, Solution, VarKind};
+
+/// Result of an LP relaxation solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimplexOutcome {
+    /// An optimal solution of the relaxation.
+    Optimal(Solution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration budget was exhausted before reaching optimality.
+    IterationLimit,
+}
+
+impl SimplexOutcome {
+    /// The solution, if the outcome is optimal.
+    pub fn solution(self) -> Option<Solution> {
+        match self {
+            SimplexOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of the simplex solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexSolver {
+    /// Maximum number of pivots across both phases.
+    pub max_iterations: usize,
+    /// Numerical tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for SimplexSolver {
+    fn default() -> Self {
+        SimplexSolver { max_iterations: 50_000, tolerance: 1e-7 }
+    }
+}
+
+struct Tableau {
+    /// `rows × cols` coefficient matrix.
+    a: Vec<Vec<f64>>,
+    /// Right-hand side per row.
+    b: Vec<f64>,
+    /// Phase-1 reduced-cost row (sum of artificials).
+    cost1: Vec<f64>,
+    /// Phase-2 reduced-cost row (real objective, in minimization form).
+    cost2: Vec<f64>,
+    /// Phase-1 objective value (negated running total).
+    obj1: f64,
+    /// Phase-2 objective value (negated running total).
+    obj2: f64,
+    /// Basis variable per row.
+    basis: Vec<usize>,
+    /// First artificial column index (artificials occupy `artificial_start..cols`).
+    artificial_start: usize,
+    cols: usize,
+}
+
+impl SimplexSolver {
+    /// Create a solver with default limits.
+    pub fn new() -> SimplexSolver {
+        SimplexSolver::default()
+    }
+
+    /// Solve the LP relaxation of `problem` (binary variables relaxed to
+    /// `[0,1]`), optionally with extra equality fixings `(var, value)` used
+    /// by branch-and-bound.
+    pub fn solve_relaxation(&self, problem: &Problem, fixings: &[(Var, f64)]) -> SimplexOutcome {
+        if problem.check().is_err() {
+            return SimplexOutcome::Infeasible;
+        }
+        let n = problem.num_vars();
+
+        // Lower bound per structural variable (for shifting), upper bound rows.
+        let mut lower = vec![0.0f64; n];
+        let mut upper: Vec<Option<f64>> = vec![None; n];
+        for (i, def) in problem.vars().iter().enumerate() {
+            match def.kind {
+                VarKind::Binary => {
+                    lower[i] = 0.0;
+                    upper[i] = Some(1.0);
+                }
+                VarKind::Continuous { lower: lo, upper: up } => {
+                    lower[i] = lo;
+                    upper[i] = up;
+                }
+            }
+        }
+
+        // Build the row list: (coefficients over structural vars, cmp, rhs).
+        let mut rows: Vec<(Vec<f64>, Cmp, f64)> = Vec::new();
+        for c in problem.constraints() {
+            let mut coeffs = vec![0.0; n];
+            for (v, k) in c.expr.terms() {
+                coeffs[v.index()] += k;
+            }
+            // Shift by lower bounds: expr(x) = expr(x' + lower) = expr(x') + expr(lower)
+            let shift: f64 = coeffs.iter().zip(&lower).map(|(k, lo)| k * lo).sum();
+            rows.push((coeffs, c.op, c.rhs - shift));
+        }
+        // Upper-bound rows: x'_i ≤ upper_i - lower_i.
+        for i in 0..n {
+            if let Some(u) = upper[i] {
+                let mut coeffs = vec![0.0; n];
+                coeffs[i] = 1.0;
+                rows.push((coeffs, Cmp::Le, u - lower[i]));
+            }
+        }
+        // Fixing rows from branch-and-bound: x_i = value  ⇒  x'_i = value - lower_i.
+        for (v, val) in fixings {
+            let mut coeffs = vec![0.0; n];
+            coeffs[v.index()] = 1.0;
+            rows.push((coeffs, Cmp::Eq, val - lower[v.index()]));
+        }
+
+        // Objective in minimization form over shifted variables.
+        let mut c_min = vec![0.0f64; n];
+        for (v, k) in problem.objective().terms() {
+            c_min[v.index()] += k;
+        }
+        let sign = match problem.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        for c in c_min.iter_mut() {
+            *c *= sign;
+        }
+
+        let mut tab = self.build_tableau(n, &rows, &c_min);
+
+        // Phase 1: drive artificials to zero.
+        let mut iterations = 0usize;
+        if tab.artificial_start < tab.cols {
+            match self.run_phase(&mut tab, true, &mut iterations) {
+                PhaseResult::Optimal => {}
+                PhaseResult::Unbounded => return SimplexOutcome::Infeasible,
+                PhaseResult::IterationLimit => return SimplexOutcome::IterationLimit,
+            }
+            if tab.obj1 > self.tolerance * 10.0 {
+                return SimplexOutcome::Infeasible;
+            }
+        }
+
+        // Phase 2: optimize the real objective, artificials barred.
+        match self.run_phase(&mut tab, false, &mut iterations) {
+            PhaseResult::Optimal => {}
+            PhaseResult::Unbounded => return SimplexOutcome::Unbounded,
+            PhaseResult::IterationLimit => return SimplexOutcome::IterationLimit,
+        }
+
+        // Extract the solution: shifted structural values + lower bounds.
+        let mut values = lower;
+        for (row, &bv) in tab.basis.iter().enumerate() {
+            if bv < n {
+                values[bv] += tab.b[row];
+            }
+        }
+        let objective = problem.objective_value(&values);
+        SimplexOutcome::Optimal(Solution { values, objective })
+    }
+
+    fn build_tableau(&self, n: usize, rows: &[(Vec<f64>, Cmp, f64)], c_min: &[f64]) -> Tableau {
+        let m = rows.len();
+        // Count slack/surplus and artificial columns.
+        let mut num_slack = 0usize;
+        let mut num_art = 0usize;
+        for (_, op, rhs) in rows {
+            let rhs_nonneg = *rhs >= 0.0;
+            match (op, rhs_nonneg) {
+                (Cmp::Le, true) | (Cmp::Ge, false) => num_slack += 1,
+                (Cmp::Le, false) | (Cmp::Ge, true) => {
+                    num_slack += 1;
+                    num_art += 1;
+                }
+                (Cmp::Eq, _) => num_art += 1,
+            }
+        }
+        let cols = n + num_slack + num_art;
+        let artificial_start = n + num_slack;
+        let mut a = vec![vec![0.0; cols]; m];
+        let mut b = vec![0.0; m];
+        let mut basis = vec![0usize; m];
+        let mut next_slack = n;
+        let mut next_art = artificial_start;
+
+        for (row, (coeffs, op, rhs)) in rows.iter().enumerate() {
+            let (mut coeffs, mut op, mut rhs) = (coeffs.clone(), *op, *rhs);
+            if rhs < 0.0 {
+                // Normalize so rhs ≥ 0.
+                for c in coeffs.iter_mut() {
+                    *c = -*c;
+                }
+                rhs = -rhs;
+                op = match op {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+            a[row][..n].copy_from_slice(&coeffs);
+            b[row] = rhs;
+            match op {
+                Cmp::Le => {
+                    a[row][next_slack] = 1.0;
+                    basis[row] = next_slack;
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    a[row][next_slack] = -1.0;
+                    next_slack += 1;
+                    a[row][next_art] = 1.0;
+                    basis[row] = next_art;
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    a[row][next_art] = 1.0;
+                    basis[row] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+
+        // Phase-2 cost row: reduced costs start as c (basis columns are slack
+        // or artificial, which have zero phase-2 cost), objective 0.
+        let mut cost2 = vec![0.0; cols];
+        cost2[..n].copy_from_slice(c_min);
+        let obj2 = 0.0;
+
+        // Phase-1 cost row: sum of artificial variables.  Reduced costs are
+        // obtained by subtracting the rows whose basis variable is artificial.
+        let mut cost1 = vec![0.0; cols];
+        for j in artificial_start..cols {
+            cost1[j] = 1.0;
+        }
+        let mut obj1 = 0.0;
+        for (row, &bv) in basis.iter().enumerate() {
+            if bv >= artificial_start {
+                for j in 0..cols {
+                    cost1[j] -= a[row][j];
+                }
+                obj1 += b[row];
+            }
+        }
+
+        Tableau { a, b, cost1, cost2, obj1, obj2, basis, artificial_start, cols }
+    }
+
+    fn run_phase(
+        &self,
+        tab: &mut Tableau,
+        phase1: bool,
+        iterations: &mut usize,
+    ) -> PhaseResult {
+        let bland_threshold = self.max_iterations / 2;
+        loop {
+            if *iterations >= self.max_iterations {
+                return PhaseResult::IterationLimit;
+            }
+            *iterations += 1;
+            let use_bland = *iterations > bland_threshold;
+
+            // Choose an entering column with negative reduced cost.
+            let cost = if phase1 { &tab.cost1 } else { &tab.cost2 };
+            let allowed_cols = if phase1 { tab.cols } else { tab.artificial_start };
+            let mut entering: Option<usize> = None;
+            let mut best = -self.tolerance;
+            for j in 0..allowed_cols {
+                let c = cost[j];
+                if c < -self.tolerance {
+                    if use_bland {
+                        entering = Some(j);
+                        break;
+                    }
+                    if c < best {
+                        best = c;
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(enter) = entering else {
+                return PhaseResult::Optimal;
+            };
+
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for row in 0..tab.b.len() {
+                let coef = tab.a[row][enter];
+                if coef > self.tolerance {
+                    let ratio = tab.b[row] / coef;
+                    let better = ratio < best_ratio - self.tolerance
+                        || (use_bland
+                            && (ratio - best_ratio).abs() <= self.tolerance
+                            && leave.map_or(true, |l| tab.basis[row] < tab.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(row);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return PhaseResult::Unbounded;
+            };
+
+            self.pivot(tab, leave, enter);
+        }
+    }
+
+    fn pivot(&self, tab: &mut Tableau, row: usize, col: usize) {
+        let pivot = tab.a[row][col];
+        debug_assert!(pivot.abs() > self.tolerance);
+        // Normalize the pivot row.
+        for j in 0..tab.cols {
+            tab.a[row][j] /= pivot;
+        }
+        tab.b[row] /= pivot;
+        // Eliminate the column from the other rows and the cost rows.
+        for r in 0..tab.b.len() {
+            if r != row {
+                let factor = tab.a[r][col];
+                if factor.abs() > 0.0 {
+                    for j in 0..tab.cols {
+                        tab.a[r][j] -= factor * tab.a[row][j];
+                    }
+                    tab.b[r] -= factor * tab.b[row];
+                }
+            }
+        }
+        let f1 = tab.cost1[col];
+        if f1.abs() > 0.0 {
+            for j in 0..tab.cols {
+                tab.cost1[j] -= f1 * tab.a[row][j];
+            }
+            // Entering x_col at level b[row] changes the objective by
+            // (reduced cost) × level.
+            tab.obj1 += f1 * tab.b[row];
+        }
+        let f2 = tab.cost2[col];
+        if f2.abs() > 0.0 {
+            for j in 0..tab.cols {
+                tab.cost2[j] -= f2 * tab.a[row][j];
+            }
+            tab.obj2 += f2 * tab.b[row];
+        }
+        tab.basis[row] = col;
+    }
+}
+
+enum PhaseResult {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinearExpr;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn maximization_with_two_constraints() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => x=2, y=6, obj=36.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", 0.0, None);
+        let y = p.add_continuous("y", 0.0, None);
+        p.add_constraint(LinearExpr::var(x), Cmp::Le, 4.0);
+        p.add_constraint(LinearExpr::from_terms([(y, 2.0)]), Cmp::Le, 12.0);
+        p.add_constraint(LinearExpr::from_terms([(x, 3.0), (y, 2.0)]), Cmp::Le, 18.0);
+        p.set_objective(LinearExpr::from_terms([(x, 3.0), (y, 5.0)]));
+        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+        assert_close(sol.objective, 36.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 => x=7, y=3, obj=23.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 0.0, None);
+        let y = p.add_continuous("y", 0.0, None);
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Ge, 10.0);
+        p.add_constraint(LinearExpr::var(x), Cmp::Ge, 2.0);
+        p.add_constraint(LinearExpr::var(y), Cmp::Ge, 3.0);
+        p.set_objective(LinearExpr::from_terms([(x, 2.0), (y, 3.0)]));
+        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        assert_close(sol.objective, 23.0);
+        assert_close(sol.value(x), 7.0);
+        assert_close(sol.value(y), 3.0);
+    }
+
+    #[test]
+    fn equality_constraints_are_respected() {
+        // min x + y s.t. x + y = 5, x - y = 1 => x=3, y=2.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 0.0, None);
+        let y = p.add_continuous("y", 0.0, None);
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Eq, 5.0);
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, -1.0)]), Cmp::Eq, 1.0);
+        p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]));
+        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        assert_close(sol.value(x), 3.0);
+        assert_close(sol.value(y), 2.0);
+    }
+
+    #[test]
+    fn infeasible_system_is_reported() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 0.0, None);
+        p.add_constraint(LinearExpr::var(x), Cmp::Ge, 5.0);
+        p.add_constraint(LinearExpr::var(x), Cmp::Le, 1.0);
+        p.set_objective(LinearExpr::var(x));
+        assert_eq!(
+            SimplexSolver::new().solve_relaxation(&p, &[]),
+            SimplexOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn unbounded_problem_is_reported() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", 0.0, None);
+        p.set_objective(LinearExpr::var(x));
+        assert_eq!(
+            SimplexSolver::new().solve_relaxation(&p, &[]),
+            SimplexOutcome::Unbounded
+        );
+    }
+
+    #[test]
+    fn binary_relaxation_and_upper_bounds() {
+        // max x + y with x binary, y ≤ 0.3: relaxation picks x = 1, y = 0.3.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_binary("x");
+        let y = p.add_continuous("y", 0.0, Some(0.3));
+        p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]));
+        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        assert_close(sol.value(x), 1.0);
+        assert_close(sol.value(y), 0.3);
+    }
+
+    #[test]
+    fn fixings_pin_variables() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Le, 1.0);
+        p.set_objective(LinearExpr::from_terms([(x, 2.0), (y, 1.0)]));
+        let sol = SimplexSolver::new()
+            .solve_relaxation(&p, &[(x, 0.0)])
+            .solution()
+            .unwrap();
+        assert_close(sol.value(x), 0.0);
+        assert_close(sol.value(y), 1.0);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_are_shifted_correctly() {
+        // min x + y with x ≥ 2, y ≥ 1.5, x + y ≥ 5 → obj 5 at e.g. (3.5, 1.5).
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 2.0, None);
+        let y = p.add_continuous("y", 1.5, None);
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Ge, 5.0);
+        p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]));
+        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        assert_close(sol.objective, 5.0);
+        assert!(sol.value(x) >= 2.0 - 1e-7);
+        assert!(sol.value(y) >= 1.5 - 1e-7);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x - y <= -1 (i.e. y >= x + 1), minimize y with x >= 0 → x=0, y=1.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 0.0, None);
+        let y = p.add_continuous("y", 0.0, None);
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, -1.0)]), Cmp::Le, -1.0);
+        p.set_objective(LinearExpr::var(y));
+        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        assert_close(sol.value(y), 1.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Several redundant constraints through the same vertex.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", 0.0, None);
+        let y = p.add_continuous("y", 0.0, None);
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Le, 1.0);
+        p.add_constraint(LinearExpr::from_terms([(x, 2.0), (y, 2.0)]), Cmp::Le, 2.0);
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0)]), Cmp::Le, 1.0);
+        p.add_constraint(LinearExpr::from_terms([(y, 1.0)]), Cmp::Le, 1.0);
+        p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]));
+        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        assert_close(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn empty_objective_is_fine() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 0.0, Some(3.0));
+        p.add_constraint(LinearExpr::var(x), Cmp::Ge, 1.0);
+        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        assert!(sol.value(x) >= 1.0 - 1e-7);
+        assert_close(sol.objective, 0.0);
+    }
+}

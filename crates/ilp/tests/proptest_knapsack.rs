@@ -1,0 +1,110 @@
+//! Additional solver properties on randomly generated knapsack-style
+//! problems, complementing `proptest_solvers.rs`: behaviour under objective
+//! scaling, degenerate capacities, and cardinality side constraints (the
+//! same structural family as the placement model's RAM budget plus
+//! time-bound pair).
+
+use flashram_ilp::{BranchBound, Cmp, ExhaustiveSolver, LinearExpr, Problem, Sense};
+use proptest::prelude::*;
+
+/// A maximization knapsack with an optional cardinality constraint.
+fn knapsack(
+    values: &[u32],
+    weights: &[u32],
+    capacity_fraction: f64,
+    max_items: Option<usize>,
+) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..values.len()).map(|i| p.add_binary(format!("x{i}"))).collect();
+    let mut objective = LinearExpr::new();
+    let mut weight_expr = LinearExpr::new();
+    let mut count_expr = LinearExpr::new();
+    for (i, &v) in vars.iter().enumerate() {
+        objective.add_term(v, values[i] as f64);
+        weight_expr.add_term(v, weights[i] as f64);
+        count_expr.add_term(v, 1.0);
+    }
+    let total_weight: u32 = weights.iter().sum();
+    p.set_objective(objective);
+    p.add_constraint(weight_expr, Cmp::Le, total_weight as f64 * capacity_fraction);
+    if let Some(k) = max_items {
+        p.add_constraint(count_expr, Cmp::Le, k as f64);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Adding a cardinality side constraint (like the placement model's
+    /// second, time-bound constraint) never confuses branch-and-bound: it
+    /// still matches exhaustive enumeration and respects the constraint.
+    #[test]
+    fn cardinality_constrained_knapsacks_are_solved_optimally(
+        values in proptest::collection::vec(1u32..50, 1..10),
+        weights_seed in proptest::collection::vec(1u32..20, 10),
+        capacity_fraction in 0.2f64..0.9,
+        limit_items in 1usize..6,
+    ) {
+        let weights = &weights_seed[..values.len()];
+        let problem = knapsack(&values, weights, capacity_fraction, Some(limit_items));
+        let exact = ExhaustiveSolver::new().solve(&problem).expect("exhaustive solves");
+        let bnb = BranchBound::new().solve(&problem).expect("branch-and-bound solves");
+        prop_assert!(
+            (bnb.objective - exact.objective).abs() <= 1e-6 * exact.objective.abs().max(1.0),
+            "branch-and-bound {} vs exhaustive {}",
+            bnb.objective,
+            exact.objective
+        );
+        prop_assert!(problem.is_feasible(&bnb.values, 1e-6));
+        let chosen = bnb.values.iter().filter(|v| **v > 0.5).count();
+        prop_assert!(chosen <= limit_items);
+    }
+
+    /// Scaling every objective coefficient by a positive constant scales the
+    /// optimum and cannot change which assignments are optimal.
+    #[test]
+    fn objective_scaling_scales_the_optimum(
+        values in proptest::collection::vec(1u32..40, 1..8),
+        weights_seed in proptest::collection::vec(1u32..15, 8),
+        scale in 2u32..6,
+    ) {
+        let weights = &weights_seed[..values.len()];
+        let base = knapsack(&values, weights, 0.5, None);
+        let scaled_values: Vec<u32> = values.iter().map(|v| v * scale).collect();
+        let scaled = knapsack(&scaled_values, weights, 0.5, None);
+        let a = BranchBound::new().solve(&base).expect("solves");
+        let b = BranchBound::new().solve(&scaled).expect("solves");
+        prop_assert!(
+            (b.objective - a.objective * scale as f64).abs() <= 1e-6 * b.objective.abs().max(1.0)
+        );
+    }
+
+    /// A zero-capacity knapsack selects nothing and scores zero.
+    #[test]
+    fn zero_capacity_selects_nothing(
+        values in proptest::collection::vec(1u32..40, 1..8),
+        weights_seed in proptest::collection::vec(1u32..15, 8),
+    ) {
+        let weights = &weights_seed[..values.len()];
+        let problem = knapsack(&values, weights, 0.0, None);
+        let sol = BranchBound::new().solve(&problem).expect("solves");
+        prop_assert!(sol.objective.abs() < 1e-9);
+        prop_assert!(sol.values.iter().all(|v| *v < 0.5));
+    }
+
+    /// Monotonicity in the capacity: a larger knapsack is never worse.
+    #[test]
+    fn larger_capacity_never_hurts(
+        values in proptest::collection::vec(1u32..40, 1..9),
+        weights_seed in proptest::collection::vec(1u32..15, 9),
+        fractions in (0.1f64..0.5, 0.5f64..1.0),
+    ) {
+        let weights = &weights_seed[..values.len()];
+        let tight = knapsack(&values, weights, fractions.0, None);
+        let loose = knapsack(&values, weights, fractions.1, None);
+        let a = BranchBound::new().solve(&tight).expect("solves");
+        let b = BranchBound::new().solve(&loose).expect("solves");
+        prop_assert!(b.objective >= a.objective - 1e-6);
+    }
+}

@@ -1,0 +1,400 @@
+//! Control-flow graph analyses shared by the compiler and the optimizer.
+//!
+//! The flash/RAM placement model needs, per basic block, a set of successors
+//! (`Succ(b)` in the paper) and a static estimate of the execution frequency
+//! `F_b`.  The paper derives the estimate from the block's **loop depth**;
+//! this module provides the supporting machinery: predecessor maps, reverse
+//! post-order, iterative dominators, back-edge detection, natural loops and a
+//! per-block loop-depth map.
+
+use std::collections::BTreeSet;
+
+/// A control-flow graph over blocks `0..num_blocks`, described purely by its
+/// successor lists.
+///
+/// # Example
+///
+/// ```
+/// use flashram_ir::Cfg;
+///
+/// // 0 -> 1 -> 2 -> 1 (loop), 2 -> 3 (exit)
+/// let cfg = Cfg::new(4, 0, vec![vec![1], vec![2], vec![1, 3], vec![]]);
+/// let loops = cfg.loop_info();
+/// assert_eq!(loops.depth(1), 1);
+/// assert_eq!(loops.depth(3), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    entry: usize,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Build a CFG from successor lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` or any successor index is out of range.
+    pub fn new(num_blocks: usize, entry: usize, succs: Vec<Vec<usize>>) -> Cfg {
+        assert_eq!(succs.len(), num_blocks, "one successor list per block");
+        assert!(entry < num_blocks.max(1), "entry block out of range");
+        let mut preds = vec![Vec::new(); num_blocks];
+        for (b, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                assert!(s < num_blocks, "successor {s} of block {b} out of range");
+                preds[s].push(b);
+            }
+        }
+        Cfg { entry, succs, preds }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// Successors of a block.
+    pub fn succs(&self, block: usize) -> &[usize] {
+        &self.succs[block]
+    }
+
+    /// Predecessors of a block.
+    pub fn preds(&self, block: usize) -> &[usize] {
+        &self.preds[block]
+    }
+
+    /// Blocks in reverse post-order from the entry.  Unreachable blocks are
+    /// appended afterwards in index order so every block appears exactly once.
+    pub fn reverse_post_order(&self) -> Vec<usize> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS computing post-order.
+        let mut stack: Vec<(usize, usize)> = vec![(self.entry, 0)];
+        visited[self.entry] = true;
+        while let Some(&mut (block, ref mut idx)) = stack.last_mut() {
+            if *idx < self.succs[block].len() {
+                let next = self.succs[block][*idx];
+                *idx += 1;
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(block);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        for b in 0..n {
+            if !visited[b] {
+                post.push(b);
+            }
+        }
+        post
+    }
+
+    /// Immediate dominators, computed with the Cooper–Harvey–Kennedy
+    /// iterative algorithm.  The entry dominates itself; unreachable blocks
+    /// have themselves as immediate dominator.
+    pub fn immediate_dominators(&self) -> Vec<usize> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let rpo = self.reverse_post_order();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        let mut idom = vec![usize::MAX; n];
+        idom[self.entry] = self.entry;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == self.entry {
+                    continue;
+                }
+                let mut new_idom = usize::MAX;
+                for &p in &self.preds[b] {
+                    if idom[p] == usize::MAX {
+                        continue;
+                    }
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        intersect(&idom, &rpo_index, p, new_idom)
+                    };
+                }
+                if new_idom != usize::MAX && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        for b in 0..n {
+            if idom[b] == usize::MAX {
+                idom[b] = b;
+            }
+        }
+        idom
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: usize, b: usize, idom: &[usize]) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = idom[cur];
+            if next == cur {
+                return cur == a;
+            }
+            cur = next;
+        }
+    }
+
+    /// Back edges `(tail, head)` where `head` dominates `tail`.
+    pub fn back_edges(&self) -> Vec<(usize, usize)> {
+        let idom = self.immediate_dominators();
+        let mut edges = Vec::new();
+        for b in 0..self.len() {
+            for &s in &self.succs[b] {
+                if self.dominates(s, b, &idom) {
+                    edges.push((b, s));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Natural-loop and loop-depth information.
+    pub fn loop_info(&self) -> LoopInfo {
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for (tail, head) in self.back_edges() {
+            let mut body: BTreeSet<usize> = BTreeSet::new();
+            body.insert(head);
+            let mut stack = vec![tail];
+            while let Some(b) = stack.pop() {
+                if body.insert(b) {
+                    for &p in &self.preds[b] {
+                        stack.push(p);
+                    }
+                }
+            }
+            loops.push(NaturalLoop { header: head, body });
+        }
+        // Merge loops that share a header (multiple back edges to one header).
+        loops.sort_by_key(|l| l.header);
+        let mut merged: Vec<NaturalLoop> = Vec::new();
+        for l in loops {
+            match merged.last_mut() {
+                Some(last) if last.header == l.header => {
+                    last.body.extend(l.body);
+                }
+                _ => merged.push(l),
+            }
+        }
+        let mut depth = vec![0u32; self.len()];
+        for l in &merged {
+            for &b in &l.body {
+                depth[b] += 1;
+            }
+        }
+        LoopInfo { loops: merged, depth }
+    }
+}
+
+fn intersect(idom: &[usize], rpo_index: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a];
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b];
+        }
+    }
+    a
+}
+
+/// A natural loop: a header block plus the set of blocks that can reach the
+/// back edge without leaving the loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Loop header (target of the back edge, dominates the body).
+    pub header: usize,
+    /// All blocks in the loop, including the header.
+    pub body: BTreeSet<usize>,
+}
+
+/// Loop nesting information for a function.
+#[derive(Debug, Clone, Default)]
+pub struct LoopInfo {
+    /// The natural loops found, one per distinct header.
+    pub loops: Vec<NaturalLoop>,
+    depth: Vec<u32>,
+}
+
+impl LoopInfo {
+    /// Loop-nesting depth of a block (0 = not in any loop).
+    pub fn depth(&self, block: usize) -> u32 {
+        self.depth.get(block).copied().unwrap_or(0)
+    }
+
+    /// The maximum loop depth in the function.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of natural loops.
+    pub fn loop_count(&self) -> usize {
+        self.loops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0 -> {1,2} -> 3
+    fn diamond() -> Cfg {
+        Cfg::new(4, 0, vec![vec![1, 2], vec![3], vec![3], vec![]])
+    }
+
+    /// Simple loop: 0 -> 1 -> 2 -> {1, 3}
+    fn single_loop() -> Cfg {
+        Cfg::new(4, 0, vec![vec![1], vec![2], vec![1, 3], vec![]])
+    }
+
+    /// Nested loop:
+    /// 0 -> 1 ; 1 -> 2 ; 2 -> 3 ; 3 -> {2, 4} ; 4 -> {1, 5} ; 5
+    fn nested_loop() -> Cfg {
+        Cfg::new(
+            6,
+            0,
+            vec![vec![1], vec![2], vec![3], vec![2, 4], vec![1, 5], vec![]],
+        )
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all_blocks() {
+        for cfg in [diamond(), single_loop(), nested_loop()] {
+            let rpo = cfg.reverse_post_order();
+            assert_eq!(rpo[0], cfg.entry());
+            let mut sorted = rpo.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..cfg.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn rpo_places_unreachable_blocks_last() {
+        let cfg = Cfg::new(3, 0, vec![vec![1], vec![], vec![1]]);
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let cfg = diamond();
+        let idom = cfg.immediate_dominators();
+        assert_eq!(idom[0], 0);
+        assert_eq!(idom[1], 0);
+        assert_eq!(idom[2], 0);
+        assert_eq!(idom[3], 0);
+        assert!(cfg.dominates(0, 3, &idom));
+        assert!(!cfg.dominates(1, 3, &idom));
+    }
+
+    #[test]
+    fn dominators_of_chain() {
+        let cfg = Cfg::new(3, 0, vec![vec![1], vec![2], vec![]]);
+        let idom = cfg.immediate_dominators();
+        assert_eq!(idom, vec![0, 0, 1]);
+        assert!(cfg.dominates(1, 2, &idom));
+        assert!(cfg.dominates(2, 2, &idom));
+        assert!(!cfg.dominates(2, 1, &idom));
+    }
+
+    #[test]
+    fn back_edge_and_loop_detection() {
+        let cfg = single_loop();
+        assert_eq!(cfg.back_edges(), vec![(2, 1)]);
+        let info = cfg.loop_info();
+        assert_eq!(info.loop_count(), 1);
+        assert_eq!(info.loops[0].header, 1);
+        assert_eq!(info.loops[0].body, BTreeSet::from([1, 2]));
+        assert_eq!(info.depth(0), 0);
+        assert_eq!(info.depth(1), 1);
+        assert_eq!(info.depth(2), 1);
+        assert_eq!(info.depth(3), 0);
+    }
+
+    #[test]
+    fn nested_loops_have_depth_two() {
+        let cfg = nested_loop();
+        let info = cfg.loop_info();
+        assert_eq!(info.loop_count(), 2);
+        assert_eq!(info.depth(2), 2);
+        assert_eq!(info.depth(3), 2);
+        assert_eq!(info.depth(1), 1);
+        assert_eq!(info.depth(4), 1);
+        assert_eq!(info.depth(0), 0);
+        assert_eq!(info.depth(5), 0);
+        assert_eq!(info.max_depth(), 2);
+    }
+
+    #[test]
+    fn multiple_back_edges_to_one_header_merge() {
+        // 0 -> 1; 1 -> {2, 3}; 2 -> 1; 3 -> {1, 4}
+        let cfg = Cfg::new(5, 0, vec![vec![1], vec![2, 3], vec![1], vec![1, 4], vec![]]);
+        let info = cfg.loop_info();
+        assert_eq!(info.loop_count(), 1);
+        assert_eq!(info.loops[0].body, BTreeSet::from([1, 2, 3]));
+        assert_eq!(info.depth(2), 1);
+        assert_eq!(info.depth(3), 1);
+    }
+
+    #[test]
+    fn preds_are_inverse_of_succs() {
+        let cfg = nested_loop();
+        for b in 0..cfg.len() {
+            for &s in cfg.succs(b) {
+                assert!(cfg.preds(s).contains(&b));
+            }
+            for &p in cfg.preds(b) {
+                assert!(cfg.succs(p).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "successor")]
+    fn out_of_range_successor_panics() {
+        let _ = Cfg::new(2, 0, vec![vec![5], vec![]]);
+    }
+
+    #[test]
+    fn empty_cfg_is_fine() {
+        let cfg = Cfg::new(0, 0, vec![]);
+        assert!(cfg.is_empty());
+        assert!(cfg.reverse_post_order().is_empty());
+        assert!(cfg.immediate_dominators().is_empty());
+    }
+}

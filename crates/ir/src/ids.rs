@@ -1,0 +1,75 @@
+//! Typed identifiers used across the IRs.
+
+use std::fmt;
+
+/// Index of a function within a module or machine program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Index of a basic block within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// A virtual register of the mid-level IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl FuncId {
+    /// The function index as a `usize`, for indexing into function vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// The block index as a `usize`, for indexing into block vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VReg {
+    /// The register number as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(FuncId(3).to_string(), "fn3");
+        assert_eq!(BlockId(7).to_string(), "bb7");
+        assert_eq!(VReg(12).to_string(), "%12");
+        assert_eq!(BlockId(7).index(), 7);
+        assert_eq!(FuncId(3).index(), 3);
+        assert_eq!(VReg(12).index(), 12);
+    }
+
+    #[test]
+    fn ordering_follows_numbers() {
+        assert!(BlockId(1) < BlockId(2));
+        assert!(VReg(0) < VReg(10));
+    }
+}

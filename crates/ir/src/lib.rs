@@ -1,0 +1,37 @@
+//! Intermediate representations and control-flow analyses.
+//!
+//! Two program representations live here:
+//!
+//! * the **mid-level IR** ([`mir`]): a simple three-address, virtual-register
+//!   form produced by the `flashram-minicc` front end and consumed by its
+//!   optimization passes and code generator, and
+//! * the **machine-level program** ([`mach`]): functions made of basic blocks
+//!   of `flashram-isa` instructions with explicit terminators, section
+//!   assignments and layout metadata.  This is what the flash/RAM placement
+//!   optimizer in `flashram-core` analyses and transforms, and what the
+//!   `flashram-mcu` simulator executes.
+//!
+//! Shared control-flow machinery — successor/predecessor maps, reverse
+//! post-order, dominators, natural-loop detection and loop depth — lives in
+//! [`cfg`] and works on any function shape that can enumerate block
+//! successors.  Loop depth is the basis of the paper's *static* estimate of
+//! the block execution frequency `F_b`; profiled frequencies are captured in
+//! [`profile`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod ids;
+pub mod mach;
+pub mod mir;
+pub mod profile;
+
+pub use cfg::{Cfg, LoopInfo};
+pub use ids::{BlockId, FuncId, VReg};
+pub use mach::{BlockRef, GlobalData, MachineBlock, MachineFunction, MachineProgram, Section};
+pub use mir::{
+    BinOp, CmpOp, FuncRef, Global, GlobalInit, IrBlock, IrFunction, IrInst, IrModule, IrTerm,
+    StackSlot, Value,
+};
+pub use profile::ProfileData;

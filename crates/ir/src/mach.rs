@@ -1,0 +1,491 @@
+//! The machine-level program representation.
+//!
+//! This is the form the flash/RAM placement optimization actually operates
+//! on: functions are sequences of basic blocks of `flashram-isa`
+//! instructions, each ending in an explicit [`Terminator`], each carrying its
+//! own **section assignment** (flash or RAM).  The `flashram-mcu` simulator
+//! executes this representation directly, and the linker/layout stage in
+//! `flashram-core` assigns concrete addresses from the section assignments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use flashram_isa::{Inst, Terminator};
+
+use crate::cfg::Cfg;
+use crate::ids::{BlockId, FuncId};
+
+/// The memory a piece of code or data is placed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Section {
+    /// Execute-in-place flash (the default for code and read-only data).
+    #[default]
+    Flash,
+    /// On-chip SRAM (volatile data, and code relocated by the optimizer).
+    Ram,
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Section::Flash => write!(f, "flash"),
+            Section::Ram => write!(f, "ram"),
+        }
+    }
+}
+
+/// A reference to one basic block of one function of a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockRef {
+    /// The function.
+    pub func: FuncId,
+    /// The block within that function.
+    pub block: BlockId,
+}
+
+impl BlockRef {
+    /// Convenience constructor from raw indices.
+    pub fn new(func: usize, block: usize) -> BlockRef {
+        BlockRef { func: FuncId(func as u32), block: BlockId(block as u32) }
+    }
+}
+
+impl fmt::Display for BlockRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.func, self.block)
+    }
+}
+
+/// A machine-level basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineBlock {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// The control transfer ending the block.
+    pub term: Terminator<BlockId>,
+    /// The memory this block is placed in.
+    pub section: Section,
+}
+
+impl MachineBlock {
+    /// A new block in flash with the given body and terminator.
+    pub fn new(insts: Vec<Inst>, term: Terminator<BlockId>) -> MachineBlock {
+        MachineBlock { insts, term, section: Section::Flash }
+    }
+
+    /// Size of the block in bytes, terminator included (the paper's `S_b`
+    /// when the block is un-instrumented).
+    pub fn size_bytes(&self) -> u32 {
+        self.insts.iter().map(Inst::size_bytes).sum::<u32>() + self.term.size_bytes()
+    }
+
+    /// Base cycles to execute the block body (excluding the terminator and
+    /// any memory-contention stalls) — the bulk of the paper's `C_b`.
+    pub fn body_cycles(&self) -> u64 {
+        self.insts.iter().map(Inst::base_cycles).sum()
+    }
+
+    /// Number of load instructions in the block (drives the paper's `L_b`
+    /// RAM-contention parameter).
+    pub fn load_count(&self) -> u32 {
+        self.insts.iter().filter(|i| i.is_load()).count() as u32
+    }
+
+    /// Number of store instructions in the block.
+    pub fn store_count(&self) -> u32 {
+        self.insts.iter().filter(|i| i.is_store()).count() as u32
+    }
+
+    /// Number of calls made from the block.
+    pub fn call_count(&self) -> u32 {
+        self.insts.iter().filter(|i| i.is_call()).count() as u32
+    }
+}
+
+/// A machine-level function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineFunction {
+    /// Function name.
+    pub name: String,
+    /// Basic blocks; `BlockId(0)` is the entry.
+    pub blocks: Vec<MachineBlock>,
+    /// Bytes of stack frame the prologue reserves (locals + spills).
+    pub frame_size: u32,
+    /// Number of parameters (passed in `r0..r3`).
+    pub num_params: usize,
+    /// Library code (statically linked support routines): the optimizer must
+    /// not relocate blocks of such functions — this models the paper's
+    /// limitation that library and intrinsic code is invisible to the pass.
+    pub is_library: bool,
+}
+
+impl MachineFunction {
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Size of the function's code in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.blocks.iter().map(MachineBlock::size_bytes).sum()
+    }
+
+    /// Build the control-flow graph of the function.
+    pub fn cfg(&self) -> Cfg {
+        let succs = self
+            .blocks
+            .iter()
+            .map(|b| b.term.successors().iter().map(|s| s.index()).collect())
+            .collect();
+        Cfg::new(self.blocks.len(), 0, succs)
+    }
+
+    /// The block ids in this function.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+}
+
+/// A data object of the program (global variable or constant table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalData {
+    /// Name.
+    pub name: String,
+    /// Initial byte image.
+    pub bytes: Vec<u8>,
+    /// Whether the program may write to it.  Mutable globals live in RAM
+    /// (copied there at startup by the runtime); immutable ones stay in
+    /// flash as read-only data.
+    pub mutable: bool,
+}
+
+impl GlobalData {
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// The section this global is placed in.
+    pub fn section(&self) -> Section {
+        if self.mutable {
+            Section::Ram
+        } else {
+            Section::Flash
+        }
+    }
+}
+
+/// A complete linked program: functions plus data, ready for layout,
+/// optimization and simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineProgram {
+    /// Functions; `Inst::Bl { callee }` indices refer into this vector.
+    pub functions: Vec<MachineFunction>,
+    /// Data objects; `SymbolId` values refer into this vector.
+    pub globals: Vec<GlobalData>,
+    /// Index of the program entry function (conventionally `main`).
+    pub entry: FuncId,
+}
+
+impl MachineProgram {
+    /// Find a function index by name.
+    pub fn function_index(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&MachineFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Access a block by reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of range.
+    pub fn block(&self, r: BlockRef) -> &MachineBlock {
+        &self.functions[r.func.index()].blocks[r.block.index()]
+    }
+
+    /// Mutable access to a block by reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of range.
+    pub fn block_mut(&mut self, r: BlockRef) -> &mut MachineBlock {
+        &mut self.functions[r.func.index()].blocks[r.block.index()]
+    }
+
+    /// Iterate over every block reference in the program.
+    pub fn block_refs(&self) -> Vec<BlockRef> {
+        let mut refs = Vec::new();
+        for (fi, f) in self.functions.iter().enumerate() {
+            for bi in 0..f.blocks.len() {
+                refs.push(BlockRef::new(fi, bi));
+            }
+        }
+        refs
+    }
+
+    /// Block references of non-library functions only (the blocks the
+    /// optimizer is allowed to consider).
+    pub fn optimizable_block_refs(&self) -> Vec<BlockRef> {
+        let mut refs = Vec::new();
+        for (fi, f) in self.functions.iter().enumerate() {
+            if f.is_library {
+                continue;
+            }
+            for bi in 0..f.blocks.len() {
+                refs.push(BlockRef::new(fi, bi));
+            }
+        }
+        refs
+    }
+
+    /// Total code size in bytes.
+    pub fn code_size(&self) -> u32 {
+        self.functions.iter().map(MachineFunction::size_bytes).sum()
+    }
+
+    /// Total bytes of code currently assigned to RAM.
+    pub fn ram_code_size(&self) -> u32 {
+        self.functions
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .filter(|b| b.section == Section::Ram)
+            .map(MachineBlock::size_bytes)
+            .sum()
+    }
+
+    /// Total bytes of mutable data (placed in RAM at startup).
+    pub fn ram_data_size(&self) -> u32 {
+        self.globals.iter().filter(|g| g.mutable).map(GlobalData::size).sum()
+    }
+
+    /// Total bytes of read-only data (kept in flash).
+    pub fn rodata_size(&self) -> u32 {
+        self.globals.iter().filter(|g| !g.mutable).map(GlobalData::size).sum()
+    }
+
+    /// Per-function block counts, useful for reporting.
+    pub fn block_counts(&self) -> BTreeMap<String, usize> {
+        self.functions
+            .iter()
+            .map(|f| (f.name.clone(), f.blocks.len()))
+            .collect()
+    }
+
+    /// Check structural invariants: the entry function exists, every
+    /// terminator target is in range, and every call refers to an existing
+    /// function.  Returns a list of human-readable problems (empty when the
+    /// program is well formed).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.entry.index() >= self.functions.len() {
+            problems.push(format!(
+                "entry function {} out of range ({} functions)",
+                self.entry,
+                self.functions.len()
+            ));
+        }
+        for (fi, f) in self.functions.iter().enumerate() {
+            if f.blocks.is_empty() {
+                problems.push(format!("function {} has no blocks", f.name));
+            }
+            for (bi, b) in f.blocks.iter().enumerate() {
+                for succ in b.term.successors() {
+                    if succ.index() >= f.blocks.len() {
+                        problems.push(format!(
+                            "{}:{} branches to out-of-range block {}",
+                            f.name, bi, succ
+                        ));
+                    }
+                }
+                for inst in &b.insts {
+                    if let Inst::Bl { callee } = inst {
+                        if *callee as usize >= self.functions.len() {
+                            problems.push(format!(
+                                "{}:{} calls out-of-range function {}",
+                                f.name, bi, callee
+                            ));
+                        }
+                    }
+                    if let Inst::LdrLit { value: flashram_isa::inst::LitValue::Symbol(s), .. } =
+                        inst
+                    {
+                        if s.0 as usize >= self.globals.len() {
+                            problems.push(format!(
+                                "{}:{} refers to out-of-range symbol {}",
+                                f.name, bi, s
+                            ));
+                        }
+                    }
+                }
+            }
+            let _ = fi;
+        }
+        problems
+    }
+}
+
+impl fmt::Display for MachineProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (fi, func) in self.functions.iter().enumerate() {
+            writeln!(
+                f,
+                "; fn{fi} {} ({} bytes{})",
+                func.name,
+                func.size_bytes(),
+                if func.is_library { ", library" } else { "" }
+            )?;
+            writeln!(f, "{}:", func.name)?;
+            for (bi, b) in func.blocks.iter().enumerate() {
+                writeln!(f, ".bb{bi}:  ; section {}", b.section)?;
+                for inst in &b.insts {
+                    writeln!(f, "    {inst}")?;
+                }
+                writeln!(f, "    {}", b.term)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashram_isa::{Cond, MemWidth, Reg};
+
+    fn simple_block(term: Terminator<BlockId>) -> MachineBlock {
+        MachineBlock::new(
+            vec![
+                Inst::MovImm { rd: Reg::R0, imm: 1 },
+                Inst::Load { rd: Reg::R1, base: Reg::Sp, offset: 0, width: MemWidth::Word },
+                Inst::AddReg { rd: Reg::R0, rn: Reg::R0, rm: Reg::R1 },
+            ],
+            term,
+        )
+    }
+
+    fn two_block_function() -> MachineFunction {
+        MachineFunction {
+            name: "f".into(),
+            blocks: vec![
+                simple_block(Terminator::CondBranch {
+                    cond: Cond::Ne,
+                    target: BlockId(1),
+                    fallthrough: BlockId(1),
+                }),
+                MachineBlock::new(vec![], Terminator::Return),
+            ],
+            frame_size: 8,
+            num_params: 0,
+            is_library: false,
+        }
+    }
+
+    #[test]
+    fn block_metrics() {
+        let b = simple_block(Terminator::Return);
+        // mov(2) + ldr sp-rel(2) + add(2) + bx lr(2)
+        assert_eq!(b.size_bytes(), 8);
+        // 1 + 2 + 1
+        assert_eq!(b.body_cycles(), 4);
+        assert_eq!(b.load_count(), 1);
+        assert_eq!(b.store_count(), 0);
+    }
+
+    #[test]
+    fn program_sizes_and_sections() {
+        let mut prog = MachineProgram {
+            functions: vec![two_block_function()],
+            globals: vec![
+                GlobalData { name: "buf".into(), bytes: vec![0; 64], mutable: true },
+                GlobalData { name: "table".into(), bytes: vec![1; 32], mutable: false },
+            ],
+            entry: FuncId(0),
+        };
+        assert_eq!(prog.ram_data_size(), 64);
+        assert_eq!(prog.rodata_size(), 32);
+        assert_eq!(prog.ram_code_size(), 0);
+        let r = BlockRef::new(0, 0);
+        prog.block_mut(r).section = Section::Ram;
+        assert_eq!(prog.ram_code_size(), prog.block(r).size_bytes());
+        assert_eq!(prog.globals[0].section(), Section::Ram);
+        assert_eq!(prog.globals[1].section(), Section::Flash);
+    }
+
+    #[test]
+    fn validation_catches_bad_references() {
+        let mut f = two_block_function();
+        f.blocks[1].term = Terminator::Branch { target: BlockId(9) };
+        f.blocks[0].insts.push(Inst::Bl { callee: 5 });
+        let prog = MachineProgram { functions: vec![f], globals: vec![], entry: FuncId(0) };
+        let problems = prog.validate();
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("out-of-range block")));
+        assert!(problems.iter().any(|p| p.contains("out-of-range function")));
+    }
+
+    #[test]
+    fn well_formed_program_validates_cleanly() {
+        let prog = MachineProgram {
+            functions: vec![two_block_function()],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        assert!(prog.validate().is_empty());
+    }
+
+    #[test]
+    fn block_refs_enumerate_every_block() {
+        let prog = MachineProgram {
+            functions: vec![two_block_function(), two_block_function()],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        assert_eq!(prog.block_refs().len(), 4);
+        assert_eq!(prog.optimizable_block_refs().len(), 4);
+    }
+
+    #[test]
+    fn library_functions_are_not_optimizable() {
+        let mut lib = two_block_function();
+        lib.is_library = true;
+        let prog = MachineProgram {
+            functions: vec![two_block_function(), lib],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        assert_eq!(prog.block_refs().len(), 4);
+        assert_eq!(prog.optimizable_block_refs().len(), 2);
+        assert!(prog
+            .optimizable_block_refs()
+            .iter()
+            .all(|r| r.func == FuncId(0)));
+    }
+
+    #[test]
+    fn function_cfg_matches_terminators() {
+        let f = two_block_function();
+        let cfg = f.cfg();
+        assert_eq!(cfg.succs(0), &[1, 1]);
+        assert!(cfg.succs(1).is_empty());
+    }
+
+    #[test]
+    fn display_contains_function_and_block_labels() {
+        let prog = MachineProgram {
+            functions: vec![two_block_function()],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        let text = prog.to_string();
+        assert!(text.contains("f:"));
+        assert!(text.contains(".bb0:"));
+        assert!(text.contains("bx lr"));
+    }
+}

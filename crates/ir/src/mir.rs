@@ -1,0 +1,878 @@
+//! The mid-level, three-address intermediate representation.
+//!
+//! `flashram-minicc` lowers its typed AST into this form, runs its
+//! optimization passes over it, and then generates Thumb-2-like machine code
+//! from it.  Values are virtual registers or constants; scalar locals are
+//! promoted to virtual registers during lowering while arrays and
+//! address-taken locals live in explicit stack slots.
+
+use std::fmt;
+
+use flashram_isa::MemWidth;
+
+use crate::cfg::Cfg;
+use crate::ids::{BlockId, VReg};
+
+/// An operand: a virtual register or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A virtual register.
+    Reg(VReg),
+    /// A 32-bit constant.
+    Const(i32),
+}
+
+impl Value {
+    /// The constant value, if this is a constant.
+    pub fn as_const(self) -> Option<i32> {
+        match self {
+            Value::Const(c) => Some(c),
+            Value::Reg(_) => None,
+        }
+    }
+
+    /// The virtual register, if this is a register.
+    pub fn as_reg(self) -> Option<VReg> {
+        match self {
+            Value::Reg(r) => Some(r),
+            Value::Const(_) => None,
+        }
+    }
+}
+
+impl From<VReg> for Value {
+    fn from(r: VReg) -> Value {
+        Value::Reg(r)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(c: i32) -> Value {
+        Value::Const(c)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Reg(r) => write!(f, "{r}"),
+            Value::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Binary arithmetic and bitwise operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (0 on division by zero, matching the Cortex-M3's
+    /// default divide-by-zero behaviour of returning zero).
+    Div,
+    /// Unsigned division.
+    Udiv,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Urem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Lshr,
+    /// Arithmetic shift right.
+    Ashr,
+}
+
+impl BinOp {
+    /// Constant-fold the operation, mirroring the target's semantics
+    /// (wrapping arithmetic, shift amounts masked to 0–31, division by zero
+    /// yields zero).
+    pub fn eval(self, lhs: i32, rhs: i32) -> i32 {
+        match self {
+            BinOp::Add => lhs.wrapping_add(rhs),
+            BinOp::Sub => lhs.wrapping_sub(rhs),
+            BinOp::Mul => lhs.wrapping_mul(rhs),
+            BinOp::Div => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_div(rhs)
+                }
+            }
+            BinOp::Udiv => {
+                if rhs == 0 {
+                    0
+                } else {
+                    ((lhs as u32) / (rhs as u32)) as i32
+                }
+            }
+            BinOp::Rem => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_rem(rhs)
+                }
+            }
+            BinOp::Urem => {
+                if rhs == 0 {
+                    0
+                } else {
+                    ((lhs as u32) % (rhs as u32)) as i32
+                }
+            }
+            BinOp::And => lhs & rhs,
+            BinOp::Or => lhs | rhs,
+            BinOp::Xor => lhs ^ rhs,
+            BinOp::Shl => lhs.wrapping_shl(rhs as u32 & 31),
+            BinOp::Lshr => ((lhs as u32).wrapping_shr(rhs as u32 & 31)) as i32,
+            BinOp::Ashr => lhs.wrapping_shr(rhs as u32 & 31),
+        }
+    }
+
+    /// Whether the operation is commutative.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "sdiv",
+            BinOp::Udiv => "udiv",
+            BinOp::Rem => "srem",
+            BinOp::Urem => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Lshr => "lshr",
+            BinOp::Ashr => "ashr",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Comparison operations (signed and unsigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Slt,
+    /// Signed less than or equal.
+    Sle,
+    /// Signed greater than.
+    Sgt,
+    /// Signed greater than or equal.
+    Sge,
+    /// Unsigned less than.
+    Ult,
+    /// Unsigned less than or equal.
+    Ule,
+    /// Unsigned greater than.
+    Ugt,
+    /// Unsigned greater than or equal.
+    Uge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on constants.
+    pub fn eval(self, lhs: i32, rhs: i32) -> bool {
+        let (ul, ur) = (lhs as u32, rhs as u32);
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Slt => lhs < rhs,
+            CmpOp::Sle => lhs <= rhs,
+            CmpOp::Sgt => lhs > rhs,
+            CmpOp::Sge => lhs >= rhs,
+            CmpOp::Ult => ul < ur,
+            CmpOp::Ule => ul <= ur,
+            CmpOp::Ugt => ul > ur,
+            CmpOp::Uge => ul >= ur,
+        }
+    }
+
+    /// The negated comparison.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Slt => CmpOp::Sge,
+            CmpOp::Sle => CmpOp::Sgt,
+            CmpOp::Sgt => CmpOp::Sle,
+            CmpOp::Sge => CmpOp::Slt,
+            CmpOp::Ult => CmpOp::Uge,
+            CmpOp::Ule => CmpOp::Ugt,
+            CmpOp::Ugt => CmpOp::Ule,
+            CmpOp::Uge => CmpOp::Ult,
+        }
+    }
+
+    /// The comparison with its operands swapped.
+    pub fn swap_operands(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Slt => CmpOp::Sgt,
+            CmpOp::Sle => CmpOp::Sge,
+            CmpOp::Sgt => CmpOp::Slt,
+            CmpOp::Sge => CmpOp::Sle,
+            CmpOp::Ult => CmpOp::Ugt,
+            CmpOp::Ule => CmpOp::Uge,
+            CmpOp::Ugt => CmpOp::Ult,
+            CmpOp::Uge => CmpOp::Ule,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Slt => "slt",
+            CmpOp::Sle => "sle",
+            CmpOp::Sgt => "sgt",
+            CmpOp::Sge => "sge",
+            CmpOp::Ult => "ult",
+            CmpOp::Ule => "ule",
+            CmpOp::Ugt => "ugt",
+            CmpOp::Uge => "uge",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Reference to a callee, by name; resolved to a function index when the
+/// module is assembled into a machine program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FuncRef(pub String);
+
+impl fmt::Display for FuncRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A mid-level IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrInst {
+    /// `dst = op lhs, rhs`
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// `dst = (lhs op rhs) ? 1 : 0`
+    Cmp {
+        /// Comparison.
+        op: CmpOp,
+        /// Destination register (receives 0 or 1).
+        dst: VReg,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// `dst = src`
+    Copy {
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        src: Value,
+    },
+    /// `dst = -src`
+    Neg {
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        src: Value,
+    },
+    /// `dst = ~src`
+    Not {
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        src: Value,
+    },
+    /// `dst = &slot` — address of a stack slot.
+    FrameAddr {
+        /// Destination register.
+        dst: VReg,
+        /// Stack-slot index within the function.
+        slot: usize,
+    },
+    /// `dst = &global` — address of a module global.
+    GlobalAddr {
+        /// Destination register.
+        dst: VReg,
+        /// Global index within the module.
+        global: usize,
+    },
+    /// `dst = *(addr + offset)`
+    Load {
+        /// Destination register.
+        dst: VReg,
+        /// Base address.
+        addr: Value,
+        /// Constant byte offset.
+        offset: i32,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `*(addr + offset) = src`
+    Store {
+        /// Value stored.
+        src: Value,
+        /// Base address.
+        addr: Value,
+        /// Constant byte offset.
+        offset: i32,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `dst = callee(args...)`
+    Call {
+        /// Destination register for the return value, if used.
+        dst: Option<VReg>,
+        /// Callee.
+        callee: FuncRef,
+        /// Arguments (at most four are supported, matching the AAPCS
+        /// register-argument convention the code generator implements).
+        args: Vec<Value>,
+    },
+}
+
+impl IrInst {
+    /// The register defined by this instruction, if any.
+    pub fn dst(&self) -> Option<VReg> {
+        match self {
+            IrInst::Bin { dst, .. }
+            | IrInst::Cmp { dst, .. }
+            | IrInst::Copy { dst, .. }
+            | IrInst::Neg { dst, .. }
+            | IrInst::Not { dst, .. }
+            | IrInst::FrameAddr { dst, .. }
+            | IrInst::GlobalAddr { dst, .. }
+            | IrInst::Load { dst, .. } => Some(*dst),
+            IrInst::Store { .. } => None,
+            IrInst::Call { dst, .. } => *dst,
+        }
+    }
+
+    /// The values read by this instruction.
+    pub fn uses(&self) -> Vec<Value> {
+        match self {
+            IrInst::Bin { lhs, rhs, .. } | IrInst::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            IrInst::Copy { src, .. } | IrInst::Neg { src, .. } | IrInst::Not { src, .. } => {
+                vec![*src]
+            }
+            IrInst::FrameAddr { .. } | IrInst::GlobalAddr { .. } => vec![],
+            IrInst::Load { addr, .. } => vec![*addr],
+            IrInst::Store { src, addr, .. } => vec![*src, *addr],
+            IrInst::Call { args, .. } => args.clone(),
+        }
+    }
+
+    /// Mutable references to every value operand, for use-rewriting passes.
+    pub fn uses_mut(&mut self) -> Vec<&mut Value> {
+        match self {
+            IrInst::Bin { lhs, rhs, .. } | IrInst::Cmp { lhs, rhs, .. } => vec![lhs, rhs],
+            IrInst::Copy { src, .. } | IrInst::Neg { src, .. } | IrInst::Not { src, .. } => {
+                vec![src]
+            }
+            IrInst::FrameAddr { .. } | IrInst::GlobalAddr { .. } => vec![],
+            IrInst::Load { addr, .. } => vec![addr],
+            IrInst::Store { src, addr, .. } => vec![src, addr],
+            IrInst::Call { args, .. } => args.iter_mut().collect(),
+        }
+    }
+
+    /// Whether the instruction has a side effect beyond writing `dst`
+    /// (memory writes and calls), and so must not be removed by dead-code
+    /// elimination even when its result is unused.
+    pub fn has_side_effects(&self) -> bool {
+        matches!(self, IrInst::Store { .. } | IrInst::Call { .. })
+    }
+}
+
+impl fmt::Display for IrInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = |width: &MemWidth| match width {
+            MemWidth::Byte => "i8",
+            MemWidth::Half => "i16",
+            MemWidth::Word => "i32",
+        };
+        match self {
+            IrInst::Bin { op, dst, lhs, rhs } => write!(f, "{dst} = {op} {lhs}, {rhs}"),
+            IrInst::Cmp { op, dst, lhs, rhs } => write!(f, "{dst} = cmp.{op} {lhs}, {rhs}"),
+            IrInst::Copy { dst, src } => write!(f, "{dst} = {src}"),
+            IrInst::Neg { dst, src } => write!(f, "{dst} = neg {src}"),
+            IrInst::Not { dst, src } => write!(f, "{dst} = not {src}"),
+            IrInst::FrameAddr { dst, slot } => write!(f, "{dst} = frameaddr slot{slot}"),
+            IrInst::GlobalAddr { dst, global } => write!(f, "{dst} = globaladdr g{global}"),
+            IrInst::Load { dst, addr, offset, width } => {
+                write!(f, "{dst} = load.{} [{addr} + {offset}]", w(width))
+            }
+            IrInst::Store { src, addr, offset, width } => {
+                write!(f, "store.{} {src}, [{addr} + {offset}]", w(width))
+            }
+            IrInst::Call { dst: Some(d), callee, args } => {
+                write!(f, "{d} = call {callee}({})", join(args))
+            }
+            IrInst::Call { dst: None, callee, args } => {
+                write!(f, "call {callee}({})", join(args))
+            }
+        }
+    }
+}
+
+fn join(vals: &[Value]) -> String {
+    vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// A block terminator in the mid-level IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrTerm {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch on a comparison.
+    Branch {
+        /// Comparison.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+        /// Successor when the comparison holds.
+        then_block: BlockId,
+        /// Successor when it does not.
+        else_block: BlockId,
+    },
+    /// Return, with an optional value.
+    Ret(Option<Value>),
+}
+
+impl IrTerm {
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            IrTerm::Jump(t) => vec![*t],
+            IrTerm::Branch { then_block, else_block, .. } => vec![*then_block, *else_block],
+            IrTerm::Ret(_) => vec![],
+        }
+    }
+
+    /// The values read by the terminator.
+    pub fn uses(&self) -> Vec<Value> {
+        match self {
+            IrTerm::Jump(_) => vec![],
+            IrTerm::Branch { lhs, rhs, .. } => vec![*lhs, *rhs],
+            IrTerm::Ret(Some(v)) => vec![*v],
+            IrTerm::Ret(None) => vec![],
+        }
+    }
+
+    /// Mutable references to the values read by the terminator.
+    pub fn uses_mut(&mut self) -> Vec<&mut Value> {
+        match self {
+            IrTerm::Jump(_) => vec![],
+            IrTerm::Branch { lhs, rhs, .. } => vec![lhs, rhs],
+            IrTerm::Ret(Some(v)) => vec![v],
+            IrTerm::Ret(None) => vec![],
+        }
+    }
+}
+
+impl fmt::Display for IrTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrTerm::Jump(t) => write!(f, "jump {t}"),
+            IrTerm::Branch { op, lhs, rhs, then_block, else_block } => {
+                write!(f, "br.{op} {lhs}, {rhs} ? {then_block} : {else_block}")
+            }
+            IrTerm::Ret(Some(v)) => write!(f, "ret {v}"),
+            IrTerm::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+/// A basic block of the mid-level IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrBlock {
+    /// Straight-line instructions.
+    pub insts: Vec<IrInst>,
+    /// Control transfer at the end of the block.
+    pub term: IrTerm,
+}
+
+impl IrBlock {
+    /// An empty block ending in a plain return (useful as a placeholder
+    /// during construction).
+    pub fn new() -> IrBlock {
+        IrBlock { insts: Vec::new(), term: IrTerm::Ret(None) }
+    }
+}
+
+impl Default for IrBlock {
+    fn default() -> Self {
+        IrBlock::new()
+    }
+}
+
+/// A stack slot (array or address-taken local) of a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackSlot {
+    /// Source-level name, for diagnostics.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+/// A function in the mid-level IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrFunction {
+    /// Function name.
+    pub name: String,
+    /// Number of parameters; parameters occupy `VReg(0)..VReg(num_params)`.
+    pub num_params: usize,
+    /// Total number of virtual registers allocated so far.
+    pub vreg_count: u32,
+    /// Stack slots for arrays and address-taken locals.
+    pub slots: Vec<StackSlot>,
+    /// Basic blocks; `BlockId(0)` is the entry.
+    pub blocks: Vec<IrBlock>,
+    /// Whether the function returns a value.
+    pub returns_value: bool,
+    /// Marked library code: statically linked support routines the placement
+    /// optimizer is not allowed to see (the paper's soft-float/intrinsic
+    /// limitation).
+    pub is_library: bool,
+}
+
+impl IrFunction {
+    /// Create an empty function with the given name and parameter count.
+    pub fn new(name: impl Into<String>, num_params: usize) -> IrFunction {
+        IrFunction {
+            name: name.into(),
+            num_params,
+            vreg_count: num_params as u32,
+            slots: Vec::new(),
+            blocks: vec![IrBlock::new()],
+            returns_value: false,
+            is_library: false,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn new_vreg(&mut self) -> VReg {
+        let r = VReg(self.vreg_count);
+        self.vreg_count += 1;
+        r
+    }
+
+    /// Append an empty block and return its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(IrBlock::new());
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// The parameter registers.
+    pub fn params(&self) -> Vec<VReg> {
+        (0..self.num_params as u32).map(VReg).collect()
+    }
+
+    /// Build the control-flow graph of the function.
+    pub fn cfg(&self) -> Cfg {
+        let succs = self
+            .blocks
+            .iter()
+            .map(|b| b.term.successors().iter().map(|s| s.index()).collect())
+            .collect();
+        Cfg::new(self.blocks.len(), 0, succs)
+    }
+
+    /// Total number of IR instructions (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+impl fmt::Display for IrFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func @{}({} params) {{", self.name, self.num_params)?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{i}:")?;
+            for inst in &b.insts {
+                writeln!(f, "    {inst}")?;
+            }
+            writeln!(f, "    {}", b.term)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Initializer of a module global.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalInit {
+    /// 32-bit words.
+    Words(Vec<i32>),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Zero-initialized region of the given size in bytes.
+    Zero(u32),
+}
+
+impl GlobalInit {
+    /// Size of the global in bytes.
+    pub fn size(&self) -> u32 {
+        match self {
+            GlobalInit::Words(w) => 4 * w.len() as u32,
+            GlobalInit::Bytes(b) => b.len() as u32,
+            GlobalInit::Zero(n) => *n,
+        }
+    }
+
+    /// The initial byte image (little-endian for words).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            GlobalInit::Words(w) => w.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            GlobalInit::Bytes(b) => b.clone(),
+            GlobalInit::Zero(n) => vec![0; *n as usize],
+        }
+    }
+}
+
+/// A module-level global variable or constant table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Initial contents.
+    pub init: GlobalInit,
+    /// Whether the program may write it (placed in RAM) or not (kept in
+    /// flash as read-only data).
+    pub mutable: bool,
+}
+
+/// A translation unit: functions plus globals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IrModule {
+    /// Functions, in definition order.
+    pub functions: Vec<IrFunction>,
+    /// Globals, in definition order.
+    pub globals: Vec<Global>,
+}
+
+impl IrModule {
+    /// A new, empty module.
+    pub fn new() -> IrModule {
+        IrModule::default()
+    }
+
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&IrFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Find a function index by name.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+
+    /// Find a global index by name.
+    pub fn global_index(&self, name: &str) -> Option<usize> {
+        self.globals.iter().position(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_matches_wrapping_semantics() {
+        assert_eq!(BinOp::Add.eval(i32::MAX, 1), i32::MIN);
+        assert_eq!(BinOp::Sub.eval(i32::MIN, 1), i32::MAX);
+        assert_eq!(BinOp::Mul.eval(1 << 20, 1 << 20), 0);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+        assert_eq!(BinOp::Div.eval(7, 0), 0);
+        assert_eq!(BinOp::Udiv.eval(-2, 2), (u32::MAX / 2) as i32 - 0);
+        assert_eq!(BinOp::Shl.eval(1, 33), 2, "shift amounts are masked");
+        assert_eq!(BinOp::Ashr.eval(-8, 1), -4);
+        assert_eq!(BinOp::Lshr.eval(-8, 1), ((-8i32 as u32) >> 1) as i32);
+    }
+
+    #[test]
+    fn cmp_negate_is_involutive_and_complements() {
+        let pairs = [(0, 0), (1, 2), (-3, 7), (i32::MIN, i32::MAX)];
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Slt,
+            CmpOp::Sle,
+            CmpOp::Sgt,
+            CmpOp::Sge,
+            CmpOp::Ult,
+            CmpOp::Ule,
+            CmpOp::Ugt,
+            CmpOp::Uge,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+            for (a, b) in pairs {
+                assert_ne!(op.eval(a, b), op.negate().eval(a, b), "{op} {a} {b}");
+                assert_eq!(op.eval(a, b), op.swap_operands().eval(b, a), "{op} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inst_def_use_accounting() {
+        let i = IrInst::Bin {
+            op: BinOp::Add,
+            dst: VReg(5),
+            lhs: Value::Reg(VReg(1)),
+            rhs: Value::Const(3),
+        };
+        assert_eq!(i.dst(), Some(VReg(5)));
+        assert_eq!(i.uses(), vec![Value::Reg(VReg(1)), Value::Const(3)]);
+        assert!(!i.has_side_effects());
+
+        let s = IrInst::Store {
+            src: Value::Reg(VReg(2)),
+            addr: Value::Reg(VReg(3)),
+            offset: 4,
+            width: MemWidth::Word,
+        };
+        assert_eq!(s.dst(), None);
+        assert!(s.has_side_effects());
+
+        let c = IrInst::Call {
+            dst: Some(VReg(9)),
+            callee: FuncRef("f".into()),
+            args: vec![Value::Const(1), Value::Reg(VReg(0))],
+        };
+        assert_eq!(c.dst(), Some(VReg(9)));
+        assert_eq!(c.uses().len(), 2);
+        assert!(c.has_side_effects());
+    }
+
+    #[test]
+    fn uses_mut_allows_rewriting() {
+        let mut i = IrInst::Bin {
+            op: BinOp::Add,
+            dst: VReg(5),
+            lhs: Value::Reg(VReg(1)),
+            rhs: Value::Reg(VReg(1)),
+        };
+        for u in i.uses_mut() {
+            if *u == Value::Reg(VReg(1)) {
+                *u = Value::Const(42);
+            }
+        }
+        assert_eq!(i.uses(), vec![Value::Const(42), Value::Const(42)]);
+    }
+
+    #[test]
+    fn function_construction_and_cfg() {
+        let mut f = IrFunction::new("fn", 2);
+        assert_eq!(f.params(), vec![VReg(0), VReg(1)]);
+        let r = f.new_vreg();
+        assert_eq!(r, VReg(2));
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        f.blocks[0].term = IrTerm::Branch {
+            op: CmpOp::Slt,
+            lhs: Value::Reg(VReg(0)),
+            rhs: Value::Reg(VReg(1)),
+            then_block: b1,
+            else_block: b2,
+        };
+        f.blocks[b1.index()].term = IrTerm::Jump(b2);
+        f.blocks[b2.index()].term = IrTerm::Ret(Some(Value::Reg(VReg(0))));
+        let cfg = f.cfg();
+        assert_eq!(cfg.succs(0), &[1, 2]);
+        assert_eq!(cfg.succs(1), &[2]);
+        assert!(cfg.succs(2).is_empty());
+        assert_eq!(cfg.preds(2), &[0, 1]);
+    }
+
+    #[test]
+    fn global_init_sizes_and_bytes() {
+        let words = GlobalInit::Words(vec![1, -1]);
+        assert_eq!(words.size(), 8);
+        assert_eq!(words.to_bytes(), vec![1, 0, 0, 0, 255, 255, 255, 255]);
+        let zero = GlobalInit::Zero(12);
+        assert_eq!(zero.size(), 12);
+        assert_eq!(zero.to_bytes(), vec![0; 12]);
+        let bytes = GlobalInit::Bytes(vec![9, 8, 7]);
+        assert_eq!(bytes.size(), 3);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = IrModule::new();
+        m.functions.push(IrFunction::new("main", 0));
+        m.functions.push(IrFunction::new("helper", 1));
+        m.globals.push(Global {
+            name: "table".into(),
+            init: GlobalInit::Zero(16),
+            mutable: true,
+        });
+        assert_eq!(m.function_index("helper"), Some(1));
+        assert_eq!(m.function_index("absent"), None);
+        assert_eq!(m.global_index("table"), Some(0));
+        assert!(m.function("main").is_some());
+    }
+
+    #[test]
+    fn display_round_trips_key_tokens() {
+        let i = IrInst::Load {
+            dst: VReg(3),
+            addr: Value::Reg(VReg(1)),
+            offset: 8,
+            width: MemWidth::Word,
+        };
+        let s = i.to_string();
+        assert!(s.contains("load.i32"));
+        assert!(s.contains("%3"));
+        let t = IrTerm::Branch {
+            op: CmpOp::Slt,
+            lhs: Value::Reg(VReg(0)),
+            rhs: Value::Const(64),
+            then_block: BlockId(1),
+            else_block: BlockId(2),
+        };
+        assert!(t.to_string().contains("br.slt"));
+    }
+}

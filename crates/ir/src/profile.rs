@@ -1,0 +1,121 @@
+//! Execution profiles: per-block execution counts.
+//!
+//! The paper's `F_b` parameter (how many times each basic block executes)
+//! can either be estimated statically from loop depth or measured by
+//! profiling.  The simulator in `flashram-mcu` produces a [`ProfileData`]
+//! while running a program; Figure 5 of the paper compares optimization
+//! results obtained with estimated and with actual frequencies.
+
+use std::collections::BTreeMap;
+
+use crate::ids::FuncId;
+use crate::mach::BlockRef;
+
+/// Per-block execution counts collected from a program run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileData {
+    counts: BTreeMap<BlockRef, u64>,
+    calls: BTreeMap<FuncId, u64>,
+}
+
+impl ProfileData {
+    /// An empty profile.
+    pub fn new() -> ProfileData {
+        ProfileData::default()
+    }
+
+    /// Record one execution of a block.
+    pub fn record_block(&mut self, block: BlockRef) {
+        *self.counts.entry(block).or_insert(0) += 1;
+    }
+
+    /// Record one call of a function.
+    pub fn record_call(&mut self, func: FuncId) {
+        *self.calls.entry(func).or_insert(0) += 1;
+    }
+
+    /// The number of times a block executed.
+    pub fn block_count(&self, block: BlockRef) -> u64 {
+        self.counts.get(&block).copied().unwrap_or(0)
+    }
+
+    /// The number of times a function was called.
+    pub fn call_count(&self, func: FuncId) -> u64 {
+        self.calls.get(&func).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(block, count)` pairs, in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockRef, u64)> + '_ {
+        self.counts.iter().map(|(b, c)| (*b, *c))
+    }
+
+    /// Total block executions recorded.
+    pub fn total_block_executions(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The hottest block and its count, if any block executed.
+    pub fn hottest_block(&self) -> Option<(BlockRef, u64)> {
+        self.counts.iter().max_by_key(|(_, c)| **c).map(|(b, c)| (*b, *c))
+    }
+
+    /// Merge another profile into this one (summing counts), e.g. to combine
+    /// multiple runs.
+    pub fn merge(&mut self, other: &ProfileData) {
+        for (b, c) in &other.counts {
+            *self.counts.entry(*b).or_insert(0) += c;
+        }
+        for (f, c) in &other.calls {
+            *self.calls.entry(*f).or_insert(0) += c;
+        }
+    }
+
+    /// Number of distinct blocks that executed at least once.
+    pub fn blocks_executed(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_lookup() {
+        let mut p = ProfileData::new();
+        let b0 = BlockRef::new(0, 0);
+        let b1 = BlockRef::new(0, 1);
+        for _ in 0..5 {
+            p.record_block(b0);
+        }
+        p.record_block(b1);
+        p.record_call(FuncId(0));
+        assert_eq!(p.block_count(b0), 5);
+        assert_eq!(p.block_count(b1), 1);
+        assert_eq!(p.block_count(BlockRef::new(1, 0)), 0);
+        assert_eq!(p.call_count(FuncId(0)), 1);
+        assert_eq!(p.call_count(FuncId(9)), 0);
+        assert_eq!(p.total_block_executions(), 6);
+        assert_eq!(p.blocks_executed(), 2);
+        assert_eq!(p.hottest_block(), Some((b0, 5)));
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let b = BlockRef::new(2, 3);
+        let mut p1 = ProfileData::new();
+        let mut p2 = ProfileData::new();
+        p1.record_block(b);
+        p2.record_block(b);
+        p2.record_block(b);
+        p1.merge(&p2);
+        assert_eq!(p1.block_count(b), 3);
+    }
+
+    #[test]
+    fn empty_profile_has_no_hottest_block() {
+        let p = ProfileData::new();
+        assert_eq!(p.hottest_block(), None);
+        assert_eq!(p.total_block_executions(), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Condition codes and the APSR flag state they are evaluated against.
+
+use std::fmt;
+
+/// The four condition flags of the application program status register.
+///
+/// The simulator keeps one of these per core and updates it from flag-setting
+/// instructions (`cmp`, `subs`, ...); condition codes are evaluated against it
+/// when a conditional branch or an IT block is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Flags {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Carry.
+    pub c: bool,
+    /// Overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Compute the flags produced by comparing `lhs` with `rhs`
+    /// (i.e. the flags of `lhs - rhs` as `cmp` would set them).
+    pub fn from_cmp(lhs: i32, rhs: i32) -> Flags {
+        let (res, overflow) = lhs.overflowing_sub(rhs);
+        let (_, borrow) = (lhs as u32).overflowing_sub(rhs as u32);
+        Flags {
+            n: res < 0,
+            z: res == 0,
+            // ARM carry flag after subtraction is NOT borrow.
+            c: !borrow,
+            v: overflow,
+        }
+    }
+
+    /// Compute the flags produced by a flag-setting move/logical result.
+    pub fn from_result(value: i32) -> Flags {
+        Flags {
+            n: value < 0,
+            z: value == 0,
+            c: false,
+            v: false,
+        }
+    }
+}
+
+/// A Thumb-2 condition code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq,
+    /// Not equal (Z clear).
+    Ne,
+    /// Carry set / unsigned higher or same.
+    Cs,
+    /// Carry clear / unsigned lower.
+    Cc,
+    /// Minus / negative.
+    Mi,
+    /// Plus / positive or zero.
+    Pl,
+    /// Overflow set.
+    Vs,
+    /// Overflow clear.
+    Vc,
+    /// Unsigned higher.
+    Hi,
+    /// Unsigned lower or same.
+    Ls,
+    /// Signed greater than or equal.
+    Ge,
+    /// Signed less than.
+    Lt,
+    /// Signed greater than.
+    Gt,
+    /// Signed less than or equal.
+    Le,
+    /// Always.
+    Al,
+}
+
+impl Cond {
+    /// Every condition code, in encoding order.
+    pub const ALL: [Cond; 15] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+    ];
+
+    /// The logical negation of the condition (`AL` is its own negation).
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Cs => Cond::Cc,
+            Cond::Cc => Cond::Cs,
+            Cond::Mi => Cond::Pl,
+            Cond::Pl => Cond::Mi,
+            Cond::Vs => Cond::Vc,
+            Cond::Vc => Cond::Vs,
+            Cond::Hi => Cond::Ls,
+            Cond::Ls => Cond::Hi,
+            Cond::Ge => Cond::Lt,
+            Cond::Lt => Cond::Ge,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+            Cond::Al => Cond::Al,
+        }
+    }
+
+    /// Evaluate the condition against a flag state.
+    pub fn holds(self, f: Flags) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Cs => f.c,
+            Cond::Cc => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Vs => f.v,
+            Cond::Vc => !f.v,
+            Cond::Hi => f.c && !f.z,
+            Cond::Ls => !f.c || f.z,
+            Cond::Ge => f.n == f.v,
+            Cond::Lt => f.n != f.v,
+            Cond::Gt => !f.z && (f.n == f.v),
+            Cond::Le => f.z || (f.n != f.v),
+            Cond::Al => true,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "al",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn negation_flips_truth_value() {
+        let samples = [
+            Flags::from_cmp(0, 0),
+            Flags::from_cmp(1, 2),
+            Flags::from_cmp(2, 1),
+            Flags::from_cmp(-5, 3),
+            Flags::from_cmp(i32::MIN, 1),
+            Flags::from_cmp(i32::MAX, -1),
+        ];
+        for c in Cond::ALL {
+            if c == Cond::Al {
+                continue;
+            }
+            for f in samples {
+                assert_ne!(c.holds(f), c.negate().holds(f), "{c} on {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_comparisons_match_rust_semantics() {
+        let pairs = [
+            (0, 0),
+            (1, 2),
+            (2, 1),
+            (-1, 1),
+            (1, -1),
+            (i32::MIN, i32::MAX),
+            (i32::MAX, i32::MIN),
+            (-100, -100),
+        ];
+        for (a, b) in pairs {
+            let f = Flags::from_cmp(a, b);
+            assert_eq!(Cond::Eq.holds(f), a == b, "eq {a} {b}");
+            assert_eq!(Cond::Ne.holds(f), a != b, "ne {a} {b}");
+            assert_eq!(Cond::Lt.holds(f), a < b, "lt {a} {b}");
+            assert_eq!(Cond::Le.holds(f), a <= b, "le {a} {b}");
+            assert_eq!(Cond::Gt.holds(f), a > b, "gt {a} {b}");
+            assert_eq!(Cond::Ge.holds(f), a >= b, "ge {a} {b}");
+        }
+    }
+
+    #[test]
+    fn unsigned_comparisons_match_rust_semantics() {
+        let pairs: [(u32, u32); 6] = [
+            (0, 0),
+            (1, 2),
+            (2, 1),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (0x8000_0000, 0x7fff_ffff),
+        ];
+        for (a, b) in pairs {
+            let f = Flags::from_cmp(a as i32, b as i32);
+            assert_eq!(Cond::Hi.holds(f), a > b, "hi {a} {b}");
+            assert_eq!(Cond::Ls.holds(f), a <= b, "ls {a} {b}");
+            assert_eq!(Cond::Cs.holds(f), a >= b, "cs {a} {b}");
+            assert_eq!(Cond::Cc.holds(f), a < b, "cc {a} {b}");
+        }
+    }
+
+    #[test]
+    fn always_holds() {
+        assert!(Cond::Al.holds(Flags::default()));
+        assert!(Cond::Al.holds(Flags::from_cmp(3, 7)));
+    }
+}

@@ -1,0 +1,223 @@
+//! Terminator cost tables (Figure 4) and the core timing model.
+//!
+//! The paper's ILP model needs two instrumentation costs per basic block:
+//! `K_b`, the extra **bytes** required to rewrite the block's terminator into
+//! a long-range indirect branch, and `T_b`, the extra **cycles** executed
+//! when that rewritten terminator runs.  Figure 4 of the paper tabulates the
+//! rewritten sequences for the Cortex-M3 / Thumb-2 instruction set; the
+//! numbers here are exactly those.
+
+/// Structural kind of a block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TermKind {
+    /// Direct unconditional branch (`b`).
+    Uncond,
+    /// Direct conditional branch (`b<cond>`).
+    Cond,
+    /// Compare-and-branch (`cbz`/`cbnz`), the "short conditional branch".
+    ShortCond,
+    /// No branch; execution falls through to the next block in layout order.
+    FallThrough,
+    /// Function return (`bx lr`).
+    Return,
+    /// Instrumented unconditional branch (`ldr pc, =label`).
+    IndirectUncond,
+    /// Instrumented conditional branch (IT + two literal loads + `bx`).
+    IndirectCond,
+    /// Instrumented compare-and-branch (compare + IT + two loads + `bx`).
+    IndirectShortCond,
+    /// Instrumented fall-through (`ldr pc, =label`).
+    IndirectFallThrough,
+}
+
+/// The byte and cycle overhead of instrumenting a basic block so that its
+/// terminator can reach the other memory (the paper's `K_b` and `T_b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct InstrumentationCost {
+    /// Extra bytes added to the block (`K_b`).
+    pub extra_bytes: u32,
+    /// Extra cycles executed each time the block runs (`T_b`).
+    pub extra_cycles: u64,
+}
+
+impl TermKind {
+    /// Whether this is one of the instrumented, long-range forms.
+    pub fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            TermKind::IndirectUncond
+                | TermKind::IndirectCond
+                | TermKind::IndirectShortCond
+                | TermKind::IndirectFallThrough
+        )
+    }
+
+    /// The indirect form this kind is rewritten into (returns are unchanged).
+    pub fn indirect_form(self) -> TermKind {
+        match self {
+            TermKind::Uncond => TermKind::IndirectUncond,
+            TermKind::Cond => TermKind::IndirectCond,
+            TermKind::ShortCond => TermKind::IndirectShortCond,
+            TermKind::FallThrough => TermKind::IndirectFallThrough,
+            other => other,
+        }
+    }
+
+    /// Encoding size in bytes of the terminator sequence (Figure 4).
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            TermKind::Uncond | TermKind::Cond | TermKind::ShortCond | TermKind::Return => 2,
+            TermKind::FallThrough => 0,
+            TermKind::IndirectUncond | TermKind::IndirectFallThrough => 4,
+            TermKind::IndirectCond => 8,
+            TermKind::IndirectShortCond => 10,
+        }
+    }
+
+    /// Cycles executed when the terminator transfers control to its taken
+    /// target (pipeline refill included), per Figure 4.
+    pub fn taken_cycles(self) -> u64 {
+        match self {
+            TermKind::Uncond | TermKind::Cond | TermKind::ShortCond | TermKind::Return => 3,
+            TermKind::FallThrough => 0,
+            TermKind::IndirectUncond | TermKind::IndirectFallThrough => 4,
+            TermKind::IndirectCond => 7,
+            TermKind::IndirectShortCond => 8,
+        }
+    }
+
+    /// Cycles executed when a two-way terminator does **not** take its branch.
+    ///
+    /// The instrumented forms always perform the indirect transfer, so taken
+    /// and not-taken costs coincide for them.
+    pub fn not_taken_cycles(self) -> u64 {
+        match self {
+            TermKind::Cond | TermKind::ShortCond => 1,
+            TermKind::Uncond | TermKind::Return => 3,
+            TermKind::FallThrough => 0,
+            indirect => indirect.taken_cycles(),
+        }
+    }
+
+    /// The `K_b`/`T_b` delta between the direct form and its instrumented
+    /// replacement.  Already-indirect forms and returns cost nothing extra.
+    pub fn instrumentation_cost(self) -> InstrumentationCost {
+        if self.is_indirect() || self == TermKind::Return {
+            return InstrumentationCost::default();
+        }
+        let ind = self.indirect_form();
+        InstrumentationCost {
+            extra_bytes: ind.size_bytes() - self.size_bytes(),
+            extra_cycles: ind.taken_cycles() - self.taken_cycles(),
+        }
+    }
+}
+
+/// Core clock and pipeline parameters of the modelled microcontroller.
+///
+/// These numbers describe the STM32F100-class part the paper prototypes on:
+/// a Cortex-M3 running at 24 MHz with zero-wait-state flash, where both
+/// memories are single-cycle but a load executed *from* RAM contends with the
+/// instruction fetch on the RAM interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Core clock frequency in hertz.
+    pub clock_hz: f64,
+    /// Stall cycles added to a load instruction when both the fetch and the
+    /// data access target RAM (the source of the paper's `L_b` parameter).
+    pub ram_load_contention_cycles: u64,
+    /// Stall cycles added to a store under the same contention conditions.
+    pub ram_store_contention_cycles: u64,
+}
+
+impl TimingModel {
+    /// Duration of one core clock cycle in seconds.
+    pub fn cycle_time_s(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+
+    /// Convert a cycle count to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.cycle_time_s()
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        CORTEX_M3_TIMING
+    }
+}
+
+/// Timing model of the STM32F100RB-class Cortex-M3 used in the paper's
+/// evaluation (24 MHz, single-cycle memories, one extra cycle of RAM-bus
+/// contention per load executed out of RAM).
+pub const CORTEX_M3_TIMING: TimingModel = TimingModel {
+    clock_hz: 24_000_000.0,
+    ram_load_contention_cycles: 1,
+    ram_store_contention_cycles: 1,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_table_is_reproduced() {
+        assert_eq!(TermKind::Uncond.instrumentation_cost().extra_bytes, 2);
+        assert_eq!(TermKind::Uncond.instrumentation_cost().extra_cycles, 1);
+        assert_eq!(TermKind::Cond.instrumentation_cost().extra_bytes, 6);
+        assert_eq!(TermKind::Cond.instrumentation_cost().extra_cycles, 4);
+        assert_eq!(TermKind::ShortCond.instrumentation_cost().extra_bytes, 8);
+        assert_eq!(TermKind::ShortCond.instrumentation_cost().extra_cycles, 5);
+        assert_eq!(TermKind::FallThrough.instrumentation_cost().extra_bytes, 4);
+        assert_eq!(TermKind::FallThrough.instrumentation_cost().extra_cycles, 4);
+    }
+
+    #[test]
+    fn indirect_forms_cost_nothing_more() {
+        for k in [
+            TermKind::IndirectUncond,
+            TermKind::IndirectCond,
+            TermKind::IndirectShortCond,
+            TermKind::IndirectFallThrough,
+            TermKind::Return,
+        ] {
+            assert_eq!(k.instrumentation_cost(), InstrumentationCost::default());
+        }
+    }
+
+    #[test]
+    fn indirect_form_mapping_is_fixed_point_on_indirects() {
+        for k in [TermKind::Uncond, TermKind::Cond, TermKind::ShortCond, TermKind::FallThrough] {
+            let ind = k.indirect_form();
+            assert!(ind.is_indirect());
+            assert_eq!(ind.indirect_form(), ind);
+        }
+        assert_eq!(TermKind::Return.indirect_form(), TermKind::Return);
+    }
+
+    #[test]
+    fn timing_model_cycle_time() {
+        let t = CORTEX_M3_TIMING;
+        let dt = t.cycle_time_s();
+        assert!((dt - 1.0 / 24e6).abs() < 1e-15);
+        assert!((t.cycles_to_seconds(24_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_taken_is_never_more_expensive_than_taken() {
+        for k in [
+            TermKind::Uncond,
+            TermKind::Cond,
+            TermKind::ShortCond,
+            TermKind::FallThrough,
+            TermKind::Return,
+            TermKind::IndirectUncond,
+            TermKind::IndirectCond,
+            TermKind::IndirectShortCond,
+            TermKind::IndirectFallThrough,
+        ] {
+            assert!(k.not_taken_cycles() <= k.taken_cycles(), "{k:?}");
+        }
+    }
+}

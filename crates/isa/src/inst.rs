@@ -1,0 +1,775 @@
+//! The modelled (non-branching) instruction set.
+//!
+//! Instructions appear in the body of a basic block; control transfers are
+//! expressed by the block [`Terminator`](crate::Terminator) instead, because
+//! the flash/RAM placement optimization only ever rewrites terminators.
+//!
+//! Every instruction knows its encoding size in bytes (16-bit or 32-bit
+//! Thumb-2 encodings, with a pseudo 8-byte `movw`/`movt` pair for full 32-bit
+//! constants) and its base cycle cost on a Cortex-M3-class pipeline.  The
+//! extra cycles that appear when code executes from RAM and performs loads
+//! (bus contention, the paper's `L_b` parameter) are *not* part of the base
+//! cost; they are added by the memory system model in `flashram-mcu`.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// Identifier of a data symbol (global variable or constant table) in the
+/// program's symbol table.
+///
+/// The actual table lives in the machine-level program representation
+/// (`flashram-ir`); the ISA layer only needs an opaque handle so that
+/// address-forming instructions can refer to data whose final address is
+/// assigned by the linker/layout stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub u32);
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Width of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 8-bit access (`ldrb`/`strb`).
+    Byte,
+    /// 16-bit access (`ldrh`/`strh`).
+    Half,
+    /// 32-bit access (`ldr`/`str`).
+    Word,
+}
+
+impl MemWidth {
+    /// Number of bytes transferred.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+        }
+    }
+}
+
+/// Shift operations available to the barrel shifter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Logical shift left.
+    Lsl,
+    /// Logical shift right.
+    Lsr,
+    /// Arithmetic shift right.
+    Asr,
+}
+
+/// The value loaded by a literal-pool load (`ldr rd, =value`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LitValue {
+    /// A plain 32-bit constant.
+    Const(i32),
+    /// The address of a data symbol, resolved at layout time.
+    Symbol(SymbolId),
+}
+
+impl fmt::Display for LitValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LitValue::Const(c) => write!(f, "#{c}"),
+            LitValue::Symbol(s) => write!(f, "={s}"),
+        }
+    }
+}
+
+/// Coarse instruction classes used by the power model.
+///
+/// Figure 1 of the paper reports a different average power for stores, loads,
+/// ALU operations, no-ops and branches depending on the memory the code
+/// executes from (and, for loads, the memory being read).  The simulator maps
+/// every executed instruction to one of these classes to pick its power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Data-processing (add/sub/logic/shift/compare/move).
+    Alu,
+    /// Single-cycle multiply.
+    Mul,
+    /// Multi-cycle divide.
+    Div,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Stack push/pop (modelled as a memory burst).
+    Stack,
+    /// `nop`.
+    Nop,
+    /// Procedure call (`bl`).
+    Call,
+    /// Control transfer at the end of a block.
+    Branch,
+}
+
+/// A straight-line machine instruction.
+///
+/// All operands are physical registers: the code generator in
+/// `flashram-minicc` performs register allocation before emitting these.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `nop`
+    Nop,
+    /// `mov rd, #imm` (widening to `movw`/`movt` as required).
+    MovImm {
+        /// Destination.
+        rd: Reg,
+        /// Constant value.
+        imm: i32,
+    },
+    /// `mov rd, rm`
+    MovReg {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rm: Reg,
+    },
+    /// `it <cond>; mov<cond> rd, #imm` — a conditional move under a one-deep
+    /// IT block, used to materialize comparison results without a branch.
+    MovCond {
+        /// Condition under which the move happens.
+        cond: crate::cond::Cond,
+        /// Destination.
+        rd: Reg,
+        /// Value moved when the condition holds.
+        imm: i32,
+    },
+    /// `ldr rd, =value` — literal-pool load of a constant or symbol address.
+    LdrLit {
+        /// Destination.
+        rd: Reg,
+        /// The literal.
+        value: LitValue,
+    },
+    /// `add rd, rn, #imm`
+    AddImm {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Immediate second operand.
+        imm: i32,
+    },
+    /// `add rd, rn, rm`
+    AddReg {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        rm: Reg,
+    },
+    /// `sub rd, rn, #imm`
+    SubImm {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Immediate second operand.
+        imm: i32,
+    },
+    /// `sub rd, rn, rm`
+    SubReg {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        rm: Reg,
+    },
+    /// `rsb rd, rn, #imm` — reverse subtract, used for negation.
+    RsbImm {
+        /// Destination.
+        rd: Reg,
+        /// Operand subtracted from the immediate.
+        rn: Reg,
+        /// Immediate minuend.
+        imm: i32,
+    },
+    /// `mul rd, rn, rm`
+    Mul {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        rm: Reg,
+    },
+    /// `sdiv rd, rn, rm`
+    Sdiv {
+        /// Destination.
+        rd: Reg,
+        /// Dividend.
+        rn: Reg,
+        /// Divisor.
+        rm: Reg,
+    },
+    /// `udiv rd, rn, rm`
+    Udiv {
+        /// Destination.
+        rd: Reg,
+        /// Dividend.
+        rn: Reg,
+        /// Divisor.
+        rm: Reg,
+    },
+    /// `and rd, rn, rm`
+    And {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        rm: Reg,
+    },
+    /// `orr rd, rn, rm`
+    Orr {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        rm: Reg,
+    },
+    /// `eor rd, rn, rm`
+    Eor {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        rm: Reg,
+    },
+    /// `bic rd, rn, rm`
+    Bic {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand (cleared bits).
+        rm: Reg,
+    },
+    /// `mvn rd, rm`
+    Mvn {
+        /// Destination.
+        rd: Reg,
+        /// Source to complement.
+        rm: Reg,
+    },
+    /// `and rd, rn, #imm`
+    AndImm {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Mask.
+        imm: i32,
+    },
+    /// `orr rd, rn, #imm`
+    OrrImm {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Bits to set.
+        imm: i32,
+    },
+    /// `eor rd, rn, #imm`
+    EorImm {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Bits to toggle.
+        imm: i32,
+    },
+    /// Shift by an immediate amount (`lsl`/`lsr`/`asr rd, rm, #imm`).
+    ShiftImm {
+        /// Which shift.
+        op: ShiftOp,
+        /// Destination.
+        rd: Reg,
+        /// Value to shift.
+        rm: Reg,
+        /// Shift amount (0–31).
+        imm: u8,
+    },
+    /// Shift by a register amount (`lsl`/`lsr`/`asr rd, rn, rm`).
+    ShiftReg {
+        /// Which shift.
+        op: ShiftOp,
+        /// Destination.
+        rd: Reg,
+        /// Value to shift.
+        rn: Reg,
+        /// Register holding the shift amount.
+        rm: Reg,
+    },
+    /// `cmp rn, #imm`
+    CmpImm {
+        /// Left operand.
+        rn: Reg,
+        /// Immediate right operand.
+        imm: i32,
+    },
+    /// `cmp rn, rm`
+    CmpReg {
+        /// Left operand.
+        rn: Reg,
+        /// Right operand.
+        rm: Reg,
+    },
+    /// `ldr/ldrh/ldrb rd, [base, #offset]`
+    Load {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `str/strh/strb rs, [base, #offset]`
+    Store {
+        /// Value to store.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `ldr rd, [base, index]` — register-offset load used for array indexing.
+    LoadIdx {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Index register (byte offset).
+        index: Reg,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `str rs, [base, index]` — register-offset store.
+    StoreIdx {
+        /// Value to store.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Index register (byte offset).
+        index: Reg,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `push {regs}`
+    Push {
+        /// Registers pushed, in ascending order.
+        regs: Vec<Reg>,
+    },
+    /// `pop {regs}`
+    Pop {
+        /// Registers popped, in ascending order.
+        regs: Vec<Reg>,
+    },
+    /// `add sp, sp, #delta` / `sub sp, sp, #-delta`.
+    AddSp {
+        /// Signed adjustment in bytes (negative grows the frame).
+        delta: i32,
+    },
+    /// `bl <function>` — call the function with the given program-level index.
+    ///
+    /// Function indices are assigned by the machine program container in
+    /// `flashram-ir`; they are not [`SymbolId`]s (those name data).
+    Bl {
+        /// Callee function index.
+        callee: u32,
+    },
+}
+
+impl Inst {
+    /// Encoding size in bytes.
+    ///
+    /// 16-bit encodings are used where a real Thumb-2 assembler could pick
+    /// one (low registers, small immediates); otherwise the 32-bit encoding
+    /// is assumed.  `mov` of a full 32-bit constant is modelled as the
+    /// `movw`+`movt` pair (8 bytes).  Literal-pool loads are charged 4 bytes
+    /// to account for the pool entry.
+    pub fn size_bytes(&self) -> u32 {
+        use Inst::*;
+        match self {
+            Nop => 2,
+            MovImm { rd, imm } => {
+                if rd.is_low() && (0..=255).contains(imm) {
+                    2
+                } else if (-(1 << 15)..(1 << 16)).contains(imm) {
+                    4
+                } else {
+                    8
+                }
+            }
+            MovReg { .. } => 2,
+            MovCond { imm, .. } => {
+                // 2-byte IT plus a narrow or wide MOV.
+                if (0..=255).contains(imm) {
+                    4
+                } else {
+                    6
+                }
+            }
+            LdrLit { .. } => 4,
+            AddImm { rd, rn, imm } | SubImm { rd, rn, imm } => {
+                if rd.is_low() && rn.is_low() && (0..=7).contains(imm) {
+                    2
+                } else if rd == rn && rd.is_low() && (0..=255).contains(imm) {
+                    2
+                } else {
+                    4
+                }
+            }
+            RsbImm { rd, rn, imm } => {
+                if rd.is_low() && rn.is_low() && *imm == 0 {
+                    2
+                } else {
+                    4
+                }
+            }
+            AddReg { rd, rn, rm } | SubReg { rd, rn, rm } => {
+                if rd.is_low() && rn.is_low() && rm.is_low() {
+                    2
+                } else {
+                    4
+                }
+            }
+            Mul { rd, rn, rm } => {
+                if rd.is_low() && rn.is_low() && rm.is_low() && rd == rn {
+                    2
+                } else {
+                    4
+                }
+            }
+            Sdiv { .. } | Udiv { .. } => 4,
+            And { rd, rn, rm }
+            | Orr { rd, rn, rm }
+            | Eor { rd, rn, rm }
+            | Bic { rd, rn, rm } => {
+                if rd.is_low() && rn.is_low() && rm.is_low() && rd == rn {
+                    2
+                } else {
+                    4
+                }
+            }
+            Mvn { rd, rm } => {
+                if rd.is_low() && rm.is_low() {
+                    2
+                } else {
+                    4
+                }
+            }
+            AndImm { .. } | OrrImm { .. } | EorImm { .. } => 4,
+            ShiftImm { rd, rm, .. } => {
+                if rd.is_low() && rm.is_low() {
+                    2
+                } else {
+                    4
+                }
+            }
+            ShiftReg { rd, rn, rm, .. } => {
+                if rd.is_low() && rn.is_low() && rm.is_low() && rd == rn {
+                    2
+                } else {
+                    4
+                }
+            }
+            CmpImm { rn, imm } => {
+                if rn.is_low() && (0..=255).contains(imm) {
+                    2
+                } else {
+                    4
+                }
+            }
+            CmpReg { .. } => 2,
+            Load {
+                rd, base, offset, width,
+            } => mem_size(*rd, *base, *offset, *width),
+            Store {
+                rs, base, offset, width,
+            } => mem_size(*rs, *base, *offset, *width),
+            LoadIdx { rd, base, index, .. } => {
+                if rd.is_low() && base.is_low() && index.is_low() {
+                    2
+                } else {
+                    4
+                }
+            }
+            StoreIdx { rs, base, index, .. } => {
+                if rs.is_low() && base.is_low() && index.is_low() {
+                    2
+                } else {
+                    4
+                }
+            }
+            Push { regs } | Pop { regs } => {
+                if regs.iter().all(|r| r.is_low() || *r == Reg::Lr || *r == Reg::Pc) {
+                    2
+                } else {
+                    4
+                }
+            }
+            AddSp { delta } => {
+                if delta.unsigned_abs() <= 508 {
+                    2
+                } else {
+                    4
+                }
+            }
+            Bl { .. } => 4,
+        }
+    }
+
+    /// Base cycle cost on the modelled Cortex-M3-class pipeline, assuming the
+    /// zero-wait-state operation typical of these parts at low clock rates.
+    ///
+    /// Memory-contention stalls (executing a load from RAM while fetching
+    /// from RAM) are added separately by the simulator, mirroring the `L_b`
+    /// term of the paper's model.
+    pub fn base_cycles(&self) -> u64 {
+        use Inst::*;
+        match self {
+            Nop | MovImm { .. } | MovReg { .. } | AddImm { .. } | AddReg { .. }
+            | MovCond { .. }
+            | SubImm { .. } | SubReg { .. } | RsbImm { .. } | And { .. } | Orr { .. }
+            | Eor { .. } | Bic { .. } | Mvn { .. } | AndImm { .. } | OrrImm { .. }
+            | EorImm { .. } | ShiftImm { .. } | ShiftReg { .. } | CmpImm { .. }
+            | CmpReg { .. } | AddSp { .. } => 1,
+            Mul { .. } => 1,
+            Sdiv { .. } | Udiv { .. } => 6,
+            LdrLit { .. } | Load { .. } | LoadIdx { .. } => 2,
+            Store { .. } | StoreIdx { .. } => 2,
+            Push { regs } | Pop { regs } => 1 + regs.len() as u64,
+            Bl { .. } => 4,
+        }
+    }
+
+    /// The class of the instruction, for the power model.
+    pub fn class(&self) -> InstClass {
+        use Inst::*;
+        match self {
+            Nop => InstClass::Nop,
+            Mul { .. } => InstClass::Mul,
+            Sdiv { .. } | Udiv { .. } => InstClass::Div,
+            LdrLit { .. } | Load { .. } | LoadIdx { .. } => InstClass::Load,
+            Store { .. } | StoreIdx { .. } => InstClass::Store,
+            Push { .. } | Pop { .. } => InstClass::Stack,
+            Bl { .. } => InstClass::Call,
+            _ => InstClass::Alu,
+        }
+    }
+
+    /// Whether the instruction reads data memory.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::LoadIdx { .. } | Inst::LdrLit { .. } | Inst::Pop { .. }
+        )
+    }
+
+    /// Whether the instruction writes data memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::StoreIdx { .. } | Inst::Push { .. })
+    }
+
+    /// Whether the instruction is a procedure call.
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Bl { .. })
+    }
+}
+
+fn mem_size(data: Reg, base: Reg, offset: i32, width: MemWidth) -> u32 {
+    let max16 = match width {
+        MemWidth::Word => 124,
+        MemWidth::Half => 62,
+        MemWidth::Byte => 31,
+    };
+    let sp_form = base == Reg::Sp && width == MemWidth::Word && (0..=1020).contains(&offset);
+    if sp_form && data.is_low() {
+        2
+    } else if data.is_low() && base.is_low() && (0..=max16).contains(&offset) {
+        2
+    } else {
+        4
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        let shift_name = |op: &ShiftOp| match op {
+            ShiftOp::Lsl => "lsl",
+            ShiftOp::Lsr => "lsr",
+            ShiftOp::Asr => "asr",
+        };
+        let width_suffix = |w: &MemWidth| match w {
+            MemWidth::Byte => "b",
+            MemWidth::Half => "h",
+            MemWidth::Word => "",
+        };
+        match self {
+            Nop => write!(f, "nop"),
+            MovImm { rd, imm } => write!(f, "mov {rd}, #{imm}"),
+            MovReg { rd, rm } => write!(f, "mov {rd}, {rm}"),
+            MovCond { cond, rd, imm } => write!(f, "it {cond} ; mov{cond} {rd}, #{imm}"),
+            LdrLit { rd, value } => write!(f, "ldr {rd}, {value}"),
+            AddImm { rd, rn, imm } => write!(f, "add {rd}, {rn}, #{imm}"),
+            AddReg { rd, rn, rm } => write!(f, "add {rd}, {rn}, {rm}"),
+            SubImm { rd, rn, imm } => write!(f, "sub {rd}, {rn}, #{imm}"),
+            SubReg { rd, rn, rm } => write!(f, "sub {rd}, {rn}, {rm}"),
+            RsbImm { rd, rn, imm } => write!(f, "rsb {rd}, {rn}, #{imm}"),
+            Mul { rd, rn, rm } => write!(f, "mul {rd}, {rn}, {rm}"),
+            Sdiv { rd, rn, rm } => write!(f, "sdiv {rd}, {rn}, {rm}"),
+            Udiv { rd, rn, rm } => write!(f, "udiv {rd}, {rn}, {rm}"),
+            And { rd, rn, rm } => write!(f, "and {rd}, {rn}, {rm}"),
+            Orr { rd, rn, rm } => write!(f, "orr {rd}, {rn}, {rm}"),
+            Eor { rd, rn, rm } => write!(f, "eor {rd}, {rn}, {rm}"),
+            Bic { rd, rn, rm } => write!(f, "bic {rd}, {rn}, {rm}"),
+            Mvn { rd, rm } => write!(f, "mvn {rd}, {rm}"),
+            AndImm { rd, rn, imm } => write!(f, "and {rd}, {rn}, #{imm}"),
+            OrrImm { rd, rn, imm } => write!(f, "orr {rd}, {rn}, #{imm}"),
+            EorImm { rd, rn, imm } => write!(f, "eor {rd}, {rn}, #{imm}"),
+            ShiftImm { op, rd, rm, imm } => write!(f, "{} {rd}, {rm}, #{imm}", shift_name(op)),
+            ShiftReg { op, rd, rn, rm } => write!(f, "{} {rd}, {rn}, {rm}", shift_name(op)),
+            CmpImm { rn, imm } => write!(f, "cmp {rn}, #{imm}"),
+            CmpReg { rn, rm } => write!(f, "cmp {rn}, {rm}"),
+            Load { rd, base, offset, width } => {
+                write!(f, "ldr{} {rd}, [{base}, #{offset}]", width_suffix(width))
+            }
+            Store { rs, base, offset, width } => {
+                write!(f, "str{} {rs}, [{base}, #{offset}]", width_suffix(width))
+            }
+            LoadIdx { rd, base, index, width } => {
+                write!(f, "ldr{} {rd}, [{base}, {index}]", width_suffix(width))
+            }
+            StoreIdx { rs, base, index, width } => {
+                write!(f, "str{} {rs}, [{base}, {index}]", width_suffix(width))
+            }
+            Push { regs } => write!(f, "push {{{}}}", reg_list(regs)),
+            Pop { regs } => write!(f, "pop {{{}}}", reg_list(regs)),
+            AddSp { delta } => {
+                if *delta >= 0 {
+                    write!(f, "add sp, sp, #{delta}")
+                } else {
+                    write!(f, "sub sp, sp, #{}", -delta)
+                }
+            }
+            Bl { callee } => write!(f, "bl fn{callee}"),
+        }
+    }
+}
+
+fn reg_list(regs: &[Reg]) -> String {
+    regs.iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_immediates_use_narrow_encodings() {
+        assert_eq!(Inst::MovImm { rd: Reg::R0, imm: 5 }.size_bytes(), 2);
+        assert_eq!(Inst::MovImm { rd: Reg::R0, imm: 300 }.size_bytes(), 4);
+        assert_eq!(
+            Inst::MovImm { rd: Reg::R0, imm: 0x1234_5678 }.size_bytes(),
+            8
+        );
+        assert_eq!(Inst::MovImm { rd: Reg::R9, imm: 5 }.size_bytes(), 4);
+    }
+
+    #[test]
+    fn add_encodings() {
+        let narrow = Inst::AddImm { rd: Reg::R1, rn: Reg::R1, imm: 4 };
+        let wide = Inst::AddImm { rd: Reg::R1, rn: Reg::R2, imm: 400 };
+        assert_eq!(narrow.size_bytes(), 2);
+        assert_eq!(wide.size_bytes(), 4);
+        assert_eq!(
+            Inst::AddReg { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 }.size_bytes(),
+            2
+        );
+        assert_eq!(
+            Inst::AddReg { rd: Reg::R0, rn: Reg::R1, rm: Reg::R9 }.size_bytes(),
+            4
+        );
+    }
+
+    #[test]
+    fn loads_take_two_cycles_alu_takes_one() {
+        let ld = Inst::Load { rd: Reg::R0, base: Reg::R1, offset: 0, width: MemWidth::Word };
+        let add = Inst::AddReg { rd: Reg::R0, rn: Reg::R0, rm: Reg::R1 };
+        assert_eq!(ld.base_cycles(), 2);
+        assert_eq!(add.base_cycles(), 1);
+        assert_eq!(Inst::Sdiv { rd: Reg::R0, rn: Reg::R0, rm: Reg::R1 }.base_cycles(), 6);
+    }
+
+    #[test]
+    fn push_pop_cycles_scale_with_register_count() {
+        let p = Inst::Push { regs: vec![Reg::R4, Reg::R5, Reg::R6, Reg::Lr] };
+        assert_eq!(p.base_cycles(), 5);
+        assert_eq!(p.size_bytes(), 2);
+        let p_high = Inst::Push { regs: vec![Reg::R8, Reg::R9] };
+        assert_eq!(p_high.size_bytes(), 4);
+    }
+
+    #[test]
+    fn classes_are_consistent_with_predicates() {
+        let insts = [
+            Inst::Nop,
+            Inst::MovImm { rd: Reg::R0, imm: 1 },
+            Inst::Mul { rd: Reg::R0, rn: Reg::R0, rm: Reg::R1 },
+            Inst::Load { rd: Reg::R0, base: Reg::Sp, offset: 4, width: MemWidth::Word },
+            Inst::Store { rs: Reg::R0, base: Reg::Sp, offset: 4, width: MemWidth::Word },
+            Inst::Bl { callee: 3 },
+            Inst::Push { regs: vec![Reg::R4] },
+        ];
+        for i in &insts {
+            if i.class() == InstClass::Load {
+                assert!(i.is_load(), "{i}");
+            }
+            if i.class() == InstClass::Store {
+                assert!(i.is_store(), "{i}");
+            }
+            if i.class() == InstClass::Call {
+                assert!(i.is_call(), "{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sp_relative_word_accesses_are_narrow() {
+        let spill = Inst::Store { rs: Reg::R3, base: Reg::Sp, offset: 16, width: MemWidth::Word };
+        assert_eq!(spill.size_bytes(), 2);
+        let far = Inst::Store { rs: Reg::R3, base: Reg::R10, offset: 200, width: MemWidth::Word };
+        assert_eq!(far.size_bytes(), 4);
+    }
+
+    #[test]
+    fn display_is_assembly_like() {
+        let i = Inst::Load { rd: Reg::R2, base: Reg::R3, offset: 8, width: MemWidth::Byte };
+        assert_eq!(i.to_string(), "ldrb r2, [r3, #8]");
+        let b = Inst::Bl { callee: 7 };
+        assert_eq!(b.to_string(), "bl fn7");
+        let p = Inst::Push { regs: vec![Reg::R4, Reg::Lr] };
+        assert_eq!(p.to_string(), "push {r4, lr}");
+    }
+}

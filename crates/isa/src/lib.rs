@@ -1,0 +1,56 @@
+//! A Thumb-2-like instruction set model for deeply embedded systems.
+//!
+//! This crate is the lowest layer of the flash/RAM placement reproduction of
+//! Pallister, Eder and Hollis, *Optimizing the flash-RAM energy trade-off in
+//! deeply embedded systems* (CGO 2015).  It models the properties of the
+//! Cortex-M3 / Thumb-2 instruction stream that the paper's cost model depends
+//! on:
+//!
+//! * instruction **encoding sizes** (16-bit vs 32-bit encodings), which drive
+//!   the basic-block size parameter `S_b` and the instrumentation byte cost
+//!   `K_b`,
+//! * instruction **cycle costs** in the style of the Cortex-M3 (single-cycle
+//!   ALU, two-cycle loads, pipeline-refill cost for taken branches), which
+//!   drive `C_b` and `T_b`,
+//! * an **instruction class** taxonomy used by the power model (Figure 1 of
+//!   the paper assigns a different average power to loads, stores, ALU ops,
+//!   no-ops and branches depending on which memory the code executes from),
+//! * the **block terminators** and the long-range *indirect* forms that the
+//!   code transformation substitutes when a block must jump between flash and
+//!   RAM (Figure 4 of the paper), together with their exact byte and cycle
+//!   overheads.
+//!
+//! The machine-level program representation that groups instructions into
+//! basic blocks and functions lives in `flashram-ir`; the execution and
+//! energy semantics live in `flashram-mcu`.
+//!
+//! # Example
+//!
+//! ```
+//! use flashram_isa::{Inst, Reg, Terminator, Cond};
+//!
+//! let add = Inst::AddImm { rd: Reg::R0, rn: Reg::R0, imm: 1 };
+//! assert_eq!(add.size_bytes(), 2);
+//! assert_eq!(add.base_cycles(), 1);
+//!
+//! // A conditional branch that has to reach the other memory becomes an
+//! // IT + two literal loads + BX sequence, costing 8 bytes / 7 cycles.
+//! let t: Terminator<u32> = Terminator::CondBranch { cond: Cond::Ne, target: 1, fallthrough: 2 };
+//! let i = t.clone().into_indirect();
+//! assert_eq!(i.size_bytes(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cond;
+pub mod cost;
+pub mod inst;
+pub mod reg;
+pub mod term;
+
+pub use cond::Cond;
+pub use cost::{InstrumentationCost, TermKind, TimingModel, CORTEX_M3_TIMING};
+pub use inst::{Inst, InstClass, MemWidth, ShiftOp, SymbolId};
+pub use reg::Reg;
+pub use term::Terminator;

@@ -1,0 +1,188 @@
+//! General purpose registers of the modelled core.
+//!
+//! The register file follows the ARMv7-M convention: thirteen general purpose
+//! registers, a dedicated stack pointer, link register and program counter.
+//! Only the registers the code generator and the instrumentation sequences
+//! actually use are modelled; the optimizer never needs the system registers.
+
+use std::fmt;
+
+/// A core register.
+///
+/// `R0`–`R3` are the argument / scratch registers of the AAPCS calling
+/// convention, `R4`–`R11` are callee saved, `R12` is the intra-procedure
+/// scratch register used by the long-branch instrumentation, and `SP`/`LR`/`PC`
+/// have their usual roles.
+///
+/// # Example
+///
+/// ```
+/// use flashram_isa::Reg;
+/// assert_eq!(Reg::R3.index(), 3);
+/// assert_eq!(Reg::from_index(13), Some(Reg::Sp));
+/// assert!(Reg::R5.is_callee_saved());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    /// Stack pointer (r13).
+    Sp,
+    /// Link register (r14).
+    Lr,
+    /// Program counter (r15).
+    Pc,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::Sp,
+        Reg::Lr,
+        Reg::Pc,
+    ];
+
+    /// The registers available to the register allocator for expression
+    /// temporaries and locals (`R0`–`R7`, the "low" registers addressable by
+    /// most 16-bit encodings, plus `R8`–`R11`).
+    pub const ALLOCATABLE: [Reg; 12] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+    ];
+
+    /// Argument registers in AAPCS order.
+    pub const ARGS: [Reg; 4] = [Reg::R0, Reg::R1, Reg::R2, Reg::R3];
+
+    /// Numeric index of the register (0–15).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The register with the given index, if it is in range.
+    pub fn from_index(index: usize) -> Option<Reg> {
+        Reg::ALL.get(index).copied()
+    }
+
+    /// Whether the register is one of the "low" registers reachable by most
+    /// 16-bit Thumb encodings.
+    pub fn is_low(self) -> bool {
+        self.index() < 8
+    }
+
+    /// Whether the AAPCS requires a callee to preserve this register.
+    pub fn is_callee_saved(self) -> bool {
+        matches!(
+            self,
+            Reg::R4
+                | Reg::R5
+                | Reg::R6
+                | Reg::R7
+                | Reg::R8
+                | Reg::R9
+                | Reg::R10
+                | Reg::R11
+        )
+    }
+
+    /// Whether this is a caller-saved scratch register.
+    pub fn is_caller_saved(self) -> bool {
+        matches!(self, Reg::R0 | Reg::R1 | Reg::R2 | Reg::R3 | Reg::R12)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Sp => write!(f, "sp"),
+            Reg::Lr => write!(f, "lr"),
+            Reg::Pc => write!(f, "pc"),
+            other => write!(f, "r{}", other.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*r));
+        }
+        assert_eq!(Reg::from_index(16), None);
+    }
+
+    #[test]
+    fn low_registers_are_r0_to_r7() {
+        let low: Vec<Reg> = Reg::ALL.iter().copied().filter(|r| r.is_low()).collect();
+        assert_eq!(low.len(), 8);
+        assert!(low.contains(&Reg::R0));
+        assert!(low.contains(&Reg::R7));
+        assert!(!Reg::R8.is_low());
+        assert!(!Reg::Sp.is_low());
+    }
+
+    #[test]
+    fn saved_partition_is_disjoint() {
+        for r in Reg::ALL {
+            assert!(
+                !(r.is_callee_saved() && r.is_caller_saved()),
+                "{r} is both callee and caller saved"
+            );
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R12.to_string(), "r12");
+        assert_eq!(Reg::Sp.to_string(), "sp");
+        assert_eq!(Reg::Lr.to_string(), "lr");
+        assert_eq!(Reg::Pc.to_string(), "pc");
+    }
+
+    #[test]
+    fn allocatable_excludes_special_registers() {
+        assert!(!Reg::ALLOCATABLE.contains(&Reg::Sp));
+        assert!(!Reg::ALLOCATABLE.contains(&Reg::Lr));
+        assert!(!Reg::ALLOCATABLE.contains(&Reg::Pc));
+        assert!(!Reg::ALLOCATABLE.contains(&Reg::R12));
+    }
+}

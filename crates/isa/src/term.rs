@@ -1,0 +1,356 @@
+//! Basic-block terminators and their long-range (indirect) forms.
+//!
+//! The flash/RAM placement transformation never touches the body of a basic
+//! block; it only rewrites the control transfer at its end when the block and
+//! one of its successors end up in different memories (Section 5 / Figure 4
+//! of the paper).  Terminators are therefore modelled separately from the
+//! instruction stream, parameterised over the label type `L` so that the
+//! machine-level IR can use its own block identifiers.
+
+use std::fmt;
+
+use crate::cond::Cond;
+use crate::cost::{InstrumentationCost, TermKind};
+use crate::reg::Reg;
+
+/// The control transfer at the end of a basic block.
+///
+/// The *direct* variants are what the code generator emits; the *indirect*
+/// variants are the Figure 4 instrumentation sequences that can reach any
+/// address in the 32-bit unified address space and are substituted by the
+/// transformation when control must cross between flash and RAM.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Terminator<L> {
+    /// `b target` — unconditional PC-relative branch.
+    Branch {
+        /// Successor block.
+        target: L,
+    },
+    /// `b<cond> target` with fall-through to `fallthrough`.
+    CondBranch {
+        /// Condition under which the branch is taken.
+        cond: Cond,
+        /// Successor when the condition holds.
+        target: L,
+        /// Successor when it does not.
+        fallthrough: L,
+    },
+    /// `cbz`/`cbnz rn, target` — compare-with-zero-and-branch, the Thumb-2
+    /// "short conditional branch" of Figure 4.
+    CompareBranch {
+        /// Branch if the register is non-zero (`cbnz`) or zero (`cbz`).
+        nonzero: bool,
+        /// Register compared with zero.
+        rn: Reg,
+        /// Successor when the branch is taken.
+        target: L,
+        /// Successor when it is not.
+        fallthrough: L,
+    },
+    /// No branch at all: execution falls through into `target`.
+    FallThrough {
+        /// The next block in layout order.
+        target: L,
+    },
+    /// `bx lr` — return from the function.
+    Return,
+    /// `ldr pc, =target` — indirect unconditional branch (instrumented form).
+    IndirectBranch {
+        /// Successor block.
+        target: L,
+    },
+    /// `it <cond>; ldr<cond> r5, =target; ldr<!cond> r5, =fallthrough; bx r5`
+    /// — indirect conditional branch (instrumented form).
+    IndirectCondBranch {
+        /// Condition under which `target` is selected.
+        cond: Cond,
+        /// Successor when the condition holds.
+        target: L,
+        /// Successor when it does not.
+        fallthrough: L,
+    },
+    /// `cmp rn, #0; it ..; ldr.. r5, =target; ldr.. r5, =fallthrough; bx r5`
+    /// — instrumented form of `cbz`/`cbnz`.
+    IndirectCompareBranch {
+        /// Branch if the register is non-zero.
+        nonzero: bool,
+        /// Register compared with zero.
+        rn: Reg,
+        /// Successor when the branch is taken.
+        target: L,
+        /// Successor when it is not.
+        fallthrough: L,
+    },
+    /// `ldr pc, =target` substituted for a fall-through whose next block is
+    /// in the other memory (instrumented form).
+    IndirectFallThrough {
+        /// Successor block.
+        target: L,
+    },
+}
+
+impl<L> Terminator<L> {
+    /// The successors of the block, in `(taken, fall-through)` order where
+    /// that distinction exists.  Returns are successor-less.
+    pub fn successors(&self) -> Vec<&L> {
+        match self {
+            Terminator::Branch { target }
+            | Terminator::FallThrough { target }
+            | Terminator::IndirectBranch { target }
+            | Terminator::IndirectFallThrough { target } => vec![target],
+            Terminator::CondBranch { target, fallthrough, .. }
+            | Terminator::CompareBranch { target, fallthrough, .. }
+            | Terminator::IndirectCondBranch { target, fallthrough, .. }
+            | Terminator::IndirectCompareBranch { target, fallthrough, .. } => {
+                vec![target, fallthrough]
+            }
+            Terminator::Return => vec![],
+        }
+    }
+
+    /// The structural kind of the terminator, used to look up Figure 4 costs.
+    pub fn kind(&self) -> TermKind {
+        match self {
+            Terminator::Branch { .. } => TermKind::Uncond,
+            Terminator::CondBranch { .. } => TermKind::Cond,
+            Terminator::CompareBranch { .. } => TermKind::ShortCond,
+            Terminator::FallThrough { .. } => TermKind::FallThrough,
+            Terminator::Return => TermKind::Return,
+            Terminator::IndirectBranch { .. } => TermKind::IndirectUncond,
+            Terminator::IndirectCondBranch { .. } => TermKind::IndirectCond,
+            Terminator::IndirectCompareBranch { .. } => TermKind::IndirectShortCond,
+            Terminator::IndirectFallThrough { .. } => TermKind::IndirectFallThrough,
+        }
+    }
+
+    /// Whether the terminator is already one of the instrumented (indirect,
+    /// long-range) forms.
+    pub fn is_indirect(&self) -> bool {
+        self.kind().is_indirect()
+    }
+
+    /// Encoding size of the terminator sequence in bytes (Figure 4).
+    pub fn size_bytes(&self) -> u32 {
+        self.kind().size_bytes()
+    }
+
+    /// Cycles taken when the branch is **taken** (or simply executed, for the
+    /// unconditional forms), per Figure 4 and the Cortex-M3 pipeline model.
+    pub fn taken_cycles(&self) -> u64 {
+        self.kind().taken_cycles()
+    }
+
+    /// Cycles taken when a two-way terminator is **not taken**.
+    pub fn not_taken_cycles(&self) -> u64 {
+        self.kind().not_taken_cycles()
+    }
+
+    /// The byte/cycle overhead this terminator would incur if it had to be
+    /// rewritten into its indirect form (the paper's `K_b` and `T_b`).
+    pub fn instrumentation_cost(&self) -> InstrumentationCost {
+        self.kind().instrumentation_cost()
+    }
+
+    /// Rewrite the terminator into its indirect, long-range form.
+    ///
+    /// Indirect forms are returned unchanged, as is [`Terminator::Return`]
+    /// (`bx lr` already transfers to an absolute address held in `lr`).
+    pub fn into_indirect(self) -> Terminator<L> {
+        match self {
+            Terminator::Branch { target } => Terminator::IndirectBranch { target },
+            Terminator::CondBranch { cond, target, fallthrough } => {
+                Terminator::IndirectCondBranch { cond, target, fallthrough }
+            }
+            Terminator::CompareBranch { nonzero, rn, target, fallthrough } => {
+                Terminator::IndirectCompareBranch { nonzero, rn, target, fallthrough }
+            }
+            Terminator::FallThrough { target } => Terminator::IndirectFallThrough { target },
+            other => other,
+        }
+    }
+
+    /// Map the label type, preserving the terminator structure.
+    pub fn map_label<M, F: FnMut(L) -> M>(self, mut f: F) -> Terminator<M> {
+        match self {
+            Terminator::Branch { target } => Terminator::Branch { target: f(target) },
+            Terminator::CondBranch { cond, target, fallthrough } => Terminator::CondBranch {
+                cond,
+                target: f(target),
+                fallthrough: f(fallthrough),
+            },
+            Terminator::CompareBranch { nonzero, rn, target, fallthrough } => {
+                Terminator::CompareBranch {
+                    nonzero,
+                    rn,
+                    target: f(target),
+                    fallthrough: f(fallthrough),
+                }
+            }
+            Terminator::FallThrough { target } => Terminator::FallThrough { target: f(target) },
+            Terminator::Return => Terminator::Return,
+            Terminator::IndirectBranch { target } => {
+                Terminator::IndirectBranch { target: f(target) }
+            }
+            Terminator::IndirectCondBranch { cond, target, fallthrough } => {
+                Terminator::IndirectCondBranch {
+                    cond,
+                    target: f(target),
+                    fallthrough: f(fallthrough),
+                }
+            }
+            Terminator::IndirectCompareBranch { nonzero, rn, target, fallthrough } => {
+                Terminator::IndirectCompareBranch {
+                    nonzero,
+                    rn,
+                    target: f(target),
+                    fallthrough: f(fallthrough),
+                }
+            }
+            Terminator::IndirectFallThrough { target } => {
+                Terminator::IndirectFallThrough { target: f(target) }
+            }
+        }
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for Terminator<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Branch { target } => write!(f, "b .{target}"),
+            Terminator::CondBranch { cond, target, fallthrough } => {
+                write!(f, "b{cond} .{target} ; else fall through to .{fallthrough}")
+            }
+            Terminator::CompareBranch { nonzero, rn, target, fallthrough } => {
+                let op = if *nonzero { "cbnz" } else { "cbz" };
+                write!(f, "{op} {rn}, .{target} ; else fall through to .{fallthrough}")
+            }
+            Terminator::FallThrough { target } => write!(f, "; fall through to .{target}"),
+            Terminator::Return => write!(f, "bx lr"),
+            Terminator::IndirectBranch { target } => write!(f, "ldr pc, =.{target}"),
+            Terminator::IndirectCondBranch { cond, target, fallthrough } => {
+                write!(
+                    f,
+                    "it {cond} ; ldr{cond} r5, =.{target} ; ldr{} r5, =.{fallthrough} ; bx r5",
+                    cond.negate()
+                )
+            }
+            Terminator::IndirectCompareBranch { nonzero, rn, target, fallthrough } => {
+                let (c_taken, c_not) = if *nonzero {
+                    (Cond::Ne, Cond::Eq)
+                } else {
+                    (Cond::Eq, Cond::Ne)
+                };
+                write!(
+                    f,
+                    "cmp {rn}, #0 ; it {c_taken} ; ldr{c_taken} r5, =.{target} ; ldr{c_not} r5, =.{fallthrough} ; bx r5"
+                )
+            }
+            Terminator::IndirectFallThrough { target } => write!(f, "ldr pc, =.{target}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successors_of_each_form() {
+        let ret: Terminator<u32> = Terminator::Return;
+        assert!(ret.successors().is_empty());
+        let b: Terminator<u32> = Terminator::Branch { target: 3 };
+        assert_eq!(b.successors(), vec![&3]);
+        let c: Terminator<u32> =
+            Terminator::CondBranch { cond: Cond::Eq, target: 1, fallthrough: 2 };
+        assert_eq!(c.successors(), vec![&1, &2]);
+    }
+
+    #[test]
+    fn figure4_sizes_and_cycles() {
+        // Direct forms.
+        let b: Terminator<u32> = Terminator::Branch { target: 0 };
+        assert_eq!(b.size_bytes(), 2);
+        assert_eq!(b.taken_cycles(), 3);
+        let cb: Terminator<u32> =
+            Terminator::CondBranch { cond: Cond::Ne, target: 0, fallthrough: 1 };
+        assert_eq!(cb.size_bytes(), 2);
+        assert_eq!(cb.taken_cycles(), 3);
+        assert_eq!(cb.not_taken_cycles(), 1);
+        let ft: Terminator<u32> = Terminator::FallThrough { target: 0 };
+        assert_eq!(ft.size_bytes(), 0);
+        assert_eq!(ft.taken_cycles(), 0);
+
+        // Instrumented forms, exactly the Figure 4 numbers.
+        assert_eq!(b.clone().into_indirect().size_bytes(), 4);
+        assert_eq!(b.into_indirect().taken_cycles(), 4);
+        assert_eq!(cb.clone().into_indirect().size_bytes(), 8);
+        assert_eq!(cb.into_indirect().taken_cycles(), 7);
+        let sc: Terminator<u32> =
+            Terminator::CompareBranch { nonzero: true, rn: Reg::R0, target: 0, fallthrough: 1 };
+        assert_eq!(sc.clone().into_indirect().size_bytes(), 10);
+        assert_eq!(sc.into_indirect().taken_cycles(), 8);
+        assert_eq!(ft.clone().into_indirect().size_bytes(), 4);
+        assert_eq!(ft.into_indirect().taken_cycles(), 4);
+    }
+
+    #[test]
+    fn instrumentation_cost_deltas_match_figure4() {
+        let uncond: Terminator<u32> = Terminator::Branch { target: 0 };
+        let c = uncond.instrumentation_cost();
+        assert_eq!((c.extra_bytes, c.extra_cycles), (2, 1));
+
+        let cond: Terminator<u32> =
+            Terminator::CondBranch { cond: Cond::Ne, target: 0, fallthrough: 1 };
+        let c = cond.instrumentation_cost();
+        assert_eq!((c.extra_bytes, c.extra_cycles), (6, 4));
+
+        let short: Terminator<u32> =
+            Terminator::CompareBranch { nonzero: false, rn: Reg::R1, target: 0, fallthrough: 1 };
+        let c = short.instrumentation_cost();
+        assert_eq!((c.extra_bytes, c.extra_cycles), (8, 5));
+
+        let ft: Terminator<u32> = Terminator::FallThrough { target: 0 };
+        let c = ft.instrumentation_cost();
+        assert_eq!((c.extra_bytes, c.extra_cycles), (4, 4));
+
+        let ret: Terminator<u32> = Terminator::Return;
+        let c = ret.instrumentation_cost();
+        assert_eq!((c.extra_bytes, c.extra_cycles), (0, 0));
+    }
+
+    #[test]
+    fn into_indirect_is_idempotent_and_preserves_successors() {
+        let forms: Vec<Terminator<u32>> = vec![
+            Terminator::Branch { target: 1 },
+            Terminator::CondBranch { cond: Cond::Lt, target: 1, fallthrough: 2 },
+            Terminator::CompareBranch { nonzero: true, rn: Reg::R3, target: 1, fallthrough: 2 },
+            Terminator::FallThrough { target: 1 },
+            Terminator::Return,
+        ];
+        for t in forms {
+            let succ_before: Vec<u32> = t.successors().into_iter().copied().collect();
+            let once = t.clone().into_indirect();
+            let twice = once.clone().into_indirect();
+            assert_eq!(once, twice);
+            let succ_after: Vec<u32> = once.successors().into_iter().copied().collect();
+            assert_eq!(succ_before, succ_after);
+        }
+    }
+
+    #[test]
+    fn map_label_renumbers_targets() {
+        let t: Terminator<u32> =
+            Terminator::CondBranch { cond: Cond::Gt, target: 1, fallthrough: 2 };
+        let mapped = t.map_label(|x| x * 10);
+        assert_eq!(
+            mapped,
+            Terminator::CondBranch { cond: Cond::Gt, target: 10, fallthrough: 20 }
+        );
+    }
+
+    #[test]
+    fn display_mentions_targets() {
+        let t: Terminator<u32> = Terminator::IndirectBranch { target: 4 };
+        assert_eq!(t.to_string(), "ldr pc, =.4");
+    }
+}

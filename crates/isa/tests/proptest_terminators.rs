@@ -1,0 +1,146 @@
+//! Property-based tests of the terminator cost model (the Figure 4 table)
+//! and the direct → indirect rewriting used by the placement transformation.
+
+use flashram_isa::{Cond, InstrumentationCost, Reg, TermKind, Terminator};
+use proptest::prelude::*;
+
+fn arbitrary_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Le),
+        Just(Cond::Gt),
+        Just(Cond::Ge),
+    ]
+}
+
+fn arbitrary_reg() -> impl Strategy<Value = Reg> {
+    prop_oneof![
+        Just(Reg::R0),
+        Just(Reg::R1),
+        Just(Reg::R2),
+        Just(Reg::R3),
+        Just(Reg::R4),
+        Just(Reg::R5),
+        Just(Reg::R6),
+        Just(Reg::R7),
+    ]
+}
+
+/// Any direct terminator over `u32` labels.
+fn arbitrary_direct_terminator() -> impl Strategy<Value = Terminator<u32>> {
+    prop_oneof![
+        (0u32..64).prop_map(|target| Terminator::Branch { target }),
+        (arbitrary_cond(), 0u32..64, 0u32..64).prop_map(|(cond, target, fallthrough)| {
+            Terminator::CondBranch { cond, target, fallthrough }
+        }),
+        (any::<bool>(), arbitrary_reg(), 0u32..64, 0u32..64).prop_map(
+            |(nonzero, rn, target, fallthrough)| Terminator::CompareBranch {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+            }
+        ),
+        (0u32..64).prop_map(|target| Terminator::FallThrough { target }),
+        Just(Terminator::Return),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn indirect_rewriting_preserves_successors_and_is_idempotent(
+        term in arbitrary_direct_terminator()
+    ) {
+        let before: Vec<u32> = term.successors().into_iter().copied().collect();
+        let once = term.clone().into_indirect();
+        let after: Vec<u32> = once.successors().into_iter().copied().collect();
+        prop_assert_eq!(before, after, "rewriting must not change the control-flow edges");
+        prop_assert_eq!(once.clone().into_indirect(), once.clone(), "rewriting twice changes nothing");
+        if !matches!(term, Terminator::Return) {
+            prop_assert!(once.is_indirect());
+        }
+    }
+
+    #[test]
+    fn instrumentation_cost_is_exactly_the_direct_to_indirect_delta(
+        term in arbitrary_direct_terminator()
+    ) {
+        let cost = term.instrumentation_cost();
+        let indirect = term.clone().into_indirect();
+        prop_assert_eq!(cost.extra_bytes, indirect.size_bytes() - term.size_bytes());
+        prop_assert_eq!(cost.extra_cycles, indirect.taken_cycles() - term.taken_cycles());
+        // Instrumented forms never cost anything further.
+        prop_assert_eq!(indirect.instrumentation_cost(), InstrumentationCost::default());
+    }
+
+    #[test]
+    fn indirect_forms_are_never_smaller_or_faster(term in arbitrary_direct_terminator()) {
+        let indirect = term.clone().into_indirect();
+        prop_assert!(indirect.size_bytes() >= term.size_bytes());
+        prop_assert!(indirect.taken_cycles() >= term.taken_cycles());
+        prop_assert!(indirect.not_taken_cycles() >= term.not_taken_cycles());
+    }
+
+    #[test]
+    fn kind_round_trips_through_the_rewrite(term in arbitrary_direct_terminator()) {
+        let kind = term.kind();
+        let indirect_kind = term.into_indirect().kind();
+        prop_assert_eq!(indirect_kind, kind.indirect_form());
+        // Sizes and cycles are functions of the kind alone.
+        prop_assert_eq!(kind.indirect_form().size_bytes(), indirect_kind.size_bytes());
+        prop_assert_eq!(kind.indirect_form().taken_cycles(), indirect_kind.taken_cycles());
+    }
+
+    #[test]
+    fn two_way_terminators_keep_both_edges(
+        cond in arbitrary_cond(),
+        target in 0u32..64,
+        fallthrough in 0u32..64,
+    ) {
+        let term = Terminator::CondBranch { cond, target, fallthrough };
+        prop_assert_eq!(term.successors(), vec![&target, &fallthrough]);
+        let ind = term.into_indirect();
+        prop_assert_eq!(ind.successors(), vec![&target, &fallthrough]);
+        // Not-taken is cheaper than taken for the direct form, equal for the
+        // indirect form (which always performs the full indirect transfer).
+        let direct = Terminator::<u32>::CondBranch { cond, target, fallthrough };
+        prop_assert!(direct.not_taken_cycles() < direct.taken_cycles());
+        prop_assert_eq!(ind.not_taken_cycles(), ind.taken_cycles());
+    }
+
+    #[test]
+    fn map_label_commutes_with_into_indirect(
+        term in arbitrary_direct_terminator(),
+        offset in 0u32..1000,
+    ) {
+        let a = term.clone().map_label(|l| l + offset).into_indirect();
+        let b = term.map_label(|l| l + offset).into_indirect();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// The Figure 4 rows, spelled out once more as a table-driven test so that a
+/// regression in any single entry is reported by name.
+#[test]
+fn figure4_costs_are_exact() {
+    let rows = [
+        (TermKind::Uncond, 2, 3, TermKind::IndirectUncond, 4, 4),
+        (TermKind::Cond, 2, 3, TermKind::IndirectCond, 8, 7),
+        (TermKind::ShortCond, 2, 3, TermKind::IndirectShortCond, 10, 8),
+        (TermKind::FallThrough, 0, 0, TermKind::IndirectFallThrough, 4, 4),
+    ];
+    for (kind, bytes, cycles, ind, ind_bytes, ind_cycles) in rows {
+        assert_eq!(kind.size_bytes(), bytes, "{kind:?} bytes");
+        assert_eq!(kind.taken_cycles(), cycles, "{kind:?} cycles");
+        assert_eq!(kind.indirect_form(), ind, "{kind:?} indirect form");
+        assert_eq!(ind.size_bytes(), ind_bytes, "{ind:?} bytes");
+        assert_eq!(ind.taken_cycles(), ind_cycles, "{ind:?} cycles");
+        let cost = kind.instrumentation_cost();
+        assert_eq!(cost.extra_bytes, ind_bytes - bytes, "{kind:?} K_b");
+        assert_eq!(cost.extra_cycles, ind_cycles - cycles, "{kind:?} T_b");
+    }
+}

@@ -1,0 +1,445 @@
+//! The instruction-level interpreter.
+//!
+//! Code is executed block by block: straight-line instructions update the
+//! architectural state (registers, flags, data memory) while the meter
+//! charges each instruction the cycle count and average power appropriate to
+//! the memory its block lives in.  Control transfers are interpreted from
+//! the block terminators, including the long-range indirect forms the
+//! placement transformation substitutes — which cost more cycles, exactly as
+//! in Figure 4 of the paper.
+
+use flashram_ir::{BlockId, BlockRef, FuncId, MachineProgram, ProfileData, Section};
+use flashram_isa::cond::Flags;
+use flashram_isa::inst::LitValue;
+use flashram_isa::{Inst, InstClass, Reg, Terminator, TimingModel};
+
+use crate::energy::EnergyMeter;
+use crate::mem::{DataLayout, MemError, Memory};
+use crate::power::PowerModel;
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// A data access faulted.
+    Memory(MemError),
+    /// The cycle budget was exhausted (runaway program).
+    CycleLimit(u64),
+    /// The program is structurally broken (bad function/block reference).
+    BadProgram(String),
+    /// The call stack grew beyond any reasonable embedded depth.
+    CallDepth(usize),
+}
+
+impl From<MemError> for RunError {
+    fn from(e: MemError) -> Self {
+        RunError::Memory(e)
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Memory(e) => write!(f, "{e}"),
+            RunError::CycleLimit(n) => write!(f, "cycle limit of {n} exceeded"),
+            RunError::BadProgram(why) => write!(f, "malformed program: {why}"),
+            RunError::CallDepth(d) => write!(f, "call depth exceeded {d}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// What the CPU produced after a completed run.
+#[derive(Debug, Clone)]
+pub struct CpuResult {
+    /// The entry function's return value (`r0`).
+    pub return_value: i32,
+    /// The energy/cycle meter.
+    pub meter: EnergyMeter,
+    /// Per-block execution counts.
+    pub profile: ProfileData,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    inst_index: usize,
+}
+
+const MAX_CALL_DEPTH: usize = 256;
+
+/// The interpreter.
+pub struct Cpu<'a> {
+    program: &'a MachineProgram,
+    memory: Memory,
+    layout: DataLayout,
+    power: &'a PowerModel,
+    timing: &'a TimingModel,
+    max_cycles: u64,
+    regs: [i32; 16],
+    flags: Flags,
+    meter: EnergyMeter,
+    profile: ProfileData,
+    call_stack: Vec<Frame>,
+}
+
+impl<'a> Cpu<'a> {
+    /// Build a CPU around a loaded program image.
+    pub fn new(
+        program: &'a MachineProgram,
+        memory: Memory,
+        layout: DataLayout,
+        power: &'a PowerModel,
+        timing: &'a TimingModel,
+        max_cycles: u64,
+    ) -> Cpu<'a> {
+        let mut regs = [0i32; 16];
+        regs[Reg::Sp.index()] = memory.map().initial_sp() as i32;
+        Cpu {
+            program,
+            memory,
+            layout,
+            power,
+            timing,
+            max_cycles,
+            regs,
+            flags: Flags::default(),
+            meter: EnergyMeter::new(),
+            profile: ProfileData::new(),
+            call_stack: Vec::new(),
+        }
+    }
+
+    fn reg(&self, r: Reg) -> i32 {
+        self.regs[r.index()]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: i32) {
+        self.regs[r.index()] = v;
+    }
+
+    fn charge(&mut self, class: InstClass, cycles: u64, exec: Section, data: Option<Section>) {
+        let power = self.power.power_mw(class, exec, data);
+        self.meter.add(cycles, power, exec, self.timing);
+    }
+
+    /// Run the program from its entry function until it returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on memory faults, malformed control flow, call
+    /// stack overflow or when `max_cycles` is exceeded.
+    pub fn run(mut self) -> Result<CpuResult, RunError> {
+        let entry = self.program.entry;
+        if entry.index() >= self.program.functions.len() {
+            return Err(RunError::BadProgram(format!("entry function {entry} out of range")));
+        }
+        let mut func = entry;
+        let mut block = BlockId(0);
+        let mut inst_index = 0usize;
+
+        loop {
+            if self.meter.cycles > self.max_cycles {
+                return Err(RunError::CycleLimit(self.max_cycles));
+            }
+            let f = &self.program.functions[func.index()];
+            let Some(b) = f.blocks.get(block.index()) else {
+                return Err(RunError::BadProgram(format!(
+                    "function {} has no block {block}",
+                    f.name
+                )));
+            };
+            let exec = b.section;
+            if inst_index == 0 {
+                self.profile.record_block(BlockRef { func, block });
+            }
+
+            // Straight-line instructions.
+            let mut call: Option<(FuncId, usize)> = None;
+            for (i, inst) in b.insts.iter().enumerate().skip(inst_index) {
+                if let Inst::Bl { callee } = inst {
+                    self.charge(InstClass::Call, inst.base_cycles(), exec, None);
+                    call = Some((FuncId(*callee), i + 1));
+                    break;
+                }
+                self.execute(inst, exec)?;
+            }
+
+            if let Some((callee, resume_at)) = call {
+                if callee.index() >= self.program.functions.len() {
+                    return Err(RunError::BadProgram(format!("call to missing function {callee}")));
+                }
+                if self.call_stack.len() >= MAX_CALL_DEPTH {
+                    return Err(RunError::CallDepth(MAX_CALL_DEPTH));
+                }
+                self.profile.record_call(callee);
+                self.call_stack.push(Frame { func, block, inst_index: resume_at });
+                func = callee;
+                block = BlockId(0);
+                inst_index = 0;
+                continue;
+            }
+
+            // Terminator.
+            let (next, charge_cycles) = self.evaluate_terminator(&b.term)?;
+            self.charge(InstClass::Branch, charge_cycles, exec, None);
+            match next {
+                Next::Block(target) => {
+                    block = target;
+                    inst_index = 0;
+                }
+                Next::Return => match self.call_stack.pop() {
+                    Some(frame) => {
+                        func = frame.func;
+                        block = frame.block;
+                        inst_index = frame.inst_index;
+                    }
+                    None => {
+                        return Ok(CpuResult {
+                            return_value: self.reg(Reg::R0),
+                            meter: self.meter,
+                            profile: self.profile,
+                        });
+                    }
+                },
+            }
+        }
+    }
+
+    fn evaluate_terminator(
+        &mut self,
+        term: &Terminator<BlockId>,
+    ) -> Result<(Next, u64), RunError> {
+        let kind = term.kind();
+        Ok(match term {
+            Terminator::Branch { target } | Terminator::IndirectBranch { target } => {
+                (Next::Block(*target), kind.taken_cycles())
+            }
+            Terminator::FallThrough { target } | Terminator::IndirectFallThrough { target } => {
+                (Next::Block(*target), kind.taken_cycles())
+            }
+            Terminator::CondBranch { cond, target, fallthrough }
+            | Terminator::IndirectCondBranch { cond, target, fallthrough } => {
+                if cond.holds(self.flags) {
+                    (Next::Block(*target), kind.taken_cycles())
+                } else {
+                    (Next::Block(*fallthrough), kind.not_taken_cycles())
+                }
+            }
+            Terminator::CompareBranch { nonzero, rn, target, fallthrough }
+            | Terminator::IndirectCompareBranch { nonzero, rn, target, fallthrough } => {
+                let taken = (self.reg(*rn) != 0) == *nonzero;
+                if taken {
+                    (Next::Block(*target), kind.taken_cycles())
+                } else {
+                    (Next::Block(*fallthrough), kind.not_taken_cycles())
+                }
+            }
+            Terminator::Return => (Next::Return, kind.taken_cycles()),
+        })
+    }
+
+    fn execute(&mut self, inst: &Inst, exec: Section) -> Result<(), RunError> {
+        use Inst::*;
+        let mut cycles = inst.base_cycles();
+        let mut data_section: Option<Section> = None;
+        match inst {
+            Nop => {}
+            MovImm { rd, imm } => self.set_reg(*rd, *imm),
+            MovReg { rd, rm } => {
+                let v = self.reg(*rm);
+                self.set_reg(*rd, v);
+            }
+            MovCond { cond, rd, imm } => {
+                if cond.holds(self.flags) {
+                    self.set_reg(*rd, *imm);
+                }
+            }
+            LdrLit { rd, value } => {
+                let v = match value {
+                    LitValue::Const(c) => *c,
+                    LitValue::Symbol(s) => {
+                        *self.layout.symbol_addr.get(s.0 as usize).ok_or_else(|| {
+                            RunError::BadProgram(format!("literal references missing symbol {s}"))
+                        })? as i32
+                    }
+                };
+                self.set_reg(*rd, v);
+                // The literal pool lives alongside the code.
+                data_section = Some(exec);
+                if exec == Section::Ram {
+                    cycles += self.timing.ram_load_contention_cycles;
+                }
+            }
+            AddImm { rd, rn, imm } => {
+                let v = self.reg(*rn).wrapping_add(*imm);
+                self.set_reg(*rd, v);
+            }
+            AddReg { rd, rn, rm } => {
+                let v = self.reg(*rn).wrapping_add(self.reg(*rm));
+                self.set_reg(*rd, v);
+            }
+            SubImm { rd, rn, imm } => {
+                let v = self.reg(*rn).wrapping_sub(*imm);
+                self.set_reg(*rd, v);
+            }
+            SubReg { rd, rn, rm } => {
+                let v = self.reg(*rn).wrapping_sub(self.reg(*rm));
+                self.set_reg(*rd, v);
+            }
+            RsbImm { rd, rn, imm } => {
+                let v = imm.wrapping_sub(self.reg(*rn));
+                self.set_reg(*rd, v);
+            }
+            Mul { rd, rn, rm } => {
+                let v = self.reg(*rn).wrapping_mul(self.reg(*rm));
+                self.set_reg(*rd, v);
+            }
+            Sdiv { rd, rn, rm } => {
+                let d = self.reg(*rm);
+                let v = if d == 0 { 0 } else { self.reg(*rn).wrapping_div(d) };
+                self.set_reg(*rd, v);
+            }
+            Udiv { rd, rn, rm } => {
+                let d = self.reg(*rm) as u32;
+                let v = if d == 0 { 0 } else { (self.reg(*rn) as u32 / d) as i32 };
+                self.set_reg(*rd, v);
+            }
+            And { rd, rn, rm } => {
+                let v = self.reg(*rn) & self.reg(*rm);
+                self.set_reg(*rd, v);
+            }
+            Orr { rd, rn, rm } => {
+                let v = self.reg(*rn) | self.reg(*rm);
+                self.set_reg(*rd, v);
+            }
+            Eor { rd, rn, rm } => {
+                let v = self.reg(*rn) ^ self.reg(*rm);
+                self.set_reg(*rd, v);
+            }
+            Bic { rd, rn, rm } => {
+                let v = self.reg(*rn) & !self.reg(*rm);
+                self.set_reg(*rd, v);
+            }
+            Mvn { rd, rm } => {
+                let v = !self.reg(*rm);
+                self.set_reg(*rd, v);
+            }
+            AndImm { rd, rn, imm } => {
+                let v = self.reg(*rn) & *imm;
+                self.set_reg(*rd, v);
+            }
+            OrrImm { rd, rn, imm } => {
+                let v = self.reg(*rn) | *imm;
+                self.set_reg(*rd, v);
+            }
+            EorImm { rd, rn, imm } => {
+                let v = self.reg(*rn) ^ *imm;
+                self.set_reg(*rd, v);
+            }
+            ShiftImm { op, rd, rm, imm } => {
+                let v = shift(*op, self.reg(*rm), *imm as u32);
+                self.set_reg(*rd, v);
+            }
+            ShiftReg { op, rd, rn, rm } => {
+                let amount = (self.reg(*rm) as u32) & 0xff;
+                let v = if amount >= 32 {
+                    match op {
+                        flashram_isa::ShiftOp::Asr => self.reg(*rn) >> 31,
+                        _ => 0,
+                    }
+                } else {
+                    shift(*op, self.reg(*rn), amount)
+                };
+                self.set_reg(*rd, v);
+            }
+            CmpImm { rn, imm } => {
+                self.flags = Flags::from_cmp(self.reg(*rn), *imm);
+            }
+            CmpReg { rn, rm } => {
+                self.flags = Flags::from_cmp(self.reg(*rn), self.reg(*rm));
+            }
+            Load { rd, base, offset, width } => {
+                let addr = (self.reg(*base) as u32).wrapping_add(*offset as u32);
+                let (v, section) = self.memory.read(addr, *width)?;
+                self.set_reg(*rd, v);
+                data_section = Some(section);
+                if exec == Section::Ram && section == Section::Ram {
+                    cycles += self.timing.ram_load_contention_cycles;
+                }
+            }
+            LoadIdx { rd, base, index, width } => {
+                let addr = (self.reg(*base) as u32).wrapping_add(self.reg(*index) as u32);
+                let (v, section) = self.memory.read(addr, *width)?;
+                self.set_reg(*rd, v);
+                data_section = Some(section);
+                if exec == Section::Ram && section == Section::Ram {
+                    cycles += self.timing.ram_load_contention_cycles;
+                }
+            }
+            Store { rs, base, offset, width } => {
+                let addr = (self.reg(*base) as u32).wrapping_add(*offset as u32);
+                let section = self.memory.write(addr, self.reg(*rs), *width)?;
+                data_section = Some(section);
+                if exec == Section::Ram && section == Section::Ram {
+                    cycles += self.timing.ram_store_contention_cycles;
+                }
+            }
+            StoreIdx { rs, base, index, width } => {
+                let addr = (self.reg(*base) as u32).wrapping_add(self.reg(*index) as u32);
+                let section = self.memory.write(addr, self.reg(*rs), *width)?;
+                data_section = Some(section);
+                if exec == Section::Ram && section == Section::Ram {
+                    cycles += self.timing.ram_store_contention_cycles;
+                }
+            }
+            Push { regs } => {
+                let mut sp = self.reg(Reg::Sp) as u32;
+                sp = sp.wrapping_sub(4 * regs.len() as u32);
+                let base = sp;
+                for (i, r) in regs.iter().enumerate() {
+                    self.memory.write(
+                        base.wrapping_add(4 * i as u32),
+                        self.reg(*r),
+                        flashram_isa::MemWidth::Word,
+                    )?;
+                }
+                self.set_reg(Reg::Sp, sp as i32);
+                data_section = Some(Section::Ram);
+            }
+            Pop { regs } => {
+                let base = self.reg(Reg::Sp) as u32;
+                for (i, r) in regs.iter().enumerate() {
+                    let (v, _) = self
+                        .memory
+                        .read(base.wrapping_add(4 * i as u32), flashram_isa::MemWidth::Word)?;
+                    self.set_reg(*r, v);
+                }
+                self.set_reg(Reg::Sp, (base + 4 * regs.len() as u32) as i32);
+                data_section = Some(Section::Ram);
+            }
+            AddSp { delta } => {
+                let v = self.reg(Reg::Sp).wrapping_add(*delta);
+                self.set_reg(Reg::Sp, v);
+            }
+            Bl { .. } => unreachable!("calls are handled by the block loop"),
+        }
+        self.charge(inst.class(), cycles, exec, data_section);
+        Ok(())
+    }
+}
+
+enum Next {
+    Block(BlockId),
+    Return,
+}
+
+fn shift(op: flashram_isa::ShiftOp, value: i32, amount: u32) -> i32 {
+    let amount = amount & 31;
+    match op {
+        flashram_isa::ShiftOp::Lsl => value.wrapping_shl(amount),
+        flashram_isa::ShiftOp::Lsr => ((value as u32) >> amount) as i32,
+        flashram_isa::ShiftOp::Asr => value >> amount,
+    }
+}

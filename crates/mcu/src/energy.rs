@@ -1,0 +1,93 @@
+//! Cycle and energy accounting.
+
+use flashram_ir::Section;
+use flashram_isa::TimingModel;
+
+/// Accumulates cycles and energy over a run, split by the memory the code
+/// executed from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyMeter {
+    /// Total cycles executed.
+    pub cycles: u64,
+    /// Cycles spent executing from flash.
+    pub flash_cycles: u64,
+    /// Cycles spent executing from RAM.
+    pub ram_cycles: u64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+}
+
+impl EnergyMeter {
+    /// A fresh meter.
+    pub fn new() -> EnergyMeter {
+        EnergyMeter::default()
+    }
+
+    /// Record `cycles` cycles at `power_mw` milliwatts, executed from `exec`.
+    pub fn add(&mut self, cycles: u64, power_mw: f64, exec: Section, timing: &TimingModel) {
+        self.cycles += cycles;
+        match exec {
+            Section::Flash => self.flash_cycles += cycles,
+            Section::Ram => self.ram_cycles += cycles,
+        }
+        self.energy_j += power_mw * 1e-3 * timing.cycles_to_seconds(cycles);
+    }
+
+    /// Total energy in millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy_j * 1e3
+    }
+
+    /// Elapsed time in seconds for the recorded cycles.
+    pub fn time_s(&self, timing: &TimingModel) -> f64 {
+        timing.cycles_to_seconds(self.cycles)
+    }
+
+    /// Average power in milliwatts over the recorded time.
+    pub fn avg_power_mw(&self, timing: &TimingModel) -> f64 {
+        let t = self.time_s(timing);
+        if t == 0.0 {
+            0.0
+        } else {
+            self.energy_j * 1e3 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashram_isa::CORTEX_M3_TIMING;
+
+    #[test]
+    fn accounting_adds_up() {
+        let mut m = EnergyMeter::new();
+        let t = CORTEX_M3_TIMING;
+        // 24 million cycles at 12 mW = 1 second at 12 mW = 12 mJ.
+        m.add(12_000_000, 12.0, Section::Flash, &t);
+        m.add(12_000_000, 12.0, Section::Ram, &t);
+        assert_eq!(m.cycles, 24_000_000);
+        assert_eq!(m.flash_cycles, 12_000_000);
+        assert_eq!(m.ram_cycles, 12_000_000);
+        assert!((m.time_s(&t) - 1.0).abs() < 1e-9);
+        assert!((m.energy_mj() - 12.0).abs() < 1e-6);
+        assert!((m.avg_power_mw(&t) - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_meter_reports_zero_power() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.avg_power_mw(&CORTEX_M3_TIMING), 0.0);
+        assert_eq!(m.energy_mj(), 0.0);
+    }
+
+    #[test]
+    fn mixed_power_average_is_weighted() {
+        let mut m = EnergyMeter::new();
+        let t = CORTEX_M3_TIMING;
+        m.add(1_000_000, 16.0, Section::Flash, &t);
+        m.add(3_000_000, 8.0, Section::Ram, &t);
+        let avg = m.avg_power_mw(&t);
+        assert!((avg - 10.0).abs() < 1e-6, "weighted average should be 10 mW, got {avg}");
+    }
+}

@@ -1,0 +1,37 @@
+//! A Cortex-M3-class microcontroller simulator with an energy model.
+//!
+//! This crate replaces the paper's physical measurement setup (a
+//! power-instrumented STM32VLDISCOVERY board) with a simulated substrate
+//! that models exactly the effects the flash/RAM placement optimization
+//! exploits and pays for:
+//!
+//! * both flash and RAM are single-cycle memories, so moving code to RAM is
+//!   never faster — only the instrumentation overhead and bus contention
+//!   change execution time,
+//! * executing from RAM draws noticeably less power than executing from
+//!   flash (Figure 1 of the paper; the [`power`] module holds the calibrated
+//!   constants),
+//! * a load executed from RAM that also reads RAM contends with instruction
+//!   fetch and stalls for an extra cycle (the model's `L_b` term),
+//! * the core can sleep at a quiescent power of 3.5 mW between activations,
+//!   which is what makes the Section 7 periodic-sensing case study work.
+//!
+//! The [`Board`] type ties the pieces together: it lays out a
+//! [`MachineProgram`](flashram_ir::MachineProgram)'s data in the address
+//! space, interprets its code cycle by cycle, and reports time, energy,
+//! average power and a per-block execution profile.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod cpu;
+pub mod energy;
+pub mod mem;
+pub mod power;
+
+pub use board::{Board, RunConfig, RunResult, SleepScenario};
+pub use cpu::RunError;
+pub use energy::EnergyMeter;
+pub use mem::{DataLayout, Memory, MemoryMap};
+pub use power::PowerModel;

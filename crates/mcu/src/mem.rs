@@ -1,0 +1,378 @@
+//! Address space, data layout and the data memory model.
+//!
+//! The modelled part is an STM32F100RB-class SoC: 64 KB of flash at
+//! `0x0800_0000` and 8 KB of SRAM at `0x2000_0000`.  Code is executed
+//! symbolically (block by block), but data accesses use real addresses so
+//! that pointer arithmetic in the benchmarks behaves exactly as it would on
+//! hardware, and so that every access can be attributed to flash or RAM for
+//! the power model and the contention rule.
+
+use flashram_ir::{MachineProgram, Section};
+use flashram_isa::MemWidth;
+
+/// Sizes and base addresses of the two memories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryMap {
+    /// Base address of flash.
+    pub flash_base: u32,
+    /// Flash size in bytes.
+    pub flash_size: u32,
+    /// Base address of SRAM.
+    pub ram_base: u32,
+    /// SRAM size in bytes.
+    pub ram_size: u32,
+    /// Bytes of SRAM reserved for the call stack.
+    pub stack_reserve: u32,
+}
+
+impl MemoryMap {
+    /// The STM32F100RB map used in the paper's evaluation: 64 KB flash,
+    /// 8 KB SRAM, 1 KB of which is reserved for the stack.
+    pub fn stm32f100() -> MemoryMap {
+        MemoryMap {
+            flash_base: 0x0800_0000,
+            flash_size: 64 * 1024,
+            ram_base: 0x2000_0000,
+            ram_size: 8 * 1024,
+            stack_reserve: 1024,
+        }
+    }
+
+    /// Which memory an address falls in, if any.
+    pub fn section_of(&self, addr: u32) -> Option<Section> {
+        if addr >= self.flash_base && addr < self.flash_base + self.flash_size {
+            Some(Section::Flash)
+        } else if addr >= self.ram_base && addr < self.ram_base + self.ram_size {
+            Some(Section::Ram)
+        } else {
+            None
+        }
+    }
+
+    /// The initial stack pointer (top of RAM).
+    pub fn initial_sp(&self) -> u32 {
+        self.ram_base + self.ram_size
+    }
+}
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        MemoryMap::stm32f100()
+    }
+}
+
+/// Where the program's data and code ended up in the address space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataLayout {
+    /// Address of each global, indexed by symbol id.
+    pub symbol_addr: Vec<u32>,
+    /// Bytes of flash used by code.
+    pub flash_code_bytes: u32,
+    /// Bytes of flash used by read-only data.
+    pub rodata_bytes: u32,
+    /// Bytes of RAM used by mutable data.
+    pub ram_data_bytes: u32,
+    /// Bytes of RAM used by relocated code.
+    pub ram_code_bytes: u32,
+}
+
+impl DataLayout {
+    /// Total RAM consumed (data + relocated code + the stack reserve).
+    pub fn ram_used(&self, map: &MemoryMap) -> u32 {
+        self.ram_data_bytes + self.ram_code_bytes + map.stack_reserve
+    }
+
+    /// Spare RAM available for relocating more code.
+    pub fn ram_spare(&self, map: &MemoryMap) -> u32 {
+        map.ram_size.saturating_sub(self.ram_used(map))
+    }
+}
+
+/// Errors raised while laying out or accessing memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Program image does not fit the part.
+    DoesNotFit(String),
+    /// Access outside the mapped memories.
+    Fault {
+        /// Offending address.
+        addr: u32,
+        /// Whether the access was a write.
+        write: bool,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::DoesNotFit(what) => write!(f, "program does not fit: {what}"),
+            MemError::Fault { addr, write } => {
+                let kind = if *write { "write" } else { "read" };
+                write!(f, "memory fault: {kind} at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The data memory of the simulated SoC: a flat byte image of flash (for
+/// read-only data) and RAM (for mutable data, relocated code's reservation
+/// and the stack).
+#[derive(Debug, Clone)]
+pub struct Memory {
+    map: MemoryMap,
+    flash: Vec<u8>,
+    ram: Vec<u8>,
+}
+
+impl Memory {
+    /// Lay the program's data out in the address space and build the memory
+    /// image.
+    ///
+    /// Flash holds the code image followed by read-only globals; RAM holds
+    /// mutable globals (copied there at startup by the runtime, exactly as
+    /// the paper describes), then any code relocated to RAM, then the stack
+    /// at the top.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::DoesNotFit`] when code plus data exceed either
+    /// memory, including the stack reserve.
+    pub fn load(program: &MachineProgram, map: MemoryMap) -> Result<(Memory, DataLayout), MemError> {
+        let mut flash = vec![0u8; map.flash_size as usize];
+        let mut ram = vec![0u8; map.ram_size as usize];
+
+        let flash_code_bytes = program.code_size() - program.ram_code_size();
+        let ram_code_bytes = program.ram_code_size();
+
+        // Read-only data sits after the code image in flash.
+        let mut flash_cursor = align4(flash_code_bytes);
+        // Mutable data sits at the bottom of RAM, relocated code after it.
+        let mut ram_cursor = 0u32;
+
+        let mut symbol_addr = Vec::with_capacity(program.globals.len());
+        for g in &program.globals {
+            let size = align4(g.size().max(1));
+            match g.section() {
+                Section::Flash => {
+                    if flash_cursor + size > map.flash_size {
+                        return Err(MemError::DoesNotFit(format!(
+                            "read-only data overflows flash at global `{}`",
+                            g.name
+                        )));
+                    }
+                    let base = flash_cursor as usize;
+                    flash[base..base + g.bytes.len()].copy_from_slice(&g.bytes);
+                    symbol_addr.push(map.flash_base + flash_cursor);
+                    flash_cursor += size;
+                }
+                Section::Ram => {
+                    if ram_cursor + size > map.ram_size {
+                        return Err(MemError::DoesNotFit(format!(
+                            "data overflows RAM at global `{}`",
+                            g.name
+                        )));
+                    }
+                    let base = ram_cursor as usize;
+                    ram[base..base + g.bytes.len()].copy_from_slice(&g.bytes);
+                    symbol_addr.push(map.ram_base + ram_cursor);
+                    ram_cursor += size;
+                }
+            }
+        }
+
+        let ram_data_bytes = ram_cursor;
+        let layout = DataLayout {
+            symbol_addr,
+            flash_code_bytes,
+            rodata_bytes: flash_cursor.saturating_sub(align4(flash_code_bytes)),
+            ram_data_bytes,
+            ram_code_bytes,
+        };
+
+        if flash_code_bytes > map.flash_size {
+            return Err(MemError::DoesNotFit("code overflows flash".into()));
+        }
+        if layout.ram_used(&map) > map.ram_size {
+            return Err(MemError::DoesNotFit(format!(
+                "RAM budget exceeded: {} bytes of data + {} bytes of relocated code + {} bytes of stack > {} bytes",
+                ram_data_bytes, ram_code_bytes, map.stack_reserve, map.ram_size
+            )));
+        }
+
+        Ok((Memory { map, flash, ram }, layout))
+    }
+
+    /// The memory map.
+    pub fn map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    /// Which memory the address belongs to.
+    pub fn section_of(&self, addr: u32) -> Option<Section> {
+        self.map.section_of(addr)
+    }
+
+    fn slot(&self, addr: u32, len: u32, write: bool) -> Result<(Section, usize), MemError> {
+        match self.map.section_of(addr) {
+            Some(Section::Flash) if !write => {
+                let off = (addr - self.map.flash_base) as usize;
+                if off + len as usize <= self.flash.len() {
+                    return Ok((Section::Flash, off));
+                }
+                Err(MemError::Fault { addr, write })
+            }
+            Some(Section::Flash) => Err(MemError::Fault { addr, write }),
+            Some(Section::Ram) => {
+                let off = (addr - self.map.ram_base) as usize;
+                if off + len as usize <= self.ram.len() {
+                    return Ok((Section::Ram, off));
+                }
+                Err(MemError::Fault { addr, write })
+            }
+            None => Err(MemError::Fault { addr, write }),
+        }
+    }
+
+    /// Read a value of the given width (zero-extended).
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault for unmapped addresses.
+    pub fn read(&self, addr: u32, width: MemWidth) -> Result<(i32, Section), MemError> {
+        let len = width.bytes();
+        let (section, off) = self.slot(addr, len, false)?;
+        let bytes = match section {
+            Section::Flash => &self.flash[off..off + len as usize],
+            Section::Ram => &self.ram[off..off + len as usize],
+        };
+        let value = match width {
+            MemWidth::Byte => bytes[0] as i32,
+            MemWidth::Half => u16::from_le_bytes([bytes[0], bytes[1]]) as i32,
+            MemWidth::Word => i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+        };
+        Ok((value, section))
+    }
+
+    /// Write a value of the given width (truncating).
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault for unmapped addresses or writes to flash.
+    pub fn write(&mut self, addr: u32, value: i32, width: MemWidth) -> Result<Section, MemError> {
+        let len = width.bytes();
+        let (section, off) = self.slot(addr, len, true)?;
+        let dst = match section {
+            Section::Flash => unreachable!("slot() rejects flash writes"),
+            Section::Ram => &mut self.ram[off..off + len as usize],
+        };
+        match width {
+            MemWidth::Byte => dst[0] = value as u8,
+            MemWidth::Half => dst.copy_from_slice(&(value as u16).to_le_bytes()),
+            MemWidth::Word => dst.copy_from_slice(&value.to_le_bytes()),
+        }
+        Ok(section)
+    }
+}
+
+fn align4(x: u32) -> u32 {
+    (x + 3) & !3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashram_ir::{FuncId, GlobalData, MachineProgram};
+
+    fn program_with_globals(globals: Vec<GlobalData>) -> MachineProgram {
+        MachineProgram { functions: vec![], globals, entry: FuncId(0) }
+    }
+
+    #[test]
+    fn map_classifies_addresses() {
+        let map = MemoryMap::stm32f100();
+        assert_eq!(map.section_of(0x0800_0000), Some(Section::Flash));
+        assert_eq!(map.section_of(0x0800_ffff), Some(Section::Flash));
+        assert_eq!(map.section_of(0x2000_0000), Some(Section::Ram));
+        assert_eq!(map.section_of(0x2000_1fff), Some(Section::Ram));
+        assert_eq!(map.section_of(0x2000_2000), None);
+        assert_eq!(map.section_of(0x0000_0000), None);
+        assert_eq!(map.initial_sp(), 0x2000_2000);
+    }
+
+    #[test]
+    fn layout_places_rodata_in_flash_and_data_in_ram() {
+        let prog = program_with_globals(vec![
+            GlobalData { name: "rw".into(), bytes: vec![1, 2, 3, 4], mutable: true },
+            GlobalData { name: "ro".into(), bytes: vec![9, 9], mutable: false },
+        ]);
+        let (mem, layout) = Memory::load(&prog, MemoryMap::stm32f100()).unwrap();
+        assert_eq!(layout.symbol_addr.len(), 2);
+        assert_eq!(mem.section_of(layout.symbol_addr[0]), Some(Section::Ram));
+        assert_eq!(mem.section_of(layout.symbol_addr[1]), Some(Section::Flash));
+        assert_eq!(layout.ram_data_bytes, 4);
+        let (v, sec) = mem.read(layout.symbol_addr[0], MemWidth::Word).unwrap();
+        assert_eq!(v, i32::from_le_bytes([1, 2, 3, 4]));
+        assert_eq!(sec, Section::Ram);
+    }
+
+    #[test]
+    fn read_write_round_trips_all_widths() {
+        let prog = program_with_globals(vec![GlobalData {
+            name: "buf".into(),
+            bytes: vec![0; 64],
+            mutable: true,
+        }]);
+        let (mut mem, layout) = Memory::load(&prog, MemoryMap::stm32f100()).unwrap();
+        let base = layout.symbol_addr[0];
+        mem.write(base, -123456, MemWidth::Word).unwrap();
+        assert_eq!(mem.read(base, MemWidth::Word).unwrap().0, -123456);
+        mem.write(base + 8, 0x1234_5678, MemWidth::Half).unwrap();
+        assert_eq!(mem.read(base + 8, MemWidth::Half).unwrap().0, 0x5678);
+        mem.write(base + 12, 0x7fb, MemWidth::Byte).unwrap();
+        assert_eq!(mem.read(base + 12, MemWidth::Byte).unwrap().0, 0xfb);
+    }
+
+    #[test]
+    fn writes_to_flash_and_unmapped_addresses_fault() {
+        let prog = program_with_globals(vec![GlobalData {
+            name: "table".into(),
+            bytes: vec![7; 8],
+            mutable: false,
+        }]);
+        let (mut mem, layout) = Memory::load(&prog, MemoryMap::stm32f100()).unwrap();
+        let ro = layout.symbol_addr[0];
+        assert_eq!(mem.read(ro, MemWidth::Byte).unwrap().0, 7);
+        assert!(matches!(
+            mem.write(ro, 1, MemWidth::Word),
+            Err(MemError::Fault { write: true, .. })
+        ));
+        assert!(mem.read(0x4000_0000, MemWidth::Word).is_err());
+    }
+
+    #[test]
+    fn oversized_data_is_rejected() {
+        let prog = program_with_globals(vec![GlobalData {
+            name: "huge".into(),
+            bytes: vec![0; 9 * 1024],
+            mutable: true,
+        }]);
+        assert!(matches!(
+            Memory::load(&prog, MemoryMap::stm32f100()),
+            Err(MemError::DoesNotFit(_))
+        ));
+    }
+
+    #[test]
+    fn ram_spare_accounts_for_stack_and_code() {
+        let prog = program_with_globals(vec![GlobalData {
+            name: "rw".into(),
+            bytes: vec![0; 1024],
+            mutable: true,
+        }]);
+        let map = MemoryMap::stm32f100();
+        let (_, layout) = Memory::load(&prog, map).unwrap();
+        assert_eq!(layout.ram_spare(&map), 8 * 1024 - 1024 - 1024);
+    }
+}

@@ -1,0 +1,154 @@
+//! The power model, calibrated against Figure 1 of the paper.
+//!
+//! Figure 1 reports the average power of tight 16-instruction loops of a
+//! single instruction kind executing from flash and from RAM on the
+//! STM32F100RB.  The flash numbers cluster around 15–16 mW, the RAM numbers
+//! around 8–10 mW, and the one exception is a loop running from RAM whose
+//! loads read flash — it pays close to the flash power again.  The constants
+//! below reproduce those relationships; they are a calibration of the
+//! published figure, not a measurement.
+
+use flashram_ir::Section;
+use flashram_isa::InstClass;
+
+/// Average power (milliwatts) drawn while executing each instruction class,
+/// as a function of the memory the code executes from and, for memory
+/// operations, the memory the data access targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Power while executing ALU-class instructions from flash.
+    pub flash_alu_mw: f64,
+    /// Power while executing loads from flash (data in either memory).
+    pub flash_load_mw: f64,
+    /// Power while executing stores from flash.
+    pub flash_store_mw: f64,
+    /// Power while executing `nop`s from flash.
+    pub flash_nop_mw: f64,
+    /// Power while executing branches/calls from flash.
+    pub flash_branch_mw: f64,
+    /// Power while executing ALU-class instructions from RAM.
+    pub ram_alu_mw: f64,
+    /// Power while executing loads from RAM when the data is also in RAM.
+    pub ram_load_mw: f64,
+    /// Power while executing loads from RAM when the data is in flash
+    /// (the expensive "flash load" bar of Figure 1).
+    pub ram_load_flash_data_mw: f64,
+    /// Power while executing stores from RAM.
+    pub ram_store_mw: f64,
+    /// Power while executing `nop`s from RAM.
+    pub ram_nop_mw: f64,
+    /// Power while executing branches/calls from RAM.
+    pub ram_branch_mw: f64,
+    /// Quiescent power of the sleep state used by the periodic-sensing case
+    /// study (Section 7 of the paper measures 3.5 mW).
+    pub sleep_mw: f64,
+}
+
+impl PowerModel {
+    /// The calibration used throughout the reproduction (see module docs).
+    pub fn stm32f100() -> PowerModel {
+        PowerModel {
+            flash_alu_mw: 15.2,
+            flash_load_mw: 16.0,
+            flash_store_mw: 15.6,
+            flash_nop_mw: 14.6,
+            flash_branch_mw: 15.0,
+            ram_alu_mw: 8.6,
+            ram_load_mw: 9.6,
+            ram_load_flash_data_mw: 15.0,
+            ram_store_mw: 9.2,
+            ram_nop_mw: 8.0,
+            ram_branch_mw: 8.8,
+            sleep_mw: 3.5,
+        }
+    }
+
+    /// The average power drawn while an instruction of class `class`
+    /// executes from `exec`, with `data` naming the memory touched by a
+    /// load/store (if any).
+    pub fn power_mw(&self, class: InstClass, exec: Section, data: Option<Section>) -> f64 {
+        match exec {
+            Section::Flash => match class {
+                InstClass::Load => self.flash_load_mw,
+                InstClass::Store | InstClass::Stack => self.flash_store_mw,
+                InstClass::Nop => self.flash_nop_mw,
+                InstClass::Branch | InstClass::Call => self.flash_branch_mw,
+                InstClass::Mul | InstClass::Div | InstClass::Alu => self.flash_alu_mw,
+            },
+            Section::Ram => match class {
+                InstClass::Load => match data {
+                    Some(Section::Flash) => self.ram_load_flash_data_mw,
+                    _ => self.ram_load_mw,
+                },
+                InstClass::Store | InstClass::Stack => self.ram_store_mw,
+                InstClass::Nop => self.ram_nop_mw,
+                InstClass::Branch | InstClass::Call => self.ram_branch_mw,
+                InstClass::Mul | InstClass::Div | InstClass::Alu => self.ram_alu_mw,
+            },
+        }
+    }
+
+    /// The average-power coefficients the ILP cost model uses (`E_flash` and
+    /// `E_ram` in the paper): a representative per-cycle power for code
+    /// executing from each memory.
+    pub fn model_coefficients(&self) -> (f64, f64) {
+        let e_flash = (self.flash_alu_mw + self.flash_load_mw + self.flash_store_mw
+            + self.flash_branch_mw)
+            / 4.0;
+        let e_ram =
+            (self.ram_alu_mw + self.ram_load_mw + self.ram_store_mw + self.ram_branch_mw) / 4.0;
+        (e_flash, e_ram)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::stm32f100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_execution_is_cheaper_for_every_class() {
+        let p = PowerModel::stm32f100();
+        for class in [
+            InstClass::Alu,
+            InstClass::Mul,
+            InstClass::Div,
+            InstClass::Load,
+            InstClass::Store,
+            InstClass::Stack,
+            InstClass::Nop,
+            InstClass::Branch,
+            InstClass::Call,
+        ] {
+            let flash = p.power_mw(class, Section::Flash, Some(Section::Ram));
+            let ram = p.power_mw(class, Section::Ram, Some(Section::Ram));
+            assert!(ram < flash, "{class:?}: ram {ram} should be below flash {flash}");
+        }
+    }
+
+    #[test]
+    fn flash_data_load_from_ram_code_is_expensive() {
+        let p = PowerModel::stm32f100();
+        let cheap = p.power_mw(InstClass::Load, Section::Ram, Some(Section::Ram));
+        let costly = p.power_mw(InstClass::Load, Section::Ram, Some(Section::Flash));
+        assert!(costly > cheap + 3.0, "Figure 1's flash-load bar must stand out");
+    }
+
+    #[test]
+    fn model_coefficients_preserve_the_flash_ram_gap() {
+        let (e_flash, e_ram) = PowerModel::stm32f100().model_coefficients();
+        assert!(e_flash > e_ram);
+        let ratio = e_flash / e_ram;
+        assert!(ratio > 1.4 && ratio < 2.2, "ratio {ratio} out of the Figure 1 range");
+    }
+
+    #[test]
+    fn sleep_power_matches_section7() {
+        assert!((PowerModel::stm32f100().sleep_mw - 3.5).abs() < 1e-9);
+    }
+}

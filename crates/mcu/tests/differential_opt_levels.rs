@@ -1,0 +1,194 @@
+//! Differential testing of the compiler + simulator stack: randomly generated
+//! mini-C programs must compute the same result at every optimization level.
+//!
+//! The flash/RAM placement evaluation depends on the claim that O0..Os all
+//! implement the same semantics (the paper sweeps all five levels); these
+//! tests fuzz that claim with randomly generated expressions, conditionals
+//! and loops, using the unoptimized O0 build as the reference.
+
+use flashram_mcu::{Board, RunConfig};
+use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+use proptest::prelude::*;
+
+/// A randomly generated integer expression over the variables `a`, `b`, `c`
+/// and `i` (the loop counter).  Division and modulus are generated with
+/// strictly positive divisors; shifts mask their left operand non-negative
+/// and their shift amount to 0..=7 so that no operation relies on
+/// implementation-defined behaviour.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i32),
+    Var(&'static str),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, u32),
+    Rem(Box<Expr>, u32),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Shl(Box<Expr>, u32),
+    Shr(Box<Expr>, u32),
+    Cmp(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Render as mini-C source.
+    fn to_c(&self) -> String {
+        match self {
+            Expr::Const(v) => format!("({v})"),
+            Expr::Var(name) => (*name).to_string(),
+            Expr::Add(l, r) => format!("({} + {})", l.to_c(), r.to_c()),
+            Expr::Sub(l, r) => format!("({} - {})", l.to_c(), r.to_c()),
+            Expr::Mul(l, r) => format!("(({} & 1023) * ({} & 511))", l.to_c(), r.to_c()),
+            Expr::Div(l, d) => format!("({} / {d})", l.to_c()),
+            Expr::Rem(l, d) => format!("({} % {d})", l.to_c()),
+            Expr::And(l, r) => format!("({} & {})", l.to_c(), r.to_c()),
+            Expr::Or(l, r) => format!("({} | {})", l.to_c(), r.to_c()),
+            Expr::Xor(l, r) => format!("({} ^ {})", l.to_c(), r.to_c()),
+            Expr::Shl(l, s) => format!("((({}) & 65535) << {s})", l.to_c()),
+            Expr::Shr(l, s) => format!("((({}) & 1048575) >> {s})", l.to_c()),
+            Expr::Cmp(l, r) => format!("(({} < {}) ? 1 : 0)", l.to_c(), r.to_c()),
+        }
+    }
+}
+
+fn leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-1000i32..1000).prop_map(Expr::Const),
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("i")].prop_map(Expr::Var),
+    ]
+}
+
+fn arbitrary_expr() -> impl Strategy<Value = Expr> {
+    leaf().prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Mul(Box::new(l), Box::new(r))),
+            (inner.clone(), 1u32..9).prop_map(|(l, d)| Expr::Div(Box::new(l), d)),
+            (inner.clone(), 1u32..9).prop_map(|(l, d)| Expr::Rem(Box::new(l), d)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Xor(Box::new(l), Box::new(r))),
+            (inner.clone(), 0u32..8).prop_map(|(l, s)| Expr::Shl(Box::new(l), s)),
+            (inner.clone(), 0u32..8).prop_map(|(l, s)| Expr::Shr(Box::new(l), s)),
+            (inner.clone(), inner).prop_map(|(l, r)| Expr::Cmp(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+/// Wrap an expression into a full program: a `compute` function evaluated in
+/// a loop with varying arguments, accumulated into the checksum `main`
+/// returns.
+fn program_source(expr: &Expr, a0: i32, b0: i32, c0: i32, iters: u32) -> String {
+    format!(
+        "
+        int compute(int a, int b, int c, int i) {{
+            return {expr};
+        }}
+        int main() {{
+            int acc = 0;
+            for (int i = 0; i < {iters}; i++) {{
+                acc = acc ^ compute({a0} + i, {b0} - i, {c0} + 2 * i, i);
+                acc += i;
+            }}
+            return acc;
+        }}
+        ",
+        expr = expr.to_c(),
+    )
+}
+
+fn run_at(source: &str, level: OptLevel) -> i32 {
+    let program = compile_program(&[SourceUnit::application(source)], level)
+        .unwrap_or_else(|e| panic!("compilation failed at {level}: {e}\nsource:\n{source}"));
+    Board::stm32vldiscovery()
+        .run_with_config(&program, &RunConfig { max_cycles: 20_000_000 })
+        .unwrap_or_else(|e| panic!("execution failed at {level}: {e}\nsource:\n{source}"))
+        .return_value
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Every optimization level computes the same checksum as O0.
+    #[test]
+    fn all_levels_agree_with_o0(
+        expr in arbitrary_expr(),
+        a0 in -50i32..50,
+        b0 in -50i32..50,
+        c0 in -50i32..50,
+        iters in 1u32..12,
+    ) {
+        let source = program_source(&expr, a0, b0, c0, iters);
+        let reference = run_at(&source, OptLevel::O0);
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os] {
+            let got = run_at(&source, level);
+            prop_assert_eq!(
+                got,
+                reference,
+                "{} diverges from O0 on:\n{}",
+                level,
+                source
+            );
+        }
+    }
+
+    /// Conditionals with randomly chosen thresholds agree across levels and
+    /// the branch structure survives the optimizer.
+    #[test]
+    fn branchy_programs_agree_across_levels(
+        threshold in -200i32..200,
+        step in 1i32..7,
+        limit in 5i32..40,
+    ) {
+        let source = format!(
+            "
+            int classify(int x) {{
+                if (x < {threshold}) {{ return x * 3 - 1; }}
+                if (x % 2 == 0) {{ return x / 2; }}
+                return x + 7;
+            }}
+            int main() {{
+                int acc = 0;
+                for (int x = -{limit}; x < {limit}; x += {step}) {{
+                    acc += classify(x);
+                }}
+                return acc;
+            }}
+            "
+        );
+        let reference = run_at(&source, OptLevel::O0);
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os] {
+            prop_assert_eq!(run_at(&source, level), reference, "{} diverges", level);
+        }
+    }
+
+    /// Global arrays written and re-read in loops agree across levels.
+    #[test]
+    fn array_programs_agree_across_levels(
+        size in 4u32..24,
+        scale in 1i32..9,
+        offset in -20i32..20,
+    ) {
+        let source = format!(
+            "
+            int table[{size}];
+            int main() {{
+                for (int i = 0; i < {size}; i++) {{ table[i] = i * {scale} + {offset}; }}
+                int acc = 0;
+                for (int i = 0; i < {size}; i++) {{
+                    if (table[i] > 0) {{ acc += table[i]; }} else {{ acc -= 1; }}
+                }}
+                for (int i = 1; i < {size}; i++) {{ table[i] += table[i - 1]; }}
+                return acc + table[{size} - 1];
+            }}
+            "
+        );
+        let reference = run_at(&source, OptLevel::O0);
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os] {
+            prop_assert_eq!(run_at(&source, level), reference, "{} diverges", level);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Consistency tests for the board's energy accounting: the derived
+//! quantities reported by a run (time, energy, average power) must agree
+//! with each other and with the power-model bounds, for a variety of
+//! programs and placements.
+
+use flashram_ir::Section;
+use flashram_mcu::{Board, PowerModel};
+use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+
+fn compile(src: &str, level: OptLevel) -> flashram_ir::MachineProgram {
+    compile_program(&[SourceUnit::application(src)], level).unwrap()
+}
+
+const PROGRAMS: [&str; 3] = [
+    "int main() { int s = 1; for (int i = 0; i < 300; i++) { s += i * s; } return s; }",
+    "
+    int buf[40];
+    int main() {
+        for (int i = 0; i < 40; i++) { buf[i] = i * 13; }
+        int acc = 0;
+        for (int r = 0; r < 20; r++) { for (int i = 0; i < 40; i++) { acc += buf[i] >> (r & 3); } }
+        return acc;
+    }
+    ",
+    "
+    int f(int x) { if (x % 3 == 0) { return x / 3; } return 2 * x + 1; }
+    int main() {
+        int n = 7;
+        int steps = 0;
+        for (int i = 0; i < 60; i++) {
+            if (n != 1) { n = f(n); steps++; }
+        }
+        return steps + n;
+    }
+    ",
+];
+
+#[test]
+fn energy_equals_average_power_times_time() {
+    let board = Board::stm32vldiscovery();
+    for (i, src) in PROGRAMS.iter().enumerate() {
+        for level in [OptLevel::O0, OptLevel::O2] {
+            let run = board.run(&compile(src, level)).unwrap();
+            let product = run.avg_power_mw * run.time_s;
+            assert!(
+                (product - run.energy_mj).abs() <= 1e-9 * run.energy_mj.max(1e-12),
+                "program {i} at {level}: {} mW x {} s != {} mJ",
+                run.avg_power_mw,
+                run.time_s,
+                run.energy_mj
+            );
+        }
+    }
+}
+
+#[test]
+fn time_is_cycles_over_the_core_clock() {
+    let board = Board::stm32vldiscovery();
+    for src in PROGRAMS {
+        let run = board.run(&compile(src, OptLevel::O1)).unwrap();
+        let expected = run.cycles() as f64 / board.timing.clock_hz;
+        assert!((run.time_s - expected).abs() <= 1e-12 + 1e-9 * expected);
+    }
+}
+
+#[test]
+fn average_power_stays_within_the_model_bounds() {
+    let board = Board::stm32vldiscovery();
+    let p = PowerModel::stm32f100();
+    let max_mw = [
+        p.flash_alu_mw,
+        p.flash_load_mw,
+        p.flash_store_mw,
+        p.flash_nop_mw,
+        p.flash_branch_mw,
+    ]
+    .into_iter()
+    .fold(0.0f64, f64::max);
+    let min_mw = [p.ram_alu_mw, p.ram_load_mw, p.ram_store_mw, p.ram_nop_mw, p.ram_branch_mw]
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+    for src in PROGRAMS {
+        // All-in-flash baseline sits in the flash power band.
+        let prog = compile(src, OptLevel::O2);
+        let base = board.run(&prog).unwrap();
+        assert!(base.avg_power_mw <= max_mw + 1e-9);
+        assert!(base.avg_power_mw >= min_mw - 1e-9);
+
+        // Moving all application code to RAM pulls the average power down,
+        // but never below the cheapest RAM class.
+        let mut in_ram = prog.clone();
+        for f in &mut in_ram.functions {
+            if !f.is_library {
+                for b in &mut f.blocks {
+                    b.section = Section::Ram;
+                }
+            }
+        }
+        let relocated = board.run(&in_ram).unwrap();
+        assert_eq!(base.return_value, relocated.return_value);
+        assert!(relocated.avg_power_mw < base.avg_power_mw);
+        assert!(relocated.avg_power_mw >= min_mw - 1e-9);
+    }
+}
+
+#[test]
+fn cycle_counts_are_deterministic() {
+    let board = Board::stm32vldiscovery();
+    let prog = compile(PROGRAMS[1], OptLevel::O2);
+    let a = board.run(&prog).unwrap();
+    let b = board.run(&prog).unwrap();
+    assert_eq!(a.cycles(), b.cycles());
+    assert_eq!(a.return_value, b.return_value);
+    assert!((a.energy_mj - b.energy_mj).abs() < 1e-15);
+}
+
+#[test]
+fn profile_counts_are_consistent_with_cycle_counts() {
+    let board = Board::stm32vldiscovery();
+    for src in PROGRAMS {
+        let prog = compile(src, OptLevel::O1);
+        let run = board.run(&prog).unwrap();
+        // Each executed block costs at least one cycle, so the total block
+        // executions can never exceed the cycle count.
+        assert!(run.profile.total_block_executions() <= run.cycles());
+        // Every recorded block actually exists in the program.
+        for (block, count) in run.profile.iter() {
+            assert!(block.func.index() < prog.functions.len());
+            assert!(block.block.index() < prog.functions[block.func.index()].blocks.len());
+            assert!(count > 0);
+        }
+    }
+}
+
+#[test]
+fn sleep_power_is_far_below_active_power() {
+    let board = Board::stm32vldiscovery();
+    let run = board.run(&compile(PROGRAMS[0], OptLevel::O2)).unwrap();
+    assert!(PowerModel::stm32f100().sleep_mw * 2.0 < run.avg_power_mw);
+}

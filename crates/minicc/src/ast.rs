@@ -1,0 +1,341 @@
+//! Abstract syntax tree of the mini-C language.
+//!
+//! The language is a small C subset sufficient to express the BEEBS-style
+//! embedded kernels used in the evaluation: `int`/`unsigned`/`char`/`float`
+//! scalars, one-dimensional arrays, pointers (one level, as array parameters),
+//! the usual statements and operators, and function calls.  `float` arithmetic
+//! has no hardware support on the modelled core — the lowering turns it into
+//! calls to the opaque soft-float support library, exactly the situation the
+//! paper describes for `cubic` and `float_matmult`.
+
+/// Base type specifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeSpec {
+    /// 32-bit signed integer.
+    Int,
+    /// 32-bit unsigned integer.
+    Unsigned,
+    /// 8-bit unsigned character.
+    Char,
+    /// Unsigned 8-bit (spelled `unsigned char`).
+    UChar,
+    /// IEEE-754 single precision, implemented in software.
+    Float,
+    /// No value (function returns only).
+    Void,
+}
+
+/// A declared type: base specifier plus pointer/array derivations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeclType {
+    /// Base specifier.
+    pub base: TypeSpec,
+    /// Pointer indirection depth (0 = not a pointer; at most 1 is supported).
+    pub pointer: u8,
+    /// Array length, if this is an array declaration.
+    pub array_len: Option<usize>,
+}
+
+impl DeclType {
+    /// A plain scalar of the given base type.
+    pub fn scalar(base: TypeSpec) -> DeclType {
+        DeclType { base, pointer: 0, array_len: None }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`).
+    LogicalNot,
+    /// Bitwise complement (`~`).
+    BitNot,
+}
+
+/// Binary operators (including comparisons and logical connectives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinAstOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogicalAnd,
+    LogicalOr,
+}
+
+impl BinAstOp {
+    /// Whether the operator is a comparison (result is `int` 0/1).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinAstOp::Lt | BinAstOp::Le | BinAstOp::Gt | BinAstOp::Ge | BinAstOp::Eq | BinAstOp::Ne
+        )
+    }
+
+    /// Whether the operator is `&&` or `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinAstOp::LogicalAnd | BinAstOp::LogicalOr)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f32),
+    /// Character literal.
+    CharLit(u8),
+    /// Variable reference.
+    Ident(String),
+    /// Array indexing `base[index]`.
+    Index {
+        /// Array or pointer expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinAstOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// C-style cast.
+    Cast {
+        /// Target type.
+        ty: DeclType,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Conditional expression `cond ? then : else`.
+    Conditional {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value if the condition is non-zero.
+        then_expr: Box<Expr>,
+        /// Value otherwise.
+        else_expr: Box<Expr>,
+    },
+}
+
+/// Initializer of a declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Initializer {
+    /// A single expression.
+    Expr(Expr),
+    /// A brace-enclosed list (arrays).
+    List(Vec<Expr>),
+}
+
+/// A variable declaration (local or global).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Name.
+    pub name: String,
+    /// Declared type.
+    pub ty: DeclType,
+    /// Whether the declaration is `const` (globals only: placed in flash).
+    pub is_const: bool,
+    /// Optional initializer.
+    pub init: Option<Initializer>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local variable declaration.
+    Decl(VarDecl),
+    /// Expression evaluated for its side effects (usually a call).
+    Expr(Expr),
+    /// Assignment `target op= value` (plain assignment when `op` is `None`).
+    Assign {
+        /// Assignment target (identifier, array element or dereference).
+        target: Expr,
+        /// Compound-assignment operator, if any.
+        op: Option<BinAstOp>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        else_body: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `do { .. } while (cond);` loop.
+    DoWhile {
+        /// Body.
+        body: Vec<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for` loop.
+    For {
+        /// Initialization statement (declaration or assignment).
+        init: Option<Box<Stmt>>,
+        /// Loop condition (absent means "always true").
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// A braced block introducing a scope.
+    Block(Vec<Stmt>),
+    /// Empty statement.
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Type (arrays decay to pointers).
+    pub ty: DeclType,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: DeclType,
+    /// Parameters (at most four are supported by the code generator).
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A global variable or constant table.
+    Global(VarDecl),
+    /// A function definition.
+    Function(Function),
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// The function definitions of the unit.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Function(f) => Some(f),
+            Item::Global(_) => None,
+        })
+    }
+
+    /// The global declarations of the unit.
+    pub fn globals(&self) -> impl Iterator<Item = &VarDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Global(g) => Some(g),
+            Item::Function(_) => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decltype_helpers() {
+        let t = DeclType::scalar(TypeSpec::Int);
+        assert_eq!(t.pointer, 0);
+        assert_eq!(t.array_len, None);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinAstOp::Lt.is_comparison());
+        assert!(!BinAstOp::Add.is_comparison());
+        assert!(BinAstOp::LogicalAnd.is_logical());
+        assert!(!BinAstOp::BitAnd.is_logical());
+    }
+
+    #[test]
+    fn program_item_filters() {
+        let p = Program {
+            items: vec![
+                Item::Global(VarDecl {
+                    name: "g".into(),
+                    ty: DeclType::scalar(TypeSpec::Int),
+                    is_const: false,
+                    init: None,
+                    line: 1,
+                }),
+                Item::Function(Function {
+                    name: "main".into(),
+                    ret: DeclType::scalar(TypeSpec::Int),
+                    params: vec![],
+                    body: vec![],
+                    line: 2,
+                }),
+            ],
+        };
+        assert_eq!(p.functions().count(), 1);
+        assert_eq!(p.globals().count(), 1);
+    }
+}

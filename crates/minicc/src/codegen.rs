@@ -1,0 +1,631 @@
+//! Code generation: mid-level IR → Thumb-2-like machine code.
+//!
+//! Each IR basic block becomes one machine basic block, so the CFG the
+//! placement optimizer sees is exactly the CFG of the generated code.  The
+//! generator works from the register allocation produced by
+//! [`regalloc`](crate::regalloc); caller-saved registers (`r0`–`r3`, `r12`)
+//! are used only as intra-instruction scratch, which keeps calls simple.
+
+use std::collections::HashMap;
+
+use flashram_ir::{
+    BinOp, BlockId, CmpOp, FuncId, GlobalData, IrFunction, IrInst, IrModule, IrTerm,
+    MachineBlock, MachineFunction, MachineProgram, VReg, Value,
+};
+use flashram_isa::inst::LitValue;
+use flashram_isa::{Cond, Inst, MemWidth, Reg, ShiftOp, SymbolId, Terminator};
+
+use crate::error::CompileError;
+use crate::regalloc::{allocate, Allocation, Loc};
+
+/// Code-generation options derived from the optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodegenOptions {
+    /// Allocate virtual registers to physical registers (false at `-O0`,
+    /// where everything is kept in stack slots).
+    pub use_registers: bool,
+    /// Use `cbz`/`cbnz` for compare-with-zero branches (O1 and above).
+    pub use_compare_branch: bool,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        CodegenOptions { use_registers: true, use_compare_branch: true }
+    }
+}
+
+/// Generate a complete machine program from a linked IR module.
+///
+/// # Errors
+///
+/// Returns a link-style error if a called function does not exist in the
+/// module.
+pub fn codegen_module(
+    module: &IrModule,
+    opts: &CodegenOptions,
+) -> Result<MachineProgram, CompileError> {
+    let mut func_index: HashMap<&str, u32> = HashMap::new();
+    for (i, f) in module.functions.iter().enumerate() {
+        func_index.insert(f.name.as_str(), i as u32);
+    }
+    let mut functions = Vec::with_capacity(module.functions.len());
+    for f in &module.functions {
+        functions.push(codegen_function(f, &func_index, opts)?);
+    }
+    let globals = module
+        .globals
+        .iter()
+        .map(|g| GlobalData { name: g.name.clone(), bytes: g.init.to_bytes(), mutable: g.mutable })
+        .collect();
+    let entry = module
+        .function_index("main")
+        .map(|i| FuncId(i as u32))
+        .unwrap_or(FuncId(0));
+    Ok(MachineProgram { functions, globals, entry })
+}
+
+/// Generate machine code for one function.
+///
+/// # Errors
+///
+/// Returns an error if the function calls an unknown function.
+pub fn codegen_function(
+    func: &IrFunction,
+    func_index: &HashMap<&str, u32>,
+    opts: &CodegenOptions,
+) -> Result<MachineFunction, CompileError> {
+    let alloc = allocate(func, !opts.use_registers);
+    let gen = FuncGen::new(func, &alloc, func_index, *opts);
+    gen.run()
+}
+
+const SCRATCH_A: Reg = Reg::R0;
+const SCRATCH_B: Reg = Reg::R1;
+const SCRATCH_C: Reg = Reg::R2;
+const SCRATCH_ADDR: Reg = Reg::R12;
+
+struct FuncGen<'a> {
+    func: &'a IrFunction,
+    alloc: &'a Allocation,
+    func_index: &'a HashMap<&'a str, u32>,
+    opts: CodegenOptions,
+    /// Byte offset of each array stack slot from SP (after the prologue).
+    slot_offsets: Vec<i32>,
+    frame_size: u32,
+    saved_regs: Vec<Reg>,
+}
+
+impl<'a> FuncGen<'a> {
+    fn new(
+        func: &'a IrFunction,
+        alloc: &'a Allocation,
+        func_index: &'a HashMap<&'a str, u32>,
+        opts: CodegenOptions,
+    ) -> FuncGen<'a> {
+        // Frame layout (from SP upward): spill slots, then array slots.
+        let spill_bytes = alloc.spill_slots * 4;
+        let mut slot_offsets = Vec::with_capacity(func.slots.len());
+        let mut offset = spill_bytes;
+        for slot in &func.slots {
+            slot_offsets.push(offset as i32);
+            offset += (slot.size + 3) & !3;
+        }
+        let frame_size = offset;
+        let mut saved_regs = alloc.used_regs.clone();
+        saved_regs.push(Reg::Lr);
+        FuncGen { func, alloc, func_index, opts, slot_offsets, frame_size, saved_regs }
+    }
+
+    fn run(self) -> Result<MachineFunction, CompileError> {
+        let mut blocks = Vec::with_capacity(self.func.blocks.len());
+        for (bi, block) in self.func.blocks.iter().enumerate() {
+            let mut insts = Vec::new();
+            if bi == 0 {
+                self.emit_prologue(&mut insts);
+            }
+            for inst in &block.insts {
+                self.emit_inst(inst, &mut insts)?;
+            }
+            let term = self.emit_terminator(&block.term, bi, &mut insts);
+            blocks.push(MachineBlock::new(insts, term));
+        }
+        Ok(MachineFunction {
+            name: self.func.name.clone(),
+            blocks,
+            frame_size: self.frame_size,
+            num_params: self.func.num_params,
+            is_library: self.func.is_library,
+        })
+    }
+
+    // ----- prologue / epilogue -----
+
+    fn emit_prologue(&self, out: &mut Vec<Inst>) {
+        if !self.saved_regs.is_empty() {
+            out.push(Inst::Push { regs: self.saved_regs.clone() });
+        }
+        if self.frame_size > 0 {
+            out.push(Inst::AddSp { delta: -(self.frame_size as i32) });
+        }
+        // Move incoming arguments (r0..r3) to their allocated homes.
+        for p in 0..self.func.num_params {
+            let arg_reg = Reg::ARGS[p];
+            match self.loc(VReg(p as u32)) {
+                Loc::Reg(r) => {
+                    if r != arg_reg {
+                        out.push(Inst::MovReg { rd: r, rm: arg_reg });
+                    }
+                }
+                Loc::Spill(slot) => out.push(Inst::Store {
+                    rs: arg_reg,
+                    base: Reg::Sp,
+                    offset: (slot * 4) as i32,
+                    width: MemWidth::Word,
+                }),
+            }
+        }
+    }
+
+    fn emit_epilogue(&self, out: &mut Vec<Inst>) {
+        if self.frame_size > 0 {
+            out.push(Inst::AddSp { delta: self.frame_size as i32 });
+        }
+        if !self.saved_regs.is_empty() {
+            out.push(Inst::Pop { regs: self.saved_regs.clone() });
+        }
+    }
+
+    // ----- operand plumbing -----
+
+    fn loc(&self, reg: VReg) -> Loc {
+        self.alloc.loc(reg)
+    }
+
+    fn spill_offset(&self, slot: u32) -> i32 {
+        (slot * 4) as i32
+    }
+
+    /// Materialize a value into some register, preferring its home register
+    /// and otherwise using `scratch`.
+    fn value_to_reg(&self, v: Value, scratch: Reg, out: &mut Vec<Inst>) -> Reg {
+        match v {
+            Value::Const(c) => {
+                out.push(Inst::MovImm { rd: scratch, imm: c });
+                scratch
+            }
+            Value::Reg(vr) => match self.loc(vr) {
+                Loc::Reg(r) => r,
+                Loc::Spill(slot) => {
+                    out.push(Inst::Load {
+                        rd: scratch,
+                        base: Reg::Sp,
+                        offset: self.spill_offset(slot),
+                        width: MemWidth::Word,
+                    });
+                    scratch
+                }
+            },
+        }
+    }
+
+    /// Materialize a value into a *specific* register (used for call
+    /// arguments and return values).
+    fn value_into(&self, v: Value, target: Reg, out: &mut Vec<Inst>) {
+        match v {
+            Value::Const(c) => out.push(Inst::MovImm { rd: target, imm: c }),
+            Value::Reg(vr) => match self.loc(vr) {
+                Loc::Reg(r) => {
+                    if r != target {
+                        out.push(Inst::MovReg { rd: target, rm: r });
+                    }
+                }
+                Loc::Spill(slot) => out.push(Inst::Load {
+                    rd: target,
+                    base: Reg::Sp,
+                    offset: self.spill_offset(slot),
+                    width: MemWidth::Word,
+                }),
+            },
+        }
+    }
+
+    /// The register a destination should be computed into, plus whether the
+    /// result must be stored back to a spill slot afterwards.
+    fn dst_reg(&self, dst: VReg) -> (Reg, Option<i32>) {
+        match self.loc(dst) {
+            Loc::Reg(r) => (r, None),
+            Loc::Spill(slot) => (SCRATCH_C, Some(self.spill_offset(slot))),
+        }
+    }
+
+    fn finish_dst(&self, spill: Option<i32>, reg: Reg, out: &mut Vec<Inst>) {
+        if let Some(offset) = spill {
+            out.push(Inst::Store { rs: reg, base: Reg::Sp, offset, width: MemWidth::Word });
+        }
+    }
+
+    // ----- instruction selection -----
+
+    fn emit_inst(&self, inst: &IrInst, out: &mut Vec<Inst>) -> Result<(), CompileError> {
+        match inst {
+            IrInst::Copy { dst, src } => {
+                let (rd, spill) = self.dst_reg(*dst);
+                match src {
+                    Value::Const(c) => out.push(Inst::MovImm { rd, imm: *c }),
+                    v => {
+                        let rs = self.value_to_reg(*v, rd, out);
+                        if rs != rd {
+                            out.push(Inst::MovReg { rd, rm: rs });
+                        }
+                    }
+                }
+                self.finish_dst(spill, rd, out);
+            }
+            IrInst::Bin { op, dst, lhs, rhs } => {
+                self.emit_bin(*op, *dst, *lhs, *rhs, out);
+            }
+            IrInst::Cmp { op, dst, lhs, rhs } => {
+                let (rd, spill) = self.dst_reg(*dst);
+                let ra = self.value_to_reg(*lhs, SCRATCH_A, out);
+                match rhs {
+                    Value::Const(c) => out.push(Inst::CmpImm { rn: ra, imm: *c }),
+                    v => {
+                        let rb = self.value_to_reg(*v, SCRATCH_B, out);
+                        out.push(Inst::CmpReg { rn: ra, rm: rb });
+                    }
+                }
+                out.push(Inst::MovImm { rd, imm: 0 });
+                out.push(Inst::MovCond { cond: cmp_to_cond(*op), rd, imm: 1 });
+                self.finish_dst(spill, rd, out);
+            }
+            IrInst::Neg { dst, src } => {
+                let (rd, spill) = self.dst_reg(*dst);
+                let rs = self.value_to_reg(*src, SCRATCH_A, out);
+                out.push(Inst::RsbImm { rd, rn: rs, imm: 0 });
+                self.finish_dst(spill, rd, out);
+            }
+            IrInst::Not { dst, src } => {
+                let (rd, spill) = self.dst_reg(*dst);
+                let rs = self.value_to_reg(*src, SCRATCH_A, out);
+                out.push(Inst::Mvn { rd, rm: rs });
+                self.finish_dst(spill, rd, out);
+            }
+            IrInst::FrameAddr { dst, slot } => {
+                let (rd, spill) = self.dst_reg(*dst);
+                out.push(Inst::AddImm { rd, rn: Reg::Sp, imm: self.slot_offsets[*slot] });
+                self.finish_dst(spill, rd, out);
+            }
+            IrInst::GlobalAddr { dst, global } => {
+                let (rd, spill) = self.dst_reg(*dst);
+                out.push(Inst::LdrLit { rd, value: LitValue::Symbol(SymbolId(*global as u32)) });
+                self.finish_dst(spill, rd, out);
+            }
+            IrInst::Load { dst, addr, offset, width } => {
+                let (rd, spill) = self.dst_reg(*dst);
+                let base = self.value_to_reg(*addr, SCRATCH_ADDR, out);
+                out.push(Inst::Load { rd, base, offset: *offset, width: *width });
+                self.finish_dst(spill, rd, out);
+            }
+            IrInst::Store { src, addr, offset, width } => {
+                let base = self.value_to_reg(*addr, SCRATCH_ADDR, out);
+                let rs = self.value_to_reg(*src, SCRATCH_A, out);
+                out.push(Inst::Store { rs, base, offset: *offset, width: *width });
+            }
+            IrInst::Call { dst, callee, args } => {
+                for (i, a) in args.iter().enumerate() {
+                    self.value_into(*a, Reg::ARGS[i], out);
+                }
+                let index = self
+                    .func_index
+                    .get(callee.0.as_str())
+                    .copied()
+                    .ok_or_else(|| {
+                        CompileError::global(format!(
+                            "undefined reference to function `{}` (called from `{}`)",
+                            callee.0, self.func.name
+                        ))
+                    })?;
+                out.push(Inst::Bl { callee: index });
+                if let Some(dst) = dst {
+                    let (rd, spill) = self.dst_reg(*dst);
+                    if rd != Reg::R0 {
+                        out.push(Inst::MovReg { rd, rm: Reg::R0 });
+                    }
+                    self.finish_dst(spill, rd, out);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_bin(&self, op: BinOp, dst: VReg, lhs: Value, rhs: Value, out: &mut Vec<Inst>) {
+        let (rd, spill) = self.dst_reg(dst);
+        let ra = self.value_to_reg(lhs, SCRATCH_A, out);
+        // Immediate forms where the ISA has them.
+        let done = match (op, rhs) {
+            (BinOp::Add, Value::Const(c)) => {
+                if c >= 0 {
+                    out.push(Inst::AddImm { rd, rn: ra, imm: c });
+                } else {
+                    out.push(Inst::SubImm { rd, rn: ra, imm: -c });
+                }
+                true
+            }
+            (BinOp::Sub, Value::Const(c)) => {
+                if c >= 0 {
+                    out.push(Inst::SubImm { rd, rn: ra, imm: c });
+                } else {
+                    out.push(Inst::AddImm { rd, rn: ra, imm: -c });
+                }
+                true
+            }
+            (BinOp::And, Value::Const(c)) => {
+                out.push(Inst::AndImm { rd, rn: ra, imm: c });
+                true
+            }
+            (BinOp::Or, Value::Const(c)) => {
+                out.push(Inst::OrrImm { rd, rn: ra, imm: c });
+                true
+            }
+            (BinOp::Xor, Value::Const(c)) => {
+                out.push(Inst::EorImm { rd, rn: ra, imm: c });
+                true
+            }
+            (BinOp::Shl, Value::Const(c)) => {
+                out.push(Inst::ShiftImm { op: ShiftOp::Lsl, rd, rm: ra, imm: (c & 31) as u8 });
+                true
+            }
+            (BinOp::Lshr, Value::Const(c)) => {
+                out.push(Inst::ShiftImm { op: ShiftOp::Lsr, rd, rm: ra, imm: (c & 31) as u8 });
+                true
+            }
+            (BinOp::Ashr, Value::Const(c)) => {
+                out.push(Inst::ShiftImm { op: ShiftOp::Asr, rd, rm: ra, imm: (c & 31) as u8 });
+                true
+            }
+            _ => false,
+        };
+        if done {
+            self.finish_dst(spill, rd, out);
+            return;
+        }
+        let rb = self.value_to_reg(rhs, SCRATCH_B, out);
+        match op {
+            BinOp::Add => out.push(Inst::AddReg { rd, rn: ra, rm: rb }),
+            BinOp::Sub => out.push(Inst::SubReg { rd, rn: ra, rm: rb }),
+            BinOp::Mul => out.push(Inst::Mul { rd, rn: ra, rm: rb }),
+            BinOp::Div => out.push(Inst::Sdiv { rd, rn: ra, rm: rb }),
+            BinOp::Udiv => out.push(Inst::Udiv { rd, rn: ra, rm: rb }),
+            BinOp::Rem | BinOp::Urem => {
+                // r = a - (a / b) * b, using the remaining scratch register.
+                let q = SCRATCH_C;
+                if matches!(op, BinOp::Rem) {
+                    out.push(Inst::Sdiv { rd: q, rn: ra, rm: rb });
+                } else {
+                    out.push(Inst::Udiv { rd: q, rn: ra, rm: rb });
+                }
+                out.push(Inst::Mul { rd: q, rn: q, rm: rb });
+                out.push(Inst::SubReg { rd, rn: ra, rm: q });
+            }
+            BinOp::And => out.push(Inst::And { rd, rn: ra, rm: rb }),
+            BinOp::Or => out.push(Inst::Orr { rd, rn: ra, rm: rb }),
+            BinOp::Xor => out.push(Inst::Eor { rd, rn: ra, rm: rb }),
+            BinOp::Shl => out.push(Inst::ShiftReg { op: ShiftOp::Lsl, rd, rn: ra, rm: rb }),
+            BinOp::Lshr => out.push(Inst::ShiftReg { op: ShiftOp::Lsr, rd, rn: ra, rm: rb }),
+            BinOp::Ashr => out.push(Inst::ShiftReg { op: ShiftOp::Asr, rd, rn: ra, rm: rb }),
+        }
+        self.finish_dst(spill, rd, out);
+    }
+
+    fn emit_terminator(
+        &self,
+        term: &IrTerm,
+        block_index: usize,
+        out: &mut Vec<Inst>,
+    ) -> Terminator<BlockId> {
+        match term {
+            IrTerm::Jump(target) => {
+                if target.index() == block_index + 1 {
+                    Terminator::FallThrough { target: *target }
+                } else {
+                    Terminator::Branch { target: *target }
+                }
+            }
+            IrTerm::Branch { op, lhs, rhs, then_block, else_block } => {
+                // Compare-with-zero branches become cbz/cbnz where allowed.
+                if self.opts.use_compare_branch
+                    && matches!(op, CmpOp::Eq | CmpOp::Ne)
+                    && *rhs == Value::Const(0)
+                {
+                    if let Value::Reg(vr) = lhs {
+                        if let Loc::Reg(r) = self.loc(*vr) {
+                            if r.is_low() {
+                                return Terminator::CompareBranch {
+                                    nonzero: matches!(op, CmpOp::Ne),
+                                    rn: r,
+                                    target: *then_block,
+                                    fallthrough: *else_block,
+                                };
+                            }
+                        }
+                    }
+                }
+                let ra = self.value_to_reg(*lhs, SCRATCH_A, out);
+                match rhs {
+                    Value::Const(c) => out.push(Inst::CmpImm { rn: ra, imm: *c }),
+                    v => {
+                        let rb = self.value_to_reg(*v, SCRATCH_B, out);
+                        out.push(Inst::CmpReg { rn: ra, rm: rb });
+                    }
+                }
+                Terminator::CondBranch {
+                    cond: cmp_to_cond(*op),
+                    target: *then_block,
+                    fallthrough: *else_block,
+                }
+            }
+            IrTerm::Ret(value) => {
+                if let Some(v) = value {
+                    self.value_into(*v, Reg::R0, out);
+                }
+                self.emit_epilogue(out);
+                Terminator::Return
+            }
+        }
+    }
+}
+
+fn cmp_to_cond(op: CmpOp) -> Cond {
+    match op {
+        CmpOp::Eq => Cond::Eq,
+        CmpOp::Ne => Cond::Ne,
+        CmpOp::Slt => Cond::Lt,
+        CmpOp::Sle => Cond::Le,
+        CmpOp::Sgt => Cond::Gt,
+        CmpOp::Sge => Cond::Ge,
+        CmpOp::Ult => Cond::Cc,
+        CmpOp::Ule => Cond::Ls,
+        CmpOp::Ugt => Cond::Hi,
+        CmpOp::Uge => Cond::Cs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower_program, LowerOptions};
+    use crate::parser::parse;
+
+    fn compile(src: &str, opts: &CodegenOptions) -> MachineProgram {
+        let module = lower_program(&parse(src).unwrap(), &LowerOptions::default(), false).unwrap();
+        codegen_module(&module, opts).unwrap()
+    }
+
+    #[test]
+    fn generates_valid_machine_program() {
+        let prog = compile(
+            "int add(int a, int b) { return a + b; }
+             int main() { return add(2, 3); }",
+            &CodegenOptions::default(),
+        );
+        assert!(prog.validate().is_empty(), "{:?}", prog.validate());
+        assert_eq!(prog.functions.len(), 2);
+        assert_eq!(prog.entry.index(), 1);
+    }
+
+    #[test]
+    fn o0_style_codegen_is_bigger_than_optimized() {
+        let src = "int f(int a, int b) { int c = a + b; int d = c * 2; return d - a; }";
+        let o0 = compile(src, &CodegenOptions { use_registers: false, use_compare_branch: false });
+        let o1 = compile(src, &CodegenOptions::default());
+        assert!(
+            o0.code_size() > o1.code_size(),
+            "expected unoptimized code to be larger: {} vs {}",
+            o0.code_size(),
+            o1.code_size()
+        );
+    }
+
+    #[test]
+    fn loops_generate_conditional_terminators() {
+        let prog = compile(
+            "int sum(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }
+             int main() { return sum(5); }",
+            &CodegenOptions::default(),
+        );
+        let f = prog.function("sum").unwrap();
+        let has_cond = f.blocks.iter().any(|b| {
+            matches!(
+                b.term,
+                Terminator::CondBranch { .. } | Terminator::CompareBranch { .. }
+            )
+        });
+        assert!(has_cond, "{prog}");
+    }
+
+    #[test]
+    fn compare_with_zero_uses_cbz_when_enabled() {
+        let src = "int f(int a) { while (a != 0) { a = a - 1; } return a; } int main() { return f(9); }";
+        let with = compile(src, &CodegenOptions::default());
+        let without =
+            compile(src, &CodegenOptions { use_registers: true, use_compare_branch: false });
+        let count_cbz = |p: &MachineProgram| {
+            p.functions
+                .iter()
+                .flat_map(|f| f.blocks.iter())
+                .filter(|b| matches!(b.term, Terminator::CompareBranch { .. }))
+                .count()
+        };
+        assert!(count_cbz(&with) >= 1);
+        assert_eq!(count_cbz(&without), 0);
+    }
+
+    #[test]
+    fn calls_marshal_arguments_into_r0_r3() {
+        let prog = compile(
+            "int g(int a, int b, int c, int d) { return a + b + c + d; }
+             int main() { return g(1, 2, 3, 4); }",
+            &CodegenOptions::default(),
+        );
+        let main = prog.function("main").unwrap();
+        let insts: Vec<&Inst> = main.blocks.iter().flat_map(|b| b.insts.iter()).collect();
+        let has_call = insts.iter().any(|i| matches!(i, Inst::Bl { .. }));
+        assert!(has_call);
+        // All four argument registers must be written before the call.
+        for target in [Reg::R0, Reg::R1, Reg::R2, Reg::R3] {
+            let written = insts.iter().any(|i| matches!(i, Inst::MovImm { rd, .. } if *rd == target));
+            assert!(written, "argument register {target} never written:\n{prog}");
+        }
+    }
+
+    #[test]
+    fn globals_become_symbol_loads() {
+        let prog = compile(
+            "int counter = 5; int main() { counter = counter + 1; return counter; }",
+            &CodegenOptions::default(),
+        );
+        assert_eq!(prog.globals.len(), 1);
+        let main = prog.function("main").unwrap();
+        let has_sym_load = main.blocks.iter().flat_map(|b| b.insts.iter()).any(|i| {
+            matches!(i, Inst::LdrLit { value: LitValue::Symbol(SymbolId(0)), .. })
+        });
+        assert!(has_sym_load, "{prog}");
+    }
+
+    #[test]
+    fn undefined_call_is_a_link_error() {
+        let module = lower_program(
+            &parse("float f(float a) { return sqrtf(a); }").unwrap(),
+            &LowerOptions::default(),
+            false,
+        )
+        .unwrap();
+        let err = codegen_module(&module, &CodegenOptions::default()).unwrap_err();
+        assert!(err.message.contains("sqrtf"), "{err}");
+    }
+
+    #[test]
+    fn prologue_saves_and_epilogue_restores() {
+        let prog = compile(
+            "int f(int a, int b) { int c[4]; c[0] = a; c[1] = b; return c[0] + c[1]; }
+             int main() { return f(1, 2); }",
+            &CodegenOptions::default(),
+        );
+        let f = prog.function("f").unwrap();
+        assert!(f.frame_size >= 16, "array slot must be in the frame");
+        let entry = &f.blocks[0];
+        assert!(matches!(entry.insts[0], Inst::Push { .. }));
+        let returns: Vec<&MachineBlock> = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Return))
+            .collect();
+        assert!(!returns.is_empty());
+        for b in returns {
+            assert!(
+                b.insts.iter().any(|i| matches!(i, Inst::Pop { .. })),
+                "every return path must restore saved registers"
+            );
+        }
+    }
+}

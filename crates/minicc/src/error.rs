@@ -1,0 +1,49 @@
+//! Compilation errors.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing, type-checking or lowering a
+/// mini-C translation unit, or while linking modules into a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line the error was detected on (0 when the error is
+    /// not tied to a specific line, e.g. link errors).
+    pub line: u32,
+}
+
+impl CompileError {
+    /// Create an error attached to a source line.
+    pub fn new(message: impl Into<String>, line: u32) -> CompileError {
+        CompileError { message: message.into(), line }
+    }
+
+    /// Create an error that is not attached to a source line.
+    pub fn global(message: impl Into<String>) -> CompileError {
+        CompileError { message: message.into(), line: 0 }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_when_present() {
+        assert_eq!(CompileError::new("bad token", 7).to_string(), "line 7: bad token");
+        assert_eq!(CompileError::global("undefined function f").to_string(), "undefined function f");
+    }
+}

@@ -1,0 +1,328 @@
+//! A small C-subset compiler targeting the Thumb-2-like machine model.
+//!
+//! `flashram-minicc` stands in for GCC 4.8 in the reproduction of
+//! *Optimizing the flash-RAM energy trade-off in deeply embedded systems*
+//! (CGO 2015): it compiles the benchmark kernels to machine-level control
+//! flow graphs at five optimization levels (`-O0`, `-O1`, `-O2`, `-O3`,
+//! `-Os`), which the placement optimizer in `flashram-core` then analyses
+//! and transforms.
+//!
+//! The pipeline is conventional: lexer → parser → typed lowering to a
+//! three-address IR → scalar optimization passes → linear-scan register
+//! allocation → Thumb-2-like code generation.  Translation units can be
+//! marked as *library* code; the resulting functions are flagged so the
+//! placement optimizer leaves them in flash, reproducing the paper's
+//! library-call limitation.
+//!
+//! # Example
+//!
+//! ```
+//! use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+//!
+//! let program = compile_program(
+//!     &[SourceUnit::application(
+//!         "int main() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }",
+//!     )],
+//!     OptLevel::O2,
+//! )?;
+//! assert!(program.function("main").is_some());
+//! # Ok::<(), flashram_minicc::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod error;
+pub mod lower;
+pub mod parser;
+pub mod passes;
+pub mod regalloc;
+pub mod token;
+pub mod types;
+
+use std::collections::HashSet;
+use std::fmt;
+
+use flashram_ir::{IrInst, IrModule, MachineProgram};
+
+pub use codegen::CodegenOptions;
+pub use error::CompileError;
+pub use lower::LowerOptions;
+
+/// The GCC-style optimization levels the evaluation sweeps over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// No optimization; every value lives on the stack.
+    O0,
+    /// Basic scalar optimizations and register allocation.
+    O1,
+    /// `O1` plus function inlining.
+    O2,
+    /// `O2` plus loop unrolling (larger, faster code).
+    O3,
+    /// Optimize for size: like `O2` but without inlining.
+    Os,
+}
+
+impl OptLevel {
+    /// All levels, in the order used by the paper's evaluation.
+    pub const ALL: [OptLevel; 5] =
+        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os];
+
+    /// The lowering options for this level.
+    pub fn lower_options(self) -> LowerOptions {
+        LowerOptions { unroll_loops: self == OptLevel::O3, unroll_limit: 96 }
+    }
+
+    /// The code-generation options for this level.
+    pub fn codegen_options(self) -> CodegenOptions {
+        CodegenOptions {
+            use_registers: self != OptLevel::O0,
+            use_compare_branch: self != OptLevel::O0,
+        }
+    }
+
+    /// The inlining threshold (maximum callee instruction count), if the
+    /// level inlines at all.
+    pub fn inline_threshold(self) -> Option<usize> {
+        match self {
+            OptLevel::O0 | OptLevel::O1 | OptLevel::Os => None,
+            OptLevel::O2 => Some(8),
+            OptLevel::O3 => Some(16),
+        }
+    }
+
+    /// Whether the scalar pass pipeline runs at all.
+    pub fn runs_passes(self) -> bool {
+        self != OptLevel::O0
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O1 => "O1",
+            OptLevel::O2 => "O2",
+            OptLevel::O3 => "O3",
+            OptLevel::Os => "Os",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A source file together with its linkage role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceUnit<'a> {
+    /// The mini-C source text.
+    pub code: &'a str,
+    /// Whether this unit is statically-linked library code (always compiled
+    /// at `-O2` and opaque to the placement optimizer).
+    pub is_library: bool,
+}
+
+impl<'a> SourceUnit<'a> {
+    /// An application translation unit.
+    pub fn application(code: &'a str) -> SourceUnit<'a> {
+        SourceUnit { code, is_library: false }
+    }
+
+    /// A library translation unit.
+    pub fn library(code: &'a str) -> SourceUnit<'a> {
+        SourceUnit { code, is_library: true }
+    }
+}
+
+/// Compile one translation unit to the mid-level IR (parsed, lowered and
+/// optimized according to `opt`).
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error.
+pub fn compile_module(
+    source: &str,
+    opt: OptLevel,
+    is_library: bool,
+) -> Result<IrModule, CompileError> {
+    let ast = parser::parse(source)?;
+    let mut module = lower::lower_program(&ast, &opt.lower_options(), is_library)?;
+    if opt.runs_passes() {
+        passes::optimize_module(&mut module, opt.inline_threshold());
+    }
+    Ok(module)
+}
+
+/// Link several IR modules into one, remapping global references and
+/// rejecting duplicate definitions.
+///
+/// # Errors
+///
+/// Returns an error on duplicate function or global names.
+pub fn link_modules(modules: Vec<IrModule>) -> Result<IrModule, CompileError> {
+    let mut linked = IrModule::new();
+    let mut function_names: HashSet<String> = HashSet::new();
+    let mut global_names: HashSet<String> = HashSet::new();
+    for module in modules {
+        let global_offset = linked.globals.len();
+        for g in module.globals {
+            if !global_names.insert(g.name.clone()) {
+                return Err(CompileError::global(format!(
+                    "duplicate definition of global `{}`",
+                    g.name
+                )));
+            }
+            linked.globals.push(g);
+        }
+        for mut f in module.functions {
+            if !function_names.insert(f.name.clone()) {
+                return Err(CompileError::global(format!(
+                    "duplicate definition of function `{}`",
+                    f.name
+                )));
+            }
+            if global_offset > 0 {
+                for block in &mut f.blocks {
+                    for inst in &mut block.insts {
+                        if let IrInst::GlobalAddr { global, .. } = inst {
+                            *global += global_offset;
+                        }
+                    }
+                }
+            }
+            linked.functions.push(f);
+        }
+    }
+    Ok(linked)
+}
+
+/// Compile and link a whole program: every source unit is compiled (library
+/// units always at `-O2`, application units at `opt`), linked, and lowered to
+/// a machine program ready for layout, optimization and simulation.
+///
+/// # Errors
+///
+/// Returns compile errors from any unit, duplicate-symbol link errors, or
+/// undefined-function errors from code generation.
+pub fn compile_program(
+    units: &[SourceUnit<'_>],
+    opt: OptLevel,
+) -> Result<MachineProgram, CompileError> {
+    let mut modules = Vec::with_capacity(units.len());
+    for unit in units {
+        let unit_level = if unit.is_library { OptLevel::O2 } else { opt };
+        modules.push(compile_module(unit.code, unit_level, unit.is_library)?);
+    }
+    let linked = link_modules(modules)?;
+    let program = codegen::codegen_module(&linked, &opt.codegen_options())?;
+    let problems = program.validate();
+    if !problems.is_empty() {
+        return Err(CompileError::global(format!(
+            "internal error: generated program failed validation: {}",
+            problems.join("; ")
+        )));
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APP: &str = "
+        int data[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+        int sum(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { s += data[i]; }
+            return s;
+        }
+        int main() { return sum(8); }
+    ";
+
+    #[test]
+    fn compiles_at_every_optimization_level() {
+        for level in OptLevel::ALL {
+            let prog = compile_program(&[SourceUnit::application(APP)], level)
+                .unwrap_or_else(|e| panic!("{level}: {e}"));
+            assert!(prog.function("main").is_some(), "{level}");
+            assert!(prog.validate().is_empty(), "{level}");
+        }
+    }
+
+    #[test]
+    fn higher_levels_produce_smaller_or_equal_code_than_o0() {
+        let sizes: Vec<(OptLevel, u32)> = OptLevel::ALL
+            .iter()
+            .map(|&l| {
+                let p = compile_program(&[SourceUnit::application(APP)], l).unwrap();
+                (l, p.code_size())
+            })
+            .collect();
+        let o0 = sizes.iter().find(|(l, _)| *l == OptLevel::O0).unwrap().1;
+        let o2 = sizes.iter().find(|(l, _)| *l == OptLevel::O2).unwrap().1;
+        assert!(o2 < o0, "O2 ({o2} bytes) should be smaller than O0 ({o0} bytes)");
+    }
+
+    #[test]
+    fn o3_unrolling_changes_block_structure() {
+        let src = "
+            int acc(int x[]) { int s = 0; for (int i = 0; i < 8; i++) { s += x[i]; } return s; }
+            int main() { int a[8]; for (int i = 0; i < 8; i++) { a[i] = i; } return acc(a); }
+        ";
+        let o2 = compile_program(&[SourceUnit::application(src)], OptLevel::O2).unwrap();
+        let o3 = compile_program(&[SourceUnit::application(src)], OptLevel::O3).unwrap();
+        let blocks = |p: &MachineProgram, name: &str| p.function(name).unwrap().blocks.len();
+        assert!(
+            blocks(&o3, "acc") < blocks(&o2, "acc"),
+            "unrolling should remove the loop: O3 {} vs O2 {}",
+            blocks(&o3, "acc"),
+            blocks(&o2, "acc")
+        );
+        // The unrolled body is straight-line code; with constant-folded
+        // offsets it may be smaller or larger than the rolled loop, but it
+        // must differ.
+        assert_ne!(
+            o3.function("acc").unwrap().size_bytes(),
+            o2.function("acc").unwrap().size_bytes()
+        );
+    }
+
+    #[test]
+    fn library_units_are_flagged_and_linked() {
+        let lib = "int helper(int x) { return x * 3; }";
+        let app = "int main() { return helper(4); }";
+        let prog = compile_program(
+            &[SourceUnit::library(lib), SourceUnit::application(app)],
+            OptLevel::O1,
+        )
+        .unwrap();
+        assert!(prog.function("helper").unwrap().is_library);
+        assert!(!prog.function("main").unwrap().is_library);
+    }
+
+    #[test]
+    fn duplicate_symbols_are_link_errors() {
+        let a = "int f() { return 1; }";
+        let b = "int f() { return 2; }";
+        let err = compile_program(
+            &[SourceUnit::application(a), SourceUnit::application(b)],
+            OptLevel::O1,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn global_references_survive_linking() {
+        let lib = "int lib_state = 7; int lib_get() { return lib_state; }";
+        let app = "int app_state = 9; int main() { return lib_get() + app_state; }";
+        let prog = compile_program(
+            &[SourceUnit::library(lib), SourceUnit::application(app)],
+            OptLevel::O2,
+        )
+        .unwrap();
+        assert_eq!(prog.globals.len(), 2);
+        assert!(prog.validate().is_empty());
+    }
+}

@@ -1,0 +1,1601 @@
+//! Lowering from the mini-C AST to the mid-level IR.
+//!
+//! The lowering performs type checking as it goes: integer promotion, array
+//! decay, pointer-arithmetic scaling, implicit conversions, and the
+//! replacement of every `float` operation by a call into the soft-float
+//! support library (`__f32_add`, `__f32_mul`, ...).  Those calls are what
+//! make the float-heavy benchmarks opaque to the placement optimizer — the
+//! same limitation the paper observes for `cubic` and `float_matmult`.
+
+use std::collections::HashMap;
+
+use flashram_ir::{
+    BinOp, BlockId, CmpOp, FuncRef, Global, GlobalInit, IrFunction, IrInst, IrModule,
+    IrTerm, StackSlot, VReg, Value,
+};
+use crate::ast::{
+    BinAstOp, Expr, Function, Initializer, Item, Program, Stmt, TypeSpec, UnOp, VarDecl,
+};
+use crate::error::CompileError;
+use crate::types::Ty;
+
+/// Options controlling AST-level transformations applied during lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerOptions {
+    /// Fully unroll small counted `for` loops (enabled at `-O3`).
+    pub unroll_loops: bool,
+    /// Maximum `trip count × body statements` product for full unrolling.
+    pub unroll_limit: usize,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions { unroll_loops: false, unroll_limit: 96 }
+    }
+}
+
+/// Lower a parsed translation unit to an IR module.
+///
+/// `is_library` marks every produced function as statically-linked library
+/// code, which the placement optimizer refuses to touch.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for type errors, references to undefined names
+/// or unsupported constructs.
+pub fn lower_program(
+    prog: &Program,
+    opts: &LowerOptions,
+    is_library: bool,
+) -> Result<IrModule, CompileError> {
+    let mut module = IrModule::new();
+    let mut ctx = ModuleCtx::default();
+    ctx.install_builtins();
+
+    // Pass 1: collect globals and function signatures.
+    for item in &prog.items {
+        match item {
+            Item::Global(decl) => {
+                let ty = Ty::from_decl(&decl.ty);
+                if ty == Ty::Void {
+                    return Err(CompileError::new("global of type void", decl.line));
+                }
+                let init = lower_global_init(decl, &ty)?;
+                let index = module.globals.len();
+                module.globals.push(Global {
+                    name: decl.name.clone(),
+                    init,
+                    mutable: !decl.is_const,
+                });
+                ctx.globals.insert(decl.name.clone(), GlobalInfo { index, ty });
+            }
+            Item::Function(f) => {
+                let sig = FuncSig {
+                    ret: Ty::from_decl(&f.ret),
+                    params: f.params.iter().map(|p| Ty::from_decl(&p.ty).decay()).collect(),
+                };
+                if sig.params.len() > 4 {
+                    return Err(CompileError::new(
+                        format!("function {} has more than 4 parameters", f.name),
+                        f.line,
+                    ));
+                }
+                ctx.funcs.insert(f.name.clone(), sig);
+            }
+        }
+    }
+
+    // Pass 2: lower each function body.
+    for f in prog.functions() {
+        let func = FnLower::new(&ctx, f, opts)?.run(f)?;
+        let mut func = func;
+        func.is_library = is_library;
+        module.functions.push(func);
+    }
+    Ok(module)
+}
+
+/// Information about a module global.
+#[derive(Debug, Clone)]
+struct GlobalInfo {
+    index: usize,
+    ty: Ty,
+}
+
+/// A function signature.
+#[derive(Debug, Clone)]
+struct FuncSig {
+    ret: Ty,
+    params: Vec<Ty>,
+}
+
+#[derive(Default)]
+struct ModuleCtx {
+    globals: HashMap<String, GlobalInfo>,
+    funcs: HashMap<String, FuncSig>,
+}
+
+impl ModuleCtx {
+    /// Register the soft-float and math support routines the lowering may
+    /// emit calls to.  Their implementations live in the library translation
+    /// unit shipped with `flashram-beebs`.
+    fn install_builtins(&mut self) {
+        let f = Ty::Float;
+        let i = Ty::Int;
+        let two_f = |ret: Ty| FuncSig { ret, params: vec![f.clone(), f.clone()] };
+        self.funcs.insert("__f32_add".into(), two_f(f.clone()));
+        self.funcs.insert("__f32_sub".into(), two_f(f.clone()));
+        self.funcs.insert("__f32_mul".into(), two_f(f.clone()));
+        self.funcs.insert("__f32_div".into(), two_f(f.clone()));
+        self.funcs.insert("__f32_lt".into(), two_f(i.clone()));
+        self.funcs.insert("__f32_le".into(), two_f(i.clone()));
+        self.funcs.insert("__f32_eq".into(), two_f(i.clone()));
+        self.funcs
+            .insert("__f32_from_int".into(), FuncSig { ret: f.clone(), params: vec![i.clone()] });
+        self.funcs
+            .insert("__f32_to_int".into(), FuncSig { ret: i.clone(), params: vec![f.clone()] });
+        self.funcs
+            .insert("sqrtf".into(), FuncSig { ret: f.clone(), params: vec![f.clone()] });
+        self.funcs
+            .insert("fabsf".into(), FuncSig { ret: f.clone(), params: vec![f.clone()] });
+    }
+}
+
+fn lower_global_init(decl: &VarDecl, ty: &Ty) -> Result<GlobalInit, CompileError> {
+    let line = decl.line;
+    match (&decl.init, ty) {
+        (None, _) => Ok(GlobalInit::Zero(ty.size().max(1))),
+        (Some(Initializer::Expr(e)), Ty::Array(..)) => Err(CompileError::new(
+            format!("array {} must use a brace initializer, not {e:?}", decl.name),
+            line,
+        )),
+        (Some(Initializer::Expr(e)), scalar) => {
+            let v = const_eval(e, line)?;
+            Ok(GlobalInit::Words(vec![const_to_bits(v, scalar)]))
+        }
+        (Some(Initializer::List(items)), Ty::Array(elem, len)) => {
+            if items.len() > *len {
+                return Err(CompileError::new(
+                    format!("too many initializers for {} ({} > {len})", decl.name, items.len()),
+                    line,
+                ));
+            }
+            match **elem {
+                Ty::Char => {
+                    let mut bytes = Vec::with_capacity(*len);
+                    for e in items {
+                        let v = const_eval(e, line)?;
+                        bytes.push((const_to_bits(v, &Ty::Int) & 0xff) as u8);
+                    }
+                    bytes.resize(*len, 0);
+                    Ok(GlobalInit::Bytes(bytes))
+                }
+                _ => {
+                    let mut words = Vec::with_capacity(*len);
+                    for e in items {
+                        let v = const_eval(e, line)?;
+                        words.push(const_to_bits(v, elem));
+                    }
+                    words.resize(*len, 0);
+                    Ok(GlobalInit::Words(words))
+                }
+            }
+        }
+        (Some(Initializer::List(_)), _) => Err(CompileError::new(
+            format!("brace initializer on non-array global {}", decl.name),
+            line,
+        )),
+    }
+}
+
+/// A compile-time constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ConstVal {
+    Int(i64),
+    Float(f32),
+}
+
+fn const_to_bits(v: ConstVal, ty: &Ty) -> i32 {
+    match (v, ty) {
+        (ConstVal::Int(i), Ty::Float) => f32::to_bits(i as f32) as i32,
+        (ConstVal::Int(i), _) => i as i32,
+        (ConstVal::Float(f), Ty::Float) => f32::to_bits(f) as i32,
+        (ConstVal::Float(f), _) => f as i32,
+    }
+}
+
+fn const_eval(e: &Expr, line: u32) -> Result<ConstVal, CompileError> {
+    match e {
+        Expr::IntLit(v) => Ok(ConstVal::Int(*v)),
+        Expr::CharLit(c) => Ok(ConstVal::Int(*c as i64)),
+        Expr::FloatLit(f) => Ok(ConstVal::Float(*f)),
+        Expr::Unary { op: UnOp::Neg, expr } => match const_eval(expr, line)? {
+            ConstVal::Int(v) => Ok(ConstVal::Int(-v)),
+            ConstVal::Float(v) => Ok(ConstVal::Float(-v)),
+        },
+        Expr::Unary { op: UnOp::BitNot, expr } => match const_eval(expr, line)? {
+            ConstVal::Int(v) => Ok(ConstVal::Int(!(v as i32) as i64)),
+            ConstVal::Float(_) => Err(CompileError::new("bitwise not of float constant", line)),
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            let l = const_eval(lhs, line)?;
+            let r = const_eval(rhs, line)?;
+            match (l, r) {
+                (ConstVal::Int(a), ConstVal::Int(b)) => {
+                    let a32 = a as i32;
+                    let b32 = b as i32;
+                    let v = match op {
+                        BinAstOp::Add => a32.wrapping_add(b32),
+                        BinAstOp::Sub => a32.wrapping_sub(b32),
+                        BinAstOp::Mul => a32.wrapping_mul(b32),
+                        BinAstOp::Div => {
+                            if b32 == 0 {
+                                return Err(CompileError::new("constant division by zero", line));
+                            }
+                            a32.wrapping_div(b32)
+                        }
+                        BinAstOp::Mod => {
+                            if b32 == 0 {
+                                return Err(CompileError::new("constant modulo by zero", line));
+                            }
+                            a32.wrapping_rem(b32)
+                        }
+                        BinAstOp::BitAnd => a32 & b32,
+                        BinAstOp::BitOr => a32 | b32,
+                        BinAstOp::BitXor => a32 ^ b32,
+                        BinAstOp::Shl => a32.wrapping_shl(b32 as u32 & 31),
+                        BinAstOp::Shr => ((a32 as u32).wrapping_shr(b32 as u32 & 31)) as i32,
+                        other => {
+                            return Err(CompileError::new(
+                                format!("operator {other:?} not allowed in constant expressions"),
+                                line,
+                            ))
+                        }
+                    };
+                    Ok(ConstVal::Int(v as i64))
+                }
+                (ConstVal::Float(a), ConstVal::Float(b)) => {
+                    let v = match op {
+                        BinAstOp::Add => a + b,
+                        BinAstOp::Sub => a - b,
+                        BinAstOp::Mul => a * b,
+                        BinAstOp::Div => a / b,
+                        other => {
+                            return Err(CompileError::new(
+                                format!("operator {other:?} not allowed on float constants"),
+                                line,
+                            ))
+                        }
+                    };
+                    Ok(ConstVal::Float(v))
+                }
+                _ => Err(CompileError::new("mixed int/float constant expression", line)),
+            }
+        }
+        Expr::Cast { ty, expr } => {
+            let v = const_eval(expr, line)?;
+            let target = Ty::from_decl(ty);
+            Ok(match (v, target.is_float()) {
+                (ConstVal::Int(i), true) => ConstVal::Float(i as f32),
+                (ConstVal::Float(f), false) => ConstVal::Int(f as i64),
+                (v, _) => v,
+            })
+        }
+        other => Err(CompileError::new(
+            format!("expression {other:?} is not a compile-time constant"),
+            line,
+        )),
+    }
+}
+
+/// A name binding inside a function.
+#[derive(Debug, Clone)]
+enum Binding {
+    /// A scalar local held in a virtual register.
+    Reg { reg: VReg, ty: Ty },
+    /// An array local held in a stack slot.
+    Slot { slot: usize, ty: Ty },
+}
+
+/// An assignable location.
+enum LValue {
+    Reg { reg: VReg, ty: Ty },
+    Mem { addr: Value, offset: i32, ty: Ty },
+}
+
+impl LValue {
+    fn ty(&self) -> &Ty {
+        match self {
+            LValue::Reg { ty, .. } | LValue::Mem { ty, .. } => ty,
+        }
+    }
+}
+
+struct FnLower<'a> {
+    ctx: &'a ModuleCtx,
+    opts: LowerOptions,
+    func: IrFunction,
+    scopes: Vec<HashMap<String, Binding>>,
+    cur: BlockId,
+    terminated: bool,
+    /// Stack of `(break target, continue target)`.
+    loop_stack: Vec<(BlockId, BlockId)>,
+    ret_ty: Ty,
+    line: u32,
+}
+
+impl<'a> FnLower<'a> {
+    fn new(ctx: &'a ModuleCtx, f: &Function, opts: &LowerOptions) -> Result<FnLower<'a>, CompileError> {
+        let ret_ty = Ty::from_decl(&f.ret);
+        let mut func = IrFunction::new(f.name.clone(), f.params.len());
+        func.returns_value = ret_ty != Ty::Void;
+        let mut scopes = vec![HashMap::new()];
+        for (i, p) in f.params.iter().enumerate() {
+            let ty = Ty::from_decl(&p.ty).decay();
+            scopes[0].insert(p.name.clone(), Binding::Reg { reg: VReg(i as u32), ty });
+        }
+        Ok(FnLower {
+            ctx,
+            opts: *opts,
+            func,
+            scopes,
+            cur: BlockId(0),
+            terminated: false,
+            loop_stack: Vec::new(),
+            ret_ty,
+            line: f.line,
+        })
+    }
+
+    fn run(mut self, f: &Function) -> Result<IrFunction, CompileError> {
+        self.lower_stmts(&f.body)?;
+        if !self.terminated {
+            let term = if self.ret_ty == Ty::Void {
+                IrTerm::Ret(None)
+            } else {
+                IrTerm::Ret(Some(Value::Const(0)))
+            };
+            self.terminate(term);
+        }
+        Ok(self.func)
+    }
+
+    // ----- block plumbing -----
+
+    fn emit(&mut self, inst: IrInst) {
+        if self.terminated {
+            // Unreachable code after return/break; keep it in a dead block so
+            // lowering stays simple — CFG simplification removes it later.
+            let b = self.func.new_block();
+            self.cur = b;
+            self.terminated = false;
+        }
+        self.func.blocks[self.cur.index()].insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: IrTerm) {
+        if self.terminated {
+            return;
+        }
+        self.func.blocks[self.cur.index()].term = term;
+        self.terminated = true;
+    }
+
+    fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+        self.terminated = false;
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.func.new_block()
+    }
+
+    fn new_reg(&mut self) -> VReg {
+        self.func.new_vreg()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(msg, self.line)
+    }
+
+    // ----- scopes -----
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn bind(&mut self, name: &str, binding: Binding) {
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), binding);
+    }
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Some(b.clone());
+            }
+        }
+        None
+    }
+
+    // ----- statements -----
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.lower_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Empty => Ok(()),
+            Stmt::Block(stmts) => {
+                self.push_scope();
+                self.lower_stmts(stmts)?;
+                self.pop_scope();
+                Ok(())
+            }
+            Stmt::Decl(d) => self.lower_local_decl(d),
+            Stmt::Expr(e) => {
+                self.lower_expr(e)?;
+                Ok(())
+            }
+            Stmt::Assign { target, op, value } => self.lower_assign(target, *op, value),
+            Stmt::Return(e) => {
+                let term = match e {
+                    None => IrTerm::Ret(None),
+                    Some(e) => {
+                        let ret_ty = self.ret_ty.clone();
+                        let (v, ty) = self.lower_expr(e)?;
+                        let v = self.convert(v, &ty, &ret_ty)?;
+                        IrTerm::Ret(Some(v))
+                    }
+                };
+                self.terminate(term);
+                Ok(())
+            }
+            Stmt::Break => {
+                let (brk, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| self.err("break outside of a loop"))?;
+                self.terminate(IrTerm::Jump(brk));
+                Ok(())
+            }
+            Stmt::Continue => {
+                let (_, cont) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| self.err("continue outside of a loop"))?;
+                self.terminate(IrTerm::Jump(cont));
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join_bb = self.new_block();
+                self.lower_cond(cond, then_bb, else_bb)?;
+                self.switch_to(then_bb);
+                self.push_scope();
+                self.lower_stmts(then_body)?;
+                self.pop_scope();
+                self.terminate(IrTerm::Jump(join_bb));
+                self.switch_to(else_bb);
+                self.push_scope();
+                self.lower_stmts(else_body)?;
+                self.pop_scope();
+                self.terminate(IrTerm::Jump(join_bb));
+                self.switch_to(join_bb);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let cond_bb = self.new_block();
+                let body_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.terminate(IrTerm::Jump(cond_bb));
+                self.switch_to(cond_bb);
+                self.lower_cond(cond, body_bb, exit_bb)?;
+                self.switch_to(body_bb);
+                self.loop_stack.push((exit_bb, cond_bb));
+                self.push_scope();
+                self.lower_stmts(body)?;
+                self.pop_scope();
+                self.loop_stack.pop();
+                self.terminate(IrTerm::Jump(cond_bb));
+                self.switch_to(exit_bb);
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                let body_bb = self.new_block();
+                let cond_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.terminate(IrTerm::Jump(body_bb));
+                self.switch_to(body_bb);
+                self.loop_stack.push((exit_bb, cond_bb));
+                self.push_scope();
+                self.lower_stmts(body)?;
+                self.pop_scope();
+                self.loop_stack.pop();
+                self.terminate(IrTerm::Jump(cond_bb));
+                self.switch_to(cond_bb);
+                self.lower_cond(cond, body_bb, exit_bb)?;
+                self.switch_to(exit_bb);
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                if self.opts.unroll_loops {
+                    if let Some(unrolled) =
+                        try_unroll_for(init.as_deref(), cond.as_ref(), step.as_deref(), body, self.opts.unroll_limit)
+                    {
+                        self.push_scope();
+                        self.lower_stmts(&unrolled)?;
+                        self.pop_scope();
+                        return Ok(());
+                    }
+                }
+                self.push_scope();
+                if let Some(init) = init {
+                    self.lower_stmt(init)?;
+                }
+                let cond_bb = self.new_block();
+                let body_bb = self.new_block();
+                let step_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.terminate(IrTerm::Jump(cond_bb));
+                self.switch_to(cond_bb);
+                match cond {
+                    Some(c) => self.lower_cond(c, body_bb, exit_bb)?,
+                    None => self.terminate(IrTerm::Jump(body_bb)),
+                }
+                self.switch_to(body_bb);
+                self.loop_stack.push((exit_bb, step_bb));
+                self.push_scope();
+                self.lower_stmts(body)?;
+                self.pop_scope();
+                self.loop_stack.pop();
+                self.terminate(IrTerm::Jump(step_bb));
+                self.switch_to(step_bb);
+                if let Some(step) = step {
+                    self.lower_stmt(step)?;
+                }
+                self.terminate(IrTerm::Jump(cond_bb));
+                self.switch_to(exit_bb);
+                self.pop_scope();
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_local_decl(&mut self, d: &VarDecl) -> Result<(), CompileError> {
+        self.line = d.line;
+        let ty = Ty::from_decl(&d.ty);
+        if ty.is_array() {
+            let slot = self.func.slots.len();
+            self.func.slots.push(StackSlot { name: d.name.clone(), size: ty.size() });
+            self.bind(&d.name, Binding::Slot { slot, ty: ty.clone() });
+            if let Some(Initializer::List(items)) = &d.init {
+                let elem = ty.element().cloned().unwrap_or(Ty::Int);
+                let addr = self.new_reg();
+                self.emit(IrInst::FrameAddr { dst: addr, slot });
+                for (i, e) in items.iter().enumerate() {
+                    let (v, vty) = self.lower_expr(e)?;
+                    let v = self.convert(v, &vty, &elem)?;
+                    self.emit(IrInst::Store {
+                        src: v,
+                        addr: Value::Reg(addr),
+                        offset: (i as u32 * elem.size()) as i32,
+                        width: elem.mem_width(),
+                    });
+                }
+            } else if d.init.is_some() {
+                return Err(self.err("array initializer must be a brace list"));
+            }
+            Ok(())
+        } else {
+            let reg = self.new_reg();
+            self.bind(&d.name, Binding::Reg { reg, ty: ty.clone() });
+            match &d.init {
+                Some(Initializer::Expr(e)) => {
+                    let (v, vty) = self.lower_expr(e)?;
+                    let v = self.convert(v, &vty, &ty)?;
+                    self.emit(IrInst::Copy { dst: reg, src: v });
+                }
+                Some(Initializer::List(_)) => {
+                    return Err(self.err("brace initializer on scalar local"));
+                }
+                None => {}
+            }
+            Ok(())
+        }
+    }
+
+    fn lower_assign(
+        &mut self,
+        target: &Expr,
+        op: Option<BinAstOp>,
+        value: &Expr,
+    ) -> Result<(), CompileError> {
+        let lv = self.lower_lvalue(target)?;
+        let target_ty = lv.ty().clone();
+        let rhs = match op {
+            None => {
+                let (v, vty) = self.lower_expr(value)?;
+                self.convert(v, &vty, &target_ty)?
+            }
+            Some(op) => {
+                let current = self.load_lvalue(&lv);
+                let (v, vty) = self.lower_expr(value)?;
+                let (res, res_ty) =
+                    self.lower_binary_values(op, current, target_ty.clone(), v, vty)?;
+                self.convert(res, &res_ty, &target_ty)?
+            }
+        };
+        self.store_lvalue(&lv, rhs);
+        Ok(())
+    }
+
+    fn lower_lvalue(&mut self, e: &Expr) -> Result<LValue, CompileError> {
+        match e {
+            Expr::Ident(name) => {
+                if let Some(binding) = self.lookup(name) {
+                    match binding {
+                        Binding::Reg { reg, ty } => Ok(LValue::Reg { reg, ty }),
+                        Binding::Slot { .. } => Err(self.err(format!(
+                            "cannot assign to array {name} as a whole"
+                        ))),
+                    }
+                } else if let Some(g) = self.ctx.globals.get(name) {
+                    if g.ty.is_array() {
+                        return Err(self.err(format!("cannot assign to array {name} as a whole")));
+                    }
+                    let addr = self.new_reg();
+                    self.emit(IrInst::GlobalAddr { dst: addr, global: g.index });
+                    Ok(LValue::Mem { addr: Value::Reg(addr), offset: 0, ty: g.ty.clone() })
+                } else {
+                    Err(self.err(format!("undefined variable {name}")))
+                }
+            }
+            Expr::Index { base, index } => {
+                let (base_val, base_ty) = self.lower_expr(base)?;
+                let elem = base_ty
+                    .element()
+                    .cloned()
+                    .ok_or_else(|| self.err("indexing a non-pointer value"))?;
+                let (idx_val, idx_ty) = self.lower_expr(index)?;
+                if !idx_ty.is_integer() {
+                    return Err(self.err("array index must be an integer"));
+                }
+                match idx_val {
+                    Value::Const(c) => Ok(LValue::Mem {
+                        addr: base_val,
+                        offset: c.wrapping_mul(elem.size() as i32),
+                        ty: elem,
+                    }),
+                    idx => {
+                        let scaled = self.scale_index(idx, elem.size());
+                        let addr = self.new_reg();
+                        self.emit(IrInst::Bin {
+                            op: BinOp::Add,
+                            dst: addr,
+                            lhs: base_val,
+                            rhs: scaled,
+                        });
+                        Ok(LValue::Mem { addr: Value::Reg(addr), offset: 0, ty: elem })
+                    }
+                }
+            }
+            other => Err(self.err(format!("expression {other:?} is not assignable"))),
+        }
+    }
+
+    fn scale_index(&mut self, idx: Value, elem_size: u32) -> Value {
+        if elem_size == 1 {
+            return idx;
+        }
+        let dst = self.new_reg();
+        if elem_size.is_power_of_two() {
+            self.emit(IrInst::Bin {
+                op: BinOp::Shl,
+                dst,
+                lhs: idx,
+                rhs: Value::Const(elem_size.trailing_zeros() as i32),
+            });
+        } else {
+            self.emit(IrInst::Bin {
+                op: BinOp::Mul,
+                dst,
+                lhs: idx,
+                rhs: Value::Const(elem_size as i32),
+            });
+        }
+        Value::Reg(dst)
+    }
+
+    fn load_lvalue(&mut self, lv: &LValue) -> Value {
+        match lv {
+            LValue::Reg { reg, .. } => Value::Reg(*reg),
+            LValue::Mem { addr, offset, ty } => {
+                let dst = self.new_reg();
+                self.emit(IrInst::Load {
+                    dst,
+                    addr: *addr,
+                    offset: *offset,
+                    width: ty.mem_width(),
+                });
+                Value::Reg(dst)
+            }
+        }
+    }
+
+    fn store_lvalue(&mut self, lv: &LValue, value: Value) {
+        match lv {
+            LValue::Reg { reg, .. } => self.emit(IrInst::Copy { dst: *reg, src: value }),
+            LValue::Mem { addr, offset, ty } => self.emit(IrInst::Store {
+                src: value,
+                addr: *addr,
+                offset: *offset,
+                width: ty.mem_width(),
+            }),
+        }
+    }
+
+    // ----- conditions -----
+
+    fn lower_cond(
+        &mut self,
+        e: &Expr,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> Result<(), CompileError> {
+        match e {
+            Expr::Binary { op: BinAstOp::LogicalAnd, lhs, rhs } => {
+                let mid = self.new_block();
+                self.lower_cond(lhs, mid, else_bb)?;
+                self.switch_to(mid);
+                self.lower_cond(rhs, then_bb, else_bb)
+            }
+            Expr::Binary { op: BinAstOp::LogicalOr, lhs, rhs } => {
+                let mid = self.new_block();
+                self.lower_cond(lhs, then_bb, mid)?;
+                self.switch_to(mid);
+                self.lower_cond(rhs, then_bb, else_bb)
+            }
+            Expr::Unary { op: UnOp::LogicalNot, expr } => {
+                self.lower_cond(expr, else_bb, then_bb)
+            }
+            Expr::Binary { op, lhs, rhs } if op.is_comparison() => {
+                let (lv, lty) = self.lower_expr(lhs)?;
+                let (rv, rty) = self.lower_expr(rhs)?;
+                if lty.is_float() || rty.is_float() {
+                    let v = self.lower_float_compare(*op, lv, &lty, rv, &rty)?;
+                    self.terminate(IrTerm::Branch {
+                        op: CmpOp::Ne,
+                        lhs: v,
+                        rhs: Value::Const(0),
+                        then_block: then_bb,
+                        else_block: else_bb,
+                    });
+                } else {
+                    let unsigned = lty.is_unsigned() || rty.is_unsigned();
+                    let cmp = ast_cmp_to_ir(*op, unsigned);
+                    self.terminate(IrTerm::Branch {
+                        op: cmp,
+                        lhs: lv,
+                        rhs: rv,
+                        then_block: then_bb,
+                        else_block: else_bb,
+                    });
+                }
+                Ok(())
+            }
+            other => {
+                let (v, _ty) = self.lower_expr(other)?;
+                self.terminate(IrTerm::Branch {
+                    op: CmpOp::Ne,
+                    lhs: v,
+                    rhs: Value::Const(0),
+                    then_block: then_bb,
+                    else_block: else_bb,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    // ----- expressions -----
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<(Value, Ty), CompileError> {
+        match e {
+            Expr::IntLit(v) => Ok((Value::Const(*v as i32), Ty::Int)),
+            Expr::CharLit(c) => Ok((Value::Const(*c as i32), Ty::Int)),
+            Expr::FloatLit(f) => Ok((Value::Const(f32::to_bits(*f) as i32), Ty::Float)),
+            Expr::Ident(name) => self.lower_ident(name),
+            Expr::Index { .. } => {
+                let lv = self.lower_lvalue(e)?;
+                let ty = lv.ty().clone();
+                let v = self.load_lvalue(&lv);
+                Ok((v, ty))
+            }
+            Expr::Unary { op, expr } => self.lower_unary(*op, expr),
+            Expr::Binary { op, lhs, rhs } => self.lower_binary(*op, lhs, rhs),
+            Expr::Call { name, args } => self.lower_call(name, args),
+            Expr::Cast { ty, expr } => {
+                let (v, from) = self.lower_expr(expr)?;
+                let to = Ty::from_decl(ty);
+                let v = self.convert(v, &from, &to)?;
+                Ok((v, to))
+            }
+            Expr::Conditional { cond, then_expr, else_expr } => {
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join_bb = self.new_block();
+                let result = self.new_reg();
+                self.lower_cond(cond, then_bb, else_bb)?;
+                self.switch_to(then_bb);
+                let (tv, tty) = self.lower_expr(then_expr)?;
+                self.emit(IrInst::Copy { dst: result, src: tv });
+                self.terminate(IrTerm::Jump(join_bb));
+                self.switch_to(else_bb);
+                let (ev, ety) = self.lower_expr(else_expr)?;
+                let ev = self.convert(ev, &ety, &tty)?;
+                self.emit(IrInst::Copy { dst: result, src: ev });
+                self.terminate(IrTerm::Jump(join_bb));
+                self.switch_to(join_bb);
+                Ok((Value::Reg(result), tty))
+            }
+        }
+    }
+
+    fn lower_ident(&mut self, name: &str) -> Result<(Value, Ty), CompileError> {
+        if let Some(binding) = self.lookup(name) {
+            return Ok(match binding {
+                Binding::Reg { reg, ty } => (Value::Reg(reg), ty),
+                Binding::Slot { slot, ty } => {
+                    let dst = self.new_reg();
+                    self.emit(IrInst::FrameAddr { dst, slot });
+                    (Value::Reg(dst), ty.decay())
+                }
+            });
+        }
+        if let Some(g) = self.ctx.globals.get(name).cloned() {
+            let addr = self.new_reg();
+            self.emit(IrInst::GlobalAddr { dst: addr, global: g.index });
+            if g.ty.is_array() {
+                return Ok((Value::Reg(addr), g.ty.decay()));
+            }
+            let dst = self.new_reg();
+            self.emit(IrInst::Load {
+                dst,
+                addr: Value::Reg(addr),
+                offset: 0,
+                width: g.ty.mem_width(),
+            });
+            return Ok((Value::Reg(dst), g.ty));
+        }
+        Err(self.err(format!("undefined variable {name}")))
+    }
+
+    fn lower_unary(&mut self, op: UnOp, expr: &Expr) -> Result<(Value, Ty), CompileError> {
+        let (v, ty) = self.lower_expr(expr)?;
+        match op {
+            UnOp::Neg => {
+                if ty.is_float() {
+                    // Flip the IEEE sign bit; cheaper than a library call and
+                    // exactly what compilers do for single-precision negation.
+                    let dst = self.new_reg();
+                    self.emit(IrInst::Bin {
+                        op: BinOp::Xor,
+                        dst,
+                        lhs: v,
+                        rhs: Value::Const(i32::MIN),
+                    });
+                    Ok((Value::Reg(dst), Ty::Float))
+                } else {
+                    let dst = self.new_reg();
+                    self.emit(IrInst::Neg { dst, src: v });
+                    Ok((Value::Reg(dst), ty))
+                }
+            }
+            UnOp::BitNot => {
+                let dst = self.new_reg();
+                self.emit(IrInst::Not { dst, src: v });
+                Ok((Value::Reg(dst), ty))
+            }
+            UnOp::LogicalNot => {
+                let dst = self.new_reg();
+                self.emit(IrInst::Cmp {
+                    op: CmpOp::Eq,
+                    dst,
+                    lhs: v,
+                    rhs: Value::Const(0),
+                });
+                Ok((Value::Reg(dst), Ty::Int))
+            }
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        op: BinAstOp,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<(Value, Ty), CompileError> {
+        if op.is_logical() {
+            // Materialize short-circuit logic into 0/1.
+            let then_bb = self.new_block();
+            let else_bb = self.new_block();
+            let join_bb = self.new_block();
+            let result = self.new_reg();
+            let expr = Expr::Binary {
+                op,
+                lhs: Box::new(lhs.clone()),
+                rhs: Box::new(rhs.clone()),
+            };
+            self.lower_cond(&expr, then_bb, else_bb)?;
+            self.switch_to(then_bb);
+            self.emit(IrInst::Copy { dst: result, src: Value::Const(1) });
+            self.terminate(IrTerm::Jump(join_bb));
+            self.switch_to(else_bb);
+            self.emit(IrInst::Copy { dst: result, src: Value::Const(0) });
+            self.terminate(IrTerm::Jump(join_bb));
+            self.switch_to(join_bb);
+            return Ok((Value::Reg(result), Ty::Int));
+        }
+        let (lv, lty) = self.lower_expr(lhs)?;
+        let (rv, rty) = self.lower_expr(rhs)?;
+        self.lower_binary_values(op, lv, lty, rv, rty)
+    }
+
+    fn lower_binary_values(
+        &mut self,
+        op: BinAstOp,
+        lv: Value,
+        lty: Ty,
+        rv: Value,
+        rty: Ty,
+    ) -> Result<(Value, Ty), CompileError> {
+        // Float arithmetic and comparisons go through the support library.
+        if lty.is_float() || rty.is_float() {
+            if op.is_comparison() {
+                let v = self.lower_float_compare(op, lv, &lty, rv, &rty)?;
+                return Ok((v, Ty::Int));
+            }
+            let lf = self.convert(lv, &lty, &Ty::Float)?;
+            let rf = self.convert(rv, &rty, &Ty::Float)?;
+            let callee = match op {
+                BinAstOp::Add => "__f32_add",
+                BinAstOp::Sub => "__f32_sub",
+                BinAstOp::Mul => "__f32_mul",
+                BinAstOp::Div => "__f32_div",
+                other => {
+                    return Err(self.err(format!("operator {other:?} not supported on float")))
+                }
+            };
+            let dst = self.new_reg();
+            self.emit(IrInst::Call {
+                dst: Some(dst),
+                callee: FuncRef(callee.to_string()),
+                args: vec![lf, rf],
+            });
+            return Ok((Value::Reg(dst), Ty::Float));
+        }
+
+        // Pointer arithmetic: scale the integer operand by the element size.
+        if lty.is_pointer() && rty.is_integer() && matches!(op, BinAstOp::Add | BinAstOp::Sub) {
+            let elem_size = lty.element().map(Ty::size).unwrap_or(1);
+            let scaled = self.scale_index(rv, elem_size);
+            let dst = self.new_reg();
+            let bin = if op == BinAstOp::Add { BinOp::Add } else { BinOp::Sub };
+            self.emit(IrInst::Bin { op: bin, dst, lhs: lv, rhs: scaled });
+            return Ok((Value::Reg(dst), lty));
+        }
+
+        let unsigned = lty.is_unsigned() || rty.is_unsigned();
+        if op.is_comparison() {
+            let dst = self.new_reg();
+            self.emit(IrInst::Cmp { op: ast_cmp_to_ir(op, unsigned), dst, lhs: lv, rhs: rv });
+            return Ok((Value::Reg(dst), Ty::Int));
+        }
+        let bin = match op {
+            BinAstOp::Add => BinOp::Add,
+            BinAstOp::Sub => BinOp::Sub,
+            BinAstOp::Mul => BinOp::Mul,
+            BinAstOp::Div => {
+                if unsigned {
+                    BinOp::Udiv
+                } else {
+                    BinOp::Div
+                }
+            }
+            BinAstOp::Mod => {
+                if unsigned {
+                    BinOp::Urem
+                } else {
+                    BinOp::Rem
+                }
+            }
+            BinAstOp::BitAnd => BinOp::And,
+            BinAstOp::BitOr => BinOp::Or,
+            BinAstOp::BitXor => BinOp::Xor,
+            BinAstOp::Shl => BinOp::Shl,
+            BinAstOp::Shr => {
+                if unsigned {
+                    BinOp::Lshr
+                } else {
+                    BinOp::Ashr
+                }
+            }
+            other => return Err(self.err(format!("unsupported binary operator {other:?}"))),
+        };
+        let dst = self.new_reg();
+        self.emit(IrInst::Bin { op: bin, dst, lhs: lv, rhs: rv });
+        let result_ty = if unsigned { Ty::Uint } else { Ty::Int };
+        Ok((Value::Reg(dst), result_ty))
+    }
+
+    fn lower_float_compare(
+        &mut self,
+        op: BinAstOp,
+        lv: Value,
+        lty: &Ty,
+        rv: Value,
+        rty: &Ty,
+    ) -> Result<Value, CompileError> {
+        let lf = self.convert(lv, lty, &Ty::Float)?;
+        let rf = self.convert(rv, rty, &Ty::Float)?;
+        // Map every comparison onto the three library primitives.
+        let (callee, args, negate) = match op {
+            BinAstOp::Lt => ("__f32_lt", vec![lf, rf], false),
+            BinAstOp::Gt => ("__f32_lt", vec![rf, lf], false),
+            BinAstOp::Le => ("__f32_le", vec![lf, rf], false),
+            BinAstOp::Ge => ("__f32_le", vec![rf, lf], false),
+            BinAstOp::Eq => ("__f32_eq", vec![lf, rf], false),
+            BinAstOp::Ne => ("__f32_eq", vec![lf, rf], true),
+            other => return Err(self.err(format!("{other:?} is not a comparison"))),
+        };
+        let dst = self.new_reg();
+        self.emit(IrInst::Call {
+            dst: Some(dst),
+            callee: FuncRef(callee.to_string()),
+            args,
+        });
+        if negate {
+            let inv = self.new_reg();
+            self.emit(IrInst::Cmp {
+                op: CmpOp::Eq,
+                dst: inv,
+                lhs: Value::Reg(dst),
+                rhs: Value::Const(0),
+            });
+            Ok(Value::Reg(inv))
+        } else {
+            Ok(Value::Reg(dst))
+        }
+    }
+
+    fn lower_call(&mut self, name: &str, args: &[Expr]) -> Result<(Value, Ty), CompileError> {
+        if args.len() > 4 {
+            return Err(self.err(format!("function {name} has more than 4 arguments")));
+        }
+        // Functions defined in another translation unit get a C-style
+        // implicit signature (int return, arguments as written); the linker
+        // reports them if they never materialize.
+        let sig = match self.ctx.funcs.get(name).cloned() {
+            Some(sig) => {
+                if args.len() != sig.params.len() {
+                    return Err(self.err(format!(
+                        "function {name} expects {} arguments, got {}",
+                        sig.params.len(),
+                        args.len()
+                    )));
+                }
+                sig
+            }
+            None => FuncSig { ret: Ty::Int, params: vec![] },
+        };
+        let mut lowered = Vec::with_capacity(args.len());
+        if sig.params.is_empty() && !args.is_empty() {
+            for a in args {
+                let (v, _ty) = self.lower_expr(a)?;
+                lowered.push(v);
+            }
+        } else {
+            for (a, pty) in args.iter().zip(&sig.params) {
+                let (v, ty) = self.lower_expr(a)?;
+                lowered.push(self.convert(v, &ty, pty)?);
+            }
+        }
+        let dst = if sig.ret == Ty::Void { None } else { Some(self.new_reg()) };
+        self.emit(IrInst::Call {
+            dst,
+            callee: FuncRef(name.to_string()),
+            args: lowered,
+        });
+        match dst {
+            Some(d) => Ok((Value::Reg(d), sig.ret)),
+            None => Ok((Value::Const(0), Ty::Void)),
+        }
+    }
+
+    fn convert(&mut self, v: Value, from: &Ty, to: &Ty) -> Result<Value, CompileError> {
+        if from == to || to == &Ty::Void {
+            return Ok(v);
+        }
+        match (from, to) {
+            // Integer widths and signedness conversions are free at the value
+            // level (stores truncate, loads zero-extend).
+            (a, b) if a.is_integer() && b.is_integer() => Ok(v),
+            (a, b) if a.is_pointer() && b.is_pointer() => Ok(v),
+            (a, b) if a.is_pointer() && b.is_integer() => Ok(v),
+            (a, b) if a.is_integer() && b.is_pointer() => Ok(v),
+            (a, Ty::Float) if a.is_integer() => match v {
+                Value::Const(c) => Ok(Value::Const(f32::to_bits(c as f32) as i32)),
+                reg => {
+                    let dst = self.new_reg();
+                    self.emit(IrInst::Call {
+                        dst: Some(dst),
+                        callee: FuncRef("__f32_from_int".to_string()),
+                        args: vec![reg],
+                    });
+                    Ok(Value::Reg(dst))
+                }
+            },
+            (Ty::Float, b) if b.is_integer() => match v {
+                Value::Const(c) => Ok(Value::Const(f32::from_bits(c as u32) as i32)),
+                reg => {
+                    let dst = self.new_reg();
+                    self.emit(IrInst::Call {
+                        dst: Some(dst),
+                        callee: FuncRef("__f32_to_int".to_string()),
+                        args: vec![reg],
+                    });
+                    Ok(Value::Reg(dst))
+                }
+            },
+            (a, b) => Err(self.err(format!("cannot convert {a:?} to {b:?}"))),
+        }
+    }
+}
+
+fn ast_cmp_to_ir(op: BinAstOp, unsigned: bool) -> CmpOp {
+    match (op, unsigned) {
+        (BinAstOp::Eq, _) => CmpOp::Eq,
+        (BinAstOp::Ne, _) => CmpOp::Ne,
+        (BinAstOp::Lt, false) => CmpOp::Slt,
+        (BinAstOp::Le, false) => CmpOp::Sle,
+        (BinAstOp::Gt, false) => CmpOp::Sgt,
+        (BinAstOp::Ge, false) => CmpOp::Sge,
+        (BinAstOp::Lt, true) => CmpOp::Ult,
+        (BinAstOp::Le, true) => CmpOp::Ule,
+        (BinAstOp::Gt, true) => CmpOp::Ugt,
+        (BinAstOp::Ge, true) => CmpOp::Uge,
+        _ => unreachable!("not a comparison operator"),
+    }
+}
+
+// ----- AST-level loop unrolling -----
+
+/// Attempt to fully unroll a counted `for` loop with literal bounds.
+fn try_unroll_for(
+    init: Option<&Stmt>,
+    cond: Option<&Expr>,
+    step: Option<&Stmt>,
+    body: &[Stmt],
+    limit: usize,
+) -> Option<Vec<Stmt>> {
+    let init = init?;
+    let cond = cond?;
+    let step = step?;
+
+    // init: `int i = <lit>` or `i = <lit>`
+    let (var, start, declared) = match init {
+        Stmt::Decl(VarDecl {
+            name,
+            ty,
+            init: Some(Initializer::Expr(Expr::IntLit(v))),
+            ..
+        }) if ty.base == TypeSpec::Int && ty.pointer == 0 && ty.array_len.is_none() => {
+            (name.clone(), *v, true)
+        }
+        Stmt::Assign { target: Expr::Ident(name), op: None, value: Expr::IntLit(v) } => {
+            (name.clone(), *v, false)
+        }
+        _ => return None,
+    };
+
+    // cond: `i < lit` or `i <= lit`
+    let (end, inclusive) = match cond {
+        Expr::Binary { op: BinAstOp::Lt, lhs, rhs } => match (&**lhs, &**rhs) {
+            (Expr::Ident(n), Expr::IntLit(v)) if *n == var => (*v, false),
+            _ => return None,
+        },
+        Expr::Binary { op: BinAstOp::Le, lhs, rhs } => match (&**lhs, &**rhs) {
+            (Expr::Ident(n), Expr::IntLit(v)) if *n == var => (*v, true),
+            _ => return None,
+        },
+        _ => return None,
+    };
+
+    // step: `i += lit` or `i++`
+    let stride = match step {
+        Stmt::Assign {
+            target: Expr::Ident(n),
+            op: Some(BinAstOp::Add),
+            value: Expr::IntLit(v),
+        } if *n == var && *v > 0 => *v,
+        _ => return None,
+    };
+
+    // Only unroll innermost loops: unrolling a loop nest multiplies code
+    // size by the product of trip counts and easily overflows a 64 KB part.
+    if contains_loop(body) {
+        return None;
+    }
+    let last = if inclusive { end } else { end - 1 };
+    if last < start {
+        return Some(Vec::new());
+    }
+    let trips = ((last - start) / stride + 1) as usize;
+    if trips == 0 || trips * body.len().max(1) > limit {
+        return None;
+    }
+    if body_blocks_unrolling(body, &var) {
+        return None;
+    }
+
+    let mut out = Vec::new();
+    let mut i = start;
+    for _ in 0..trips {
+        for s in body {
+            out.push(substitute_stmt(s, &var, i));
+        }
+        i += stride;
+    }
+    if !declared {
+        // Keep the loop variable's final value observable.
+        out.push(Stmt::Assign {
+            target: Expr::Ident(var),
+            op: None,
+            value: Expr::IntLit(i),
+        });
+    }
+    Some(out)
+}
+
+fn contains_loop(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::For { .. } | Stmt::While { .. } | Stmt::DoWhile { .. } => true,
+        Stmt::If { then_body, else_body, .. } => {
+            contains_loop(then_body) || contains_loop(else_body)
+        }
+        Stmt::Block(inner) => contains_loop(inner),
+        _ => false,
+    })
+}
+
+/// Unrolling is unsafe if the body branches out of the loop or writes the
+/// induction variable.
+fn body_blocks_unrolling(body: &[Stmt], var: &str) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::Break | Stmt::Continue => true,
+        Stmt::Assign { target: Expr::Ident(n), .. } if n == var => true,
+        Stmt::Decl(d) if d.name == var => true,
+        Stmt::If { then_body, else_body, .. } => {
+            body_blocks_unrolling(then_body, var) || body_blocks_unrolling(else_body, var)
+        }
+        Stmt::Block(inner) => body_blocks_unrolling(inner, var),
+        // Nested loops define their own break/continue scope, but may still
+        // write the outer induction variable; be conservative and only check
+        // for assignments.
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => assigns_var(body, var),
+        Stmt::For { body, init, step, .. } => {
+            let mut v = assigns_var(body, var);
+            if let Some(i) = init {
+                v |= assigns_var(std::slice::from_ref(i), var);
+            }
+            if let Some(s) = step {
+                v |= assigns_var(std::slice::from_ref(s), var);
+            }
+            v
+        }
+        _ => false,
+    })
+}
+
+fn assigns_var(body: &[Stmt], var: &str) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::Assign { target: Expr::Ident(n), .. } => n == var,
+        Stmt::If { then_body, else_body, .. } => {
+            assigns_var(then_body, var) || assigns_var(else_body, var)
+        }
+        Stmt::Block(inner) => assigns_var(inner, var),
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => assigns_var(body, var),
+        Stmt::For { body, .. } => assigns_var(body, var),
+        _ => false,
+    })
+}
+
+fn substitute_stmt(s: &Stmt, var: &str, value: i64) -> Stmt {
+    let sub_e = |e: &Expr| substitute_expr(e, var, value);
+    match s {
+        Stmt::Decl(d) => Stmt::Decl(VarDecl {
+            init: d.init.as_ref().map(|i| match i {
+                Initializer::Expr(e) => Initializer::Expr(sub_e(e)),
+                Initializer::List(items) => Initializer::List(items.iter().map(sub_e).collect()),
+            }),
+            ..d.clone()
+        }),
+        Stmt::Expr(e) => Stmt::Expr(sub_e(e)),
+        Stmt::Assign { target, op, value: v } => Stmt::Assign {
+            target: sub_e(target),
+            op: *op,
+            value: sub_e(v),
+        },
+        Stmt::If { cond, then_body, else_body } => Stmt::If {
+            cond: sub_e(cond),
+            then_body: then_body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
+            else_body: else_body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
+        },
+        Stmt::While { cond, body } => Stmt::While {
+            cond: sub_e(cond),
+            body: body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
+        },
+        Stmt::DoWhile { body, cond } => Stmt::DoWhile {
+            body: body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
+            cond: sub_e(cond),
+        },
+        Stmt::For { init, cond, step, body } => {
+            // If the nested loop redeclares the variable, leave it alone.
+            let shadows = matches!(&init.as_deref(), Some(Stmt::Decl(d)) if d.name == var);
+            if shadows {
+                s.clone()
+            } else {
+                Stmt::For {
+                    init: init.as_ref().map(|i| Box::new(substitute_stmt(i, var, value))),
+                    cond: cond.as_ref().map(sub_e),
+                    step: step.as_ref().map(|st| Box::new(substitute_stmt(st, var, value))),
+                    body: body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
+                }
+            }
+        }
+        Stmt::Return(e) => Stmt::Return(e.as_ref().map(sub_e)),
+        Stmt::Block(inner) => {
+            Stmt::Block(inner.iter().map(|s| substitute_stmt(s, var, value)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+fn substitute_expr(e: &Expr, var: &str, value: i64) -> Expr {
+    match e {
+        Expr::Ident(n) if n == var => Expr::IntLit(value),
+        Expr::Index { base, index } => Expr::Index {
+            base: Box::new(substitute_expr(base, var, value)),
+            index: Box::new(substitute_expr(index, var, value)),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(substitute_expr(expr, var, value)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(substitute_expr(lhs, var, value)),
+            rhs: Box::new(substitute_expr(rhs, var, value)),
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| substitute_expr(a, var, value)).collect(),
+        },
+        Expr::Cast { ty, expr } => Expr::Cast {
+            ty: ty.clone(),
+            expr: Box::new(substitute_expr(expr, var, value)),
+        },
+        Expr::Conditional { cond, then_expr, else_expr } => Expr::Conditional {
+            cond: Box::new(substitute_expr(cond, var, value)),
+            then_expr: Box::new(substitute_expr(then_expr, var, value)),
+            else_expr: Box::new(substitute_expr(else_expr, var, value)),
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use flashram_isa::MemWidth;
+
+    fn lower(src: &str) -> IrModule {
+        lower_program(&parse(src).unwrap(), &LowerOptions::default(), false).unwrap()
+    }
+
+    #[test]
+    fn lowers_simple_arithmetic_function() {
+        let m = lower("int add(int a, int b) { return a + b * 2; }");
+        assert_eq!(m.functions.len(), 1);
+        let f = &m.functions[0];
+        assert_eq!(f.num_params, 2);
+        assert!(f.returns_value);
+        assert!(f.inst_count() >= 2);
+    }
+
+    #[test]
+    fn lowers_globals_with_initializers() {
+        let m = lower(
+            "const int table[3] = {5, 6, 7}; int counter = 9; const char sbox[4] = {1,2,3,4};
+             int main() { return counter + table[1]; }",
+        );
+        assert_eq!(m.globals.len(), 3);
+        assert!(!m.globals[0].mutable);
+        assert!(m.globals[1].mutable);
+        assert_eq!(m.globals[0].init.to_bytes()[0..4], [5, 0, 0, 0]);
+        assert_eq!(m.globals[1].init.to_bytes(), vec![9, 0, 0, 0]);
+        assert_eq!(m.globals[2].init.to_bytes(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn control_flow_creates_loops() {
+        let m = lower(
+            "int sum(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
+        );
+        let f = &m.functions[0];
+        let cfg = f.cfg();
+        let loops = cfg.loop_info();
+        assert_eq!(loops.loop_count(), 1, "one natural loop expected:\n{f}");
+    }
+
+    #[test]
+    fn float_arithmetic_becomes_library_calls() {
+        let m = lower("float f(float a, float b) { return a * b + 1.5f; }");
+        let f = &m.functions[0];
+        let calls: Vec<String> = f
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter_map(|i| match i {
+                IrInst::Call { callee, .. } => Some(callee.0.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(calls.contains(&"__f32_mul".to_string()), "calls: {calls:?}");
+        assert!(calls.contains(&"__f32_add".to_string()), "calls: {calls:?}");
+    }
+
+    #[test]
+    fn float_compare_uses_library_and_int_compare_does_not() {
+        let m = lower(
+            "int f(float a, float b, int c) { if (a < b) return c > 3; return 0; }",
+        );
+        let f = &m.functions[0];
+        let has_lt_call = f.blocks.iter().flat_map(|b| b.insts.iter()).any(|i| {
+            matches!(i, IrInst::Call { callee, .. } if callee.0 == "__f32_lt")
+        });
+        assert!(has_lt_call, "{f}");
+    }
+
+    #[test]
+    fn array_access_scales_indices() {
+        let m = lower(
+            "int get(int a[], int i) { return a[i]; }
+             char getc(char s[], int i) { return s[i]; }",
+        );
+        let word_fn = &m.functions[0];
+        let has_shift = word_fn.blocks.iter().flat_map(|b| b.insts.iter()).any(|i| {
+            matches!(i, IrInst::Bin { op: BinOp::Shl, rhs: Value::Const(2), .. })
+        });
+        assert!(has_shift, "word access must scale by 4:\n{word_fn}");
+        let byte_fn = &m.functions[1];
+        let has_byte_load = byte_fn.blocks.iter().flat_map(|b| b.insts.iter()).any(|i| {
+            matches!(i, IrInst::Load { width: MemWidth::Byte, .. })
+        });
+        assert!(has_byte_load, "{byte_fn}");
+    }
+
+    #[test]
+    fn local_arrays_get_stack_slots() {
+        let m = lower("int f() { int buf[16]; buf[0] = 1; return buf[0]; }");
+        let f = &m.functions[0];
+        assert_eq!(f.slots.len(), 1);
+        assert_eq!(f.slots[0].size, 64);
+    }
+
+    #[test]
+    fn logical_operators_short_circuit() {
+        let m = lower("int f(int a, int b) { if (a > 0 && b > 0) return 1; return 0; }");
+        let f = &m.functions[0];
+        // Short-circuiting needs an intermediate block.
+        assert!(f.blocks.len() >= 4, "{f}");
+    }
+
+    #[test]
+    fn break_and_continue_target_loop_blocks() {
+        let m = lower(
+            "int f(int n) { int s = 0; while (1) { s++; if (s > n) break; if (s == 3) continue; s++; } return s; }",
+        );
+        let f = &m.functions[0];
+        assert!(f.cfg().loop_info().loop_count() >= 1, "{f}");
+    }
+
+    #[test]
+    fn unrolling_replaces_small_counted_loops() {
+        let src = "int f(int x[]) { int s = 0; for (int i = 0; i < 4; i++) { s += x[i]; } return s; }";
+        let rolled = lower_program(&parse(src).unwrap(), &LowerOptions::default(), false).unwrap();
+        let unrolled = lower_program(
+            &parse(src).unwrap(),
+            &LowerOptions { unroll_loops: true, unroll_limit: 96 },
+            false,
+        )
+        .unwrap();
+        assert!(rolled.functions[0].cfg().loop_info().loop_count() >= 1);
+        assert_eq!(unrolled.functions[0].cfg().loop_info().loop_count(), 0);
+    }
+
+    #[test]
+    fn unrolling_keeps_large_loops_rolled() {
+        let src = "int f(int x[]) { int s = 0; for (int i = 0; i < 1000; i++) { s += x[i]; } return s; }";
+        let unrolled = lower_program(
+            &parse(src).unwrap(),
+            &LowerOptions { unroll_loops: true, unroll_limit: 96 },
+            false,
+        )
+        .unwrap();
+        assert!(unrolled.functions[0].cfg().loop_info().loop_count() >= 1);
+    }
+
+    #[test]
+    fn library_flag_marks_functions() {
+        let m = lower_program(
+            &parse("int f() { return 1; }").unwrap(),
+            &LowerOptions::default(),
+            true,
+        )
+        .unwrap();
+        assert!(m.functions[0].is_library);
+    }
+
+    #[test]
+    fn errors_for_undefined_names_and_bad_calls() {
+        let undef = lower_program(
+            &parse("int f() { return missing; }").unwrap(),
+            &LowerOptions::default(),
+            false,
+        );
+        assert!(undef.is_err());
+        // Calls to functions from other translation units get an implicit
+        // signature; they are resolved (or reported) at link/codegen time.
+        let cross_unit = lower_program(
+            &parse("int f() { return g(1); }").unwrap(),
+            &LowerOptions::default(),
+            false,
+        );
+        assert!(cross_unit.is_ok());
+        let arity = lower_program(
+            &parse("int g(int a) { return a; } int f() { return g(1, 2); }").unwrap(),
+            &LowerOptions::default(),
+            false,
+        );
+        assert!(arity.is_err());
+    }
+
+    #[test]
+    fn conditional_expression_produces_single_value() {
+        let m = lower("int f(int a, int b) { int m = a > b ? a : b; return m; }");
+        let f = &m.functions[0];
+        assert!(f.blocks.len() >= 4, "{f}");
+    }
+
+    #[test]
+    fn global_float_initializers_store_ieee_bits() {
+        let m = lower("float pi = 3.5f; int main() { return 0; }");
+        let bytes = m.globals[0].init.to_bytes();
+        let bits = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        assert_eq!(f32::from_bits(bits), 3.5);
+    }
+}

@@ -1,0 +1,735 @@
+//! Recursive-descent parser for mini-C.
+
+use crate::ast::{
+    BinAstOp, DeclType, Expr, Function, Initializer, Item, Param, Program, Stmt, TypeSpec, UnOp,
+    VarDecl,
+};
+use crate::error::CompileError;
+use crate::token::{tokenize, Keyword, Punct, Spanned, Token};
+
+/// Parse a complete translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let tokens = tokenize(source)?;
+    Parser { tokens, pos: 0 }.parse_program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_ahead(&self, offset: usize) -> &Token {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].token
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(msg, self.line())
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), CompileError> {
+        match self.peek() {
+            Token::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected '{p}', found '{other}'"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if matches!(self.peek(), Token::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if matches!(self.peek(), Token::Keyword(q) if *q == k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found '{other}'"))),
+        }
+    }
+
+    // ----- types -----
+
+    fn peek_is_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            Token::Keyword(
+                Keyword::Int
+                    | Keyword::Unsigned
+                    | Keyword::Char
+                    | Keyword::Float
+                    | Keyword::Void
+                    | Keyword::Const
+            )
+        )
+    }
+
+    fn parse_type_spec(&mut self) -> Result<(TypeSpec, bool), CompileError> {
+        let mut is_const = false;
+        if self.eat_keyword(Keyword::Const) {
+            is_const = true;
+        }
+        let spec = match self.bump() {
+            Token::Keyword(Keyword::Int) => TypeSpec::Int,
+            Token::Keyword(Keyword::Unsigned) => {
+                // Allow `unsigned int` and `unsigned char`.
+                if self.eat_keyword(Keyword::Int) {
+                    TypeSpec::Unsigned
+                } else if self.eat_keyword(Keyword::Char) {
+                    TypeSpec::UChar
+                } else {
+                    TypeSpec::Unsigned
+                }
+            }
+            Token::Keyword(Keyword::Char) => TypeSpec::Char,
+            Token::Keyword(Keyword::Float) => TypeSpec::Float,
+            Token::Keyword(Keyword::Void) => TypeSpec::Void,
+            other => return Err(self.error(format!("expected type, found '{other}'"))),
+        };
+        if self.eat_keyword(Keyword::Const) {
+            is_const = true;
+        }
+        Ok((spec, is_const))
+    }
+
+    // ----- program structure -----
+
+    fn parse_program(&mut self) -> Result<Program, CompileError> {
+        let mut items = Vec::new();
+        while !matches!(self.peek(), Token::Eof) {
+            items.push(self.parse_item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn parse_item(&mut self) -> Result<Item, CompileError> {
+        let line = self.line();
+        let (base, is_const) = self.parse_type_spec()?;
+        let mut pointer = 0u8;
+        while self.eat_punct(Punct::Star) {
+            pointer += 1;
+        }
+        let name = self.expect_ident()?;
+        if matches!(self.peek(), Token::Punct(Punct::LParen)) {
+            // Function definition.
+            let func = self.parse_function(base, pointer, name, line)?;
+            Ok(Item::Function(func))
+        } else {
+            let decl = self.parse_global_tail(base, pointer, name, is_const, line)?;
+            Ok(Item::Global(decl))
+        }
+    }
+
+    fn parse_function(
+        &mut self,
+        ret_base: TypeSpec,
+        ret_ptr: u8,
+        name: String,
+        line: u32,
+    ) -> Result<Function, CompileError> {
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            if self.eat_keyword(Keyword::Void) && matches!(self.peek(), Token::Punct(Punct::RParen))
+            {
+                self.expect_punct(Punct::RParen)?;
+            } else {
+                loop {
+                    let (base, _) = self.parse_type_spec()?;
+                    let mut pointer = 0u8;
+                    while self.eat_punct(Punct::Star) {
+                        pointer += 1;
+                    }
+                    let pname = self.expect_ident()?;
+                    // Array parameters decay to pointers: `int a[]` or `int a[N]`.
+                    if self.eat_punct(Punct::LBracket) {
+                        if !matches!(self.peek(), Token::Punct(Punct::RBracket)) {
+                            let _ = self.parse_expr()?;
+                        }
+                        self.expect_punct(Punct::RBracket)?;
+                        pointer += 1;
+                    }
+                    params.push(Param {
+                        name: pname,
+                        ty: DeclType { base, pointer, array_len: None },
+                    });
+                    if self.eat_punct(Punct::RParen) {
+                        break;
+                    }
+                    self.expect_punct(Punct::Comma)?;
+                }
+            }
+        }
+        self.expect_punct(Punct::LBrace)?;
+        let body = self.parse_block_body()?;
+        Ok(Function {
+            name,
+            ret: DeclType { base: ret_base, pointer: ret_ptr, array_len: None },
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn parse_global_tail(
+        &mut self,
+        base: TypeSpec,
+        pointer: u8,
+        name: String,
+        is_const: bool,
+        line: u32,
+    ) -> Result<VarDecl, CompileError> {
+        let array_len = if self.eat_punct(Punct::LBracket) {
+            let len = self.parse_const_len()?;
+            self.expect_punct(Punct::RBracket)?;
+            Some(len)
+        } else {
+            None
+        };
+        let init = if self.eat_punct(Punct::Assign) {
+            Some(self.parse_initializer()?)
+        } else {
+            None
+        };
+        self.expect_punct(Punct::Semicolon)?;
+        Ok(VarDecl {
+            name,
+            ty: DeclType { base, pointer, array_len },
+            is_const,
+            init,
+            line,
+        })
+    }
+
+    fn parse_const_len(&mut self) -> Result<usize, CompileError> {
+        match self.bump() {
+            Token::Int(v) if v >= 0 => Ok(v as usize),
+            other => Err(self.error(format!("expected array length, found '{other}'"))),
+        }
+    }
+
+    fn parse_initializer(&mut self) -> Result<Initializer, CompileError> {
+        if self.eat_punct(Punct::LBrace) {
+            let mut items = Vec::new();
+            if !self.eat_punct(Punct::RBrace) {
+                loop {
+                    items.push(self.parse_expr()?);
+                    if self.eat_punct(Punct::RBrace) {
+                        break;
+                    }
+                    self.expect_punct(Punct::Comma)?;
+                    // Allow a trailing comma before '}'.
+                    if self.eat_punct(Punct::RBrace) {
+                        break;
+                    }
+                }
+            }
+            Ok(Initializer::List(items))
+        } else {
+            Ok(Initializer::Expr(self.parse_expr()?))
+        }
+    }
+
+    // ----- statements -----
+
+    fn parse_block_body(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if matches!(self.peek(), Token::Eof) {
+                return Err(self.error("unexpected end of input inside block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek().clone() {
+            Token::Punct(Punct::Semicolon) => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            Token::Punct(Punct::LBrace) => {
+                self.bump();
+                Ok(Stmt::Block(self.parse_block_body()?))
+            }
+            Token::Keyword(Keyword::Return) => {
+                self.bump();
+                if self.eat_punct(Punct::Semicolon) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_punct(Punct::Semicolon)?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Token::Keyword(Keyword::Break) => {
+                self.bump();
+                self.expect_punct(Punct::Semicolon)?;
+                Ok(Stmt::Break)
+            }
+            Token::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.expect_punct(Punct::Semicolon)?;
+                Ok(Stmt::Continue)
+            }
+            Token::Keyword(Keyword::If) => self.parse_if(),
+            Token::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.parse_stmt_as_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Token::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = self.parse_stmt_as_block()?;
+                if !self.eat_keyword(Keyword::While) {
+                    return Err(self.error("expected 'while' after do-block"));
+                }
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                self.expect_punct(Punct::Semicolon)?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            Token::Keyword(Keyword::For) => self.parse_for(),
+            Token::Keyword(_) if self.peek_is_type() => {
+                let d = self.parse_local_decl()?;
+                Ok(Stmt::Decl(d))
+            }
+            _ => {
+                let stmt = self.parse_expr_or_assign()?;
+                self.expect_punct(Punct::Semicolon)?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    fn parse_stmt_as_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.eat_punct(Punct::LBrace) {
+            self.parse_block_body()
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, CompileError> {
+        self.bump(); // if
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect_punct(Punct::RParen)?;
+        let then_body = self.parse_stmt_as_block()?;
+        let else_body = if self.eat_keyword(Keyword::Else) {
+            if matches!(self.peek(), Token::Keyword(Keyword::If)) {
+                vec![self.parse_if()?]
+            } else {
+                self.parse_stmt_as_block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then_body, else_body })
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt, CompileError> {
+        self.bump(); // for
+        self.expect_punct(Punct::LParen)?;
+        let init = if self.eat_punct(Punct::Semicolon) {
+            None
+        } else if self.peek_is_type() {
+            Some(Box::new(Stmt::Decl(self.parse_local_decl()?)))
+        } else {
+            let s = self.parse_expr_or_assign()?;
+            self.expect_punct(Punct::Semicolon)?;
+            Some(Box::new(s))
+        };
+        let cond = if self.eat_punct(Punct::Semicolon) {
+            None
+        } else {
+            let e = self.parse_expr()?;
+            self.expect_punct(Punct::Semicolon)?;
+            Some(e)
+        };
+        let step = if matches!(self.peek(), Token::Punct(Punct::RParen)) {
+            None
+        } else {
+            Some(Box::new(self.parse_expr_or_assign()?))
+        };
+        self.expect_punct(Punct::RParen)?;
+        let body = self.parse_stmt_as_block()?;
+        Ok(Stmt::For { init, cond, step, body })
+    }
+
+    fn parse_local_decl(&mut self) -> Result<VarDecl, CompileError> {
+        let line = self.line();
+        let (base, is_const) = self.parse_type_spec()?;
+        let mut pointer = 0u8;
+        while self.eat_punct(Punct::Star) {
+            pointer += 1;
+        }
+        let name = self.expect_ident()?;
+        let array_len = if self.eat_punct(Punct::LBracket) {
+            let len = self.parse_const_len()?;
+            self.expect_punct(Punct::RBracket)?;
+            Some(len)
+        } else {
+            None
+        };
+        let init = if self.eat_punct(Punct::Assign) {
+            Some(self.parse_initializer()?)
+        } else {
+            None
+        };
+        self.expect_punct(Punct::Semicolon)?;
+        Ok(VarDecl {
+            name,
+            ty: DeclType { base, pointer, array_len },
+            is_const,
+            init,
+            line,
+        })
+    }
+
+    /// Parse either an expression statement, an assignment (simple or
+    /// compound) or an increment/decrement statement.
+    fn parse_expr_or_assign(&mut self) -> Result<Stmt, CompileError> {
+        let target = self.parse_expr()?;
+        let op = match self.peek() {
+            Token::Punct(Punct::Assign) => {
+                self.bump();
+                let value = self.parse_expr()?;
+                return Ok(Stmt::Assign { target, op: None, value });
+            }
+            Token::Punct(Punct::PlusAssign) => Some(BinAstOp::Add),
+            Token::Punct(Punct::MinusAssign) => Some(BinAstOp::Sub),
+            Token::Punct(Punct::StarAssign) => Some(BinAstOp::Mul),
+            Token::Punct(Punct::SlashAssign) => Some(BinAstOp::Div),
+            Token::Punct(Punct::PercentAssign) => Some(BinAstOp::Mod),
+            Token::Punct(Punct::AmpAssign) => Some(BinAstOp::BitAnd),
+            Token::Punct(Punct::PipeAssign) => Some(BinAstOp::BitOr),
+            Token::Punct(Punct::CaretAssign) => Some(BinAstOp::BitXor),
+            Token::Punct(Punct::ShlAssign) => Some(BinAstOp::Shl),
+            Token::Punct(Punct::ShrAssign) => Some(BinAstOp::Shr),
+            Token::Punct(Punct::PlusPlus) => {
+                self.bump();
+                return Ok(Stmt::Assign {
+                    target: target.clone(),
+                    op: Some(BinAstOp::Add),
+                    value: Expr::IntLit(1),
+                });
+            }
+            Token::Punct(Punct::MinusMinus) => {
+                self.bump();
+                return Ok(Stmt::Assign {
+                    target: target.clone(),
+                    op: Some(BinAstOp::Sub),
+                    value: Expr::IntLit(1),
+                });
+            }
+            _ => return Ok(Stmt::Expr(target)),
+        };
+        self.bump();
+        let value = self.parse_expr()?;
+        Ok(Stmt::Assign { target, op, value })
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn parse_expr(&mut self) -> Result<Expr, CompileError> {
+        self.parse_conditional()
+    }
+
+    fn parse_conditional(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.parse_binary(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then_expr = self.parse_expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let else_expr = self.parse_conditional()?;
+            Ok(Expr::Conditional {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Token::Punct(Punct::OrOr) => (BinAstOp::LogicalOr, 1),
+                Token::Punct(Punct::AndAnd) => (BinAstOp::LogicalAnd, 2),
+                Token::Punct(Punct::Pipe) => (BinAstOp::BitOr, 3),
+                Token::Punct(Punct::Caret) => (BinAstOp::BitXor, 4),
+                Token::Punct(Punct::Amp) => (BinAstOp::BitAnd, 5),
+                Token::Punct(Punct::EqEq) => (BinAstOp::Eq, 6),
+                Token::Punct(Punct::Ne) => (BinAstOp::Ne, 6),
+                Token::Punct(Punct::Lt) => (BinAstOp::Lt, 7),
+                Token::Punct(Punct::Le) => (BinAstOp::Le, 7),
+                Token::Punct(Punct::Gt) => (BinAstOp::Gt, 7),
+                Token::Punct(Punct::Ge) => (BinAstOp::Ge, 7),
+                Token::Punct(Punct::Shl) => (BinAstOp::Shl, 8),
+                Token::Punct(Punct::Shr) => (BinAstOp::Shr, 8),
+                Token::Punct(Punct::Plus) => (BinAstOp::Add, 9),
+                Token::Punct(Punct::Minus) => (BinAstOp::Sub, 9),
+                Token::Punct(Punct::Star) => (BinAstOp::Mul, 10),
+                Token::Punct(Punct::Slash) => (BinAstOp::Div, 10),
+                Token::Punct(Punct::Percent) => (BinAstOp::Mod, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek().clone() {
+            Token::Punct(Punct::Minus) => {
+                self.bump();
+                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(self.parse_unary()?) })
+            }
+            Token::Punct(Punct::Bang) => {
+                self.bump();
+                Ok(Expr::Unary { op: UnOp::LogicalNot, expr: Box::new(self.parse_unary()?) })
+            }
+            Token::Punct(Punct::Tilde) => {
+                self.bump();
+                Ok(Expr::Unary { op: UnOp::BitNot, expr: Box::new(self.parse_unary()?) })
+            }
+            Token::Punct(Punct::LParen) if self.is_cast_ahead() => {
+                self.bump();
+                let (base, _) = self.parse_type_spec()?;
+                let mut pointer = 0u8;
+                while self.eat_punct(Punct::Star) {
+                    pointer += 1;
+                }
+                self.expect_punct(Punct::RParen)?;
+                let expr = self.parse_unary()?;
+                Ok(Expr::Cast {
+                    ty: DeclType { base, pointer, array_len: None },
+                    expr: Box::new(expr),
+                })
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn is_cast_ahead(&self) -> bool {
+        matches!(self.peek(), Token::Punct(Punct::LParen))
+            && matches!(
+                self.peek_ahead(1),
+                Token::Keyword(
+                    Keyword::Int
+                        | Keyword::Unsigned
+                        | Keyword::Char
+                        | Keyword::Float
+                        | Keyword::Void
+                )
+            )
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            if self.eat_punct(Punct::LBracket) {
+                let index = self.parse_expr()?;
+                self.expect_punct(Punct::RBracket)?;
+                expr = Expr::Index { base: Box::new(expr), index: Box::new(index) };
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CompileError> {
+        match self.bump() {
+            Token::Int(v) => Ok(Expr::IntLit(v)),
+            Token::Float(v) => Ok(Expr::FloatLit(v)),
+            Token::Char(c) => Ok(Expr::CharLit(c)),
+            Token::Ident(name) => {
+                if self.eat_punct(Punct::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat_punct(Punct::RParen) {
+                                break;
+                            }
+                            self.expect_punct(Punct::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            Token::Punct(Punct::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("unexpected token '{other}' in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_global_and_function() {
+        let src = "
+            const int table[4] = {1, 2, 3, 4};
+            int counter = 0;
+            int add(int a, int b) { return a + b; }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.globals().count(), 2);
+        assert_eq!(p.functions().count(), 1);
+        let f = p.functions().next().unwrap();
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+    }
+
+    #[test]
+    fn precedence_groups_multiplication_tighter() {
+        let p = parse("int f() { return 1 + 2 * 3; }").unwrap();
+        let f = p.functions().next().unwrap();
+        match &f.body[0] {
+            Stmt::Return(Some(Expr::Binary { op: BinAstOp::Add, rhs, .. })) => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinAstOp::Mul, .. }));
+            }
+            other => panic!("unexpected AST: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) {
+                    if (i % 2 == 0) { s += i; } else { s -= 1; }
+                }
+                while (s > 100) s /= 2;
+                do { s++; } while (s < 10);
+                return s;
+            }
+        ";
+        let p = parse(src).unwrap();
+        let f = p.functions().next().unwrap();
+        assert!(f.body.iter().any(|s| matches!(s, Stmt::For { .. })));
+        assert!(f.body.iter().any(|s| matches!(s, Stmt::While { .. })));
+        assert!(f.body.iter().any(|s| matches!(s, Stmt::DoWhile { .. })));
+    }
+
+    #[test]
+    fn parses_arrays_pointers_and_calls() {
+        let src = "
+            void fir(int x[], int *y, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) { acc += x[i] * y[i]; }
+                y[0] = acc;
+            }
+            int main() { int a[8]; int b[8]; fir(a, b, 8); return 0; }
+        ";
+        let p = parse(src).unwrap();
+        let fir = p.functions().next().unwrap();
+        assert_eq!(fir.params[0].ty.pointer, 1, "array parameter decays to pointer");
+        assert_eq!(fir.params[1].ty.pointer, 1);
+    }
+
+    #[test]
+    fn parses_casts_conditional_and_logical_ops() {
+        let src = "int f(int a, int b) { int x = (a > 0 && b > 0) ? a : b; return (int)(x * 1); }";
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions().count(), 1);
+    }
+
+    #[test]
+    fn parses_float_code() {
+        let src = "
+            float scale = 1.5f;
+            float mul(float a, float b) { return a * b * scale; }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.globals().count(), 1);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = "int f(int x) { if (x > 2) return 2; else if (x > 1) return 1; else return 0; }";
+        let p = parse(src).unwrap();
+        let f = p.functions().next().unwrap();
+        match &f.body[0] {
+            Stmt::If { else_body, .. } => {
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected AST: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_syntax_errors_with_lines() {
+        let e = parse("int f() {\n return 1 +; \n}").unwrap_err();
+        assert!(e.line >= 2, "error should point at or after the bad line, got {}", e.line);
+        assert!(parse("int f( { return 0; }").is_err());
+        assert!(parse("int x = ;").is_err());
+    }
+
+    #[test]
+    fn unsigned_char_and_hex_literals() {
+        let src = "unsigned char box1[2] = {0x63, 0x7c}; unsigned int mask = 0xffffffff;";
+        let p = parse(src).unwrap();
+        let globals: Vec<_> = p.globals().collect();
+        assert_eq!(globals[0].ty.base, TypeSpec::UChar);
+        assert_eq!(globals[0].ty.array_len, Some(2));
+        assert_eq!(globals[1].ty.base, TypeSpec::Unsigned);
+    }
+}

@@ -1,0 +1,579 @@
+//! Optimization passes over the mid-level IR.
+//!
+//! The pass pipeline stands in for GCC's optimization levels in the
+//! reproduction: `-O0` runs nothing, `-O1` and above run constant folding,
+//! copy propagation, dead-code elimination and CFG simplification to a fixed
+//! point, `-O2`/`-O3` additionally inline small functions, and `-O3` unrolls
+//! small counted loops (during lowering).  What matters for the placement
+//! optimizer is that different levels produce CFGs with realistically
+//! different block counts, sizes and frequencies — which these passes do.
+
+use std::collections::{HashMap, HashSet};
+
+use flashram_ir::{BlockId, IrFunction, IrInst, IrModule, IrTerm, VReg, Value};
+
+/// Fold constant expressions and constant branches within each block.
+///
+/// Returns `true` if anything changed.
+pub fn constant_fold(func: &mut IrFunction) -> bool {
+    let mut changed = false;
+    for block in &mut func.blocks {
+        let mut known: HashMap<VReg, i32> = HashMap::new();
+        for inst in &mut block.insts {
+            // Rewrite uses through the constant map.
+            for u in inst.uses_mut() {
+                if let Value::Reg(r) = u {
+                    if let Some(c) = known.get(r) {
+                        *u = Value::Const(*c);
+                        changed = true;
+                    }
+                }
+            }
+            // Fold the instruction itself where possible.
+            let folded: Option<(VReg, i32)> = match inst {
+                IrInst::Bin { op, dst, lhs: Value::Const(a), rhs: Value::Const(b) } => {
+                    Some((*dst, op.eval(*a, *b)))
+                }
+                IrInst::Cmp { op, dst, lhs: Value::Const(a), rhs: Value::Const(b) } => {
+                    Some((*dst, op.eval(*a, *b) as i32))
+                }
+                IrInst::Neg { dst, src: Value::Const(c) } => Some((*dst, c.wrapping_neg())),
+                IrInst::Not { dst, src: Value::Const(c) } => Some((*dst, !*c)),
+                IrInst::Copy { dst, src: Value::Const(c) } => Some((*dst, *c)),
+                _ => None,
+            };
+            match folded {
+                Some((dst, value)) => {
+                    if !matches!(inst, IrInst::Copy { src: Value::Const(_), .. }) {
+                        *inst = IrInst::Copy { dst, src: Value::Const(value) };
+                        changed = true;
+                    }
+                    known.insert(dst, value);
+                }
+                None => {
+                    if let Some(dst) = inst.dst() {
+                        known.remove(&dst);
+                    }
+                }
+            }
+        }
+        // Rewrite terminator uses and fold constant branches.
+        for u in block.term.uses_mut() {
+            if let Value::Reg(r) = u {
+                if let Some(c) = known.get(r) {
+                    *u = Value::Const(*c);
+                    changed = true;
+                }
+            }
+        }
+        if let IrTerm::Branch { op, lhs: Value::Const(a), rhs: Value::Const(b), then_block, else_block } =
+            block.term
+        {
+            let target = if op.eval(a, b) { then_block } else { else_block };
+            block.term = IrTerm::Jump(target);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Propagate copies within each block (`y = x; use y` becomes `use x`).
+///
+/// Returns `true` if anything changed.
+pub fn copy_propagate(func: &mut IrFunction) -> bool {
+    let mut changed = false;
+    for block in &mut func.blocks {
+        let mut copies: HashMap<VReg, Value> = HashMap::new();
+        for inst in &mut block.insts {
+            for u in inst.uses_mut() {
+                if let Value::Reg(r) = u {
+                    if let Some(v) = copies.get(r) {
+                        *u = *v;
+                        changed = true;
+                    }
+                }
+            }
+            if let Some(dst) = inst.dst() {
+                // The destination is redefined: forget copies involving it.
+                copies.remove(&dst);
+                copies.retain(|_, v| *v != Value::Reg(dst));
+                if let IrInst::Copy { src, .. } = inst {
+                    if *src != Value::Reg(dst) {
+                        copies.insert(dst, *src);
+                    }
+                }
+            }
+        }
+        for u in block.term.uses_mut() {
+            if let Value::Reg(r) = u {
+                if let Some(v) = copies.get(r) {
+                    *u = *v;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Remove side-effect-free instructions whose results are never used.
+///
+/// Returns `true` if anything changed.
+pub fn dead_code_elim(func: &mut IrFunction) -> bool {
+    let mut changed = false;
+    loop {
+        let mut used: HashSet<VReg> = HashSet::new();
+        for block in &func.blocks {
+            for inst in &block.insts {
+                for u in inst.uses() {
+                    if let Value::Reg(r) = u {
+                        used.insert(r);
+                    }
+                }
+            }
+            for u in block.term.uses() {
+                if let Value::Reg(r) = u {
+                    used.insert(r);
+                }
+            }
+        }
+        // Parameters are implicitly live on entry (the prologue materializes
+        // them), so keep their defining copies even if currently unused.
+        let mut removed_any = false;
+        for block in &mut func.blocks {
+            let before = block.insts.len();
+            block.insts.retain(|inst| {
+                if inst.has_side_effects() {
+                    return true;
+                }
+                match inst.dst() {
+                    Some(dst) => used.contains(&dst),
+                    None => true,
+                }
+            });
+            if block.insts.len() != before {
+                removed_any = true;
+                changed = true;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+    changed
+}
+
+/// Simplify the control-flow graph: thread trivial jump blocks, merge blocks
+/// with single predecessors, and drop unreachable blocks.
+///
+/// Returns `true` if anything changed.
+pub fn simplify_cfg(func: &mut IrFunction) -> bool {
+    let mut changed = false;
+    changed |= thread_jumps(func);
+    changed |= merge_straightline(func);
+    changed |= remove_unreachable(func);
+    changed
+}
+
+/// Redirect branches that target an empty block containing only a jump.
+fn thread_jumps(func: &mut IrFunction) -> bool {
+    let n = func.blocks.len();
+    // Compute the forwarding target of each block (transitively, with a hop
+    // limit to be safe against cycles of empty blocks).
+    let mut forward: Vec<BlockId> = (0..n as u32).map(BlockId).collect();
+    for b in 0..n {
+        let mut target = BlockId(b as u32);
+        for _ in 0..n {
+            let blk = &func.blocks[target.index()];
+            if blk.insts.is_empty() {
+                if let IrTerm::Jump(next) = blk.term {
+                    if next != target {
+                        target = next;
+                        continue;
+                    }
+                }
+            }
+            break;
+        }
+        forward[b] = target;
+    }
+    let mut changed = false;
+    for block in &mut func.blocks {
+        let remap = |t: &mut BlockId, changed: &mut bool| {
+            let f = forward[t.index()];
+            if f != *t {
+                *t = f;
+                *changed = true;
+            }
+        };
+        match &mut block.term {
+            IrTerm::Jump(t) => remap(t, &mut changed),
+            IrTerm::Branch { then_block, else_block, .. } => {
+                remap(then_block, &mut changed);
+                remap(else_block, &mut changed);
+            }
+            IrTerm::Ret(_) => {}
+        }
+    }
+    changed
+}
+
+/// Merge `a -> b` when `a` jumps unconditionally to `b` and `b` has no other
+/// predecessors.
+fn merge_straightline(func: &mut IrFunction) -> bool {
+    let mut changed = false;
+    loop {
+        let n = func.blocks.len();
+        let mut pred_count = vec![0usize; n];
+        for block in &func.blocks {
+            for s in block.term.successors() {
+                pred_count[s.index()] += 1;
+            }
+        }
+        let mut merged = false;
+        for a in 0..n {
+            let target = match func.blocks[a].term {
+                IrTerm::Jump(t) => t,
+                _ => continue,
+            };
+            let t = target.index();
+            if t == a || pred_count[t] != 1 || t == 0 {
+                continue;
+            }
+            // Splice block t into a.
+            let spliced = std::mem::take(&mut func.blocks[t].insts);
+            let term = std::mem::replace(&mut func.blocks[t].term, IrTerm::Ret(None));
+            func.blocks[a].insts.extend(spliced);
+            func.blocks[a].term = term;
+            // Leave t in place as an unreachable empty block; a later
+            // `remove_unreachable` collects it.
+            merged = true;
+            changed = true;
+            break;
+        }
+        if !merged {
+            break;
+        }
+    }
+    changed
+}
+
+/// Remove blocks unreachable from the entry and renumber the rest.
+fn remove_unreachable(func: &mut IrFunction) -> bool {
+    let n = func.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![0usize];
+    reachable[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in func.blocks[b].term.successors() {
+            if !reachable[s.index()] {
+                reachable[s.index()] = true;
+                stack.push(s.index());
+            }
+        }
+    }
+    if reachable.iter().all(|r| *r) {
+        return false;
+    }
+    let mut remap: Vec<Option<u32>> = vec![None; n];
+    let mut next = 0u32;
+    for b in 0..n {
+        if reachable[b] {
+            remap[b] = Some(next);
+            next += 1;
+        }
+    }
+    let mut new_blocks = Vec::with_capacity(next as usize);
+    for (b, block) in func.blocks.drain(..).enumerate() {
+        if reachable[b] {
+            new_blocks.push(block);
+        }
+    }
+    for block in &mut new_blocks {
+        let remap_id = |t: &mut BlockId| {
+            *t = BlockId(remap[t.index()].expect("reachable target"));
+        };
+        match &mut block.term {
+            IrTerm::Jump(t) => remap_id(t),
+            IrTerm::Branch { then_block, else_block, .. } => {
+                remap_id(then_block);
+                remap_id(else_block);
+            }
+            IrTerm::Ret(_) => {}
+        }
+    }
+    func.blocks = new_blocks;
+    true
+}
+
+/// Inline calls to small, single-block, non-recursive functions.
+///
+/// Returns `true` if anything changed.  `max_insts` bounds the callee size.
+pub fn inline_small_functions(module: &mut IrModule, max_insts: usize) -> bool {
+    // Identify inlinable callees.
+    let mut inlinable: HashMap<String, IrFunction> = HashMap::new();
+    for f in &module.functions {
+        if f.blocks.len() != 1
+            || f.inst_count() > max_insts
+            || !f.slots.is_empty()
+            || f.is_library
+        {
+            continue;
+        }
+        let calls_self = f.blocks[0].insts.iter().any(|i| {
+            matches!(i, IrInst::Call { callee, .. } if callee.0 == f.name)
+        });
+        if calls_self {
+            continue;
+        }
+        inlinable.insert(f.name.clone(), f.clone());
+    }
+    if inlinable.is_empty() {
+        return false;
+    }
+
+    let mut changed = false;
+    for func in &mut module.functions {
+        let caller_name = func.name.clone();
+        for b in 0..func.blocks.len() {
+            let mut new_insts: Vec<IrInst> = Vec::new();
+            let insts = std::mem::take(&mut func.blocks[b].insts);
+            for inst in insts {
+                let (callee_name, dst, args) = match &inst {
+                    IrInst::Call { callee, dst, args } => {
+                        (callee.0.clone(), *dst, args.clone())
+                    }
+                    _ => {
+                        new_insts.push(inst);
+                        continue;
+                    }
+                };
+                let Some(callee) = inlinable.get(&callee_name) else {
+                    new_insts.push(inst);
+                    continue;
+                };
+                if callee.name == caller_name {
+                    new_insts.push(inst);
+                    continue;
+                }
+                // Map callee virtual registers into fresh caller registers.
+                let mut reg_map: HashMap<VReg, VReg> = HashMap::new();
+                for p in 0..callee.num_params {
+                    let fresh = func_new_vreg(func);
+                    reg_map.insert(VReg(p as u32), fresh);
+                    new_insts.push(IrInst::Copy { dst: fresh, src: args[p] });
+                }
+                let map_value = |v: Value, func: &mut IrFunction, reg_map: &mut HashMap<VReg, VReg>| match v {
+                    Value::Reg(r) => {
+                        let mapped = *reg_map.entry(r).or_insert_with(|| func_new_vreg(func));
+                        Value::Reg(mapped)
+                    }
+                    c => c,
+                };
+                for callee_inst in &callee.blocks[0].insts {
+                    let mut cloned = callee_inst.clone();
+                    for u in cloned.uses_mut() {
+                        *u = map_value(*u, func, &mut reg_map);
+                    }
+                    cloned = rewrite_dst(cloned, func, &mut reg_map);
+                    new_insts.push(cloned);
+                }
+                // The callee's return value feeds the call destination.
+                if let (Some(dst), IrTerm::Ret(Some(v))) = (dst, &callee.blocks[0].term) {
+                    let v = map_value(*v, func, &mut reg_map);
+                    new_insts.push(IrInst::Copy { dst, src: v });
+                }
+                changed = true;
+            }
+            func.blocks[b].insts = new_insts;
+        }
+    }
+    changed
+}
+
+fn func_new_vreg(func: &mut IrFunction) -> VReg {
+    let r = VReg(func.vreg_count);
+    func.vreg_count += 1;
+    r
+}
+
+fn rewrite_dst(
+    mut inst: IrInst,
+    func: &mut IrFunction,
+    reg_map: &mut HashMap<VReg, VReg>,
+) -> IrInst {
+    let map = |r: VReg, func: &mut IrFunction, reg_map: &mut HashMap<VReg, VReg>| {
+        *reg_map.entry(r).or_insert_with(|| func_new_vreg(func))
+    };
+    match &mut inst {
+        IrInst::Bin { dst, .. }
+        | IrInst::Cmp { dst, .. }
+        | IrInst::Copy { dst, .. }
+        | IrInst::Neg { dst, .. }
+        | IrInst::Not { dst, .. }
+        | IrInst::FrameAddr { dst, .. }
+        | IrInst::GlobalAddr { dst, .. }
+        | IrInst::Load { dst, .. } => *dst = map(*dst, func, reg_map),
+        IrInst::Call { dst: Some(dst), .. } => *dst = map(*dst, func, reg_map),
+        IrInst::Call { dst: None, .. } | IrInst::Store { .. } => {}
+    }
+    inst
+}
+
+/// Run the scalar pass pipeline to a fixed point (bounded at a few rounds).
+pub fn optimize_function(func: &mut IrFunction) {
+    for _ in 0..4 {
+        let mut changed = false;
+        changed |= constant_fold(func);
+        changed |= copy_propagate(func);
+        changed |= dead_code_elim(func);
+        changed |= simplify_cfg(func);
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Run the whole-module pipeline for a given amount of effort.
+pub fn optimize_module(module: &mut IrModule, inline_threshold: Option<usize>) {
+    if let Some(threshold) = inline_threshold {
+        inline_small_functions(module, threshold);
+    }
+    for func in &mut module.functions {
+        optimize_function(func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower_program, LowerOptions};
+    use crate::parser::parse;
+    use flashram_ir::CmpOp;
+
+    fn lower(src: &str) -> IrModule {
+        lower_program(&parse(src).unwrap(), &LowerOptions::default(), false).unwrap()
+    }
+
+    #[test]
+    fn constant_folding_reduces_arithmetic() {
+        let mut m = lower("int f() { int a = 2 + 3; int b = a * 4; return b; }");
+        let f = &mut m.functions[0];
+        constant_fold(f);
+        copy_propagate(f);
+        dead_code_elim(f);
+        // The returned value must be the constant 20.
+        let ret_const = f.blocks.iter().any(|b| matches!(b.term, IrTerm::Ret(Some(Value::Const(20)))));
+        assert!(ret_const, "{f}");
+    }
+
+    #[test]
+    fn constant_branches_become_jumps() {
+        let mut m = lower("int f() { if (1 < 2) return 5; return 6; }");
+        let f = &mut m.functions[0];
+        constant_fold(f);
+        let has_branch = f.blocks.iter().any(|b| matches!(b.term, IrTerm::Branch { .. }));
+        assert!(!has_branch, "{f}");
+    }
+
+    #[test]
+    fn dce_removes_unused_computation_but_keeps_side_effects() {
+        let mut m = lower(
+            "int g(int x) { return x; }
+             int f(int a) { int unused = a * 17; g(a); return a; }",
+        );
+        let f = &mut m.functions[1];
+        let before = f.inst_count();
+        dead_code_elim(f);
+        let after = f.inst_count();
+        assert!(after < before, "dead multiply should go away");
+        let still_calls = f
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .any(|i| matches!(i, IrInst::Call { .. }));
+        assert!(still_calls, "calls must not be removed");
+    }
+
+    #[test]
+    fn simplify_cfg_shrinks_diamond_of_constant_branch() {
+        let mut m = lower("int f() { int x; if (3 > 2) { x = 1; } else { x = 2; } return x; }");
+        let f = &mut m.functions[0];
+        let before = f.blocks.len();
+        optimize_function(f);
+        assert!(f.blocks.len() < before, "{f}");
+        // Semantics: returns 1.
+        let ret_one = f.blocks.iter().any(|b| matches!(b.term, IrTerm::Ret(Some(Value::Const(1)))));
+        assert!(ret_one, "{f}");
+    }
+
+    #[test]
+    fn unreachable_blocks_are_removed() {
+        let mut m = lower("int f(int a) { return a; a = a + 1; return a; }");
+        let f = &mut m.functions[0];
+        simplify_cfg(f);
+        assert_eq!(f.blocks.len(), 1, "{f}");
+    }
+
+    #[test]
+    fn copy_propagation_rewrites_uses() {
+        let mut m = lower("int f(int a) { int b = a; int c = b + b; return c; }");
+        let f = &mut m.functions[0];
+        copy_propagate(f);
+        dead_code_elim(f);
+        // After propagation the add should use the parameter directly.
+        let uses_param = f.blocks.iter().flat_map(|b| b.insts.iter()).any(|i| {
+            matches!(i, IrInst::Bin { lhs: Value::Reg(VReg(0)), rhs: Value::Reg(VReg(0)), .. })
+        });
+        assert!(uses_param, "{f}");
+    }
+
+    #[test]
+    fn inlining_replaces_small_calls() {
+        let mut m = lower(
+            "int sq(int x) { return x * x; }
+             int f(int a) { return sq(a) + sq(a + 1); }",
+        );
+        assert!(inline_small_functions(&mut m, 8));
+        let f = m.function("f").unwrap();
+        let call_count = f
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| matches!(i, IrInst::Call { .. }))
+            .count();
+        assert_eq!(call_count, 0, "{f}");
+    }
+
+    #[test]
+    fn recursive_and_large_functions_are_not_inlined() {
+        let mut m = lower(
+            "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+             int f(int a) { return fact(a); }",
+        );
+        inline_small_functions(&mut m, 100);
+        let f = m.function("f").unwrap();
+        let still_calls = f
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .any(|i| matches!(i, IrInst::Call { .. }));
+        assert!(still_calls);
+    }
+
+    #[test]
+    fn optimization_preserves_loop_structure() {
+        let mut m = lower(
+            "int sum(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
+        );
+        let f = &mut m.functions[0];
+        optimize_function(f);
+        assert!(f.cfg().loop_info().loop_count() >= 1, "{f}");
+        // The loop comparison must survive.
+        let has_branch = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, IrTerm::Branch { op: CmpOp::Slt, .. }));
+        assert!(has_branch, "{f}");
+    }
+}

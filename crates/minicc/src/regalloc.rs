@@ -1,0 +1,349 @@
+//! Linear-scan register allocation for the code generator.
+//!
+//! Virtual registers are mapped either to one of the callee-saved core
+//! registers (`r4`–`r11`) or to a spill slot in the stack frame.  Keeping the
+//! allocatable pool to callee-saved registers means values never need to be
+//! shuffled around calls: the caller-saved registers `r0`–`r3`/`r12` are used
+//! only as short-lived scratch within a single MIR instruction.
+//!
+//! At `-O0` the allocator is bypassed entirely and every virtual register
+//! lives in a stack slot, reproducing the load/store-heavy code a real
+//! compiler emits without optimization.
+
+use std::collections::HashMap;
+
+use flashram_ir::{IrFunction, VReg, Value};
+use flashram_isa::Reg;
+
+/// Where a virtual register lives during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical register.
+    Reg(Reg),
+    /// A word-sized spill slot (index into the spill area of the frame).
+    Spill(u32),
+}
+
+/// The result of register allocation for one function.
+#[derive(Debug, Clone, Default)]
+pub struct Allocation {
+    assignment: HashMap<VReg, Loc>,
+    /// Number of spill slots used.
+    pub spill_slots: u32,
+    /// The callee-saved registers actually used (must be saved/restored).
+    pub used_regs: Vec<Reg>,
+}
+
+impl Allocation {
+    /// Location of a virtual register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register was never seen by the allocator (which would
+    /// be a code-generation bug).
+    pub fn loc(&self, reg: VReg) -> Loc {
+        *self
+            .assignment
+            .get(&reg)
+            .unwrap_or_else(|| panic!("virtual register {reg} has no allocation"))
+    }
+
+    /// Whether the register ended up spilled.
+    pub fn is_spilled(&self, reg: VReg) -> bool {
+        matches!(self.loc(reg), Loc::Spill(_))
+    }
+}
+
+/// Allocate every virtual register of `func` to a register or spill slot.
+///
+/// When `spill_everything` is true (the `-O0` configuration) no physical
+/// registers are used at all.
+pub fn allocate(func: &IrFunction, spill_everything: bool) -> Allocation {
+    let pool: [Reg; 8] = [
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+    ];
+    let intervals = live_intervals(func);
+    let mut alloc = Allocation::default();
+
+    if spill_everything {
+        let mut ordered: Vec<&VReg> = intervals.keys().collect();
+        ordered.sort();
+        for (i, reg) in ordered.into_iter().enumerate() {
+            alloc.assignment.insert(*reg, Loc::Spill(i as u32));
+        }
+        alloc.spill_slots = alloc.assignment.len() as u32;
+        return alloc;
+    }
+
+    // Linear scan over intervals sorted by start.
+    let mut sorted: Vec<(VReg, Interval)> = intervals.into_iter().collect();
+    sorted.sort_by_key(|(r, iv)| (iv.start, r.0));
+
+    // Pop from the end: reverse so that low registers (richer 16-bit
+    // encodings, usable by cbz/cbnz) are handed out first.
+    let mut free: Vec<Reg> = pool.iter().rev().copied().collect();
+    // Active intervals: (end, vreg, reg), kept sorted by end.
+    let mut active: Vec<(u32, VReg, Reg)> = Vec::new();
+    let mut next_spill = 0u32;
+
+    for (vreg, iv) in sorted {
+        // Expire old intervals.
+        active.retain(|(end, _, reg)| {
+            if *end < iv.start {
+                free.push(*reg);
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(reg) = free.pop() {
+            active.push((iv.end, vreg, reg));
+            active.sort_by_key(|(end, _, _)| *end);
+            alloc.assignment.insert(vreg, Loc::Reg(reg));
+            if !alloc.used_regs.contains(&reg) {
+                alloc.used_regs.push(reg);
+            }
+        } else {
+            // Spill the interval that ends last (it or the new one).
+            let (last_end, last_vreg, last_reg) = *active.last().expect("pool exhausted ⇒ active nonempty");
+            if last_end > iv.end {
+                // Steal the register from the longest-lived active interval.
+                alloc.assignment.insert(last_vreg, Loc::Spill(next_spill));
+                next_spill += 1;
+                active.pop();
+                active.push((iv.end, vreg, last_reg));
+                active.sort_by_key(|(end, _, _)| *end);
+                alloc.assignment.insert(vreg, Loc::Reg(last_reg));
+            } else {
+                alloc.assignment.insert(vreg, Loc::Spill(next_spill));
+                next_spill += 1;
+            }
+        }
+    }
+    alloc.spill_slots = next_spill;
+    alloc.used_regs.sort_by_key(|r| r.index());
+    alloc
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    start: u32,
+    end: u32,
+}
+
+/// Compute conservative live intervals: block-level liveness (backwards
+/// dataflow) refined with instruction positions inside blocks.
+fn live_intervals(func: &IrFunction) -> HashMap<VReg, Interval> {
+    let nblocks = func.blocks.len();
+    // use[b] and def[b] sets.
+    let mut use_set: Vec<Vec<VReg>> = vec![Vec::new(); nblocks];
+    let mut def_set: Vec<Vec<VReg>> = vec![Vec::new(); nblocks];
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let mut defined: Vec<VReg> = Vec::new();
+        for inst in &block.insts {
+            for u in inst.uses() {
+                if let Value::Reg(r) = u {
+                    if !defined.contains(&r) && !use_set[bi].contains(&r) {
+                        use_set[bi].push(r);
+                    }
+                }
+            }
+            if let Some(d) = inst.dst() {
+                if !defined.contains(&d) {
+                    defined.push(d);
+                }
+            }
+        }
+        for u in block.term.uses() {
+            if let Value::Reg(r) = u {
+                if !defined.contains(&r) && !use_set[bi].contains(&r) {
+                    use_set[bi].push(r);
+                }
+            }
+        }
+        def_set[bi] = defined;
+    }
+
+    // Backward liveness to a fixed point.
+    let succs: Vec<Vec<usize>> = func
+        .blocks
+        .iter()
+        .map(|b| b.term.successors().iter().map(|s| s.index()).collect())
+        .collect();
+    let mut live_in: Vec<Vec<VReg>> = vec![Vec::new(); nblocks];
+    let mut live_out: Vec<Vec<VReg>> = vec![Vec::new(); nblocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nblocks).rev() {
+            let mut out: Vec<VReg> = Vec::new();
+            for &s in &succs[b] {
+                for r in &live_in[s] {
+                    if !out.contains(r) {
+                        out.push(*r);
+                    }
+                }
+            }
+            let mut inn = use_set[b].clone();
+            for r in &out {
+                if !def_set[b].contains(r) && !inn.contains(r) {
+                    inn.push(*r);
+                }
+            }
+            if out != live_out[b] || inn != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    // Linear positions: block b spans [block_start[b], block_end[b]].
+    let mut pos = 0u32;
+    let mut block_start = vec![0u32; nblocks];
+    let mut block_end = vec![0u32; nblocks];
+    let mut positions: HashMap<VReg, Interval> = HashMap::new();
+    let touch = |map: &mut HashMap<VReg, Interval>, r: VReg, p: u32| {
+        map.entry(r)
+            .and_modify(|iv| {
+                iv.start = iv.start.min(p);
+                iv.end = iv.end.max(p);
+            })
+            .or_insert(Interval { start: p, end: p });
+    };
+    for (bi, block) in func.blocks.iter().enumerate() {
+        block_start[bi] = pos;
+        for inst in &block.insts {
+            for u in inst.uses() {
+                if let Value::Reg(r) = u {
+                    touch(&mut positions, r, pos);
+                }
+            }
+            if let Some(d) = inst.dst() {
+                touch(&mut positions, d, pos);
+            }
+            pos += 1;
+        }
+        for u in block.term.uses() {
+            if let Value::Reg(r) = u {
+                touch(&mut positions, r, pos);
+            }
+        }
+        block_end[bi] = pos;
+        pos += 1;
+    }
+
+    // Parameters are defined at position 0 by the prologue.
+    for p in 0..func.num_params as u32 {
+        touch(&mut positions, VReg(p), 0);
+    }
+
+    // Extend intervals across blocks where the register is live-in/out.
+    for b in 0..nblocks {
+        for r in &live_in[b] {
+            touch(&mut positions, *r, block_start[b]);
+        }
+        for r in &live_out[b] {
+            touch(&mut positions, *r, block_end[b]);
+        }
+    }
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower_program, LowerOptions};
+    use crate::parser::parse;
+
+    fn lower_fn(src: &str) -> IrFunction {
+        lower_program(&parse(src).unwrap(), &LowerOptions::default(), false)
+            .unwrap()
+            .functions
+            .remove(0)
+    }
+
+    #[test]
+    fn small_functions_avoid_spills() {
+        let f = lower_fn("int f(int a, int b) { int c = a + b; return c * a; }");
+        let alloc = allocate(&f, false);
+        assert_eq!(alloc.spill_slots, 0);
+        assert!(!alloc.used_regs.is_empty());
+        for r in 0..f.vreg_count {
+            let _ = alloc.loc(VReg(r));
+        }
+    }
+
+    #[test]
+    fn spill_everything_mode_uses_no_registers() {
+        let f = lower_fn("int f(int a, int b) { return a * b + a - b; }");
+        let alloc = allocate(&f, true);
+        assert!(alloc.used_regs.is_empty());
+        assert!(alloc.spill_slots > 0);
+        for r in 0..f.vreg_count {
+            assert!(alloc.is_spilled(VReg(r)));
+        }
+    }
+
+    #[test]
+    fn no_two_overlapping_vregs_share_a_register_in_a_loop() {
+        let f = lower_fn(
+            "int f(int n) {
+                int s = 0;
+                int p = 1;
+                for (int i = 0; i < n; i++) { s = s + i; p = p * 2; }
+                return s + p;
+             }",
+        );
+        let alloc = allocate(&f, false);
+        // `s`, `p`, `i` and `n` are simultaneously live inside the loop; they
+        // must all get distinct locations.
+        let mut locs = Vec::new();
+        for r in 0..f.num_params as u32 {
+            locs.push(alloc.loc(VReg(r)));
+        }
+        // Check the property globally: every pair of registers assigned the
+        // same physical register must have disjoint intervals — proxy check:
+        // the four key variables get distinct locations.
+        let intervals = super::live_intervals(&f);
+        let mut by_reg: HashMap<Reg, Vec<(u32, u32)>> = HashMap::new();
+        for (vr, iv) in &intervals {
+            if let Loc::Reg(r) = alloc.loc(*vr) {
+                by_reg.entry(r).or_default().push((iv.start, iv.end));
+            }
+        }
+        for (reg, mut ivs) in by_reg {
+            ivs.sort();
+            for w in ivs.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "register {reg} assigned to overlapping intervals {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn many_live_values_cause_spills() {
+        // Sixteen simultaneously-live sums exceed the eight-register pool.
+        let mut body = String::new();
+        for i in 0..16 {
+            body.push_str(&format!("int v{i} = a + {i};\n"));
+        }
+        body.push_str("return ");
+        let terms: Vec<String> = (0..16).map(|i| format!("v{i}")).collect();
+        body.push_str(&terms.join(" + "));
+        body.push(';');
+        let src = format!("int f(int a) {{ {body} }}");
+        let f = lower_fn(&src);
+        let alloc = allocate(&f, false);
+        assert!(alloc.spill_slots > 0, "expected spills with 16 live values");
+    }
+}

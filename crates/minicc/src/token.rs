@@ -1,0 +1,516 @@
+//! Lexer for the mini-C language.
+
+use std::fmt;
+
+use crate::error::CompileError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Integer literal (decimal or `0x` hexadecimal).
+    Int(i64),
+    /// Floating-point literal.
+    Float(f32),
+    /// Character literal, already reduced to its byte value.
+    Char(u8),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// A keyword.
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Char(c) => write!(f, "'{}'", *c as char),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Punct(p) => write!(f, "{p}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Int,
+    Unsigned,
+    Char,
+    Float,
+    Void,
+    Const,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Return,
+    Break,
+    Continue,
+    Sizeof,
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Keyword::Int => "int",
+            Keyword::Unsigned => "unsigned",
+            Keyword::Char => "char",
+            Keyword::Float => "float",
+            Keyword::Void => "void",
+            Keyword::Const => "const",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::Do => "do",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Sizeof => "sizeof",
+        };
+        write!(f, "{s}")
+    }
+}
+
+fn keyword_of(ident: &str) -> Option<Keyword> {
+    Some(match ident {
+        "int" => Keyword::Int,
+        "unsigned" => Keyword::Unsigned,
+        "char" => Keyword::Char,
+        "float" => Keyword::Float,
+        "void" => Keyword::Void,
+        "const" => Keyword::Const,
+        "if" => Keyword::If,
+        "else" => Keyword::Else,
+        "while" => Keyword::While,
+        "do" => Keyword::Do,
+        "for" => Keyword::For,
+        "return" => Keyword::Return,
+        "break" => Keyword::Break,
+        "continue" => Keyword::Continue,
+        "sizeof" => Keyword::Sizeof,
+        _ => return None,
+    })
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+    Question,
+    Colon,
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Semicolon => ";",
+            Punct::Comma => ",",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Tilde => "~",
+            Punct::Bang => "!",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::Lt => "<",
+            Punct::Le => "<=",
+            Punct::Gt => ">",
+            Punct::Ge => ">=",
+            Punct::EqEq => "==",
+            Punct::Ne => "!=",
+            Punct::AndAnd => "&&",
+            Punct::OrOr => "||",
+            Punct::Assign => "=",
+            Punct::PlusAssign => "+=",
+            Punct::MinusAssign => "-=",
+            Punct::StarAssign => "*=",
+            Punct::SlashAssign => "/=",
+            Punct::PercentAssign => "%=",
+            Punct::AmpAssign => "&=",
+            Punct::PipeAssign => "|=",
+            Punct::CaretAssign => "^=",
+            Punct::ShlAssign => "<<=",
+            Punct::ShrAssign => ">>=",
+            Punct::PlusPlus => "++",
+            Punct::MinusMinus => "--",
+            Punct::Question => "?",
+            Punct::Colon => ":",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A token together with the line it came from (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Source line number.
+    pub line: u32,
+}
+
+/// Tokenize a complete source text.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed literals or unexpected characters.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    let err = |line: u32, msg: String| CompileError::new(msg, line);
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                i += 2;
+                while i + 1 < n && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= n {
+                    return Err(err(line, "unterminated block comment".into()));
+                }
+                i += 2;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                if c == '0' && i + 1 < n && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X') {
+                    i += 2;
+                    let hex_start = i;
+                    while i < n && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hex_start {
+                        return Err(err(line, "empty hexadecimal literal".into()));
+                    }
+                    let text: String = bytes[hex_start..i].iter().collect();
+                    let value = i64::from_str_radix(&text, 16)
+                        .map_err(|_| err(line, format!("invalid hex literal 0x{text}")))?;
+                    tokens.push(Spanned { token: Token::Int(value), line });
+                    // Allow unsigned suffixes.
+                    while i < n && matches!(bytes[i], 'u' | 'U' | 'l' | 'L') {
+                        i += 1;
+                    }
+                    continue;
+                }
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < n && bytes[i] == '.' {
+                    is_float = true;
+                    i += 1;
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < n && (bytes[i] == 'e' || bytes[i] == 'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < n && (bytes[i] == '+' || bytes[i] == '-') {
+                        i += 1;
+                    }
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float || (i < n && bytes[i] == 'f') {
+                    if i < n && bytes[i] == 'f' {
+                        i += 1;
+                    }
+                    let value: f32 = text
+                        .parse()
+                        .map_err(|_| err(line, format!("invalid float literal {text}")))?;
+                    tokens.push(Spanned { token: Token::Float(value), line });
+                } else {
+                    let value: i64 = text
+                        .parse()
+                        .map_err(|_| err(line, format!("invalid integer literal {text}")))?;
+                    tokens.push(Spanned { token: Token::Int(value), line });
+                    while i < n && matches!(bytes[i], 'u' | 'U' | 'l' | 'L') {
+                        i += 1;
+                    }
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                match keyword_of(&text) {
+                    Some(k) => tokens.push(Spanned { token: Token::Keyword(k), line }),
+                    None => tokens.push(Spanned { token: Token::Ident(text), line }),
+                }
+            }
+            '\'' => {
+                i += 1;
+                if i >= n {
+                    return Err(err(line, "unterminated character literal".into()));
+                }
+                let value = if bytes[i] == '\\' {
+                    i += 1;
+                    let esc = bytes.get(i).copied().unwrap_or('\0');
+                    i += 1;
+                    match esc {
+                        'n' => b'\n',
+                        't' => b'\t',
+                        'r' => b'\r',
+                        '0' => 0,
+                        '\\' => b'\\',
+                        '\'' => b'\'',
+                        other => {
+                            return Err(err(line, format!("unknown escape '\\{other}'")));
+                        }
+                    }
+                } else {
+                    let v = bytes[i] as u8;
+                    i += 1;
+                    v
+                };
+                if i >= n || bytes[i] != '\'' {
+                    return Err(err(line, "unterminated character literal".into()));
+                }
+                i += 1;
+                tokens.push(Spanned { token: Token::Char(value), line });
+            }
+            _ => {
+                let (punct, len) = match_punct(&bytes[i..])
+                    .ok_or_else(|| err(line, format!("unexpected character '{c}'")))?;
+                tokens.push(Spanned { token: Token::Punct(punct), line });
+                i += len;
+            }
+        }
+    }
+    tokens.push(Spanned { token: Token::Eof, line });
+    Ok(tokens)
+}
+
+fn match_punct(rest: &[char]) -> Option<(Punct, usize)> {
+    let three: String = rest.iter().take(3).collect();
+    let two: String = rest.iter().take(2).collect();
+    let one = rest.first()?;
+    let p3 = match three.as_str() {
+        "<<=" => Some(Punct::ShlAssign),
+        ">>=" => Some(Punct::ShrAssign),
+        _ => None,
+    };
+    if let Some(p) = p3 {
+        return Some((p, 3));
+    }
+    let p2 = match two.as_str() {
+        "<<" => Some(Punct::Shl),
+        ">>" => Some(Punct::Shr),
+        "<=" => Some(Punct::Le),
+        ">=" => Some(Punct::Ge),
+        "==" => Some(Punct::EqEq),
+        "!=" => Some(Punct::Ne),
+        "&&" => Some(Punct::AndAnd),
+        "||" => Some(Punct::OrOr),
+        "+=" => Some(Punct::PlusAssign),
+        "-=" => Some(Punct::MinusAssign),
+        "*=" => Some(Punct::StarAssign),
+        "/=" => Some(Punct::SlashAssign),
+        "%=" => Some(Punct::PercentAssign),
+        "&=" => Some(Punct::AmpAssign),
+        "|=" => Some(Punct::PipeAssign),
+        "^=" => Some(Punct::CaretAssign),
+        "++" => Some(Punct::PlusPlus),
+        "--" => Some(Punct::MinusMinus),
+        _ => None,
+    };
+    if let Some(p) = p2 {
+        return Some((p, 2));
+    }
+    let p1 = match one {
+        '(' => Punct::LParen,
+        ')' => Punct::RParen,
+        '{' => Punct::LBrace,
+        '}' => Punct::RBrace,
+        '[' => Punct::LBracket,
+        ']' => Punct::RBracket,
+        ';' => Punct::Semicolon,
+        ',' => Punct::Comma,
+        '+' => Punct::Plus,
+        '-' => Punct::Minus,
+        '*' => Punct::Star,
+        '/' => Punct::Slash,
+        '%' => Punct::Percent,
+        '&' => Punct::Amp,
+        '|' => Punct::Pipe,
+        '^' => Punct::Caret,
+        '~' => Punct::Tilde,
+        '!' => Punct::Bang,
+        '<' => Punct::Lt,
+        '>' => Punct::Gt,
+        '=' => Punct::Assign,
+        '?' => Punct::Question,
+        ':' => Punct::Colon,
+        _ => return None,
+    };
+    Some((p1, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn integers_and_floats() {
+        assert_eq!(
+            toks("42 0x1F 3.5 2e3 7f 10u"),
+            vec![
+                Token::Int(42),
+                Token::Int(31),
+                Token::Float(3.5),
+                Token::Float(2000.0),
+                Token::Float(7.0),
+                Token::Int(10),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_and_keywords() {
+        assert_eq!(
+            toks("int foo while bar_2"),
+            vec![
+                Token::Keyword(Keyword::Int),
+                Token::Ident("foo".into()),
+                Token::Keyword(Keyword::While),
+                Token::Ident("bar_2".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a <<= b >> c <= d < e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct(Punct::ShlAssign),
+                Token::Ident("b".into()),
+                Token::Punct(Punct::Shr),
+                Token::Ident("c".into()),
+                Token::Punct(Punct::Le),
+                Token::Ident("d".into()),
+                Token::Punct(Punct::Lt),
+                Token::Ident("e".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let spanned = tokenize("int a; // comment\n/* multi\nline */ int b;").unwrap();
+        let lines: Vec<u32> = spanned.iter().map(|s| s.line).collect();
+        assert_eq!(spanned[0].token, Token::Keyword(Keyword::Int));
+        // `int b` appears on line 3.
+        assert_eq!(lines[3], 3);
+    }
+
+    #[test]
+    fn char_literals_and_escapes() {
+        assert_eq!(
+            toks("'a' '\\n' '\\0'"),
+            vec![Token::Char(b'a'), Token::Char(b'\n'), Token::Char(0), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = tokenize("int a;\n@").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unexpected character"));
+        assert!(tokenize("'x").is_err());
+        assert!(tokenize("/* open").is_err());
+    }
+}

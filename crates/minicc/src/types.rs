@@ -1,0 +1,146 @@
+//! Semantic types of the mini-C language.
+
+use flashram_isa::MemWidth;
+
+use crate::ast::{DeclType, TypeSpec};
+
+/// A resolved type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// No value.
+    Void,
+    /// 32-bit signed integer.
+    Int,
+    /// 32-bit unsigned integer.
+    Uint,
+    /// 8-bit unsigned character (plain `char` is unsigned on this target,
+    /// as it is on ARM EABI).
+    Char,
+    /// IEEE-754 single precision, software implemented.
+    Float,
+    /// Pointer to an element type.
+    Ptr(Box<Ty>),
+    /// Fixed-size array.
+    Array(Box<Ty>, usize),
+}
+
+impl Ty {
+    /// Resolve a declared type.
+    pub fn from_decl(d: &DeclType) -> Ty {
+        let base = match d.base {
+            TypeSpec::Int => Ty::Int,
+            TypeSpec::Unsigned => Ty::Uint,
+            TypeSpec::Char | TypeSpec::UChar => Ty::Char,
+            TypeSpec::Float => Ty::Float,
+            TypeSpec::Void => Ty::Void,
+        };
+        let mut ty = base;
+        for _ in 0..d.pointer {
+            ty = Ty::Ptr(Box::new(ty));
+        }
+        if let Some(len) = d.array_len {
+            ty = Ty::Array(Box::new(ty), len);
+        }
+        ty
+    }
+
+    /// Size of a value of this type in bytes.
+    pub fn size(&self) -> u32 {
+        match self {
+            Ty::Void => 0,
+            Ty::Char => 1,
+            Ty::Int | Ty::Uint | Ty::Float | Ty::Ptr(_) => 4,
+            Ty::Array(elem, len) => elem.size() * *len as u32,
+        }
+    }
+
+    /// The memory access width used to load or store a scalar of this type.
+    pub fn mem_width(&self) -> MemWidth {
+        match self {
+            Ty::Char => MemWidth::Byte,
+            _ => MemWidth::Word,
+        }
+    }
+
+    /// Whether this is the software float type.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Ty::Float)
+    }
+
+    /// Whether this is an integer type (char included).
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Uint | Ty::Char)
+    }
+
+    /// Whether arithmetic on this type is unsigned.
+    pub fn is_unsigned(&self) -> bool {
+        matches!(self, Ty::Uint | Ty::Char | Ty::Ptr(_))
+    }
+
+    /// Whether this is a pointer.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Ty::Ptr(_))
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Ty::Array(..))
+    }
+
+    /// Array-to-pointer decay (other types unchanged).
+    pub fn decay(&self) -> Ty {
+        match self {
+            Ty::Array(elem, _) => Ty::Ptr(elem.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// Element type of a pointer or array.
+    pub fn element(&self) -> Option<&Ty> {
+        match self {
+            Ty::Ptr(e) | Ty::Array(e, _) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Ty::Int.size(), 4);
+        assert_eq!(Ty::Char.size(), 1);
+        assert_eq!(Ty::Float.size(), 4);
+        assert_eq!(Ty::Array(Box::new(Ty::Int), 10).size(), 40);
+        assert_eq!(Ty::Array(Box::new(Ty::Char), 7).size(), 7);
+        assert_eq!(Ty::Ptr(Box::new(Ty::Char)).size(), 4);
+    }
+
+    #[test]
+    fn decl_resolution_and_decay() {
+        let d = DeclType { base: TypeSpec::Int, pointer: 0, array_len: Some(4) };
+        let t = Ty::from_decl(&d);
+        assert_eq!(t, Ty::Array(Box::new(Ty::Int), 4));
+        assert_eq!(t.decay(), Ty::Ptr(Box::new(Ty::Int)));
+        let p = DeclType { base: TypeSpec::Float, pointer: 1, array_len: None };
+        assert_eq!(Ty::from_decl(&p), Ty::Ptr(Box::new(Ty::Float)));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Ty::Uint.is_unsigned());
+        assert!(Ty::Char.is_unsigned());
+        assert!(!Ty::Int.is_unsigned());
+        assert!(Ty::Float.is_float());
+        assert!(Ty::Int.is_integer());
+        assert!(!Ty::Float.is_integer());
+        assert_eq!(Ty::Char.mem_width(), MemWidth::Byte);
+        assert_eq!(Ty::Int.mem_width(), MemWidth::Word);
+        assert_eq!(
+            Ty::Ptr(Box::new(Ty::Int)).element(),
+            Some(&Ty::Int)
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Quickstart: compile a small program, let the optimizer pick the blocks to
+//! move into RAM, and compare the measured energy, power and time before and
+//! after the transformation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p flashram-core --example quickstart
+//! ```
+
+use flashram_core::{instrumented_blocks, relocated_code_bytes, RamOptimizer};
+use flashram_mcu::Board;
+use flashram_minicc::{compile_program, CompileError, OptLevel, SourceUnit};
+
+/// A small signal-processing-flavoured kernel with a hot inner loop: the
+/// shape of program the paper's Figure 2 motivates.
+const SOURCE: &str = "
+    int samples[128];
+    int coeffs[8] = {1, 3, 5, 7, 7, 5, 3, 1};
+
+    int filter(int n) {
+        int acc = 0;
+        for (int i = 0; i < n - 8; i++) {
+            int s = 0;
+            for (int k = 0; k < 8; k++) {
+                s += samples[i + k] * coeffs[k];
+            }
+            acc += s >> 5;
+        }
+        return acc;
+    }
+
+    int main() {
+        for (int i = 0; i < 128; i++) {
+            samples[i] = (i * 37 + 11) % 251;
+        }
+        int sum = 0;
+        for (int rep = 0; rep < 8; rep++) {
+            sum += filter(128);
+        }
+        return sum;
+    }
+";
+
+fn main() -> Result<(), CompileError> {
+    // 1. Compile the application exactly as a firmware build would.
+    let program = compile_program(&[SourceUnit::application(SOURCE)], OptLevel::O2)?;
+
+    // 2. Pick the board (STM32F100RB: 64 KB flash, 8 KB RAM, 24 MHz) and
+    //    measure the unmodified program.
+    let board = Board::stm32vldiscovery();
+    let before = board.run(&program).expect("baseline run");
+
+    // 3. Run the placement optimizer with its default configuration
+    //    (X_limit = 1.5, spare RAM derived from the program's own layout).
+    let placement = RamOptimizer::new().optimize(&program, &board).expect("placement");
+    let after = board.run(&placement.program).expect("optimized run");
+
+    assert_eq!(
+        before.return_value, after.return_value,
+        "the transformation must not change what the program computes"
+    );
+
+    println!("quickstart: flash-to-RAM basic block placement");
+    println!();
+    println!(
+        "blocks moved to RAM: {} of {} candidates ({} bytes of code, {} instrumented terminators)",
+        placement.selected.len(),
+        placement.params.blocks.len(),
+        relocated_code_bytes(&placement.program),
+        instrumented_blocks(&placement.program).len(),
+    );
+    println!("RAM budget used for code: {} bytes of {} spare", relocated_code_bytes(&placement.program), placement.r_spare);
+    println!();
+    println!("{:<22} {:>14} {:>14} {:>10}", "", "before", "after", "change");
+    let pct = |a: f64, b: f64| 100.0 * (b - a) / a;
+    println!(
+        "{:<22} {:>14.4} {:>14.4} {:>+9.1}%",
+        "energy (mJ)", before.energy_mj, after.energy_mj, pct(before.energy_mj, after.energy_mj)
+    );
+    println!(
+        "{:<22} {:>14.2} {:>14.2} {:>+9.1}%",
+        "average power (mW)",
+        before.avg_power_mw,
+        after.avg_power_mw,
+        pct(before.avg_power_mw, after.avg_power_mw)
+    );
+    println!(
+        "{:<22} {:>14.4} {:>14.4} {:>+9.1}%",
+        "execution time (ms)",
+        before.time_s * 1e3,
+        after.time_s * 1e3,
+        pct(before.time_s, after.time_s)
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "cycles",
+        before.cycles(),
+        after.cycles()
+    );
+    println!();
+    println!(
+        "model prediction: energy x{:.3}, time x{:.3} (measured: x{:.3}, x{:.3})",
+        placement.predicted_energy_ratio(),
+        placement.predicted_time_ratio(),
+        after.energy_mj / before.energy_mj,
+        after.time_s / before.time_s,
+    );
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! Explore the energy/time/RAM trade-off space the solver navigates
+//! (the Figure 6 experiment, interactively parameterized).
+//!
+//! The example compiles one benchmark, extracts the cost-model parameters,
+//! and then shows how the solver's choice changes as the two developer knobs
+//! move: the RAM budget `R_spare` (Eq. 7) and the allowed slow-down
+//! `X_limit` (Eq. 9).  It also enumerates every placement of the hottest
+//! blocks so the solver's picks can be seen against the whole space.
+//!
+//! Run with (benchmark name optional, default `int_matmult`):
+//!
+//! ```text
+//! cargo run -p flashram-core --example tradeoff_explorer [-- benchmark]
+//! ```
+
+use flashram_beebs::Benchmark;
+use flashram_core::{
+    evaluate_placement, extract_params, FrequencySource, ModelConfig, OptimizerConfig,
+    PlacementModel, RamOptimizer,
+};
+use flashram_ilp::BranchBound;
+use flashram_ir::BlockRef;
+use flashram_mcu::Board;
+use flashram_minicc::{CompileError, OptLevel};
+
+fn main() -> Result<(), CompileError> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "int_matmult".to_string());
+    let bench = Benchmark::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; available:");
+        for b in Benchmark::all() {
+            eprintln!("  {:<16} {}", b.name, b.description);
+        }
+        std::process::exit(1);
+    });
+
+    let board = Board::stm32vldiscovery();
+    let program = bench.compile(OptLevel::O2)?;
+    let params = extract_params(&program, &FrequencySource::default());
+    let spare = board.spare_ram(&program).expect("program fits the part");
+    let (e_flash, e_ram) = board.power.model_coefficients();
+
+    println!("trade-off explorer: {name} at O2");
+    println!(
+        "  {} candidate blocks, {} bytes of spare RAM, E_flash = {e_flash:.2} mW, E_ram = {e_ram:.2} mW",
+        params.blocks.len(),
+        spare
+    );
+    println!();
+
+    // --- Sweep the RAM budget with a relaxed time bound -------------------
+    println!("  sweep 1: relaxing the RAM budget (X_limit = 10)");
+    println!(
+        "  {:>10} {:>9} {:>14} {:>12} {:>12}",
+        "R_spare", "blocks", "energy (model)", "time ratio", "RAM bytes"
+    );
+    let base = evaluate_placement(&params, &[], &ModelConfig {
+        x_limit: 10.0,
+        r_spare: spare,
+        e_flash,
+        e_ram,
+    });
+    for budget in [0u32, 32, 64, 128, 256, 512, 1024, 2048, spare] {
+        let budget = budget.min(spare);
+        let config = ModelConfig { x_limit: 10.0, r_spare: budget, e_flash, e_ram };
+        let model = PlacementModel::build(&params, &config);
+        let solution = BranchBound::new().solve(&model.problem).expect("solvable");
+        let selected = model.selected_blocks(&solution);
+        let est = evaluate_placement(&params, &selected, &config);
+        println!(
+            "  {:>10} {:>9} {:>14.4e} {:>12.3} {:>12}",
+            budget,
+            selected.len(),
+            est.energy,
+            est.cycles / base.cycles,
+            est.ram_bytes
+        );
+    }
+    println!();
+
+    // --- Sweep the time bound with the full RAM budget --------------------
+    println!("  sweep 2: relaxing the execution-time bound (full RAM budget)");
+    println!(
+        "  {:>10} {:>9} {:>14} {:>12} {:>12}",
+        "X_limit", "blocks", "energy (model)", "time ratio", "RAM bytes"
+    );
+    for x_limit in [1.0, 1.02, 1.05, 1.1, 1.2, 1.4, 1.8, 2.5] {
+        let config = ModelConfig { x_limit, r_spare: spare, e_flash, e_ram };
+        let model = PlacementModel::build(&params, &config);
+        let solution = BranchBound::new().solve(&model.problem).expect("solvable");
+        let selected = model.selected_blocks(&solution);
+        let est = evaluate_placement(&params, &selected, &config);
+        println!(
+            "  {:>10.2} {:>9} {:>14.4e} {:>12.3} {:>12}",
+            x_limit,
+            selected.len(),
+            est.energy,
+            est.cycles / base.cycles,
+            est.ram_bytes
+        );
+    }
+    println!();
+
+    // --- The space itself: every placement of the hottest blocks ----------
+    let mut ranked: Vec<(BlockRef, u64)> =
+        params.blocks.iter().map(|(r, p)| (*r, p.frequency * p.cycles)).collect();
+    ranked.sort_by_key(|(_, w)| std::cmp::Reverse(*w));
+    let hot: Vec<BlockRef> = ranked.iter().take(8).map(|(r, _)| *r).collect();
+    let config = ModelConfig { x_limit: 10.0, r_spare: spare, e_flash, e_ram };
+    let mut best = (f64::INFINITY, 0u32);
+    let mut worst = (0.0f64, 0u32);
+    for mask in 0u32..(1 << hot.len()) {
+        let subset: Vec<BlockRef> = hot
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, r)| *r)
+            .collect();
+        let est = evaluate_placement(&params, &subset, &config);
+        if est.energy < best.0 {
+            best = (est.energy, mask);
+        }
+        if est.energy > worst.0 {
+            worst = (est.energy, mask);
+        }
+    }
+    println!(
+        "  exhaustive space over the 8 hottest blocks: {} placements, model energy {:.4e} (best) .. {:.4e} (worst)",
+        1 << hot.len(),
+        best.0,
+        worst.0
+    );
+
+    // --- And the default configuration, measured for real -----------------
+    let placement = RamOptimizer::with_config(OptimizerConfig::default())
+        .optimize(&program, &board)
+        .expect("placement");
+    let before = board.run(&program).expect("baseline run");
+    let after = board.run(&placement.program).expect("optimized run");
+    println!();
+    println!(
+        "  default configuration, measured: energy {:+.1}%, power {:+.1}%, time {:+.1}%",
+        100.0 * (after.energy_mj - before.energy_mj) / before.energy_mj,
+        100.0 * (after.avg_power_mw - before.avg_power_mw) / before.avg_power_mw,
+        100.0 * (after.time_s - before.time_s) / before.time_s,
+    );
+    Ok(())
+}

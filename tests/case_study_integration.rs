@@ -1,0 +1,138 @@
+//! Integration tests for the Section 7 periodic-sensing case study, driven
+//! by real measurements from the simulated board rather than the paper's
+//! constants.
+
+use flashram_beebs::Benchmark;
+use flashram_core::{measure_case_study, period_sweep, CaseStudyMeasurement, RamOptimizer};
+use flashram_mcu::{Board, PowerModel, SleepScenario};
+use flashram_minicc::OptLevel;
+
+fn measure(name: &str) -> CaseStudyMeasurement {
+    let board = Board::stm32vldiscovery();
+    let bench = Benchmark::by_name(name).unwrap();
+    let program = bench.compile(OptLevel::O2).unwrap();
+    let placement = RamOptimizer::new().optimize(&program, &board).unwrap();
+    measure_case_study(&board, &program, &placement.program).unwrap()
+}
+
+#[test]
+fn measured_factors_have_the_papers_shape() {
+    for name in ["fdct", "int_matmult", "2dfir"] {
+        let m = measure(name);
+        assert!(
+            m.k_e() <= 1.0 + 1e-9,
+            "{name}: the optimization should not increase active energy (k_e = {})",
+            m.k_e()
+        );
+        assert!(
+            m.k_t() >= 1.0 - 1e-9,
+            "{name}: single-cycle memories mean the code cannot get faster (k_t = {})",
+            m.k_t()
+        );
+        assert!(m.base_energy_mj > 0.0 && m.base_time_s > 0.0);
+    }
+}
+
+#[test]
+fn per_period_energy_always_improves_or_matches() {
+    let sleep = PowerModel::stm32f100().sleep_mw;
+    for name in ["fdct", "int_matmult"] {
+        let m = measure(name);
+        for multiple in [1.1, 2.0, 4.0, 8.0, 16.0] {
+            let scenario =
+                SleepScenario { period_s: m.base_time_s * multiple, sleep_power_mw: sleep };
+            let (before, after) = m.period_energies_mj(&scenario);
+            assert!(
+                after <= before + 1e-9,
+                "{name} at T = {multiple} T_A: period energy went up ({before} -> {after})"
+            );
+            assert!(m.battery_life_extension(&scenario) >= 1.0 - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn savings_shrink_monotonically_as_the_period_grows() {
+    let sleep = PowerModel::stm32f100().sleep_mw;
+    let m = measure("fdct");
+    let sweep = period_sweep(&m, &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0], sleep);
+    assert_eq!(sweep.len(), 6);
+    for pair in sweep.windows(2) {
+        assert!(
+            pair[1].1 >= pair[0].1 - 1e-9,
+            "energy percentage must be non-decreasing in the period: {sweep:?}"
+        );
+    }
+    // Every point is a saving (or at worst break-even).
+    assert!(sweep.iter().all(|(_, pct)| *pct <= 100.0 + 1e-9));
+}
+
+#[test]
+fn equation_12_matches_the_direct_period_accounting() {
+    let sleep = PowerModel::stm32f100().sleep_mw;
+    let m = measure("int_matmult");
+    for multiple in [1.5, 3.0, 10.0] {
+        let scenario = SleepScenario { period_s: m.base_time_s * multiple, sleep_power_mw: sleep };
+        // Equation 12 computes the saving from (E0, T_A, k_e, k_t); it must
+        // agree with subtracting the two Equation 10/11 totals, as long as
+        // the device actually sleeps in both configurations.
+        let from_equation =
+            scenario.energy_saved_mj(m.base_energy_mj, m.base_time_s, m.k_e(), m.k_t());
+        let from_totals = m.energy_saved_mj(&scenario);
+        assert!(
+            (from_equation - from_totals).abs() <= 1e-9 * from_totals.abs().max(1.0),
+            "Eq. 12 ({from_equation}) disagrees with the period accounting ({from_totals})"
+        );
+    }
+}
+
+#[test]
+fn battery_life_extension_is_largest_for_duty_cycles_near_one() {
+    let m = measure("fdct");
+    let mut last = f64::INFINITY;
+    for multiple in [1.2, 2.0, 4.0, 8.0, 20.0] {
+        let ext = m.battery_life_extension(&SleepScenario::with_period(m.base_time_s * multiple));
+        assert!(
+            ext <= last + 1e-9,
+            "extension should shrink as the device sleeps longer: {ext} after {last}"
+        );
+        assert!(ext >= 1.0 - 1e-9);
+        last = ext;
+    }
+}
+
+#[test]
+fn same_energy_longer_time_still_reduces_period_energy() {
+    // Force k_e to exactly 1 while keeping the measured slow-down: the
+    // Figure 8 thought experiment, applied to real measured timings.
+    let measured = measure("2dfir");
+    let m = CaseStudyMeasurement { opt_energy_mj: measured.base_energy_mj, ..measured };
+    assert!(m.k_t() > 1.0, "2dfir should slow down under the optimization");
+    let scenario = SleepScenario::with_period(m.base_time_s * 3.0);
+    let (before, after) = m.period_energies_mj(&scenario);
+    assert!(
+        after < before,
+        "with k_e = 1 and k_t > 1 the period energy must still drop ({before} -> {after})"
+    );
+}
+
+#[test]
+fn paper_constants_reproduce_the_reported_savings() {
+    // Sanity-check the analytical model against the numbers printed in the
+    // paper (Section 7, Equation 13): E_s ≈ 4.32 mJ and up to 32 % longer
+    // battery life at short periods.
+    let paper = CaseStudyMeasurement {
+        base_energy_mj: 16.9,
+        base_time_s: 1.18,
+        opt_energy_mj: 16.9 * 0.825,
+        opt_time_s: 1.18 * 1.33,
+    };
+    let scenario = SleepScenario { period_s: 10.0, sleep_power_mw: 3.5 };
+    assert!((paper.energy_saved_mj(&scenario) - 4.32).abs() < 0.05);
+
+    let best = paper.battery_life_extension(&SleepScenario {
+        period_s: 1.18 * 1.4,
+        sleep_power_mw: 3.5,
+    });
+    assert!(best > 1.2 && best < 1.45, "short-period extension should be near 32 %, got {best}");
+}

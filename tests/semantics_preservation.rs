@@ -1,0 +1,222 @@
+//! Property-based integration tests: *any* placement — not just the one the
+//! solver picks — must leave program semantics untouched, because the
+//! transformation only changes where blocks live and how control transfers
+//! between memories.
+
+use flashram_core::{apply_placement, instrumented_blocks, OptimizerConfig, RamOptimizer};
+use flashram_ir::{BlockRef, MachineProgram, Section};
+use flashram_mcu::{Board, RunConfig};
+use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+use proptest::prelude::*;
+
+/// A small zoo of programs with different control-flow shapes: loops,
+/// branches, function calls, recursion, global and local arrays.
+const PROGRAMS: [&str; 4] = [
+    // Nested loops over a global array.
+    "
+    int grid[36];
+    int main() {
+        int s = 0;
+        for (int i = 0; i < 6; i++) {
+            for (int j = 0; j < 6; j++) { grid[i * 6 + j] = i * 7 + j; }
+        }
+        for (int k = 0; k < 36; k++) { s += grid[k] * ((k % 3) + 1); }
+        return s;
+    }
+    ",
+    // Branch-heavy classification loop.
+    "
+    int classify(int x) {
+        if (x < 10) { return 1; }
+        if (x < 100) { return 2; }
+        if (x % 7 == 0) { return 3; }
+        return 4;
+    }
+    int main() {
+        int histogram[5];
+        for (int i = 0; i < 5; i++) { histogram[i] = 0; }
+        for (int v = 0; v < 300; v += 3) { histogram[classify(v)] += 1; }
+        return histogram[1] + 10 * histogram[2] + 100 * histogram[3] + 1000 * histogram[4];
+    }
+    ",
+    // Recursion plus an accumulating loop.
+    "
+    int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+    int main() {
+        int s = 0;
+        for (int i = 1; i <= 12; i++) { s += fib(i); }
+        return s;
+    }
+    ",
+    // Library + application units (library blocks must never move).
+    "
+    int main() {
+        int acc = 0;
+        for (int i = 1; i <= 40; i++) { acc += scale(i, 3) - scale(i, 1); }
+        return acc;
+    }
+    ",
+];
+
+const LIBRARY: &str = "int scale(int x, int k) { return x * k + (x >> 1); }";
+
+fn compile(index: usize, level: OptLevel) -> MachineProgram {
+    let units: Vec<SourceUnit<'_>> = if index == 3 {
+        vec![SourceUnit::library(LIBRARY), SourceUnit::application(PROGRAMS[index])]
+    } else {
+        vec![SourceUnit::application(PROGRAMS[index])]
+    };
+    compile_program(&units, level).unwrap()
+}
+
+fn level_from(index: usize) -> OptLevel {
+    OptLevel::ALL[index % OptLevel::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any subset of the optimizable blocks, placed in RAM, yields a program
+    /// that loads, runs and computes the same result.
+    #[test]
+    fn arbitrary_placements_preserve_the_result(
+        program_index in 0usize..4,
+        level_index in 0usize..5,
+        selection_bits in any::<u64>(),
+    ) {
+        let level = level_from(level_index);
+        let program = compile(program_index, level);
+        let board = Board::stm32vldiscovery();
+        let config = RunConfig { max_cycles: 40_000_000 };
+        let before = board.run_with_config(&program, &config).unwrap();
+
+        let candidates = program.optimizable_block_refs();
+        let selected: Vec<BlockRef> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| selection_bits & (1 << (i % 64)) != 0)
+            .map(|(_, r)| *r)
+            .collect();
+
+        let transformed = apply_placement(&program, &selected);
+        let after = board.run_with_config(&transformed, &config).unwrap();
+        prop_assert_eq!(before.return_value, after.return_value);
+        // Single-cycle memories: relocation can never make the program faster.
+        prop_assert!(after.cycles() >= before.cycles());
+    }
+
+    /// The optimizer's own placements (over random configurations) preserve
+    /// semantics, keep power non-increasing and respect the RAM budget.
+    #[test]
+    fn optimizer_placements_preserve_the_result(
+        program_index in 0usize..4,
+        level_index in 0usize..5,
+        x_limit in 1.0f64..2.5,
+        budget in prop_oneof![Just(None), (0u32..1500).prop_map(Some)],
+    ) {
+        let level = level_from(level_index);
+        let program = compile(program_index, level);
+        let board = Board::stm32vldiscovery();
+        let before = board.run(&program).unwrap();
+
+        let placement = RamOptimizer::with_config(OptimizerConfig {
+            x_limit,
+            r_spare: budget,
+            ..OptimizerConfig::default()
+        })
+        .optimize(&program, &board)
+        .unwrap();
+        let after = board.run(&placement.program).unwrap();
+
+        prop_assert_eq!(before.return_value, after.return_value);
+        prop_assert!(after.avg_power_mw <= before.avg_power_mw + 1e-9);
+        if let Some(budget) = budget {
+            let used: u32 = placement
+                .selected
+                .iter()
+                .map(|r| placement.program.block(*r).size_bytes())
+                .sum();
+            prop_assert!(used <= budget);
+        }
+    }
+
+    /// Structural invariants of the transformation, for arbitrary subsets:
+    /// selected blocks are in RAM, unselected blocks are in flash, library
+    /// blocks never move, and instrumentation appears exactly on
+    /// memory-crossing edges.
+    #[test]
+    fn transformation_invariants_hold(
+        program_index in 0usize..4,
+        level_index in 0usize..5,
+        selection_bits in any::<u64>(),
+    ) {
+        let level = level_from(level_index);
+        let program = compile(program_index, level);
+        let candidates = program.optimizable_block_refs();
+        let selected: Vec<BlockRef> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| selection_bits & (1 << (i % 64)) != 0)
+            .map(|(_, r)| *r)
+            .collect();
+        let out = apply_placement(&program, &selected);
+
+        for r in out.block_refs() {
+            let is_library = out.functions[r.func.index()].is_library;
+            let in_ram = out.block(r).section == Section::Ram;
+            if is_library {
+                prop_assert!(!in_ram, "library block {} moved to RAM", r);
+            } else {
+                prop_assert_eq!(in_ram, selected.contains(&r), "block {} in the wrong section", r);
+            }
+        }
+
+        let instrumented = instrumented_blocks(&out);
+        for r in out.block_refs() {
+            let my_section = out.block(r).section;
+            let crossing = out
+                .block(r)
+                .term
+                .successors()
+                .iter()
+                .any(|s| out.functions[r.func.index()].blocks[s.index()].section != my_section);
+            prop_assert_eq!(instrumented.contains(&r), crossing, "block {}", r);
+        }
+
+        // Applying the same placement twice is idempotent.
+        let again = apply_placement(&out, &selected);
+        prop_assert_eq!(again, out);
+    }
+}
+
+/// Deterministic exhaustive variant of the property above for one tiny
+/// program: every possible placement of its blocks is checked.
+#[test]
+fn every_placement_of_a_tiny_program_is_correct() {
+    let src = "
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 30; i++) { if (i % 2 == 0) { s += i; } else { s -= 1; } }
+            return s;
+        }
+    ";
+    let program = compile_program(&[SourceUnit::application(src)], OptLevel::O1).unwrap();
+    let board = Board::stm32vldiscovery();
+    let before = board.run(&program).unwrap();
+    let candidates = program.optimizable_block_refs();
+    assert!(candidates.len() <= 12, "program grew too large for exhaustive placement testing");
+    for mask in 0u32..(1 << candidates.len()) {
+        let selected: Vec<BlockRef> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, r)| *r)
+            .collect();
+        let transformed = apply_placement(&program, &selected);
+        let after = board.run(&transformed).unwrap();
+        assert_eq!(
+            before.return_value, after.return_value,
+            "placement mask {mask:#b} changed the result"
+        );
+    }
+}
