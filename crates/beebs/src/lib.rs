@@ -127,7 +127,10 @@ impl Benchmark {
     pub fn source_units(&self) -> Vec<SourceUnit<'static>> {
         vec![
             SourceUnit::library(SOFT_FLOAT_LIBRARY),
-            SourceUnit { code: self.source, is_library: false },
+            SourceUnit {
+                code: self.source,
+                is_library: false,
+            },
         ]
     }
 
@@ -172,7 +175,9 @@ mod tests {
     #[test]
     fn every_benchmark_compiles_at_o2() {
         for b in Benchmark::all() {
-            let prog = b.compile(OptLevel::O2).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let prog = b
+                .compile(OptLevel::O2)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(prog.validate().is_empty(), "{}", b.name);
             assert!(prog.function("main").is_some(), "{}", b.name);
         }
@@ -181,12 +186,18 @@ mod tests {
     #[test]
     fn checksums_agree_across_optimization_levels() {
         let board = Board::stm32vldiscovery();
-        let config = RunConfig { max_cycles: 100_000_000 };
+        let config = RunConfig {
+            max_cycles: 100_000_000,
+        };
         for b in Benchmark::all() {
             let reference = board
                 .run_with_config(&b.compile(OptLevel::O0).unwrap(), &config)
                 .unwrap_or_else(|e| panic!("{} at O0: {e}", b.name));
-            assert_ne!(reference.return_value, 0, "{} checksum should be non-trivial", b.name);
+            assert_ne!(
+                reference.return_value, 0,
+                "{} checksum should be non-trivial",
+                b.name
+            );
             for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os] {
                 let r = board
                     .run_with_config(&b.compile(level).unwrap(), &config)
@@ -228,7 +239,9 @@ mod tests {
         let board = Board::stm32vldiscovery();
         for b in Benchmark::all() {
             let prog = b.compile(OptLevel::O2).unwrap();
-            let spare = board.spare_ram(&prog).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let spare = board
+                .spare_ram(&prog)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(
                 spare >= 1024,
                 "{} leaves only {spare} bytes of spare RAM",

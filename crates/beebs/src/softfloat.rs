@@ -176,12 +176,15 @@ unsigned sqrtf(unsigned x) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flashram_minicc::{compile_program, OptLevel, SourceUnit};
     use flashram_mcu::Board;
+    use flashram_minicc::{compile_program, OptLevel, SourceUnit};
 
     fn run(app: &str) -> i32 {
         let prog = compile_program(
-            &[SourceUnit::library(SOFT_FLOAT_LIBRARY), SourceUnit::application(app)],
+            &[
+                SourceUnit::library(SOFT_FLOAT_LIBRARY),
+                SourceUnit::application(app),
+            ],
             OptLevel::O2,
         )
         .unwrap();
@@ -204,39 +207,79 @@ mod tests {
 
     #[test]
     fn basic_arithmetic_matches_ieee() {
-        assert_eq!(run("int main() { float a = 1.5f; float b = 2.25f; return (int)((a + b) * 4.0f); }"), 15);
-        assert_eq!(run("int main() { float a = 10.0f; float b = 4.0f; return (int)(a / b * 100.0f); }"), 250);
-        assert_eq!(run("int main() { float a = 3.0f; float b = 7.0f; return (int)(a * b); }"), 21);
-        assert_eq!(run("int main() { float a = 5.5f; float b = 2.25f; return (int)((a - b) * 8.0f); }"), 26);
+        assert_eq!(
+            run("int main() { float a = 1.5f; float b = 2.25f; return (int)((a + b) * 4.0f); }"),
+            15
+        );
+        assert_eq!(
+            run("int main() { float a = 10.0f; float b = 4.0f; return (int)(a / b * 100.0f); }"),
+            250
+        );
+        assert_eq!(
+            run("int main() { float a = 3.0f; float b = 7.0f; return (int)(a * b); }"),
+            21
+        );
+        assert_eq!(
+            run("int main() { float a = 5.5f; float b = 2.25f; return (int)((a - b) * 8.0f); }"),
+            26
+        );
     }
 
     #[test]
     fn negative_values_and_conversions() {
-        assert_eq!(run("int main() { float a = -2.5f; return (int)(a * -4.0f); }"), 10);
-        assert_eq!(run("int main() { int x = -7; float f = (float)x; return (int)(f * 3.0f); }"), -21);
-        assert_eq!(run("int main() { float a = -3.75f; return (int)fabsf(a * 4.0f); }"), 15);
+        assert_eq!(
+            run("int main() { float a = -2.5f; return (int)(a * -4.0f); }"),
+            10
+        );
+        assert_eq!(
+            run("int main() { int x = -7; float f = (float)x; return (int)(f * 3.0f); }"),
+            -21
+        );
+        assert_eq!(
+            run("int main() { float a = -3.75f; return (int)fabsf(a * 4.0f); }"),
+            15
+        );
     }
 
     #[test]
     fn comparisons_work() {
-        assert_eq!(run("int main() { float a = 1.0f; float b = 2.0f; if (a < b) return 1; return 0; }"), 1);
-        assert_eq!(run("int main() { float a = 2.0f; float b = 2.0f; if (a <= b) return 1; return 0; }"), 1);
-        assert_eq!(run("int main() { float a = 3.0f; float b = 2.0f; if (a > b) return 1; return 0; }"), 1);
-        assert_eq!(run("int main() { float a = -1.0f; float b = 1.0f; if (a >= b) return 1; return 0; }"), 0);
-        assert_eq!(run("int main() { float a = 0.0f; float b = -0.0f; if (a == b) return 1; return 0; }"), 1);
+        assert_eq!(
+            run("int main() { float a = 1.0f; float b = 2.0f; if (a < b) return 1; return 0; }"),
+            1
+        );
+        assert_eq!(
+            run("int main() { float a = 2.0f; float b = 2.0f; if (a <= b) return 1; return 0; }"),
+            1
+        );
+        assert_eq!(
+            run("int main() { float a = 3.0f; float b = 2.0f; if (a > b) return 1; return 0; }"),
+            1
+        );
+        assert_eq!(
+            run("int main() { float a = -1.0f; float b = 1.0f; if (a >= b) return 1; return 0; }"),
+            0
+        );
+        assert_eq!(
+            run("int main() { float a = 0.0f; float b = -0.0f; if (a == b) return 1; return 0; }"),
+            1
+        );
     }
 
     #[test]
     fn sqrt_converges() {
         // sqrt(16) = 4, sqrt(2) ≈ 1.414
-        assert_eq!(run("int main() { float x = 16.0f; return (int)(sqrtf(x) * 100.0f); }"), 400);
+        assert_eq!(
+            run("int main() { float x = 16.0f; return (int)(sqrtf(x) * 100.0f); }"),
+            400
+        );
         let v = run("int main() { float x = 2.0f; return (int)(sqrtf(x) * 1000.0f); }");
         assert!((1410..=1418).contains(&v), "sqrt(2)*1000 ≈ 1414, got {v}");
     }
 
     #[test]
     fn division_accuracy_is_reasonable() {
-        let v = run("int main() { float a = 1.0f; float b = 3.0f; return (int)(a / b * 100000.0f); }");
+        let v =
+            run("int main() { float a = 1.0f; float b = 3.0f; return (int)(a / b * 100000.0f); }");
         assert!((33320..=33340).contains(&v), "1/3*1e5 ≈ 33333, got {v}");
     }
 }

@@ -20,7 +20,14 @@ fn bench_case_study(c: &mut Criterion) {
         println!("  T = {t:7.4} s -> {pct:5.1}% of baseline energy");
     }
     c.bench_function("case_study/fdct", |b| {
-        b.iter(|| std::hint::black_box(case_study_series(&board, &["fdct"], OptLevel::O2, &multiples)))
+        b.iter(|| {
+            std::hint::black_box(case_study_series(
+                &board,
+                &["fdct"],
+                OptLevel::O2,
+                &multiples,
+            ))
+        })
     });
 }
 

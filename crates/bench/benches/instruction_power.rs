@@ -11,7 +11,10 @@ fn bench_figure1(c: &mut Criterion) {
     let series = figure1_series(&board);
     println!("\nFigure 1 series (mW):");
     for row in &series {
-        println!("  {:<12} flash {:6.2}  ram {:6.2}", row.label, row.flash_mw, row.ram_mw);
+        println!(
+            "  {:<12} flash {:6.2}  ram {:6.2}",
+            row.label, row.flash_mw, row.ram_mw
+        );
     }
     c.bench_function("figure1_instruction_power", |b| {
         b.iter(|| std::hint::black_box(figure1_series(&board)))

@@ -43,5 +43,7 @@ fn main() {
     println!();
     println!("the full model should match or beat both ablated variants on energy while keeping");
     println!("the time overhead within the configured X_limit; ignoring instrumentation costs in");
-    println!("particular tends to scatter isolated blocks into RAM and pay for it in extra cycles.");
+    println!(
+        "particular tends to scatter isolated blocks into RAM and pay for it in extra cycles."
+    );
 }

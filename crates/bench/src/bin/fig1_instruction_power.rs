@@ -10,7 +10,10 @@ fn main() {
     println!("Figure 1 — average power per instruction type (mW)");
     println!("{:<14} {:>10} {:>10}", "instruction", "flash", "ram");
     for row in &series {
-        println!("{:<14} {:>10.2} {:>10.2}", row.label, row.flash_mw, row.ram_mw);
+        println!(
+            "{:<14} {:>10.2} {:>10.2}",
+            row.label, row.flash_mw, row.ram_mw
+        );
     }
     let avg_gap: f64 = series
         .iter()

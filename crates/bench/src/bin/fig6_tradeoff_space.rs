@@ -13,24 +13,50 @@ fn main() {
         let bench = Benchmark::by_name(name).expect("known benchmark");
         let space = tradeoff_space(&board, &bench, OptLevel::O2, 10);
         println!("Figure 6 — placement trade-off space for {name} (model units)");
-        println!("  {} enumerated placements of the 10 hottest blocks", space.points.len());
-        let min_e = space.points.iter().map(|p| p.energy).fold(f64::INFINITY, f64::min);
+        println!(
+            "  {} enumerated placements of the 10 hottest blocks",
+            space.points.len()
+        );
+        let min_e = space
+            .points
+            .iter()
+            .map(|p| p.energy)
+            .fold(f64::INFINITY, f64::min);
         let max_e = space.points.iter().map(|p| p.energy).fold(0.0f64, f64::max);
-        let min_c = space.points.iter().map(|p| p.cycles).fold(f64::INFINITY, f64::min);
+        let min_c = space
+            .points
+            .iter()
+            .map(|p| p.cycles)
+            .fold(f64::INFINITY, f64::min);
         let max_c = space.points.iter().map(|p| p.cycles).fold(0.0f64, f64::max);
         println!("  energy range: {min_e:.3e} .. {max_e:.3e}");
         println!("  cycle range:  {min_c:.3e} .. {max_c:.3e}");
-        println!("  all blocks in flash: energy {:.3e}, cycles {:.3e}", space.baseline.energy, space.baseline.cycles);
+        println!(
+            "  all blocks in flash: energy {:.3e}, cycles {:.3e}",
+            space.baseline.energy, space.baseline.cycles
+        );
 
         println!("  constraining RAM (X_limit relaxed):");
-        println!("    {:>10} {:>14} {:>14} {:>10}", "R_spare", "energy", "cycles", "ram bytes");
+        println!(
+            "    {:>10} {:>14} {:>14} {:>10}",
+            "R_spare", "energy", "cycles", "ram bytes"
+        );
         for (budget, p) in &space.ram_sweep {
-            println!("    {:>10} {:>14.4e} {:>14.4e} {:>10}", budget, p.energy, p.cycles, p.ram_bytes);
+            println!(
+                "    {:>10} {:>14.4e} {:>14.4e} {:>10}",
+                budget, p.energy, p.cycles, p.ram_bytes
+            );
         }
         println!("  constraining time (R_spare relaxed):");
-        println!("    {:>10} {:>14} {:>14} {:>10}", "X_limit", "energy", "cycles", "ram bytes");
+        println!(
+            "    {:>10} {:>14} {:>14} {:>10}",
+            "X_limit", "energy", "cycles", "ram bytes"
+        );
         for (x, p) in &space.time_sweep {
-            println!("    {:>10.2} {:>14.4e} {:>14.4e} {:>10}", x, p.energy, p.cycles, p.ram_bytes);
+            println!(
+                "    {:>10.2} {:>14.4e} {:>14.4e} {:>10}",
+                x, p.energy, p.cycles, p.ram_bytes
+            );
         }
         println!();
     }

@@ -19,7 +19,12 @@ fn main() {
     println!("Future work — application-only vs whole-program (linker-level) placement at O2");
     println!(
         "{:<16} {:>14} {:>14} {:>14} {:>14} {:>16}",
-        "benchmark", "energy% (app)", "energy% (whole)", "power% (app)", "power% (whole)", "extra RAM blocks"
+        "benchmark",
+        "energy% (app)",
+        "energy% (whole)",
+        "power% (app)",
+        "power% (whole)",
+        "extra RAM blocks"
     );
     for r in &rows {
         println!(

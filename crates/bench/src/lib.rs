@@ -46,18 +46,53 @@ pub struct InstructionPower {
 /// instructions) and measure them from flash and from RAM.
 pub fn figure1_series(board: &Board) -> Vec<InstructionPower> {
     let kinds: Vec<(&str, Vec<Inst>)> = vec![
-        ("store", vec![Inst::Store { rs: Reg::R1, base: Reg::R7, offset: 0, width: MemWidth::Word }]),
-        ("ram load", vec![Inst::Load { rd: Reg::R1, base: Reg::R7, offset: 0, width: MemWidth::Word }]),
-        ("add", vec![Inst::AddImm { rd: Reg::R1, rn: Reg::R1, imm: 1 }]),
+        (
+            "store",
+            vec![Inst::Store {
+                rs: Reg::R1,
+                base: Reg::R7,
+                offset: 0,
+                width: MemWidth::Word,
+            }],
+        ),
+        (
+            "ram load",
+            vec![Inst::Load {
+                rd: Reg::R1,
+                base: Reg::R7,
+                offset: 0,
+                width: MemWidth::Word,
+            }],
+        ),
+        (
+            "add",
+            vec![Inst::AddImm {
+                rd: Reg::R1,
+                rn: Reg::R1,
+                imm: 1,
+            }],
+        ),
         ("nop", vec![Inst::Nop]),
         ("branch", vec![]),
-        ("flash load", vec![Inst::Load { rd: Reg::R1, base: Reg::R6, offset: 0, width: MemWidth::Word }]),
+        (
+            "flash load",
+            vec![Inst::Load {
+                rd: Reg::R1,
+                base: Reg::R6,
+                offset: 0,
+                width: MemWidth::Word,
+            }],
+        ),
     ];
     let mut out = Vec::new();
     for (label, body) in kinds {
         let flash = measure_instruction_loop(board, &body, Section::Flash);
         let ram = measure_instruction_loop(board, &body, Section::Ram);
-        out.push(InstructionPower { label: label.to_string(), flash_mw: flash, ram_mw: ram });
+        out.push(InstructionPower {
+            label: label.to_string(),
+            flash_mw: flash,
+            ram_mw: ram,
+        });
     }
     out
 }
@@ -67,26 +102,50 @@ pub fn figure1_series(board: &Board) -> Vec<InstructionPower> {
 fn measure_instruction_loop(board: &Board, body: &[Inst], section: Section) -> f64 {
     // Globals: one word in RAM (r7 points at it), one word in flash (r6).
     let globals = vec![
-        GlobalData { name: "ram_word".into(), bytes: vec![1, 0, 0, 0], mutable: true },
-        GlobalData { name: "flash_word".into(), bytes: vec![2, 0, 0, 0], mutable: false },
+        GlobalData {
+            name: "ram_word".into(),
+            bytes: vec![1, 0, 0, 0],
+            mutable: true,
+        },
+        GlobalData {
+            name: "flash_word".into(),
+            bytes: vec![2, 0, 0, 0],
+            mutable: false,
+        },
     ];
     let mut loop_insts = Vec::new();
     for _ in 0..16 {
         if body.is_empty() {
             // The "branch" variant: approximate a branch-dominated loop with
             // register moves so the loop's own branch dominates.
-            loop_insts.push(Inst::MovReg { rd: Reg::R2, rm: Reg::R1 });
+            loop_insts.push(Inst::MovReg {
+                rd: Reg::R2,
+                rm: Reg::R1,
+            });
         } else {
             loop_insts.extend_from_slice(body);
         }
     }
-    loop_insts.push(Inst::SubImm { rd: Reg::R0, rn: Reg::R0, imm: 1 });
-    loop_insts.push(Inst::CmpImm { rn: Reg::R0, imm: 0 });
+    loop_insts.push(Inst::SubImm {
+        rd: Reg::R0,
+        rn: Reg::R0,
+        imm: 1,
+    });
+    loop_insts.push(Inst::CmpImm {
+        rn: Reg::R0,
+        imm: 0,
+    });
 
     let entry = MachineBlock::new(
         vec![
-            Inst::MovImm { rd: Reg::R0, imm: 4000 },
-            Inst::MovImm { rd: Reg::R1, imm: 0 },
+            Inst::MovImm {
+                rd: Reg::R0,
+                imm: 4000,
+            },
+            Inst::MovImm {
+                rd: Reg::R1,
+                imm: 0,
+            },
             Inst::LdrLit {
                 rd: Reg::R7,
                 value: flashram_isa::inst::LitValue::Symbol(flashram_isa::SymbolId(0)),
@@ -100,7 +159,11 @@ fn measure_instruction_loop(board: &Board, body: &[Inst], section: Section) -> f
     );
     let mut loop_block = MachineBlock::new(
         loop_insts,
-        Terminator::CondBranch { cond: Cond::Ne, target: BlockId(1), fallthrough: BlockId(2) },
+        Terminator::CondBranch {
+            cond: Cond::Ne,
+            target: BlockId(1),
+            fallthrough: BlockId(2),
+        },
     );
     loop_block.section = section;
     let exit = MachineBlock::new(vec![], Terminator::Return);
@@ -111,9 +174,18 @@ fn measure_instruction_loop(board: &Board, body: &[Inst], section: Section) -> f
         num_params: 0,
         is_library: false,
     };
-    let program = MachineProgram { functions: vec![func], globals, entry: FuncId(0) };
+    let program = MachineProgram {
+        functions: vec![func],
+        globals,
+        entry: FuncId(0),
+    };
     board
-        .run_with_config(&program, &RunConfig { max_cycles: 50_000_000 })
+        .run_with_config(
+            &program,
+            &RunConfig {
+                max_cycles: 50_000_000,
+            },
+        )
         .expect("instruction-power microbenchmark must run")
         .avg_power_mw
 }
@@ -220,8 +292,12 @@ pub fn run_benchmark(
         x_limit,
         ..OptimizerConfig::default()
     });
-    let placement = optimizer.optimize(&program, board).expect("placement succeeds");
-    let opt = board.run(&placement.program).expect("optimized program runs");
+    let placement = optimizer
+        .optimize(&program, board)
+        .expect("placement succeeds");
+    let opt = board
+        .run(&placement.program)
+        .expect("optimized program runs");
     assert_eq!(
         base.return_value, opt.return_value,
         "{}: optimization changed the program result",
@@ -276,9 +352,21 @@ pub struct SweepAverages {
 pub fn averages(results: &[BenchmarkResult]) -> SweepAverages {
     let n = results.len().max(1) as f64;
     SweepAverages {
-        energy_pct: results.iter().map(BenchmarkResult::energy_change_pct).sum::<f64>() / n,
-        power_pct: results.iter().map(BenchmarkResult::power_change_pct).sum::<f64>() / n,
-        time_pct: results.iter().map(BenchmarkResult::time_change_pct).sum::<f64>() / n,
+        energy_pct: results
+            .iter()
+            .map(BenchmarkResult::energy_change_pct)
+            .sum::<f64>()
+            / n,
+        power_pct: results
+            .iter()
+            .map(BenchmarkResult::power_change_pct)
+            .sum::<f64>()
+            / n,
+        time_pct: results
+            .iter()
+            .map(BenchmarkResult::time_change_pct)
+            .sum::<f64>()
+            / n,
     }
 }
 
@@ -323,7 +411,12 @@ pub fn tradeoff_space(
     let params = flashram_core::extract_params(&program, &FrequencySource::default());
     let spare = board.spare_ram(&program).expect("program fits");
     let (e_flash, e_ram) = board.power.model_coefficients();
-    let config = ModelConfig { x_limit: 10.0, r_spare: spare, e_flash, e_ram };
+    let config = ModelConfig {
+        x_limit: 10.0,
+        r_spare: spare,
+        e_flash,
+        e_ram,
+    };
 
     // The k blocks with the largest energy leverage (frequency × cycles).
     let mut ranked: Vec<(BlockRef, u64)> = params
@@ -360,31 +453,55 @@ pub fn tradeoff_space(
     // Solver trajectory: relax the RAM constraint (generous time bound).
     let mut ram_sweep = Vec::new();
     for budget in [32u32, 64, 128, 256, 512, 1024, spare] {
-        let cfg = ModelConfig { x_limit: 10.0, r_spare: budget.min(spare), e_flash, e_ram };
+        let cfg = ModelConfig {
+            x_limit: 10.0,
+            r_spare: budget.min(spare),
+            e_flash,
+            e_ram,
+        };
         let model = PlacementModel::build(&params, &cfg);
         if let Ok(sol) = flashram_ilp::BranchBound::new().solve(&model.problem) {
             let est = evaluate_placement(&params, &model.selected_blocks(&sol), &cfg);
             ram_sweep.push((
                 budget.min(spare),
-                TradeoffPoint { energy: est.energy, cycles: est.cycles, ram_bytes: est.ram_bytes },
+                TradeoffPoint {
+                    energy: est.energy,
+                    cycles: est.cycles,
+                    ram_bytes: est.ram_bytes,
+                },
             ));
         }
     }
     // Solver trajectory: relax the time constraint (generous RAM bound).
     let mut time_sweep = Vec::new();
     for x_limit in [1.0, 1.05, 1.1, 1.2, 1.4, 1.8, 2.5] {
-        let cfg = ModelConfig { x_limit, r_spare: spare, e_flash, e_ram };
+        let cfg = ModelConfig {
+            x_limit,
+            r_spare: spare,
+            e_flash,
+            e_ram,
+        };
         let model = PlacementModel::build(&params, &cfg);
         if let Ok(sol) = flashram_ilp::BranchBound::new().solve(&model.problem) {
             let est = evaluate_placement(&params, &model.selected_blocks(&sol), &cfg);
             time_sweep.push((
                 x_limit,
-                TradeoffPoint { energy: est.energy, cycles: est.cycles, ram_bytes: est.ram_bytes },
+                TradeoffPoint {
+                    energy: est.energy,
+                    cycles: est.cycles,
+                    ram_bytes: est.ram_bytes,
+                },
             ));
         }
     }
 
-    TradeoffSpace { benchmark: bench.name.to_string(), points, ram_sweep, time_sweep, baseline }
+    TradeoffSpace {
+        benchmark: bench.name.to_string(),
+        points,
+        ram_sweep,
+        time_sweep,
+        baseline,
+    }
 }
 
 /// The Figure 9 series for one benchmark: measured case-study factors and
@@ -414,16 +531,22 @@ pub fn case_study_series(
         .map(|name| {
             let bench = Benchmark::by_name(name).expect("known benchmark");
             let program = bench.compile(level).expect("benchmark compiles");
-            let placement = RamOptimizer::new().optimize(&program, board).expect("placement");
+            let placement = RamOptimizer::new()
+                .optimize(&program, board)
+                .expect("placement");
             let measurement =
                 measure_case_study(board, &program, &placement.program).expect("simulation");
             let series = period_sweep(&measurement, period_multiples, sleep);
-            let best_extension =
-                measurement.battery_life_extension(&flashram_mcu::SleepScenario {
-                    period_s: measurement.base_time_s * period_multiples[0].max(1.01),
-                    sleep_power_mw: sleep,
-                });
-            CaseStudySeries { benchmark: name.to_string(), measurement, series, best_extension }
+            let best_extension = measurement.battery_life_extension(&flashram_mcu::SleepScenario {
+                period_s: measurement.base_time_s * period_multiples[0].max(1.01),
+                sleep_power_mw: sleep,
+            });
+            CaseStudySeries {
+                benchmark: name.to_string(),
+                measurement,
+                series,
+                best_extension,
+            }
         })
         .collect()
 }
@@ -482,9 +605,12 @@ pub fn linker_mode_comparison(
             let mut energy = [0.0f64; 2];
             let mut power = [0.0f64; 2];
             let mut blocks = [0usize; 2];
-            for (i, scope) in [PlacementScope::ApplicationOnly, PlacementScope::WholeProgram]
-                .into_iter()
-                .enumerate()
+            for (i, scope) in [
+                PlacementScope::ApplicationOnly,
+                PlacementScope::WholeProgram,
+            ]
+            .into_iter()
+            .enumerate()
             {
                 let placement = RamOptimizer::with_config(OptimizerConfig {
                     x_limit,
@@ -493,8 +619,13 @@ pub fn linker_mode_comparison(
                 })
                 .optimize(&program, board)
                 .expect("placement succeeds");
-                let run = board.run(&placement.program).expect("optimized program runs");
-                assert_eq!(base.return_value, run.return_value, "{name}: semantics changed");
+                let run = board
+                    .run(&placement.program)
+                    .expect("optimized program runs");
+                assert_eq!(
+                    base.return_value, run.return_value,
+                    "{name}: semantics changed"
+                );
                 energy[i] = pct(run.energy_mj, base.energy_mj);
                 power[i] = pct(run.avg_power_mw, base.avg_power_mw);
                 blocks[i] = placement.selected.len();
@@ -555,17 +686,26 @@ pub fn model_ablation(
             let base = board.run(&program).expect("baseline runs");
             let spare = board.spare_ram(&program).expect("program fits");
             let (e_flash, e_ram) = board.power.model_coefficients();
-            let config = ModelConfig { x_limit, r_spare: spare, e_flash, e_ram };
+            let config = ModelConfig {
+                x_limit,
+                r_spare: spare,
+                e_flash,
+                e_ram,
+            };
             let params = extract_params(&program, &FrequencySource::default());
 
             let measure = |params: &flashram_core::ProgramParams| -> AblationOutcome {
                 let model = PlacementModel::build(params, &config);
-                let solution =
-                    flashram_ilp::BranchBound::new().solve(&model.problem).expect("solvable");
+                let solution = flashram_ilp::BranchBound::new()
+                    .solve(&model.problem)
+                    .expect("solvable");
                 let selected = model.selected_blocks(&solution);
                 let transformed = flashram_core::apply_placement(&program, &selected);
                 let run = board.run(&transformed).expect("transformed program runs");
-                assert_eq!(base.return_value, run.return_value, "{name}: semantics changed");
+                assert_eq!(
+                    base.return_value, run.return_value,
+                    "{name}: semantics changed"
+                );
                 AblationOutcome {
                     energy_pct: 100.0 * (run.energy_mj - base.energy_mj) / base.energy_mj,
                     time_pct: 100.0 * (run.time_s - base.time_s) / base.time_s,
@@ -648,8 +788,14 @@ mod tests {
         let bench = Benchmark::by_name("int_matmult").unwrap();
         let r = run_benchmark(&board, &bench, OptLevel::O2, 1.5);
         assert!(r.power_change_pct() < 0.0, "power must drop: {r:?}");
-        assert!(r.energy_change_pct() < 5.0, "energy should not blow up: {r:?}");
-        assert!(r.time_change_pct() >= -1.0, "time should not improve: {r:?}");
+        assert!(
+            r.energy_change_pct() < 5.0,
+            "energy should not blow up: {r:?}"
+        );
+        assert!(
+            r.time_change_pct() >= -1.0,
+            "time should not improve: {r:?}"
+        );
         assert!(r.blocks_in_ram > 0);
     }
 

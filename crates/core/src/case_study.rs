@@ -112,7 +112,10 @@ pub fn period_sweep(
         .iter()
         .map(|m| {
             let period = measurement.base_time_s * m;
-            let scenario = SleepScenario { period_s: period, sleep_power_mw };
+            let scenario = SleepScenario {
+                period_s: period,
+                sleep_power_mw,
+            };
             (period, measurement.energy_percent(&scenario))
         })
         .collect()
@@ -142,9 +145,15 @@ mod tests {
     #[test]
     fn energy_saved_matches_equation_13() {
         let m = paper_fdct();
-        let scenario = SleepScenario { period_s: 10.0, sleep_power_mw: 3.5 };
+        let scenario = SleepScenario {
+            period_s: 10.0,
+            sleep_power_mw: 3.5,
+        };
         let saved = m.energy_saved_mj(&scenario);
-        assert!((saved - 4.32).abs() < 0.05, "expected ≈4.32 mJ, got {saved}");
+        assert!(
+            (saved - 4.32).abs() < 0.05,
+            "expected ≈4.32 mJ, got {saved}"
+        );
     }
 
     #[test]
@@ -159,16 +168,26 @@ mod tests {
             opt_energy_mj: 50.0e-3,
             opt_time_s: 10.0e-3,
         };
-        let scenario = SleepScenario { period_s: 15.0e-3, sleep_power_mw: 1.0 };
+        let scenario = SleepScenario {
+            period_s: 15.0e-3,
+            sleep_power_mw: 1.0,
+        };
         let (before, after) = m.period_energies_mj(&scenario);
-        assert!(after < before, "Figure 8 effect missing: {before} vs {after}");
+        assert!(
+            after < before,
+            "Figure 8 effect missing: {before} vs {after}"
+        );
         assert!(m.energy_saved_mj(&scenario) > 0.0);
     }
 
     #[test]
     fn savings_shrink_as_the_period_grows() {
         let m = paper_fdct();
-        let sweep = period_sweep(&m, &[1.0, 2.0, 4.0, 8.0, 16.0], 3.5);
+        // Monotonicity only holds once the *optimized* active region fits in
+        // the period (k_t = 1.33 here); below that the device never sleeps in
+        // the optimized configuration and the percentage dips until T
+        // reaches k_t·T_A, so the sweep starts above 1.33.
+        let sweep = period_sweep(&m, &[1.4, 2.0, 4.0, 8.0, 16.0], 3.5);
         assert_eq!(sweep.len(), 5);
         for pair in sweep.windows(2) {
             assert!(
@@ -187,7 +206,10 @@ mod tests {
         let short = m.battery_life_extension(&SleepScenario::with_period(m.base_time_s * 1.4));
         let long = m.battery_life_extension(&SleepScenario::with_period(m.base_time_s * 20.0));
         assert!(short > long);
-        assert!(short > 1.15, "short-period extension should approach the paper's 32 %: {short}");
+        assert!(
+            short > 1.15,
+            "short-period extension should approach the paper's 32 %: {short}"
+        );
         assert!(long > 1.0);
     }
 }

@@ -40,7 +40,12 @@ impl Default for ModelConfig {
     fn default() -> Self {
         // The power coefficients default to the Figure 1 calibration of the
         // simulator's power model.
-        ModelConfig { x_limit: 1.5, r_spare: 2048, e_flash: 15.45, e_ram: 9.05 }
+        ModelConfig {
+            x_limit: 1.5,
+            r_spare: 2048,
+            e_flash: 15.45,
+            e_ram: 9.05,
+        }
     }
 }
 
@@ -76,7 +81,14 @@ impl PlacementModel {
             let in_ram = problem.add_binary(format!("r_{r}"));
             let instrumented = problem.add_binary(format!("i_{r}"));
             let both = problem.add_binary(format!("z_{r}"));
-            vars.insert(r, BlockVars { in_ram, instrumented, both });
+            vars.insert(
+                r,
+                BlockVars {
+                    in_ram,
+                    instrumented,
+                    both,
+                },
+            );
         }
 
         // Objective (energy) and the time expression for Eq. 9.
@@ -108,8 +120,13 @@ impl PlacementModel {
         for (r, p) in &params.blocks {
             let v = vars[r];
             for succ in &p.successors {
-                let succ_ref = BlockRef { func: r.func, block: *succ };
-                let Some(sv) = vars.get(&succ_ref) else { continue };
+                let succ_ref = BlockRef {
+                    func: r.func,
+                    block: *succ,
+                };
+                let Some(sv) = vars.get(&succ_ref) else {
+                    continue;
+                };
                 if succ_ref == *r {
                     continue;
                 }
@@ -146,11 +163,7 @@ impl PlacementModel {
                 0.0,
             );
             problem.add_constraint(
-                LinearExpr::from_terms([
-                    (v.both, 1.0),
-                    (v.in_ram, -1.0),
-                    (v.instrumented, -1.0),
-                ]),
+                LinearExpr::from_terms([(v.both, 1.0), (v.in_ram, -1.0), (v.instrumented, -1.0)]),
                 Cmp::Ge,
                 -1.0,
             );
@@ -168,7 +181,11 @@ impl PlacementModel {
         // Eq. 9: execution-time bound.
         problem.add_constraint(time_expr, Cmp::Le, config.x_limit * base_cycles);
 
-        PlacementModel { problem, vars, config: config.clone() }
+        PlacementModel {
+            problem,
+            vars,
+            config: config.clone(),
+        }
     }
 
     /// The set of blocks a solution places in RAM.
@@ -209,12 +226,23 @@ pub fn evaluate_placement(
     for (r, p) in &params.blocks {
         let in_ram = ram_set.contains(r);
         let needs_instr = p.successors.iter().any(|s| {
-            let sr = BlockRef { func: r.func, block: *s };
+            let sr = BlockRef {
+                func: r.func,
+                block: *s,
+            };
             params.blocks.contains_key(&sr) && ram_set.contains(&sr) != in_ram
         });
         let m = if in_ram { config.e_ram } else { config.e_flash };
-        let t = if needs_instr { p.instr_cycles as f64 } else { 0.0 };
-        let l = if in_ram { p.ram_extra_cycles as f64 } else { 0.0 };
+        let t = if needs_instr {
+            p.instr_cycles as f64
+        } else {
+            0.0
+        };
+        let l = if in_ram {
+            p.ram_extra_cycles as f64
+        } else {
+            0.0
+        };
         let f = p.frequency as f64;
         let c = p.cycles as f64 + t + l;
         energy += f * c * m;
@@ -226,7 +254,11 @@ pub fn evaluate_placement(
             ram_bytes += if in_ram { p.instr_bytes } else { 0 };
         }
     }
-    PlacementEstimate { energy, cycles, ram_bytes }
+    PlacementEstimate {
+        energy,
+        cycles,
+        ram_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -267,7 +299,10 @@ mod tests {
         let model = PlacementModel::build(&p, &ModelConfig::default());
         let sol = BranchBound::new().solve(&model.problem).expect("solvable");
         let selected = model.selected_blocks(&sol);
-        assert!(!selected.is_empty(), "with generous budgets the solver should use RAM");
+        assert!(
+            !selected.is_empty(),
+            "with generous budgets the solver should use RAM"
+        );
         // The hottest block must be selected.
         let hottest = p
             .blocks
@@ -281,7 +316,10 @@ mod tests {
     #[test]
     fn zero_ram_budget_selects_nothing() {
         let p = params();
-        let config = ModelConfig { r_spare: 0, ..ModelConfig::default() };
+        let config = ModelConfig {
+            r_spare: 0,
+            ..ModelConfig::default()
+        };
         let model = PlacementModel::build(&p, &config);
         let sol = BranchBound::new().solve(&model.problem).expect("solvable");
         assert!(model.selected_blocks(&sol).is_empty());
@@ -291,13 +329,24 @@ mod tests {
     fn tight_time_limit_blocks_expensive_instrumentation() {
         let p = params();
         let relaxed = {
-            let model = PlacementModel::build(&p, &ModelConfig { x_limit: 2.0, ..Default::default() });
+            let model = PlacementModel::build(
+                &p,
+                &ModelConfig {
+                    x_limit: 2.0,
+                    ..Default::default()
+                },
+            );
             let sol = BranchBound::new().solve(&model.problem).unwrap();
             evaluate_placement(&p, &model.selected_blocks(&sol), &model.config)
         };
         let tight = {
-            let model =
-                PlacementModel::build(&p, &ModelConfig { x_limit: 1.0, ..Default::default() });
+            let model = PlacementModel::build(
+                &p,
+                &ModelConfig {
+                    x_limit: 1.0,
+                    ..Default::default()
+                },
+            );
             let sol = BranchBound::new().solve(&model.problem).unwrap();
             evaluate_placement(&p, &model.selected_blocks(&sol), &model.config)
         };
@@ -326,10 +375,17 @@ mod tests {
     #[test]
     fn ram_constraint_is_respected() {
         let p = params();
-        let config = ModelConfig { r_spare: 64, ..ModelConfig::default() };
+        let config = ModelConfig {
+            r_spare: 64,
+            ..ModelConfig::default()
+        };
         let model = PlacementModel::build(&p, &config);
         let sol = BranchBound::new().solve(&model.problem).unwrap();
         let est = evaluate_placement(&p, &model.selected_blocks(&sol), &config);
-        assert!(est.ram_bytes <= 64, "placement uses {} bytes", est.ram_bytes);
+        assert!(
+            est.ram_bytes <= 64,
+            "placement uses {} bytes",
+            est.ram_bytes
+        );
     }
 }

@@ -145,7 +145,12 @@ impl RamOptimizer {
     /// Derive the model coefficients for a given board.
     pub fn model_config_for(&self, board: &Board, r_spare: u32) -> ModelConfig {
         let (e_flash, e_ram) = board.power.model_coefficients();
-        ModelConfig { x_limit: self.config.x_limit, r_spare, e_flash, e_ram }
+        ModelConfig {
+            x_limit: self.config.x_limit,
+            r_spare,
+            e_flash,
+            e_ram,
+        }
     }
 
     /// Run the optimization against a program that will execute on `board`.
@@ -247,7 +252,10 @@ mod tests {
         let placement = RamOptimizer::new().optimize(&prog, &board).unwrap();
         assert!(!placement.selected.is_empty());
         let opt = board.run(&placement.program).unwrap();
-        assert_eq!(base.return_value, opt.return_value, "semantics must be preserved");
+        assert_eq!(
+            base.return_value, opt.return_value,
+            "semantics must be preserved"
+        );
         assert!(
             opt.energy_mj < base.energy_mj,
             "energy should drop: {} -> {}",
@@ -314,7 +322,9 @@ mod tests {
         let board = Board::stm32vldiscovery();
         let prog = program();
         let base = board.run(&prog).unwrap();
-        let placement = RamOptimizer::new().optimize_with_profile(&prog, &board).unwrap();
+        let placement = RamOptimizer::new()
+            .optimize_with_profile(&prog, &board)
+            .unwrap();
         let opt = board.run(&placement.program).unwrap();
         assert_eq!(base.return_value, opt.return_value);
         assert!(opt.avg_power_mw < base.avg_power_mw);

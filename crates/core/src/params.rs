@@ -45,7 +45,9 @@ pub enum FrequencySource {
 
 impl Default for FrequencySource {
     fn default() -> Self {
-        FrequencySource::Static { iterations_per_loop: 16 }
+        FrequencySource::Static {
+            iterations_per_loop: 16,
+        }
     }
 }
 
@@ -123,11 +125,13 @@ pub fn extract_params_scoped(
         for (bi, block) in func.blocks.iter().enumerate() {
             let r = BlockRef::new(fi, bi);
             let freq = match frequency {
-                FrequencySource::Static { iterations_per_loop } => {
+                FrequencySource::Static {
+                    iterations_per_loop,
+                } => {
                     let depth = loops.depth(bi).min(6);
                     iterations_per_loop.saturating_pow(depth).max(1)
                 }
-                FrequencySource::Profiled(profile) => profile.block_count(r).max(0),
+                FrequencySource::Profiled(profile) => profile.block_count(r),
             };
             let instr = block.term.instrumentation_cost();
             let ram_extra = u64::from(block.load_count()) * timing.ram_load_contention_cycles

@@ -94,12 +94,15 @@ impl PlacementReport {
 
         let mut per_function: BTreeMap<String, FunctionReport> = BTreeMap::new();
         for row in &blocks {
-            let entry = per_function.entry(row.function.clone()).or_insert_with(|| FunctionReport {
-                function: row.function.clone(),
-                blocks: 0,
-                blocks_in_ram: 0,
-                ram_bytes: 0,
-            });
+            let entry =
+                per_function
+                    .entry(row.function.clone())
+                    .or_insert_with(|| FunctionReport {
+                        function: row.function.clone(),
+                        blocks: 0,
+                        blocks_in_ram: 0,
+                        ram_bytes: 0,
+                    });
             entry.blocks += 1;
             if row.section == Section::Ram {
                 entry.blocks_in_ram += 1;
@@ -164,7 +167,11 @@ impl fmt::Display for PlacementReport {
             )?;
         }
         writeln!(f)?;
-        writeln!(f, "{:<20} {:>8} {:>8} {:>10}", "function", "blocks", "in ram", "ram bytes")?;
+        writeln!(
+            f,
+            "{:<20} {:>8} {:>8} {:>10}",
+            "function", "blocks", "in ram", "ram bytes"
+        )?;
         for func in &self.functions {
             writeln!(
                 f,
@@ -197,7 +204,9 @@ mod tests {
 
     fn placement() -> Placement {
         let prog = compile_program(&[SourceUnit::application(SRC)], OptLevel::O2).unwrap();
-        RamOptimizer::new().optimize(&prog, &Board::stm32vldiscovery()).unwrap()
+        RamOptimizer::new()
+            .optimize(&prog, &Board::stm32vldiscovery())
+            .unwrap()
     }
 
     #[test]
@@ -206,7 +215,10 @@ mod tests {
         let report = PlacementReport::from_placement(&p);
         assert_eq!(report.blocks.len(), p.params.blocks.len());
         assert_eq!(report.ram_blocks().count(), p.selected.len());
-        assert_eq!(report.ram_code_bytes, crate::transform::relocated_code_bytes(&p.program));
+        assert_eq!(
+            report.ram_code_bytes,
+            crate::transform::relocated_code_bytes(&p.program)
+        );
         assert!(report.predicted_energy_ratio <= 1.0);
         assert!(report.predicted_time_ratio >= 1.0);
         // Per-function summaries add up to the totals.

@@ -38,14 +38,17 @@ pub fn apply_placement_scoped(
         .iter()
         .copied()
         .filter(|r| {
-            scope == PlacementScope::WholeProgram
-                || !program.functions[r.func.index()].is_library
+            scope == PlacementScope::WholeProgram || !program.functions[r.func.index()].is_library
         })
         .collect();
 
     // 1. Retarget sections.
     for r in program.block_refs() {
-        let section = if ram_set.contains(&r) { Section::Ram } else { Section::Flash };
+        let section = if ram_set.contains(&r) {
+            Section::Ram
+        } else {
+            Section::Flash
+        };
         out.block_mut(r).section = section;
     }
 

@@ -29,7 +29,10 @@ const APPLICATION: &str = "
 
 fn library_bound_program() -> flashram_ir::MachineProgram {
     compile_program(
-        &[SourceUnit::library(LIBRARY), SourceUnit::application(APPLICATION)],
+        &[
+            SourceUnit::library(LIBRARY),
+            SourceUnit::application(APPLICATION),
+        ],
         OptLevel::Os,
     )
     .unwrap()
@@ -39,10 +42,16 @@ fn library_bound_program() -> flashram_ir::MachineProgram {
 fn whole_program_scope_extracts_library_blocks_too() {
     let prog = library_bound_program();
     let lib_func = prog.function_index("lib_scale").unwrap();
-    let app_only =
-        extract_params_scoped(&prog, &FrequencySource::default(), PlacementScope::ApplicationOnly);
-    let whole =
-        extract_params_scoped(&prog, &FrequencySource::default(), PlacementScope::WholeProgram);
+    let app_only = extract_params_scoped(
+        &prog,
+        &FrequencySource::default(),
+        PlacementScope::ApplicationOnly,
+    );
+    let whole = extract_params_scoped(
+        &prog,
+        &FrequencySource::default(),
+        PlacementScope::WholeProgram,
+    );
     assert!(app_only.blocks.keys().all(|r| r.func != lib_func));
     assert!(whole.blocks.keys().any(|r| r.func == lib_func));
     assert!(whole.blocks.len() > app_only.blocks.len());
@@ -52,12 +61,18 @@ fn whole_program_scope_extracts_library_blocks_too() {
 fn whole_program_scope_may_move_library_blocks() {
     let prog = library_bound_program();
     let lib_func = prog.function_index("lib_scale").unwrap();
-    let lib_blocks: Vec<_> =
-        prog.block_refs().into_iter().filter(|r| r.func == lib_func).collect();
+    let lib_blocks: Vec<_> = prog
+        .block_refs()
+        .into_iter()
+        .filter(|r| r.func == lib_func)
+        .collect();
 
     // Application-only transform refuses to move them.
     let guarded = apply_placement_scoped(&prog, &lib_blocks, PlacementScope::ApplicationOnly);
-    assert!(guarded.block_refs().iter().all(|r| guarded.block(*r).section == Section::Flash));
+    assert!(guarded
+        .block_refs()
+        .iter()
+        .all(|r| guarded.block(*r).section == Section::Flash));
 
     // Whole-program transform does move them.
     let moved = apply_placement_scoped(&prog, &lib_blocks, PlacementScope::WholeProgram);

@@ -34,7 +34,11 @@ pub struct BranchBound {
 
 impl Default for BranchBound {
     fn default() -> Self {
-        BranchBound { lp: SimplexSolver::default(), max_nodes: 20_000, tolerance: 1e-6 }
+        BranchBound {
+            lp: SimplexSolver::default(),
+            max_nodes: 20_000,
+            tolerance: 1e-6,
+        }
     }
 }
 
@@ -98,11 +102,15 @@ impl BranchBound {
                 }
             };
 
-            // Bound: prune when the relaxation cannot beat the incumbent.
+            // Bound: prune unless the relaxation strictly improves on the
+            // incumbent.  Ties must be pruned too — the placement models are
+            // massively degenerate, and exploring equal-bound nodes can only
+            // rediscover equally good solutions at exponential cost.
             if let Some(best) = &incumbent {
-                if !problem.is_better(relaxed.objective, best.objective)
-                    && (relaxed.objective - best.objective).abs() > self.tolerance
-                {
+                let margin = self.tolerance * best.objective.abs().max(1.0);
+                let improves = problem.is_better(relaxed.objective, best.objective)
+                    && (relaxed.objective - best.objective).abs() > margin;
+                if !improves {
                     stats.nodes_pruned += 1;
                     continue;
                 }
@@ -132,7 +140,7 @@ impl BranchBound {
                     let candidate = Solution { values, objective };
                     let better = incumbent
                         .as_ref()
-                        .map_or(true, |best| problem.is_better(objective, best.objective));
+                        .is_none_or(|best| problem.is_better(objective, best.objective));
                     if better {
                         incumbent = Some(candidate);
                     }
@@ -277,7 +285,10 @@ mod tests {
             5.0,
         );
         p.set_objective(LinearExpr::from_terms(xs.iter().map(|v| (*v, 1.0))));
-        let solver = BranchBound { max_nodes: 0, ..BranchBound::default() };
+        let solver = BranchBound {
+            max_nodes: 0,
+            ..BranchBound::default()
+        };
         assert!(matches!(
             solver.solve(&p),
             Err(SolveError::BudgetExhausted(_))
@@ -296,7 +307,11 @@ mod tests {
             12.0,
         );
         // Pairwise exclusion: x0 + x1 <= 1.
-        p.add_constraint(LinearExpr::from_terms([(xs[0], 1.0), (xs[1], 1.0)]), Cmp::Le, 1.0);
+        p.add_constraint(
+            LinearExpr::from_terms([(xs[0], 1.0), (xs[1], 1.0)]),
+            Cmp::Le,
+            1.0,
+        );
         p.set_objective(LinearExpr::from_terms(
             xs.iter().copied().zip(values.iter().copied()),
         ));

@@ -43,7 +43,7 @@ impl ExhaustiveSolver {
         self.for_each_feasible(problem, |sol| {
             let better = best
                 .as_ref()
-                .map_or(true, |b| problem.is_better(sol.objective, b.objective));
+                .is_none_or(|b| problem.is_better(sol.objective, b.objective));
             if better {
                 best = Some(sol.clone());
             }
@@ -86,7 +86,10 @@ impl ExhaustiveSolver {
             }
             if problem.is_feasible(&values, 1e-9) {
                 let objective = problem.objective_value(&values);
-                visit(&Solution { values: values.clone(), objective });
+                visit(&Solution {
+                    values: values.clone(),
+                    objective,
+                });
             }
         }
         Ok(())
@@ -120,7 +123,13 @@ impl ExhaustiveSolver {
             }
             let feasible = problem.is_feasible(&values, 1e-9);
             let objective = problem.objective_value(&values);
-            visit(&Solution { values: values.clone(), objective }, feasible);
+            visit(
+                &Solution {
+                    values: values.clone(),
+                    objective,
+                },
+                feasible,
+            );
         }
         Ok(())
     }
@@ -135,7 +144,9 @@ mod tests {
 
     fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> (Problem, Vec<Var>) {
         let mut p = Problem::new(Sense::Maximize);
-        let xs: Vec<Var> = (0..values.len()).map(|i| p.add_binary(format!("x{i}"))).collect();
+        let xs: Vec<Var> = (0..values.len())
+            .map(|i| p.add_binary(format!("x{i}")))
+            .collect();
         p.add_constraint(
             LinearExpr::from_terms(xs.iter().copied().zip(weights.iter().copied())),
             Cmp::Le,
@@ -190,7 +201,10 @@ mod tests {
         let x = p.add_binary("x");
         p.add_constraint(LinearExpr::var(x), Cmp::Ge, 2.0);
         p.set_objective(LinearExpr::var(x));
-        assert_eq!(ExhaustiveSolver::new().solve(&p), Err(SolveError::Infeasible));
+        assert_eq!(
+            ExhaustiveSolver::new().solve(&p),
+            Err(SolveError::Infeasible)
+        );
     }
 
     #[test]
@@ -207,6 +221,9 @@ mod tests {
             big.add_binary(format!("x{i}"));
         }
         let solver = ExhaustiveSolver { max_vars: 10 };
-        assert!(matches!(solver.solve(&big), Err(SolveError::InvalidModel(_))));
+        assert!(matches!(
+            solver.solve(&big),
+            Err(SolveError::InvalidModel(_))
+        ));
     }
 }

@@ -37,7 +37,10 @@ impl LinearExpr {
 
     /// A constant expression.
     pub fn constant(c: f64) -> LinearExpr {
-        LinearExpr { terms: BTreeMap::new(), constant: c }
+        LinearExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// An expression consisting of a single variable with coefficient 1.

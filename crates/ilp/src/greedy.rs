@@ -62,8 +62,8 @@ impl GreedySolver {
                     let obj = problem.objective_value(&values);
                     if problem.is_better(obj, objective) {
                         let improvement = (obj - objective).abs();
-                        let better_than_best = best_flip
-                            .map_or(true, |(_, best_impr)| improvement > best_impr);
+                        let better_than_best =
+                            best_flip.is_none_or(|(_, best_impr)| improvement > best_impr);
                         if better_than_best {
                             best_flip = Some((var, improvement));
                         }

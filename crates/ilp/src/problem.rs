@@ -161,13 +161,19 @@ impl Problem {
         lower: f64,
         upper: Option<f64>,
     ) -> Var {
-        self.vars.push(VarDef { name: name.into(), kind: VarKind::Continuous { lower, upper } });
+        self.vars.push(VarDef {
+            name: name.into(),
+            kind: VarKind::Continuous { lower, upper },
+        });
         Var(self.vars.len() - 1)
     }
 
     /// Add a 0/1 variable.
     pub fn add_binary(&mut self, name: impl Into<String>) -> Var {
-        self.vars.push(VarDef { name: name.into(), kind: VarKind::Binary });
+        self.vars.push(VarDef {
+            name: name.into(),
+            kind: VarKind::Binary,
+        });
         Var(self.vars.len() - 1)
     }
 
@@ -176,7 +182,11 @@ impl Problem {
     pub fn add_constraint(&mut self, expr: LinearExpr, op: Cmp, rhs: f64) {
         let c = expr.constant_part();
         let expr = expr - LinearExpr::constant(c);
-        self.constraints.push(Constraint { expr, op, rhs: rhs - c });
+        self.constraints.push(Constraint {
+            expr,
+            op,
+            rhs: rhs - c,
+        });
     }
 
     /// Set the objective expression.
@@ -250,9 +260,7 @@ impl Problem {
             let v = values[i];
             match d.kind {
                 VarKind::Binary => {
-                    if !(v >= -tol && v <= 1.0 + tol)
-                        || ((v - v.round()).abs() > tol)
-                    {
+                    if !(v >= -tol && v <= 1.0 + tol) || ((v - v.round()).abs() > tol) {
                         return false;
                     }
                 }
@@ -381,7 +389,10 @@ mod tests {
 
     #[test]
     fn solution_accessors() {
-        let s = Solution { values: vec![0.0, 1.0, 0.3], objective: 7.0 };
+        let s = Solution {
+            values: vec![0.0, 1.0, 0.3],
+            objective: 7.0,
+        };
         assert_eq!(s.value(Var(1)), 1.0);
         assert!(s.is_set(Var(1)));
         assert!(!s.is_set(Var(0)));

@@ -43,7 +43,10 @@ pub struct SimplexSolver {
 
 impl Default for SimplexSolver {
     fn default() -> Self {
-        SimplexSolver { max_iterations: 50_000, tolerance: 1e-7 }
+        SimplexSolver {
+            max_iterations: 50_000,
+            tolerance: 1e-7,
+        }
     }
 }
 
@@ -91,11 +94,22 @@ impl SimplexSolver {
                     lower[i] = 0.0;
                     upper[i] = Some(1.0);
                 }
-                VarKind::Continuous { lower: lo, upper: up } => {
+                VarKind::Continuous {
+                    lower: lo,
+                    upper: up,
+                } => {
                     lower[i] = lo;
                     upper[i] = up;
                 }
             }
+        }
+
+        // Branch-and-bound fixings become degenerate bounds (lower = upper =
+        // value) rather than equality rows: no artificial variable is needed,
+        // so the fixing can never be silently violated by later pivots.
+        for (v, val) in fixings {
+            lower[v.index()] = *val;
+            upper[v.index()] = Some(*val);
         }
 
         // Build the row list: (coefficients over structural vars, cmp, rhs).
@@ -117,13 +131,6 @@ impl SimplexSolver {
                 rows.push((coeffs, Cmp::Le, u - lower[i]));
             }
         }
-        // Fixing rows from branch-and-bound: x_i = value  ⇒  x'_i = value - lower_i.
-        for (v, val) in fixings {
-            let mut coeffs = vec![0.0; n];
-            coeffs[v.index()] = 1.0;
-            rows.push((coeffs, Cmp::Eq, val - lower[v.index()]));
-        }
-
         // Objective in minimization form over shifted variables.
         let mut c_min = vec![0.0f64; n];
         for (v, k) in problem.objective().terms() {
@@ -149,6 +156,22 @@ impl SimplexSolver {
             }
             if tab.obj1 > self.tolerance * 10.0 {
                 return SimplexOutcome::Infeasible;
+            }
+            // Drive every artificial that is still basic (at level zero) out
+            // of the basis.  Phase 2 bars artificial *columns* from entering
+            // but a basic artificial's value can still be changed by pivots
+            // on other columns, silently violating the constraint it guards.
+            // A row whose structural and slack coefficients are all ~0 is a
+            // redundant constraint: no later pivot can touch it, so it may
+            // keep its artificial basis variable.
+            for row in 0..tab.b.len() {
+                if tab.basis[row] >= tab.artificial_start {
+                    let col =
+                        (0..tab.artificial_start).find(|&j| tab.a[row][j].abs() > self.tolerance);
+                    if let Some(col) = col {
+                        self.pivot(&mut tab, row, col);
+                    }
+                }
             }
         }
 
@@ -240,9 +263,7 @@ impl SimplexSolver {
         // Phase-1 cost row: sum of artificial variables.  Reduced costs are
         // obtained by subtracting the rows whose basis variable is artificial.
         let mut cost1 = vec![0.0; cols];
-        for j in artificial_start..cols {
-            cost1[j] = 1.0;
-        }
+        cost1[artificial_start..].fill(1.0);
         let mut obj1 = 0.0;
         for (row, &bv) in basis.iter().enumerate() {
             if bv >= artificial_start {
@@ -253,15 +274,20 @@ impl SimplexSolver {
             }
         }
 
-        Tableau { a, b, cost1, cost2, obj1, obj2, basis, artificial_start, cols }
+        Tableau {
+            a,
+            b,
+            cost1,
+            cost2,
+            obj1,
+            obj2,
+            basis,
+            artificial_start,
+            cols,
+        }
     }
 
-    fn run_phase(
-        &self,
-        tab: &mut Tableau,
-        phase1: bool,
-        iterations: &mut usize,
-    ) -> PhaseResult {
+    fn run_phase(&self, tab: &mut Tableau, phase1: bool, iterations: &mut usize) -> PhaseResult {
         let bland_threshold = self.max_iterations / 2;
         loop {
             if *iterations >= self.max_iterations {
@@ -272,11 +298,14 @@ impl SimplexSolver {
 
             // Choose an entering column with negative reduced cost.
             let cost = if phase1 { &tab.cost1 } else { &tab.cost2 };
-            let allowed_cols = if phase1 { tab.cols } else { tab.artificial_start };
+            let allowed_cols = if phase1 {
+                tab.cols
+            } else {
+                tab.artificial_start
+            };
             let mut entering: Option<usize> = None;
             let mut best = -self.tolerance;
-            for j in 0..allowed_cols {
-                let c = cost[j];
+            for (j, &c) in cost.iter().enumerate().take(allowed_cols) {
                 if c < -self.tolerance {
                     if use_bland {
                         entering = Some(j);
@@ -302,7 +331,7 @@ impl SimplexSolver {
                     let better = ratio < best_ratio - self.tolerance
                         || (use_bland
                             && (ratio - best_ratio).abs() <= self.tolerance
-                            && leave.map_or(true, |l| tab.basis[row] < tab.basis[l]));
+                            && leave.is_none_or(|l| tab.basis[row] < tab.basis[l]));
                     if better {
                         best_ratio = ratio;
                         leave = Some(row);
@@ -382,7 +411,10 @@ mod tests {
         p.add_constraint(LinearExpr::from_terms([(y, 2.0)]), Cmp::Le, 12.0);
         p.add_constraint(LinearExpr::from_terms([(x, 3.0), (y, 2.0)]), Cmp::Le, 18.0);
         p.set_objective(LinearExpr::from_terms([(x, 3.0), (y, 5.0)]));
-        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        let sol = SimplexSolver::new()
+            .solve_relaxation(&p, &[])
+            .solution()
+            .unwrap();
         assert_close(sol.value(x), 2.0);
         assert_close(sol.value(y), 6.0);
         assert_close(sol.objective, 36.0);
@@ -398,7 +430,10 @@ mod tests {
         p.add_constraint(LinearExpr::var(x), Cmp::Ge, 2.0);
         p.add_constraint(LinearExpr::var(y), Cmp::Ge, 3.0);
         p.set_objective(LinearExpr::from_terms([(x, 2.0), (y, 3.0)]));
-        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        let sol = SimplexSolver::new()
+            .solve_relaxation(&p, &[])
+            .solution()
+            .unwrap();
         assert_close(sol.objective, 23.0);
         assert_close(sol.value(x), 7.0);
         assert_close(sol.value(y), 3.0);
@@ -413,7 +448,10 @@ mod tests {
         p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Eq, 5.0);
         p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, -1.0)]), Cmp::Eq, 1.0);
         p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]));
-        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        let sol = SimplexSolver::new()
+            .solve_relaxation(&p, &[])
+            .solution()
+            .unwrap();
         assert_close(sol.value(x), 3.0);
         assert_close(sol.value(y), 2.0);
     }
@@ -449,7 +487,10 @@ mod tests {
         let x = p.add_binary("x");
         let y = p.add_continuous("y", 0.0, Some(0.3));
         p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]));
-        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        let sol = SimplexSolver::new()
+            .solve_relaxation(&p, &[])
+            .solution()
+            .unwrap();
         assert_close(sol.value(x), 1.0);
         assert_close(sol.value(y), 0.3);
     }
@@ -477,7 +518,10 @@ mod tests {
         let y = p.add_continuous("y", 1.5, None);
         p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Ge, 5.0);
         p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]));
-        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        let sol = SimplexSolver::new()
+            .solve_relaxation(&p, &[])
+            .solution()
+            .unwrap();
         assert_close(sol.objective, 5.0);
         assert!(sol.value(x) >= 2.0 - 1e-7);
         assert!(sol.value(y) >= 1.5 - 1e-7);
@@ -491,7 +535,10 @@ mod tests {
         let y = p.add_continuous("y", 0.0, None);
         p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, -1.0)]), Cmp::Le, -1.0);
         p.set_objective(LinearExpr::var(y));
-        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        let sol = SimplexSolver::new()
+            .solve_relaxation(&p, &[])
+            .solution()
+            .unwrap();
         assert_close(sol.value(y), 1.0);
     }
 
@@ -506,7 +553,10 @@ mod tests {
         p.add_constraint(LinearExpr::from_terms([(x, 1.0)]), Cmp::Le, 1.0);
         p.add_constraint(LinearExpr::from_terms([(y, 1.0)]), Cmp::Le, 1.0);
         p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]));
-        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        let sol = SimplexSolver::new()
+            .solve_relaxation(&p, &[])
+            .solution()
+            .unwrap();
         assert_close(sol.objective, 1.0);
     }
 
@@ -515,7 +565,10 @@ mod tests {
         let mut p = Problem::new(Sense::Minimize);
         let x = p.add_continuous("x", 0.0, Some(3.0));
         p.add_constraint(LinearExpr::var(x), Cmp::Ge, 1.0);
-        let sol = SimplexSolver::new().solve_relaxation(&p, &[]).solution().unwrap();
+        let sol = SimplexSolver::new()
+            .solve_relaxation(&p, &[])
+            .solution()
+            .unwrap();
         assert!(sol.value(x) >= 1.0 - 1e-7);
         assert_close(sol.objective, 0.0);
     }

@@ -1,0 +1,109 @@
+//! Differential testing of the three solving strategies on randomly
+//! generated small knapsack instances: exhaustive enumeration is the ground
+//! truth, branch-and-bound must match it exactly, and the simplex LP
+//! relaxation must bound it from above — with the rounded relaxation, when
+//! it happens to be integral, matching it exactly too.
+//!
+//! The proptest stand-in used by this workspace derives each test's RNG seed
+//! from the test's fully qualified name, so these instances are fixed across
+//! runs and machines.
+
+use flashram_ilp::{
+    BranchBound, Cmp, ExhaustiveSolver, LinearExpr, Problem, Sense, SimplexSolver, Var,
+};
+use proptest::prelude::*;
+
+/// A 0-1 knapsack: maximize value subject to a single capacity constraint.
+fn knapsack(values: &[u32], weights: &[u32], cap_frac: f64) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let xs: Vec<Var> = (0..values.len())
+        .map(|i| p.add_binary(format!("x{i}")))
+        .collect();
+    let total: f64 = weights.iter().map(|w| f64::from(*w)).sum();
+    p.add_constraint(
+        LinearExpr::from_terms(
+            xs.iter()
+                .copied()
+                .zip(weights.iter().map(|w| f64::from(*w))),
+        ),
+        Cmp::Le,
+        total * cap_frac,
+    );
+    p.set_objective(LinearExpr::from_terms(
+        xs.iter().copied().zip(values.iter().map(|v| f64::from(*v))),
+    ));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// All three strategies line up against exhaustive enumeration:
+    /// branch-and-bound agrees exactly, the LP relaxation is an upper bound,
+    /// and an integral relaxation rounds to exactly the optimum.
+    #[test]
+    fn solvers_agree_on_small_knapsacks(
+        values in proptest::collection::vec(1u32..60, 1..9),
+        weights_seed in proptest::collection::vec(1u32..25, 9),
+        cap_frac in 0.1f64..0.95,
+    ) {
+        let weights = &weights_seed[..values.len()];
+        let p = knapsack(&values, weights, cap_frac);
+
+        let exact = ExhaustiveSolver::new().solve(&p).expect("exhaustive solves");
+        let bnb = BranchBound::new().solve(&p).expect("branch-and-bound solves");
+        prop_assert!(
+            (bnb.objective - exact.objective).abs() <= 1e-6 * exact.objective.abs().max(1.0),
+            "branch-and-bound {} vs exhaustive {}",
+            bnb.objective,
+            exact.objective
+        );
+        prop_assert!(p.is_feasible(&bnb.values, 1e-6));
+
+        let relaxed = SimplexSolver::new()
+            .solve_relaxation(&p, &[])
+            .solution()
+            .expect("relaxation solves");
+        prop_assert!(
+            relaxed.objective >= exact.objective - 1e-6,
+            "LP relaxation {} below the integer optimum {}",
+            relaxed.objective,
+            exact.objective
+        );
+
+        // A single-constraint knapsack relaxation has at most one fractional
+        // variable; when there is none, rounding is the integer optimum.
+        let integral = relaxed.values.iter().all(|v| (v - v.round()).abs() <= 1e-6);
+        if integral {
+            let rounded: Vec<f64> = relaxed.values.iter().map(|v| v.round()).collect();
+            prop_assert!(p.is_feasible(&rounded, 1e-6));
+            let objective = p.objective_value(&rounded);
+            prop_assert!(
+                (objective - exact.objective).abs() <= 1e-6 * exact.objective.abs().max(1.0),
+                "integral relaxation rounds to {} but exhaustive finds {}",
+                objective,
+                exact.objective
+            );
+        }
+    }
+
+    /// Rounding the relaxation *down* (dropping the fractional pick) always
+    /// yields a feasible solution that cannot beat the true optimum.
+    #[test]
+    fn rounded_down_relaxation_is_a_feasible_lower_bound(
+        values in proptest::collection::vec(1u32..60, 1..9),
+        weights_seed in proptest::collection::vec(1u32..25, 9),
+        cap_frac in 0.1f64..0.95,
+    ) {
+        let weights = &weights_seed[..values.len()];
+        let p = knapsack(&values, weights, cap_frac);
+        let exact = ExhaustiveSolver::new().solve(&p).expect("exhaustive solves");
+        let relaxed = SimplexSolver::new()
+            .solve_relaxation(&p, &[])
+            .solution()
+            .expect("relaxation solves");
+        let floored: Vec<f64> = relaxed.values.iter().map(|v| v.floor().max(0.0)).collect();
+        prop_assert!(p.is_feasible(&floored, 1e-6), "floored relaxation must stay feasible");
+        prop_assert!(p.objective_value(&floored) <= exact.objective + 1e-6);
+    }
+}

@@ -15,7 +15,9 @@ fn knapsack(
     max_items: Option<usize>,
 ) -> Problem {
     let mut p = Problem::new(Sense::Maximize);
-    let vars: Vec<_> = (0..values.len()).map(|i| p.add_binary(format!("x{i}"))).collect();
+    let vars: Vec<_> = (0..values.len())
+        .map(|i| p.add_binary(format!("x{i}")))
+        .collect();
     let mut objective = LinearExpr::new();
     let mut weight_expr = LinearExpr::new();
     let mut count_expr = LinearExpr::new();
@@ -26,7 +28,11 @@ fn knapsack(
     }
     let total_weight: u32 = weights.iter().sum();
     p.set_objective(objective);
-    p.add_constraint(weight_expr, Cmp::Le, total_weight as f64 * capacity_fraction);
+    p.add_constraint(
+        weight_expr,
+        Cmp::Le,
+        total_weight as f64 * capacity_fraction,
+    );
     if let Some(k) = max_items {
         p.add_constraint(count_expr, Cmp::Le, k as f64);
     }

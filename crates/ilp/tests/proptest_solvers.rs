@@ -2,7 +2,9 @@
 //! exhaustive enumeration on random small 0-1 knapsack-style instances, and
 //! every returned solution must be feasible.
 
-use flashram_ilp::{BranchBound, Cmp, ExhaustiveSolver, GreedySolver, LinearExpr, Problem, Sense, SolveError, Var};
+use flashram_ilp::{
+    BranchBound, Cmp, ExhaustiveSolver, GreedySolver, LinearExpr, Problem, Sense, SolveError, Var,
+};
 use proptest::prelude::*;
 
 /// Build a random selection problem: maximize value subject to one or two

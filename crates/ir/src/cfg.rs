@@ -46,7 +46,11 @@ impl Cfg {
                 preds[s].push(b);
             }
         }
-        Cfg { entry, succs, preds }
+        Cfg {
+            entry,
+            succs,
+            preds,
+        }
     }
 
     /// Number of blocks.
@@ -100,11 +104,7 @@ impl Cfg {
             }
         }
         post.reverse();
-        for b in 0..n {
-            if !visited[b] {
-                post.push(b);
-            }
-        }
+        post.extend((0..n).filter(|&b| !visited[b]));
         post
     }
 
@@ -147,9 +147,9 @@ impl Cfg {
                 }
             }
         }
-        for b in 0..n {
-            if idom[b] == usize::MAX {
-                idom[b] = b;
+        for (b, d) in idom.iter_mut().enumerate() {
+            if *d == usize::MAX {
+                *d = b;
             }
         }
         idom
@@ -170,12 +170,41 @@ impl Cfg {
         }
     }
 
-    /// Back edges `(tail, head)` where `head` dominates `tail`.
+    /// Blocks reachable from the entry.
+    fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        if self.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.succs[b] {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Back edges `(tail, head)` where `head` dominates `tail`.  Only edges
+    /// between entry-reachable blocks qualify: an unreachable block is its
+    /// own immediate dominator by convention, which would otherwise turn
+    /// every unreachable self-edge into a spurious back edge.
     pub fn back_edges(&self) -> Vec<(usize, usize)> {
+        self.back_edges_in(&self.reachable())
+    }
+
+    fn back_edges_in(&self, live: &[bool]) -> Vec<(usize, usize)> {
         let idom = self.immediate_dominators();
         let mut edges = Vec::new();
-        for b in 0..self.len() {
-            for &s in &self.succs[b] {
+        for (b, succs) in self.succs.iter().enumerate() {
+            if !live[b] {
+                continue;
+            }
+            for &s in succs {
                 if self.dominates(s, b, &idom) {
                     edges.push((b, s));
                 }
@@ -186,13 +215,18 @@ impl Cfg {
 
     /// Natural-loop and loop-depth information.
     pub fn loop_info(&self) -> LoopInfo {
+        let live = self.reachable();
         let mut loops: Vec<NaturalLoop> = Vec::new();
-        for (tail, head) in self.back_edges() {
+        for (tail, head) in self.back_edges_in(&live) {
             let mut body: BTreeSet<usize> = BTreeSet::new();
             body.insert(head);
             let mut stack = vec![tail];
             while let Some(b) = stack.pop() {
-                if body.insert(b) {
+                // The predecessor walk must stay inside the reachable
+                // subgraph: an unreachable predecessor can "reach" the back
+                // edge but is not dominated by the header, so it is not part
+                // of the natural loop.
+                if live[b] && body.insert(b) {
                     for &p in &self.preds[b] {
                         stack.push(p);
                     }
@@ -217,7 +251,10 @@ impl Cfg {
                 depth[b] += 1;
             }
         }
-        LoopInfo { loops: merged, depth }
+        LoopInfo {
+            loops: merged,
+            depth,
+        }
     }
 }
 

@@ -46,7 +46,10 @@ pub struct BlockRef {
 impl BlockRef {
     /// Convenience constructor from raw indices.
     pub fn new(func: usize, block: usize) -> BlockRef {
-        BlockRef { func: FuncId(func as u32), block: BlockId(block as u32) }
+        BlockRef {
+            func: FuncId(func as u32),
+            block: BlockId(block as u32),
+        }
     }
 }
 
@@ -70,7 +73,11 @@ pub struct MachineBlock {
 impl MachineBlock {
     /// A new block in flash with the given body and terminator.
     pub fn new(insts: Vec<Inst>, term: Terminator<BlockId>) -> MachineBlock {
-        MachineBlock { insts, term, section: Section::Flash }
+        MachineBlock {
+            insts,
+            term,
+            section: Section::Flash,
+        }
     }
 
     /// Size of the block in bytes, terminator included (the paper's `S_b`
@@ -262,12 +269,20 @@ impl MachineProgram {
 
     /// Total bytes of mutable data (placed in RAM at startup).
     pub fn ram_data_size(&self) -> u32 {
-        self.globals.iter().filter(|g| g.mutable).map(GlobalData::size).sum()
+        self.globals
+            .iter()
+            .filter(|g| g.mutable)
+            .map(GlobalData::size)
+            .sum()
     }
 
     /// Total bytes of read-only data (kept in flash).
     pub fn rodata_size(&self) -> u32 {
-        self.globals.iter().filter(|g| !g.mutable).map(GlobalData::size).sum()
+        self.globals
+            .iter()
+            .filter(|g| !g.mutable)
+            .map(GlobalData::size)
+            .sum()
     }
 
     /// Per-function block counts, useful for reporting.
@@ -313,8 +328,10 @@ impl MachineProgram {
                             ));
                         }
                     }
-                    if let Inst::LdrLit { value: flashram_isa::inst::LitValue::Symbol(s), .. } =
-                        inst
+                    if let Inst::LdrLit {
+                        value: flashram_isa::inst::LitValue::Symbol(s),
+                        ..
+                    } = inst
                     {
                         if s.0 as usize >= self.globals.len() {
                             problems.push(format!(
@@ -362,9 +379,21 @@ mod tests {
     fn simple_block(term: Terminator<BlockId>) -> MachineBlock {
         MachineBlock::new(
             vec![
-                Inst::MovImm { rd: Reg::R0, imm: 1 },
-                Inst::Load { rd: Reg::R1, base: Reg::Sp, offset: 0, width: MemWidth::Word },
-                Inst::AddReg { rd: Reg::R0, rn: Reg::R0, rm: Reg::R1 },
+                Inst::MovImm {
+                    rd: Reg::R0,
+                    imm: 1,
+                },
+                Inst::Load {
+                    rd: Reg::R1,
+                    base: Reg::Sp,
+                    offset: 0,
+                    width: MemWidth::Word,
+                },
+                Inst::AddReg {
+                    rd: Reg::R0,
+                    rn: Reg::R0,
+                    rm: Reg::R1,
+                },
             ],
             term,
         )
@@ -403,8 +432,16 @@ mod tests {
         let mut prog = MachineProgram {
             functions: vec![two_block_function()],
             globals: vec![
-                GlobalData { name: "buf".into(), bytes: vec![0; 64], mutable: true },
-                GlobalData { name: "table".into(), bytes: vec![1; 32], mutable: false },
+                GlobalData {
+                    name: "buf".into(),
+                    bytes: vec![0; 64],
+                    mutable: true,
+                },
+                GlobalData {
+                    name: "table".into(),
+                    bytes: vec![1; 32],
+                    mutable: false,
+                },
             ],
             entry: FuncId(0),
         };
@@ -423,7 +460,11 @@ mod tests {
         let mut f = two_block_function();
         f.blocks[1].term = Terminator::Branch { target: BlockId(9) };
         f.blocks[0].insts.push(Inst::Bl { callee: 5 });
-        let prog = MachineProgram { functions: vec![f], globals: vec![], entry: FuncId(0) };
+        let prog = MachineProgram {
+            functions: vec![f],
+            globals: vec![],
+            entry: FuncId(0),
+        };
         let problems = prog.validate();
         assert_eq!(problems.len(), 2, "{problems:?}");
         assert!(problems.iter().any(|p| p.contains("out-of-range block")));

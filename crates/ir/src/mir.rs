@@ -436,16 +436,34 @@ impl fmt::Display for IrInst {
             IrInst::Not { dst, src } => write!(f, "{dst} = not {src}"),
             IrInst::FrameAddr { dst, slot } => write!(f, "{dst} = frameaddr slot{slot}"),
             IrInst::GlobalAddr { dst, global } => write!(f, "{dst} = globaladdr g{global}"),
-            IrInst::Load { dst, addr, offset, width } => {
+            IrInst::Load {
+                dst,
+                addr,
+                offset,
+                width,
+            } => {
                 write!(f, "{dst} = load.{} [{addr} + {offset}]", w(width))
             }
-            IrInst::Store { src, addr, offset, width } => {
+            IrInst::Store {
+                src,
+                addr,
+                offset,
+                width,
+            } => {
                 write!(f, "store.{} {src}, [{addr} + {offset}]", w(width))
             }
-            IrInst::Call { dst: Some(d), callee, args } => {
+            IrInst::Call {
+                dst: Some(d),
+                callee,
+                args,
+            } => {
                 write!(f, "{d} = call {callee}({})", join(args))
             }
-            IrInst::Call { dst: None, callee, args } => {
+            IrInst::Call {
+                dst: None,
+                callee,
+                args,
+            } => {
                 write!(f, "call {callee}({})", join(args))
             }
         }
@@ -453,7 +471,10 @@ impl fmt::Display for IrInst {
 }
 
 fn join(vals: &[Value]) -> String {
-    vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+    vals.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// A block terminator in the mid-level IR.
@@ -483,7 +504,11 @@ impl IrTerm {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             IrTerm::Jump(t) => vec![*t],
-            IrTerm::Branch { then_block, else_block, .. } => vec![*then_block, *else_block],
+            IrTerm::Branch {
+                then_block,
+                else_block,
+                ..
+            } => vec![*then_block, *else_block],
             IrTerm::Ret(_) => vec![],
         }
     }
@@ -513,7 +538,13 @@ impl fmt::Display for IrTerm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrTerm::Jump(t) => write!(f, "jump {t}"),
-            IrTerm::Branch { op, lhs, rhs, then_block, else_block } => {
+            IrTerm::Branch {
+                op,
+                lhs,
+                rhs,
+                then_block,
+                else_block,
+            } => {
                 write!(f, "br.{op} {lhs}, {rhs} ? {then_block} : {else_block}")
             }
             IrTerm::Ret(Some(v)) => write!(f, "ret {v}"),
@@ -535,7 +566,10 @@ impl IrBlock {
     /// An empty block ending in a plain return (useful as a placeholder
     /// during construction).
     pub fn new() -> IrBlock {
-        IrBlock { insts: Vec::new(), term: IrTerm::Ret(None) }
+        IrBlock {
+            insts: Vec::new(),
+            term: IrTerm::Ret(None),
+        }
     }
 }
 
@@ -727,7 +761,7 @@ mod tests {
         assert_eq!(BinOp::Mul.eval(1 << 20, 1 << 20), 0);
         assert_eq!(BinOp::Div.eval(7, 2), 3);
         assert_eq!(BinOp::Div.eval(7, 0), 0);
-        assert_eq!(BinOp::Udiv.eval(-2, 2), (u32::MAX / 2) as i32 - 0);
+        assert_eq!(BinOp::Udiv.eval(-2, 2), ((u32::MAX / 2) as i32));
         assert_eq!(BinOp::Shl.eval(1, 33), 2, "shift amounts are masked");
         assert_eq!(BinOp::Ashr.eval(-8, 1), -4);
         assert_eq!(BinOp::Lshr.eval(-8, 1), ((-8i32 as u32) >> 1) as i32);

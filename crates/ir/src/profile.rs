@@ -56,7 +56,10 @@ impl ProfileData {
 
     /// The hottest block and its count, if any block executed.
     pub fn hottest_block(&self) -> Option<(BlockRef, u64)> {
-        self.counts.iter().max_by_key(|(_, c)| **c).map(|(b, c)| (*b, *c))
+        self.counts
+            .iter()
+            .max_by_key(|(_, c)| **c)
+            .map(|(b, c)| (*b, *c))
     }
 
     /// Merge another profile into this one (summing counts), e.g. to combine

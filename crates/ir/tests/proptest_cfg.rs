@@ -13,10 +13,7 @@ use proptest::prelude::*;
 fn arbitrary_cfg() -> impl Strategy<Value = Cfg> {
     (1usize..=12)
         .prop_flat_map(|n| {
-            let succs = proptest::collection::vec(
-                proptest::collection::vec(0usize..n, 0..=2),
-                n,
-            );
+            let succs = proptest::collection::vec(proptest::collection::vec(0usize..n, 0..=2), n);
             (Just(n), succs)
         })
         .prop_map(|(n, succs)| Cfg::new(n, 0, succs))
@@ -71,8 +68,8 @@ proptest! {
     fn entry_dominates_every_reachable_block(cfg in arbitrary_cfg()) {
         let idom = cfg.immediate_dominators();
         let live = reachable(&cfg);
-        for b in 0..cfg.len() {
-            if live[b] {
+        for (b, &is_live) in live.iter().enumerate() {
+            if is_live {
                 prop_assert!(cfg.dominates(cfg.entry(), b, &idom), "entry must dominate block {}", b);
             }
         }
@@ -165,13 +162,15 @@ proptest! {
 #[test]
 fn chain_has_identity_rpo_and_no_loops() {
     let n = 9;
-    let succs: Vec<Vec<usize>> = (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+    let succs: Vec<Vec<usize>> = (0..n)
+        .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+        .collect();
     let cfg = Cfg::new(n, 0, succs);
     assert_eq!(cfg.reverse_post_order(), (0..n).collect::<Vec<_>>());
     assert!(cfg.back_edges().is_empty());
     let idom = cfg.immediate_dominators();
-    for b in 1..n {
-        assert_eq!(idom[b], b - 1);
+    for (b, &d) in idom.iter().enumerate().skip(1) {
+        assert_eq!(d, b - 1);
     }
 }
 

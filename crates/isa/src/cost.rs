@@ -188,7 +188,12 @@ mod tests {
 
     #[test]
     fn indirect_form_mapping_is_fixed_point_on_indirects() {
-        for k in [TermKind::Uncond, TermKind::Cond, TermKind::ShortCond, TermKind::FallThrough] {
+        for k in [
+            TermKind::Uncond,
+            TermKind::Cond,
+            TermKind::ShortCond,
+            TermKind::FallThrough,
+        ] {
             let ind = k.indirect_form();
             assert!(ind.is_indirect());
             assert_eq!(ind.indirect_form(), ind);

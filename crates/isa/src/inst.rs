@@ -428,9 +428,9 @@ impl Inst {
             }
             LdrLit { .. } => 4,
             AddImm { rd, rn, imm } | SubImm { rd, rn, imm } => {
-                if rd.is_low() && rn.is_low() && (0..=7).contains(imm) {
-                    2
-                } else if rd == rn && rd.is_low() && (0..=255).contains(imm) {
+                let three_reg_form = rd.is_low() && rn.is_low() && (0..=7).contains(imm);
+                let two_reg_form = rd == rn && rd.is_low() && (0..=255).contains(imm);
+                if three_reg_form || two_reg_form {
                     2
                 } else {
                     4
@@ -458,10 +458,7 @@ impl Inst {
                 }
             }
             Sdiv { .. } | Udiv { .. } => 4,
-            And { rd, rn, rm }
-            | Orr { rd, rn, rm }
-            | Eor { rd, rn, rm }
-            | Bic { rd, rn, rm } => {
+            And { rd, rn, rm } | Orr { rd, rn, rm } | Eor { rd, rn, rm } | Bic { rd, rn, rm } => {
                 if rd.is_low() && rn.is_low() && rm.is_low() && rd == rn {
                     2
                 } else {
@@ -499,19 +496,29 @@ impl Inst {
             }
             CmpReg { .. } => 2,
             Load {
-                rd, base, offset, width,
+                rd,
+                base,
+                offset,
+                width,
             } => mem_size(*rd, *base, *offset, *width),
             Store {
-                rs, base, offset, width,
+                rs,
+                base,
+                offset,
+                width,
             } => mem_size(*rs, *base, *offset, *width),
-            LoadIdx { rd, base, index, .. } => {
+            LoadIdx {
+                rd, base, index, ..
+            } => {
                 if rd.is_low() && base.is_low() && index.is_low() {
                     2
                 } else {
                     4
                 }
             }
-            StoreIdx { rs, base, index, .. } => {
+            StoreIdx {
+                rs, base, index, ..
+            } => {
                 if rs.is_low() && base.is_low() && index.is_low() {
                     2
                 } else {
@@ -519,7 +526,10 @@ impl Inst {
                 }
             }
             Push { regs } | Pop { regs } => {
-                if regs.iter().all(|r| r.is_low() || *r == Reg::Lr || *r == Reg::Pc) {
+                if regs
+                    .iter()
+                    .all(|r| r.is_low() || *r == Reg::Lr || *r == Reg::Pc)
+                {
                     2
                 } else {
                     4
@@ -545,12 +555,28 @@ impl Inst {
     pub fn base_cycles(&self) -> u64 {
         use Inst::*;
         match self {
-            Nop | MovImm { .. } | MovReg { .. } | AddImm { .. } | AddReg { .. }
+            Nop
+            | MovImm { .. }
+            | MovReg { .. }
+            | AddImm { .. }
+            | AddReg { .. }
             | MovCond { .. }
-            | SubImm { .. } | SubReg { .. } | RsbImm { .. } | And { .. } | Orr { .. }
-            | Eor { .. } | Bic { .. } | Mvn { .. } | AndImm { .. } | OrrImm { .. }
-            | EorImm { .. } | ShiftImm { .. } | ShiftReg { .. } | CmpImm { .. }
-            | CmpReg { .. } | AddSp { .. } => 1,
+            | SubImm { .. }
+            | SubReg { .. }
+            | RsbImm { .. }
+            | And { .. }
+            | Orr { .. }
+            | Eor { .. }
+            | Bic { .. }
+            | Mvn { .. }
+            | AndImm { .. }
+            | OrrImm { .. }
+            | EorImm { .. }
+            | ShiftImm { .. }
+            | ShiftReg { .. }
+            | CmpImm { .. }
+            | CmpReg { .. }
+            | AddSp { .. } => 1,
             Mul { .. } => 1,
             Sdiv { .. } | Udiv { .. } => 6,
             LdrLit { .. } | Load { .. } | LoadIdx { .. } => 2,
@@ -585,7 +611,10 @@ impl Inst {
 
     /// Whether the instruction writes data memory.
     pub fn is_store(&self) -> bool {
-        matches!(self, Inst::Store { .. } | Inst::StoreIdx { .. } | Inst::Push { .. })
+        matches!(
+            self,
+            Inst::Store { .. } | Inst::StoreIdx { .. } | Inst::Push { .. }
+        )
     }
 
     /// Whether the instruction is a procedure call.
@@ -601,9 +630,8 @@ fn mem_size(data: Reg, base: Reg, offset: i32, width: MemWidth) -> u32 {
         MemWidth::Byte => 31,
     };
     let sp_form = base == Reg::Sp && width == MemWidth::Word && (0..=1020).contains(&offset);
-    if sp_form && data.is_low() {
-        2
-    } else if data.is_low() && base.is_low() && (0..=max16).contains(&offset) {
+    let reg_form = base.is_low() && (0..=max16).contains(&offset);
+    if data.is_low() && (sp_form || reg_form) {
         2
     } else {
         4
@@ -649,16 +677,36 @@ impl fmt::Display for Inst {
             ShiftReg { op, rd, rn, rm } => write!(f, "{} {rd}, {rn}, {rm}", shift_name(op)),
             CmpImm { rn, imm } => write!(f, "cmp {rn}, #{imm}"),
             CmpReg { rn, rm } => write!(f, "cmp {rn}, {rm}"),
-            Load { rd, base, offset, width } => {
+            Load {
+                rd,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "ldr{} {rd}, [{base}, #{offset}]", width_suffix(width))
             }
-            Store { rs, base, offset, width } => {
+            Store {
+                rs,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "str{} {rs}, [{base}, #{offset}]", width_suffix(width))
             }
-            LoadIdx { rd, base, index, width } => {
+            LoadIdx {
+                rd,
+                base,
+                index,
+                width,
+            } => {
                 write!(f, "ldr{} {rd}, [{base}, {index}]", width_suffix(width))
             }
-            StoreIdx { rs, base, index, width } => {
+            StoreIdx {
+                rs,
+                base,
+                index,
+                width,
+            } => {
                 write!(f, "str{} {rs}, [{base}, {index}]", width_suffix(width))
             }
             Push { regs } => write!(f, "push {{{}}}", reg_list(regs)),
@@ -688,46 +736,110 @@ mod tests {
 
     #[test]
     fn small_immediates_use_narrow_encodings() {
-        assert_eq!(Inst::MovImm { rd: Reg::R0, imm: 5 }.size_bytes(), 2);
-        assert_eq!(Inst::MovImm { rd: Reg::R0, imm: 300 }.size_bytes(), 4);
         assert_eq!(
-            Inst::MovImm { rd: Reg::R0, imm: 0x1234_5678 }.size_bytes(),
+            Inst::MovImm {
+                rd: Reg::R0,
+                imm: 5
+            }
+            .size_bytes(),
+            2
+        );
+        assert_eq!(
+            Inst::MovImm {
+                rd: Reg::R0,
+                imm: 300
+            }
+            .size_bytes(),
+            4
+        );
+        assert_eq!(
+            Inst::MovImm {
+                rd: Reg::R0,
+                imm: 0x1234_5678
+            }
+            .size_bytes(),
             8
         );
-        assert_eq!(Inst::MovImm { rd: Reg::R9, imm: 5 }.size_bytes(), 4);
+        assert_eq!(
+            Inst::MovImm {
+                rd: Reg::R9,
+                imm: 5
+            }
+            .size_bytes(),
+            4
+        );
     }
 
     #[test]
     fn add_encodings() {
-        let narrow = Inst::AddImm { rd: Reg::R1, rn: Reg::R1, imm: 4 };
-        let wide = Inst::AddImm { rd: Reg::R1, rn: Reg::R2, imm: 400 };
+        let narrow = Inst::AddImm {
+            rd: Reg::R1,
+            rn: Reg::R1,
+            imm: 4,
+        };
+        let wide = Inst::AddImm {
+            rd: Reg::R1,
+            rn: Reg::R2,
+            imm: 400,
+        };
         assert_eq!(narrow.size_bytes(), 2);
         assert_eq!(wide.size_bytes(), 4);
         assert_eq!(
-            Inst::AddReg { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 }.size_bytes(),
+            Inst::AddReg {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R2
+            }
+            .size_bytes(),
             2
         );
         assert_eq!(
-            Inst::AddReg { rd: Reg::R0, rn: Reg::R1, rm: Reg::R9 }.size_bytes(),
+            Inst::AddReg {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R9
+            }
+            .size_bytes(),
             4
         );
     }
 
     #[test]
     fn loads_take_two_cycles_alu_takes_one() {
-        let ld = Inst::Load { rd: Reg::R0, base: Reg::R1, offset: 0, width: MemWidth::Word };
-        let add = Inst::AddReg { rd: Reg::R0, rn: Reg::R0, rm: Reg::R1 };
+        let ld = Inst::Load {
+            rd: Reg::R0,
+            base: Reg::R1,
+            offset: 0,
+            width: MemWidth::Word,
+        };
+        let add = Inst::AddReg {
+            rd: Reg::R0,
+            rn: Reg::R0,
+            rm: Reg::R1,
+        };
         assert_eq!(ld.base_cycles(), 2);
         assert_eq!(add.base_cycles(), 1);
-        assert_eq!(Inst::Sdiv { rd: Reg::R0, rn: Reg::R0, rm: Reg::R1 }.base_cycles(), 6);
+        assert_eq!(
+            Inst::Sdiv {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                rm: Reg::R1
+            }
+            .base_cycles(),
+            6
+        );
     }
 
     #[test]
     fn push_pop_cycles_scale_with_register_count() {
-        let p = Inst::Push { regs: vec![Reg::R4, Reg::R5, Reg::R6, Reg::Lr] };
+        let p = Inst::Push {
+            regs: vec![Reg::R4, Reg::R5, Reg::R6, Reg::Lr],
+        };
         assert_eq!(p.base_cycles(), 5);
         assert_eq!(p.size_bytes(), 2);
-        let p_high = Inst::Push { regs: vec![Reg::R8, Reg::R9] };
+        let p_high = Inst::Push {
+            regs: vec![Reg::R8, Reg::R9],
+        };
         assert_eq!(p_high.size_bytes(), 4);
     }
 
@@ -735,12 +847,31 @@ mod tests {
     fn classes_are_consistent_with_predicates() {
         let insts = [
             Inst::Nop,
-            Inst::MovImm { rd: Reg::R0, imm: 1 },
-            Inst::Mul { rd: Reg::R0, rn: Reg::R0, rm: Reg::R1 },
-            Inst::Load { rd: Reg::R0, base: Reg::Sp, offset: 4, width: MemWidth::Word },
-            Inst::Store { rs: Reg::R0, base: Reg::Sp, offset: 4, width: MemWidth::Word },
+            Inst::MovImm {
+                rd: Reg::R0,
+                imm: 1,
+            },
+            Inst::Mul {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                rm: Reg::R1,
+            },
+            Inst::Load {
+                rd: Reg::R0,
+                base: Reg::Sp,
+                offset: 4,
+                width: MemWidth::Word,
+            },
+            Inst::Store {
+                rs: Reg::R0,
+                base: Reg::Sp,
+                offset: 4,
+                width: MemWidth::Word,
+            },
             Inst::Bl { callee: 3 },
-            Inst::Push { regs: vec![Reg::R4] },
+            Inst::Push {
+                regs: vec![Reg::R4],
+            },
         ];
         for i in &insts {
             if i.class() == InstClass::Load {
@@ -757,19 +888,36 @@ mod tests {
 
     #[test]
     fn sp_relative_word_accesses_are_narrow() {
-        let spill = Inst::Store { rs: Reg::R3, base: Reg::Sp, offset: 16, width: MemWidth::Word };
+        let spill = Inst::Store {
+            rs: Reg::R3,
+            base: Reg::Sp,
+            offset: 16,
+            width: MemWidth::Word,
+        };
         assert_eq!(spill.size_bytes(), 2);
-        let far = Inst::Store { rs: Reg::R3, base: Reg::R10, offset: 200, width: MemWidth::Word };
+        let far = Inst::Store {
+            rs: Reg::R3,
+            base: Reg::R10,
+            offset: 200,
+            width: MemWidth::Word,
+        };
         assert_eq!(far.size_bytes(), 4);
     }
 
     #[test]
     fn display_is_assembly_like() {
-        let i = Inst::Load { rd: Reg::R2, base: Reg::R3, offset: 8, width: MemWidth::Byte };
+        let i = Inst::Load {
+            rd: Reg::R2,
+            base: Reg::R3,
+            offset: 8,
+            width: MemWidth::Byte,
+        };
         assert_eq!(i.to_string(), "ldrb r2, [r3, #8]");
         let b = Inst::Bl { callee: 7 };
         assert_eq!(b.to_string(), "bl fn7");
-        let p = Inst::Push { regs: vec![Reg::R4, Reg::Lr] };
+        let p = Inst::Push {
+            regs: vec![Reg::R4, Reg::Lr],
+        };
         assert_eq!(p.to_string(), "push {r4, lr}");
     }
 }

@@ -108,14 +108,7 @@ impl Reg {
     pub fn is_callee_saved(self) -> bool {
         matches!(
             self,
-            Reg::R4
-                | Reg::R5
-                | Reg::R6
-                | Reg::R7
-                | Reg::R8
-                | Reg::R9
-                | Reg::R10
-                | Reg::R11
+            Reg::R4 | Reg::R5 | Reg::R6 | Reg::R7 | Reg::R8 | Reg::R9 | Reg::R10 | Reg::R11
         )
     }
 

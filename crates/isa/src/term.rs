@@ -98,10 +98,26 @@ impl<L> Terminator<L> {
             | Terminator::FallThrough { target }
             | Terminator::IndirectBranch { target }
             | Terminator::IndirectFallThrough { target } => vec![target],
-            Terminator::CondBranch { target, fallthrough, .. }
-            | Terminator::CompareBranch { target, fallthrough, .. }
-            | Terminator::IndirectCondBranch { target, fallthrough, .. }
-            | Terminator::IndirectCompareBranch { target, fallthrough, .. } => {
+            Terminator::CondBranch {
+                target,
+                fallthrough,
+                ..
+            }
+            | Terminator::CompareBranch {
+                target,
+                fallthrough,
+                ..
+            }
+            | Terminator::IndirectCondBranch {
+                target,
+                fallthrough,
+                ..
+            }
+            | Terminator::IndirectCompareBranch {
+                target,
+                fallthrough,
+                ..
+            } => {
                 vec![target, fallthrough]
             }
             Terminator::Return => vec![],
@@ -158,12 +174,26 @@ impl<L> Terminator<L> {
     pub fn into_indirect(self) -> Terminator<L> {
         match self {
             Terminator::Branch { target } => Terminator::IndirectBranch { target },
-            Terminator::CondBranch { cond, target, fallthrough } => {
-                Terminator::IndirectCondBranch { cond, target, fallthrough }
-            }
-            Terminator::CompareBranch { nonzero, rn, target, fallthrough } => {
-                Terminator::IndirectCompareBranch { nonzero, rn, target, fallthrough }
-            }
+            Terminator::CondBranch {
+                cond,
+                target,
+                fallthrough,
+            } => Terminator::IndirectCondBranch {
+                cond,
+                target,
+                fallthrough,
+            },
+            Terminator::CompareBranch {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+            } => Terminator::IndirectCompareBranch {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+            },
             Terminator::FallThrough { target } => Terminator::IndirectFallThrough { target },
             other => other,
         }
@@ -173,39 +203,51 @@ impl<L> Terminator<L> {
     pub fn map_label<M, F: FnMut(L) -> M>(self, mut f: F) -> Terminator<M> {
         match self {
             Terminator::Branch { target } => Terminator::Branch { target: f(target) },
-            Terminator::CondBranch { cond, target, fallthrough } => Terminator::CondBranch {
+            Terminator::CondBranch {
+                cond,
+                target,
+                fallthrough,
+            } => Terminator::CondBranch {
                 cond,
                 target: f(target),
                 fallthrough: f(fallthrough),
             },
-            Terminator::CompareBranch { nonzero, rn, target, fallthrough } => {
-                Terminator::CompareBranch {
-                    nonzero,
-                    rn,
-                    target: f(target),
-                    fallthrough: f(fallthrough),
-                }
-            }
+            Terminator::CompareBranch {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+            } => Terminator::CompareBranch {
+                nonzero,
+                rn,
+                target: f(target),
+                fallthrough: f(fallthrough),
+            },
             Terminator::FallThrough { target } => Terminator::FallThrough { target: f(target) },
             Terminator::Return => Terminator::Return,
             Terminator::IndirectBranch { target } => {
                 Terminator::IndirectBranch { target: f(target) }
             }
-            Terminator::IndirectCondBranch { cond, target, fallthrough } => {
-                Terminator::IndirectCondBranch {
-                    cond,
-                    target: f(target),
-                    fallthrough: f(fallthrough),
-                }
-            }
-            Terminator::IndirectCompareBranch { nonzero, rn, target, fallthrough } => {
-                Terminator::IndirectCompareBranch {
-                    nonzero,
-                    rn,
-                    target: f(target),
-                    fallthrough: f(fallthrough),
-                }
-            }
+            Terminator::IndirectCondBranch {
+                cond,
+                target,
+                fallthrough,
+            } => Terminator::IndirectCondBranch {
+                cond,
+                target: f(target),
+                fallthrough: f(fallthrough),
+            },
+            Terminator::IndirectCompareBranch {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+            } => Terminator::IndirectCompareBranch {
+                nonzero,
+                rn,
+                target: f(target),
+                fallthrough: f(fallthrough),
+            },
             Terminator::IndirectFallThrough { target } => {
                 Terminator::IndirectFallThrough { target: f(target) }
             }
@@ -217,24 +259,45 @@ impl<L: fmt::Display> fmt::Display for Terminator<L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Terminator::Branch { target } => write!(f, "b .{target}"),
-            Terminator::CondBranch { cond, target, fallthrough } => {
+            Terminator::CondBranch {
+                cond,
+                target,
+                fallthrough,
+            } => {
                 write!(f, "b{cond} .{target} ; else fall through to .{fallthrough}")
             }
-            Terminator::CompareBranch { nonzero, rn, target, fallthrough } => {
+            Terminator::CompareBranch {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+            } => {
                 let op = if *nonzero { "cbnz" } else { "cbz" };
-                write!(f, "{op} {rn}, .{target} ; else fall through to .{fallthrough}")
+                write!(
+                    f,
+                    "{op} {rn}, .{target} ; else fall through to .{fallthrough}"
+                )
             }
             Terminator::FallThrough { target } => write!(f, "; fall through to .{target}"),
             Terminator::Return => write!(f, "bx lr"),
             Terminator::IndirectBranch { target } => write!(f, "ldr pc, =.{target}"),
-            Terminator::IndirectCondBranch { cond, target, fallthrough } => {
+            Terminator::IndirectCondBranch {
+                cond,
+                target,
+                fallthrough,
+            } => {
                 write!(
                     f,
                     "it {cond} ; ldr{cond} r5, =.{target} ; ldr{} r5, =.{fallthrough} ; bx r5",
                     cond.negate()
                 )
             }
-            Terminator::IndirectCompareBranch { nonzero, rn, target, fallthrough } => {
+            Terminator::IndirectCompareBranch {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+            } => {
                 let (c_taken, c_not) = if *nonzero {
                     (Cond::Ne, Cond::Eq)
                 } else {
@@ -260,8 +323,11 @@ mod tests {
         assert!(ret.successors().is_empty());
         let b: Terminator<u32> = Terminator::Branch { target: 3 };
         assert_eq!(b.successors(), vec![&3]);
-        let c: Terminator<u32> =
-            Terminator::CondBranch { cond: Cond::Eq, target: 1, fallthrough: 2 };
+        let c: Terminator<u32> = Terminator::CondBranch {
+            cond: Cond::Eq,
+            target: 1,
+            fallthrough: 2,
+        };
         assert_eq!(c.successors(), vec![&1, &2]);
     }
 
@@ -271,8 +337,11 @@ mod tests {
         let b: Terminator<u32> = Terminator::Branch { target: 0 };
         assert_eq!(b.size_bytes(), 2);
         assert_eq!(b.taken_cycles(), 3);
-        let cb: Terminator<u32> =
-            Terminator::CondBranch { cond: Cond::Ne, target: 0, fallthrough: 1 };
+        let cb: Terminator<u32> = Terminator::CondBranch {
+            cond: Cond::Ne,
+            target: 0,
+            fallthrough: 1,
+        };
         assert_eq!(cb.size_bytes(), 2);
         assert_eq!(cb.taken_cycles(), 3);
         assert_eq!(cb.not_taken_cycles(), 1);
@@ -285,8 +354,12 @@ mod tests {
         assert_eq!(b.into_indirect().taken_cycles(), 4);
         assert_eq!(cb.clone().into_indirect().size_bytes(), 8);
         assert_eq!(cb.into_indirect().taken_cycles(), 7);
-        let sc: Terminator<u32> =
-            Terminator::CompareBranch { nonzero: true, rn: Reg::R0, target: 0, fallthrough: 1 };
+        let sc: Terminator<u32> = Terminator::CompareBranch {
+            nonzero: true,
+            rn: Reg::R0,
+            target: 0,
+            fallthrough: 1,
+        };
         assert_eq!(sc.clone().into_indirect().size_bytes(), 10);
         assert_eq!(sc.into_indirect().taken_cycles(), 8);
         assert_eq!(ft.clone().into_indirect().size_bytes(), 4);
@@ -299,13 +372,20 @@ mod tests {
         let c = uncond.instrumentation_cost();
         assert_eq!((c.extra_bytes, c.extra_cycles), (2, 1));
 
-        let cond: Terminator<u32> =
-            Terminator::CondBranch { cond: Cond::Ne, target: 0, fallthrough: 1 };
+        let cond: Terminator<u32> = Terminator::CondBranch {
+            cond: Cond::Ne,
+            target: 0,
+            fallthrough: 1,
+        };
         let c = cond.instrumentation_cost();
         assert_eq!((c.extra_bytes, c.extra_cycles), (6, 4));
 
-        let short: Terminator<u32> =
-            Terminator::CompareBranch { nonzero: false, rn: Reg::R1, target: 0, fallthrough: 1 };
+        let short: Terminator<u32> = Terminator::CompareBranch {
+            nonzero: false,
+            rn: Reg::R1,
+            target: 0,
+            fallthrough: 1,
+        };
         let c = short.instrumentation_cost();
         assert_eq!((c.extra_bytes, c.extra_cycles), (8, 5));
 
@@ -322,8 +402,17 @@ mod tests {
     fn into_indirect_is_idempotent_and_preserves_successors() {
         let forms: Vec<Terminator<u32>> = vec![
             Terminator::Branch { target: 1 },
-            Terminator::CondBranch { cond: Cond::Lt, target: 1, fallthrough: 2 },
-            Terminator::CompareBranch { nonzero: true, rn: Reg::R3, target: 1, fallthrough: 2 },
+            Terminator::CondBranch {
+                cond: Cond::Lt,
+                target: 1,
+                fallthrough: 2,
+            },
+            Terminator::CompareBranch {
+                nonzero: true,
+                rn: Reg::R3,
+                target: 1,
+                fallthrough: 2,
+            },
             Terminator::FallThrough { target: 1 },
             Terminator::Return,
         ];
@@ -339,12 +428,19 @@ mod tests {
 
     #[test]
     fn map_label_renumbers_targets() {
-        let t: Terminator<u32> =
-            Terminator::CondBranch { cond: Cond::Gt, target: 1, fallthrough: 2 };
+        let t: Terminator<u32> = Terminator::CondBranch {
+            cond: Cond::Gt,
+            target: 1,
+            fallthrough: 2,
+        };
         let mapped = t.map_label(|x| x * 10);
         assert_eq!(
             mapped,
-            Terminator::CondBranch { cond: Cond::Gt, target: 10, fallthrough: 20 }
+            Terminator::CondBranch {
+                cond: Cond::Gt,
+                target: 10,
+                fallthrough: 20
+            }
         );
     }
 

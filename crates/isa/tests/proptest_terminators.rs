@@ -33,7 +33,11 @@ fn arbitrary_direct_terminator() -> impl Strategy<Value = Terminator<u32>> {
     prop_oneof![
         (0u32..64).prop_map(|target| Terminator::Branch { target }),
         (arbitrary_cond(), 0u32..64, 0u32..64).prop_map(|(cond, target, fallthrough)| {
-            Terminator::CondBranch { cond, target, fallthrough }
+            Terminator::CondBranch {
+                cond,
+                target,
+                fallthrough,
+            }
         }),
         (any::<bool>(), arbitrary_reg(), 0u32..64, 0u32..64).prop_map(
             |(nonzero, rn, target, fallthrough)| Terminator::CompareBranch {
@@ -130,8 +134,22 @@ fn figure4_costs_are_exact() {
     let rows = [
         (TermKind::Uncond, 2, 3, TermKind::IndirectUncond, 4, 4),
         (TermKind::Cond, 2, 3, TermKind::IndirectCond, 8, 7),
-        (TermKind::ShortCond, 2, 3, TermKind::IndirectShortCond, 10, 8),
-        (TermKind::FallThrough, 0, 0, TermKind::IndirectFallThrough, 4, 4),
+        (
+            TermKind::ShortCond,
+            2,
+            3,
+            TermKind::IndirectShortCond,
+            10,
+            8,
+        ),
+        (
+            TermKind::FallThrough,
+            0,
+            0,
+            TermKind::IndirectFallThrough,
+            4,
+            4,
+        ),
     ];
     for (kind, bytes, cycles, ind, ind_bytes, ind_cycles) in rows {
         assert_eq!(kind.size_bytes(), bytes, "{kind:?} bytes");

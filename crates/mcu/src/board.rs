@@ -24,7 +24,9 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { max_cycles: 400_000_000 }
+        RunConfig {
+            max_cycles: 400_000_000,
+        }
     }
 }
 
@@ -152,7 +154,10 @@ pub struct SleepScenario {
 impl SleepScenario {
     /// A scenario with the paper's sleep power.
     pub fn with_period(period_s: f64) -> SleepScenario {
-        SleepScenario { period_s, sleep_power_mw: PowerModel::stm32f100().sleep_mw }
+        SleepScenario {
+            period_s,
+            sleep_power_mw: PowerModel::stm32f100().sleep_mw,
+        }
     }
 
     /// Total energy for one period, in millijoules:
@@ -219,7 +224,10 @@ mod tests {
         assert_eq!(r.return_value, 42);
         assert!(r.cycles() > 0);
         assert!(r.energy_mj > 0.0);
-        assert!(r.avg_power_mw > 10.0, "flash execution should be around 15 mW");
+        assert!(
+            r.avg_power_mw > 10.0,
+            "flash execution should be around 15 mW"
+        );
     }
 
     #[test]
@@ -261,7 +269,11 @@ mod tests {
         for level in [OptLevel::O0, OptLevel::O2] {
             let prog = compile(src, level);
             let r = board().run(&prog).unwrap();
-            assert_eq!(r.return_value, 10 + 20 + 30 + 40 + 1 + 2 + 3 + 4 + 99, "{level}");
+            assert_eq!(
+                r.return_value,
+                10 + 20 + 30 + 40 + 1 + 2 + 3 + 4 + 99,
+                "{level}"
+            );
         }
     }
 
@@ -275,7 +287,10 @@ mod tests {
                 return acc;
             }
         ";
-        let reference = board().run(&compile(src, OptLevel::O0)).unwrap().return_value;
+        let reference = board()
+            .run(&compile(src, OptLevel::O0))
+            .unwrap()
+            .return_value;
         for level in OptLevel::ALL {
             let r = board().run(&compile(src, level)).unwrap();
             assert_eq!(r.return_value, reference, "{level} diverges from O0");
@@ -284,7 +299,8 @@ mod tests {
 
     #[test]
     fn o0_takes_more_cycles_than_o2() {
-        let src = "int main() { int s = 0; for (int i = 0; i < 200; i++) { s += i * 3; } return s; }";
+        let src =
+            "int main() { int s = 0; for (int i = 0; i < 200; i++) { s += i * 3; } return s; }";
         let slow = board().run(&compile(src, OptLevel::O0)).unwrap();
         let fast = board().run(&compile(src, OptLevel::O2)).unwrap();
         assert_eq!(slow.return_value, fast.return_value);
@@ -325,7 +341,11 @@ mod tests {
         let prog = compile(src, OptLevel::O1);
         let r = board().run(&prog).unwrap();
         let hottest = r.profile.hottest_block().expect("some block executed");
-        assert!(hottest.1 >= 50, "loop body should run at least 50 times, got {}", hottest.1);
+        assert!(
+            hottest.1 >= 50,
+            "loop body should run at least 50 times, got {}",
+            hottest.1
+        );
     }
 
     #[test]
@@ -339,10 +359,16 @@ mod tests {
 
     #[test]
     fn sleep_scenario_reproduces_equation_12() {
-        let s = SleepScenario { period_s: 10.0, sleep_power_mw: 3.5 };
+        let s = SleepScenario {
+            period_s: 10.0,
+            sleep_power_mw: 3.5,
+        };
         // Paper's fdct numbers: E0 = 16.9 mJ, TA = 1.18 s, ke = 0.825, kt = 1.33.
         let saved = s.energy_saved_mj(16.9, 1.18, 0.825, 1.33);
-        assert!((saved - 4.32).abs() < 0.05, "expected ≈4.32 mJ, got {saved}");
+        assert!(
+            (saved - 4.32).abs() < 0.05,
+            "expected ≈4.32 mJ, got {saved}"
+        );
         // Same-energy/longer-time still saves energy overall (Figure 8).
         let saved_same_energy = s.energy_saved_mj(16.9, 1.18, 1.0, 1.33);
         assert!(saved_same_energy > 0.0);
@@ -355,13 +381,19 @@ mod tests {
     fn battery_life_extension_is_ratio_of_period_energies() {
         let s = SleepScenario::with_period(2.0);
         let ext = s.battery_life_extension(16.9, 1.18, 0.825 * 16.9, 1.33 * 1.18);
-        assert!(ext > 1.0, "optimized run must extend battery life, got {ext}");
+        assert!(
+            ext > 1.0,
+            "optimized run must extend battery life, got {ext}"
+        );
     }
 
     #[test]
     fn spare_ram_reflects_data_usage() {
         let small = compile("int main() { return 1; }", OptLevel::O1);
-        let big = compile("int buf[1024]; int main() { buf[0] = 1; return buf[0]; }", OptLevel::O1);
+        let big = compile(
+            "int buf[1024]; int main() { buf[0] = 1; return buf[0]; }",
+            OptLevel::O1,
+        );
         let b = board();
         let spare_small = b.spare_ram(&small).unwrap();
         let spare_big = b.spare_ram(&big).unwrap();

@@ -133,7 +133,9 @@ impl<'a> Cpu<'a> {
     pub fn run(mut self) -> Result<CpuResult, RunError> {
         let entry = self.program.entry;
         if entry.index() >= self.program.functions.len() {
-            return Err(RunError::BadProgram(format!("entry function {entry} out of range")));
+            return Err(RunError::BadProgram(format!(
+                "entry function {entry} out of range"
+            )));
         }
         let mut func = entry;
         let mut block = BlockId(0);
@@ -168,13 +170,19 @@ impl<'a> Cpu<'a> {
 
             if let Some((callee, resume_at)) = call {
                 if callee.index() >= self.program.functions.len() {
-                    return Err(RunError::BadProgram(format!("call to missing function {callee}")));
+                    return Err(RunError::BadProgram(format!(
+                        "call to missing function {callee}"
+                    )));
                 }
                 if self.call_stack.len() >= MAX_CALL_DEPTH {
                     return Err(RunError::CallDepth(MAX_CALL_DEPTH));
                 }
                 self.profile.record_call(callee);
-                self.call_stack.push(Frame { func, block, inst_index: resume_at });
+                self.call_stack.push(Frame {
+                    func,
+                    block,
+                    inst_index: resume_at,
+                });
                 func = callee;
                 block = BlockId(0);
                 inst_index = 0;
@@ -207,10 +215,7 @@ impl<'a> Cpu<'a> {
         }
     }
 
-    fn evaluate_terminator(
-        &mut self,
-        term: &Terminator<BlockId>,
-    ) -> Result<(Next, u64), RunError> {
+    fn evaluate_terminator(&mut self, term: &Terminator<BlockId>) -> Result<(Next, u64), RunError> {
         let kind = term.kind();
         Ok(match term {
             Terminator::Branch { target } | Terminator::IndirectBranch { target } => {
@@ -219,16 +224,34 @@ impl<'a> Cpu<'a> {
             Terminator::FallThrough { target } | Terminator::IndirectFallThrough { target } => {
                 (Next::Block(*target), kind.taken_cycles())
             }
-            Terminator::CondBranch { cond, target, fallthrough }
-            | Terminator::IndirectCondBranch { cond, target, fallthrough } => {
+            Terminator::CondBranch {
+                cond,
+                target,
+                fallthrough,
+            }
+            | Terminator::IndirectCondBranch {
+                cond,
+                target,
+                fallthrough,
+            } => {
                 if cond.holds(self.flags) {
                     (Next::Block(*target), kind.taken_cycles())
                 } else {
                     (Next::Block(*fallthrough), kind.not_taken_cycles())
                 }
             }
-            Terminator::CompareBranch { nonzero, rn, target, fallthrough }
-            | Terminator::IndirectCompareBranch { nonzero, rn, target, fallthrough } => {
+            Terminator::CompareBranch {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+            }
+            | Terminator::IndirectCompareBranch {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+            } => {
                 let taken = (self.reg(*rn) != 0) == *nonzero;
                 if taken {
                     (Next::Block(*target), kind.taken_cycles())
@@ -298,12 +321,16 @@ impl<'a> Cpu<'a> {
             }
             Sdiv { rd, rn, rm } => {
                 let d = self.reg(*rm);
-                let v = if d == 0 { 0 } else { self.reg(*rn).wrapping_div(d) };
+                let v = if d == 0 {
+                    0
+                } else {
+                    self.reg(*rn).wrapping_div(d)
+                };
                 self.set_reg(*rd, v);
             }
             Udiv { rd, rn, rm } => {
                 let d = self.reg(*rm) as u32;
-                let v = if d == 0 { 0 } else { (self.reg(*rn) as u32 / d) as i32 };
+                let v = (self.reg(*rn) as u32).checked_div(d).unwrap_or(0) as i32;
                 self.set_reg(*rd, v);
             }
             And { rd, rn, rm } => {
@@ -360,7 +387,12 @@ impl<'a> Cpu<'a> {
             CmpReg { rn, rm } => {
                 self.flags = Flags::from_cmp(self.reg(*rn), self.reg(*rm));
             }
-            Load { rd, base, offset, width } => {
+            Load {
+                rd,
+                base,
+                offset,
+                width,
+            } => {
                 let addr = (self.reg(*base) as u32).wrapping_add(*offset as u32);
                 let (v, section) = self.memory.read(addr, *width)?;
                 self.set_reg(*rd, v);
@@ -369,7 +401,12 @@ impl<'a> Cpu<'a> {
                     cycles += self.timing.ram_load_contention_cycles;
                 }
             }
-            LoadIdx { rd, base, index, width } => {
+            LoadIdx {
+                rd,
+                base,
+                index,
+                width,
+            } => {
                 let addr = (self.reg(*base) as u32).wrapping_add(self.reg(*index) as u32);
                 let (v, section) = self.memory.read(addr, *width)?;
                 self.set_reg(*rd, v);
@@ -378,7 +415,12 @@ impl<'a> Cpu<'a> {
                     cycles += self.timing.ram_load_contention_cycles;
                 }
             }
-            Store { rs, base, offset, width } => {
+            Store {
+                rs,
+                base,
+                offset,
+                width,
+            } => {
                 let addr = (self.reg(*base) as u32).wrapping_add(*offset as u32);
                 let section = self.memory.write(addr, self.reg(*rs), *width)?;
                 data_section = Some(section);
@@ -386,7 +428,12 @@ impl<'a> Cpu<'a> {
                     cycles += self.timing.ram_store_contention_cycles;
                 }
             }
-            StoreIdx { rs, base, index, width } => {
+            StoreIdx {
+                rs,
+                base,
+                index,
+                width,
+            } => {
                 let addr = (self.reg(*base) as u32).wrapping_add(self.reg(*index) as u32);
                 let section = self.memory.write(addr, self.reg(*rs), *width)?;
                 data_section = Some(section);
@@ -411,9 +458,10 @@ impl<'a> Cpu<'a> {
             Pop { regs } => {
                 let base = self.reg(Reg::Sp) as u32;
                 for (i, r) in regs.iter().enumerate() {
-                    let (v, _) = self
-                        .memory
-                        .read(base.wrapping_add(4 * i as u32), flashram_isa::MemWidth::Word)?;
+                    let (v, _) = self.memory.read(
+                        base.wrapping_add(4 * i as u32),
+                        flashram_isa::MemWidth::Word,
+                    )?;
                     self.set_reg(*r, v);
                 }
                 self.set_reg(Reg::Sp, (base + 4 * regs.len() as u32) as i32);

@@ -88,6 +88,9 @@ mod tests {
         m.add(1_000_000, 16.0, Section::Flash, &t);
         m.add(3_000_000, 8.0, Section::Ram, &t);
         let avg = m.avg_power_mw(&t);
-        assert!((avg - 10.0).abs() < 1e-6, "weighted average should be 10 mW, got {avg}");
+        assert!(
+            (avg - 10.0).abs() < 1e-6,
+            "weighted average should be 10 mW, got {avg}"
+        );
     }
 }

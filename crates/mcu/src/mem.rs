@@ -139,7 +139,10 @@ impl Memory {
     ///
     /// Returns [`MemError::DoesNotFit`] when code plus data exceed either
     /// memory, including the stack reserve.
-    pub fn load(program: &MachineProgram, map: MemoryMap) -> Result<(Memory, DataLayout), MemError> {
+    pub fn load(
+        program: &MachineProgram,
+        map: MemoryMap,
+    ) -> Result<(Memory, DataLayout), MemError> {
         let mut flash = vec![0u8; map.flash_size as usize];
         let mut ram = vec![0u8; map.ram_size as usize];
 
@@ -286,7 +289,11 @@ mod tests {
     use flashram_ir::{FuncId, GlobalData, MachineProgram};
 
     fn program_with_globals(globals: Vec<GlobalData>) -> MachineProgram {
-        MachineProgram { functions: vec![], globals, entry: FuncId(0) }
+        MachineProgram {
+            functions: vec![],
+            globals,
+            entry: FuncId(0),
+        }
     }
 
     #[test]
@@ -304,8 +311,16 @@ mod tests {
     #[test]
     fn layout_places_rodata_in_flash_and_data_in_ram() {
         let prog = program_with_globals(vec![
-            GlobalData { name: "rw".into(), bytes: vec![1, 2, 3, 4], mutable: true },
-            GlobalData { name: "ro".into(), bytes: vec![9, 9], mutable: false },
+            GlobalData {
+                name: "rw".into(),
+                bytes: vec![1, 2, 3, 4],
+                mutable: true,
+            },
+            GlobalData {
+                name: "ro".into(),
+                bytes: vec![9, 9],
+                mutable: false,
+            },
         ]);
         let (mem, layout) = Memory::load(&prog, MemoryMap::stm32f100()).unwrap();
         assert_eq!(layout.symbol_addr.len(), 2);

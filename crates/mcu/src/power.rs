@@ -92,9 +92,9 @@ impl PowerModel {
     /// `E_ram` in the paper): a representative per-cycle power for code
     /// executing from each memory.
     pub fn model_coefficients(&self) -> (f64, f64) {
-        let e_flash = (self.flash_alu_mw + self.flash_load_mw + self.flash_store_mw
-            + self.flash_branch_mw)
-            / 4.0;
+        let e_flash =
+            (self.flash_alu_mw + self.flash_load_mw + self.flash_store_mw + self.flash_branch_mw)
+                / 4.0;
         let e_ram =
             (self.ram_alu_mw + self.ram_load_mw + self.ram_store_mw + self.ram_branch_mw) / 4.0;
         (e_flash, e_ram)
@@ -127,7 +127,10 @@ mod tests {
         ] {
             let flash = p.power_mw(class, Section::Flash, Some(Section::Ram));
             let ram = p.power_mw(class, Section::Ram, Some(Section::Ram));
-            assert!(ram < flash, "{class:?}: ram {ram} should be below flash {flash}");
+            assert!(
+                ram < flash,
+                "{class:?}: ram {ram} should be below flash {flash}"
+            );
         }
     }
 
@@ -136,7 +139,10 @@ mod tests {
         let p = PowerModel::stm32f100();
         let cheap = p.power_mw(InstClass::Load, Section::Ram, Some(Section::Ram));
         let costly = p.power_mw(InstClass::Load, Section::Ram, Some(Section::Flash));
-        assert!(costly > cheap + 3.0, "Figure 1's flash-load bar must stand out");
+        assert!(
+            costly > cheap + 3.0,
+            "Figure 1's flash-load bar must stand out"
+        );
     }
 
     #[test]
@@ -144,7 +150,10 @@ mod tests {
         let (e_flash, e_ram) = PowerModel::stm32f100().model_coefficients();
         assert!(e_flash > e_ram);
         let ratio = e_flash / e_ram;
-        assert!(ratio > 1.4 && ratio < 2.2, "ratio {ratio} out of the Figure 1 range");
+        assert!(
+            ratio > 1.4 && ratio < 2.2,
+            "ratio {ratio} out of the Figure 1 range"
+        );
     }
 
     #[test]

@@ -104,7 +104,12 @@ fn run_at(source: &str, level: OptLevel) -> i32 {
     let program = compile_program(&[SourceUnit::application(source)], level)
         .unwrap_or_else(|e| panic!("compilation failed at {level}: {e}\nsource:\n{source}"));
     Board::stm32vldiscovery()
-        .run_with_config(&program, &RunConfig { max_cycles: 20_000_000 })
+        .run_with_config(
+            &program,
+            &RunConfig {
+                max_cycles: 20_000_000,
+            },
+        )
         .unwrap_or_else(|e| panic!("execution failed at {level}: {e}\nsource:\n{source}"))
         .return_value
 }

@@ -76,9 +76,15 @@ fn average_power_stays_within_the_model_bounds() {
     ]
     .into_iter()
     .fold(0.0f64, f64::max);
-    let min_mw = [p.ram_alu_mw, p.ram_load_mw, p.ram_store_mw, p.ram_nop_mw, p.ram_branch_mw]
-        .into_iter()
-        .fold(f64::INFINITY, f64::min);
+    let min_mw = [
+        p.ram_alu_mw,
+        p.ram_load_mw,
+        p.ram_store_mw,
+        p.ram_nop_mw,
+        p.ram_branch_mw,
+    ]
+    .into_iter()
+    .fold(f64::INFINITY, f64::min);
     for src in PROGRAMS {
         // All-in-flash baseline sits in the flash power band.
         let prog = compile(src, OptLevel::O2);

@@ -39,7 +39,11 @@ pub struct DeclType {
 impl DeclType {
     /// A plain scalar of the given base type.
     pub fn scalar(base: TypeSpec) -> DeclType {
-        DeclType { base, pointer: 0, array_len: None }
+        DeclType {
+            base,
+            pointer: 0,
+            array_len: None,
+        }
     }
 }
 

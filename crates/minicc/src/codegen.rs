@@ -9,8 +9,8 @@
 use std::collections::HashMap;
 
 use flashram_ir::{
-    BinOp, BlockId, CmpOp, FuncId, GlobalData, IrFunction, IrInst, IrModule, IrTerm,
-    MachineBlock, MachineFunction, MachineProgram, VReg, Value,
+    BinOp, BlockId, CmpOp, FuncId, GlobalData, IrFunction, IrInst, IrModule, IrTerm, MachineBlock,
+    MachineFunction, MachineProgram, VReg, Value,
 };
 use flashram_isa::inst::LitValue;
 use flashram_isa::{Cond, Inst, MemWidth, Reg, ShiftOp, SymbolId, Terminator};
@@ -30,7 +30,10 @@ pub struct CodegenOptions {
 
 impl Default for CodegenOptions {
     fn default() -> Self {
-        CodegenOptions { use_registers: true, use_compare_branch: true }
+        CodegenOptions {
+            use_registers: true,
+            use_compare_branch: true,
+        }
     }
 }
 
@@ -55,13 +58,21 @@ pub fn codegen_module(
     let globals = module
         .globals
         .iter()
-        .map(|g| GlobalData { name: g.name.clone(), bytes: g.init.to_bytes(), mutable: g.mutable })
+        .map(|g| GlobalData {
+            name: g.name.clone(),
+            bytes: g.init.to_bytes(),
+            mutable: g.mutable,
+        })
         .collect();
     let entry = module
         .function_index("main")
         .map(|i| FuncId(i as u32))
         .unwrap_or(FuncId(0));
-    Ok(MachineProgram { functions, globals, entry })
+    Ok(MachineProgram {
+        functions,
+        globals,
+        entry,
+    })
 }
 
 /// Generate machine code for one function.
@@ -113,7 +124,15 @@ impl<'a> FuncGen<'a> {
         let frame_size = offset;
         let mut saved_regs = alloc.used_regs.clone();
         saved_regs.push(Reg::Lr);
-        FuncGen { func, alloc, func_index, opts, slot_offsets, frame_size, saved_regs }
+        FuncGen {
+            func,
+            alloc,
+            func_index,
+            opts,
+            slot_offsets,
+            frame_size,
+            saved_regs,
+        }
     }
 
     fn run(self) -> Result<MachineFunction, CompileError> {
@@ -142,10 +161,14 @@ impl<'a> FuncGen<'a> {
 
     fn emit_prologue(&self, out: &mut Vec<Inst>) {
         if !self.saved_regs.is_empty() {
-            out.push(Inst::Push { regs: self.saved_regs.clone() });
+            out.push(Inst::Push {
+                regs: self.saved_regs.clone(),
+            });
         }
         if self.frame_size > 0 {
-            out.push(Inst::AddSp { delta: -(self.frame_size as i32) });
+            out.push(Inst::AddSp {
+                delta: -(self.frame_size as i32),
+            });
         }
         // Move incoming arguments (r0..r3) to their allocated homes.
         for p in 0..self.func.num_params {
@@ -168,10 +191,14 @@ impl<'a> FuncGen<'a> {
 
     fn emit_epilogue(&self, out: &mut Vec<Inst>) {
         if self.frame_size > 0 {
-            out.push(Inst::AddSp { delta: self.frame_size as i32 });
+            out.push(Inst::AddSp {
+                delta: self.frame_size as i32,
+            });
         }
         if !self.saved_regs.is_empty() {
-            out.push(Inst::Pop { regs: self.saved_regs.clone() });
+            out.push(Inst::Pop {
+                regs: self.saved_regs.clone(),
+            });
         }
     }
 
@@ -190,7 +217,10 @@ impl<'a> FuncGen<'a> {
     fn value_to_reg(&self, v: Value, scratch: Reg, out: &mut Vec<Inst>) -> Reg {
         match v {
             Value::Const(c) => {
-                out.push(Inst::MovImm { rd: scratch, imm: c });
+                out.push(Inst::MovImm {
+                    rd: scratch,
+                    imm: c,
+                });
                 scratch
             }
             Value::Reg(vr) => match self.loc(vr) {
@@ -240,7 +270,12 @@ impl<'a> FuncGen<'a> {
 
     fn finish_dst(&self, spill: Option<i32>, reg: Reg, out: &mut Vec<Inst>) {
         if let Some(offset) = spill {
-            out.push(Inst::Store { rs: reg, base: Reg::Sp, offset, width: MemWidth::Word });
+            out.push(Inst::Store {
+                rs: reg,
+                base: Reg::Sp,
+                offset,
+                width: MemWidth::Word,
+            });
         }
     }
 
@@ -275,7 +310,11 @@ impl<'a> FuncGen<'a> {
                     }
                 }
                 out.push(Inst::MovImm { rd, imm: 0 });
-                out.push(Inst::MovCond { cond: cmp_to_cond(*op), rd, imm: 1 });
+                out.push(Inst::MovCond {
+                    cond: cmp_to_cond(*op),
+                    rd,
+                    imm: 1,
+                });
                 self.finish_dst(spill, rd, out);
             }
             IrInst::Neg { dst, src } => {
@@ -292,24 +331,51 @@ impl<'a> FuncGen<'a> {
             }
             IrInst::FrameAddr { dst, slot } => {
                 let (rd, spill) = self.dst_reg(*dst);
-                out.push(Inst::AddImm { rd, rn: Reg::Sp, imm: self.slot_offsets[*slot] });
+                out.push(Inst::AddImm {
+                    rd,
+                    rn: Reg::Sp,
+                    imm: self.slot_offsets[*slot],
+                });
                 self.finish_dst(spill, rd, out);
             }
             IrInst::GlobalAddr { dst, global } => {
                 let (rd, spill) = self.dst_reg(*dst);
-                out.push(Inst::LdrLit { rd, value: LitValue::Symbol(SymbolId(*global as u32)) });
+                out.push(Inst::LdrLit {
+                    rd,
+                    value: LitValue::Symbol(SymbolId(*global as u32)),
+                });
                 self.finish_dst(spill, rd, out);
             }
-            IrInst::Load { dst, addr, offset, width } => {
+            IrInst::Load {
+                dst,
+                addr,
+                offset,
+                width,
+            } => {
                 let (rd, spill) = self.dst_reg(*dst);
                 let base = self.value_to_reg(*addr, SCRATCH_ADDR, out);
-                out.push(Inst::Load { rd, base, offset: *offset, width: *width });
+                out.push(Inst::Load {
+                    rd,
+                    base,
+                    offset: *offset,
+                    width: *width,
+                });
                 self.finish_dst(spill, rd, out);
             }
-            IrInst::Store { src, addr, offset, width } => {
+            IrInst::Store {
+                src,
+                addr,
+                offset,
+                width,
+            } => {
                 let base = self.value_to_reg(*addr, SCRATCH_ADDR, out);
                 let rs = self.value_to_reg(*src, SCRATCH_A, out);
-                out.push(Inst::Store { rs, base, offset: *offset, width: *width });
+                out.push(Inst::Store {
+                    rs,
+                    base,
+                    offset: *offset,
+                    width: *width,
+                });
             }
             IrInst::Call { dst, callee, args } => {
                 for (i, a) in args.iter().enumerate() {
@@ -347,7 +413,11 @@ impl<'a> FuncGen<'a> {
                 if c >= 0 {
                     out.push(Inst::AddImm { rd, rn: ra, imm: c });
                 } else {
-                    out.push(Inst::SubImm { rd, rn: ra, imm: -c });
+                    out.push(Inst::SubImm {
+                        rd,
+                        rn: ra,
+                        imm: -c,
+                    });
                 }
                 true
             }
@@ -355,7 +425,11 @@ impl<'a> FuncGen<'a> {
                 if c >= 0 {
                     out.push(Inst::SubImm { rd, rn: ra, imm: c });
                 } else {
-                    out.push(Inst::AddImm { rd, rn: ra, imm: -c });
+                    out.push(Inst::AddImm {
+                        rd,
+                        rn: ra,
+                        imm: -c,
+                    });
                 }
                 true
             }
@@ -372,15 +446,30 @@ impl<'a> FuncGen<'a> {
                 true
             }
             (BinOp::Shl, Value::Const(c)) => {
-                out.push(Inst::ShiftImm { op: ShiftOp::Lsl, rd, rm: ra, imm: (c & 31) as u8 });
+                out.push(Inst::ShiftImm {
+                    op: ShiftOp::Lsl,
+                    rd,
+                    rm: ra,
+                    imm: (c & 31) as u8,
+                });
                 true
             }
             (BinOp::Lshr, Value::Const(c)) => {
-                out.push(Inst::ShiftImm { op: ShiftOp::Lsr, rd, rm: ra, imm: (c & 31) as u8 });
+                out.push(Inst::ShiftImm {
+                    op: ShiftOp::Lsr,
+                    rd,
+                    rm: ra,
+                    imm: (c & 31) as u8,
+                });
                 true
             }
             (BinOp::Ashr, Value::Const(c)) => {
-                out.push(Inst::ShiftImm { op: ShiftOp::Asr, rd, rm: ra, imm: (c & 31) as u8 });
+                out.push(Inst::ShiftImm {
+                    op: ShiftOp::Asr,
+                    rd,
+                    rm: ra,
+                    imm: (c & 31) as u8,
+                });
                 true
             }
             _ => false,
@@ -400,19 +489,46 @@ impl<'a> FuncGen<'a> {
                 // r = a - (a / b) * b, using the remaining scratch register.
                 let q = SCRATCH_C;
                 if matches!(op, BinOp::Rem) {
-                    out.push(Inst::Sdiv { rd: q, rn: ra, rm: rb });
+                    out.push(Inst::Sdiv {
+                        rd: q,
+                        rn: ra,
+                        rm: rb,
+                    });
                 } else {
-                    out.push(Inst::Udiv { rd: q, rn: ra, rm: rb });
+                    out.push(Inst::Udiv {
+                        rd: q,
+                        rn: ra,
+                        rm: rb,
+                    });
                 }
-                out.push(Inst::Mul { rd: q, rn: q, rm: rb });
+                out.push(Inst::Mul {
+                    rd: q,
+                    rn: q,
+                    rm: rb,
+                });
                 out.push(Inst::SubReg { rd, rn: ra, rm: q });
             }
             BinOp::And => out.push(Inst::And { rd, rn: ra, rm: rb }),
             BinOp::Or => out.push(Inst::Orr { rd, rn: ra, rm: rb }),
             BinOp::Xor => out.push(Inst::Eor { rd, rn: ra, rm: rb }),
-            BinOp::Shl => out.push(Inst::ShiftReg { op: ShiftOp::Lsl, rd, rn: ra, rm: rb }),
-            BinOp::Lshr => out.push(Inst::ShiftReg { op: ShiftOp::Lsr, rd, rn: ra, rm: rb }),
-            BinOp::Ashr => out.push(Inst::ShiftReg { op: ShiftOp::Asr, rd, rn: ra, rm: rb }),
+            BinOp::Shl => out.push(Inst::ShiftReg {
+                op: ShiftOp::Lsl,
+                rd,
+                rn: ra,
+                rm: rb,
+            }),
+            BinOp::Lshr => out.push(Inst::ShiftReg {
+                op: ShiftOp::Lsr,
+                rd,
+                rn: ra,
+                rm: rb,
+            }),
+            BinOp::Ashr => out.push(Inst::ShiftReg {
+                op: ShiftOp::Asr,
+                rd,
+                rn: ra,
+                rm: rb,
+            }),
         }
         self.finish_dst(spill, rd, out);
     }
@@ -431,7 +547,13 @@ impl<'a> FuncGen<'a> {
                     Terminator::Branch { target: *target }
                 }
             }
-            IrTerm::Branch { op, lhs, rhs, then_block, else_block } => {
+            IrTerm::Branch {
+                op,
+                lhs,
+                rhs,
+                then_block,
+                else_block,
+            } => {
                 // Compare-with-zero branches become cbz/cbnz where allowed.
                 if self.opts.use_compare_branch
                     && matches!(op, CmpOp::Eq | CmpOp::Ne)
@@ -516,7 +638,13 @@ mod tests {
     #[test]
     fn o0_style_codegen_is_bigger_than_optimized() {
         let src = "int f(int a, int b) { int c = a + b; int d = c * 2; return d - a; }";
-        let o0 = compile(src, &CodegenOptions { use_registers: false, use_compare_branch: false });
+        let o0 = compile(
+            src,
+            &CodegenOptions {
+                use_registers: false,
+                use_compare_branch: false,
+            },
+        );
         let o1 = compile(src, &CodegenOptions::default());
         assert!(
             o0.code_size() > o1.code_size(),
@@ -545,10 +673,16 @@ mod tests {
 
     #[test]
     fn compare_with_zero_uses_cbz_when_enabled() {
-        let src = "int f(int a) { while (a != 0) { a = a - 1; } return a; } int main() { return f(9); }";
+        let src =
+            "int f(int a) { while (a != 0) { a = a - 1; } return a; } int main() { return f(9); }";
         let with = compile(src, &CodegenOptions::default());
-        let without =
-            compile(src, &CodegenOptions { use_registers: true, use_compare_branch: false });
+        let without = compile(
+            src,
+            &CodegenOptions {
+                use_registers: true,
+                use_compare_branch: false,
+            },
+        );
         let count_cbz = |p: &MachineProgram| {
             p.functions
                 .iter()
@@ -573,7 +707,9 @@ mod tests {
         assert!(has_call);
         // All four argument registers must be written before the call.
         for target in [Reg::R0, Reg::R1, Reg::R2, Reg::R3] {
-            let written = insts.iter().any(|i| matches!(i, Inst::MovImm { rd, .. } if *rd == target));
+            let written = insts
+                .iter()
+                .any(|i| matches!(i, Inst::MovImm { rd, .. } if *rd == target));
             assert!(written, "argument register {target} never written:\n{prog}");
         }
     }
@@ -587,7 +723,13 @@ mod tests {
         assert_eq!(prog.globals.len(), 1);
         let main = prog.function("main").unwrap();
         let has_sym_load = main.blocks.iter().flat_map(|b| b.insts.iter()).any(|i| {
-            matches!(i, Inst::LdrLit { value: LitValue::Symbol(SymbolId(0)), .. })
+            matches!(
+                i,
+                Inst::LdrLit {
+                    value: LitValue::Symbol(SymbolId(0)),
+                    ..
+                }
+            )
         });
         assert!(has_sym_load, "{prog}");
     }

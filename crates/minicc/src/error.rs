@@ -16,12 +16,18 @@ pub struct CompileError {
 impl CompileError {
     /// Create an error attached to a source line.
     pub fn new(message: impl Into<String>, line: u32) -> CompileError {
-        CompileError { message: message.into(), line }
+        CompileError {
+            message: message.into(),
+            line,
+        }
     }
 
     /// Create an error that is not attached to a source line.
     pub fn global(message: impl Into<String>) -> CompileError {
-        CompileError { message: message.into(), line: 0 }
+        CompileError {
+            message: message.into(),
+            line: 0,
+        }
     }
 }
 
@@ -43,7 +49,13 @@ mod tests {
 
     #[test]
     fn display_mentions_line_when_present() {
-        assert_eq!(CompileError::new("bad token", 7).to_string(), "line 7: bad token");
-        assert_eq!(CompileError::global("undefined function f").to_string(), "undefined function f");
+        assert_eq!(
+            CompileError::new("bad token", 7).to_string(),
+            "line 7: bad token"
+        );
+        assert_eq!(
+            CompileError::global("undefined function f").to_string(),
+            "undefined function f"
+        );
     }
 }

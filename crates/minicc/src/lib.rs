@@ -68,12 +68,20 @@ pub enum OptLevel {
 
 impl OptLevel {
     /// All levels, in the order used by the paper's evaluation.
-    pub const ALL: [OptLevel; 5] =
-        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os];
+    pub const ALL: [OptLevel; 5] = [
+        OptLevel::O0,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::Os,
+    ];
 
     /// The lowering options for this level.
     pub fn lower_options(self) -> LowerOptions {
-        LowerOptions { unroll_loops: self == OptLevel::O3, unroll_limit: 96 }
+        LowerOptions {
+            unroll_loops: self == OptLevel::O3,
+            unroll_limit: 96,
+        }
     }
 
     /// The code-generation options for this level.
@@ -126,12 +134,18 @@ pub struct SourceUnit<'a> {
 impl<'a> SourceUnit<'a> {
     /// An application translation unit.
     pub fn application(code: &'a str) -> SourceUnit<'a> {
-        SourceUnit { code, is_library: false }
+        SourceUnit {
+            code,
+            is_library: false,
+        }
     }
 
     /// A library translation unit.
     pub fn library(code: &'a str) -> SourceUnit<'a> {
-        SourceUnit { code, is_library: true }
+        SourceUnit {
+            code,
+            is_library: true,
+        }
     }
 }
 
@@ -261,7 +275,10 @@ mod tests {
             .collect();
         let o0 = sizes.iter().find(|(l, _)| *l == OptLevel::O0).unwrap().1;
         let o2 = sizes.iter().find(|(l, _)| *l == OptLevel::O2).unwrap().1;
-        assert!(o2 < o0, "O2 ({o2} bytes) should be smaller than O0 ({o0} bytes)");
+        assert!(
+            o2 < o0,
+            "O2 ({o2} bytes) should be smaller than O0 ({o0} bytes)"
+        );
     }
 
     #[test]

@@ -9,15 +9,15 @@
 
 use std::collections::HashMap;
 
-use flashram_ir::{
-    BinOp, BlockId, CmpOp, FuncRef, Global, GlobalInit, IrFunction, IrInst, IrModule,
-    IrTerm, StackSlot, VReg, Value,
-};
 use crate::ast::{
     BinAstOp, Expr, Function, Initializer, Item, Program, Stmt, TypeSpec, UnOp, VarDecl,
 };
 use crate::error::CompileError;
 use crate::types::Ty;
+use flashram_ir::{
+    BinOp, BlockId, CmpOp, FuncRef, Global, GlobalInit, IrFunction, IrInst, IrModule, IrTerm,
+    StackSlot, VReg, Value,
+};
 
 /// Options controlling AST-level transformations applied during lowering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +30,10 @@ pub struct LowerOptions {
 
 impl Default for LowerOptions {
     fn default() -> Self {
-        LowerOptions { unroll_loops: false, unroll_limit: 96 }
+        LowerOptions {
+            unroll_loops: false,
+            unroll_limit: 96,
+        }
     }
 }
 
@@ -67,12 +70,17 @@ pub fn lower_program(
                     init,
                     mutable: !decl.is_const,
                 });
-                ctx.globals.insert(decl.name.clone(), GlobalInfo { index, ty });
+                ctx.globals
+                    .insert(decl.name.clone(), GlobalInfo { index, ty });
             }
             Item::Function(f) => {
                 let sig = FuncSig {
                     ret: Ty::from_decl(&f.ret),
-                    params: f.params.iter().map(|p| Ty::from_decl(&p.ty).decay()).collect(),
+                    params: f
+                        .params
+                        .iter()
+                        .map(|p| Ty::from_decl(&p.ty).decay())
+                        .collect(),
                 };
                 if sig.params.len() > 4 {
                     return Err(CompileError::new(
@@ -122,7 +130,10 @@ impl ModuleCtx {
     fn install_builtins(&mut self) {
         let f = Ty::Float;
         let i = Ty::Int;
-        let two_f = |ret: Ty| FuncSig { ret, params: vec![f.clone(), f.clone()] };
+        let two_f = |ret: Ty| FuncSig {
+            ret,
+            params: vec![f.clone(), f.clone()],
+        };
         self.funcs.insert("__f32_add".into(), two_f(f.clone()));
         self.funcs.insert("__f32_sub".into(), two_f(f.clone()));
         self.funcs.insert("__f32_mul".into(), two_f(f.clone()));
@@ -130,14 +141,34 @@ impl ModuleCtx {
         self.funcs.insert("__f32_lt".into(), two_f(i.clone()));
         self.funcs.insert("__f32_le".into(), two_f(i.clone()));
         self.funcs.insert("__f32_eq".into(), two_f(i.clone()));
-        self.funcs
-            .insert("__f32_from_int".into(), FuncSig { ret: f.clone(), params: vec![i.clone()] });
-        self.funcs
-            .insert("__f32_to_int".into(), FuncSig { ret: i.clone(), params: vec![f.clone()] });
-        self.funcs
-            .insert("sqrtf".into(), FuncSig { ret: f.clone(), params: vec![f.clone()] });
-        self.funcs
-            .insert("fabsf".into(), FuncSig { ret: f.clone(), params: vec![f.clone()] });
+        self.funcs.insert(
+            "__f32_from_int".into(),
+            FuncSig {
+                ret: f.clone(),
+                params: vec![i.clone()],
+            },
+        );
+        self.funcs.insert(
+            "__f32_to_int".into(),
+            FuncSig {
+                ret: i.clone(),
+                params: vec![f.clone()],
+            },
+        );
+        self.funcs.insert(
+            "sqrtf".into(),
+            FuncSig {
+                ret: f.clone(),
+                params: vec![f.clone()],
+            },
+        );
+        self.funcs.insert(
+            "fabsf".into(),
+            FuncSig {
+                ret: f.clone(),
+                params: vec![f.clone()],
+            },
+        );
     }
 }
 
@@ -146,7 +177,10 @@ fn lower_global_init(decl: &VarDecl, ty: &Ty) -> Result<GlobalInit, CompileError
     match (&decl.init, ty) {
         (None, _) => Ok(GlobalInit::Zero(ty.size().max(1))),
         (Some(Initializer::Expr(e)), Ty::Array(..)) => Err(CompileError::new(
-            format!("array {} must use a brace initializer, not {e:?}", decl.name),
+            format!(
+                "array {} must use a brace initializer, not {e:?}",
+                decl.name
+            ),
             line,
         )),
         (Some(Initializer::Expr(e)), scalar) => {
@@ -156,7 +190,11 @@ fn lower_global_init(decl: &VarDecl, ty: &Ty) -> Result<GlobalInit, CompileError
         (Some(Initializer::List(items)), Ty::Array(elem, len)) => {
             if items.len() > *len {
                 return Err(CompileError::new(
-                    format!("too many initializers for {} ({} > {len})", decl.name, items.len()),
+                    format!(
+                        "too many initializers for {} ({} > {len})",
+                        decl.name,
+                        items.len()
+                    ),
                     line,
                 ));
             }
@@ -209,11 +247,17 @@ fn const_eval(e: &Expr, line: u32) -> Result<ConstVal, CompileError> {
         Expr::IntLit(v) => Ok(ConstVal::Int(*v)),
         Expr::CharLit(c) => Ok(ConstVal::Int(*c as i64)),
         Expr::FloatLit(f) => Ok(ConstVal::Float(*f)),
-        Expr::Unary { op: UnOp::Neg, expr } => match const_eval(expr, line)? {
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => match const_eval(expr, line)? {
             ConstVal::Int(v) => Ok(ConstVal::Int(-v)),
             ConstVal::Float(v) => Ok(ConstVal::Float(-v)),
         },
-        Expr::Unary { op: UnOp::BitNot, expr } => match const_eval(expr, line)? {
+        Expr::Unary {
+            op: UnOp::BitNot,
+            expr,
+        } => match const_eval(expr, line)? {
             ConstVal::Int(v) => Ok(ConstVal::Int(!(v as i32) as i64)),
             ConstVal::Float(_) => Err(CompileError::new("bitwise not of float constant", line)),
         },
@@ -269,7 +313,10 @@ fn const_eval(e: &Expr, line: u32) -> Result<ConstVal, CompileError> {
                     };
                     Ok(ConstVal::Float(v))
                 }
-                _ => Err(CompileError::new("mixed int/float constant expression", line)),
+                _ => Err(CompileError::new(
+                    "mixed int/float constant expression",
+                    line,
+                )),
             }
         }
         Expr::Cast { ty, expr } => {
@@ -325,14 +372,24 @@ struct FnLower<'a> {
 }
 
 impl<'a> FnLower<'a> {
-    fn new(ctx: &'a ModuleCtx, f: &Function, opts: &LowerOptions) -> Result<FnLower<'a>, CompileError> {
+    fn new(
+        ctx: &'a ModuleCtx,
+        f: &Function,
+        opts: &LowerOptions,
+    ) -> Result<FnLower<'a>, CompileError> {
         let ret_ty = Ty::from_decl(&f.ret);
         let mut func = IrFunction::new(f.name.clone(), f.params.len());
         func.returns_value = ret_ty != Ty::Void;
         let mut scopes = vec![HashMap::new()];
         for (i, p) in f.params.iter().enumerate() {
             let ty = Ty::from_decl(&p.ty).decay();
-            scopes[0].insert(p.name.clone(), Binding::Reg { reg: VReg(i as u32), ty });
+            scopes[0].insert(
+                p.name.clone(),
+                Binding::Reg {
+                    reg: VReg(i as u32),
+                    ty,
+                },
+            );
         }
         Ok(FnLower {
             ctx,
@@ -477,7 +534,11 @@ impl<'a> FnLower<'a> {
                 self.terminate(IrTerm::Jump(cont));
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let then_bb = self.new_block();
                 let else_bb = self.new_block();
                 let join_bb = self.new_block();
@@ -529,11 +590,20 @@ impl<'a> FnLower<'a> {
                 self.switch_to(exit_bb);
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if self.opts.unroll_loops {
-                    if let Some(unrolled) =
-                        try_unroll_for(init.as_deref(), cond.as_ref(), step.as_deref(), body, self.opts.unroll_limit)
-                    {
+                    if let Some(unrolled) = try_unroll_for(
+                        init.as_deref(),
+                        cond.as_ref(),
+                        step.as_deref(),
+                        body,
+                        self.opts.unroll_limit,
+                    ) {
                         self.push_scope();
                         self.lower_stmts(&unrolled)?;
                         self.pop_scope();
@@ -578,8 +648,17 @@ impl<'a> FnLower<'a> {
         let ty = Ty::from_decl(&d.ty);
         if ty.is_array() {
             let slot = self.func.slots.len();
-            self.func.slots.push(StackSlot { name: d.name.clone(), size: ty.size() });
-            self.bind(&d.name, Binding::Slot { slot, ty: ty.clone() });
+            self.func.slots.push(StackSlot {
+                name: d.name.clone(),
+                size: ty.size(),
+            });
+            self.bind(
+                &d.name,
+                Binding::Slot {
+                    slot,
+                    ty: ty.clone(),
+                },
+            );
             if let Some(Initializer::List(items)) = &d.init {
                 let elem = ty.element().cloned().unwrap_or(Ty::Int);
                 let addr = self.new_reg();
@@ -600,7 +679,13 @@ impl<'a> FnLower<'a> {
             Ok(())
         } else {
             let reg = self.new_reg();
-            self.bind(&d.name, Binding::Reg { reg, ty: ty.clone() });
+            self.bind(
+                &d.name,
+                Binding::Reg {
+                    reg,
+                    ty: ty.clone(),
+                },
+            );
             match &d.init {
                 Some(Initializer::Expr(e)) => {
                     let (v, vty) = self.lower_expr(e)?;
@@ -647,17 +732,24 @@ impl<'a> FnLower<'a> {
                 if let Some(binding) = self.lookup(name) {
                     match binding {
                         Binding::Reg { reg, ty } => Ok(LValue::Reg { reg, ty }),
-                        Binding::Slot { .. } => Err(self.err(format!(
-                            "cannot assign to array {name} as a whole"
-                        ))),
+                        Binding::Slot { .. } => {
+                            Err(self.err(format!("cannot assign to array {name} as a whole")))
+                        }
                     }
                 } else if let Some(g) = self.ctx.globals.get(name) {
                     if g.ty.is_array() {
                         return Err(self.err(format!("cannot assign to array {name} as a whole")));
                     }
                     let addr = self.new_reg();
-                    self.emit(IrInst::GlobalAddr { dst: addr, global: g.index });
-                    Ok(LValue::Mem { addr: Value::Reg(addr), offset: 0, ty: g.ty.clone() })
+                    self.emit(IrInst::GlobalAddr {
+                        dst: addr,
+                        global: g.index,
+                    });
+                    Ok(LValue::Mem {
+                        addr: Value::Reg(addr),
+                        offset: 0,
+                        ty: g.ty.clone(),
+                    })
                 } else {
                     Err(self.err(format!("undefined variable {name}")))
                 }
@@ -687,7 +779,11 @@ impl<'a> FnLower<'a> {
                             lhs: base_val,
                             rhs: scaled,
                         });
-                        Ok(LValue::Mem { addr: Value::Reg(addr), offset: 0, ty: elem })
+                        Ok(LValue::Mem {
+                            addr: Value::Reg(addr),
+                            offset: 0,
+                            ty: elem,
+                        })
                     }
                 }
             }
@@ -736,7 +832,10 @@ impl<'a> FnLower<'a> {
 
     fn store_lvalue(&mut self, lv: &LValue, value: Value) {
         match lv {
-            LValue::Reg { reg, .. } => self.emit(IrInst::Copy { dst: *reg, src: value }),
+            LValue::Reg { reg, .. } => self.emit(IrInst::Copy {
+                dst: *reg,
+                src: value,
+            }),
             LValue::Mem { addr, offset, ty } => self.emit(IrInst::Store {
                 src: value,
                 addr: *addr,
@@ -755,21 +854,30 @@ impl<'a> FnLower<'a> {
         else_bb: BlockId,
     ) -> Result<(), CompileError> {
         match e {
-            Expr::Binary { op: BinAstOp::LogicalAnd, lhs, rhs } => {
+            Expr::Binary {
+                op: BinAstOp::LogicalAnd,
+                lhs,
+                rhs,
+            } => {
                 let mid = self.new_block();
                 self.lower_cond(lhs, mid, else_bb)?;
                 self.switch_to(mid);
                 self.lower_cond(rhs, then_bb, else_bb)
             }
-            Expr::Binary { op: BinAstOp::LogicalOr, lhs, rhs } => {
+            Expr::Binary {
+                op: BinAstOp::LogicalOr,
+                lhs,
+                rhs,
+            } => {
                 let mid = self.new_block();
                 self.lower_cond(lhs, then_bb, mid)?;
                 self.switch_to(mid);
                 self.lower_cond(rhs, then_bb, else_bb)
             }
-            Expr::Unary { op: UnOp::LogicalNot, expr } => {
-                self.lower_cond(expr, else_bb, then_bb)
-            }
+            Expr::Unary {
+                op: UnOp::LogicalNot,
+                expr,
+            } => self.lower_cond(expr, else_bb, then_bb),
             Expr::Binary { op, lhs, rhs } if op.is_comparison() => {
                 let (lv, lty) = self.lower_expr(lhs)?;
                 let (rv, rty) = self.lower_expr(rhs)?;
@@ -832,7 +940,11 @@ impl<'a> FnLower<'a> {
                 let v = self.convert(v, &from, &to)?;
                 Ok((v, to))
             }
-            Expr::Conditional { cond, then_expr, else_expr } => {
+            Expr::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let then_bb = self.new_block();
                 let else_bb = self.new_block();
                 let join_bb = self.new_block();
@@ -840,12 +952,18 @@ impl<'a> FnLower<'a> {
                 self.lower_cond(cond, then_bb, else_bb)?;
                 self.switch_to(then_bb);
                 let (tv, tty) = self.lower_expr(then_expr)?;
-                self.emit(IrInst::Copy { dst: result, src: tv });
+                self.emit(IrInst::Copy {
+                    dst: result,
+                    src: tv,
+                });
                 self.terminate(IrTerm::Jump(join_bb));
                 self.switch_to(else_bb);
                 let (ev, ety) = self.lower_expr(else_expr)?;
                 let ev = self.convert(ev, &ety, &tty)?;
-                self.emit(IrInst::Copy { dst: result, src: ev });
+                self.emit(IrInst::Copy {
+                    dst: result,
+                    src: ev,
+                });
                 self.terminate(IrTerm::Jump(join_bb));
                 self.switch_to(join_bb);
                 Ok((Value::Reg(result), tty))
@@ -866,7 +984,10 @@ impl<'a> FnLower<'a> {
         }
         if let Some(g) = self.ctx.globals.get(name).cloned() {
             let addr = self.new_reg();
-            self.emit(IrInst::GlobalAddr { dst: addr, global: g.index });
+            self.emit(IrInst::GlobalAddr {
+                dst: addr,
+                global: g.index,
+            });
             if g.ty.is_array() {
                 return Ok((Value::Reg(addr), g.ty.decay()));
             }
@@ -940,10 +1061,16 @@ impl<'a> FnLower<'a> {
             };
             self.lower_cond(&expr, then_bb, else_bb)?;
             self.switch_to(then_bb);
-            self.emit(IrInst::Copy { dst: result, src: Value::Const(1) });
+            self.emit(IrInst::Copy {
+                dst: result,
+                src: Value::Const(1),
+            });
             self.terminate(IrTerm::Jump(join_bb));
             self.switch_to(else_bb);
-            self.emit(IrInst::Copy { dst: result, src: Value::Const(0) });
+            self.emit(IrInst::Copy {
+                dst: result,
+                src: Value::Const(0),
+            });
             self.terminate(IrTerm::Jump(join_bb));
             self.switch_to(join_bb);
             return Ok((Value::Reg(result), Ty::Int));
@@ -974,9 +1101,7 @@ impl<'a> FnLower<'a> {
                 BinAstOp::Sub => "__f32_sub",
                 BinAstOp::Mul => "__f32_mul",
                 BinAstOp::Div => "__f32_div",
-                other => {
-                    return Err(self.err(format!("operator {other:?} not supported on float")))
-                }
+                other => return Err(self.err(format!("operator {other:?} not supported on float"))),
             };
             let dst = self.new_reg();
             self.emit(IrInst::Call {
@@ -992,15 +1117,29 @@ impl<'a> FnLower<'a> {
             let elem_size = lty.element().map(Ty::size).unwrap_or(1);
             let scaled = self.scale_index(rv, elem_size);
             let dst = self.new_reg();
-            let bin = if op == BinAstOp::Add { BinOp::Add } else { BinOp::Sub };
-            self.emit(IrInst::Bin { op: bin, dst, lhs: lv, rhs: scaled });
+            let bin = if op == BinAstOp::Add {
+                BinOp::Add
+            } else {
+                BinOp::Sub
+            };
+            self.emit(IrInst::Bin {
+                op: bin,
+                dst,
+                lhs: lv,
+                rhs: scaled,
+            });
             return Ok((Value::Reg(dst), lty));
         }
 
         let unsigned = lty.is_unsigned() || rty.is_unsigned();
         if op.is_comparison() {
             let dst = self.new_reg();
-            self.emit(IrInst::Cmp { op: ast_cmp_to_ir(op, unsigned), dst, lhs: lv, rhs: rv });
+            self.emit(IrInst::Cmp {
+                op: ast_cmp_to_ir(op, unsigned),
+                dst,
+                lhs: lv,
+                rhs: rv,
+            });
             return Ok((Value::Reg(dst), Ty::Int));
         }
         let bin = match op {
@@ -1035,7 +1174,12 @@ impl<'a> FnLower<'a> {
             other => return Err(self.err(format!("unsupported binary operator {other:?}"))),
         };
         let dst = self.new_reg();
-        self.emit(IrInst::Bin { op: bin, dst, lhs: lv, rhs: rv });
+        self.emit(IrInst::Bin {
+            op: bin,
+            dst,
+            lhs: lv,
+            rhs: rv,
+        });
         let result_ty = if unsigned { Ty::Uint } else { Ty::Int };
         Ok((Value::Reg(dst), result_ty))
     }
@@ -1098,7 +1242,10 @@ impl<'a> FnLower<'a> {
                 }
                 sig
             }
-            None => FuncSig { ret: Ty::Int, params: vec![] },
+            None => FuncSig {
+                ret: Ty::Int,
+                params: vec![],
+            },
         };
         let mut lowered = Vec::with_capacity(args.len());
         if sig.params.is_empty() && !args.is_empty() {
@@ -1112,7 +1259,11 @@ impl<'a> FnLower<'a> {
                 lowered.push(self.convert(v, &ty, pty)?);
             }
         }
-        let dst = if sig.ret == Ty::Void { None } else { Some(self.new_reg()) };
+        let dst = if sig.ret == Ty::Void {
+            None
+        } else {
+            Some(self.new_reg())
+        };
         self.emit(IrInst::Call {
             dst,
             callee: FuncRef(name.to_string()),
@@ -1204,19 +1355,29 @@ fn try_unroll_for(
         }) if ty.base == TypeSpec::Int && ty.pointer == 0 && ty.array_len.is_none() => {
             (name.clone(), *v, true)
         }
-        Stmt::Assign { target: Expr::Ident(name), op: None, value: Expr::IntLit(v) } => {
-            (name.clone(), *v, false)
-        }
+        Stmt::Assign {
+            target: Expr::Ident(name),
+            op: None,
+            value: Expr::IntLit(v),
+        } => (name.clone(), *v, false),
         _ => return None,
     };
 
     // cond: `i < lit` or `i <= lit`
     let (end, inclusive) = match cond {
-        Expr::Binary { op: BinAstOp::Lt, lhs, rhs } => match (&**lhs, &**rhs) {
+        Expr::Binary {
+            op: BinAstOp::Lt,
+            lhs,
+            rhs,
+        } => match (&**lhs, &**rhs) {
             (Expr::Ident(n), Expr::IntLit(v)) if *n == var => (*v, false),
             _ => return None,
         },
-        Expr::Binary { op: BinAstOp::Le, lhs, rhs } => match (&**lhs, &**rhs) {
+        Expr::Binary {
+            op: BinAstOp::Le,
+            lhs,
+            rhs,
+        } => match (&**lhs, &**rhs) {
             (Expr::Ident(n), Expr::IntLit(v)) if *n == var => (*v, true),
             _ => return None,
         },
@@ -1272,9 +1433,11 @@ fn try_unroll_for(
 fn contains_loop(body: &[Stmt]) -> bool {
     body.iter().any(|s| match s {
         Stmt::For { .. } | Stmt::While { .. } | Stmt::DoWhile { .. } => true,
-        Stmt::If { then_body, else_body, .. } => {
-            contains_loop(then_body) || contains_loop(else_body)
-        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => contains_loop(then_body) || contains_loop(else_body),
         Stmt::Block(inner) => contains_loop(inner),
         _ => false,
     })
@@ -1285,17 +1448,24 @@ fn contains_loop(body: &[Stmt]) -> bool {
 fn body_blocks_unrolling(body: &[Stmt], var: &str) -> bool {
     body.iter().any(|s| match s {
         Stmt::Break | Stmt::Continue => true,
-        Stmt::Assign { target: Expr::Ident(n), .. } if n == var => true,
+        Stmt::Assign {
+            target: Expr::Ident(n),
+            ..
+        } if n == var => true,
         Stmt::Decl(d) if d.name == var => true,
-        Stmt::If { then_body, else_body, .. } => {
-            body_blocks_unrolling(then_body, var) || body_blocks_unrolling(else_body, var)
-        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => body_blocks_unrolling(then_body, var) || body_blocks_unrolling(else_body, var),
         Stmt::Block(inner) => body_blocks_unrolling(inner, var),
         // Nested loops define their own break/continue scope, but may still
         // write the outer induction variable; be conservative and only check
         // for assignments.
         Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => assigns_var(body, var),
-        Stmt::For { body, init, step, .. } => {
+        Stmt::For {
+            body, init, step, ..
+        } => {
             let mut v = assigns_var(body, var);
             if let Some(i) = init {
                 v |= assigns_var(std::slice::from_ref(i), var);
@@ -1311,10 +1481,15 @@ fn body_blocks_unrolling(body: &[Stmt], var: &str) -> bool {
 
 fn assigns_var(body: &[Stmt], var: &str) -> bool {
     body.iter().any(|s| match s {
-        Stmt::Assign { target: Expr::Ident(n), .. } => n == var,
-        Stmt::If { then_body, else_body, .. } => {
-            assigns_var(then_body, var) || assigns_var(else_body, var)
-        }
+        Stmt::Assign {
+            target: Expr::Ident(n),
+            ..
+        } => n == var,
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => assigns_var(then_body, var) || assigns_var(else_body, var),
         Stmt::Block(inner) => assigns_var(inner, var),
         Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => assigns_var(body, var),
         Stmt::For { body, .. } => assigns_var(body, var),
@@ -1333,42 +1508,77 @@ fn substitute_stmt(s: &Stmt, var: &str, value: i64) -> Stmt {
             ..d.clone()
         }),
         Stmt::Expr(e) => Stmt::Expr(sub_e(e)),
-        Stmt::Assign { target, op, value: v } => Stmt::Assign {
+        Stmt::Assign {
+            target,
+            op,
+            value: v,
+        } => Stmt::Assign {
             target: sub_e(target),
             op: *op,
             value: sub_e(v),
         },
-        Stmt::If { cond, then_body, else_body } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => Stmt::If {
             cond: sub_e(cond),
-            then_body: then_body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
-            else_body: else_body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
+            then_body: then_body
+                .iter()
+                .map(|s| substitute_stmt(s, var, value))
+                .collect(),
+            else_body: else_body
+                .iter()
+                .map(|s| substitute_stmt(s, var, value))
+                .collect(),
         },
         Stmt::While { cond, body } => Stmt::While {
             cond: sub_e(cond),
-            body: body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
+            body: body
+                .iter()
+                .map(|s| substitute_stmt(s, var, value))
+                .collect(),
         },
         Stmt::DoWhile { body, cond } => Stmt::DoWhile {
-            body: body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
+            body: body
+                .iter()
+                .map(|s| substitute_stmt(s, var, value))
+                .collect(),
             cond: sub_e(cond),
         },
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             // If the nested loop redeclares the variable, leave it alone.
             let shadows = matches!(&init.as_deref(), Some(Stmt::Decl(d)) if d.name == var);
             if shadows {
                 s.clone()
             } else {
                 Stmt::For {
-                    init: init.as_ref().map(|i| Box::new(substitute_stmt(i, var, value))),
+                    init: init
+                        .as_ref()
+                        .map(|i| Box::new(substitute_stmt(i, var, value))),
                     cond: cond.as_ref().map(sub_e),
-                    step: step.as_ref().map(|st| Box::new(substitute_stmt(st, var, value))),
-                    body: body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
+                    step: step
+                        .as_ref()
+                        .map(|st| Box::new(substitute_stmt(st, var, value))),
+                    body: body
+                        .iter()
+                        .map(|s| substitute_stmt(s, var, value))
+                        .collect(),
                 }
             }
         }
         Stmt::Return(e) => Stmt::Return(e.as_ref().map(sub_e)),
-        Stmt::Block(inner) => {
-            Stmt::Block(inner.iter().map(|s| substitute_stmt(s, var, value)).collect())
-        }
+        Stmt::Block(inner) => Stmt::Block(
+            inner
+                .iter()
+                .map(|s| substitute_stmt(s, var, value))
+                .collect(),
+        ),
         other => other.clone(),
     }
 }
@@ -1391,13 +1601,20 @@ fn substitute_expr(e: &Expr, var: &str, value: i64) -> Expr {
         },
         Expr::Call { name, args } => Expr::Call {
             name: name.clone(),
-            args: args.iter().map(|a| substitute_expr(a, var, value)).collect(),
+            args: args
+                .iter()
+                .map(|a| substitute_expr(a, var, value))
+                .collect(),
         },
         Expr::Cast { ty, expr } => Expr::Cast {
             ty: ty.clone(),
             expr: Box::new(substitute_expr(expr, var, value)),
         },
-        Expr::Conditional { cond, then_expr, else_expr } => Expr::Conditional {
+        Expr::Conditional {
+            cond,
+            then_expr,
+            else_expr,
+        } => Expr::Conditional {
             cond: Box::new(substitute_expr(cond, var, value)),
             then_expr: Box::new(substitute_expr(then_expr, var, value)),
             else_expr: Box::new(substitute_expr(else_expr, var, value)),
@@ -1470,13 +1687,13 @@ mod tests {
 
     #[test]
     fn float_compare_uses_library_and_int_compare_does_not() {
-        let m = lower(
-            "int f(float a, float b, int c) { if (a < b) return c > 3; return 0; }",
-        );
+        let m = lower("int f(float a, float b, int c) { if (a < b) return c > 3; return 0; }");
         let f = &m.functions[0];
-        let has_lt_call = f.blocks.iter().flat_map(|b| b.insts.iter()).any(|i| {
-            matches!(i, IrInst::Call { callee, .. } if callee.0 == "__f32_lt")
-        });
+        let has_lt_call = f
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .any(|i| matches!(i, IrInst::Call { callee, .. } if callee.0 == "__f32_lt"));
         assert!(has_lt_call, "{f}");
     }
 
@@ -1488,12 +1705,25 @@ mod tests {
         );
         let word_fn = &m.functions[0];
         let has_shift = word_fn.blocks.iter().flat_map(|b| b.insts.iter()).any(|i| {
-            matches!(i, IrInst::Bin { op: BinOp::Shl, rhs: Value::Const(2), .. })
+            matches!(
+                i,
+                IrInst::Bin {
+                    op: BinOp::Shl,
+                    rhs: Value::Const(2),
+                    ..
+                }
+            )
         });
         assert!(has_shift, "word access must scale by 4:\n{word_fn}");
         let byte_fn = &m.functions[1];
         let has_byte_load = byte_fn.blocks.iter().flat_map(|b| b.insts.iter()).any(|i| {
-            matches!(i, IrInst::Load { width: MemWidth::Byte, .. })
+            matches!(
+                i,
+                IrInst::Load {
+                    width: MemWidth::Byte,
+                    ..
+                }
+            )
         });
         assert!(has_byte_load, "{byte_fn}");
     }
@@ -1525,11 +1755,15 @@ mod tests {
 
     #[test]
     fn unrolling_replaces_small_counted_loops() {
-        let src = "int f(int x[]) { int s = 0; for (int i = 0; i < 4; i++) { s += x[i]; } return s; }";
+        let src =
+            "int f(int x[]) { int s = 0; for (int i = 0; i < 4; i++) { s += x[i]; } return s; }";
         let rolled = lower_program(&parse(src).unwrap(), &LowerOptions::default(), false).unwrap();
         let unrolled = lower_program(
             &parse(src).unwrap(),
-            &LowerOptions { unroll_loops: true, unroll_limit: 96 },
+            &LowerOptions {
+                unroll_loops: true,
+                unroll_limit: 96,
+            },
             false,
         )
         .unwrap();
@@ -1539,10 +1773,14 @@ mod tests {
 
     #[test]
     fn unrolling_keeps_large_loops_rolled() {
-        let src = "int f(int x[]) { int s = 0; for (int i = 0; i < 1000; i++) { s += x[i]; } return s; }";
+        let src =
+            "int f(int x[]) { int s = 0; for (int i = 0; i < 1000; i++) { s += x[i]; } return s; }";
         let unrolled = lower_program(
             &parse(src).unwrap(),
-            &LowerOptions { unroll_loops: true, unroll_limit: 96 },
+            &LowerOptions {
+                unroll_loops: true,
+                unroll_limit: 96,
+            },
             false,
         )
         .unwrap();

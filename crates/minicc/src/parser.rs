@@ -186,7 +186,11 @@ impl Parser {
                     }
                     params.push(Param {
                         name: pname,
-                        ty: DeclType { base, pointer, array_len: None },
+                        ty: DeclType {
+                            base,
+                            pointer,
+                            array_len: None,
+                        },
                     });
                     if self.eat_punct(Punct::RParen) {
                         break;
@@ -199,7 +203,11 @@ impl Parser {
         let body = self.parse_block_body()?;
         Ok(Function {
             name,
-            ret: DeclType { base: ret_base, pointer: ret_ptr, array_len: None },
+            ret: DeclType {
+                base: ret_base,
+                pointer: ret_ptr,
+                array_len: None,
+            },
             params,
             body,
             line,
@@ -229,7 +237,11 @@ impl Parser {
         self.expect_punct(Punct::Semicolon)?;
         Ok(VarDecl {
             name,
-            ty: DeclType { base, pointer, array_len },
+            ty: DeclType {
+                base,
+                pointer,
+                array_len,
+            },
             is_const,
             init,
             line,
@@ -365,7 +377,11 @@ impl Parser {
         } else {
             Vec::new()
         };
-        Ok(Stmt::If { cond, then_body, else_body })
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
     }
 
     fn parse_for(&mut self) -> Result<Stmt, CompileError> {
@@ -394,7 +410,12 @@ impl Parser {
         };
         self.expect_punct(Punct::RParen)?;
         let body = self.parse_stmt_as_block()?;
-        Ok(Stmt::For { init, cond, step, body })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
     }
 
     fn parse_local_decl(&mut self) -> Result<VarDecl, CompileError> {
@@ -420,7 +441,11 @@ impl Parser {
         self.expect_punct(Punct::Semicolon)?;
         Ok(VarDecl {
             name,
-            ty: DeclType { base, pointer, array_len },
+            ty: DeclType {
+                base,
+                pointer,
+                array_len,
+            },
             is_const,
             init,
             line,
@@ -435,7 +460,11 @@ impl Parser {
             Token::Punct(Punct::Assign) => {
                 self.bump();
                 let value = self.parse_expr()?;
-                return Ok(Stmt::Assign { target, op: None, value });
+                return Ok(Stmt::Assign {
+                    target,
+                    op: None,
+                    value,
+                });
             }
             Token::Punct(Punct::PlusAssign) => Some(BinAstOp::Add),
             Token::Punct(Punct::MinusAssign) => Some(BinAstOp::Sub),
@@ -521,7 +550,11 @@ impl Parser {
             }
             self.bump();
             let rhs = self.parse_binary(prec + 1)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -530,15 +563,24 @@ impl Parser {
         match self.peek().clone() {
             Token::Punct(Punct::Minus) => {
                 self.bump();
-                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(self.parse_unary()?) })
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.parse_unary()?),
+                })
             }
             Token::Punct(Punct::Bang) => {
                 self.bump();
-                Ok(Expr::Unary { op: UnOp::LogicalNot, expr: Box::new(self.parse_unary()?) })
+                Ok(Expr::Unary {
+                    op: UnOp::LogicalNot,
+                    expr: Box::new(self.parse_unary()?),
+                })
             }
             Token::Punct(Punct::Tilde) => {
                 self.bump();
-                Ok(Expr::Unary { op: UnOp::BitNot, expr: Box::new(self.parse_unary()?) })
+                Ok(Expr::Unary {
+                    op: UnOp::BitNot,
+                    expr: Box::new(self.parse_unary()?),
+                })
             }
             Token::Punct(Punct::LParen) if self.is_cast_ahead() => {
                 self.bump();
@@ -550,7 +592,11 @@ impl Parser {
                 self.expect_punct(Punct::RParen)?;
                 let expr = self.parse_unary()?;
                 Ok(Expr::Cast {
-                    ty: DeclType { base, pointer, array_len: None },
+                    ty: DeclType {
+                        base,
+                        pointer,
+                        array_len: None,
+                    },
                     expr: Box::new(expr),
                 })
             }
@@ -578,7 +624,10 @@ impl Parser {
             if self.eat_punct(Punct::LBracket) {
                 let index = self.parse_expr()?;
                 self.expect_punct(Punct::RBracket)?;
-                expr = Expr::Index { base: Box::new(expr), index: Box::new(index) };
+                expr = Expr::Index {
+                    base: Box::new(expr),
+                    index: Box::new(index),
+                };
             } else {
                 break;
             }
@@ -642,8 +691,18 @@ mod tests {
         let p = parse("int f() { return 1 + 2 * 3; }").unwrap();
         let f = p.functions().next().unwrap();
         match &f.body[0] {
-            Stmt::Return(Some(Expr::Binary { op: BinAstOp::Add, rhs, .. })) => {
-                assert!(matches!(**rhs, Expr::Binary { op: BinAstOp::Mul, .. }));
+            Stmt::Return(Some(Expr::Binary {
+                op: BinAstOp::Add,
+                rhs,
+                ..
+            })) => {
+                assert!(matches!(
+                    **rhs,
+                    Expr::Binary {
+                        op: BinAstOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected AST: {other:?}"),
         }
@@ -681,7 +740,10 @@ mod tests {
         ";
         let p = parse(src).unwrap();
         let fir = p.functions().next().unwrap();
-        assert_eq!(fir.params[0].ty.pointer, 1, "array parameter decays to pointer");
+        assert_eq!(
+            fir.params[0].ty.pointer, 1,
+            "array parameter decays to pointer"
+        );
         assert_eq!(fir.params[1].ty.pointer, 1);
     }
 
@@ -718,7 +780,11 @@ mod tests {
     #[test]
     fn reports_syntax_errors_with_lines() {
         let e = parse("int f() {\n return 1 +; \n}").unwrap_err();
-        assert!(e.line >= 2, "error should point at or after the bad line, got {}", e.line);
+        assert!(
+            e.line >= 2,
+            "error should point at or after the bad line, got {}",
+            e.line
+        );
         assert!(parse("int f( { return 0; }").is_err());
         assert!(parse("int x = ;").is_err());
     }

@@ -31,21 +31,45 @@ pub fn constant_fold(func: &mut IrFunction) -> bool {
             }
             // Fold the instruction itself where possible.
             let folded: Option<(VReg, i32)> = match inst {
-                IrInst::Bin { op, dst, lhs: Value::Const(a), rhs: Value::Const(b) } => {
-                    Some((*dst, op.eval(*a, *b)))
-                }
-                IrInst::Cmp { op, dst, lhs: Value::Const(a), rhs: Value::Const(b) } => {
-                    Some((*dst, op.eval(*a, *b) as i32))
-                }
-                IrInst::Neg { dst, src: Value::Const(c) } => Some((*dst, c.wrapping_neg())),
-                IrInst::Not { dst, src: Value::Const(c) } => Some((*dst, !*c)),
-                IrInst::Copy { dst, src: Value::Const(c) } => Some((*dst, *c)),
+                IrInst::Bin {
+                    op,
+                    dst,
+                    lhs: Value::Const(a),
+                    rhs: Value::Const(b),
+                } => Some((*dst, op.eval(*a, *b))),
+                IrInst::Cmp {
+                    op,
+                    dst,
+                    lhs: Value::Const(a),
+                    rhs: Value::Const(b),
+                } => Some((*dst, op.eval(*a, *b) as i32)),
+                IrInst::Neg {
+                    dst,
+                    src: Value::Const(c),
+                } => Some((*dst, c.wrapping_neg())),
+                IrInst::Not {
+                    dst,
+                    src: Value::Const(c),
+                } => Some((*dst, !*c)),
+                IrInst::Copy {
+                    dst,
+                    src: Value::Const(c),
+                } => Some((*dst, *c)),
                 _ => None,
             };
             match folded {
                 Some((dst, value)) => {
-                    if !matches!(inst, IrInst::Copy { src: Value::Const(_), .. }) {
-                        *inst = IrInst::Copy { dst, src: Value::Const(value) };
+                    if !matches!(
+                        inst,
+                        IrInst::Copy {
+                            src: Value::Const(_),
+                            ..
+                        }
+                    ) {
+                        *inst = IrInst::Copy {
+                            dst,
+                            src: Value::Const(value),
+                        };
                         changed = true;
                     }
                     known.insert(dst, value);
@@ -66,10 +90,19 @@ pub fn constant_fold(func: &mut IrFunction) -> bool {
                 }
             }
         }
-        if let IrTerm::Branch { op, lhs: Value::Const(a), rhs: Value::Const(b), then_block, else_block } =
-            block.term
+        if let IrTerm::Branch {
+            op,
+            lhs: Value::Const(a),
+            rhs: Value::Const(b),
+            then_block,
+            else_block,
+        } = block.term
         {
-            let target = if op.eval(a, b) { then_block } else { else_block };
+            let target = if op.eval(a, b) {
+                then_block
+            } else {
+                else_block
+            };
             block.term = IrTerm::Jump(target);
             changed = true;
         }
@@ -181,7 +214,7 @@ fn thread_jumps(func: &mut IrFunction) -> bool {
     // Compute the forwarding target of each block (transitively, with a hop
     // limit to be safe against cycles of empty blocks).
     let mut forward: Vec<BlockId> = (0..n as u32).map(BlockId).collect();
-    for b in 0..n {
+    for (b, fwd) in forward.iter_mut().enumerate() {
         let mut target = BlockId(b as u32);
         for _ in 0..n {
             let blk = &func.blocks[target.index()];
@@ -195,7 +228,7 @@ fn thread_jumps(func: &mut IrFunction) -> bool {
             }
             break;
         }
-        forward[b] = target;
+        *fwd = target;
     }
     let mut changed = false;
     for block in &mut func.blocks {
@@ -208,7 +241,11 @@ fn thread_jumps(func: &mut IrFunction) -> bool {
         };
         match &mut block.term {
             IrTerm::Jump(t) => remap(t, &mut changed),
-            IrTerm::Branch { then_block, else_block, .. } => {
+            IrTerm::Branch {
+                then_block,
+                else_block,
+                ..
+            } => {
                 remap(then_block, &mut changed);
                 remap(else_block, &mut changed);
             }
@@ -295,7 +332,11 @@ fn remove_unreachable(func: &mut IrFunction) -> bool {
         };
         match &mut block.term {
             IrTerm::Jump(t) => remap_id(t),
-            IrTerm::Branch { then_block, else_block, .. } => {
+            IrTerm::Branch {
+                then_block,
+                else_block,
+                ..
+            } => {
                 remap_id(then_block);
                 remap_id(else_block);
             }
@@ -313,16 +354,14 @@ pub fn inline_small_functions(module: &mut IrModule, max_insts: usize) -> bool {
     // Identify inlinable callees.
     let mut inlinable: HashMap<String, IrFunction> = HashMap::new();
     for f in &module.functions {
-        if f.blocks.len() != 1
-            || f.inst_count() > max_insts
-            || !f.slots.is_empty()
-            || f.is_library
+        if f.blocks.len() != 1 || f.inst_count() > max_insts || !f.slots.is_empty() || f.is_library
         {
             continue;
         }
-        let calls_self = f.blocks[0].insts.iter().any(|i| {
-            matches!(i, IrInst::Call { callee, .. } if callee.0 == f.name)
-        });
+        let calls_self = f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, IrInst::Call { callee, .. } if callee.0 == f.name));
         if calls_self {
             continue;
         }
@@ -340,9 +379,7 @@ pub fn inline_small_functions(module: &mut IrModule, max_insts: usize) -> bool {
             let insts = std::mem::take(&mut func.blocks[b].insts);
             for inst in insts {
                 let (callee_name, dst, args) = match &inst {
-                    IrInst::Call { callee, dst, args } => {
-                        (callee.0.clone(), *dst, args.clone())
-                    }
+                    IrInst::Call { callee, dst, args } => (callee.0.clone(), *dst, args.clone()),
                     _ => {
                         new_insts.push(inst);
                         continue;
@@ -358,18 +395,22 @@ pub fn inline_small_functions(module: &mut IrModule, max_insts: usize) -> bool {
                 }
                 // Map callee virtual registers into fresh caller registers.
                 let mut reg_map: HashMap<VReg, VReg> = HashMap::new();
-                for p in 0..callee.num_params {
+                for (p, &arg) in args[..callee.num_params].iter().enumerate() {
                     let fresh = func_new_vreg(func);
                     reg_map.insert(VReg(p as u32), fresh);
-                    new_insts.push(IrInst::Copy { dst: fresh, src: args[p] });
+                    new_insts.push(IrInst::Copy {
+                        dst: fresh,
+                        src: arg,
+                    });
                 }
-                let map_value = |v: Value, func: &mut IrFunction, reg_map: &mut HashMap<VReg, VReg>| match v {
-                    Value::Reg(r) => {
-                        let mapped = *reg_map.entry(r).or_insert_with(|| func_new_vreg(func));
-                        Value::Reg(mapped)
-                    }
-                    c => c,
-                };
+                let map_value =
+                    |v: Value, func: &mut IrFunction, reg_map: &mut HashMap<VReg, VReg>| match v {
+                        Value::Reg(r) => {
+                            let mapped = *reg_map.entry(r).or_insert_with(|| func_new_vreg(func));
+                            Value::Reg(mapped)
+                        }
+                        c => c,
+                    };
                 for callee_inst in &callee.blocks[0].insts {
                     let mut cloned = callee_inst.clone();
                     for u in cloned.uses_mut() {
@@ -463,7 +504,10 @@ mod tests {
         copy_propagate(f);
         dead_code_elim(f);
         // The returned value must be the constant 20.
-        let ret_const = f.blocks.iter().any(|b| matches!(b.term, IrTerm::Ret(Some(Value::Const(20)))));
+        let ret_const = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, IrTerm::Ret(Some(Value::Const(20)))));
         assert!(ret_const, "{f}");
     }
 
@@ -472,7 +516,10 @@ mod tests {
         let mut m = lower("int f() { if (1 < 2) return 5; return 6; }");
         let f = &mut m.functions[0];
         constant_fold(f);
-        let has_branch = f.blocks.iter().any(|b| matches!(b.term, IrTerm::Branch { .. }));
+        let has_branch = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, IrTerm::Branch { .. }));
         assert!(!has_branch, "{f}");
     }
 
@@ -503,7 +550,10 @@ mod tests {
         optimize_function(f);
         assert!(f.blocks.len() < before, "{f}");
         // Semantics: returns 1.
-        let ret_one = f.blocks.iter().any(|b| matches!(b.term, IrTerm::Ret(Some(Value::Const(1)))));
+        let ret_one = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, IrTerm::Ret(Some(Value::Const(1)))));
         assert!(ret_one, "{f}");
     }
 
@@ -523,7 +573,14 @@ mod tests {
         dead_code_elim(f);
         // After propagation the add should use the parameter directly.
         let uses_param = f.blocks.iter().flat_map(|b| b.insts.iter()).any(|i| {
-            matches!(i, IrInst::Bin { lhs: Value::Reg(VReg(0)), rhs: Value::Reg(VReg(0)), .. })
+            matches!(
+                i,
+                IrInst::Bin {
+                    lhs: Value::Reg(VReg(0)),
+                    rhs: Value::Reg(VReg(0)),
+                    ..
+                }
+            )
         });
         assert!(uses_param, "{f}");
     }

@@ -112,7 +112,8 @@ pub fn allocate(func: &IrFunction, spill_everything: bool) -> Allocation {
             }
         } else {
             // Spill the interval that ends last (it or the new one).
-            let (last_end, last_vreg, last_reg) = *active.last().expect("pool exhausted ⇒ active nonempty");
+            let (last_end, last_vreg, last_reg) =
+                *active.last().expect("pool exhausted ⇒ active nonempty");
             if last_end > iv.end {
                 // Steal the register from the longest-lived active interval.
                 alloc.assignment.insert(last_vreg, Loc::Spill(next_spill));

@@ -266,7 +266,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, CompileError> {
                     let text: String = bytes[hex_start..i].iter().collect();
                     let value = i64::from_str_radix(&text, 16)
                         .map_err(|_| err(line, format!("invalid hex literal 0x{text}")))?;
-                    tokens.push(Spanned { token: Token::Int(value), line });
+                    tokens.push(Spanned {
+                        token: Token::Int(value),
+                        line,
+                    });
                     // Allow unsigned suffixes.
                     while i < n && matches!(bytes[i], 'u' | 'U' | 'l' | 'L') {
                         i += 1;
@@ -301,12 +304,18 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, CompileError> {
                     let value: f32 = text
                         .parse()
                         .map_err(|_| err(line, format!("invalid float literal {text}")))?;
-                    tokens.push(Spanned { token: Token::Float(value), line });
+                    tokens.push(Spanned {
+                        token: Token::Float(value),
+                        line,
+                    });
                 } else {
                     let value: i64 = text
                         .parse()
                         .map_err(|_| err(line, format!("invalid integer literal {text}")))?;
-                    tokens.push(Spanned { token: Token::Int(value), line });
+                    tokens.push(Spanned {
+                        token: Token::Int(value),
+                        line,
+                    });
                     while i < n && matches!(bytes[i], 'u' | 'U' | 'l' | 'L') {
                         i += 1;
                     }
@@ -319,8 +328,14 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, CompileError> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 match keyword_of(&text) {
-                    Some(k) => tokens.push(Spanned { token: Token::Keyword(k), line }),
-                    None => tokens.push(Spanned { token: Token::Ident(text), line }),
+                    Some(k) => tokens.push(Spanned {
+                        token: Token::Keyword(k),
+                        line,
+                    }),
+                    None => tokens.push(Spanned {
+                        token: Token::Ident(text),
+                        line,
+                    }),
                 }
             }
             '\'' => {
@@ -352,17 +367,26 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, CompileError> {
                     return Err(err(line, "unterminated character literal".into()));
                 }
                 i += 1;
-                tokens.push(Spanned { token: Token::Char(value), line });
+                tokens.push(Spanned {
+                    token: Token::Char(value),
+                    line,
+                });
             }
             _ => {
                 let (punct, len) = match_punct(&bytes[i..])
                     .ok_or_else(|| err(line, format!("unexpected character '{c}'")))?;
-                tokens.push(Spanned { token: Token::Punct(punct), line });
+                tokens.push(Spanned {
+                    token: Token::Punct(punct),
+                    line,
+                });
                 i += len;
             }
         }
     }
-    tokens.push(Spanned { token: Token::Eof, line });
+    tokens.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
     Ok(tokens)
 }
 
@@ -436,7 +460,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -501,7 +529,12 @@ mod tests {
     fn char_literals_and_escapes() {
         assert_eq!(
             toks("'a' '\\n' '\\0'"),
-            vec![Token::Char(b'a'), Token::Char(b'\n'), Token::Char(0), Token::Eof]
+            vec![
+                Token::Char(b'a'),
+                Token::Char(b'\n'),
+                Token::Char(0),
+                Token::Eof
+            ]
         );
     }
 

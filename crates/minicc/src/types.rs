@@ -120,11 +120,19 @@ mod tests {
 
     #[test]
     fn decl_resolution_and_decay() {
-        let d = DeclType { base: TypeSpec::Int, pointer: 0, array_len: Some(4) };
+        let d = DeclType {
+            base: TypeSpec::Int,
+            pointer: 0,
+            array_len: Some(4),
+        };
         let t = Ty::from_decl(&d);
         assert_eq!(t, Ty::Array(Box::new(Ty::Int), 4));
         assert_eq!(t.decay(), Ty::Ptr(Box::new(Ty::Int)));
-        let p = DeclType { base: TypeSpec::Float, pointer: 1, array_len: None };
+        let p = DeclType {
+            base: TypeSpec::Float,
+            pointer: 1,
+            array_len: None,
+        };
         assert_eq!(Ty::from_decl(&p), Ty::Ptr(Box::new(Ty::Float)));
     }
 
@@ -138,9 +146,6 @@ mod tests {
         assert!(!Ty::Float.is_integer());
         assert_eq!(Ty::Char.mem_width(), MemWidth::Byte);
         assert_eq!(Ty::Int.mem_width(), MemWidth::Word);
-        assert_eq!(
-            Ty::Ptr(Box::new(Ty::Int)).element(),
-            Some(&Ty::Int)
-        );
+        assert_eq!(Ty::Ptr(Box::new(Ty::Int)).element(), Some(&Ty::Int));
     }
 }

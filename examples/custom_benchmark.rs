@@ -79,7 +79,10 @@ const APPLICATION: &str = "
 
 fn main() -> Result<(), CompileError> {
     let board = Board::stm32vldiscovery();
-    let units = [SourceUnit::library(FIXMATH_LIBRARY), SourceUnit::application(APPLICATION)];
+    let units = [
+        SourceUnit::library(FIXMATH_LIBRARY),
+        SourceUnit::application(APPLICATION),
+    ];
 
     println!("custom benchmark: sensor pipeline linked against a fixed-point library");
     println!();
@@ -109,7 +112,10 @@ fn main() -> Result<(), CompileError> {
             .optimize(&program, &board)
             .expect("placement");
         let after = board.run(&placement.program).expect("optimized run");
-        assert_eq!(before.return_value, after.return_value, "semantics must be preserved");
+        assert_eq!(
+            before.return_value, after.return_value,
+            "semantics must be preserved"
+        );
 
         let pct = |a: f64, b: f64| 100.0 * (b - a) / a;
         println!(

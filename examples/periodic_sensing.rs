@@ -24,15 +24,26 @@ fn main() -> Result<(), CompileError> {
     let program = bench.compile(OptLevel::O2)?;
 
     // Optimize the active region and measure both versions on the board.
-    let placement = RamOptimizer::new().optimize(&program, &board).expect("placement");
-    let measurement =
-        measure_case_study(&board, &program, &placement.program).expect("simulation");
+    let placement = RamOptimizer::new()
+        .optimize(&program, &board)
+        .expect("placement");
+    let measurement = measure_case_study(&board, &program, &placement.program).expect("simulation");
 
     println!("periodic sensing case study (active region: fdct at O2)");
     println!();
-    println!("  active-region energy  E0  = {:.4} mJ", measurement.base_energy_mj);
-    println!("  active-region time    T_A = {:.4} s", measurement.base_time_s);
-    println!("  optimization factors  k_e = {:.3}, k_t = {:.3}", measurement.k_e(), measurement.k_t());
+    println!(
+        "  active-region energy  E0  = {:.4} mJ",
+        measurement.base_energy_mj
+    );
+    println!(
+        "  active-region time    T_A = {:.4} s",
+        measurement.base_time_s
+    );
+    println!(
+        "  optimization factors  k_e = {:.3}, k_t = {:.3}",
+        measurement.k_e(),
+        measurement.k_t()
+    );
     println!("  sleep power           P_S = {sleep_mw:.1} mW");
     println!();
     println!("  (the paper measured E0 = 16.9 mJ, T_A = 1.18 s, k_e = 0.825, k_t = 1.33)");
@@ -47,7 +58,10 @@ fn main() -> Result<(), CompileError> {
         "period T (s)", "energy/period", "% of baseline", "battery life gain"
     );
     for ((period, pct), multiple) in series.iter().zip(multiples.iter()) {
-        let scenario = SleepScenario { period_s: *period, sleep_power_mw: sleep_mw };
+        let scenario = SleepScenario {
+            period_s: *period,
+            sleep_power_mw: sleep_mw,
+        };
         let (_, after) = measurement.period_energies_mj(&scenario);
         let extension = measurement.battery_life_extension(&scenario);
         println!(

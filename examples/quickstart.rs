@@ -53,7 +53,9 @@ fn main() -> Result<(), CompileError> {
 
     // 3. Run the placement optimizer with its default configuration
     //    (X_limit = 1.5, spare RAM derived from the program's own layout).
-    let placement = RamOptimizer::new().optimize(&program, &board).expect("placement");
+    let placement = RamOptimizer::new()
+        .optimize(&program, &board)
+        .expect("placement");
     let after = board.run(&placement.program).expect("optimized run");
 
     assert_eq!(
@@ -70,13 +72,23 @@ fn main() -> Result<(), CompileError> {
         relocated_code_bytes(&placement.program),
         instrumented_blocks(&placement.program).len(),
     );
-    println!("RAM budget used for code: {} bytes of {} spare", relocated_code_bytes(&placement.program), placement.r_spare);
+    println!(
+        "RAM budget used for code: {} bytes of {} spare",
+        relocated_code_bytes(&placement.program),
+        placement.r_spare
+    );
     println!();
-    println!("{:<22} {:>14} {:>14} {:>10}", "", "before", "after", "change");
+    println!(
+        "{:<22} {:>14} {:>14} {:>10}",
+        "", "before", "after", "change"
+    );
     let pct = |a: f64, b: f64| 100.0 * (b - a) / a;
     println!(
         "{:<22} {:>14.4} {:>14.4} {:>+9.1}%",
-        "energy (mJ)", before.energy_mj, after.energy_mj, pct(before.energy_mj, after.energy_mj)
+        "energy (mJ)",
+        before.energy_mj,
+        after.energy_mj,
+        pct(before.energy_mj, after.energy_mj)
     );
     println!(
         "{:<22} {:>14.2} {:>14.2} {:>+9.1}%",

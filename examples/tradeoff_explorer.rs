@@ -24,7 +24,9 @@ use flashram_mcu::Board;
 use flashram_minicc::{CompileError, OptLevel};
 
 fn main() -> Result<(), CompileError> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "int_matmult".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "int_matmult".to_string());
     let bench = Benchmark::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown benchmark `{name}`; available:");
         for b in Benchmark::all() {
@@ -53,15 +55,24 @@ fn main() -> Result<(), CompileError> {
         "  {:>10} {:>9} {:>14} {:>12} {:>12}",
         "R_spare", "blocks", "energy (model)", "time ratio", "RAM bytes"
     );
-    let base = evaluate_placement(&params, &[], &ModelConfig {
-        x_limit: 10.0,
-        r_spare: spare,
-        e_flash,
-        e_ram,
-    });
+    let base = evaluate_placement(
+        &params,
+        &[],
+        &ModelConfig {
+            x_limit: 10.0,
+            r_spare: spare,
+            e_flash,
+            e_ram,
+        },
+    );
     for budget in [0u32, 32, 64, 128, 256, 512, 1024, 2048, spare] {
         let budget = budget.min(spare);
-        let config = ModelConfig { x_limit: 10.0, r_spare: budget, e_flash, e_ram };
+        let config = ModelConfig {
+            x_limit: 10.0,
+            r_spare: budget,
+            e_flash,
+            e_ram,
+        };
         let model = PlacementModel::build(&params, &config);
         let solution = BranchBound::new().solve(&model.problem).expect("solvable");
         let selected = model.selected_blocks(&solution);
@@ -84,7 +95,12 @@ fn main() -> Result<(), CompileError> {
         "X_limit", "blocks", "energy (model)", "time ratio", "RAM bytes"
     );
     for x_limit in [1.0, 1.02, 1.05, 1.1, 1.2, 1.4, 1.8, 2.5] {
-        let config = ModelConfig { x_limit, r_spare: spare, e_flash, e_ram };
+        let config = ModelConfig {
+            x_limit,
+            r_spare: spare,
+            e_flash,
+            e_ram,
+        };
         let model = PlacementModel::build(&params, &config);
         let solution = BranchBound::new().solve(&model.problem).expect("solvable");
         let selected = model.selected_blocks(&solution);
@@ -101,11 +117,19 @@ fn main() -> Result<(), CompileError> {
     println!();
 
     // --- The space itself: every placement of the hottest blocks ----------
-    let mut ranked: Vec<(BlockRef, u64)> =
-        params.blocks.iter().map(|(r, p)| (*r, p.frequency * p.cycles)).collect();
+    let mut ranked: Vec<(BlockRef, u64)> = params
+        .blocks
+        .iter()
+        .map(|(r, p)| (*r, p.frequency * p.cycles))
+        .collect();
     ranked.sort_by_key(|(_, w)| std::cmp::Reverse(*w));
     let hot: Vec<BlockRef> = ranked.iter().take(8).map(|(r, _)| *r).collect();
-    let config = ModelConfig { x_limit: 10.0, r_spare: spare, e_flash, e_ram };
+    let config = ModelConfig {
+        x_limit: 10.0,
+        r_spare: spare,
+        e_flash,
+        e_ram,
+    };
     let mut best = (f64::INFINITY, 0u32);
     let mut worst = (0.0f64, 0u32);
     for mask in 0u32..(1 << hot.len()) {

@@ -1,0 +1,33 @@
+//! Umbrella crate for the flash/RAM energy trade-off reproduction.
+//!
+//! This workspace reproduces Pallister, Eder and Hollis, *Optimizing the
+//! flash-RAM energy trade-off in deeply embedded systems* (CGO 2015).  The
+//! pipeline, crate by crate:
+//!
+//! 1. [`minicc`] compiles mini-C source (the [`beebs`] kernels or your own)
+//!    at one of five optimization levels into a machine program;
+//! 2. [`ir`] holds that machine program — functions of basic blocks of
+//!    [`isa`] instructions — plus the CFG analyses (dominators, natural
+//!    loops) behind the static execution-frequency estimate;
+//! 3. [`core`] extracts per-block parameters, builds the paper's integer
+//!    linear program, solves it with [`ilp`], and relocates the chosen
+//!    blocks from flash to RAM, rewriting memory-crossing branches;
+//! 4. [`mcu`] simulates the result on an STM32VLDISCOVERY-like board and
+//!    reports cycles, energy and average power;
+//! 5. [`bench`] wraps all of it into harnesses that regenerate the paper's
+//!    tables and figures.
+//!
+//! This crate re-exports each layer under a short name and hosts the
+//! workspace-level integration tests and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use flashram_beebs as beebs;
+pub use flashram_bench as bench;
+pub use flashram_core as core;
+pub use flashram_ilp as ilp;
+pub use flashram_ir as ir;
+pub use flashram_isa as isa;
+pub use flashram_mcu as mcu;
+pub use flashram_minicc as minicc;

@@ -39,8 +39,10 @@ fn per_period_energy_always_improves_or_matches() {
     for name in ["fdct", "int_matmult"] {
         let m = measure(name);
         for multiple in [1.1, 2.0, 4.0, 8.0, 16.0] {
-            let scenario =
-                SleepScenario { period_s: m.base_time_s * multiple, sleep_power_mw: sleep };
+            let scenario = SleepScenario {
+                period_s: m.base_time_s * multiple,
+                sleep_power_mw: sleep,
+            };
             let (before, after) = m.period_energies_mj(&scenario);
             assert!(
                 after <= before + 1e-9,
@@ -72,7 +74,10 @@ fn equation_12_matches_the_direct_period_accounting() {
     let sleep = PowerModel::stm32f100().sleep_mw;
     let m = measure("int_matmult");
     for multiple in [1.5, 3.0, 10.0] {
-        let scenario = SleepScenario { period_s: m.base_time_s * multiple, sleep_power_mw: sleep };
+        let scenario = SleepScenario {
+            period_s: m.base_time_s * multiple,
+            sleep_power_mw: sleep,
+        };
         // Equation 12 computes the saving from (E0, T_A, k_e, k_t); it must
         // agree with subtracting the two Equation 10/11 totals, as long as
         // the device actually sleeps in both configurations.
@@ -106,8 +111,14 @@ fn same_energy_longer_time_still_reduces_period_energy() {
     // Force k_e to exactly 1 while keeping the measured slow-down: the
     // Figure 8 thought experiment, applied to real measured timings.
     let measured = measure("2dfir");
-    let m = CaseStudyMeasurement { opt_energy_mj: measured.base_energy_mj, ..measured };
-    assert!(m.k_t() > 1.0, "2dfir should slow down under the optimization");
+    let m = CaseStudyMeasurement {
+        opt_energy_mj: measured.base_energy_mj,
+        ..measured
+    };
+    assert!(
+        m.k_t() > 1.0,
+        "2dfir should slow down under the optimization"
+    );
     let scenario = SleepScenario::with_period(m.base_time_s * 3.0);
     let (before, after) = m.period_energies_mj(&scenario);
     assert!(
@@ -127,12 +138,18 @@ fn paper_constants_reproduce_the_reported_savings() {
         opt_energy_mj: 16.9 * 0.825,
         opt_time_s: 1.18 * 1.33,
     };
-    let scenario = SleepScenario { period_s: 10.0, sleep_power_mw: 3.5 };
+    let scenario = SleepScenario {
+        period_s: 10.0,
+        sleep_power_mw: 3.5,
+    };
     assert!((paper.energy_saved_mj(&scenario) - 4.32).abs() < 0.05);
 
     let best = paper.battery_life_extension(&SleepScenario {
         period_s: 1.18 * 1.4,
         sleep_power_mw: 3.5,
     });
-    assert!(best > 1.2 && best < 1.45, "short-period extension should be near 32 %, got {best}");
+    assert!(
+        best > 1.2 && best < 1.45,
+        "short-period extension should be near 32 %, got {best}"
+    );
 }

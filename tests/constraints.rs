@@ -50,7 +50,10 @@ fn measured_ram_usage_respects_every_budget() {
             .iter()
             .map(|r| placement.program.block(*r).size_bytes())
             .sum();
-        assert!(used <= budget, "budget {budget}: placement uses {used} bytes");
+        assert!(
+            used <= budget,
+            "budget {budget}: placement uses {used} bytes"
+        );
         if budget == 0 {
             assert!(placement.selected.is_empty());
         }
@@ -89,7 +92,12 @@ fn relaxing_the_ram_budget_never_hurts_the_model_energy() {
     let (e_flash, e_ram) = board().power.model_coefficients();
     let mut last = f64::INFINITY;
     for budget in [0u32, 16, 48, 96, 192, 384, 768, 1536] {
-        let config = ModelConfig { x_limit: 2.0, r_spare: budget, e_flash, e_ram };
+        let config = ModelConfig {
+            x_limit: 2.0,
+            r_spare: budget,
+            e_flash,
+            e_ram,
+        };
         let model = PlacementModel::build(&params, &config);
         let solution = BranchBound::new().solve(&model.problem).unwrap();
         let est = evaluate_placement(&params, &model.selected_blocks(&solution), &config);
@@ -109,19 +117,31 @@ fn relaxing_the_time_bound_never_hurts_the_model_energy() {
     let prog = program(OptLevel::Os);
     let params = extract_params(&prog, &FrequencySource::default());
     let (e_flash, e_ram) = board().power.model_coefficients();
-    let base = evaluate_placement(&params, &[], &ModelConfig {
-        x_limit: 1.0,
-        r_spare: 4096,
-        e_flash,
-        e_ram,
-    });
+    let base = evaluate_placement(
+        &params,
+        &[],
+        &ModelConfig {
+            x_limit: 1.0,
+            r_spare: 4096,
+            e_flash,
+            e_ram,
+        },
+    );
     let mut last = f64::INFINITY;
     for x_limit in [1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0] {
-        let config = ModelConfig { x_limit, r_spare: 4096, e_flash, e_ram };
+        let config = ModelConfig {
+            x_limit,
+            r_spare: 4096,
+            e_flash,
+            e_ram,
+        };
         let model = PlacementModel::build(&params, &config);
         let solution = BranchBound::new().solve(&model.problem).unwrap();
         let est = evaluate_placement(&params, &model.selected_blocks(&solution), &config);
-        assert!(est.energy <= last + 1e-6, "X_limit {x_limit} made the model energy worse");
+        assert!(
+            est.energy <= last + 1e-6,
+            "X_limit {x_limit} made the model energy worse"
+        );
         assert!(
             est.cycles <= x_limit * base.cycles + 1e-6,
             "X_limit {x_limit}: estimated cycles {} exceed the bound {}",
@@ -147,7 +167,12 @@ fn branch_and_bound_matches_exhaustive_enumeration_on_small_models() {
     let params = extract_params(&prog, &FrequencySource::default());
     let (e_flash, e_ram) = board().power.model_coefficients();
     for (r_spare, x_limit) in [(64u32, 1.5f64), (512, 1.1), (4096, 2.0), (0, 1.5)] {
-        let config = ModelConfig { x_limit, r_spare, e_flash, e_ram };
+        let config = ModelConfig {
+            x_limit,
+            r_spare,
+            e_flash,
+            e_ram,
+        };
         let model = PlacementModel::build(&params, &config);
         let bnb = BranchBound::new().solve(&model.problem).unwrap();
         let exact = ExhaustiveSolver::new().solve(&model.problem).unwrap();
@@ -165,17 +190,31 @@ fn greedy_solutions_are_feasible_but_never_better_than_ilp() {
     let board = board();
     let prog = program(OptLevel::O2);
     for budget in [64u32, 256, 1024] {
-        let config = OptimizerConfig { r_spare: Some(budget), ..OptimizerConfig::default() };
-        let ilp = RamOptimizer::with_config(OptimizerConfig { solver: Solver::Ilp, ..config.clone() })
-            .optimize(&prog, &board)
-            .unwrap();
-        let greedy =
-            RamOptimizer::with_config(OptimizerConfig { solver: Solver::Greedy, ..config })
-                .optimize(&prog, &board)
-                .unwrap();
-        let greedy_used: u32 =
-            greedy.selected.iter().map(|r| greedy.program.block(*r).size_bytes()).sum();
-        assert!(greedy_used <= budget, "greedy placement violates the RAM budget");
+        let config = OptimizerConfig {
+            r_spare: Some(budget),
+            ..OptimizerConfig::default()
+        };
+        let ilp = RamOptimizer::with_config(OptimizerConfig {
+            solver: Solver::Ilp,
+            ..config.clone()
+        })
+        .optimize(&prog, &board)
+        .unwrap();
+        let greedy = RamOptimizer::with_config(OptimizerConfig {
+            solver: Solver::Greedy,
+            ..config
+        })
+        .optimize(&prog, &board)
+        .unwrap();
+        let greedy_used: u32 = greedy
+            .selected
+            .iter()
+            .map(|r| greedy.program.block(*r).size_bytes())
+            .sum();
+        assert!(
+            greedy_used <= budget,
+            "greedy placement violates the RAM budget"
+        );
         assert!(
             ilp.predicted.energy <= greedy.predicted.energy + 1e-6,
             "budget {budget}: greedy model energy {} beats the ILP's {}",
@@ -194,7 +233,12 @@ fn x_limit_of_one_still_permits_free_moves() {
     let prog = program(OptLevel::O2);
     let params = extract_params(&prog, &FrequencySource::default());
     let (e_flash, e_ram) = board().power.model_coefficients();
-    let config = ModelConfig { x_limit: 1.0, r_spare: 4096, e_flash, e_ram };
+    let config = ModelConfig {
+        x_limit: 1.0,
+        r_spare: 4096,
+        e_flash,
+        e_ram,
+    };
     let model = PlacementModel::build(&params, &config);
     let solution = BranchBound::new().solve(&model.problem).unwrap();
     let est = evaluate_placement(&params, &model.selected_blocks(&solution), &config);

@@ -57,7 +57,11 @@ fn transformed_programs_still_fit_the_part() {
         // Loading the transformed program must succeed, i.e. relocated code +
         // data + stack reserve still fit the 8 KB of RAM.
         let run = board.run(&placement.program);
-        assert!(run.is_ok(), "{name}: transformed program no longer loads: {:?}", run.err());
+        assert!(
+            run.is_ok(),
+            "{name}: transformed program no longer loads: {:?}",
+            run.err()
+        );
         assert!(
             relocated_code_bytes(&placement.program) <= placement.r_spare,
             "{name}: relocated code exceeds the RAM budget"
@@ -75,8 +79,16 @@ fn ram_blocks_and_instrumentation_are_consistent() {
 
     // Every selected block is in the RAM section; every other block is not.
     for r in out.block_refs() {
-        let expected = if placement.selected.contains(&r) { Section::Ram } else { Section::Flash };
-        assert_eq!(out.block(r).section, expected, "block {r} in the wrong section");
+        let expected = if placement.selected.contains(&r) {
+            Section::Ram
+        } else {
+            Section::Flash
+        };
+        assert_eq!(
+            out.block(r).section,
+            expected,
+            "block {r} in the wrong section"
+        );
     }
 
     // A block is instrumented exactly when one of its successors lives in
@@ -108,7 +120,10 @@ fn every_optimization_level_survives_the_pipeline() {
         let placement = RamOptimizer::new().optimize(&program, &board).unwrap();
         let after = board.run(&placement.program).unwrap();
         assert_eq!(before.return_value, after.return_value, "crc32 at {level}");
-        assert!(after.avg_power_mw <= before.avg_power_mw + 1e-9, "crc32 at {level}");
+        assert!(
+            after.avg_power_mw <= before.avg_power_mw + 1e-9,
+            "crc32 at {level}"
+        );
     }
 }
 
@@ -177,7 +192,10 @@ fn solver_choice_flows_through_the_public_config() {
         .optimize(&program, &board)
         .unwrap();
         let after = board.run(&placement.program).unwrap();
-        assert_eq!(before.return_value, after.return_value, "sha with {solver:?}");
+        assert_eq!(
+            before.return_value, after.return_value,
+            "sha with {solver:?}"
+        );
         if solver == Solver::None {
             assert!(placement.selected.is_empty());
             assert_eq!(after.cycles(), before.cycles());

@@ -3,6 +3,7 @@
 //! transformation only changes where blocks live and how control transfers
 //! between memories.
 
+use flashram_beebs::Benchmark;
 use flashram_core::{apply_placement, instrumented_blocks, OptimizerConfig, RamOptimizer};
 use flashram_ir::{BlockRef, MachineProgram, Section};
 use flashram_mcu::{Board, RunConfig};
@@ -62,7 +63,10 @@ const LIBRARY: &str = "int scale(int x, int k) { return x * k + (x >> 1); }";
 
 fn compile(index: usize, level: OptLevel) -> MachineProgram {
     let units: Vec<SourceUnit<'_>> = if index == 3 {
-        vec![SourceUnit::library(LIBRARY), SourceUnit::application(PROGRAMS[index])]
+        vec![
+            SourceUnit::library(LIBRARY),
+            SourceUnit::application(PROGRAMS[index]),
+        ]
     } else {
         vec![SourceUnit::application(PROGRAMS[index])]
     };
@@ -189,6 +193,40 @@ proptest! {
     }
 }
 
+/// Every BEEBS kernel survives `apply_placement` unchanged: the checksum
+/// `main` returns is identical before and after relocating blocks to RAM,
+/// both for the full optimizable set and for an alternating subset (which
+/// maximizes memory-crossing edges and therefore instrumentation).
+#[test]
+fn beebs_kernels_preserve_their_checksum_under_placement() {
+    let board = Board::stm32vldiscovery();
+    let config = RunConfig {
+        max_cycles: 100_000_000,
+    };
+    for bench in Benchmark::all() {
+        let program = bench.compile(OptLevel::O2).unwrap();
+        let before = board.run_with_config(&program, &config).unwrap();
+        let candidates = program.optimizable_block_refs();
+
+        let all: Vec<BlockRef> = candidates.clone();
+        let alternating: Vec<BlockRef> = candidates.iter().step_by(2).copied().collect();
+        for (what, selected) in [("all blocks", &all), ("alternating blocks", &alternating)] {
+            let transformed = apply_placement(&program, selected);
+            let after = board.run_with_config(&transformed, &config).unwrap();
+            assert_eq!(
+                before.return_value, after.return_value,
+                "{} with {what} in RAM changed the checksum",
+                bench.name
+            );
+            assert!(
+                after.cycles() >= before.cycles(),
+                "{} with {what}: single-cycle memories cannot speed the code up",
+                bench.name
+            );
+        }
+    }
+}
+
 /// Deterministic exhaustive variant of the property above for one tiny
 /// program: every possible placement of its blocks is checked.
 #[test]
@@ -204,7 +242,10 @@ fn every_placement_of_a_tiny_program_is_correct() {
     let board = Board::stm32vldiscovery();
     let before = board.run(&program).unwrap();
     let candidates = program.optimizable_block_refs();
-    assert!(candidates.len() <= 12, "program grew too large for exhaustive placement testing");
+    assert!(
+        candidates.len() <= 12,
+        "program grew too large for exhaustive placement testing"
+    );
     for mask in 0u32..(1 << candidates.len()) {
         let selected: Vec<BlockRef> = candidates
             .iter()

@@ -1,0 +1,111 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `criterion` cannot be fetched from crates.io.  This crate implements
+//! the subset of its API that the workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — with a
+//! simple mean-of-N timing loop instead of criterion's statistical analysis.
+//! Timings are printed to stdout in a `name ... time: [...]` format so the
+//! benches stay useful for eyeballing the perf trajectory.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: holds configuration and runs registered functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time `f` (one warm-up sample plus `sample_size` timed samples) and
+    /// print the mean, minimum and maximum sample times.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher); // Warm-up, also priming lazy state.
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed);
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!("{name:<40} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]");
+        self
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` and accumulate it into the sample.
+    pub fn iter<T, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> T,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Group benchmark functions, mirroring criterion's long and short forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,178 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `proptest` cannot be fetched from crates.io.  This crate implements
+//! the subset of its API that the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive` and `boxed`,
+//! * strategies for integer and float ranges, tuples, [`Just`],
+//!   [`any`](arbitrary::any) and [`collection::vec`],
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`] and [`prop_oneof!`] macros,
+//! * a [`ProptestConfig`](test_runner::ProptestConfig) carrying the case
+//!   count.
+//!
+//! Unlike the real crate it does **not** shrink failing inputs; it reports
+//! the failing assertion and the deterministic case number instead.  Every
+//! test's random stream is seeded from its fully qualified name, so runs are
+//! reproducible across machines and invocations.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop`, so tests can write
+    /// `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests.
+///
+/// Supports an optional leading `#![proptest_config(...)]` attribute and any
+/// number of `fn name(arg in strategy, ...) { body }` items, each annotated
+/// with `#[test]` (and optional doc comments) exactly as with the real crate.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_seed(
+                $crate::test_runner::seed_from_name(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                )),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    left,
+                    right,
+                    ::std::format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert two values differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left != right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{:?}` != `{:?}`: {}",
+                    left,
+                    right,
+                    ::std::format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
