@@ -1,0 +1,99 @@
+//! Solver performance smoke: solve every BEEBS placement ILP with the
+//! warm-started branch-and-bound and with cold per-node re-solves, print the
+//! comparison, and write the numbers to `BENCH_solver.json` so the solver's
+//! perf trajectory can be tracked across commits.
+//!
+//! Exits nonzero when a solver acceptance check fails (objective mismatch
+//! between the two modes, or warm-started nodes not pivoting strictly less
+//! than cold solves); pass `--no-fail` to report without failing (used by
+//! CI, where the numbers are informational).
+
+use flashram_bench::{solver_perf, solver_perf_json};
+use flashram_mcu::Board;
+use flashram_minicc::OptLevel;
+
+fn main() {
+    let no_fail = std::env::args().any(|a| a == "--no-fail");
+    let board = Board::stm32vldiscovery();
+    let (rows, errors) = solver_perf(&board, OptLevel::O2);
+
+    println!(
+        "{:<16} {:>6} {:>5} {:>5} {:>5} | {:>6} {:>8} {:>9} {:>9} | {:>6} {:>8} {:>9}",
+        "benchmark",
+        "ram",
+        "x_lim",
+        "vars",
+        "rows",
+        "nodes",
+        "pivots",
+        "piv/warm",
+        "warm ms",
+        "nodes",
+        "pivots",
+        "cold ms"
+    );
+    let mut failures: Vec<String> = errors;
+    for row in &rows {
+        let per_warm = row.warm.pivots_per_warm_node();
+        println!(
+            "{:<16} {:>6} {:>5} {:>5} {:>5} | {:>6} {:>8} {:>9} {:>9.2} | {:>6} {:>8} {:>9.2}",
+            row.benchmark,
+            row.r_spare,
+            row.x_limit,
+            row.vars,
+            row.constraints,
+            row.warm.stats.nodes_explored,
+            row.warm.stats.lp_pivots,
+            per_warm.map_or_else(|| "-".to_string(), |p| format!("{p:.1}")),
+            row.warm.wall_ms,
+            row.cold.stats.nodes_explored,
+            row.cold.stats.lp_pivots,
+            row.cold.wall_ms,
+        );
+        for (label, numbers) in [("warm", &row.warm), ("cold", &row.cold)] {
+            if numbers.stats.budget_exhausted || numbers.stats.lp_iteration_limited > 0 {
+                failures.push(format!(
+                    "{} ({label}): incumbent not proven optimal \
+                     (budget_exhausted={}, lp_iteration_limited={})",
+                    row.benchmark,
+                    numbers.stats.budget_exhausted,
+                    numbers.stats.lp_iteration_limited
+                ));
+            }
+        }
+        if row.objective_delta() > 1e-6 {
+            failures.push(format!(
+                "{}: warm objective {} differs from cold {}",
+                row.benchmark, row.warm.objective, row.cold.objective
+            ));
+        }
+        if let (Some(warm), Some(cold)) = (per_warm, row.cold.pivots_per_cold_node()) {
+            if warm >= cold {
+                failures.push(format!(
+                    "{}: warm-started nodes pivot {warm:.2}×/node, not strictly \
+                     fewer than cold {cold:.2}×/node",
+                    row.benchmark
+                ));
+            }
+        }
+    }
+
+    let total_warm: usize = rows.iter().map(|r| r.warm.stats.lp_pivots).sum();
+    let total_cold: usize = rows.iter().map(|r| r.cold.stats.lp_pivots).sum();
+    println!("total LP pivots: warm-started {total_warm}, cold {total_cold}");
+
+    let json = solver_perf_json(&rows);
+    let path = "BENCH_solver.json";
+    std::fs::write(path, json).expect("write BENCH_solver.json");
+    println!("wrote {path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        if !no_fail {
+            std::process::exit(1);
+        }
+        eprintln!("(--no-fail: reporting only)");
+    }
+}

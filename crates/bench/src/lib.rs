@@ -12,6 +12,7 @@
 //! | Figure 5 + Section 6 averages | [`beebs_sweep`] | `fig5_beebs_results`, `table_averages` |
 //! | Figure 6 (trade-off space) | [`tradeoff_space`] | `fig6_tradeoff_space` |
 //! | Figure 9 + Section 7 numbers | [`case_study_series`] | `fig9_case_study` |
+//! | Solver performance (warm vs cold B&B) | [`solver_perf`] | `solver_perf` → `BENCH_solver.json` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,7 +22,7 @@ use flashram_core::{
     evaluate_placement, extract_params, measure_case_study, period_sweep, CaseStudyMeasurement,
     FrequencySource, ModelConfig, OptimizerConfig, PlacementModel, PlacementScope, RamOptimizer,
 };
-use flashram_ilp::ExhaustiveSolver;
+use flashram_ilp::{BranchBound, BranchBoundStats, ExhaustiveSolver};
 use flashram_ir::{
     BlockId, BlockRef, FuncId, GlobalData, MachineBlock, MachineFunction, MachineProgram, Section,
 };
@@ -549,6 +550,177 @@ pub fn case_study_series(
             }
         })
         .collect()
+}
+
+/// The numbers of one branch-and-bound run over a placement model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverRunNumbers {
+    /// Search statistics of the run.
+    pub stats: BranchBoundStats,
+    /// Wall-clock time of the solve in milliseconds.
+    pub wall_ms: f64,
+    /// Objective value reached.
+    pub objective: f64,
+}
+
+impl SolverRunNumbers {
+    /// Average simplex pivots per warm-started node (`None` if no node was
+    /// warm-started).
+    pub fn pivots_per_warm_node(&self) -> Option<f64> {
+        (self.stats.warm_solves > 0)
+            .then(|| self.stats.warm_pivots as f64 / self.stats.warm_solves as f64)
+    }
+
+    /// Average simplex pivots per cold-solved node (`None` if no node was
+    /// solved cold).
+    pub fn pivots_per_cold_node(&self) -> Option<f64> {
+        (self.stats.cold_solves > 0)
+            .then(|| self.stats.cold_pivots as f64 / self.stats.cold_solves as f64)
+    }
+}
+
+/// One row of the solver performance smoke: the placement ILP of one BEEBS
+/// benchmark under one constraint configuration, solved with warm-started
+/// branch-and-bound and, for comparison, with every node re-solved cold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverPerfRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// RAM budget the model was built with.
+    pub r_spare: u32,
+    /// Execution-time bound the model was built with.
+    pub x_limit: f64,
+    /// Number of ILP variables (3 per candidate block).
+    pub vars: usize,
+    /// Number of ILP constraints (and therefore tableau rows — variable
+    /// bounds and branch fixings add none).
+    pub constraints: usize,
+    /// The warm-started run (the default solver configuration).
+    pub warm: SolverRunNumbers,
+    /// The cold-start run (`warm_start: false`).
+    pub cold: SolverRunNumbers,
+}
+
+impl SolverPerfRow {
+    /// Relative objective disagreement between the two runs (should be ~0).
+    pub fn objective_delta(&self) -> f64 {
+        (self.warm.objective - self.cold.objective).abs() / self.cold.objective.abs().max(1.0)
+    }
+}
+
+fn time_solve(
+    model: &PlacementModel,
+    warm_start: bool,
+) -> Result<SolverRunNumbers, flashram_ilp::SolveError> {
+    let solver = BranchBound {
+        warm_start,
+        ..BranchBound::default()
+    };
+    let start = std::time::Instant::now();
+    let (solution, stats) = model.solve_with(&solver)?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok(SolverRunNumbers {
+        stats,
+        wall_ms,
+        objective: solution.objective,
+    })
+}
+
+/// Solve every BEEBS placement model twice — warm-started and cold — and
+/// report nodes, pivots and wall time for both (the `BENCH_solver.json`
+/// trajectory series).
+///
+/// Each benchmark is measured under two configurations: the default budgets
+/// (whatever RAM the board leaves spare, `X_limit` 1.5), where the
+/// relaxations are integral and the solve finishes at the root, and a tight
+/// configuration (96 bytes of RAM, `X_limit` 1.1) that forces fractional
+/// relaxations and therefore real branching, which is where warm starts pay.
+///
+/// A configuration whose solve fails (e.g. node-budget exhaustion with no
+/// incumbent) produces no row; the failure is described in the second
+/// element so callers can report it without losing the solved rows.
+pub fn solver_perf(board: &Board, level: OptLevel) -> (Vec<SolverPerfRow>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for bench in Benchmark::all() {
+        let program = bench.compile(level).expect("benchmark compiles");
+        let params = extract_params(&program, &FrequencySource::default());
+        let spare = board.spare_ram(&program).expect("program fits");
+        let (e_flash, e_ram) = board.power.model_coefficients();
+        for (r_spare, x_limit) in [(spare, 1.5), (96.min(spare), 1.1)] {
+            let config = ModelConfig {
+                x_limit,
+                r_spare,
+                e_flash,
+                e_ram,
+            };
+            let model = PlacementModel::build(&params, &config);
+            let solved = time_solve(&model, true).and_then(|w| Ok((w, time_solve(&model, false)?)));
+            match solved {
+                Ok((warm, cold)) => rows.push(SolverPerfRow {
+                    benchmark: bench.name.to_string(),
+                    r_spare,
+                    x_limit,
+                    vars: model.problem.num_vars(),
+                    constraints: model.problem.num_constraints(),
+                    warm,
+                    cold,
+                }),
+                Err(e) => errors.push(format!(
+                    "{} (ram {r_spare}, x_limit {x_limit}): {e}",
+                    bench.name
+                )),
+            }
+        }
+    }
+    (rows, errors)
+}
+
+/// Render the solver performance rows as the `BENCH_solver.json` document
+/// (hand-rolled: the build environment has no serde).
+pub fn solver_perf_json(rows: &[SolverPerfRow]) -> String {
+    fn run(r: &SolverRunNumbers) -> String {
+        format!(
+            concat!(
+                "{{\"nodes_explored\": {}, \"nodes_pruned\": {}, ",
+                "\"lp_pivots\": {}, \"warm_solves\": {}, \"warm_pivots\": {}, ",
+                "\"cold_solves\": {}, \"cold_pivots\": {}, ",
+                "\"budget_exhausted\": {}, \"lp_iteration_limited\": {}, ",
+                "\"wall_ms\": {:.3}, \"objective\": {:.6}}}"
+            ),
+            r.stats.nodes_explored,
+            r.stats.nodes_pruned,
+            r.stats.lp_pivots,
+            r.stats.warm_solves,
+            r.stats.warm_pivots,
+            r.stats.cold_solves,
+            r.stats.cold_pivots,
+            r.stats.budget_exhausted,
+            r.stats.lp_iteration_limited,
+            r.wall_ms,
+            r.objective,
+        )
+    }
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"benchmark\": \"{}\", \"r_spare\": {}, \"x_limit\": {}, ",
+                "\"vars\": {}, \"constraints\": {}, ",
+                "\"warm\": {}, \"cold\": {}}}{}\n"
+            ),
+            row.benchmark,
+            row.r_spare,
+            row.x_limit,
+            row.vars,
+            row.constraints,
+            run(&row.warm),
+            run(&row.cold),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Build and solve the placement ILP for one benchmark, returning the number

@@ -16,7 +16,9 @@
 
 use std::collections::BTreeMap;
 
-use flashram_ilp::{Cmp, LinearExpr, Problem, Sense, Solution, Var};
+use flashram_ilp::{
+    BranchBound, BranchBoundStats, Cmp, LinearExpr, Problem, Sense, Solution, SolveError, Var,
+};
 use flashram_ir::BlockRef;
 
 use crate::params::ProgramParams;
@@ -186,6 +188,28 @@ impl PlacementModel {
             vars,
             config: config.clone(),
         }
+    }
+
+    /// Solve the placement ILP with a default warm-started branch-and-bound
+    /// solver, returning the solution and the search statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`BranchBound::solve`].
+    pub fn solve(&self) -> Result<(Solution, BranchBoundStats), SolveError> {
+        self.solve_with(&BranchBound::new())
+    }
+
+    /// Solve the placement ILP with a caller-configured solver.
+    ///
+    /// # Errors
+    ///
+    /// See [`BranchBound::solve`].
+    pub fn solve_with(
+        &self,
+        solver: &BranchBound,
+    ) -> Result<(Solution, BranchBoundStats), SolveError> {
+        solver.solve_with_stats(&self.problem)
     }
 
     /// The set of blocks a solution places in RAM.
@@ -370,6 +394,57 @@ mod tests {
             est.energy,
             sol.objective
         );
+    }
+
+    #[test]
+    fn placement_lp_has_no_bound_rows_and_no_artificials() {
+        // The bounded-variable simplex keeps binary bounds and branch
+        // fixings out of the tableau: one row per model constraint, no
+        // artificial columns — the acceptance shape for the placement LPs.
+        let p = params();
+        let model = PlacementModel::build(&p, &ModelConfig::default());
+        let solver = flashram_ilp::SimplexSolver::new();
+        let root = solver.solve_tracked(&model.problem, &[]);
+        let state = root.state.expect("relaxation solves");
+        assert_eq!(state.num_rows(), model.problem.num_constraints());
+        assert_eq!(state.num_artificials(), 0);
+
+        // Branch fixings are applied to the warm-start state as degenerate
+        // bounds and re-solved with the dual simplex — still no extra rows
+        // and no artificial columns.
+        let v = model.vars.values().next().expect("has blocks").in_ram;
+        let fixed = solver.resolve_with_fixings(&model.problem, &state, &[(v, 1.0)]);
+        let fstate = fixed.state.expect("fixed relaxation solves");
+        assert_eq!(fstate.num_rows(), model.problem.num_constraints());
+        assert_eq!(fstate.num_artificials(), 0);
+    }
+
+    #[test]
+    fn warm_and_cold_branch_and_bound_agree_on_the_placement_model() {
+        let p = params();
+        let model = PlacementModel::build(&p, &ModelConfig::default());
+        let (warm_sol, warm) = model.solve().expect("warm solve");
+        let cold_solver = BranchBound {
+            warm_start: false,
+            ..BranchBound::default()
+        };
+        let (cold_sol, cold) = model.solve_with(&cold_solver).expect("cold solve");
+        assert!(
+            (warm_sol.objective - cold_sol.objective).abs()
+                <= 1e-6 * cold_sol.objective.abs().max(1.0),
+            "warm {} vs cold {}",
+            warm_sol.objective,
+            cold_sol.objective
+        );
+        assert_eq!(cold.warm_solves, 0);
+        if warm.warm_solves > 0 {
+            let per_warm = warm.warm_pivots as f64 / warm.warm_solves as f64;
+            let per_cold = cold.cold_pivots as f64 / cold.cold_solves as f64;
+            assert!(
+                per_warm < per_cold,
+                "warm-started nodes must pivot less: {per_warm:.2} vs {per_cold:.2}"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! evaluation can compare against baselines, and with either the static
 //! frequency estimate or a measured profile (Figure 5).
 
-use flashram_ilp::{BranchBound, GreedySolver, SolveError};
+use flashram_ilp::{BranchBound, BranchBoundStats, GreedySolver, SolveError};
 use flashram_ir::{BlockRef, MachineProgram};
 use flashram_mcu::Board;
 
@@ -43,6 +43,11 @@ pub struct OptimizerConfig {
     /// Whether library code may be relocated too (the paper's future-work
     /// linker-level mode).
     pub scope: PlacementScope,
+    /// Branch-and-bound node budget override for the ILP solver (`None`
+    /// uses the solver default).  When the budget runs out before any
+    /// integer solution is found, the optimizer falls back to the greedy
+    /// heuristic instead of failing.
+    pub max_ilp_nodes: Option<usize>,
 }
 
 impl Default for OptimizerConfig {
@@ -53,6 +58,7 @@ impl Default for OptimizerConfig {
             frequency: FrequencySource::default(),
             solver: Solver::Ilp,
             scope: PlacementScope::ApplicationOnly,
+            max_ilp_nodes: None,
         }
     }
 }
@@ -62,8 +68,9 @@ impl Default for OptimizerConfig {
 pub enum OptimizeError {
     /// The program does not fit the board even before optimization.
     DoesNotFit(String),
-    /// The ILP solver failed (infeasible models indicate a bug, budget
-    /// exhaustion can legitimately happen on huge programs).
+    /// The ILP solver failed (infeasible or invalid models indicate a bug;
+    /// budget exhaustion is handled internally by falling back to the
+    /// greedy heuristic, so it only surfaces here if the fallback fails too).
     Solver(SolveError),
 }
 
@@ -102,6 +109,15 @@ pub struct Placement {
     pub r_spare: u32,
     /// The model configuration (power coefficients, `X_limit`).
     pub model_config: ModelConfig,
+    /// Whether the selection came from a heuristic rather than a proven
+    /// optimum: true for the greedy solver, for the ILP path when the node
+    /// budget ran out and the optimizer fell back to greedy, and for an ILP
+    /// incumbent returned under an exhausted budget or with LP-iteration-
+    /// limited subtrees skipped.
+    pub heuristic: bool,
+    /// Branch-and-bound statistics of the ILP solve, when one ran to
+    /// completion (`None` for the greedy/none solvers and the fallback).
+    pub solver_stats: Option<BranchBoundStats>,
 }
 
 impl Placement {
@@ -173,19 +189,41 @@ impl RamOptimizer {
         let params = extract_params_scoped(program, &self.config.frequency, self.config.scope);
         let model_config = self.model_config_for(board, spare);
 
-        let selected: Vec<BlockRef> = match self.config.solver {
-            Solver::None => Vec::new(),
-            Solver::Ilp => {
-                let model = PlacementModel::build(&params, &model_config);
-                let solution = BranchBound::new().solve(&model.problem)?;
-                model.selected_blocks(&solution)
-            }
-            Solver::Greedy => {
-                let model = PlacementModel::build(&params, &model_config);
-                let solution = GreedySolver { allow_unset: false }.solve(&model.problem)?;
-                model.selected_blocks(&solution)
-            }
-        };
+        let (selected, heuristic, solver_stats): (Vec<BlockRef>, bool, Option<BranchBoundStats>) =
+            match self.config.solver {
+                Solver::None => (Vec::new(), false, None),
+                Solver::Ilp => {
+                    let model = PlacementModel::build(&params, &model_config);
+                    let mut solver = BranchBound::new();
+                    if let Some(n) = self.config.max_ilp_nodes {
+                        solver.max_nodes = n;
+                    }
+                    match model.solve_with(&solver) {
+                        Ok((solution, stats)) => {
+                            // An incumbent returned under an exhausted node
+                            // budget (or with LP-limited subtrees skipped)
+                            // is not a proven optimum.
+                            let unproven = stats.budget_exhausted || stats.lp_iteration_limited > 0;
+                            (model.selected_blocks(&solution), unproven, Some(stats))
+                        }
+                        // The documented fallback: when the node budget (or a
+                        // node's LP pivot budget) runs out before any integer
+                        // solution exists, degrade to the greedy heuristic
+                        // rather than failing the whole pipeline.
+                        Err(SolveError::BudgetExhausted(_)) => {
+                            let solution =
+                                GreedySolver { allow_unset: false }.solve(&model.problem)?;
+                            (model.selected_blocks(&solution), true, None)
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                Solver::Greedy => {
+                    let model = PlacementModel::build(&params, &model_config);
+                    let solution = GreedySolver { allow_unset: false }.solve(&model.problem)?;
+                    (model.selected_blocks(&solution), true, None)
+                }
+            };
 
         let predicted = evaluate_placement(&params, &selected, &model_config);
         let predicted_base = evaluate_placement(&params, &[], &model_config);
@@ -198,6 +236,8 @@ impl RamOptimizer {
             predicted_base,
             r_spare: spare,
             model_config,
+            heuristic,
+            solver_stats,
         })
     }
 
@@ -328,6 +368,52 @@ mod tests {
         let opt = board.run(&placement.program).unwrap();
         assert_eq!(base.return_value, opt.return_value);
         assert!(opt.avg_power_mw < base.avg_power_mw);
+    }
+
+    #[test]
+    fn ilp_solver_reports_optimal_with_stats() {
+        let board = Board::stm32vldiscovery();
+        let prog = program();
+        let placement = RamOptimizer::new().optimize(&prog, &board).unwrap();
+        assert!(!placement.heuristic, "a full ILP solve is not a heuristic");
+        let stats = placement.solver_stats.expect("ILP runs record stats");
+        assert!(stats.nodes_explored >= 1);
+        assert!(!stats.budget_exhausted);
+    }
+
+    #[test]
+    fn exhausted_node_budget_falls_back_to_greedy() {
+        // Regression: `optimize` used to propagate BudgetExhausted as a hard
+        // error even though the greedy solver documents itself as the
+        // fallback for exactly this case.
+        let board = Board::stm32vldiscovery();
+        let prog = program();
+        let placement = RamOptimizer::with_config(OptimizerConfig {
+            max_ilp_nodes: Some(0),
+            ..OptimizerConfig::default()
+        })
+        .optimize(&prog, &board)
+        .expect("budget exhaustion must not be a hard error");
+        assert!(placement.heuristic, "the fallback result is heuristic");
+        assert!(placement.solver_stats.is_none());
+        // The fallback placement must still be safe to run.
+        let opt = board.run(&placement.program).unwrap();
+        let base = board.run(&prog).unwrap();
+        assert_eq!(base.return_value, opt.return_value);
+    }
+
+    #[test]
+    fn greedy_solver_is_flagged_heuristic() {
+        let board = Board::stm32vldiscovery();
+        let prog = program();
+        let placement = RamOptimizer::with_config(OptimizerConfig {
+            solver: Solver::Greedy,
+            ..OptimizerConfig::default()
+        })
+        .optimize(&prog, &board)
+        .unwrap();
+        assert!(placement.heuristic);
+        assert!(placement.solver_stats.is_none());
     }
 
     #[test]

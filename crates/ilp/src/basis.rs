@@ -1,0 +1,136 @@
+//! Simplex basis bookkeeping and the warm-start state.
+//!
+//! The bounded-variable simplex in [`crate::simplex`] works on an [`LpState`]:
+//! the dense tableau `B⁻¹A`, the values of the basic variables, the
+//! nonbasic-at-upper flags and the active column bounds.  Branch-and-bound
+//! keeps the `LpState` of every solved relaxation and re-solves child nodes
+//! from it with the dual simplex instead of a cold two-phase solve — a bound
+//! change never disturbs the reduced costs, so the parent's optimal basis
+//! stays dual feasible and typically needs only a handful of pivots to
+//! restore primal feasibility.
+
+/// A compact snapshot of a simplex basis: which column is basic in each row,
+/// and at which bound every nonbasic column rests.
+///
+/// Columns `0..num_structural` are the problem's variables; the following
+/// columns are the per-constraint slacks, then any phase-1 artificials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// The basic column of each tableau row.
+    pub basic_cols: Vec<usize>,
+    /// Per column, whether a nonbasic column sits at its upper bound
+    /// (meaningless for basic columns).
+    pub at_upper: Vec<bool>,
+    /// Number of structural (problem) variables.
+    pub num_structural: usize,
+}
+
+/// The full state of a solved (or in-progress) LP: tableau, basis, bounds.
+///
+/// Cloning an `LpState` and tightening a variable's bounds, then running the
+/// dual simplex, is how branch-and-bound warm-starts child nodes.  The state
+/// is opaque outside the crate apart from the size accessors and
+/// [`LpState::basis`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpState {
+    /// Dense tableau `B⁻¹A`, `rows × cols`.
+    pub(crate) a: Vec<Vec<f64>>,
+    /// Current value of the basic variable of each row.
+    pub(crate) xb: Vec<f64>,
+    /// Basic column per row.
+    pub(crate) basis: Vec<usize>,
+    /// Row in which a column is basic (`usize::MAX` when nonbasic).
+    pub(crate) row_of: Vec<usize>,
+    /// Whether a nonbasic column sits at its upper bound.
+    pub(crate) at_upper: Vec<bool>,
+    /// Lower bound per column (structural, slack and artificial).
+    pub(crate) lo: Vec<f64>,
+    /// Upper bound per column (`f64::INFINITY` when absent).
+    pub(crate) up: Vec<f64>,
+    /// Phase-2 reduced costs (minimization form), maintained across pivots.
+    pub(crate) d: Vec<f64>,
+    /// Number of structural variables (columns `0..n`).
+    pub(crate) n: usize,
+    /// First artificial column (`cols` when the solve needed none).
+    pub(crate) artificial_start: usize,
+    /// Total number of columns.
+    pub(crate) cols: usize,
+}
+
+impl LpState {
+    /// Number of tableau rows — one per constraint of the source problem:
+    /// variable bounds and branch fixings do **not** create rows.
+    pub fn num_rows(&self) -> usize {
+        self.xb.len()
+    }
+
+    /// Number of structural (problem) variables.
+    pub fn num_structural(&self) -> usize {
+        self.n
+    }
+
+    /// Number of phase-1 artificial columns the solve needed.
+    pub fn num_artificials(&self) -> usize {
+        self.cols - self.artificial_start
+    }
+
+    /// Total number of tableau columns (structurals + slacks + artificials).
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A compact snapshot of the current basis.
+    pub fn basis(&self) -> Basis {
+        Basis {
+            basic_cols: self.basis.clone(),
+            at_upper: self.at_upper.clone(),
+            num_structural: self.n,
+        }
+    }
+
+    /// The current value of a column: its basic value if basic, otherwise
+    /// the bound it rests at.
+    pub(crate) fn value_of(&self, col: usize) -> f64 {
+        let row = self.row_of[col];
+        if row != usize::MAX {
+            self.xb[row]
+        } else if self.at_upper[col] {
+            self.up[col]
+        } else {
+            self.lo[col]
+        }
+    }
+
+    /// Whether a column is basic.
+    pub(crate) fn is_basic(&self, col: usize) -> bool {
+        self.row_of[col] != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::LinearExpr;
+    use crate::problem::{Cmp, Problem, Sense};
+    use crate::simplex::SimplexSolver;
+
+    #[test]
+    fn state_dimensions_match_the_problem() {
+        // Two constraints, two vars with native bounds: 2 rows, 4 columns
+        // (2 structural + 2 slacks), no artificials.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", 0.0, Some(4.0));
+        let y = p.add_binary("y");
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Le, 3.0);
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, -1.0)]), Cmp::Le, 2.0);
+        p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]));
+        let result = SimplexSolver::new().solve_tracked(&p, &[]);
+        let state = result.state.expect("optimal state");
+        assert_eq!(state.num_rows(), 2);
+        assert_eq!(state.num_structural(), 2);
+        assert_eq!(state.num_artificials(), 0);
+        assert_eq!(state.num_cols(), 4);
+        let basis = state.basis();
+        assert_eq!(basis.basic_cols.len(), 2);
+        assert_eq!(basis.num_structural, 2);
+    }
+}

@@ -4,7 +4,16 @@
 //! LP relaxation of each node provides the bound used for pruning.  The
 //! search is depth-first with the "most fractional variable" branching rule,
 //! exploring the rounded value first so that good incumbents appear early.
+//!
+//! Child relaxations are **warm-started**: a branch fixing only tightens one
+//! variable's bounds, which leaves the parent's optimal basis dual feasible,
+//! so each child is re-solved with the dual simplex from the parent's
+//! [`LpState`](crate::basis::LpState) instead of a cold two-phase solve.
+//! [`BranchBoundStats`] reports the pivot counts of both kinds of solve.
 
+use std::rc::Rc;
+
+use crate::basis::LpState;
 use crate::expr::Var;
 use crate::problem::{Problem, Solution, SolveError};
 use crate::simplex::{SimplexOutcome, SimplexSolver};
@@ -16,9 +25,25 @@ pub struct BranchBoundStats {
     pub nodes_explored: usize,
     /// Number of nodes pruned by bound.
     pub nodes_pruned: usize,
-    /// Whether the node budget was exhausted (the returned solution is then
-    /// the best incumbent, not necessarily optimal).
+    /// Whether the **node budget** was exhausted (the returned solution is
+    /// then the best incumbent, not necessarily optimal).  LP iteration
+    /// limits are tracked separately in
+    /// [`lp_iteration_limited`](BranchBoundStats::lp_iteration_limited).
     pub budget_exhausted: bool,
+    /// Number of nodes whose *LP* hit the simplex iteration limit.  Those
+    /// subtrees are skipped, so a nonzero count means the incumbent may be
+    /// suboptimal even when the node budget was never exhausted.
+    pub lp_iteration_limited: usize,
+    /// Total simplex pivots across every node's LP solve.
+    pub lp_pivots: usize,
+    /// Nodes solved cold (two-phase solve from scratch).
+    pub cold_solves: usize,
+    /// Pivots spent in cold solves.
+    pub cold_pivots: usize,
+    /// Nodes warm-started with the dual simplex from the parent basis.
+    pub warm_solves: usize,
+    /// Pivots spent in warm-started solves.
+    pub warm_pivots: usize,
 }
 
 /// A 0-1 ILP solver.
@@ -30,6 +55,9 @@ pub struct BranchBound {
     pub max_nodes: usize,
     /// Integrality tolerance.
     pub tolerance: f64,
+    /// Warm-start child nodes with the dual simplex from the parent basis
+    /// (on by default; disable to benchmark against cold solves).
+    pub warm_start: bool,
 }
 
 impl Default for BranchBound {
@@ -38,8 +66,29 @@ impl Default for BranchBound {
             lp: SimplexSolver::default(),
             max_nodes: 20_000,
             tolerance: 1e-6,
+            warm_start: true,
         }
     }
+}
+
+/// One open node of the search tree.
+struct Node {
+    /// All fixings accumulated along the path from the root.
+    fixings: Vec<(Var, f64)>,
+    /// The solved state of the parent's relaxation, shared with the sibling.
+    parent_state: Option<Rc<LpState>>,
+}
+
+/// Ceiling on the total memory the DFS frontier may hold in warm-start
+/// tableau snapshots (each is shared by the two children of a node).  Nodes
+/// pushed beyond the budget carry no state and re-solve cold — correctness
+/// is unaffected, only the warm-start saving for those nodes.
+const WARM_STATE_MEMORY_BUDGET: usize = 64 << 20;
+
+/// Approximate heap footprint of one [`LpState`] snapshot.
+fn state_bytes(state: &LpState) -> usize {
+    let (rows, cols) = (state.num_rows(), state.num_cols());
+    8 * (rows * cols + 2 * rows + 4 * cols)
 }
 
 impl BranchBound {
@@ -54,8 +103,9 @@ impl BranchBound {
     ///
     /// Returns [`SolveError::Infeasible`] or [`SolveError::Unbounded`] when
     /// the problem has no optimal solution, [`SolveError::BudgetExhausted`]
-    /// when the node budget ran out before any integer-feasible solution was
-    /// found, and [`SolveError::InvalidModel`] for malformed models.
+    /// when the node budget or a node's LP iteration limit ran out before
+    /// any integer-feasible solution was found (the message says which), and
+    /// [`SolveError::InvalidModel`] for malformed models.
     pub fn solve(&self, problem: &Problem) -> Result<Solution, SolveError> {
         self.solve_with_stats(problem).map(|(s, _)| s)
     }
@@ -73,32 +123,75 @@ impl BranchBound {
         let mut stats = BranchBoundStats::default();
         let mut incumbent: Option<Solution> = None;
 
-        // Each stack entry is a set of fixings to apply on top of the problem.
-        let mut stack: Vec<Vec<(Var, f64)>> = vec![Vec::new()];
+        let mut stack: Vec<Node> = vec![Node {
+            fixings: Vec::new(),
+            parent_state: None,
+        }];
 
-        while let Some(fixings) = stack.pop() {
+        // Stack entries currently holding a warm-start state (each state is
+        // shared by the two sibling entries), used to bound retained memory.
+        let mut retained_entries = 0usize;
+
+        while let Some(mut node) = stack.pop() {
+            if node.parent_state.is_some() {
+                retained_entries -= 1;
+            }
             if stats.nodes_explored >= self.max_nodes {
                 stats.budget_exhausted = true;
                 break;
             }
             stats.nodes_explored += 1;
 
-            let outcome = self.lp.solve_relaxation(problem, &fixings);
-            let relaxed = match outcome {
+            let warm_state = if self.warm_start {
+                node.parent_state.take()
+            } else {
+                None
+            };
+            let result = match warm_state {
+                Some(state) => {
+                    // Only the final fixing is new relative to the parent's
+                    // state; everything earlier is already baked in.  The
+                    // sibling explored first still shares the Rc (clone);
+                    // the second child is the last user and takes the state
+                    // without copying the tableau.
+                    let last = *node.fixings.last().expect("warm node has a fixing");
+                    let state = Rc::try_unwrap(state).unwrap_or_else(|rc| (*rc).clone());
+                    stats.warm_solves += 1;
+                    let r = self.lp.resolve_owned(problem, state, &[last]);
+                    stats.warm_pivots += r.pivots;
+                    r
+                }
+                None => {
+                    stats.cold_solves += 1;
+                    let r = self.lp.solve_tracked(problem, &node.fixings);
+                    stats.cold_pivots += r.pivots;
+                    r
+                }
+            };
+            stats.lp_pivots += result.pivots;
+
+            let relaxed = match result.outcome {
                 SimplexOutcome::Optimal(s) => s,
                 SimplexOutcome::Infeasible => continue,
                 SimplexOutcome::Unbounded => {
                     // The relaxation being unbounded at the root means the
                     // ILP itself is unbounded (binaries alone cannot bound
                     // a continuous ray).
-                    if fixings.is_empty() {
+                    if node.fixings.is_empty() {
                         return Err(SolveError::Unbounded);
                     }
                     continue;
                 }
                 SimplexOutcome::IterationLimit => {
-                    stats.budget_exhausted = true;
+                    // An LP that ran out of pivots is not node-budget
+                    // exhaustion: count it separately and skip the subtree.
+                    stats.lp_iteration_limited += 1;
                     continue;
+                }
+                SimplexOutcome::InvalidModel(why) => {
+                    // `problem.check()` passed, so this indicates solver-side
+                    // state corruption; surface it rather than mask it.
+                    return Err(SolveError::InvalidModel(why));
                 }
             };
 
@@ -149,23 +242,59 @@ impl BranchBound {
                     let val = relaxed.value(v);
                     let rounded = val.round().clamp(0.0, 1.0);
                     let other = 1.0 - rounded;
+                    // Hand the solved state to both children unless warm
+                    // starts are disabled or the frontier already retains
+                    // its memory budget's worth of snapshots — beyond that,
+                    // children re-solve cold.
+                    let state = self
+                        .warm_start
+                        .then_some(result.state)
+                        .flatten()
+                        .map(Rc::new);
+                    let bytes = state.as_deref().map_or(0, state_bytes);
+                    let state = if state.is_some()
+                        && (retained_entries + 2) * (bytes / 2) <= WARM_STATE_MEMORY_BUDGET
+                    {
+                        retained_entries += 2;
+                        state
+                    } else {
+                        None
+                    };
                     // Explore the rounded branch first (pushed last).
-                    let mut far = fixings.clone();
+                    let mut far = node.fixings.clone();
                     far.push((v, other));
-                    stack.push(far);
-                    let mut near = fixings;
+                    stack.push(Node {
+                        fixings: far,
+                        parent_state: state.clone(),
+                    });
+                    let mut near = node.fixings;
                     near.push((v, rounded));
-                    stack.push(near);
+                    stack.push(Node {
+                        fixings: near,
+                        parent_state: state,
+                    });
                 }
             }
         }
 
         match incumbent {
             Some(sol) => Ok((sol, stats)),
-            None if stats.budget_exhausted => Err(SolveError::BudgetExhausted(format!(
-                "no integer solution within {} nodes",
-                self.max_nodes
-            ))),
+            None if stats.budget_exhausted || stats.lp_iteration_limited > 0 => {
+                let mut reasons = Vec::new();
+                if stats.budget_exhausted {
+                    reasons.push(format!("node budget of {} exhausted", self.max_nodes));
+                }
+                if stats.lp_iteration_limited > 0 {
+                    reasons.push(format!(
+                        "LP iteration limit hit at {} node(s)",
+                        stats.lp_iteration_limited
+                    ));
+                }
+                Err(SolveError::BudgetExhausted(format!(
+                    "no integer solution found: {}",
+                    reasons.join("; ")
+                )))
+            }
             None => Err(SolveError::Infeasible),
         }
     }
@@ -273,6 +402,13 @@ mod tests {
         assert_close(sol.objective, 4.0 + 5.0 + 6.0);
         assert!(stats.nodes_explored >= 1);
         assert!(!stats.budget_exhausted);
+        assert_eq!(stats.lp_iteration_limited, 0);
+        assert_eq!(
+            stats.warm_solves + stats.cold_solves,
+            stats.nodes_explored,
+            "every explored node is either warm or cold"
+        );
+        assert_eq!(stats.lp_pivots, stats.warm_pivots + stats.cold_pivots);
     }
 
     #[test]
@@ -289,10 +425,50 @@ mod tests {
             max_nodes: 0,
             ..BranchBound::default()
         };
-        assert!(matches!(
-            solver.solve(&p),
-            Err(SolveError::BudgetExhausted(_))
+        match solver.solve(&p) {
+            Err(SolveError::BudgetExhausted(msg)) => {
+                assert!(msg.contains("node budget"), "message was: {msg}");
+                assert!(!msg.contains("LP iteration"), "no LP limit was hit: {msg}");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_iteration_limit_is_not_conflated_with_node_budget() {
+        // Regression: a single node's LP hitting its pivot budget used to be
+        // reported as "no integer solution within N nodes".  The LP limit
+        // and the node budget are now tracked and reported separately.
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<Var> = (0..8).map(|i| p.add_binary(format!("x{i}"))).collect();
+        let weights = [3.0, 5.0, 2.0, 7.0, 4.0, 1.0, 6.0, 2.5];
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().copied().zip(weights.iter().copied())),
+            Cmp::Le,
+            11.0,
+        );
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().map(|v| (*v, 1.0))),
+            Cmp::Ge,
+            2.0,
+        );
+        p.set_objective(LinearExpr::from_terms(
+            xs.iter().enumerate().map(|(i, v)| (*v, 2.0 + i as f64)),
         ));
+        let solver = BranchBound {
+            lp: SimplexSolver {
+                max_iterations: 1,
+                ..SimplexSolver::default()
+            },
+            ..BranchBound::default()
+        };
+        match solver.solve_with_stats(&p) {
+            Err(SolveError::BudgetExhausted(msg)) => {
+                assert!(msg.contains("LP iteration"), "message was: {msg}");
+                assert!(!msg.contains("node budget"), "message was: {msg}");
+            }
+            other => panic!("expected BudgetExhausted from LP limits, got {other:?}"),
+        }
     }
 
     #[test]
@@ -317,5 +493,50 @@ mod tests {
         ));
         let sol = BranchBound::new().solve(&p).unwrap();
         assert!(p.is_feasible(&sol.values, 1e-6));
+    }
+
+    /// A selection instance big enough that branching happens.
+    fn branching_instance() -> Problem {
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<Var> = (0..12).map(|i| p.add_binary(format!("x{i}"))).collect();
+        let weights = [3.0, 5.0, 2.0, 7.0, 4.0, 1.0, 6.0, 2.5, 3.5, 4.5, 1.5, 5.5];
+        let values = [4.0, 6.0, 3.0, 8.0, 5.0, 1.0, 7.0, 3.5, 4.2, 5.1, 2.2, 6.3];
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().copied().zip(weights.iter().copied())),
+            Cmp::Le,
+            17.0,
+        );
+        p.add_constraint(
+            LinearExpr::from_terms([(xs[0], 1.0), (xs[3], 1.0), (xs[6], 1.0)]),
+            Cmp::Le,
+            2.0,
+        );
+        p.set_objective(LinearExpr::from_terms(
+            xs.iter().copied().zip(values.iter().copied()),
+        ));
+        p
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start_and_pivots_less_per_node() {
+        let p = branching_instance();
+        let warm = BranchBound::new();
+        let cold = BranchBound {
+            warm_start: false,
+            ..BranchBound::default()
+        };
+        let (ws, wstats) = warm.solve_with_stats(&p).unwrap();
+        let (cs, cstats) = cold.solve_with_stats(&p).unwrap();
+        assert_close(ws.objective, cs.objective);
+        assert!(wstats.warm_solves > 0, "branching must warm-start children");
+        assert_eq!(cstats.warm_solves, 0);
+        // Per-node pivot cost: warm-started children must be strictly
+        // cheaper than the cold nodes of the cold run.
+        let warm_per_node = wstats.warm_pivots as f64 / wstats.warm_solves as f64;
+        let cold_per_node = cstats.cold_pivots as f64 / cstats.cold_solves as f64;
+        assert!(
+            warm_per_node < cold_per_node,
+            "warm {warm_per_node:.2} pivots/node vs cold {cold_per_node:.2}"
+        );
     }
 }

@@ -7,10 +7,11 @@
 //!
 //! * a [`Problem`] builder for linear models over continuous and binary
 //!   variables ([`problem`]),
-//! * a dense two-phase **simplex** solver for the LP relaxation
-//!   ([`simplex`]),
-//! * a **branch-and-bound** 0-1 ILP solver built on top of it
-//!   ([`branch_bound`]),
+//! * a dense **bounded-variable simplex** solver for the LP relaxation —
+//!   variable bounds live in the ratio test, not in extra rows ([`simplex`]),
+//! * a **branch-and-bound** 0-1 ILP solver built on top of it, which
+//!   warm-starts every child node with the dual simplex from the parent's
+//!   optimal basis ([`branch_bound`], [`basis`]),
 //! * an **exhaustive** enumerator for small instances, used both to validate
 //!   branch-and-bound in tests and to generate the full trade-off space of
 //!   Figure 6 ([`exhaustive`]), and
@@ -37,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod basis;
 pub mod branch_bound;
 pub mod exhaustive;
 pub mod expr;
@@ -44,9 +46,10 @@ pub mod greedy;
 pub mod problem;
 pub mod simplex;
 
+pub use basis::{Basis, LpState};
 pub use branch_bound::{BranchBound, BranchBoundStats};
 pub use exhaustive::ExhaustiveSolver;
 pub use expr::{LinearExpr, Var};
 pub use greedy::GreedySolver;
 pub use problem::{Cmp, Problem, Sense, Solution, SolveError, VarKind};
-pub use simplex::{SimplexOutcome, SimplexSolver};
+pub use simplex::{LpResult, SimplexOutcome, SimplexSolver};

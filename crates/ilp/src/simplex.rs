@@ -1,11 +1,29 @@
-//! A dense two-phase simplex solver for the LP relaxation.
+//! A dense bounded-variable simplex solver for the LP relaxation.
 //!
-//! The solver is deliberately straightforward: the flash/RAM placement
-//! models are small (a few hundred variables and constraints), so a dense
-//! tableau with Dantzig pricing — falling back to Bland's rule if cycling is
-//! suspected — is fast enough and easy to trust.  Binary variables are
-//! relaxed to the interval `[0, 1]`.
+//! Variable bounds `l ≤ x ≤ u` are handled **natively** in the ratio test
+//! (nonbasic variables may rest at either bound and can "bound-flip" without
+//! a pivot), so binary upper bounds and branch-and-bound fixings generate no
+//! tableau rows and no artificial columns: the tableau has exactly one row
+//! per constraint.  For the paper's placement models this shrinks every
+//! relaxation solve by roughly 3× in rows compared with the earlier
+//! formulation that added one `x ≤ u` row per binary.
+//!
+//! The solver is still deliberately dense and straightforward — the
+//! flash/RAM placement models are a few hundred variables and constraints —
+//! with Dantzig pricing and an anti-cycling fallback to Bland's rule that is
+//! triggered by *detected degeneracy* (a long run of zero-progress pivots)
+//! and resets whenever the objective moves, so a long phase 1 can never
+//! leave phase 2 stuck in slow Bland mode.
+//!
+//! Two entry points matter to callers:
+//!
+//! * [`SimplexSolver::solve_tracked`] — a cold two-phase solve that returns
+//!   the optimal [`LpState`] alongside the solution, and
+//! * [`SimplexSolver::resolve_with_fixings`] — a **dual simplex** re-solve
+//!   from a previously solved state after tightening variable bounds, used
+//!   by branch-and-bound to warm-start child nodes.
 
+use crate::basis::LpState;
 use crate::expr::Var;
 use crate::problem::{Cmp, Problem, Sense, Solution, VarKind};
 
@@ -20,6 +38,11 @@ pub enum SimplexOutcome {
     Unbounded,
     /// The iteration budget was exhausted before reaching optimality.
     IterationLimit,
+    /// The model is structurally malformed (an expression references an
+    /// undefined variable, or a bound is not a number).  Distinct from
+    /// [`SimplexOutcome::Infeasible`]: an invalid model indicates a bug in
+    /// the caller, not an over-constrained model.
+    InvalidModel(String),
 }
 
 impl SimplexOutcome {
@@ -32,10 +55,32 @@ impl SimplexOutcome {
     }
 }
 
+/// Outcome of a tracked LP solve: the result, the pivot count, and — when
+/// optimal — the solved state for warm starts.
+#[derive(Debug, Clone)]
+pub struct LpResult {
+    /// What the solve concluded.
+    pub outcome: SimplexOutcome,
+    /// Number of basis changes performed (bound flips excluded).
+    pub pivots: usize,
+    /// The solved tableau state, present when the outcome is optimal.
+    pub state: Option<LpState>,
+}
+
+impl LpResult {
+    fn plain(outcome: SimplexOutcome, pivots: usize) -> LpResult {
+        LpResult {
+            outcome,
+            pivots,
+            state: None,
+        }
+    }
+}
+
 /// Configuration of the simplex solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimplexSolver {
-    /// Maximum number of pivots across both phases.
+    /// Maximum number of iterations (pivots and bound flips) per solve.
     pub max_iterations: usize,
     /// Numerical tolerance.
     pub tolerance: f64,
@@ -50,24 +95,16 @@ impl Default for SimplexSolver {
     }
 }
 
-struct Tableau {
-    /// `rows × cols` coefficient matrix.
-    a: Vec<Vec<f64>>,
-    /// Right-hand side per row.
-    b: Vec<f64>,
-    /// Phase-1 reduced-cost row (sum of artificials).
-    cost1: Vec<f64>,
-    /// Phase-2 reduced-cost row (real objective, in minimization form).
-    cost2: Vec<f64>,
-    /// Phase-1 objective value (negated running total).
-    obj1: f64,
-    /// Phase-2 objective value (negated running total).
-    obj2: f64,
-    /// Basis variable per row.
-    basis: Vec<usize>,
-    /// First artificial column index (artificials occupy `artificial_start..cols`).
-    artificial_start: usize,
-    cols: usize,
+/// Consecutive degenerate (zero-progress) iterations before the pricing
+/// falls back to Bland's rule.  Any progress resets the counter, so the
+/// anti-cycling mode is entered per detected stall — never inherited from an
+/// earlier phase.
+const DEGENERACY_STREAK: usize = 64;
+
+enum PhaseResult {
+    Optimal,
+    Unbounded,
+    IterationLimit,
 }
 
 impl SimplexSolver {
@@ -77,319 +114,671 @@ impl SimplexSolver {
     }
 
     /// Solve the LP relaxation of `problem` (binary variables relaxed to
-    /// `[0,1]`), optionally with extra equality fixings `(var, value)` used
-    /// by branch-and-bound.
+    /// `[0,1]`), optionally with extra fixings `(var, value)` used by
+    /// branch-and-bound.  Fixings are applied as degenerate bounds
+    /// (`lower = upper = value`), never as rows.
     pub fn solve_relaxation(&self, problem: &Problem, fixings: &[(Var, f64)]) -> SimplexOutcome {
-        if problem.check().is_err() {
-            return SimplexOutcome::Infeasible;
+        self.solve_tracked(problem, fixings).outcome
+    }
+
+    /// Like [`SimplexSolver::solve_relaxation`], but also returns the pivot
+    /// count and (on optimality) the solved [`LpState`] for warm starts.
+    pub fn solve_tracked(&self, problem: &Problem, fixings: &[(Var, f64)]) -> LpResult {
+        if let Err(e) = problem.check() {
+            return LpResult::plain(SimplexOutcome::InvalidModel(e.to_string()), 0);
         }
         let n = problem.num_vars();
 
-        // Lower bound per structural variable (for shifting), upper bound rows.
-        let mut lower = vec![0.0f64; n];
-        let mut upper: Vec<Option<f64>> = vec![None; n];
+        // Native bounds per structural variable.
+        let mut lo = vec![0.0f64; n];
+        let mut up = vec![f64::INFINITY; n];
         for (i, def) in problem.vars().iter().enumerate() {
             match def.kind {
                 VarKind::Binary => {
-                    lower[i] = 0.0;
-                    upper[i] = Some(1.0);
+                    lo[i] = 0.0;
+                    up[i] = 1.0;
                 }
-                VarKind::Continuous {
-                    lower: lo,
-                    upper: up,
-                } => {
-                    lower[i] = lo;
-                    upper[i] = up;
+                VarKind::Continuous { lower, upper } => {
+                    if !lower.is_finite() {
+                        return LpResult::plain(
+                            SimplexOutcome::InvalidModel(format!(
+                                "variable {} has a non-finite lower bound",
+                                def.name
+                            )),
+                            0,
+                        );
+                    }
+                    if upper.is_some_and(f64::is_nan) {
+                        return LpResult::plain(
+                            SimplexOutcome::InvalidModel(format!(
+                                "variable {} has a NaN upper bound",
+                                def.name
+                            )),
+                            0,
+                        );
+                    }
+                    lo[i] = lower;
+                    up[i] = upper.unwrap_or(f64::INFINITY);
                 }
             }
         }
-
-        // Branch-and-bound fixings become degenerate bounds (lower = upper =
-        // value) rather than equality rows: no artificial variable is needed,
-        // so the fixing can never be silently violated by later pivots.
         for (v, val) in fixings {
-            lower[v.index()] = *val;
-            upper[v.index()] = Some(*val);
+            if v.index() >= n {
+                return LpResult::plain(
+                    SimplexOutcome::InvalidModel(format!(
+                        "fixing references {v} but only {n} variables are defined"
+                    )),
+                    0,
+                );
+            }
+            if !val.is_finite() {
+                return LpResult::plain(
+                    SimplexOutcome::InvalidModel(format!("fixing of {v} to {val} is not finite")),
+                    0,
+                );
+            }
+            lo[v.index()] = *val;
+            up[v.index()] = *val;
+        }
+        for i in 0..n {
+            if lo[i] > up[i] + self.tolerance {
+                return LpResult::plain(SimplexOutcome::Infeasible, 0);
+            }
         }
 
-        // Build the row list: (coefficients over structural vars, cmp, rhs).
-        let mut rows: Vec<(Vec<f64>, Cmp, f64)> = Vec::new();
+        let state = self.build_state(problem, lo, up);
+        self.solve_state(problem, state)
+    }
+
+    /// Re-solve from a previously solved state after tightening bounds: each
+    /// `(var, value)` fixing sets `lower = upper = value`.  The parent's
+    /// reduced costs stay dual feasible under bound changes, so the **dual
+    /// simplex** restores primal feasibility from the parent basis — usually
+    /// in a handful of pivots instead of a full cold solve.
+    pub fn resolve_with_fixings(
+        &self,
+        problem: &Problem,
+        parent: &LpState,
+        fixings: &[(Var, f64)],
+    ) -> LpResult {
+        self.resolve_owned(problem, parent.clone(), fixings)
+    }
+
+    /// Like [`SimplexSolver::resolve_with_fixings`], but consumes the state,
+    /// sparing the tableau copy when the caller is its last user (as
+    /// branch-and-bound is for the second child of every node).
+    pub fn resolve_owned(
+        &self,
+        problem: &Problem,
+        mut st: LpState,
+        fixings: &[(Var, f64)],
+    ) -> LpResult {
+        for (v, val) in fixings {
+            let j = v.index();
+            if j >= st.n {
+                return LpResult::plain(
+                    SimplexOutcome::InvalidModel(format!(
+                        "fixing references {v} but the state has {} variables",
+                        st.n
+                    )),
+                    0,
+                );
+            }
+            if !val.is_finite() {
+                return LpResult::plain(
+                    SimplexOutcome::InvalidModel(format!("fixing of {v} to {val} is not finite")),
+                    0,
+                );
+            }
+            let old = st.value_of(j);
+            st.lo[j] = *val;
+            st.up[j] = *val;
+            if !st.is_basic(j) {
+                // Move the nonbasic variable to its new (degenerate) bound;
+                // the basic values absorb the shift.
+                let delta = *val - old;
+                if delta != 0.0 {
+                    for (xb, row) in st.xb.iter_mut().zip(&st.a) {
+                        *xb -= row[j] * delta;
+                    }
+                }
+                st.at_upper[j] = false;
+            }
+        }
+
+        let mut iterations = 0usize;
+        let mut pivots = 0usize;
+        match self.dual_phase(&mut st, &mut iterations, &mut pivots) {
+            PhaseResult::Optimal => {}
+            PhaseResult::Unbounded => {
+                return LpResult::plain(SimplexOutcome::Infeasible, pivots);
+            }
+            PhaseResult::IterationLimit => {
+                return LpResult::plain(SimplexOutcome::IterationLimit, pivots);
+            }
+        }
+        // Primal cleanup: a no-op when the dual solve kept optimality, but it
+        // absorbs reduced-cost drift accumulated over long warm-start chains.
+        match self.primal_phase(&mut st, None, &mut iterations, &mut pivots) {
+            PhaseResult::Optimal => {}
+            PhaseResult::Unbounded => {
+                return LpResult::plain(SimplexOutcome::Unbounded, pivots);
+            }
+            PhaseResult::IterationLimit => {
+                return LpResult::plain(SimplexOutcome::IterationLimit, pivots);
+            }
+        }
+        let solution = self.extract(problem, &st);
+        LpResult {
+            outcome: SimplexOutcome::Optimal(solution),
+            pivots,
+            state: Some(st),
+        }
+    }
+
+    /// Build the initial tableau state: one row per constraint, one slack per
+    /// row (bounded to encode `≤` / `≥` / `=`), and an artificial column only
+    /// for rows whose slack cannot absorb the initial residual.
+    fn build_state(&self, problem: &Problem, mut lo: Vec<f64>, mut up: Vec<f64>) -> LpState {
+        let n = problem.num_vars();
+        let m = problem.num_constraints();
+        let slack_start = n;
+
+        // Dense constraint rows over structural variables.
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
         for c in problem.constraints() {
             let mut coeffs = vec![0.0; n];
             for (v, k) in c.expr.terms() {
                 coeffs[v.index()] += k;
             }
-            // Shift by lower bounds: expr(x) = expr(x' + lower) = expr(x') + expr(lower)
-            let shift: f64 = coeffs.iter().zip(&lower).map(|(k, lo)| k * lo).sum();
-            rows.push((coeffs, c.op, c.rhs - shift));
+            rows.push(coeffs);
         }
-        // Upper-bound rows: x'_i ≤ upper_i - lower_i.
-        for i in 0..n {
-            if let Some(u) = upper[i] {
-                let mut coeffs = vec![0.0; n];
-                coeffs[i] = 1.0;
-                rows.push((coeffs, Cmp::Le, u - lower[i]));
+
+        // Slack bounds per comparison operator: a·x + s = rhs with
+        //   ≤ : s ∈ [0, ∞)      ≥ : s ∈ (−∞, 0]      = : s ∈ [0, 0].
+        for c in problem.constraints() {
+            let (slo, sup) = match c.op {
+                Cmp::Le => (0.0, f64::INFINITY),
+                Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+                Cmp::Eq => (0.0, 0.0),
+            };
+            lo.push(slo);
+            up.push(sup);
+        }
+
+        // Start every structural variable nonbasic at its (finite) lower
+        // bound and compute each row's residual; rows whose slack can hold
+        // the residual start with the slack basic, the rest get an
+        // artificial column.
+        let residuals: Vec<f64> = problem
+            .constraints()
+            .iter()
+            .zip(&rows)
+            .map(|(c, coeffs)| {
+                let dot: f64 = coeffs.iter().zip(&lo).map(|(k, l)| k * l).sum();
+                c.rhs - dot
+            })
+            .collect();
+        let needs_artificial: Vec<bool> = residuals
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let s = slack_start + i;
+                *r < lo[s] - self.tolerance || *r > up[s] + self.tolerance
+            })
+            .collect();
+        let num_art = needs_artificial.iter().filter(|b| **b).count();
+        let artificial_start = n + m;
+        let cols = artificial_start + num_art;
+
+        let mut a = vec![vec![0.0; cols]; m];
+        let mut xb = vec![0.0; m];
+        let mut basis = vec![0usize; m];
+        let mut at_upper = vec![false; cols];
+        let mut next_art = artificial_start;
+        for (i, coeffs) in rows.into_iter().enumerate() {
+            a[i][..n].copy_from_slice(&coeffs);
+            let s = slack_start + i;
+            a[i][s] = 1.0;
+            if needs_artificial[i] {
+                // Park the slack at the bound nearest the residual and give
+                // the artificial the (positive) remainder.
+                let clamped = residuals[i].max(lo[s]).min(up[s]);
+                at_upper[s] = (clamped - up[s]).abs() <= (clamped - lo[s]).abs();
+                let remainder = residuals[i] - clamped;
+                let sigma = if remainder >= 0.0 { 1.0 } else { -1.0 };
+                if sigma < 0.0 {
+                    for v in a[i].iter_mut() {
+                        *v = -*v;
+                    }
+                }
+                a[i][next_art] = 1.0;
+                xb[i] = remainder.abs();
+                basis[i] = next_art;
+                lo.push(0.0);
+                up.push(f64::INFINITY);
+                next_art += 1;
+            } else {
+                xb[i] = residuals[i];
+                basis[i] = s;
             }
         }
-        // Objective in minimization form over shifted variables.
-        let mut c_min = vec![0.0f64; n];
-        for (v, k) in problem.objective().terms() {
-            c_min[v.index()] += k;
+        debug_assert_eq!(lo.len(), cols);
+
+        let mut row_of = vec![usize::MAX; cols];
+        for (i, &b) in basis.iter().enumerate() {
+            row_of[b] = i;
         }
+
+        // Phase-2 reduced costs: the objective in minimization form.  The
+        // initial basis (slacks and artificials) has zero objective cost, so
+        // the reduced costs start as the cost vector itself.
         let sign = match problem.sense() {
             Sense::Minimize => 1.0,
             Sense::Maximize => -1.0,
         };
-        for c in c_min.iter_mut() {
-            *c *= sign;
+        let mut d = vec![0.0; cols];
+        for (v, k) in problem.objective().terms() {
+            d[v.index()] += sign * k;
         }
 
-        let mut tab = self.build_tableau(n, &rows, &c_min);
-
-        // Phase 1: drive artificials to zero.
-        let mut iterations = 0usize;
-        if tab.artificial_start < tab.cols {
-            match self.run_phase(&mut tab, true, &mut iterations) {
-                PhaseResult::Optimal => {}
-                PhaseResult::Unbounded => return SimplexOutcome::Infeasible,
-                PhaseResult::IterationLimit => return SimplexOutcome::IterationLimit,
-            }
-            if tab.obj1 > self.tolerance * 10.0 {
-                return SimplexOutcome::Infeasible;
-            }
-            // Drive every artificial that is still basic (at level zero) out
-            // of the basis.  Phase 2 bars artificial *columns* from entering
-            // but a basic artificial's value can still be changed by pivots
-            // on other columns, silently violating the constraint it guards.
-            // A row whose structural and slack coefficients are all ~0 is a
-            // redundant constraint: no later pivot can touch it, so it may
-            // keep its artificial basis variable.
-            for row in 0..tab.b.len() {
-                if tab.basis[row] >= tab.artificial_start {
-                    let col =
-                        (0..tab.artificial_start).find(|&j| tab.a[row][j].abs() > self.tolerance);
-                    if let Some(col) = col {
-                        self.pivot(&mut tab, row, col);
-                    }
-                }
-            }
-        }
-
-        // Phase 2: optimize the real objective, artificials barred.
-        match self.run_phase(&mut tab, false, &mut iterations) {
-            PhaseResult::Optimal => {}
-            PhaseResult::Unbounded => return SimplexOutcome::Unbounded,
-            PhaseResult::IterationLimit => return SimplexOutcome::IterationLimit,
-        }
-
-        // Extract the solution: shifted structural values + lower bounds.
-        let mut values = lower;
-        for (row, &bv) in tab.basis.iter().enumerate() {
-            if bv < n {
-                values[bv] += tab.b[row];
-            }
-        }
-        let objective = problem.objective_value(&values);
-        SimplexOutcome::Optimal(Solution { values, objective })
-    }
-
-    fn build_tableau(&self, n: usize, rows: &[(Vec<f64>, Cmp, f64)], c_min: &[f64]) -> Tableau {
-        let m = rows.len();
-        // Count slack/surplus and artificial columns.
-        let mut num_slack = 0usize;
-        let mut num_art = 0usize;
-        for (_, op, rhs) in rows {
-            let rhs_nonneg = *rhs >= 0.0;
-            match (op, rhs_nonneg) {
-                (Cmp::Le, true) | (Cmp::Ge, false) => num_slack += 1,
-                (Cmp::Le, false) | (Cmp::Ge, true) => {
-                    num_slack += 1;
-                    num_art += 1;
-                }
-                (Cmp::Eq, _) => num_art += 1,
-            }
-        }
-        let cols = n + num_slack + num_art;
-        let artificial_start = n + num_slack;
-        let mut a = vec![vec![0.0; cols]; m];
-        let mut b = vec![0.0; m];
-        let mut basis = vec![0usize; m];
-        let mut next_slack = n;
-        let mut next_art = artificial_start;
-
-        for (row, (coeffs, op, rhs)) in rows.iter().enumerate() {
-            let (mut coeffs, mut op, mut rhs) = (coeffs.clone(), *op, *rhs);
-            if rhs < 0.0 {
-                // Normalize so rhs ≥ 0.
-                for c in coeffs.iter_mut() {
-                    *c = -*c;
-                }
-                rhs = -rhs;
-                op = match op {
-                    Cmp::Le => Cmp::Ge,
-                    Cmp::Ge => Cmp::Le,
-                    Cmp::Eq => Cmp::Eq,
-                };
-            }
-            a[row][..n].copy_from_slice(&coeffs);
-            b[row] = rhs;
-            match op {
-                Cmp::Le => {
-                    a[row][next_slack] = 1.0;
-                    basis[row] = next_slack;
-                    next_slack += 1;
-                }
-                Cmp::Ge => {
-                    a[row][next_slack] = -1.0;
-                    next_slack += 1;
-                    a[row][next_art] = 1.0;
-                    basis[row] = next_art;
-                    next_art += 1;
-                }
-                Cmp::Eq => {
-                    a[row][next_art] = 1.0;
-                    basis[row] = next_art;
-                    next_art += 1;
-                }
-            }
-        }
-
-        // Phase-2 cost row: reduced costs start as c (basis columns are slack
-        // or artificial, which have zero phase-2 cost), objective 0.
-        let mut cost2 = vec![0.0; cols];
-        cost2[..n].copy_from_slice(c_min);
-        let obj2 = 0.0;
-
-        // Phase-1 cost row: sum of artificial variables.  Reduced costs are
-        // obtained by subtracting the rows whose basis variable is artificial.
-        let mut cost1 = vec![0.0; cols];
-        cost1[artificial_start..].fill(1.0);
-        let mut obj1 = 0.0;
-        for (row, &bv) in basis.iter().enumerate() {
-            if bv >= artificial_start {
-                for j in 0..cols {
-                    cost1[j] -= a[row][j];
-                }
-                obj1 += b[row];
-            }
-        }
-
-        Tableau {
+        LpState {
             a,
-            b,
-            cost1,
-            cost2,
-            obj1,
-            obj2,
+            xb,
             basis,
+            row_of,
+            at_upper,
+            lo,
+            up,
+            d,
+            n,
             artificial_start,
             cols,
         }
     }
 
-    fn run_phase(&self, tab: &mut Tableau, phase1: bool, iterations: &mut usize) -> PhaseResult {
-        let bland_threshold = self.max_iterations / 2;
+    /// Run the two primal phases on a freshly built state and extract the
+    /// solution.
+    fn solve_state(&self, problem: &Problem, mut st: LpState) -> LpResult {
+        let mut iterations = 0usize;
+        let mut pivots = 0usize;
+
+        if st.num_artificials() > 0 {
+            // Phase-1 reduced costs: minimize the sum of artificials.  The
+            // artificial rows are identity on their artificial, so the
+            // reduced cost of column j is 1[j artificial] − Σ_art-rows a[r][j].
+            let mut d1 = vec![0.0; st.cols];
+            d1[st.artificial_start..].fill(1.0);
+            for (row, &b) in st.basis.iter().enumerate() {
+                if b >= st.artificial_start {
+                    for (dj, aj) in d1.iter_mut().zip(&st.a[row]) {
+                        *dj -= aj;
+                    }
+                }
+            }
+            match self.primal_phase(&mut st, Some(&mut d1), &mut iterations, &mut pivots) {
+                PhaseResult::Optimal => {}
+                // The phase-1 objective is bounded below by zero, so an
+                // "unbounded" answer is a numerical failure: report the
+                // model as infeasible rather than returning garbage.
+                PhaseResult::Unbounded => {
+                    return LpResult::plain(SimplexOutcome::Infeasible, pivots);
+                }
+                PhaseResult::IterationLimit => {
+                    return LpResult::plain(SimplexOutcome::IterationLimit, pivots);
+                }
+            }
+            let infeasibility: f64 = st
+                .basis
+                .iter()
+                .zip(&st.xb)
+                .filter(|(b, _)| **b >= st.artificial_start)
+                .map(|(_, v)| *v)
+                .sum();
+            if infeasibility > self.tolerance * 10.0 {
+                return LpResult::plain(SimplexOutcome::Infeasible, pivots);
+            }
+            // Drive every still-basic artificial (at level zero) out of the
+            // basis with a degenerate pivot so later phases can never
+            // re-inflate it.  A row whose structural and slack coefficients
+            // are all ~0 is redundant and may keep its artificial.
+            for row in 0..st.num_rows() {
+                if st.basis[row] >= st.artificial_start {
+                    let col = (0..st.artificial_start)
+                        .find(|&j| !st.is_basic(j) && st.a[row][j].abs() > self.tolerance);
+                    if let Some(col) = col {
+                        let value = st.value_of(col);
+                        self.do_pivot(&mut st, row, col, value, false, None);
+                        pivots += 1;
+                    }
+                }
+            }
+            // Pin the artificials so no later bound flip can move them.
+            for j in st.artificial_start..st.cols {
+                st.up[j] = 0.0;
+            }
+        }
+
+        match self.primal_phase(&mut st, None, &mut iterations, &mut pivots) {
+            PhaseResult::Optimal => {}
+            PhaseResult::Unbounded => return LpResult::plain(SimplexOutcome::Unbounded, pivots),
+            PhaseResult::IterationLimit => {
+                return LpResult::plain(SimplexOutcome::IterationLimit, pivots);
+            }
+        }
+
+        let solution = self.extract(problem, &st);
+        LpResult {
+            outcome: SimplexOutcome::Optimal(solution),
+            pivots,
+            state: Some(st),
+        }
+    }
+
+    /// One primal simplex phase.  With `d1 = Some(..)` the pricing uses the
+    /// phase-1 infeasibility costs (and keeps both cost rows updated);
+    /// otherwise it uses the phase-2 reduced costs in `st.d`.  Artificial
+    /// columns are never allowed to enter.
+    ///
+    /// Anti-cycling is per *detected stall*: after [`DEGENERACY_STREAK`]
+    /// consecutive zero-progress iterations the pricing switches to Bland's
+    /// rule, and any progress switches it back — the threshold is never
+    /// carried over from a previous phase.
+    fn primal_phase(
+        &self,
+        st: &mut LpState,
+        mut d1: Option<&mut Vec<f64>>,
+        iterations: &mut usize,
+        pivots: &mut usize,
+    ) -> PhaseResult {
+        let mut degenerate_streak = 0usize;
         loop {
             if *iterations >= self.max_iterations {
                 return PhaseResult::IterationLimit;
             }
             *iterations += 1;
-            let use_bland = *iterations > bland_threshold;
+            let use_bland = degenerate_streak >= DEGENERACY_STREAK;
 
-            // Choose an entering column with negative reduced cost.
-            let cost = if phase1 { &tab.cost1 } else { &tab.cost2 };
-            let allowed_cols = if phase1 {
-                tab.cols
-            } else {
-                tab.artificial_start
-            };
-            let mut entering: Option<usize> = None;
-            let mut best = -self.tolerance;
-            for (j, &c) in cost.iter().enumerate().take(allowed_cols) {
-                if c < -self.tolerance {
+            // Entering column: nonbasic, non-fixed, profitable to move off
+            // its bound (increase from lower when d < 0, decrease from upper
+            // when d > 0 — minimization form).
+            let enter = {
+                let cost: &[f64] = match &d1 {
+                    Some(d) => d,
+                    None => &st.d,
+                };
+                let mut enter: Option<(usize, f64)> = None;
+                for (j, &dj) in cost.iter().enumerate().take(st.artificial_start) {
+                    if st.is_basic(j) || st.up[j] - st.lo[j] <= self.tolerance {
+                        continue;
+                    }
+                    let eligible = (!st.at_upper[j] && dj < -self.tolerance)
+                        || (st.at_upper[j] && dj > self.tolerance);
+                    if !eligible {
+                        continue;
+                    }
                     if use_bland {
-                        entering = Some(j);
+                        enter = Some((j, dj));
                         break;
                     }
-                    if c < best {
-                        best = c;
-                        entering = Some(j);
+                    if enter.is_none_or(|(_, best)| dj.abs() > best.abs()) {
+                        enter = Some((j, dj));
                     }
                 }
+                enter
+            };
+            let Some((enter, _)) = enter else {
+                return PhaseResult::Optimal;
+            };
+            let t = if st.at_upper[enter] { -1.0 } else { 1.0 };
+
+            // Ratio test: the entering variable moves by Δ ≥ 0 in direction
+            // `t`; each basic variable blocks at the bound it drifts toward,
+            // and the entering variable itself blocks at its opposite bound
+            // (a bound flip — no pivot needed).
+            let mut limit = st.up[enter] - st.lo[enter];
+            let mut leave: Option<(usize, bool)> = None;
+            for row in 0..st.num_rows() {
+                let w = t * st.a[row][enter];
+                let b = st.basis[row];
+                let (room, hits_upper) = if w > self.tolerance {
+                    (st.xb[row] - st.lo[b], false)
+                } else if w < -self.tolerance {
+                    (st.up[b] - st.xb[row], true)
+                } else {
+                    continue;
+                };
+                if room.is_infinite() {
+                    continue;
+                }
+                let ratio = room.max(0.0) / w.abs();
+                let strictly_better = ratio < limit - self.tolerance;
+                let tie = (ratio - limit).abs() <= self.tolerance;
+                let tie_break = tie
+                    && match leave {
+                        None => false, // tie with the bound-flip limit: keep the flip
+                        Some((lr, _)) => {
+                            if use_bland {
+                                st.basis[row] < st.basis[lr]
+                            } else {
+                                st.a[row][enter].abs() > st.a[lr][enter].abs()
+                            }
+                        }
+                    };
+                if strictly_better || tie_break {
+                    limit = ratio;
+                    leave = Some((row, hits_upper));
+                }
             }
-            let Some(enter) = entering else {
+
+            if limit.is_infinite() {
+                return PhaseResult::Unbounded;
+            }
+            let progress = limit > self.tolerance;
+            match leave {
+                None => {
+                    // Bound flip: the entering variable runs to its other
+                    // bound; only the basic values move.
+                    for (xb, row) in st.xb.iter_mut().zip(&st.a) {
+                        *xb -= t * limit * row[enter];
+                    }
+                    st.at_upper[enter] = !st.at_upper[enter];
+                }
+                Some((row, hits_upper)) => {
+                    let new_value = st.value_of(enter) + t * limit;
+                    self.do_pivot(st, row, enter, new_value, hits_upper, d1.as_deref_mut());
+                    *pivots += 1;
+                }
+            }
+            if progress {
+                degenerate_streak = 0;
+            } else {
+                degenerate_streak += 1;
+            }
+        }
+    }
+
+    /// The dual simplex: repair primal feasibility after bound tightenings
+    /// while preserving dual feasibility of the reduced costs.
+    fn dual_phase(
+        &self,
+        st: &mut LpState,
+        iterations: &mut usize,
+        pivots: &mut usize,
+    ) -> PhaseResult {
+        // Same degeneracy-triggered anti-cycling as the primal phases: a
+        // streak of zero-progress (ratio ≈ 0) pivots switches both choices
+        // to lowest-index Bland selection until the dual objective moves.
+        let mut degenerate_streak = 0usize;
+        loop {
+            if *iterations >= self.max_iterations {
+                return PhaseResult::IterationLimit;
+            }
+            *iterations += 1;
+            let use_bland = degenerate_streak >= DEGENERACY_STREAK;
+
+            // Leaving row: the basic variable with the largest bound
+            // violation (under Bland: the violated row with the smallest
+            // basis column); it will leave at the violated bound.
+            let mut leave: Option<(usize, f64, bool)> = None;
+            let mut worst = self.tolerance * 10.0;
+            for row in 0..st.num_rows() {
+                let b = st.basis[row];
+                let below = st.lo[b] - st.xb[row];
+                let above = st.xb[row] - st.up[b];
+                let (violation, target, at_upper) = if below > above {
+                    (below, st.lo[b], false)
+                } else {
+                    (above, st.up[b], true)
+                };
+                if violation <= self.tolerance * 10.0 {
+                    continue;
+                }
+                let better = if use_bland {
+                    leave.is_none_or(|(lr, _, _)| b < st.basis[lr])
+                } else {
+                    violation > worst
+                };
+                if better {
+                    worst = violation;
+                    leave = Some((row, target, at_upper));
+                }
+            }
+            let Some((row, target, above)) = leave else {
                 return PhaseResult::Optimal;
             };
 
-            // Ratio test.
-            let mut leave: Option<usize> = None;
+            // Entering column via the dual ratio test: among the nonbasic
+            // columns whose movement can push the leaving variable toward
+            // its bound, the one whose reduced cost reaches zero first —
+            // that keeps every other reduced cost dual feasible.  Ties go
+            // to the larger pivot element for stability, or to the smaller
+            // column index in Bland mode.
+            let mut enter: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
-            for row in 0..tab.b.len() {
-                let coef = tab.a[row][enter];
-                if coef > self.tolerance {
-                    let ratio = tab.b[row] / coef;
-                    let better = ratio < best_ratio - self.tolerance
-                        || (use_bland
-                            && (ratio - best_ratio).abs() <= self.tolerance
-                            && leave.is_none_or(|l| tab.basis[row] < tab.basis[l]));
-                    if better {
-                        best_ratio = ratio;
-                        leave = Some(row);
-                    }
+            for j in 0..st.artificial_start {
+                if st.is_basic(j) || st.up[j] - st.lo[j] <= self.tolerance {
+                    continue;
+                }
+                let a = st.a[row][j];
+                if a.abs() <= self.tolerance {
+                    continue;
+                }
+                let pushes = if above {
+                    (!st.at_upper[j] && a > 0.0) || (st.at_upper[j] && a < 0.0)
+                } else {
+                    (!st.at_upper[j] && a < 0.0) || (st.at_upper[j] && a > 0.0)
+                };
+                if !pushes {
+                    continue;
+                }
+                let ratio = (st.d[j] / a).abs();
+                let strictly_better = ratio < best_ratio - self.tolerance;
+                let tie = (ratio - best_ratio).abs() <= self.tolerance;
+                let tie_break = tie
+                    && enter.is_some_and(|e| {
+                        if use_bland {
+                            j < e
+                        } else {
+                            a.abs() > st.a[row][e].abs()
+                        }
+                    });
+                if strictly_better || tie_break {
+                    best_ratio = ratio;
+                    enter = Some(j);
                 }
             }
-            let Some(leave) = leave else {
+            // No column can move the violated basic variable toward its
+            // bound: the tightened bounds admit no feasible point.
+            let Some(enter) = enter else {
                 return PhaseResult::Unbounded;
             };
 
-            self.pivot(tab, leave, enter);
+            if best_ratio > self.tolerance {
+                degenerate_streak = 0;
+            } else {
+                degenerate_streak += 1;
+            }
+            let change = (st.xb[row] - target) / st.a[row][enter];
+            let new_value = st.value_of(enter) + change;
+            self.do_pivot(st, row, enter, new_value, above, None);
+            *pivots += 1;
         }
     }
 
-    fn pivot(&self, tab: &mut Tableau, row: usize, col: usize) {
-        let pivot = tab.a[row][col];
-        debug_assert!(pivot.abs() > self.tolerance);
-        // Normalize the pivot row.
-        for j in 0..tab.cols {
-            tab.a[row][j] /= pivot;
-        }
-        tab.b[row] /= pivot;
-        // Eliminate the column from the other rows and the cost rows.
-        for r in 0..tab.b.len() {
-            if r != row {
-                let factor = tab.a[r][col];
-                if factor.abs() > 0.0 {
-                    for j in 0..tab.cols {
-                        tab.a[r][j] -= factor * tab.a[row][j];
-                    }
-                    tab.b[r] -= factor * tab.b[row];
+    /// Perform a pivot: update the basic values, swap the basis bookkeeping,
+    /// eliminate the entering column, and update the reduced-cost rows.
+    ///
+    /// `new_value` is the value the entering variable takes; `leaves_at_upper`
+    /// records at which bound the leaving variable comes to rest.
+    fn do_pivot(
+        &self,
+        st: &mut LpState,
+        row: usize,
+        enter: usize,
+        new_value: f64,
+        leaves_at_upper: bool,
+        d1: Option<&mut Vec<f64>>,
+    ) {
+        let change = new_value - st.value_of(enter);
+        if change != 0.0 {
+            for r in 0..st.num_rows() {
+                if r != row {
+                    st.xb[r] -= change * st.a[r][enter];
                 }
             }
         }
-        let f1 = tab.cost1[col];
-        if f1.abs() > 0.0 {
-            for j in 0..tab.cols {
-                tab.cost1[j] -= f1 * tab.a[row][j];
-            }
-            // Entering x_col at level b[row] changes the objective by
-            // (reduced cost) × level.
-            tab.obj1 += f1 * tab.b[row];
-        }
-        let f2 = tab.cost2[col];
-        if f2.abs() > 0.0 {
-            for j in 0..tab.cols {
-                tab.cost2[j] -= f2 * tab.a[row][j];
-            }
-            tab.obj2 += f2 * tab.b[row];
-        }
-        tab.basis[row] = col;
-    }
-}
+        st.xb[row] = new_value;
 
-enum PhaseResult {
-    Optimal,
-    Unbounded,
-    IterationLimit,
+        let leaving = st.basis[row];
+        st.at_upper[leaving] = leaves_at_upper;
+        st.row_of[leaving] = usize::MAX;
+        st.basis[row] = enter;
+        st.row_of[enter] = row;
+        st.at_upper[enter] = false;
+
+        let pivot = st.a[row][enter];
+        debug_assert!(pivot.abs() > self.tolerance);
+        let inv = 1.0 / pivot;
+        for v in st.a[row].iter_mut() {
+            *v *= inv;
+        }
+        let (before, rest) = st.a.split_at_mut(row);
+        let (pivot_row, after) = rest.split_first_mut().expect("pivot row exists");
+        for other in before.iter_mut().chain(after.iter_mut()) {
+            let factor = other[enter];
+            if factor != 0.0 {
+                for (o, p) in other.iter_mut().zip(pivot_row.iter()) {
+                    *o -= factor * p;
+                }
+            }
+        }
+        let f2 = st.d[enter];
+        if f2 != 0.0 {
+            for (dj, p) in st.d.iter_mut().zip(pivot_row.iter()) {
+                *dj -= f2 * p;
+            }
+        }
+        if let Some(d1) = d1 {
+            let f1 = d1[enter];
+            if f1 != 0.0 {
+                for (dj, p) in d1.iter_mut().zip(pivot_row.iter()) {
+                    *dj -= f1 * p;
+                }
+            }
+        }
+    }
+
+    /// Read the structural values out of a solved state.
+    fn extract(&self, problem: &Problem, st: &LpState) -> Solution {
+        let mut values = vec![0.0; st.n];
+        for (j, v) in values.iter_mut().enumerate() {
+            // Clamp tolerance-level drift back into the variable's bounds.
+            *v = st.value_of(j).max(st.lo[j]).min(st.up[j]);
+        }
+        let objective = problem.objective_value(&values);
+        Solution { values, objective }
+    }
 }
 
 #[cfg(test)]
@@ -571,5 +960,274 @@ mod tests {
             .unwrap();
         assert!(sol.value(x) >= 1.0 - 1e-7);
         assert_close(sol.objective, 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Bounded-variable specifics.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn bounds_generate_no_rows_or_artificials() {
+        // Three bounded variables, one constraint: the tableau must have
+        // exactly one row and no artificial columns.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        let z = p.add_continuous("z", 0.5, Some(2.0));
+        p.add_constraint(
+            LinearExpr::from_terms([(x, 1.0), (y, 1.0), (z, 1.0)]),
+            Cmp::Le,
+            2.0,
+        );
+        p.set_objective(LinearExpr::from_terms([(x, 3.0), (y, 2.0), (z, 1.0)]));
+        let result = SimplexSolver::new().solve_tracked(&p, &[]);
+        let state = result.state.expect("optimal");
+        assert_eq!(state.num_rows(), 1);
+        assert_eq!(state.num_artificials(), 0);
+    }
+
+    #[test]
+    fn fixings_generate_no_rows_or_artificials() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Le, 2.0);
+        p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 3.0)]));
+        let result = SimplexSolver::new().solve_tracked(&p, &[(x, 1.0), (y, 0.0)]);
+        let state = result.state.expect("optimal");
+        assert_eq!(state.num_rows(), 1);
+        assert_eq!(state.num_artificials(), 0);
+        let sol = result.outcome.solution().unwrap();
+        assert_close(sol.value(x), 1.0);
+        assert_close(sol.value(y), 0.0);
+    }
+
+    #[test]
+    fn pure_bound_problem_flips_to_upper() {
+        // No constraints at all: the optimum is found purely by bound flips.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", -1.0, Some(2.5));
+        let y = p.add_binary("y");
+        p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 4.0)]));
+        let result = SimplexSolver::new().solve_tracked(&p, &[]);
+        let sol = result.outcome.solution().unwrap();
+        assert_close(sol.value(x), 2.5);
+        assert_close(sol.value(y), 1.0);
+        assert_eq!(result.pivots, 0, "bound flips are not pivots");
+    }
+
+    #[test]
+    fn invalid_model_is_not_reported_as_infeasible() {
+        // Regression: an objective referencing an undefined variable used to
+        // come back as `Infeasible`, masking the caller's bug.
+        let mut p = Problem::new(Sense::Maximize);
+        let _x = p.add_binary("x");
+        p.set_objective(LinearExpr::from_terms([(Var(9), 1.0)]));
+        assert!(matches!(
+            SimplexSolver::new().solve_relaxation(&p, &[]),
+            SimplexOutcome::InvalidModel(_)
+        ));
+        // An out-of-range fixing is a caller bug too.
+        let mut q = Problem::new(Sense::Maximize);
+        let x = q.add_binary("x");
+        q.set_objective(LinearExpr::var(x));
+        assert!(matches!(
+            SimplexSolver::new().solve_relaxation(&q, &[(Var(3), 1.0)]),
+            SimplexOutcome::InvalidModel(_)
+        ));
+        // Non-finite fixings are invalid on the cold and the warm path alike
+        // (a NaN bound would otherwise be silently ignored by comparisons).
+        assert!(matches!(
+            SimplexSolver::new().solve_relaxation(&q, &[(x, f64::NAN)]),
+            SimplexOutcome::InvalidModel(_)
+        ));
+        let state = SimplexSolver::new().solve_tracked(&q, &[]).state.unwrap();
+        assert!(matches!(
+            SimplexSolver::new()
+                .resolve_with_fixings(&q, &state, &[(x, f64::NAN)])
+                .outcome,
+            SimplexOutcome::InvalidModel(_)
+        ));
+    }
+
+    #[test]
+    fn contradictory_bounds_are_infeasible() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 2.0, Some(1.0));
+        p.set_objective(LinearExpr::var(x));
+        assert_eq!(
+            SimplexSolver::new().solve_relaxation(&p, &[]),
+            SimplexOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn warm_restart_matches_cold_solve_with_fixing() {
+        // Solve, then fix a variable both ways; the dual-simplex re-solve
+        // must agree with a cold solve of the fixed problem.
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<Var> = (0..6).map(|i| p.add_binary(format!("x{i}"))).collect();
+        let weights = [3.0, 5.0, 2.0, 7.0, 4.0, 1.0];
+        let values = [4.0, 6.0, 3.0, 8.0, 5.0, 1.5];
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().copied().zip(weights.iter().copied())),
+            Cmp::Le,
+            11.0,
+        );
+        p.add_constraint(
+            LinearExpr::from_terms([(xs[0], 1.0), (xs[3], 1.0)]),
+            Cmp::Le,
+            1.0,
+        );
+        p.set_objective(LinearExpr::from_terms(
+            xs.iter().copied().zip(values.iter().copied()),
+        ));
+        let solver = SimplexSolver::new();
+        let root = solver.solve_tracked(&p, &[]);
+        let state = root.state.expect("root optimal");
+        for v in &xs {
+            for val in [0.0, 1.0] {
+                let warm = solver.resolve_with_fixings(&p, &state, &[(*v, val)]);
+                let cold = solver.solve_tracked(&p, &[(*v, val)]);
+                match (warm.outcome, cold.outcome) {
+                    (SimplexOutcome::Optimal(w), SimplexOutcome::Optimal(c)) => {
+                        assert_close(w.objective, c.objective);
+                    }
+                    (SimplexOutcome::Infeasible, SimplexOutcome::Infeasible) => {}
+                    (w, c) => panic!("warm {w:?} disagrees with cold {c:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_restart_chain_tracks_nested_fixings() {
+        // Fix variables one at a time along a chain of warm restarts and
+        // check each level against a cold solve with the full fixing set.
+        let mut p = Problem::new(Sense::Minimize);
+        let xs: Vec<Var> = (0..5).map(|i| p.add_binary(format!("x{i}"))).collect();
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().map(|v| (*v, 1.0))),
+            Cmp::Ge,
+            2.0,
+        );
+        p.add_constraint(
+            LinearExpr::from_terms([(xs[1], 2.0), (xs[2], 1.0), (xs[4], 3.0)]),
+            Cmp::Le,
+            4.0,
+        );
+        p.set_objective(LinearExpr::from_terms(
+            xs.iter().enumerate().map(|(i, v)| (*v, 1.0 + i as f64)),
+        ));
+        let solver = SimplexSolver::new();
+        let mut state = solver.solve_tracked(&p, &[]).state.expect("root optimal");
+        let mut fixings: Vec<(Var, f64)> = Vec::new();
+        for (v, val) in [(xs[0], 1.0), (xs[2], 1.0), (xs[4], 0.0)] {
+            fixings.push((v, val));
+            let warm = solver.resolve_with_fixings(&p, &state, &[(v, val)]);
+            let cold = solver.solve_tracked(&p, &fixings);
+            let w = warm.outcome.solution().expect("warm optimal");
+            let c = cold.outcome.solution().expect("cold optimal");
+            assert_close(w.objective, c.objective);
+            state = warm.state.expect("warm state");
+        }
+    }
+
+    #[test]
+    fn infeasible_fixing_is_detected_by_dual_simplex() {
+        // x + y = 1: fixing both to 0 leaves no feasible point.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Eq, 1.0);
+        p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 2.0)]));
+        let solver = SimplexSolver::new();
+        let root = solver.solve_tracked(&p, &[]);
+        let state = root.state.expect("root optimal");
+        let step1 = solver.resolve_with_fixings(&p, &state, &[(x, 0.0)]);
+        let s1 = step1.outcome.solution().expect("still feasible");
+        assert_close(s1.value(y), 1.0);
+        let step2 = solver.resolve_with_fixings(&p, step1.state.as_ref().unwrap(), &[(y, 0.0)]);
+        assert_eq!(step2.outcome, SimplexOutcome::Infeasible);
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale's classic cycling instance for Dantzig pricing; the
+        // degeneracy-triggered switch to Bland's rule must break the cycle.
+        // min -0.75a + 150b - 0.02c + 6d
+        //   s.t. 0.25a - 60b - 0.04c + 9d <= 0
+        //        0.5a - 90b - 0.02c + 3d <= 0
+        //        c <= 1     (native bound)
+        // Optimum: -0.05 at a = 0.04/0.8... (objective value is what matters).
+        let mut p = Problem::new(Sense::Minimize);
+        let a = p.add_continuous("a", 0.0, None);
+        let b = p.add_continuous("b", 0.0, None);
+        let c = p.add_continuous("c", 0.0, Some(1.0));
+        let d = p.add_continuous("d", 0.0, None);
+        p.add_constraint(
+            LinearExpr::from_terms([(a, 0.25), (b, -60.0), (c, -0.04), (d, 9.0)]),
+            Cmp::Le,
+            0.0,
+        );
+        p.add_constraint(
+            LinearExpr::from_terms([(a, 0.5), (b, -90.0), (c, -0.02), (d, 3.0)]),
+            Cmp::Le,
+            0.0,
+        );
+        p.set_objective(LinearExpr::from_terms([
+            (a, -0.75),
+            (b, 150.0),
+            (c, -0.02),
+            (d, 6.0),
+        ]));
+        let sol = SimplexSolver::new()
+            .solve_relaxation(&p, &[])
+            .solution()
+            .expect("must not cycle forever");
+        assert_close(sol.objective, -0.05);
+    }
+
+    #[test]
+    fn anti_cycling_is_not_inherited_across_phases() {
+        // Regression for the shared Bland threshold: a problem whose phase 1
+        // needs many pivots (25 equality rows → 25 artificials) must still
+        // solve phase 2 promptly with Dantzig pricing.  With the old
+        // cross-phase counter a small iteration budget pushed phase 2 into
+        // permanent Bland mode; now the whole solve fits comfortably.
+        let k = 25usize;
+        let mut p = Problem::new(Sense::Maximize);
+        let fixed: Vec<Var> = (0..k)
+            .map(|i| p.add_continuous(format!("f{i}"), 0.0, None))
+            .collect();
+        let free: Vec<Var> = (0..k)
+            .map(|i| p.add_continuous(format!("y{i}"), 0.0, None))
+            .collect();
+        let mut obj = LinearExpr::new();
+        for (i, v) in fixed.iter().enumerate() {
+            // f_i = const > 0: the initial slack basis cannot satisfy an
+            // equality with a positive residual, forcing one artificial
+            // (and so at least one phase-1 pivot) per row.
+            p.add_constraint(LinearExpr::var(*v), Cmp::Eq, 2.0 + i as f64);
+            obj.add_term(*v, 0.1);
+        }
+        for (i, v) in free.iter().enumerate() {
+            p.add_constraint(LinearExpr::var(*v), Cmp::Le, 1.0 + i as f64);
+            obj.add_term(*v, 1.0 + (i % 7) as f64);
+        }
+        p.set_objective(obj);
+        let result = SimplexSolver::new().solve_tracked(&p, &[]);
+        assert!(
+            matches!(result.outcome, SimplexOutcome::Optimal(_)),
+            "expected optimal, got {:?}",
+            result.outcome
+        );
+        // Phase 1 needs ≈k pivots and phase 2 ≈k more; anything close to the
+        // iteration budget would mean pricing got stuck in Bland mode.
+        assert!(
+            result.pivots <= 4 * k,
+            "solve took {} pivots for k = {k}",
+            result.pivots
+        );
     }
 }
