@@ -30,6 +30,9 @@
 pub mod kernels;
 pub mod softfloat;
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use flashram_ir::MachineProgram;
 use flashram_minicc::{compile_program, CompileError, OptLevel, SourceUnit};
 
@@ -143,6 +146,41 @@ impl Benchmark {
     pub fn compile(&self, opt: OptLevel) -> Result<MachineProgram, CompileError> {
         compile_program(&self.source_units(), opt)
     }
+
+    /// Compile the benchmark through the process-wide fixture cache.
+    ///
+    /// The kernel sources are `'static` and the compiler is deterministic,
+    /// so one compile per `(kernel, level)` pair serves every caller in the
+    /// process.  The heavy integration tests and the sweep harnesses in
+    /// `flashram-bench` use this instead of [`Benchmark::compile`] so a test
+    /// binary that exercises ten kernels at five levels pays for fifty
+    /// compiles once, not once per test.
+    ///
+    /// The returned [`Arc`] shares the cached program; clone the inner
+    /// [`MachineProgram`] if you need to mutate it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Benchmark::compile`]; failures are not cached.
+    pub fn compile_cached(&self, opt: OptLevel) -> Result<Arc<MachineProgram>, CompileError> {
+        type FixtureCache = Mutex<HashMap<(&'static str, OptLevel), Arc<MachineProgram>>>;
+        static CACHE: OnceLock<FixtureCache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache
+            .lock()
+            .expect("fixture cache poisoned")
+            .get(&(self.name, opt))
+        {
+            return Ok(Arc::clone(hit));
+        }
+        // Compile outside the lock: a miss takes long enough that holding
+        // the lock would serialize every other thread's cache hits.  Two
+        // threads racing on the same key both compile, but the compiler is
+        // deterministic so either result is fine to keep.
+        let program = Arc::new(self.compile(opt)?);
+        let mut map = cache.lock().expect("fixture cache poisoned");
+        Ok(Arc::clone(map.entry((self.name, opt)).or_insert(program)))
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +208,24 @@ mod tests {
         );
         assert!(Benchmark::by_name("fdct").is_some());
         assert!(Benchmark::by_name("absent").is_none());
+    }
+
+    #[test]
+    fn cached_compiles_share_one_program_and_match_fresh_ones() {
+        let b = Benchmark::by_name("crc32").unwrap();
+        let first = b.compile_cached(OptLevel::O1).unwrap();
+        let second = b.compile_cached(OptLevel::O1).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second lookup must hit the cache"
+        );
+        let fresh = b.compile(OptLevel::O1).unwrap();
+        assert_eq!(*first, fresh, "cache must return what compile() returns");
+        let other_level = b.compile_cached(OptLevel::O2).unwrap();
+        assert!(
+            !Arc::ptr_eq(&first, &other_level),
+            "levels cached separately"
+        );
     }
 
     #[test]

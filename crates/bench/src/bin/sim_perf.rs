@@ -1,0 +1,74 @@
+//! Simulator throughput smoke: run the BEEBS sweep one-by-one and on the
+//! `BatchRunner` worker pool, print the comparison, and write the numbers to
+//! `BENCH_sim.json` so simulator throughput can be tracked across commits.
+//!
+//! Exits nonzero when an acceptance check fails: batched results must be
+//! bit-identical to sequential ones, and on hosts with at least four CPUs
+//! the batched sweep must be at least 3× faster than the sequential loop
+//! (on smaller hosts the speedup is reported but not enforced — a
+//! single-core runner cannot exhibit parallel speedup).  Pass `--no-fail`
+//! to report without failing (used by CI, where the numbers are
+//! informational).
+
+use flashram_bench::{sim_perf, sim_perf_json};
+use flashram_mcu::Board;
+use flashram_minicc::OptLevel;
+
+fn main() {
+    let no_fail = std::env::args().any(|a| a == "--no-fail");
+    let board = Board::stm32vldiscovery();
+    let report = sim_perf(&board, &[OptLevel::O1, OptLevel::O2, OptLevel::Os]);
+
+    println!(
+        "{:<16} {:>5} {:>12} {:>12} {:>12}",
+        "benchmark", "level", "cycles", "energy mJ", "checksum"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<16} {:>5} {:>12} {:>12.4} {:>12}",
+            row.benchmark, row.level, row.cycles, row.energy_mj, row.return_value
+        );
+    }
+    println!(
+        "{} programs, {:.1} Mcycles total, {} worker thread(s)",
+        report.rows.len(),
+        report.total_cycles as f64 / 1e6,
+        report.threads
+    );
+    println!(
+        "sequential {:.1} ms, batched {:.1} ms -> speedup {:.2}x \
+         ({:.1} Mcycles/s batched), bit-identical: {}",
+        report.sequential_wall_ms,
+        report.batched_wall_ms,
+        report.speedup(),
+        report.batched_mcycles_per_s(),
+        report.bit_identical
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    if !report.bit_identical {
+        failures.push("batched results are not bit-identical to sequential runs".to_string());
+    }
+    if report.threads >= 4 && report.speedup() < 3.0 {
+        failures.push(format!(
+            "batched speedup {:.2}x below the 3x floor on a {}-thread host",
+            report.speedup(),
+            report.threads
+        ));
+    }
+
+    let json = sim_perf_json(&report);
+    let path = "BENCH_sim.json";
+    std::fs::write(path, json).expect("write BENCH_sim.json");
+    println!("wrote {path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        if !no_fail {
+            std::process::exit(1);
+        }
+        eprintln!("(--no-fail: reporting only)");
+    }
+}

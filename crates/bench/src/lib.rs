@@ -13,6 +13,14 @@
 //! | Figure 6 (trade-off space) | [`tradeoff_space`] | `fig6_tradeoff_space` |
 //! | Figure 9 + Section 7 numbers | [`case_study_series`] | `fig9_case_study` |
 //! | Solver performance (warm vs cold B&B) | [`solver_perf`] | `solver_perf` → `BENCH_solver.json` |
+//! | Simulator throughput (batched vs sequential) | [`sim_perf`] | `sim_perf` → `BENCH_sim.json` |
+//!
+//! The sweeps run on [`BatchRunner`], the `flashram-mcu` worker pool, so a
+//! ten-kernel × five-level sweep saturates every core while returning
+//! results bit-identical to (and ordered like) a sequential loop; compiled
+//! kernels come from the `flashram-beebs` fixture cache
+//! ([`Benchmark::compile_cached`]), so nothing is compiled twice per
+//! process.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,7 +35,7 @@ use flashram_ir::{
     BlockId, BlockRef, FuncId, GlobalData, MachineBlock, MachineFunction, MachineProgram, Section,
 };
 use flashram_isa::{Cond, Inst, MemWidth, Reg, TermKind, Terminator};
-use flashram_mcu::{Board, PowerModel, RunConfig};
+use flashram_mcu::{BatchRunner, Board, PowerModel, RunConfig};
 use flashram_minicc::OptLevel;
 
 /// One bar pair of Figure 1: the average power of a tight loop of one
@@ -286,7 +294,7 @@ pub fn run_benchmark(
     level: OptLevel,
     x_limit: f64,
 ) -> BenchmarkResult {
-    let program = bench.compile(level).expect("benchmark compiles");
+    let program = bench.compile_cached(level).expect("benchmark compiles");
     let base = board.run(&program).expect("baseline runs");
 
     let optimizer = RamOptimizer::with_config(OptimizerConfig {
@@ -328,14 +336,25 @@ pub fn run_benchmark(
 
 /// Run the whole suite over the given levels (Figure 5 uses O2 and Os; the
 /// Section 6 averages use all five).
+///
+/// The `(benchmark, level)` cells run in parallel on a [`BatchRunner`] over
+/// a clone of `board`; the result order is the sequential one (suite order,
+/// then level order) regardless of scheduling.
 pub fn beebs_sweep(board: &Board, levels: &[OptLevel], x_limit: f64) -> Vec<BenchmarkResult> {
-    let mut out = Vec::new();
-    for bench in Benchmark::all() {
-        for &level in levels {
-            out.push(run_benchmark(board, &bench, level, x_limit));
-        }
-    }
-    out
+    let jobs = sweep_jobs(levels);
+    BatchRunner::new(board.clone()).map(&jobs, |board, (bench, level)| {
+        run_benchmark(board, bench, *level, x_limit)
+    })
+}
+
+/// The `(benchmark, level)` cross product every sweep iterates, in the
+/// canonical order: suite order (Figure 5's), then level order.  Shared by
+/// [`beebs_sweep`] and [`sim_perf`] so their row orders cannot diverge.
+fn sweep_jobs(levels: &[OptLevel]) -> Vec<(Benchmark, OptLevel)> {
+    Benchmark::all()
+        .into_iter()
+        .flat_map(|bench| levels.iter().map(move |&level| (bench, level)))
+        .collect()
 }
 
 /// Aggregate averages over a sweep (the Section 6 headline numbers).
@@ -408,7 +427,7 @@ pub fn tradeoff_space(
     level: OptLevel,
     k: usize,
 ) -> TradeoffSpace {
-    let program = bench.compile(level).expect("benchmark compiles");
+    let program = bench.compile_cached(level).expect("benchmark compiles");
     let params = flashram_core::extract_params(&program, &FrequencySource::default());
     let spare = board.spare_ram(&program).expect("program fits");
     let (e_flash, e_ram) = board.power.model_coefficients();
@@ -527,29 +546,26 @@ pub fn case_study_series(
     period_multiples: &[f64],
 ) -> Vec<CaseStudySeries> {
     let sleep = PowerModel::stm32f100().sleep_mw;
-    names
-        .iter()
-        .map(|name| {
-            let bench = Benchmark::by_name(name).expect("known benchmark");
-            let program = bench.compile(level).expect("benchmark compiles");
-            let placement = RamOptimizer::new()
-                .optimize(&program, board)
-                .expect("placement");
-            let measurement =
-                measure_case_study(board, &program, &placement.program).expect("simulation");
-            let series = period_sweep(&measurement, period_multiples, sleep);
-            let best_extension = measurement.battery_life_extension(&flashram_mcu::SleepScenario {
-                period_s: measurement.base_time_s * period_multiples[0].max(1.01),
-                sleep_power_mw: sleep,
-            });
-            CaseStudySeries {
-                benchmark: name.to_string(),
-                measurement,
-                series,
-                best_extension,
-            }
-        })
-        .collect()
+    BatchRunner::new(board.clone()).map(names, |board, name| {
+        let bench = Benchmark::by_name(name).expect("known benchmark");
+        let program = bench.compile_cached(level).expect("benchmark compiles");
+        let placement = RamOptimizer::new()
+            .optimize(&program, board)
+            .expect("placement");
+        let measurement =
+            measure_case_study(board, &program, &placement.program).expect("simulation");
+        let series = period_sweep(&measurement, period_multiples, sleep);
+        let best_extension = measurement.battery_life_extension(&flashram_mcu::SleepScenario {
+            period_s: measurement.base_time_s * period_multiples[0].max(1.01),
+            sleep_power_mw: sleep,
+        });
+        CaseStudySeries {
+            benchmark: name.to_string(),
+            measurement,
+            series,
+            best_extension,
+        }
+    })
 }
 
 /// The numbers of one branch-and-bound run over a placement model.
@@ -643,7 +659,7 @@ pub fn solver_perf(board: &Board, level: OptLevel) -> (Vec<SolverPerfRow>, Vec<S
     let mut rows = Vec::new();
     let mut errors = Vec::new();
     for bench in Benchmark::all() {
-        let program = bench.compile(level).expect("benchmark compiles");
+        let program = bench.compile_cached(level).expect("benchmark compiles");
         let params = extract_params(&program, &FrequencySource::default());
         let spare = board.spare_ram(&program).expect("program fits");
         let (e_flash, e_ram) = board.power.model_coefficients();
@@ -726,7 +742,7 @@ pub fn solver_perf_json(rows: &[SolverPerfRow]) -> String {
 /// Build and solve the placement ILP for one benchmark, returning the number
 /// of blocks selected (used by the solver Criterion bench).
 pub fn solve_placement_once(board: &Board, bench: &Benchmark, level: OptLevel) -> usize {
-    let program = bench.compile(level).expect("benchmark compiles");
+    let program = bench.compile_cached(level).expect("benchmark compiles");
     RamOptimizer::new()
         .optimize(&program, board)
         .expect("placement succeeds")
@@ -766,52 +782,49 @@ pub fn linker_mode_comparison(
     level: OptLevel,
     x_limit: f64,
 ) -> Vec<LinkerModeComparison> {
-    names
-        .iter()
-        .map(|name| {
-            let bench = Benchmark::by_name(name).expect("known benchmark");
-            let program = bench.compile(level).expect("benchmark compiles");
-            let base = board.run(&program).expect("baseline runs");
-            let pct = |after: f64, before: f64| 100.0 * (after - before) / before;
+    BatchRunner::new(board.clone()).map(names, |board, name| {
+        let bench = Benchmark::by_name(name).expect("known benchmark");
+        let program = bench.compile_cached(level).expect("benchmark compiles");
+        let base = board.run(&program).expect("baseline runs");
+        let pct = |after: f64, before: f64| 100.0 * (after - before) / before;
 
-            let mut energy = [0.0f64; 2];
-            let mut power = [0.0f64; 2];
-            let mut blocks = [0usize; 2];
-            for (i, scope) in [
-                PlacementScope::ApplicationOnly,
-                PlacementScope::WholeProgram,
-            ]
-            .into_iter()
-            .enumerate()
-            {
-                let placement = RamOptimizer::with_config(OptimizerConfig {
-                    x_limit,
-                    scope,
-                    ..OptimizerConfig::default()
-                })
-                .optimize(&program, board)
-                .expect("placement succeeds");
-                let run = board
-                    .run(&placement.program)
-                    .expect("optimized program runs");
-                assert_eq!(
-                    base.return_value, run.return_value,
-                    "{name}: semantics changed"
-                );
-                energy[i] = pct(run.energy_mj, base.energy_mj);
-                power[i] = pct(run.avg_power_mw, base.avg_power_mw);
-                blocks[i] = placement.selected.len();
-            }
-            LinkerModeComparison {
-                benchmark: bench.name.to_string(),
-                app_only_energy_pct: energy[0],
-                whole_program_energy_pct: energy[1],
-                app_only_power_pct: power[0],
-                whole_program_power_pct: power[1],
-                extra_blocks_in_ram: blocks[1].saturating_sub(blocks[0]),
-            }
-        })
-        .collect()
+        let mut energy = [0.0f64; 2];
+        let mut power = [0.0f64; 2];
+        let mut blocks = [0usize; 2];
+        for (i, scope) in [
+            PlacementScope::ApplicationOnly,
+            PlacementScope::WholeProgram,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let placement = RamOptimizer::with_config(OptimizerConfig {
+                x_limit,
+                scope,
+                ..OptimizerConfig::default()
+            })
+            .optimize(&program, board)
+            .expect("placement succeeds");
+            let run = board
+                .run(&placement.program)
+                .expect("optimized program runs");
+            assert_eq!(
+                base.return_value, run.return_value,
+                "{name}: semantics changed"
+            );
+            energy[i] = pct(run.energy_mj, base.energy_mj);
+            power[i] = pct(run.avg_power_mw, base.avg_power_mw);
+            blocks[i] = placement.selected.len();
+        }
+        LinkerModeComparison {
+            benchmark: bench.name.to_string(),
+            app_only_energy_pct: energy[0],
+            whole_program_energy_pct: energy[1],
+            app_only_power_pct: power[0],
+            whole_program_power_pct: power[1],
+            extra_blocks_in_ram: blocks[1].saturating_sub(blocks[0]),
+        }
+    })
 }
 
 /// The measured outcome of one cost-model variant in the ablation study.
@@ -850,72 +863,232 @@ pub fn model_ablation(
     level: OptLevel,
     x_limit: f64,
 ) -> Vec<AblationResult> {
-    names
+    BatchRunner::new(board.clone()).map(names, |board, name| {
+        let bench = Benchmark::by_name(name).expect("known benchmark");
+        let program = bench.compile_cached(level).expect("benchmark compiles");
+        let base = board.run(&program).expect("baseline runs");
+        let spare = board.spare_ram(&program).expect("program fits");
+        let (e_flash, e_ram) = board.power.model_coefficients();
+        let config = ModelConfig {
+            x_limit,
+            r_spare: spare,
+            e_flash,
+            e_ram,
+        };
+        let params = extract_params(&program, &FrequencySource::default());
+
+        let measure = |params: &flashram_core::ProgramParams| -> AblationOutcome {
+            let model = PlacementModel::build(params, &config);
+            let solution = flashram_ilp::BranchBound::new()
+                .solve(&model.problem)
+                .expect("solvable");
+            let selected = model.selected_blocks(&solution);
+            let transformed = flashram_core::apply_placement(&program, &selected);
+            let run = board.run(&transformed).expect("transformed program runs");
+            assert_eq!(
+                base.return_value, run.return_value,
+                "{name}: semantics changed"
+            );
+            AblationOutcome {
+                energy_pct: 100.0 * (run.energy_mj - base.energy_mj) / base.energy_mj,
+                time_pct: 100.0 * (run.time_s - base.time_s) / base.time_s,
+                power_pct: 100.0 * (run.avg_power_mw - base.avg_power_mw) / base.avg_power_mw,
+                blocks_in_ram: selected.len(),
+            }
+        };
+
+        let full = measure(&params);
+
+        // Variant 1: instruction count instead of cycles for C_b.
+        let mut inst_params = params.clone();
+        for (r, p) in inst_params.blocks.iter_mut() {
+            p.cycles = program.block(*r).insts.len() as u64 + 1;
+        }
+        let instruction_metric = measure(&inst_params);
+
+        // Variant 2: instrumentation considered free by the model.
+        let mut free_params = params.clone();
+        for p in free_params.blocks.values_mut() {
+            p.instr_bytes = 0;
+            p.instr_cycles = 0;
+        }
+        let no_instrumentation_cost = measure(&free_params);
+
+        AblationResult {
+            benchmark: bench.name.to_string(),
+            full,
+            instruction_metric,
+            no_instrumentation_cost,
+        }
+    })
+}
+
+/// One simulated program of the [`sim_perf`] sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPerfRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Optimization level the kernel was compiled at.
+    pub level: OptLevel,
+    /// Cycles the run took on the simulated board.
+    pub cycles: u64,
+    /// Energy of the run in millijoules.
+    pub energy_mj: f64,
+    /// The kernel's checksum (must match between sequential and batched).
+    pub return_value: i32,
+}
+
+/// The simulator-throughput comparison written to `BENCH_sim.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPerfReport {
+    /// Worker threads the batched run used.
+    pub threads: usize,
+    /// Total simulated cycles across the sweep.
+    pub total_cycles: u64,
+    /// Wall time of the one-by-one `Board::run` loop, milliseconds.
+    pub sequential_wall_ms: f64,
+    /// Wall time of the [`BatchRunner`] run, milliseconds.
+    pub batched_wall_ms: f64,
+    /// Whether every batched result was bit-identical to its sequential
+    /// counterpart (cycles, energy bits, checksum, profile, layout).
+    pub bit_identical: bool,
+    /// Per-program rows, in sweep order.
+    pub rows: Vec<SimPerfRow>,
+}
+
+impl SimPerfReport {
+    /// Batched throughput over sequential throughput (> 1 means the pool
+    /// paid off; expect ≈ the worker count on an idle multi-core host).
+    pub fn speedup(&self) -> f64 {
+        if self.batched_wall_ms <= 0.0 {
+            return 1.0;
+        }
+        self.sequential_wall_ms / self.batched_wall_ms
+    }
+
+    /// Simulated megacycles per wall-clock second for the batched run.
+    pub fn batched_mcycles_per_s(&self) -> f64 {
+        if self.batched_wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.total_cycles as f64 / 1e3 / self.batched_wall_ms
+    }
+}
+
+/// Measure simulator throughput: run every BEEBS kernel at every given
+/// level sequentially, then again on a [`BatchRunner`], and compare both
+/// wall time and results.
+///
+/// The result check is exact, not approximate: the interpreter's
+/// deterministic accumulator fold means a batched run must reproduce the
+/// sequential cycles, energy *bits*, checksum, profile and layout, and the
+/// report's `bit_identical` flag records whether it did.  Compilation goes
+/// through the fixture cache and is excluded from both timings — this
+/// measures the simulator, not the compiler.
+pub fn sim_perf(board: &Board, levels: &[OptLevel]) -> SimPerfReport {
+    let jobs = sweep_jobs(levels);
+    let programs: Vec<_> = jobs
         .iter()
-        .map(|name| {
-            let bench = Benchmark::by_name(name).expect("known benchmark");
-            let program = bench.compile(level).expect("benchmark compiles");
-            let base = board.run(&program).expect("baseline runs");
-            let spare = board.spare_ram(&program).expect("program fits");
-            let (e_flash, e_ram) = board.power.model_coefficients();
-            let config = ModelConfig {
-                x_limit,
-                r_spare: spare,
-                e_flash,
-                e_ram,
-            };
-            let params = extract_params(&program, &FrequencySource::default());
+        .map(|(bench, level)| bench.compile_cached(*level).expect("benchmark compiles"))
+        .collect();
 
-            let measure = |params: &flashram_core::ProgramParams| -> AblationOutcome {
-                let model = PlacementModel::build(params, &config);
-                let solution = flashram_ilp::BranchBound::new()
-                    .solve(&model.problem)
-                    .expect("solvable");
-                let selected = model.selected_blocks(&solution);
-                let transformed = flashram_core::apply_placement(&program, &selected);
-                let run = board.run(&transformed).expect("transformed program runs");
-                assert_eq!(
-                    base.return_value, run.return_value,
-                    "{name}: semantics changed"
-                );
-                AblationOutcome {
-                    energy_pct: 100.0 * (run.energy_mj - base.energy_mj) / base.energy_mj,
-                    time_pct: 100.0 * (run.time_s - base.time_s) / base.time_s,
-                    power_pct: 100.0 * (run.avg_power_mw - base.avg_power_mw) / base.avg_power_mw,
-                    blocks_in_ram: selected.len(),
-                }
-            };
+    let seq_start = std::time::Instant::now();
+    let sequential: Vec<_> = programs
+        .iter()
+        .map(|p| board.run(p).expect("kernel runs"))
+        .collect();
+    let sequential_wall_ms = seq_start.elapsed().as_secs_f64() * 1e3;
 
-            let full = measure(&params);
+    let runner = BatchRunner::new(board.clone());
+    let batch_start = std::time::Instant::now();
+    let batched = runner.map(&programs, |board, p| board.run(p).expect("kernel runs"));
+    let batched_wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
 
-            // Variant 1: instruction count instead of cycles for C_b.
-            let mut inst_params = params.clone();
-            for (r, p) in inst_params.blocks.iter_mut() {
-                p.cycles = program.block(*r).insts.len() as u64 + 1;
-            }
-            let instruction_metric = measure(&inst_params);
+    let bit_identical = sequential.iter().zip(&batched).all(|(s, b)| {
+        s.return_value == b.return_value
+            && s.meter == b.meter
+            && s.energy_mj.to_bits() == b.energy_mj.to_bits()
+            && s.time_s.to_bits() == b.time_s.to_bits()
+            && s.profile == b.profile
+            && s.layout == b.layout
+    });
 
-            // Variant 2: instrumentation considered free by the model.
-            let mut free_params = params.clone();
-            for p in free_params.blocks.values_mut() {
-                p.instr_bytes = 0;
-                p.instr_cycles = 0;
-            }
-            let no_instrumentation_cost = measure(&free_params);
-
-            AblationResult {
-                benchmark: bench.name.to_string(),
-                full,
-                instruction_metric,
-                no_instrumentation_cost,
-            }
+    let rows = jobs
+        .iter()
+        .zip(&sequential)
+        .map(|((bench, level), run)| SimPerfRow {
+            benchmark: bench.name.to_string(),
+            level: *level,
+            cycles: run.cycles(),
+            energy_mj: run.energy_mj,
+            return_value: run.return_value,
         })
-        .collect()
+        .collect::<Vec<_>>();
+
+    SimPerfReport {
+        threads: runner.threads(),
+        total_cycles: rows.iter().map(|r| r.cycles).sum(),
+        sequential_wall_ms,
+        batched_wall_ms,
+        bit_identical,
+        rows,
+    }
+}
+
+/// Render a [`SimPerfReport`] as the `BENCH_sim.json` document
+/// (hand-rolled: the build environment has no serde).
+pub fn sim_perf_json(report: &SimPerfReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        concat!(
+            "  \"threads\": {},\n  \"programs\": {},\n",
+            "  \"total_cycles\": {},\n",
+            "  \"sequential_wall_ms\": {:.3},\n  \"batched_wall_ms\": {:.3},\n",
+            "  \"speedup\": {:.3},\n  \"batched_mcycles_per_s\": {:.1},\n",
+            "  \"bit_identical\": {},\n  \"runs\": [\n"
+        ),
+        report.threads,
+        report.rows.len(),
+        report.total_cycles,
+        report.sequential_wall_ms,
+        report.batched_wall_ms,
+        report.speedup(),
+        report.batched_mcycles_per_s(),
+        report.bit_identical,
+    ));
+    for (i, row) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"benchmark\": \"{}\", \"level\": \"{}\", \"cycles\": {}, ",
+                "\"energy_mj\": {:.6}, \"return_value\": {}}}{}\n"
+            ),
+            row.benchmark,
+            row.level,
+            row.cycles,
+            row.energy_mj,
+            row.return_value,
+            if i + 1 < report.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sim_perf_report_is_bit_identical_and_renders() {
+        let board = Board::stm32vldiscovery();
+        let report = sim_perf(&board, &[OptLevel::O2]);
+        assert_eq!(report.rows.len(), Benchmark::all().len());
+        assert!(report.bit_identical, "batched must match sequential bits");
+        assert!(report.total_cycles > 0);
+        let json = sim_perf_json(&report);
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"benchmark\": \"int_matmult\""));
+    }
 
     #[test]
     fn figure1_reproduces_the_flash_ram_gap() {

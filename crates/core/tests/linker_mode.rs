@@ -122,7 +122,7 @@ fn whole_program_optimizer_beats_application_only_on_library_bound_code() {
 fn whole_program_scope_helps_the_library_bound_beebs_kernels() {
     let board = Board::stm32vldiscovery();
     let bench = Benchmark::by_name("cubic").unwrap();
-    let prog = bench.compile(OptLevel::O2).unwrap();
+    let prog = bench.compile_cached(OptLevel::O2).unwrap();
     let before = board.run(&prog).unwrap();
 
     let app_only = RamOptimizer::new().optimize(&prog, &board).unwrap();

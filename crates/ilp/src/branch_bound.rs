@@ -8,7 +8,7 @@
 //! Child relaxations are **warm-started**: a branch fixing only tightens one
 //! variable's bounds, which leaves the parent's optimal basis dual feasible,
 //! so each child is re-solved with the dual simplex from the parent's
-//! [`LpState`](crate::basis::LpState) instead of a cold two-phase solve.
+//! [`LpState`] instead of a cold two-phase solve.
 //! [`BranchBoundStats`] reports the pivot counts of both kinds of solve.
 
 use std::rc::Rc;

@@ -13,7 +13,7 @@
 //!
 //! Shared control-flow machinery — successor/predecessor maps, reverse
 //! post-order, dominators, natural-loop detection and loop depth — lives in
-//! [`cfg`] and works on any function shape that can enumerate block
+//! [`mod@cfg`] and works on any function shape that can enumerate block
 //! successors.  Loop depth is the basis of the paper's *static* estimate of
 //! the block execution frequency `F_b`; profiled frequencies are captured in
 //! [`profile`].

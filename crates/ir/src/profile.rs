@@ -34,6 +34,28 @@ impl ProfileData {
         *self.calls.entry(func).or_insert(0) += 1;
     }
 
+    /// Record `count` executions of a block at once.
+    ///
+    /// This is the bulk form of [`ProfileData::record_block`], used by the
+    /// simulator to fold flat per-block accumulators into a profile after a
+    /// run instead of updating the map on every block entry.  A zero count
+    /// leaves the profile untouched (no entry is created), so folding a
+    /// sparse accumulator produces a profile identical to one built
+    /// incrementally.
+    pub fn add_block_count(&mut self, block: BlockRef, count: u64) {
+        if count > 0 {
+            *self.counts.entry(block).or_insert(0) += count;
+        }
+    }
+
+    /// Record `count` calls of a function at once (bulk form of
+    /// [`ProfileData::record_call`]; zero counts create no entry).
+    pub fn add_call_count(&mut self, func: FuncId, count: u64) {
+        if count > 0 {
+            *self.calls.entry(func).or_insert(0) += count;
+        }
+    }
+
     /// The number of times a block executed.
     pub fn block_count(&self, block: BlockRef) -> u64 {
         self.counts.get(&block).copied().unwrap_or(0)

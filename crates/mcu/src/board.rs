@@ -354,7 +354,16 @@ mod tests {
         let err = board()
             .run_with_config(&prog, &RunConfig { max_cycles: 10_000 })
             .unwrap_err();
-        assert!(matches!(err, RunError::CycleLimit(_)));
+        let RunError::CycleLimit { limit, executed } = err else {
+            panic!("expected CycleLimit, got {err:?}");
+        };
+        assert_eq!(limit, 10_000);
+        // The check fires between blocks, so the overshoot is bounded by one
+        // block of a tight loop — not by megabytes of drift.
+        assert!(
+            executed > limit && executed < limit + 1_000,
+            "executed {executed} should sit just past the {limit} budget"
+        );
     }
 
     #[test]

@@ -1,29 +1,46 @@
 //! The instruction-level interpreter.
 //!
 //! Code is executed block by block: straight-line instructions update the
-//! architectural state (registers, flags, data memory) while the meter
-//! charges each instruction the cycle count and average power appropriate to
-//! the memory its block lives in.  Control transfers are interpreted from
-//! the block terminators, including the long-range indirect forms the
-//! placement transformation substitutes — which cost more cycles, exactly as
-//! in Figure 4 of the paper.
+//! architectural state (registers, flags, data memory) while integer
+//! [`CycleCounters`] charge each instruction the cycle count appropriate to
+//! the memory its block lives in — the floating-point energy math is folded
+//! in once, after the run, so the hot loop never touches a float.  Control
+//! transfers are interpreted from the block terminators, including the
+//! long-range indirect forms the placement transformation substitutes —
+//! which cost more cycles, exactly as in Figure 4 of the paper.
 
 use flashram_ir::{BlockId, BlockRef, FuncId, MachineProgram, ProfileData, Section};
 use flashram_isa::cond::Flags;
 use flashram_isa::inst::LitValue;
 use flashram_isa::{Inst, InstClass, Reg, Terminator, TimingModel};
 
-use crate::energy::EnergyMeter;
+use crate::energy::{CycleCounters, EnergyMeter};
 use crate::mem::{DataLayout, MemError, Memory};
 use crate::power::PowerModel;
 
 /// Errors raised during execution.
+///
+/// Batch users (see [`crate::batch::BatchRunner`]) get one of these per
+/// failed job; the variants carry enough context to tell a structurally
+/// broken program apart from one that is merely slow.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunError {
-    /// A data access faulted.
+    /// A data access faulted (unmapped address, misalignment, write to
+    /// read-only memory, or a program image that does not fit the part).
     Memory(MemError),
-    /// The cycle budget was exhausted (runaway program).
-    CycleLimit(u64),
+    /// The cycle budget was exhausted before the program returned.
+    ///
+    /// `executed` is how many cycles actually ran before the interpreter
+    /// gave up; it always exceeds `limit` by at most one basic block, so a
+    /// caller sweeping cycle budgets can distinguish a runaway program
+    /// (`executed` ≈ `limit` however large the limit) from a slow one that
+    /// would finish under a bigger budget.
+    CycleLimit {
+        /// The configured budget ([`crate::board::RunConfig::max_cycles`]).
+        limit: u64,
+        /// Cycles executed when the budget check fired.
+        executed: u64,
+    },
     /// The program is structurally broken (bad function/block reference).
     BadProgram(String),
     /// The call stack grew beyond any reasonable embedded depth.
@@ -40,7 +57,9 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::Memory(e) => write!(f, "{e}"),
-            RunError::CycleLimit(n) => write!(f, "cycle limit of {n} exceeded"),
+            RunError::CycleLimit { limit, executed } => {
+                write!(f, "cycle limit of {limit} exceeded after {executed} cycles")
+            }
             RunError::BadProgram(why) => write!(f, "malformed program: {why}"),
             RunError::CallDepth(d) => write!(f, "call depth exceeded {d}"),
         }
@@ -70,6 +89,11 @@ struct Frame {
 const MAX_CALL_DEPTH: usize = 256;
 
 /// The interpreter.
+///
+/// Bookkeeping is deliberately flat: cycles go into integer
+/// [`CycleCounters`] buckets and block executions into per-function count
+/// vectors; both are folded into the reported [`EnergyMeter`] and
+/// [`ProfileData`] only when the run completes.
 pub struct Cpu<'a> {
     program: &'a MachineProgram,
     memory: Memory,
@@ -79,8 +103,11 @@ pub struct Cpu<'a> {
     max_cycles: u64,
     regs: [i32; 16],
     flags: Flags,
-    meter: EnergyMeter,
-    profile: ProfileData,
+    counters: CycleCounters,
+    /// `block_counts[f][b]` = executions of block `b` of function `f`.
+    block_counts: Vec<Vec<u64>>,
+    /// `call_counts[f]` = calls of function `f`.
+    call_counts: Vec<u64>,
     call_stack: Vec<Frame>,
 }
 
@@ -96,6 +123,11 @@ impl<'a> Cpu<'a> {
     ) -> Cpu<'a> {
         let mut regs = [0i32; 16];
         regs[Reg::Sp.index()] = memory.map().initial_sp() as i32;
+        let block_counts = program
+            .functions
+            .iter()
+            .map(|f| vec![0u64; f.blocks.len()])
+            .collect();
         Cpu {
             program,
             memory,
@@ -105,23 +137,47 @@ impl<'a> Cpu<'a> {
             max_cycles,
             regs,
             flags: Flags::default(),
-            meter: EnergyMeter::new(),
-            profile: ProfileData::new(),
+            counters: CycleCounters::new(),
+            block_counts,
+            call_counts: vec![0; program.functions.len()],
             call_stack: Vec::new(),
         }
     }
 
+    #[inline]
     fn reg(&self, r: Reg) -> i32 {
         self.regs[r.index()]
     }
 
+    #[inline]
     fn set_reg(&mut self, r: Reg, v: i32) {
         self.regs[r.index()] = v;
     }
 
+    #[inline]
     fn charge(&mut self, class: InstClass, cycles: u64, exec: Section, data: Option<Section>) {
-        let power = self.power.power_mw(class, exec, data);
-        self.meter.add(cycles, power, exec, self.timing);
+        self.counters.add(class, exec, data, cycles);
+    }
+
+    /// Fold the flat accumulators into the reported result types.
+    fn fold_results(&self) -> (EnergyMeter, ProfileData) {
+        let meter = self.counters.finish(self.power, self.timing);
+        let mut profile = ProfileData::new();
+        for (f, blocks) in self.block_counts.iter().enumerate() {
+            for (b, &count) in blocks.iter().enumerate() {
+                profile.add_block_count(
+                    BlockRef {
+                        func: FuncId(f as u32),
+                        block: BlockId(b as u32),
+                    },
+                    count,
+                );
+            }
+        }
+        for (f, &count) in self.call_counts.iter().enumerate() {
+            profile.add_call_count(FuncId(f as u32), count);
+        }
+        (meter, profile)
     }
 
     /// Run the program from its entry function until it returns.
@@ -142,8 +198,11 @@ impl<'a> Cpu<'a> {
         let mut inst_index = 0usize;
 
         loop {
-            if self.meter.cycles > self.max_cycles {
-                return Err(RunError::CycleLimit(self.max_cycles));
+            if self.counters.total_cycles() > self.max_cycles {
+                return Err(RunError::CycleLimit {
+                    limit: self.max_cycles,
+                    executed: self.counters.total_cycles(),
+                });
             }
             let f = &self.program.functions[func.index()];
             let Some(b) = f.blocks.get(block.index()) else {
@@ -154,7 +213,7 @@ impl<'a> Cpu<'a> {
             };
             let exec = b.section;
             if inst_index == 0 {
-                self.profile.record_block(BlockRef { func, block });
+                self.block_counts[func.index()][block.index()] += 1;
             }
 
             // Straight-line instructions.
@@ -177,7 +236,7 @@ impl<'a> Cpu<'a> {
                 if self.call_stack.len() >= MAX_CALL_DEPTH {
                     return Err(RunError::CallDepth(MAX_CALL_DEPTH));
                 }
-                self.profile.record_call(callee);
+                self.call_counts[callee.index()] += 1;
                 self.call_stack.push(Frame {
                     func,
                     block,
@@ -204,10 +263,11 @@ impl<'a> Cpu<'a> {
                         inst_index = frame.inst_index;
                     }
                     None => {
+                        let (meter, profile) = self.fold_results();
                         return Ok(CpuResult {
                             return_value: self.reg(Reg::R0),
-                            meter: self.meter,
-                            profile: self.profile,
+                            meter,
+                            profile,
                         });
                     }
                 },

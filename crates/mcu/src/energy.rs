@@ -1,7 +1,21 @@
 //! Cycle and energy accounting.
+//!
+//! Two layers live here:
+//!
+//! * [`EnergyMeter`] — the per-run result type: total cycles split by the
+//!   memory the code executed from, plus accumulated energy in joules;
+//! * [`CycleCounters`] — the interpreter-facing accumulator.  The hot loop
+//!   only bumps integer counters bucketed by (executing memory, instruction
+//!   class, data memory); the floating-point energy math runs once per
+//!   bucket when the run finishes, not once per instruction.  Because the
+//!   fold visits the buckets in a fixed order, two runs of the same program
+//!   produce bit-identical energy numbers — which is what lets the batched
+//!   runner promise results identical to sequential execution.
 
 use flashram_ir::Section;
-use flashram_isa::TimingModel;
+use flashram_isa::{InstClass, TimingModel};
+
+use crate::power::PowerModel;
 
 /// Accumulates cycles and energy over a run, split by the memory the code
 /// executed from.
@@ -54,6 +68,133 @@ impl EnergyMeter {
     }
 }
 
+/// Number of [`InstClass`] variants (the class axis of the counter cube),
+/// derived from the last arm of `class_index` so it cannot desync from the
+/// enum: adding a variant forces a new arm, which moves the count with it.
+const NUM_CLASSES: usize = class_index(InstClass::Branch) + 1;
+/// Number of data-access kinds: no data access, flash data, RAM data.
+const NUM_DATA_KINDS: usize = 3;
+/// Number of executing memories: flash, RAM.
+const NUM_EXEC: usize = 2;
+
+#[inline]
+const fn class_index(class: InstClass) -> usize {
+    match class {
+        InstClass::Alu => 0,
+        InstClass::Mul => 1,
+        InstClass::Div => 2,
+        InstClass::Load => 3,
+        InstClass::Store => 4,
+        InstClass::Stack => 5,
+        InstClass::Nop => 6,
+        InstClass::Call => 7,
+        InstClass::Branch => 8,
+    }
+}
+
+#[inline]
+fn class_of(index: usize) -> InstClass {
+    match index {
+        0 => InstClass::Alu,
+        1 => InstClass::Mul,
+        2 => InstClass::Div,
+        3 => InstClass::Load,
+        4 => InstClass::Store,
+        5 => InstClass::Stack,
+        6 => InstClass::Nop,
+        7 => InstClass::Call,
+        _ => InstClass::Branch,
+    }
+}
+
+#[inline]
+fn exec_index(exec: Section) -> usize {
+    match exec {
+        Section::Flash => 0,
+        Section::Ram => 1,
+    }
+}
+
+#[inline]
+fn data_index(data: Option<Section>) -> usize {
+    match data {
+        None => 0,
+        Some(Section::Flash) => 1,
+        Some(Section::Ram) => 2,
+    }
+}
+
+/// Flat integer cycle accumulators for the interpreter hot loop.
+///
+/// Every instruction the CPU retires lands in one bucket of a small
+/// `(executing memory × instruction class × data memory)` cube; the power
+/// model assigns one average power per bucket, so the expensive per-cycle
+/// float accounting of a naive meter collapses into one multiply per
+/// *bucket* at the end of the run (see [`CycleCounters::finish`]).
+#[derive(Debug, Clone)]
+pub struct CycleCounters {
+    buckets: [[[u64; NUM_DATA_KINDS]; NUM_CLASSES]; NUM_EXEC],
+    total: u64,
+}
+
+impl Default for CycleCounters {
+    fn default() -> Self {
+        CycleCounters::new()
+    }
+}
+
+impl CycleCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> CycleCounters {
+        CycleCounters {
+            buckets: [[[0; NUM_DATA_KINDS]; NUM_CLASSES]; NUM_EXEC],
+            total: 0,
+        }
+    }
+
+    /// Charge `cycles` cycles to the bucket for an instruction of `class`
+    /// executing from `exec` whose data access (if any) hit `data`.
+    #[inline]
+    pub fn add(&mut self, class: InstClass, exec: Section, data: Option<Section>, cycles: u64) {
+        self.buckets[exec_index(exec)][class_index(class)][data_index(data)] += cycles;
+        self.total += cycles;
+    }
+
+    /// Total cycles charged so far (the interpreter's cycle-limit check
+    /// reads this instead of a meter).
+    #[inline]
+    pub fn total_cycles(&self) -> u64 {
+        self.total
+    }
+
+    /// Fold the counters into an [`EnergyMeter`] under a power calibration.
+    ///
+    /// Buckets are visited in a fixed order, so the result is deterministic
+    /// for a given set of counters regardless of the order in which cycles
+    /// were charged.
+    pub fn finish(&self, power: &PowerModel, timing: &TimingModel) -> EnergyMeter {
+        let mut meter = EnergyMeter::new();
+        for (e, per_exec) in self.buckets.iter().enumerate() {
+            let exec = if e == 0 { Section::Flash } else { Section::Ram };
+            for (c, per_class) in per_exec.iter().enumerate() {
+                let class = class_of(c);
+                for (d, &cycles) in per_class.iter().enumerate() {
+                    if cycles == 0 {
+                        continue;
+                    }
+                    let data = match d {
+                        0 => None,
+                        1 => Some(Section::Flash),
+                        _ => Some(Section::Ram),
+                    };
+                    meter.add(cycles, power.power_mw(class, exec, data), exec, timing);
+                }
+            }
+        }
+        meter
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +220,60 @@ mod tests {
         let m = EnergyMeter::new();
         assert_eq!(m.avg_power_mw(&CORTEX_M3_TIMING), 0.0);
         assert_eq!(m.energy_mj(), 0.0);
+    }
+
+    #[test]
+    fn every_instruction_class_has_a_distinct_in_range_bucket() {
+        let all = [
+            InstClass::Alu,
+            InstClass::Mul,
+            InstClass::Div,
+            InstClass::Load,
+            InstClass::Store,
+            InstClass::Stack,
+            InstClass::Nop,
+            InstClass::Call,
+            InstClass::Branch,
+        ];
+        let mut seen = [false; NUM_CLASSES];
+        for class in all {
+            let i = class_index(class);
+            assert!(i < NUM_CLASSES, "{class:?} indexes out of the cube");
+            assert!(!seen[i], "{class:?} shares a bucket");
+            seen[i] = true;
+            assert_eq!(class_of(i), class, "class_of must invert class_index");
+        }
+        assert!(seen.iter().all(|&s| s), "every bucket must be claimed");
+    }
+
+    #[test]
+    fn counters_fold_to_the_same_meter_as_incremental_adds() {
+        let t = CORTEX_M3_TIMING;
+        let p = PowerModel::stm32f100();
+        let charges = [
+            (InstClass::Alu, Section::Flash, None, 3u64),
+            (InstClass::Load, Section::Ram, Some(Section::Flash), 2),
+            (InstClass::Load, Section::Ram, Some(Section::Ram), 5),
+            (InstClass::Branch, Section::Flash, None, 7),
+            (InstClass::Alu, Section::Flash, None, 4),
+        ];
+        let mut counters = CycleCounters::new();
+        for (class, exec, data, cycles) in charges {
+            counters.add(class, exec, data, cycles);
+        }
+        assert_eq!(counters.total_cycles(), 21);
+        let folded = counters.finish(&p, &t);
+        assert_eq!(folded.cycles, 21);
+        assert_eq!(folded.flash_cycles, 14);
+        assert_eq!(folded.ram_cycles, 7);
+        // The folded energy matches a per-charge meter to float tolerance.
+        let mut meter = EnergyMeter::new();
+        for (class, exec, data, cycles) in charges {
+            meter.add(cycles, p.power_mw(class, exec, data), exec, &t);
+        }
+        assert!((folded.energy_j - meter.energy_j).abs() < 1e-15);
+        // Folding twice is bit-identical (fixed bucket order).
+        assert_eq!(folded, counters.finish(&p, &t));
     }
 
     #[test]

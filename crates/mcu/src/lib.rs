@@ -19,19 +19,28 @@
 //! The [`Board`] type ties the pieces together: it lays out a
 //! [`MachineProgram`](flashram_ir::MachineProgram)'s data in the address
 //! space, interprets its code cycle by cycle, and reports time, energy,
-//! average power and a per-block execution profile.
+//! average power and a per-block execution profile.  [`BatchRunner`] scales
+//! that up: it fans a set of programs (or configurations) out over a worker
+//! pool and collects results that are order-stable and bit-identical to
+//! sequential runs — the substrate for every sweep in `flashram-bench` and
+//! the heavy integration tests.
+//!
+//! This crate corresponds to Sections 3 (measurement setup), 5 (power
+//! model) and 7 (sleep scenario) of the paper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod board;
 pub mod cpu;
 pub mod energy;
 pub mod mem;
 pub mod power;
 
+pub use batch::BatchRunner;
 pub use board::{Board, RunConfig, RunResult, SleepScenario};
 pub use cpu::RunError;
-pub use energy::EnergyMeter;
+pub use energy::{CycleCounters, EnergyMeter};
 pub use mem::{DataLayout, Memory, MemoryMap};
 pub use power::PowerModel;

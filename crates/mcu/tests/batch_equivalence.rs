@@ -1,0 +1,182 @@
+//! Property tests for the batched runner: over arbitrary, shuffled sets of
+//! generated programs, `BatchRunner` must return exactly the `RunResult`s
+//! (checksum, cycles, energy bits, profile, layout) that one-by-one
+//! `Board::run` calls produce, in the same order — at any worker count.
+
+use std::num::NonZeroUsize;
+
+use flashram_mcu::{BatchRunner, Board, RunConfig, RunError};
+use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+use proptest::prelude::*;
+
+/// A compact program descriptor the strategy can generate: one of a few
+/// shapes (arithmetic loop, array walk, call-heavy recursion) with its
+/// parameters.  Shapes differ wildly in run time, which is exactly what
+/// stresses order-stable collection.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    shape: u8,
+    param: i32,
+    iters: u32,
+}
+
+fn job() -> impl Strategy<Value = Job> {
+    (0u8..3, -40i32..40, 1u32..400).prop_map(|(shape, param, iters)| Job {
+        shape,
+        param,
+        iters,
+    })
+}
+
+fn source(job: Job) -> String {
+    match job.shape {
+        0 => format!(
+            "int main() {{ int s = {p}; for (int i = 0; i < {n}; i++) {{ s += i * 3 - (s >> 2); }} return s; }}",
+            p = job.param,
+            n = job.iters,
+        ),
+        1 => format!(
+            "
+            int table[16];
+            int main() {{
+                for (int i = 0; i < 16; i++) {{ table[i] = i * {p}; }}
+                int s = 0;
+                for (int i = 0; i < {n}; i++) {{ s += table[i % 16]; }}
+                return s;
+            }}
+            ",
+            p = job.param,
+            n = job.iters % 64 + 1,
+        ),
+        _ => format!(
+            "
+            int f(int n) {{ if (n <= 1) return 1; return f(n - 1) + n * {p}; }}
+            int main() {{ return f({n}); }}
+            ",
+            p = job.param,
+            n = job.iters % 20 + 1,
+        ),
+    }
+}
+
+/// Deterministic Fisher-Yates driven by a generated seed, so the "shuffled
+/// program set" of the property is reproducible.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Batched results are bit-identical to sequential ones for shuffled
+    /// program sets at several worker counts.
+    #[test]
+    fn batched_matches_sequential_on_shuffled_sets(
+        jobs in prop::collection::vec(job(), 2..10),
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let mut jobs = jobs;
+        shuffle(&mut jobs, seed);
+        let programs: Vec<_> = jobs
+            .iter()
+            .map(|&j| {
+                compile_program(&[SourceUnit::application(&source(j))], OptLevel::O1)
+                    .expect("generated program compiles")
+            })
+            .collect();
+
+        let board = Board::stm32vldiscovery();
+        let sequential: Vec<_> = programs.iter().map(|p| board.run(p)).collect();
+        let runner = BatchRunner::with_threads(
+            board,
+            NonZeroUsize::new(threads).expect("threads >= 1"),
+        );
+        let batched = runner.run_programs(&programs);
+
+        prop_assert_eq!(batched.len(), sequential.len());
+        for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            let b = b.as_ref().expect("batched run succeeds");
+            let s = s.as_ref().expect("sequential run succeeds");
+            prop_assert_eq!(b.return_value, s.return_value, "job {} checksum", i);
+            prop_assert_eq!(&b.meter, &s.meter, "job {} meter", i);
+            prop_assert_eq!(
+                b.energy_mj.to_bits(),
+                s.energy_mj.to_bits(),
+                "job {} energy bits",
+                i
+            );
+            prop_assert_eq!(
+                b.time_s.to_bits(),
+                s.time_s.to_bits(),
+                "job {} time bits",
+                i
+            );
+            prop_assert_eq!(
+                b.avg_power_mw.to_bits(),
+                s.avg_power_mw.to_bits(),
+                "job {} power bits",
+                i
+            );
+            prop_assert_eq!(&b.profile, &s.profile, "job {} profile", i);
+            prop_assert_eq!(&b.layout, &s.layout, "job {} layout", i);
+        }
+    }
+
+    /// Cycle-limited jobs fail identically in batched and sequential runs,
+    /// and the error reports how far execution got.
+    #[test]
+    fn cycle_limited_jobs_fail_identically(
+        budget in 100u64..5_000,
+        threads in 1usize..4,
+    ) {
+        let runaway = compile_program(
+            &[SourceUnit::application("int main() { while (1) { } return 0; }")],
+            OptLevel::O1,
+        )
+        .expect("compiles");
+        let quick = compile_program(
+            &[SourceUnit::application("int main() { return 9; }")],
+            OptLevel::O1,
+        )
+        .expect("compiles");
+        let programs = vec![quick, runaway];
+        let config = RunConfig { max_cycles: budget };
+
+        let board = Board::stm32vldiscovery();
+        let sequential: Vec<_> = programs
+            .iter()
+            .map(|p| board.run_with_config(p, &config))
+            .collect();
+        let runner = BatchRunner::with_threads(
+            board,
+            NonZeroUsize::new(threads).expect("threads >= 1"),
+        );
+        let batched = runner.run_programs_with_config(&programs, &config);
+
+        prop_assert_eq!(batched[0].as_ref().unwrap().return_value, 9);
+        prop_assert_eq!(
+            batched[1].as_ref().err(),
+            sequential[1].as_ref().err(),
+            "error variants must match"
+        );
+        match &batched[1] {
+            Err(RunError::CycleLimit { limit, executed }) => {
+                prop_assert_eq!(*limit, budget);
+                prop_assert!(
+                    *executed > budget,
+                    "executed {} must pass the {} budget",
+                    executed,
+                    budget
+                );
+            }
+            other => prop_assert!(false, "expected CycleLimit, got {:?}", other),
+        }
+    }
+}

@@ -14,8 +14,8 @@
 //!    blocks from flash to RAM, rewriting memory-crossing branches;
 //! 4. [`mcu`] simulates the result on an STM32VLDISCOVERY-like board and
 //!    reports cycles, energy and average power;
-//! 5. [`bench`] wraps all of it into harnesses that regenerate the paper's
-//!    tables and figures.
+//! 5. [`mod@bench`] wraps all of it into harnesses that regenerate the
+//!    paper's tables and figures, batched over [`mcu::BatchRunner`].
 //!
 //! This crate re-exports each layer under a short name and hosts the
 //! workspace-level integration tests and examples.

@@ -1,0 +1,95 @@
+//! Differential test for the batched simulation substrate: running the
+//! BEEBS sweep through `BatchRunner` must be observably indistinguishable —
+//! bit-for-bit — from running each kernel one at a time on the same board.
+//!
+//! This is the workspace-level guarantee the experiment harnesses rely on:
+//! `fig*` tables and `BENCH_sim.json` numbers produced by the parallel
+//! sweep are exactly the numbers a sequential reproduction would print.
+
+use std::num::NonZeroUsize;
+
+use flashram_beebs::Benchmark;
+use flashram_mcu::{BatchRunner, Board, RunConfig, RunError};
+use flashram_minicc::OptLevel;
+
+#[test]
+fn batched_beebs_sweep_is_bit_identical_to_sequential() {
+    let board = Board::stm32vldiscovery();
+    let programs: Vec<_> = Benchmark::all()
+        .iter()
+        .flat_map(|bench| {
+            [OptLevel::O2, OptLevel::Os]
+                .into_iter()
+                .map(|level| bench.compile_cached(level).expect("kernel compiles"))
+        })
+        .collect();
+
+    let sequential: Vec<_> = programs
+        .iter()
+        .map(|p| board.run(p).expect("kernel runs"))
+        .collect();
+
+    for threads in [1, 3] {
+        let runner = BatchRunner::with_threads(board.clone(), NonZeroUsize::new(threads).unwrap());
+        let batched = runner.map(&programs, |board, p| board.run(p).expect("kernel runs"));
+        assert_eq!(batched.len(), sequential.len());
+        for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            assert_eq!(b.return_value, s.return_value, "job {i}: checksum");
+            assert_eq!(b.meter, s.meter, "job {i}: meter");
+            assert_eq!(
+                b.energy_mj.to_bits(),
+                s.energy_mj.to_bits(),
+                "job {i}: energy must be bit-identical"
+            );
+            assert_eq!(
+                b.avg_power_mw.to_bits(),
+                s.avg_power_mw.to_bits(),
+                "job {i}: power must be bit-identical"
+            );
+            assert_eq!(b.profile, s.profile, "job {i}: profile");
+            assert_eq!(b.layout, s.layout, "job {i}: layout");
+        }
+    }
+}
+
+#[test]
+fn batched_cycle_budget_sweep_reports_progress_in_errors() {
+    let board = Board::stm32vldiscovery();
+    let program = Benchmark::by_name("crc32")
+        .unwrap()
+        .compile_cached(OptLevel::O2)
+        .unwrap();
+    let full = board.run(&program).expect("kernel runs");
+
+    // Sweep budgets around the true cycle count: undershooting budgets must
+    // fail with the executed count just past the limit, overshooting ones
+    // must reproduce the unbounded run exactly.
+    let budgets = [
+        full.cycles() / 4,
+        full.cycles() / 2,
+        full.cycles() + 1_000,
+        full.cycles() * 2,
+    ];
+    let configs: Vec<RunConfig> = budgets
+        .iter()
+        .map(|&max_cycles| RunConfig { max_cycles })
+        .collect();
+    let results = BatchRunner::new(board).run_configs(&program, &configs);
+
+    for (i, (result, &budget)) in results.iter().zip(&budgets).enumerate() {
+        if budget < full.cycles() {
+            let Err(RunError::CycleLimit { limit, executed }) = result else {
+                panic!("budget {budget} (slot {i}) should hit the cycle limit: {result:?}");
+            };
+            assert_eq!(*limit, budget);
+            assert!(
+                *executed > budget,
+                "slot {i}: executed {executed} must pass the {budget} budget"
+            );
+        } else {
+            let run = result.as_ref().expect("generous budget succeeds");
+            assert_eq!(run.cycles(), full.cycles(), "slot {i}");
+            assert_eq!(run.return_value, full.return_value, "slot {i}");
+        }
+    }
+}

@@ -10,7 +10,7 @@ use flashram_minicc::OptLevel;
 fn measure(name: &str) -> CaseStudyMeasurement {
     let board = Board::stm32vldiscovery();
     let bench = Benchmark::by_name(name).unwrap();
-    let program = bench.compile(OptLevel::O2).unwrap();
+    let program = bench.compile_cached(OptLevel::O2).unwrap();
     let placement = RamOptimizer::new().optimize(&program, &board).unwrap();
     measure_case_study(&board, &program, &placement.program).unwrap()
 }

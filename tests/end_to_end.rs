@@ -25,7 +25,7 @@ fn optimizer_preserves_semantics_and_reduces_power_on_benchmarks() {
     let board = Board::stm32vldiscovery();
     for name in SUBSET {
         let bench = Benchmark::by_name(name).unwrap();
-        let program = bench.compile(OptLevel::O2).unwrap();
+        let program = bench.compile_cached(OptLevel::O2).unwrap();
         let before = board.run(&program).unwrap();
         let placement = RamOptimizer::new().optimize(&program, &board).unwrap();
         let after = board.run(&placement.program).unwrap();
@@ -52,7 +52,7 @@ fn transformed_programs_still_fit_the_part() {
     let board = Board::stm32vldiscovery();
     for name in SUBSET {
         let bench = Benchmark::by_name(name).unwrap();
-        let program = bench.compile(OptLevel::O2).unwrap();
+        let program = bench.compile_cached(OptLevel::O2).unwrap();
         let placement = RamOptimizer::new().optimize(&program, &board).unwrap();
         // Loading the transformed program must succeed, i.e. relocated code +
         // data + stack reserve still fit the 8 KB of RAM.
@@ -73,7 +73,7 @@ fn transformed_programs_still_fit_the_part() {
 fn ram_blocks_and_instrumentation_are_consistent() {
     let board = Board::stm32vldiscovery();
     let bench = Benchmark::by_name("int_matmult").unwrap();
-    let program = bench.compile(OptLevel::O2).unwrap();
+    let program = bench.compile_cached(OptLevel::O2).unwrap();
     let placement = RamOptimizer::new().optimize(&program, &board).unwrap();
     let out = &placement.program;
 
@@ -115,7 +115,7 @@ fn every_optimization_level_survives_the_pipeline() {
     let board = Board::stm32vldiscovery();
     let bench = Benchmark::by_name("crc32").unwrap();
     for level in OptLevel::ALL {
-        let program = bench.compile(level).unwrap();
+        let program = bench.compile_cached(level).unwrap();
         let before = board.run(&program).unwrap();
         let placement = RamOptimizer::new().optimize(&program, &board).unwrap();
         let after = board.run(&placement.program).unwrap();
@@ -131,7 +131,7 @@ fn every_optimization_level_survives_the_pipeline() {
 fn profile_guided_and_static_estimates_agree_on_direction() {
     let board = Board::stm32vldiscovery();
     let bench = Benchmark::by_name("fdct").unwrap();
-    let program = bench.compile(OptLevel::O2).unwrap();
+    let program = bench.compile_cached(OptLevel::O2).unwrap();
     let before = board.run(&program).unwrap();
 
     let optimizer = RamOptimizer::new();
@@ -162,7 +162,7 @@ fn library_heavy_benchmarks_see_small_savings() {
     let loser = Benchmark::by_name("cubic").unwrap();
 
     let gain = |bench: &Benchmark| {
-        let program = bench.compile(OptLevel::O2).unwrap();
+        let program = bench.compile_cached(OptLevel::O2).unwrap();
         let before = board.run(&program).unwrap();
         let placement = RamOptimizer::new().optimize(&program, &board).unwrap();
         let after = board.run(&placement.program).unwrap();
@@ -181,7 +181,7 @@ fn library_heavy_benchmarks_see_small_savings() {
 fn solver_choice_flows_through_the_public_config() {
     let board = Board::stm32vldiscovery();
     let bench = Benchmark::by_name("sha").unwrap();
-    let program = bench.compile(OptLevel::Os).unwrap();
+    let program = bench.compile_cached(OptLevel::Os).unwrap();
     let before = board.run(&program).unwrap();
 
     for solver in [Solver::Ilp, Solver::Greedy, Solver::None] {

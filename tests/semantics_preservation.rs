@@ -204,7 +204,7 @@ fn beebs_kernels_preserve_their_checksum_under_placement() {
         max_cycles: 100_000_000,
     };
     for bench in Benchmark::all() {
-        let program = bench.compile(OptLevel::O2).unwrap();
+        let program = bench.compile_cached(OptLevel::O2).unwrap();
         let before = board.run_with_config(&program, &config).unwrap();
         let candidates = program.optimizable_block_refs();
 

@@ -4,9 +4,9 @@
 //! real `proptest` cannot be fetched from crates.io.  This crate implements
 //! the subset of its API that the workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`,
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, `prop_flat_map`,
 //!   `prop_recursive` and `boxed`,
-//! * strategies for integer and float ranges, tuples, [`Just`],
+//! * strategies for integer and float ranges, tuples, [`Just`](strategy::Just),
 //!   [`any`](arbitrary::any) and [`collection::vec`],
 //! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
 //!   [`prop_assert_ne!`] and [`prop_oneof!`] macros,
