@@ -1,25 +1,13 @@
 //! Regenerates the Figure 4 table: byte and cycle costs of the direct
 //! terminators and of the long-range indirect sequences the transformation
 //! substitutes.
+//!
+//! The printed text is produced by [`flashram_bench::figure4_text`] and is
+//! asserted against the committed golden in `tests/figure_goldens.rs` —
+//! change both together.
 
-use flashram_bench::figure4_table;
+use flashram_bench::figure4_text;
 
 fn main() {
-    println!("Figure 4 — instrumentation sequences and their costs");
-    println!(
-        "{:<26} {:>12} {:>12} {:>14} {:>14} {:>8} {:>8}",
-        "terminator", "bytes", "cycles", "instr bytes", "instr cycles", "K_b", "T_b"
-    );
-    for row in figure4_table() {
-        println!(
-            "{:<26} {:>12} {:>12} {:>14} {:>14} {:>8} {:>8}",
-            row.kind,
-            row.direct_bytes,
-            row.direct_cycles,
-            row.indirect_bytes,
-            row.indirect_cycles,
-            row.indirect_bytes - row.direct_bytes,
-            row.indirect_cycles - row.direct_cycles,
-        );
-    }
+    print!("{}", figure4_text());
 }

@@ -215,6 +215,33 @@ pub struct InstrumentationRow {
     pub indirect_cycles: u64,
 }
 
+/// The Figure 4 table rendered exactly as the `fig4_instrumentation_costs`
+/// binary prints it.
+///
+/// Kept as a function so the figure-regeneration golden test
+/// (`tests/figure_goldens.rs`) asserts the very string the binary emits —
+/// the first of the ROADMAP's figure goldens.
+pub fn figure4_text() -> String {
+    let mut out = String::from("Figure 4 — instrumentation sequences and their costs\n");
+    out.push_str(&format!(
+        "{:<26} {:>12} {:>12} {:>14} {:>14} {:>8} {:>8}\n",
+        "terminator", "bytes", "cycles", "instr bytes", "instr cycles", "K_b", "T_b"
+    ));
+    for row in figure4_table() {
+        out.push_str(&format!(
+            "{:<26} {:>12} {:>12} {:>14} {:>14} {:>8} {:>8}\n",
+            row.kind,
+            row.direct_bytes,
+            row.direct_cycles,
+            row.indirect_bytes,
+            row.indirect_cycles,
+            row.indirect_bytes - row.direct_bytes,
+            row.indirect_cycles - row.direct_cycles,
+        ));
+    }
+    out
+}
+
 /// The Figure 4 instrumentation-cost table.
 pub fn figure4_table() -> Vec<InstrumentationRow> {
     [
@@ -939,26 +966,36 @@ pub struct SimPerfRow {
 }
 
 /// The simulator-throughput comparison written to `BENCH_sim.json`.
+///
+/// Three timed passes over the same sweep: the IR-walking reference
+/// interpreter (`Board::run_reference`), the decoded engine
+/// (`Board::run`, which lowers each program once and drives the flattened
+/// form), and the decoded engine on the [`BatchRunner`] worker pool.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimPerfReport {
     /// Worker threads the batched run used.
     pub threads: usize,
     /// Total simulated cycles across the sweep.
     pub total_cycles: u64,
-    /// Wall time of the one-by-one `Board::run` loop, milliseconds.
+    /// Wall time of the one-by-one reference-interpreter loop, milliseconds.
+    pub reference_wall_ms: f64,
+    /// Wall time of the one-by-one decoded-engine loop, milliseconds.
     pub sequential_wall_ms: f64,
-    /// Wall time of the [`BatchRunner`] run, milliseconds.
+    /// Wall time of the batched decoded run, milliseconds.
     pub batched_wall_ms: f64,
-    /// Whether every batched result was bit-identical to its sequential
-    /// counterpart (cycles, energy bits, checksum, profile, layout).
+    /// Whether the decoded results were bit-identical to the reference
+    /// interpreter's **and** the batched results bit-identical to the
+    /// sequential decoded ones (cycles, energy bits, checksum, profile,
+    /// layout).
     pub bit_identical: bool,
     /// Per-program rows, in sweep order.
     pub rows: Vec<SimPerfRow>,
 }
 
 impl SimPerfReport {
-    /// Batched throughput over sequential throughput (> 1 means the pool
-    /// paid off; expect ≈ the worker count on an idle multi-core host).
+    /// Batched throughput over sequential decoded throughput (> 1 means the
+    /// pool paid off; expect ≈ the worker count on an idle multi-core host
+    /// and ≈ 1 on a single-core one, where the runner executes inline).
     pub fn speedup(&self) -> f64 {
         if self.batched_wall_ms <= 0.0 {
             return 1.0;
@@ -966,25 +1003,53 @@ impl SimPerfReport {
         self.sequential_wall_ms / self.batched_wall_ms
     }
 
+    /// Decoded single-thread throughput over reference single-thread
+    /// throughput — the decode-once/run-many payoff.
+    pub fn decode_speedup(&self) -> f64 {
+        if self.sequential_wall_ms <= 0.0 {
+            return 1.0;
+        }
+        self.reference_wall_ms / self.sequential_wall_ms
+    }
+
     /// Simulated megacycles per wall-clock second for the batched run.
     pub fn batched_mcycles_per_s(&self) -> f64 {
-        if self.batched_wall_ms <= 0.0 {
-            return 0.0;
+        Self::mcycles_per_s(self.total_cycles, self.batched_wall_ms)
+    }
+
+    /// Simulated megacycles per wall-clock second for the sequential
+    /// decoded run.
+    pub fn decoded_mcycles_per_s(&self) -> f64 {
+        Self::mcycles_per_s(self.total_cycles, self.sequential_wall_ms)
+    }
+
+    /// Simulated megacycles per wall-clock second for the reference
+    /// interpreter.
+    pub fn reference_mcycles_per_s(&self) -> f64 {
+        Self::mcycles_per_s(self.total_cycles, self.reference_wall_ms)
+    }
+
+    fn mcycles_per_s(cycles: u64, wall_ms: f64) -> f64 {
+        if wall_ms <= 0.0 {
+            0.0
+        } else {
+            cycles as f64 / 1e3 / wall_ms
         }
-        self.total_cycles as f64 / 1e3 / self.batched_wall_ms
     }
 }
 
 /// Measure simulator throughput: run every BEEBS kernel at every given
-/// level sequentially, then again on a [`BatchRunner`], and compare both
-/// wall time and results.
+/// level on the reference interpreter, then on the decoded engine, then on
+/// a [`BatchRunner`], and compare wall times and results.
 ///
-/// The result check is exact, not approximate: the interpreter's
-/// deterministic accumulator fold means a batched run must reproduce the
-/// sequential cycles, energy *bits*, checksum, profile and layout, and the
-/// report's `bit_identical` flag records whether it did.  Compilation goes
-/// through the fixture cache and is excluded from both timings — this
-/// measures the simulator, not the compiler.
+/// The result check is exact, not approximate: the deterministic counter
+/// fold means the decoded engine must reproduce the reference cycles,
+/// energy *bits*, checksum, profile and layout, and a batched run must
+/// reproduce the sequential ones; the report's `bit_identical` flag records
+/// whether both held.  Compilation goes through the fixture cache and is
+/// excluded from all timings — this measures the simulator, not the
+/// compiler.  An untimed decoded warm-up pass runs first so page faults and
+/// allocator growth land outside the measurements.
 pub fn sim_perf(board: &Board, levels: &[OptLevel]) -> SimPerfReport {
     let jobs = sweep_jobs(levels);
     let programs: Vec<_> = jobs
@@ -992,26 +1057,86 @@ pub fn sim_perf(board: &Board, levels: &[OptLevel]) -> SimPerfReport {
         .map(|(bench, level)| bench.compile_cached(*level).expect("benchmark compiles"))
         .collect();
 
-    let seq_start = std::time::Instant::now();
-    let sequential: Vec<_> = programs
+    // Decode once, untimed: the decoded engine's contract is
+    // decode-once/run-many, so the lowering pass is the per-program cost
+    // and the timed loops below measure the per-run cost of each engine.
+    // This also warms every program image.
+    let decoded_programs: Vec<_> = programs
         .iter()
-        .map(|p| board.run(p).expect("kernel runs"))
+        .map(|p| board.decode(p).expect("kernel decodes"))
         .collect();
-    let sequential_wall_ms = seq_start.elapsed().as_secs_f64() * 1e3;
+    for d in &decoded_programs {
+        let _ = board
+            .run_decoded(d, &RunConfig::default())
+            .expect("kernel runs");
+    }
 
+    // Five interleaved rounds with a rotated pass order, keeping each
+    // engine's best wall time.  A fixed order systematically penalizes
+    // whichever engine runs later (shared and quota-throttled hosts slow
+    // down under sustained load — the source of the phantom sub-1.0
+    // "batched slowdown" this file used to report at one thread);
+    // rotating gives every engine an early slot and taking minima cancels
+    // the drift.  Results are deterministic, so any round's outputs serve
+    // for the bit-identity comparison.
     let runner = BatchRunner::new(board.clone());
-    let batch_start = std::time::Instant::now();
-    let batched = runner.map(&programs, |board, p| board.run(p).expect("kernel runs"));
-    let batched_wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+    let mut reference_wall_ms = f64::MAX;
+    let mut sequential_wall_ms = f64::MAX;
+    let mut batched_wall_ms = f64::MAX;
+    let mut reference = Vec::new();
+    let mut sequential = Vec::new();
+    let mut batched = Vec::new();
+    let time_reference = |best: &mut f64, out: &mut Vec<_>| {
+        let start = std::time::Instant::now();
+        *out = programs
+            .iter()
+            .map(|p| board.run_reference(p).expect("kernel runs"))
+            .collect();
+        *best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    };
+    let time_sequential = |best: &mut f64, out: &mut Vec<_>| {
+        let start = std::time::Instant::now();
+        *out = decoded_programs
+            .iter()
+            .map(|d| {
+                board
+                    .run_decoded(d, &RunConfig::default())
+                    .expect("kernel runs")
+            })
+            .collect();
+        *best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    };
+    let time_batched = |best: &mut f64, out: &mut Vec<_>| {
+        let start = std::time::Instant::now();
+        *out = runner.map(&decoded_programs, |board, d| {
+            board
+                .run_decoded(d, &RunConfig::default())
+                .expect("kernel runs")
+        });
+        *best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    };
+    for round in 0..5 {
+        match round % 3 {
+            0 => {
+                time_reference(&mut reference_wall_ms, &mut reference);
+                time_sequential(&mut sequential_wall_ms, &mut sequential);
+                time_batched(&mut batched_wall_ms, &mut batched);
+            }
+            1 => {
+                time_batched(&mut batched_wall_ms, &mut batched);
+                time_reference(&mut reference_wall_ms, &mut reference);
+                time_sequential(&mut sequential_wall_ms, &mut sequential);
+            }
+            _ => {
+                time_sequential(&mut sequential_wall_ms, &mut sequential);
+                time_batched(&mut batched_wall_ms, &mut batched);
+                time_reference(&mut reference_wall_ms, &mut reference);
+            }
+        }
+    }
 
-    let bit_identical = sequential.iter().zip(&batched).all(|(s, b)| {
-        s.return_value == b.return_value
-            && s.meter == b.meter
-            && s.energy_mj.to_bits() == b.energy_mj.to_bits()
-            && s.time_s.to_bits() == b.time_s.to_bits()
-            && s.profile == b.profile
-            && s.layout == b.layout
-    });
+    let bit_identical = reference.iter().zip(&sequential).all(|(r, s)| r.bits_eq(s))
+        && sequential.iter().zip(&batched).all(|(s, b)| s.bits_eq(b));
 
     let rows = jobs
         .iter()
@@ -1028,6 +1153,7 @@ pub fn sim_perf(board: &Board, levels: &[OptLevel]) -> SimPerfReport {
     SimPerfReport {
         threads: runner.threads(),
         total_cycles: rows.iter().map(|r| r.cycles).sum(),
+        reference_wall_ms,
         sequential_wall_ms,
         batched_wall_ms,
         bit_identical,
@@ -1043,15 +1169,23 @@ pub fn sim_perf_json(report: &SimPerfReport) -> String {
         concat!(
             "  \"threads\": {},\n  \"programs\": {},\n",
             "  \"total_cycles\": {},\n",
+            "  \"reference_wall_ms\": {:.3},\n",
             "  \"sequential_wall_ms\": {:.3},\n  \"batched_wall_ms\": {:.3},\n",
+            "  \"reference_mcycles_per_s\": {:.1},\n",
+            "  \"decoded_mcycles_per_s\": {:.1},\n",
+            "  \"decode_speedup\": {:.3},\n",
             "  \"speedup\": {:.3},\n  \"batched_mcycles_per_s\": {:.1},\n",
             "  \"bit_identical\": {},\n  \"runs\": [\n"
         ),
         report.threads,
         report.rows.len(),
         report.total_cycles,
+        report.reference_wall_ms,
         report.sequential_wall_ms,
         report.batched_wall_ms,
+        report.reference_mcycles_per_s(),
+        report.decoded_mcycles_per_s(),
+        report.decode_speedup(),
         report.speedup(),
         report.batched_mcycles_per_s(),
         report.bit_identical,
@@ -1083,11 +1217,27 @@ mod tests {
         let board = Board::stm32vldiscovery();
         let report = sim_perf(&board, &[OptLevel::O2]);
         assert_eq!(report.rows.len(), Benchmark::all().len());
-        assert!(report.bit_identical, "batched must match sequential bits");
+        assert!(
+            report.bit_identical,
+            "decoded must match reference bits and batched must match sequential bits"
+        );
         assert!(report.total_cycles > 0);
+        assert!(report.decode_speedup() > 0.0);
         let json = sim_perf_json(&report);
         assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"decode_speedup\""));
+        assert!(json.contains("\"reference_mcycles_per_s\""));
+        assert!(json.contains("\"decoded_mcycles_per_s\""));
         assert!(json.contains("\"benchmark\": \"int_matmult\""));
+    }
+
+    #[test]
+    fn figure4_text_matches_the_table() {
+        let text = figure4_text();
+        assert!(text.starts_with("Figure 4"));
+        for row in figure4_table() {
+            assert!(text.contains(&row.kind), "missing row {}", row.kind);
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub struct Flags {
 impl Flags {
     /// Compute the flags produced by comparing `lhs` with `rhs`
     /// (i.e. the flags of `lhs - rhs` as `cmp` would set them).
+    #[inline]
     pub fn from_cmp(lhs: i32, rhs: i32) -> Flags {
         let (res, overflow) = lhs.overflowing_sub(rhs);
         let (_, borrow) = (lhs as u32).overflowing_sub(rhs as u32);
@@ -35,6 +36,7 @@ impl Flags {
     }
 
     /// Compute the flags produced by a flag-setting move/logical result.
+    #[inline]
     pub fn from_result(value: i32) -> Flags {
         Flags {
             n: value < 0,
@@ -122,6 +124,7 @@ impl Cond {
     }
 
     /// Evaluate the condition against a flag state.
+    #[inline]
     pub fn holds(self, f: Flags) -> bool {
         match self {
             Cond::Eq => f.z,

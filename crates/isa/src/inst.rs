@@ -44,6 +44,7 @@ pub enum MemWidth {
 
 impl MemWidth {
     /// Number of bytes transferred.
+    #[inline]
     pub fn bytes(self) -> u32 {
         match self {
             MemWidth::Byte => 1,

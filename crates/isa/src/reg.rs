@@ -89,6 +89,7 @@ impl Reg {
     pub const ARGS: [Reg; 4] = [Reg::R0, Reg::R1, Reg::R2, Reg::R3];
 
     /// Numeric index of the register (0–15).
+    #[inline]
     pub fn index(self) -> usize {
         self as usize
     }

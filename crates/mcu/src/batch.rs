@@ -99,14 +99,22 @@ impl BatchRunner {
 
     /// Run one program under each of several configurations (e.g. a
     /// cycle-budget sweep).  `results[i]` corresponds to `configs[i]`.
+    ///
+    /// The program is decoded **once** ([`Board::decode`]) and the shared
+    /// [`DecodedProgram`](crate::decode::DecodedProgram) is executed under
+    /// every configuration — N configs pay for one lowering, not N.  A
+    /// program that fails to decode fails every slot with the same error,
+    /// exactly as N independent [`Board::run_with_config`] calls would.
     pub fn run_configs(
         &self,
         program: &MachineProgram,
         configs: &[RunConfig],
     ) -> Vec<Result<RunResult, RunError>> {
-        self.map(configs, |board, config| {
-            board.run_with_config(program, config)
-        })
+        let decoded = match self.board.decode(program) {
+            Ok(decoded) => decoded,
+            Err(e) => return configs.iter().map(|_| Err(e.clone())).collect(),
+        };
+        self.map(configs, |board, config| board.run_decoded(&decoded, config))
     }
 
     /// The generic substrate: evaluate `f(board, &jobs[i])` for every job

@@ -10,7 +10,8 @@
 use flashram_ir::{MachineProgram, ProfileData};
 use flashram_isa::{TimingModel, CORTEX_M3_TIMING};
 
-use crate::cpu::{Cpu, RunError};
+use crate::cpu::{Cpu, CpuResult, RunError};
+use crate::decode::DecodedProgram;
 use crate::energy::EnergyMeter;
 use crate::mem::{DataLayout, Memory, MemoryMap};
 use crate::power::PowerModel;
@@ -54,6 +55,24 @@ impl RunResult {
     pub fn cycles(&self) -> u64 {
         self.meter.cycles
     }
+
+    /// Bitwise equality across every field — float fields compared by bit
+    /// pattern, not by value.
+    ///
+    /// This is the relation the simulator's determinism guarantees are
+    /// stated in: the decoded engine versus the reference interpreter, and
+    /// batched versus sequential execution, must agree under `bits_eq`.
+    /// The differential test suites and the `sim_perf` bit-identity
+    /// verdict all share this one definition.
+    pub fn bits_eq(&self, other: &RunResult) -> bool {
+        self.return_value == other.return_value
+            && self.meter == other.meter
+            && self.time_s.to_bits() == other.time_s.to_bits()
+            && self.energy_mj.to_bits() == other.energy_mj.to_bits()
+            && self.avg_power_mw.to_bits() == other.avg_power_mw.to_bits()
+            && self.profile == other.profile
+            && self.layout == other.layout
+    }
 }
 
 /// The simulated measurement board.
@@ -81,9 +100,16 @@ impl Board {
 
     /// Run a program with the default configuration.
     ///
+    /// The program is lowered once by the decoded execution engine
+    /// ([`crate::decode`]) and executed in its flattened form; use
+    /// [`Board::decode`] + [`Board::run_decoded`] to amortize the lowering
+    /// over many runs, and [`Board::run_reference`] for the IR-walking
+    /// reference interpreter.
+    ///
     /// # Errors
     ///
-    /// Returns a [`RunError`] if the program does not fit the part, faults,
+    /// Returns a [`RunError`] if the program does not fit the part, is
+    /// structurally malformed (reported eagerly, at decode time), faults,
     /// or exceeds the cycle budget.
     pub fn run(&self, program: &MachineProgram) -> Result<RunResult, RunError> {
         self.run_with_config(program, &RunConfig::default())
@@ -99,6 +125,74 @@ impl Board {
         program: &MachineProgram,
         config: &RunConfig,
     ) -> Result<RunResult, RunError> {
+        let decoded = self.decode(program)?;
+        self.run_decoded(&decoded, config)
+    }
+
+    /// Lower a program into its decoded form (flattened ops, resolved
+    /// symbols, prefused charges) for this board's memory map and timing
+    /// model.
+    ///
+    /// The result can be executed any number of times with
+    /// [`Board::run_decoded`]; decoding is the per-program work,
+    /// [`Board::run_decoded`] is the per-run work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Memory`] when the program image does not fit the
+    /// part and [`RunError::BadProgram`] when it is structurally broken
+    /// (dangling literal symbols, out-of-range callees or branch targets).
+    pub fn decode(&self, program: &MachineProgram) -> Result<DecodedProgram, RunError> {
+        let (memory, layout) = Memory::load(program, self.map)?;
+        Ok(DecodedProgram::decode(
+            program,
+            memory,
+            layout,
+            &self.timing,
+        )?)
+    }
+
+    /// Run an already-decoded program with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on memory faults, call-stack overflow, or
+    /// when the cycle budget is exceeded.
+    pub fn run_decoded(
+        &self,
+        decoded: &DecodedProgram,
+        config: &RunConfig,
+    ) -> Result<RunResult, RunError> {
+        let out = decoded.execute(&self.power, &self.timing, config.max_cycles)?;
+        Ok(self.finish_run(out, decoded.layout().clone()))
+    }
+
+    /// Run a program on the IR-walking reference interpreter
+    /// ([`crate::cpu::Cpu`]) with the default configuration.
+    ///
+    /// The decoded engine behind [`Board::run`] is held bit-identical to
+    /// this one by the differential test suite; keep using this entry point
+    /// where the per-instruction reference semantics are the point (e.g.
+    /// one side of a differential test).
+    ///
+    /// # Errors
+    ///
+    /// See [`Board::run`].
+    pub fn run_reference(&self, program: &MachineProgram) -> Result<RunResult, RunError> {
+        self.run_reference_with_config(program, &RunConfig::default())
+    }
+
+    /// Run a program on the reference interpreter with an explicit
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Board::run`].
+    pub fn run_reference_with_config(
+        &self,
+        program: &MachineProgram,
+        config: &RunConfig,
+    ) -> Result<RunResult, RunError> {
         let (memory, layout) = Memory::load(program, self.map)?;
         let cpu = Cpu::new(
             program,
@@ -109,10 +203,15 @@ impl Board {
             config.max_cycles,
         );
         let out = cpu.run()?;
+        Ok(self.finish_run(out, layout))
+    }
+
+    /// Fold a completed CPU run into the reported [`RunResult`].
+    fn finish_run(&self, out: CpuResult, layout: DataLayout) -> RunResult {
         let time_s = out.meter.time_s(&self.timing);
         let energy_mj = out.meter.energy_mj();
         let avg_power_mw = out.meter.avg_power_mw(&self.timing);
-        Ok(RunResult {
+        RunResult {
             return_value: out.return_value,
             meter: out.meter,
             time_s,
@@ -120,7 +219,7 @@ impl Board {
             avg_power_mw,
             profile: out.profile,
             layout,
-        })
+        }
     }
 
     /// The spare RAM a program leaves for relocated code, in bytes.

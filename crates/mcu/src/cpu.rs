@@ -1,4 +1,4 @@
-//! The instruction-level interpreter.
+//! The instruction-level **reference** interpreter.
 //!
 //! Code is executed block by block: straight-line instructions update the
 //! architectural state (registers, flags, data memory) while integer
@@ -8,6 +8,14 @@
 //! transfers are interpreted from the block terminators, including the
 //! long-range indirect forms the placement transformation substitutes —
 //! which cost more cycles, exactly as in Figure 4 of the paper.
+//!
+//! This interpreter walks the nested [`MachineProgram`] IR directly and is
+//! the *reference semantics* of the simulator.  The production engine is
+//! the decoded one in [`crate::decode`], which [`crate::board::Board::run`]
+//! drives by default; this one is kept (reachable through
+//! [`Board::run_reference`](crate::board::Board::run_reference)) because
+//! its per-instruction structure is easy to audit against the paper, and
+//! the differential tests hold the decoded engine bit-identical to it.
 
 use flashram_ir::{BlockId, BlockRef, FuncId, MachineProgram, ProfileData, Section};
 use flashram_isa::cond::Flags;
@@ -86,7 +94,7 @@ struct Frame {
     inst_index: usize,
 }
 
-const MAX_CALL_DEPTH: usize = 256;
+pub(crate) const MAX_CALL_DEPTH: usize = 256;
 
 /// The interpreter.
 ///
@@ -543,7 +551,7 @@ enum Next {
     Return,
 }
 
-fn shift(op: flashram_isa::ShiftOp, value: i32, amount: u32) -> i32 {
+pub(crate) fn shift(op: flashram_isa::ShiftOp, value: i32, amount: u32) -> i32 {
     let amount = amount & 31;
     match op {
         flashram_isa::ShiftOp::Lsl => value.wrapping_shl(amount),

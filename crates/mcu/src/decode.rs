@@ -1,0 +1,2493 @@
+//! The decoded (predecoded, flattened) execution engine.
+//!
+//! [`Cpu::run`](crate::cpu::Cpu) interprets the nested [`MachineProgram`] IR
+//! directly: every retired instruction walks the `Inst` enum, re-derives its
+//! cycle cost and power class, and bumps a three-axis counter cube.  That is
+//! the right *reference semantics*, but all of it is invariant across a run
+//! — so this module compiles a `(program, layout)` pair **once** into a
+//! [`DecodedProgram`] and lets [`Board`](crate::board::Board) drive the
+//! compiled form instead:
+//!
+//! * all basic blocks of all functions are flattened into one contiguous
+//!   array of compact fixed-size ops, split into *chunks* at call sites
+//!   so the executor's main loop sees exactly the same scheduling points
+//!   (block entry, call entry, post-call resume) as the reference
+//!   interpreter; per-chunk metadata (profile slot, prefused charges,
+//!   decoded terminator) lives outside the op stream so the dispatch loop
+//!   stays minimal;
+//! * literal-pool symbol references are resolved to absolute addresses at
+//!   decode time, and every callee / block-target index is validated up
+//!   front — the hot loop contains **no** `BadProgram` checks, and a
+//!   malformed program fails at [`Board::decode`](crate::board::Board::decode)
+//!   with a [`DecodeError`] instead of faulting mid-run;
+//! * per-op cycle costs and [`CycleCounters`] bucket indices are
+//!   precomputed; every run of ops whose charge is statically known (ALU,
+//!   multiplies, divides, resolved literal loads, push/pop) is prefused
+//!   into per-bucket aggregates charged once per straight-line chunk
+//!   instead of once per instruction; and the hottest dynamic op *pairs,
+//!   triples and quads* of the BEEBS sweep are fused into single
+//!   superinstructions (including the compare-plus-conditional-branch
+//!   that ends almost half of all executed blocks and the shift-add-load
+//!   array-indexing idiom);
+//! * the running cycle total lives in a register: counter buckets are
+//!   charged in memory, but the budget check never reads memory.
+//!
+//! The engine is **observably bit-identical** to the reference interpreter
+//! for every valid program: same `EnergyMeter` (to the bit — the counter
+//! fold is shared), same `ProfileData`, same return value, and same errors,
+//! including `RunError::CycleLimit { limit, executed }`, because the cycle
+//! budget is checked at exactly the reference interpreter's check points
+//! (block entry, call entry, post-call resume) with exactly the same
+//! running totals.  Prefusing cannot be observed: between two check points
+//! no charge is readable, and a faulting run discards its counters
+//! entirely.  The one intentional difference is *when* structural errors
+//! surface: the reference interpreter reports a dangling reference only if
+//! it executes it, the decoded engine rejects it before running anything.
+//!
+//! `crates/mcu/tests/decoded_equivalence.rs` and the workspace-level
+//! `tests/decoded_differential.rs` assert the bit-identity property over
+//! generated programs and the BEEBS kernels; `sim_perf` tracks the
+//! throughput ratio in `BENCH_sim.json`.
+
+use std::collections::BTreeMap;
+
+use flashram_ir::{BlockId, BlockRef, MachineProgram, ProfileData, Section};
+use flashram_isa::cond::{Cond, Flags};
+use flashram_isa::inst::LitValue;
+use flashram_isa::{Inst, InstClass, MemWidth, Reg, ShiftOp, Terminator, TimingModel};
+
+use crate::cpu::{shift, CpuResult, RunError, MAX_CALL_DEPTH};
+use crate::energy::CycleCounters;
+use crate::mem::{DataLayout, MemError, Memory};
+use crate::power::PowerModel;
+
+/// Errors raised while lowering a program into its decoded form.
+///
+/// Everything the reference interpreter would report as
+/// [`RunError::BadProgram`] *if it happened to execute the broken
+/// instruction* is caught here, before anything runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// Laying out the program image failed (it does not fit the part).
+    Memory(MemError),
+    /// The program is structurally broken: a dangling symbol in a literal
+    /// load, an out-of-range callee or branch target, an empty function, or
+    /// a missing entry point.
+    Invalid(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Memory(e) => write!(f, "{e}"),
+            DecodeError::Invalid(why) => write!(f, "malformed program: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<MemError> for DecodeError {
+    fn from(e: MemError) -> Self {
+        DecodeError::Memory(e)
+    }
+}
+
+impl From<DecodeError> for RunError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::Memory(m) => RunError::Memory(m),
+            DecodeError::Invalid(why) => RunError::BadProgram(why),
+        }
+    }
+}
+
+/// Precomputed charging data for a memory operation whose data section is
+/// only known at run time: the bucket index for `(class, exec, data: None)`
+/// (the dynamic section is added as an offset), the static base cycles, and
+/// whether the op executes from RAM (and therefore pays the contention
+/// stall when its data access also hits RAM).
+#[derive(Debug, Clone, Copy)]
+struct MemCharge {
+    flat_base: u16,
+    base_cycles: u8,
+    contend: bool,
+}
+
+/// A prefused static charge aggregate: `(bucket, cycles)`, where a zeroed
+/// slot charges zero cycles to bucket zero (a no-op).
+type ChargeSlot = (u16, u32);
+
+/// One decoded operation.  Compact and fixed-size: register operands are
+/// raw indices, push/pop register lists live in a side table, and literal
+/// loads have been resolved into plain constants at decode time.
+///
+/// Ops whose cycle charge is statically known carry no charge at all —
+/// their cycles are prefused into the owning chunk's aggregate slots
+/// ([`Chunk::charges`]), spilling into [`Op::Charge`] only for post-call
+/// segments or when a chunk touches more than two static buckets.
+///
+/// The multi-destination variants are **superinstructions**: the hottest
+/// dynamic op pairs, triples and quads of the BEEBS sweep, fused at decode
+/// time so the interpreter pays one dispatch instead of two to four.  A
+/// fused arm executes its component ops completely and in order
+/// (destination writes included), so fusion is semantics-preserving for
+/// *any* adjacent ops of the right shapes, whatever their register
+/// dependencies.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Charge a prefused cycle aggregate to one counter bucket (post-call
+    /// segments, or overflow from the [`Chunk::charges`] slots).
+    Charge {
+        bucket: u16,
+        cycles: u32,
+    },
+    MovImm {
+        rd: u8,
+        imm: i32,
+    },
+    MovReg {
+        rd: u8,
+        rm: u8,
+    },
+    MovCond {
+        cond: Cond,
+        rd: u8,
+        imm: i32,
+    },
+    AddImm {
+        rd: u8,
+        rn: u8,
+        imm: i32,
+    },
+    AddReg {
+        rd: u8,
+        rn: u8,
+        rm: u8,
+    },
+    SubImm {
+        rd: u8,
+        rn: u8,
+        imm: i32,
+    },
+    SubReg {
+        rd: u8,
+        rn: u8,
+        rm: u8,
+    },
+    RsbImm {
+        rd: u8,
+        rn: u8,
+        imm: i32,
+    },
+    Mul {
+        rd: u8,
+        rn: u8,
+        rm: u8,
+    },
+    Sdiv {
+        rd: u8,
+        rn: u8,
+        rm: u8,
+    },
+    Udiv {
+        rd: u8,
+        rn: u8,
+        rm: u8,
+    },
+    And {
+        rd: u8,
+        rn: u8,
+        rm: u8,
+    },
+    Orr {
+        rd: u8,
+        rn: u8,
+        rm: u8,
+    },
+    Eor {
+        rd: u8,
+        rn: u8,
+        rm: u8,
+    },
+    Bic {
+        rd: u8,
+        rn: u8,
+        rm: u8,
+    },
+    Mvn {
+        rd: u8,
+        rm: u8,
+    },
+    AndImm {
+        rd: u8,
+        rn: u8,
+        imm: i32,
+    },
+    OrrImm {
+        rd: u8,
+        rn: u8,
+        imm: i32,
+    },
+    EorImm {
+        rd: u8,
+        rn: u8,
+        imm: i32,
+    },
+    ShiftImm {
+        op: ShiftOp,
+        rd: u8,
+        rm: u8,
+        imm: u8,
+    },
+    ShiftReg {
+        op: ShiftOp,
+        rd: u8,
+        rn: u8,
+        rm: u8,
+    },
+    CmpImm {
+        rn: u8,
+        imm: i32,
+    },
+    CmpReg {
+        rn: u8,
+        rm: u8,
+    },
+    Load {
+        rd: u8,
+        base: u8,
+        width: MemWidth,
+        charge: MemCharge,
+        offset: i32,
+    },
+    LoadIdx {
+        rd: u8,
+        base: u8,
+        index: u8,
+        width: MemWidth,
+        charge: MemCharge,
+    },
+    Store {
+        rs: u8,
+        base: u8,
+        width: MemWidth,
+        charge: MemCharge,
+        offset: i32,
+    },
+    StoreIdx {
+        rs: u8,
+        base: u8,
+        index: u8,
+        width: MemWidth,
+        charge: MemCharge,
+    },
+    Push {
+        start: u32,
+        len: u16,
+    },
+    Pop {
+        start: u32,
+        len: u16,
+    },
+    /// `mov rd1, #imm1; mov rd2, #imm2` (covers resolved literal loads).
+    MovImm2 {
+        rd1: u8,
+        imm1: i32,
+        rd2: u8,
+        imm2: i32,
+    },
+    /// `mov rd1, #imm; mul rd2, rn, rm`.
+    MovImmMul {
+        rd1: u8,
+        imm: i32,
+        rd2: u8,
+        rn: u8,
+        rm: u8,
+    },
+    /// `mul rd1, rn1, rm1; add rd2, rn2, rm2`.
+    MulAddReg {
+        rd1: u8,
+        rn1: u8,
+        rm1: u8,
+        rd2: u8,
+        rn2: u8,
+        rm2: u8,
+    },
+    /// `lsl/lsr/asr rd1, rm1, #imm; add rd2, rn2, rm2`.
+    ShiftImmAddReg {
+        op: ShiftOp,
+        rd1: u8,
+        rm1: u8,
+        imm: u8,
+        rd2: u8,
+        rn2: u8,
+        rm2: u8,
+    },
+    /// `add rd1, rn1, rm1; lsl/lsr/asr rd2, rm2, #imm`.
+    AddRegShiftImm {
+        rd1: u8,
+        rn1: u8,
+        rm1: u8,
+        op: ShiftOp,
+        rd2: u8,
+        rm2: u8,
+        imm: u8,
+    },
+    /// `add rd1, rn1, #imm; mov rd2, rm2`.
+    AddImmMovReg {
+        rd1: u8,
+        rn1: u8,
+        imm: i32,
+        rd2: u8,
+        rm2: u8,
+    },
+    /// `add rd1, rn1, rm1; ldr rd2, [base, #offset]`.
+    AddRegLoad {
+        rd1: u8,
+        rn1: u8,
+        rm1: u8,
+        rd2: u8,
+        base: u8,
+        width: MemWidth,
+        charge: MemCharge,
+        offset: i32,
+    },
+    /// `ldr rd1, [base, #offset]; add rd2, rn2, rm2`.
+    LoadAddReg {
+        rd1: u8,
+        base: u8,
+        width: MemWidth,
+        charge: MemCharge,
+        offset: i32,
+        rd2: u8,
+        rn2: u8,
+        rm2: u8,
+    },
+    /// `lsl rd1, rm1, #imm; add rd2, rn2, rm2; ldr rd3, [base, #offset]`
+    /// — the array-indexing idiom, the hottest triple of the sweep.
+    ShiftImmAddRegLoad {
+        op: ShiftOp,
+        rd1: u8,
+        rm1: u8,
+        imm: u8,
+        rd2: u8,
+        rn2: u8,
+        rm2: u8,
+        rd3: u8,
+        base: u8,
+        width: MemWidth,
+        charge: MemCharge,
+        offset: i32,
+    },
+    /// `add rd1, rn1, rm1; lsl rd2, rm2, #imm; add rd3, rn3, rm3;
+    /// ldr rd4, [base, #offset]` — two-level indexing, the hottest quad.
+    AddRegShiftImmAddRegLoad {
+        rd1: u8,
+        rn1: u8,
+        rm1: u8,
+        op: ShiftOp,
+        rd2: u8,
+        rm2: u8,
+        imm: u8,
+        rd3: u8,
+        rn3: u8,
+        rm3: u8,
+        rd4: u8,
+        base: u8,
+        width: MemWidth,
+        charge: MemCharge,
+        offset: i32,
+    },
+    /// `mov rd1, #imm1; mov rd2, #imm2; mul rd3, rn, rm`.
+    MovImm2Mul {
+        rd1: u8,
+        imm1: i32,
+        rd2: u8,
+        imm2: i32,
+        rd3: u8,
+        rn: u8,
+        rm: u8,
+    },
+    /// `mov rd1, #imm; mul rd2, rn, rm; ldr rd3, [base, #offset]`.
+    MovImmMulLoad {
+        rd1: u8,
+        imm: i32,
+        rd2: u8,
+        rn: u8,
+        rm: u8,
+        rd3: u8,
+        base: u8,
+        width: MemWidth,
+        charge: MemCharge,
+        offset: i32,
+    },
+    /// `ldr rd1, [base, #offset]; add rd2, rn2, rm2; lsl rd3, rm3, #imm`.
+    LoadAddRegShiftImm {
+        rd1: u8,
+        base: u8,
+        width: MemWidth,
+        charge: MemCharge,
+        offset: i32,
+        rd2: u8,
+        rn2: u8,
+        rm2: u8,
+        op: ShiftOp,
+        rd3: u8,
+        rm3: u8,
+        imm: u8,
+    },
+    /// `mul rd1, rn1, rm1; add rd2, rn2, rm2; mov rd3, rm3`.
+    MulAddRegMovReg {
+        rd1: u8,
+        rn1: u8,
+        rm1: u8,
+        rd2: u8,
+        rn2: u8,
+        rm2: u8,
+        rd3: u8,
+        rm3: u8,
+    },
+    /// `add rd1, rn1, #imm; mov rd2, rm2; str rs, [base, #offset]`.
+    AddImmMovRegStore {
+        rd1: u8,
+        rn1: u8,
+        imm: i32,
+        rd2: u8,
+        rm2: u8,
+        rs: u8,
+        base: u8,
+        width: MemWidth,
+        charge: MemCharge,
+        offset: i32,
+    },
+    /// `add rd1, rn1, rm1; ldr rd2, [base, #offset]; mul rd3, rn3, rm3`.
+    AddRegLoadMul {
+        rd1: u8,
+        rn1: u8,
+        rm1: u8,
+        rd2: u8,
+        base: u8,
+        width: MemWidth,
+        charge: MemCharge,
+        offset: i32,
+        rd3: u8,
+        rn3: u8,
+        rm3: u8,
+    },
+    /// `add rd1, rn1, rm1; ldr rd2, [base, #offset]; mov rd3, #imm`.
+    AddRegLoadMovImm {
+        rd1: u8,
+        rn1: u8,
+        rm1: u8,
+        rd2: u8,
+        base: u8,
+        width: MemWidth,
+        charge: MemCharge,
+        offset: i32,
+        rd3: u8,
+        imm: i32,
+    },
+}
+
+/// How control leaves a chunk.  All targets are direct indices into the
+/// chunk array, resolved and validated at decode time.
+#[derive(Debug, Clone, Copy)]
+enum ChunkExit {
+    /// `bl callee`: charge, push the next chunk, enter the callee's entry
+    /// chunk.
+    Call {
+        target: u32,
+        callee: u32,
+        bucket: u16,
+        cycles: u8,
+    },
+    /// Unconditional transfer (branch, fall-through, or their indirect
+    /// forms — after decoding only the cycle cost distinguishes them).
+    Jump {
+        target: u32,
+        bucket: u16,
+        cycles: u8,
+    },
+    /// Flag-conditional two-way transfer.
+    CondJump {
+        cond: Cond,
+        target: u32,
+        fallthrough: u32,
+        taken_cycles: u8,
+        not_taken_cycles: u8,
+        bucket: u16,
+    },
+    /// `cbz`/`cbnz`-style two-way transfer on a register compare.
+    CmpJump {
+        nonzero: bool,
+        rn: u8,
+        target: u32,
+        fallthrough: u32,
+        taken_cycles: u8,
+        not_taken_cycles: u8,
+        bucket: u16,
+    },
+    /// `cmp rn, #imm` fused with the conditional branch that consumes it —
+    /// the most common block ending by far.  Still updates the flags (later
+    /// code may read them).
+    CmpImmCondJump {
+        rn: u8,
+        imm: i32,
+        cond: Cond,
+        target: u32,
+        fallthrough: u32,
+        taken_cycles: u8,
+        not_taken_cycles: u8,
+        bucket: u16,
+    },
+    /// `cmp rn, rm` fused with the conditional branch that consumes it.
+    CmpRegCondJump {
+        rn: u8,
+        rm: u8,
+        cond: Cond,
+        target: u32,
+        fallthrough: u32,
+        taken_cycles: u8,
+        not_taken_cycles: u8,
+        bucket: u16,
+    },
+    /// Return to the caller (or finish the run at the outermost frame).
+    Return { bucket: u16, cycles: u8 },
+}
+
+/// Sentinel for chunks that resume a block after a call (they are not
+/// block heads and must not bump the block's execution count).
+const NOT_A_HEAD: u32 = u32::MAX;
+
+/// One straight-line piece of a basic block: a run of ops ending either at
+/// a call site or at the block's terminator.  Chunk boundaries are exactly
+/// the reference interpreter's scheduling points, which is what keeps the
+/// cycle-limit check bit-identical.
+#[derive(Debug, Clone, Copy)]
+struct Chunk {
+    op_start: u32,
+    op_end: u32,
+    /// Flat block index for profile counting, or [`NOT_A_HEAD`].
+    block: u32,
+    /// Prefused static `(bucket, cycles)` charge aggregates, applied
+    /// unconditionally on chunk entry (a `(0, 0)` slot charges nothing).
+    charges: [ChargeSlot; 2],
+    exit: ChunkExit,
+}
+
+/// Decode-time fusion of two adjacent ops into one superinstruction, if
+/// the pair matches one of the hot shapes.
+fn fuse(a: Op, b: Op) -> Option<Op> {
+    Some(match (a, b) {
+        (Op::MovImm { rd: rd1, imm: imm1 }, Op::MovImm { rd: rd2, imm: imm2 }) => Op::MovImm2 {
+            rd1,
+            imm1,
+            rd2,
+            imm2,
+        },
+        (Op::MovImm { rd: rd1, imm }, Op::Mul { rd, rn, rm }) => Op::MovImmMul {
+            rd1,
+            imm,
+            rd2: rd,
+            rn,
+            rm,
+        },
+        (
+            Op::Mul {
+                rd: rd1,
+                rn: rn1,
+                rm: rm1,
+            },
+            Op::AddReg { rd, rn, rm },
+        ) => Op::MulAddReg {
+            rd1,
+            rn1,
+            rm1,
+            rd2: rd,
+            rn2: rn,
+            rm2: rm,
+        },
+        (
+            Op::ShiftImm {
+                op,
+                rd: rd1,
+                rm: rm1,
+                imm,
+            },
+            Op::AddReg { rd, rn, rm },
+        ) => Op::ShiftImmAddReg {
+            op,
+            rd1,
+            rm1,
+            imm,
+            rd2: rd,
+            rn2: rn,
+            rm2: rm,
+        },
+        (
+            Op::AddReg {
+                rd: rd1,
+                rn: rn1,
+                rm: rm1,
+            },
+            Op::ShiftImm { op, rd, rm, imm },
+        ) => Op::AddRegShiftImm {
+            rd1,
+            rn1,
+            rm1,
+            op,
+            rd2: rd,
+            rm2: rm,
+            imm,
+        },
+        (
+            Op::AddImm {
+                rd: rd1,
+                rn: rn1,
+                imm,
+            },
+            Op::MovReg { rd, rm },
+        ) => Op::AddImmMovReg {
+            rd1,
+            rn1,
+            imm,
+            rd2: rd,
+            rm2: rm,
+        },
+        (
+            Op::AddReg {
+                rd: rd1,
+                rn: rn1,
+                rm: rm1,
+            },
+            Op::Load {
+                rd,
+                base,
+                width,
+                charge,
+                offset,
+            },
+        ) => Op::AddRegLoad {
+            rd1,
+            rn1,
+            rm1,
+            rd2: rd,
+            base,
+            width,
+            charge,
+            offset,
+        },
+        (
+            Op::Load {
+                rd,
+                base,
+                width,
+                charge,
+                offset,
+            },
+            Op::AddReg { rd: rd2, rn, rm },
+        ) => Op::LoadAddReg {
+            rd1: rd,
+            base,
+            width,
+            charge,
+            offset,
+            rd2,
+            rn2: rn,
+            rm2: rm,
+        },
+        // Second-round rules: grow pair superinstructions into the hot
+        // triples and quads (a later peephole pass sees the pair as `a`).
+        (
+            Op::ShiftImmAddReg {
+                op,
+                rd1,
+                rm1,
+                imm,
+                rd2,
+                rn2,
+                rm2,
+            },
+            Op::Load {
+                rd,
+                base,
+                width,
+                charge,
+                offset,
+            },
+        ) => Op::ShiftImmAddRegLoad {
+            op,
+            rd1,
+            rm1,
+            imm,
+            rd2,
+            rn2,
+            rm2,
+            rd3: rd,
+            base,
+            width,
+            charge,
+            offset,
+        },
+        (
+            Op::AddRegShiftImm {
+                rd1,
+                rn1,
+                rm1,
+                op,
+                rd2,
+                rm2,
+                imm,
+            },
+            Op::AddRegLoad {
+                rd1: rd3,
+                rn1: rn3,
+                rm1: rm3,
+                rd2: rd4,
+                base,
+                width,
+                charge,
+                offset,
+            },
+        ) => Op::AddRegShiftImmAddRegLoad {
+            rd1,
+            rn1,
+            rm1,
+            op,
+            rd2,
+            rm2,
+            imm,
+            rd3,
+            rn3,
+            rm3,
+            rd4,
+            base,
+            width,
+            charge,
+            offset,
+        },
+        (
+            Op::MovImm2 {
+                rd1,
+                imm1,
+                rd2,
+                imm2,
+            },
+            Op::Mul { rd, rn, rm },
+        ) => Op::MovImm2Mul {
+            rd1,
+            imm1,
+            rd2,
+            imm2,
+            rd3: rd,
+            rn,
+            rm,
+        },
+        (
+            Op::MovImmMul {
+                rd1,
+                imm,
+                rd2,
+                rn,
+                rm,
+            },
+            Op::Load {
+                rd,
+                base,
+                width,
+                charge,
+                offset,
+            },
+        ) => Op::MovImmMulLoad {
+            rd1,
+            imm,
+            rd2,
+            rn,
+            rm,
+            rd3: rd,
+            base,
+            width,
+            charge,
+            offset,
+        },
+        (
+            Op::LoadAddReg {
+                rd1,
+                base,
+                width,
+                charge,
+                offset,
+                rd2,
+                rn2,
+                rm2,
+            },
+            Op::ShiftImm { op, rd, rm, imm },
+        ) => Op::LoadAddRegShiftImm {
+            rd1,
+            base,
+            width,
+            charge,
+            offset,
+            rd2,
+            rn2,
+            rm2,
+            op,
+            rd3: rd,
+            rm3: rm,
+            imm,
+        },
+        (
+            Op::MulAddReg {
+                rd1,
+                rn1,
+                rm1,
+                rd2,
+                rn2,
+                rm2,
+            },
+            Op::MovReg { rd, rm },
+        ) => Op::MulAddRegMovReg {
+            rd1,
+            rn1,
+            rm1,
+            rd2,
+            rn2,
+            rm2,
+            rd3: rd,
+            rm3: rm,
+        },
+        (
+            Op::AddImmMovReg {
+                rd1,
+                rn1,
+                imm,
+                rd2,
+                rm2,
+            },
+            Op::Store {
+                rs,
+                base,
+                width,
+                charge,
+                offset,
+            },
+        ) => Op::AddImmMovRegStore {
+            rd1,
+            rn1,
+            imm,
+            rd2,
+            rm2,
+            rs,
+            base,
+            width,
+            charge,
+            offset,
+        },
+        (
+            Op::AddRegLoad {
+                rd1,
+                rn1,
+                rm1,
+                rd2,
+                base,
+                width,
+                charge,
+                offset,
+            },
+            Op::Mul { rd, rn, rm },
+        ) => Op::AddRegLoadMul {
+            rd1,
+            rn1,
+            rm1,
+            rd2,
+            base,
+            width,
+            charge,
+            offset,
+            rd3: rd,
+            rn3: rn,
+            rm3: rm,
+        },
+        (
+            Op::AddRegLoad {
+                rd1,
+                rn1,
+                rm1,
+                rd2,
+                base,
+                width,
+                charge,
+                offset,
+            },
+            Op::MovImm { rd, imm },
+        ) => Op::AddRegLoadMovImm {
+            rd1,
+            rn1,
+            rm1,
+            rd2,
+            base,
+            width,
+            charge,
+            offset,
+            rd3: rd,
+            imm,
+        },
+        _ => return None,
+    })
+}
+
+/// Greedy left-to-right fusion over a chunk body, repeated until a pass
+/// fuses nothing more, so pair superinstructions grow into the triple and
+/// quad patterns.
+fn peephole(body: &mut Vec<Op>) {
+    loop {
+        let before = body.len();
+        let mut out = Vec::with_capacity(body.len());
+        let mut i = 0;
+        while i < body.len() {
+            if i + 1 < body.len() {
+                if let Some(f) = fuse(body[i], body[i + 1]) {
+                    out.push(f);
+                    i += 2;
+                    continue;
+                }
+            }
+            out.push(body[i]);
+            i += 1;
+        }
+        *body = out;
+        if body.len() == before {
+            break;
+        }
+    }
+}
+
+/// A program lowered for the decoded execution engine, together with the
+/// pristine memory image and data layout it was decoded against.
+///
+/// Build one with [`Board::decode`](crate::board::Board::decode) and run it
+/// any number of times with
+/// [`Board::run_decoded`](crate::board::Board::run_decoded) — each run
+/// clones the memory image instead of re-laying-out the program, and decode
+/// work (flattening, validation, symbol resolution, charge fusion) is never
+/// repeated.  [`BatchRunner::run_configs`](crate::batch::BatchRunner::run_configs)
+/// relies on exactly this to decode once for N configurations.
+///
+/// A `DecodedProgram` is tied to the board that decoded it (memory map and
+/// timing model are baked into the lowered ops); run it on the same board.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    ops: Vec<Op>,
+    chunks: Vec<Chunk>,
+    reg_lists: Vec<Reg>,
+    entry_chunk: u32,
+    /// Flat block index → `(function, block)`, for the profile fold.
+    block_map: Vec<BlockRef>,
+    num_functions: usize,
+    memory: Memory,
+    layout: DataLayout,
+}
+
+/// Decode-time emission state for one program.
+struct Emitter {
+    ops: Vec<Op>,
+    chunks: Vec<Chunk>,
+    reg_lists: Vec<Reg>,
+    /// Chunk index of each flat block's head chunk.
+    head_chunk: Vec<u32>,
+    /// First flat block index of each function.
+    func_block_base: Vec<usize>,
+}
+
+impl DecodedProgram {
+    /// Lower `program` against an already-built memory image and layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Invalid`] when the program is structurally
+    /// broken: dangling `LdrLit` symbols, out-of-range callees or branch
+    /// targets, empty functions, or a missing entry function.
+    pub fn decode(
+        program: &MachineProgram,
+        memory: Memory,
+        layout: DataLayout,
+        timing: &TimingModel,
+    ) -> Result<DecodedProgram, DecodeError> {
+        if program.entry.index() >= program.functions.len() {
+            return Err(DecodeError::Invalid(format!(
+                "entry function {} out of range",
+                program.entry
+            )));
+        }
+
+        // Flat block numbering.
+        let mut block_map = Vec::new();
+        let mut func_block_base = Vec::with_capacity(program.functions.len());
+        for (fi, f) in program.functions.iter().enumerate() {
+            func_block_base.push(block_map.len());
+            if f.blocks.is_empty() {
+                return Err(DecodeError::Invalid(format!(
+                    "function {} has no blocks",
+                    f.name
+                )));
+            }
+            for bi in 0..f.blocks.len() {
+                block_map.push(BlockRef::new(fi, bi));
+            }
+        }
+
+        let mut e = Emitter {
+            ops: Vec::new(),
+            chunks: Vec::new(),
+            reg_lists: Vec::new(),
+            head_chunk: vec![0; block_map.len()],
+            func_block_base,
+        };
+
+        // Emission: one pass in (function, block) order.  Branch targets
+        // and callee entries are emitted as flat block indices and patched
+        // to chunk indices afterwards (forward branches make a single
+        // direct pass impossible).
+        for (fi, f) in program.functions.iter().enumerate() {
+            for bi in 0..f.blocks.len() {
+                e.lower_block(program, fi, bi, &layout, timing)?;
+            }
+        }
+
+        // Patch pass: flat block index → chunk index of its head chunk.
+        for chunk in &mut e.chunks {
+            match &mut chunk.exit {
+                ChunkExit::Jump { target, .. } => *target = e.head_chunk[*target as usize],
+                ChunkExit::CondJump {
+                    target,
+                    fallthrough,
+                    ..
+                }
+                | ChunkExit::CmpJump {
+                    target,
+                    fallthrough,
+                    ..
+                }
+                | ChunkExit::CmpImmCondJump {
+                    target,
+                    fallthrough,
+                    ..
+                }
+                | ChunkExit::CmpRegCondJump {
+                    target,
+                    fallthrough,
+                    ..
+                } => {
+                    *target = e.head_chunk[*target as usize];
+                    *fallthrough = e.head_chunk[*fallthrough as usize];
+                }
+                ChunkExit::Call { target, callee, .. } => {
+                    *target = e.head_chunk[e.func_block_base[*callee as usize]];
+                }
+                ChunkExit::Return { .. } => {}
+            }
+        }
+
+        let entry_chunk = e.head_chunk[e.func_block_base[program.entry.index()]];
+        Ok(DecodedProgram {
+            ops: e.ops,
+            chunks: e.chunks,
+            reg_lists: e.reg_lists,
+            entry_chunk,
+            block_map,
+            num_functions: program.functions.len(),
+            memory,
+            layout,
+        })
+    }
+
+    /// The data layout the program was decoded against.
+    pub fn layout(&self) -> &DataLayout {
+        &self.layout
+    }
+
+    /// Number of decoded operations (spilled charge aggregates included).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of straight-line chunks the blocks were split into.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+impl Emitter {
+    /// Lower one basic block into chunks: the (fused) body segments split
+    /// at calls, each with its prefused charges and decoded exit.
+    fn lower_block(
+        &mut self,
+        program: &MachineProgram,
+        fi: usize,
+        bi: usize,
+        layout: &DataLayout,
+        timing: &TimingModel,
+    ) -> Result<(), DecodeError> {
+        let f = &program.functions[fi];
+        let b = &f.blocks[bi];
+        let exec = b.section;
+        let flat_block = (self.func_block_base[fi] + bi) as u32;
+        self.head_chunk[flat_block as usize] = self.chunks.len() as u32;
+        let context = |what: &str| format!("{}:{bi} {what}", f.name);
+
+        let alu = CycleCounters::flat_index(InstClass::Alu, exec, None);
+        let branch_bucket = CycleCounters::flat_index(InstClass::Branch, exec, None);
+
+        // Fused static charges and execution ops of the current segment.
+        let mut fused: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut body: Vec<Op> = Vec::new();
+        let mut is_head = true;
+
+        for inst in &b.insts {
+            match inst {
+                Inst::Nop => {
+                    // Execution is a no-op; only the charge survives decoding.
+                    *fused
+                        .entry(CycleCounters::flat_index(InstClass::Nop, exec, None))
+                        .or_insert(0) += inst.base_cycles();
+                }
+                Inst::MovImm { rd, imm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::MovImm {
+                        rd: rd.index() as u8,
+                        imm: *imm,
+                    });
+                }
+                Inst::MovReg { rd, rm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::MovReg {
+                        rd: rd.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::MovCond { cond, rd, imm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::MovCond {
+                        cond: *cond,
+                        rd: rd.index() as u8,
+                        imm: *imm,
+                    });
+                }
+                Inst::LdrLit { rd, value } => {
+                    // Resolve the literal now: a symbol reference becomes a
+                    // plain constant move, and a dangling symbol is a decode
+                    // error instead of a per-execution lookup.
+                    let v = match value {
+                        LitValue::Const(c) => *c,
+                        LitValue::Symbol(s) => {
+                            *layout.symbol_addr.get(s.0 as usize).ok_or_else(|| {
+                                DecodeError::Invalid(context(&format!(
+                                    "literal references missing symbol {s}"
+                                )))
+                            })? as i32
+                        }
+                    };
+                    // The literal pool lives alongside the code, so the data
+                    // section equals the executing section — statically known.
+                    let mut cycles = inst.base_cycles();
+                    if exec == Section::Ram {
+                        cycles += timing.ram_load_contention_cycles;
+                    }
+                    *fused
+                        .entry(CycleCounters::flat_index(InstClass::Load, exec, Some(exec)))
+                        .or_insert(0) += cycles;
+                    body.push(Op::MovImm {
+                        rd: rd.index() as u8,
+                        imm: v,
+                    });
+                }
+                Inst::AddImm { rd, rn, imm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::AddImm {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        imm: *imm,
+                    });
+                }
+                Inst::AddReg { rd, rn, rm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::AddReg {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::SubImm { rd, rn, imm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::SubImm {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        imm: *imm,
+                    });
+                }
+                Inst::SubReg { rd, rn, rm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::SubReg {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::RsbImm { rd, rn, imm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::RsbImm {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        imm: *imm,
+                    });
+                }
+                Inst::Mul { rd, rn, rm } => {
+                    *fused
+                        .entry(CycleCounters::flat_index(InstClass::Mul, exec, None))
+                        .or_insert(0) += inst.base_cycles();
+                    body.push(Op::Mul {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::Sdiv { rd, rn, rm } => {
+                    *fused
+                        .entry(CycleCounters::flat_index(InstClass::Div, exec, None))
+                        .or_insert(0) += inst.base_cycles();
+                    body.push(Op::Sdiv {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::Udiv { rd, rn, rm } => {
+                    *fused
+                        .entry(CycleCounters::flat_index(InstClass::Div, exec, None))
+                        .or_insert(0) += inst.base_cycles();
+                    body.push(Op::Udiv {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::And { rd, rn, rm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::And {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::Orr { rd, rn, rm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::Orr {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::Eor { rd, rn, rm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::Eor {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::Bic { rd, rn, rm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::Bic {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::Mvn { rd, rm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::Mvn {
+                        rd: rd.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::AndImm { rd, rn, imm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::AndImm {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        imm: *imm,
+                    });
+                }
+                Inst::OrrImm { rd, rn, imm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::OrrImm {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        imm: *imm,
+                    });
+                }
+                Inst::EorImm { rd, rn, imm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::EorImm {
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        imm: *imm,
+                    });
+                }
+                Inst::ShiftImm { op, rd, rm, imm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::ShiftImm {
+                        op: *op,
+                        rd: rd.index() as u8,
+                        rm: rm.index() as u8,
+                        imm: *imm,
+                    });
+                }
+                Inst::ShiftReg { op, rd, rn, rm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::ShiftReg {
+                        op: *op,
+                        rd: rd.index() as u8,
+                        rn: rn.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::CmpImm { rn, imm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::CmpImm {
+                        rn: rn.index() as u8,
+                        imm: *imm,
+                    });
+                }
+                Inst::CmpReg { rn, rm } => {
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::CmpReg {
+                        rn: rn.index() as u8,
+                        rm: rm.index() as u8,
+                    });
+                }
+                Inst::AddSp { delta } => {
+                    // `add sp, sp, #delta` is just an immediate add after
+                    // decoding.
+                    *fused.entry(alu).or_insert(0) += 1;
+                    body.push(Op::AddImm {
+                        rd: Reg::Sp.index() as u8,
+                        rn: Reg::Sp.index() as u8,
+                        imm: *delta,
+                    });
+                }
+                Inst::Load {
+                    rd,
+                    base,
+                    offset,
+                    width,
+                } => {
+                    body.push(Op::Load {
+                        rd: rd.index() as u8,
+                        base: base.index() as u8,
+                        width: *width,
+                        charge: mem_charge(inst, InstClass::Load, exec),
+                        offset: *offset,
+                    });
+                }
+                Inst::LoadIdx {
+                    rd,
+                    base,
+                    index,
+                    width,
+                } => {
+                    body.push(Op::LoadIdx {
+                        rd: rd.index() as u8,
+                        base: base.index() as u8,
+                        index: index.index() as u8,
+                        width: *width,
+                        charge: mem_charge(inst, InstClass::Load, exec),
+                    });
+                }
+                Inst::Store {
+                    rs,
+                    base,
+                    offset,
+                    width,
+                } => {
+                    body.push(Op::Store {
+                        rs: rs.index() as u8,
+                        base: base.index() as u8,
+                        width: *width,
+                        charge: mem_charge(inst, InstClass::Store, exec),
+                        offset: *offset,
+                    });
+                }
+                Inst::StoreIdx {
+                    rs,
+                    base,
+                    index,
+                    width,
+                } => {
+                    body.push(Op::StoreIdx {
+                        rs: rs.index() as u8,
+                        base: base.index() as u8,
+                        index: index.index() as u8,
+                        width: *width,
+                        charge: mem_charge(inst, InstClass::Store, exec),
+                    });
+                }
+                Inst::Push { regs } => {
+                    // The stack lives in RAM: the data section is static, so
+                    // the charge prefuses even though execution can fault (a
+                    // faulting run discards its counters, so charging early
+                    // is unobservable).
+                    *fused
+                        .entry(CycleCounters::flat_index(
+                            InstClass::Stack,
+                            exec,
+                            Some(Section::Ram),
+                        ))
+                        .or_insert(0) += inst.base_cycles();
+                    let start = self.reg_lists.len() as u32;
+                    self.reg_lists.extend_from_slice(regs);
+                    body.push(Op::Push {
+                        start,
+                        len: regs.len() as u16,
+                    });
+                }
+                Inst::Pop { regs } => {
+                    *fused
+                        .entry(CycleCounters::flat_index(
+                            InstClass::Stack,
+                            exec,
+                            Some(Section::Ram),
+                        ))
+                        .or_insert(0) += inst.base_cycles();
+                    let start = self.reg_lists.len() as u32;
+                    self.reg_lists.extend_from_slice(regs);
+                    body.push(Op::Pop {
+                        start,
+                        len: regs.len() as u16,
+                    });
+                }
+                Inst::Bl { callee } => {
+                    // A call ends the chunk; execution resumes at the chunk
+                    // that follows in emission order.
+                    let ci = *callee as usize;
+                    if ci >= program.functions.len() {
+                        return Err(DecodeError::Invalid(context(&format!(
+                            "calls missing function fn{callee}"
+                        ))));
+                    }
+                    let exit = ChunkExit::Call {
+                        // Patched to the callee's entry chunk afterwards.
+                        target: 0,
+                        callee: *callee,
+                        bucket: CycleCounters::flat_index(InstClass::Call, exec, None),
+                        cycles: inst.base_cycles() as u8,
+                    };
+                    self.flush_chunk(&mut fused, &mut body, is_head, flat_block, exit)?;
+                    is_head = false;
+                }
+            }
+        }
+
+        // The terminator.
+        let target_block = |t: BlockId| -> Result<u32, DecodeError> {
+            if t.index() >= f.blocks.len() {
+                return Err(DecodeError::Invalid(context(&format!(
+                    "branches to out-of-range block {t}"
+                ))));
+            }
+            Ok((self.func_block_base[fi] + t.index()) as u32)
+        };
+        let kind = b.term.kind();
+        let exit = match &b.term {
+            Terminator::Branch { target }
+            | Terminator::IndirectBranch { target }
+            | Terminator::FallThrough { target }
+            | Terminator::IndirectFallThrough { target } => ChunkExit::Jump {
+                target: target_block(*target)?,
+                bucket: branch_bucket,
+                cycles: kind.taken_cycles() as u8,
+            },
+            Terminator::CondBranch {
+                cond,
+                target,
+                fallthrough,
+            }
+            | Terminator::IndirectCondBranch {
+                cond,
+                target,
+                fallthrough,
+            } => {
+                let target = target_block(*target)?;
+                let fallthrough = target_block(*fallthrough)?;
+                let taken_cycles = kind.taken_cycles() as u8;
+                let not_taken_cycles = kind.not_taken_cycles() as u8;
+                // Fuse the compare that feeds the branch into the exit —
+                // `cmp` + conditional branch ends almost half of all
+                // dynamic blocks.
+                match body.last().copied() {
+                    Some(Op::CmpImm { rn, imm }) => {
+                        body.pop();
+                        ChunkExit::CmpImmCondJump {
+                            rn,
+                            imm,
+                            cond: *cond,
+                            target,
+                            fallthrough,
+                            taken_cycles,
+                            not_taken_cycles,
+                            bucket: branch_bucket,
+                        }
+                    }
+                    Some(Op::CmpReg { rn, rm }) => {
+                        body.pop();
+                        ChunkExit::CmpRegCondJump {
+                            rn,
+                            rm,
+                            cond: *cond,
+                            target,
+                            fallthrough,
+                            taken_cycles,
+                            not_taken_cycles,
+                            bucket: branch_bucket,
+                        }
+                    }
+                    _ => ChunkExit::CondJump {
+                        cond: *cond,
+                        target,
+                        fallthrough,
+                        taken_cycles,
+                        not_taken_cycles,
+                        bucket: branch_bucket,
+                    },
+                }
+            }
+            Terminator::CompareBranch {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+            }
+            | Terminator::IndirectCompareBranch {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+            } => ChunkExit::CmpJump {
+                nonzero: *nonzero,
+                rn: rn.index() as u8,
+                target: target_block(*target)?,
+                fallthrough: target_block(*fallthrough)?,
+                taken_cycles: kind.taken_cycles() as u8,
+                not_taken_cycles: kind.not_taken_cycles() as u8,
+                bucket: branch_bucket,
+            },
+            Terminator::Return => ChunkExit::Return {
+                bucket: branch_bucket,
+                cycles: kind.taken_cycles() as u8,
+            },
+        };
+        self.flush_chunk(&mut fused, &mut body, is_head, flat_block, exit)?;
+        Ok(())
+    }
+
+    /// Emit the chunk under construction: fuse hot op runs, fill the
+    /// inline charge slots (ascending bucket order, so emission is
+    /// deterministic), spill any further buckets as [`Op::Charge`] ops,
+    /// and append the execution ops.
+    fn flush_chunk(
+        &mut self,
+        fused: &mut BTreeMap<u16, u64>,
+        body: &mut Vec<Op>,
+        is_head: bool,
+        flat_block: u32,
+        exit: ChunkExit,
+    ) -> Result<(), DecodeError> {
+        peephole(body);
+        let op_start = self.ops.len() as u32;
+        let mut charges = [(0u16, 0u32); 2];
+        for (slot, (&bucket, &cycles)) in fused.iter().enumerate() {
+            let cycles = u32::try_from(cycles).map_err(|_| {
+                DecodeError::Invalid("straight-line cycle aggregate overflows u32".into())
+            })?;
+            if slot < charges.len() {
+                charges[slot] = (bucket, cycles);
+            } else {
+                self.ops.push(Op::Charge { bucket, cycles });
+            }
+        }
+        fused.clear();
+        self.ops.append(body);
+        self.chunks.push(Chunk {
+            op_start,
+            op_end: self.ops.len() as u32,
+            block: if is_head { flat_block } else { NOT_A_HEAD },
+            charges,
+            exit,
+        });
+        Ok(())
+    }
+}
+
+fn mem_charge(inst: &Inst, class: InstClass, exec: Section) -> MemCharge {
+    MemCharge {
+        flat_base: CycleCounters::flat_index(class, exec, None),
+        base_cycles: inst.base_cycles() as u8,
+        contend: exec == Section::Ram,
+    }
+}
+
+/// Mutable per-run state of the decoded executor.
+struct ExecState {
+    memory: Memory,
+    regs: [i32; 16],
+    flags: Flags,
+    counters: CycleCounters,
+    block_counts: Vec<u64>,
+    call_counts: Vec<u64>,
+    call_stack: Vec<u32>,
+    load_pen: u64,
+    store_pen: u64,
+}
+
+impl ExecState {
+    /// Read a register.  Indices come from `Reg::index()` at decode time so
+    /// they are always `< 16`; the mask proves it to the bounds checker.
+    #[inline(always)]
+    fn r(&self, i: u8) -> i32 {
+        self.regs[(i & 15) as usize]
+    }
+
+    #[inline(always)]
+    fn set_r(&mut self, i: u8, v: i32) {
+        self.regs[(i & 15) as usize] = v;
+    }
+
+    /// Charge a load whose data section was just resolved; returns the
+    /// cycles charged so the caller can maintain the running total in a
+    /// register.
+    #[inline]
+    fn charge_load(&mut self, charge: MemCharge, section: Section) -> u64 {
+        let mut cycles = charge.base_cycles as u64;
+        if charge.contend && section == Section::Ram {
+            cycles += self.load_pen;
+        }
+        self.counters.add_bucket(
+            charge.flat_base + CycleCounters::data_offset(section),
+            cycles,
+        );
+        cycles
+    }
+
+    /// Store counterpart of [`ExecState::charge_load`].
+    #[inline]
+    fn charge_store(&mut self, charge: MemCharge, section: Section) -> u64 {
+        let mut cycles = charge.base_cycles as u64;
+        if charge.contend && section == Section::Ram {
+            cycles += self.store_pen;
+        }
+        self.counters.add_bucket(
+            charge.flat_base + CycleCounters::data_offset(section),
+            cycles,
+        );
+        cycles
+    }
+}
+
+impl DecodedProgram {
+    /// Execute the decoded program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on memory faults, call-stack overflow, or
+    /// when `max_cycles` is exceeded (`RunError::BadProgram` cannot occur:
+    /// everything it would report was validated at decode time).
+    pub fn execute(
+        &self,
+        power: &PowerModel,
+        timing: &TimingModel,
+        max_cycles: u64,
+    ) -> Result<CpuResult, RunError> {
+        let mut regs = [0i32; 16];
+        regs[Reg::Sp.index()] = self.memory.map().initial_sp() as i32;
+        let mut st = ExecState {
+            memory: self.memory.clone(),
+            regs,
+            flags: Flags::default(),
+            counters: CycleCounters::new(),
+            block_counts: vec![0u64; self.block_map.len()],
+            call_counts: vec![0u64; self.num_functions],
+            call_stack: Vec::new(),
+            load_pen: timing.ram_load_contention_cycles,
+            store_pen: timing.ram_store_contention_cycles,
+        };
+
+        // Faults stay a compact `Copy` value inside the op arms and widen
+        // into a `RunError` only here, on the cold path.
+        macro_rules! mem_try {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(fault) => return Err(RunError::Memory(MemError::from(fault))),
+                }
+            };
+        }
+
+        // The running cycle total lives in a register, not in the counter
+        // struct: the budget check would otherwise chain memory
+        // read-modify-writes into the loop's critical path.  Buckets are
+        // charged through `add_bucket` and the total is written back only
+        // when the run completes.
+        let mut total: u64 = 0;
+        let mut pc = self.entry_chunk;
+        loop {
+            // The budget check sits at exactly the reference interpreter's
+            // scheduling points (block entry, call entry, post-call
+            // resume), with all of the previous chunk's charges already
+            // applied — so `executed` is bit-identical.
+            if total > max_cycles {
+                return Err(RunError::CycleLimit {
+                    limit: max_cycles,
+                    executed: total,
+                });
+            }
+            let chunk = &self.chunks[pc as usize];
+            if chunk.block != NOT_A_HEAD {
+                st.block_counts[chunk.block as usize] += 1;
+            }
+            // The chunk's prefused static charges: unconditional,
+            // branchless (an unused slot charges zero cycles to bucket
+            // zero).
+            st.counters
+                .add_bucket(chunk.charges[0].0, chunk.charges[0].1 as u64);
+            st.counters
+                .add_bucket(chunk.charges[1].0, chunk.charges[1].1 as u64);
+            total += chunk.charges[0].1 as u64 + chunk.charges[1].1 as u64;
+            for op in self.ops[chunk.op_start as usize..chunk.op_end as usize]
+                .iter()
+                .copied()
+            {
+                match op {
+                    Op::Charge { bucket, cycles } => {
+                        st.counters.add_bucket(bucket, cycles as u64);
+                        total += cycles as u64;
+                    }
+                    Op::MovImm { rd, imm } => st.set_r(rd, imm),
+                    Op::MovReg { rd, rm } => st.set_r(rd, st.r(rm)),
+                    Op::MovCond { cond, rd, imm } => {
+                        if cond.holds(st.flags) {
+                            st.set_r(rd, imm);
+                        }
+                    }
+                    Op::AddImm { rd, rn, imm } => st.set_r(rd, st.r(rn).wrapping_add(imm)),
+                    Op::AddReg { rd, rn, rm } => st.set_r(rd, st.r(rn).wrapping_add(st.r(rm))),
+                    Op::SubImm { rd, rn, imm } => st.set_r(rd, st.r(rn).wrapping_sub(imm)),
+                    Op::SubReg { rd, rn, rm } => st.set_r(rd, st.r(rn).wrapping_sub(st.r(rm))),
+                    Op::RsbImm { rd, rn, imm } => st.set_r(rd, imm.wrapping_sub(st.r(rn))),
+                    Op::Mul { rd, rn, rm } => st.set_r(rd, st.r(rn).wrapping_mul(st.r(rm))),
+                    Op::Sdiv { rd, rn, rm } => {
+                        let divisor = st.r(rm);
+                        let v = if divisor == 0 {
+                            0
+                        } else {
+                            st.r(rn).wrapping_div(divisor)
+                        };
+                        st.set_r(rd, v);
+                    }
+                    Op::Udiv { rd, rn, rm } => {
+                        let divisor = st.r(rm) as u32;
+                        let v = (st.r(rn) as u32).checked_div(divisor).unwrap_or(0) as i32;
+                        st.set_r(rd, v);
+                    }
+                    Op::And { rd, rn, rm } => st.set_r(rd, st.r(rn) & st.r(rm)),
+                    Op::Orr { rd, rn, rm } => st.set_r(rd, st.r(rn) | st.r(rm)),
+                    Op::Eor { rd, rn, rm } => st.set_r(rd, st.r(rn) ^ st.r(rm)),
+                    Op::Bic { rd, rn, rm } => st.set_r(rd, st.r(rn) & !st.r(rm)),
+                    Op::Mvn { rd, rm } => st.set_r(rd, !st.r(rm)),
+                    Op::AndImm { rd, rn, imm } => st.set_r(rd, st.r(rn) & imm),
+                    Op::OrrImm { rd, rn, imm } => st.set_r(rd, st.r(rn) | imm),
+                    Op::EorImm { rd, rn, imm } => st.set_r(rd, st.r(rn) ^ imm),
+                    Op::ShiftImm { op, rd, rm, imm } => {
+                        st.set_r(rd, shift(op, st.r(rm), imm as u32));
+                    }
+                    Op::ShiftReg { op, rd, rn, rm } => {
+                        let amount = (st.r(rm) as u32) & 0xff;
+                        let v = if amount >= 32 {
+                            match op {
+                                ShiftOp::Asr => st.r(rn) >> 31,
+                                _ => 0,
+                            }
+                        } else {
+                            shift(op, st.r(rn), amount)
+                        };
+                        st.set_r(rd, v);
+                    }
+                    Op::CmpImm { rn, imm } => st.flags = Flags::from_cmp(st.r(rn), imm),
+                    Op::CmpReg { rn, rm } => st.flags = Flags::from_cmp(st.r(rn), st.r(rm)),
+                    Op::Load {
+                        rd,
+                        base,
+                        width,
+                        charge,
+                        offset,
+                    } => {
+                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
+                        st.set_r(rd, v);
+                        total += st.charge_load(charge, section);
+                    }
+                    Op::LoadIdx {
+                        rd,
+                        base,
+                        index,
+                        width,
+                        charge,
+                    } => {
+                        let addr = (st.r(base) as u32).wrapping_add(st.r(index) as u32);
+                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
+                        st.set_r(rd, v);
+                        total += st.charge_load(charge, section);
+                    }
+                    Op::Store {
+                        rs,
+                        base,
+                        width,
+                        charge,
+                        offset,
+                    } => {
+                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+                        let section = mem_try!(st.memory.write_fast(addr, st.r(rs), width));
+                        total += st.charge_store(charge, section);
+                    }
+                    Op::StoreIdx {
+                        rs,
+                        base,
+                        index,
+                        width,
+                        charge,
+                    } => {
+                        let addr = (st.r(base) as u32).wrapping_add(st.r(index) as u32);
+                        let section = mem_try!(st.memory.write_fast(addr, st.r(rs), width));
+                        total += st.charge_store(charge, section);
+                    }
+                    Op::Push { start, len } => {
+                        let regs = &self.reg_lists[start as usize..start as usize + len as usize];
+                        let mut sp = st.regs[Reg::Sp.index()] as u32;
+                        sp = sp.wrapping_sub(4 * len as u32);
+                        for (i, r) in regs.iter().enumerate() {
+                            mem_try!(st.memory.write_fast(
+                                sp.wrapping_add(4 * i as u32),
+                                st.regs[r.index()],
+                                MemWidth::Word,
+                            ));
+                        }
+                        st.regs[Reg::Sp.index()] = sp as i32;
+                    }
+                    Op::Pop { start, len } => {
+                        let base = st.regs[Reg::Sp.index()] as u32;
+                        for i in 0..len as usize {
+                            let (v, _) = mem_try!(st
+                                .memory
+                                .read_fast(base.wrapping_add(4 * i as u32), MemWidth::Word));
+                            let r = self.reg_lists[start as usize + i];
+                            st.regs[r.index()] = v;
+                        }
+                        st.regs[Reg::Sp.index()] = (base + 4 * len as u32) as i32;
+                    }
+                    // Superinstructions: first op completely, then the second.
+                    Op::MovImm2 {
+                        rd1,
+                        imm1,
+                        rd2,
+                        imm2,
+                    } => {
+                        st.set_r(rd1, imm1);
+                        st.set_r(rd2, imm2);
+                    }
+                    Op::MovImmMul {
+                        rd1,
+                        imm,
+                        rd2,
+                        rn,
+                        rm,
+                    } => {
+                        st.set_r(rd1, imm);
+                        st.set_r(rd2, st.r(rn).wrapping_mul(st.r(rm)));
+                    }
+                    Op::MulAddReg {
+                        rd1,
+                        rn1,
+                        rm1,
+                        rd2,
+                        rn2,
+                        rm2,
+                    } => {
+                        st.set_r(rd1, st.r(rn1).wrapping_mul(st.r(rm1)));
+                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+                    }
+                    Op::ShiftImmAddReg {
+                        op,
+                        rd1,
+                        rm1,
+                        imm,
+                        rd2,
+                        rn2,
+                        rm2,
+                    } => {
+                        st.set_r(rd1, shift(op, st.r(rm1), imm as u32));
+                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+                    }
+                    Op::AddRegShiftImm {
+                        rd1,
+                        rn1,
+                        rm1,
+                        op,
+                        rd2,
+                        rm2,
+                        imm,
+                    } => {
+                        st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
+                        st.set_r(rd2, shift(op, st.r(rm2), imm as u32));
+                    }
+                    Op::AddImmMovReg {
+                        rd1,
+                        rn1,
+                        imm,
+                        rd2,
+                        rm2,
+                    } => {
+                        st.set_r(rd1, st.r(rn1).wrapping_add(imm));
+                        st.set_r(rd2, st.r(rm2));
+                    }
+                    Op::AddRegLoad {
+                        rd1,
+                        rn1,
+                        rm1,
+                        rd2,
+                        base,
+                        width,
+                        charge,
+                        offset,
+                    } => {
+                        st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
+                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
+                        st.set_r(rd2, v);
+                        total += st.charge_load(charge, section);
+                    }
+                    Op::LoadAddReg {
+                        rd1,
+                        base,
+                        width,
+                        charge,
+                        offset,
+                        rd2,
+                        rn2,
+                        rm2,
+                    } => {
+                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
+                        st.set_r(rd1, v);
+                        total += st.charge_load(charge, section);
+                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+                    }
+                    Op::ShiftImmAddRegLoad {
+                        op,
+                        rd1,
+                        rm1,
+                        imm,
+                        rd2,
+                        rn2,
+                        rm2,
+                        rd3,
+                        base,
+                        width,
+                        charge,
+                        offset,
+                    } => {
+                        st.set_r(rd1, shift(op, st.r(rm1), imm as u32));
+                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
+                        st.set_r(rd3, v);
+                        total += st.charge_load(charge, section);
+                    }
+                    Op::AddRegShiftImmAddRegLoad {
+                        rd1,
+                        rn1,
+                        rm1,
+                        op,
+                        rd2,
+                        rm2,
+                        imm,
+                        rd3,
+                        rn3,
+                        rm3,
+                        rd4,
+                        base,
+                        width,
+                        charge,
+                        offset,
+                    } => {
+                        st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
+                        st.set_r(rd2, shift(op, st.r(rm2), imm as u32));
+                        st.set_r(rd3, st.r(rn3).wrapping_add(st.r(rm3)));
+                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
+                        st.set_r(rd4, v);
+                        total += st.charge_load(charge, section);
+                    }
+                    Op::MovImm2Mul {
+                        rd1,
+                        imm1,
+                        rd2,
+                        imm2,
+                        rd3,
+                        rn,
+                        rm,
+                    } => {
+                        st.set_r(rd1, imm1);
+                        st.set_r(rd2, imm2);
+                        st.set_r(rd3, st.r(rn).wrapping_mul(st.r(rm)));
+                    }
+                    Op::MovImmMulLoad {
+                        rd1,
+                        imm,
+                        rd2,
+                        rn,
+                        rm,
+                        rd3,
+                        base,
+                        width,
+                        charge,
+                        offset,
+                    } => {
+                        st.set_r(rd1, imm);
+                        st.set_r(rd2, st.r(rn).wrapping_mul(st.r(rm)));
+                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
+                        st.set_r(rd3, v);
+                        total += st.charge_load(charge, section);
+                    }
+                    Op::LoadAddRegShiftImm {
+                        rd1,
+                        base,
+                        width,
+                        charge,
+                        offset,
+                        rd2,
+                        rn2,
+                        rm2,
+                        op,
+                        rd3,
+                        rm3,
+                        imm,
+                    } => {
+                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
+                        st.set_r(rd1, v);
+                        total += st.charge_load(charge, section);
+                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+                        st.set_r(rd3, shift(op, st.r(rm3), imm as u32));
+                    }
+                    Op::MulAddRegMovReg {
+                        rd1,
+                        rn1,
+                        rm1,
+                        rd2,
+                        rn2,
+                        rm2,
+                        rd3,
+                        rm3,
+                    } => {
+                        st.set_r(rd1, st.r(rn1).wrapping_mul(st.r(rm1)));
+                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+                        st.set_r(rd3, st.r(rm3));
+                    }
+                    Op::AddImmMovRegStore {
+                        rd1,
+                        rn1,
+                        imm,
+                        rd2,
+                        rm2,
+                        rs,
+                        base,
+                        width,
+                        charge,
+                        offset,
+                    } => {
+                        st.set_r(rd1, st.r(rn1).wrapping_add(imm));
+                        st.set_r(rd2, st.r(rm2));
+                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+                        let section = mem_try!(st.memory.write_fast(addr, st.r(rs), width));
+                        total += st.charge_store(charge, section);
+                    }
+                    Op::AddRegLoadMul {
+                        rd1,
+                        rn1,
+                        rm1,
+                        rd2,
+                        base,
+                        width,
+                        charge,
+                        offset,
+                        rd3,
+                        rn3,
+                        rm3,
+                    } => {
+                        st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
+                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
+                        st.set_r(rd2, v);
+                        total += st.charge_load(charge, section);
+                        st.set_r(rd3, st.r(rn3).wrapping_mul(st.r(rm3)));
+                    }
+                    Op::AddRegLoadMovImm {
+                        rd1,
+                        rn1,
+                        rm1,
+                        rd2,
+                        base,
+                        width,
+                        charge,
+                        offset,
+                        rd3,
+                        imm,
+                    } => {
+                        st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
+                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
+                        st.set_r(rd2, v);
+                        total += st.charge_load(charge, section);
+                        st.set_r(rd3, imm);
+                    }
+                }
+            }
+            match chunk.exit {
+                ChunkExit::Call {
+                    target,
+                    callee,
+                    bucket,
+                    cycles,
+                } => {
+                    st.counters.add_bucket(bucket, cycles as u64);
+                    total += cycles as u64;
+                    if st.call_stack.len() >= MAX_CALL_DEPTH {
+                        return Err(RunError::CallDepth(MAX_CALL_DEPTH));
+                    }
+                    st.call_counts[callee as usize] += 1;
+                    st.call_stack.push(pc + 1);
+                    pc = target;
+                }
+                ChunkExit::Jump {
+                    target,
+                    bucket,
+                    cycles,
+                } => {
+                    st.counters.add_bucket(bucket, cycles as u64);
+                    total += cycles as u64;
+                    pc = target;
+                }
+                ChunkExit::CondJump {
+                    cond,
+                    target,
+                    fallthrough,
+                    taken_cycles,
+                    not_taken_cycles,
+                    bucket,
+                } => {
+                    let (next, cycles) = if cond.holds(st.flags) {
+                        (target, taken_cycles)
+                    } else {
+                        (fallthrough, not_taken_cycles)
+                    };
+                    st.counters.add_bucket(bucket, cycles as u64);
+                    total += cycles as u64;
+                    pc = next;
+                }
+                ChunkExit::CmpJump {
+                    nonzero,
+                    rn,
+                    target,
+                    fallthrough,
+                    taken_cycles,
+                    not_taken_cycles,
+                    bucket,
+                } => {
+                    let (next, cycles) = if (st.r(rn) != 0) == nonzero {
+                        (target, taken_cycles)
+                    } else {
+                        (fallthrough, not_taken_cycles)
+                    };
+                    st.counters.add_bucket(bucket, cycles as u64);
+                    total += cycles as u64;
+                    pc = next;
+                }
+                ChunkExit::CmpImmCondJump {
+                    rn,
+                    imm,
+                    cond,
+                    target,
+                    fallthrough,
+                    taken_cycles,
+                    not_taken_cycles,
+                    bucket,
+                } => {
+                    st.flags = Flags::from_cmp(st.r(rn), imm);
+                    let (next, cycles) = if cond.holds(st.flags) {
+                        (target, taken_cycles)
+                    } else {
+                        (fallthrough, not_taken_cycles)
+                    };
+                    st.counters.add_bucket(bucket, cycles as u64);
+                    total += cycles as u64;
+                    pc = next;
+                }
+                ChunkExit::CmpRegCondJump {
+                    rn,
+                    rm,
+                    cond,
+                    target,
+                    fallthrough,
+                    taken_cycles,
+                    not_taken_cycles,
+                    bucket,
+                } => {
+                    st.flags = Flags::from_cmp(st.r(rn), st.r(rm));
+                    let (next, cycles) = if cond.holds(st.flags) {
+                        (target, taken_cycles)
+                    } else {
+                        (fallthrough, not_taken_cycles)
+                    };
+                    st.counters.add_bucket(bucket, cycles as u64);
+                    total += cycles as u64;
+                    pc = next;
+                }
+                ChunkExit::Return { bucket, cycles } => {
+                    st.counters.add_bucket(bucket, cycles as u64);
+                    total += cycles as u64;
+                    match st.call_stack.pop() {
+                        Some(resume) => pc = resume,
+                        None => {
+                            st.counters.set_total(total);
+                            let meter = st.counters.finish(power, timing);
+                            let mut profile = ProfileData::new();
+                            for (flat, &count) in st.block_counts.iter().enumerate() {
+                                profile.add_block_count(self.block_map[flat], count);
+                            }
+                            for (fi, &count) in st.call_counts.iter().enumerate() {
+                                profile.add_call_count(flashram_ir::FuncId(fi as u32), count);
+                            }
+                            return Ok(CpuResult {
+                                return_value: st.regs[Reg::R0.index()],
+                                meter,
+                                profile,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::Board;
+    use flashram_ir::{FuncId, MachineBlock, MachineFunction};
+    use flashram_isa::SymbolId;
+
+    fn one_block_program(insts: Vec<Inst>) -> MachineProgram {
+        MachineProgram {
+            functions: vec![MachineFunction {
+                name: "main".into(),
+                blocks: vec![MachineBlock::new(insts, Terminator::Return)],
+                frame_size: 0,
+                num_params: 0,
+                is_library: false,
+            }],
+            globals: vec![],
+            entry: FuncId(0),
+        }
+    }
+
+    fn decode(program: &MachineProgram) -> Result<DecodedProgram, DecodeError> {
+        let board = Board::stm32vldiscovery();
+        let (memory, layout) = Memory::load(program, board.map)?;
+        DecodedProgram::decode(program, memory, layout, &board.timing)
+    }
+
+    #[test]
+    fn ops_stay_compact() {
+        // The whole point of the flattened form is a small, fixed op
+        // stride; superinstruction variants must not balloon it.
+        assert!(
+            std::mem::size_of::<Op>() <= 24,
+            "Op grew to {} bytes",
+            std::mem::size_of::<Op>()
+        );
+    }
+
+    #[test]
+    fn hot_pairs_fuse_into_superinstructions() {
+        let program = one_block_program(vec![
+            Inst::MovImm {
+                rd: Reg::R1,
+                imm: 6,
+            },
+            Inst::Mul {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R1,
+            },
+            Inst::ShiftImm {
+                op: ShiftOp::Lsl,
+                rd: Reg::R2,
+                rm: Reg::R0,
+                imm: 1,
+            },
+            Inst::AddReg {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                rm: Reg::R2,
+            },
+        ]);
+        let decoded = decode(&program).unwrap();
+        // (movimm, mul) and (shiftimm, addreg) both fuse: two
+        // superinstructions, with the charges and the return terminator in
+        // the chunk metadata.
+        assert_eq!(decoded.num_chunks(), 1);
+        assert_eq!(decoded.num_ops(), 2);
+        let board = Board::stm32vldiscovery();
+        let out = decoded
+            .execute(&board.power, &board.timing, u64::MAX)
+            .unwrap();
+        // r0 = 36, r2 = 72, r0 = 36 + 72.
+        assert_eq!(out.return_value, 108);
+        // Charges are unchanged by fusion: 3 ALU + 1 MUL + 3 return.
+        assert_eq!(out.meter.cycles, 7);
+    }
+
+    #[test]
+    fn dangling_literal_symbol_fails_at_decode() {
+        let program = one_block_program(vec![Inst::LdrLit {
+            rd: Reg::R0,
+            value: LitValue::Symbol(SymbolId(3)),
+        }]);
+        let err = decode(&program).unwrap_err();
+        let DecodeError::Invalid(why) = err else {
+            panic!("expected Invalid, got {err:?}");
+        };
+        assert!(
+            why.contains("missing symbol @3") && why.contains("main:0"),
+            "error should name the symbol and the block: {why}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_callee_fails_at_decode() {
+        let program = one_block_program(vec![Inst::Bl { callee: 7 }]);
+        let err = decode(&program).unwrap_err();
+        assert!(matches!(err, DecodeError::Invalid(ref why) if why.contains("fn7")));
+    }
+
+    #[test]
+    fn out_of_range_branch_target_fails_at_decode() {
+        let mut program = one_block_program(vec![]);
+        program.functions[0].blocks[0].term = Terminator::Branch { target: BlockId(9) };
+        let err = decode(&program).unwrap_err();
+        assert!(matches!(err, DecodeError::Invalid(ref why) if why.contains("out-of-range")));
+    }
+
+    #[test]
+    fn empty_functions_and_bad_entries_fail_at_decode() {
+        let mut no_blocks = one_block_program(vec![]);
+        no_blocks.functions[0].blocks.clear();
+        assert!(matches!(
+            decode(&no_blocks),
+            Err(DecodeError::Invalid(ref why)) if why.contains("no blocks")
+        ));
+
+        let mut bad_entry = one_block_program(vec![]);
+        bad_entry.entry = FuncId(5);
+        assert!(matches!(
+            decode(&bad_entry),
+            Err(DecodeError::Invalid(ref why)) if why.contains("entry function")
+        ));
+    }
+
+    #[test]
+    fn straight_line_alu_runs_prefuse_into_one_charge() {
+        let program = one_block_program(vec![
+            Inst::MovImm {
+                rd: Reg::R0,
+                imm: 1,
+            },
+            Inst::AddImm {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                imm: 2,
+            },
+            Inst::SubImm {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                imm: 1,
+            },
+        ]);
+        let decoded = decode(&program).unwrap();
+        // Three execution ops; the fused ALU charge rides in the chunk's
+        // inline slots, so no Charge op appears in the stream.
+        assert_eq!(decoded.num_chunks(), 1);
+        assert_eq!(decoded.num_ops(), 3);
+        let board = Board::stm32vldiscovery();
+        let out = decoded
+            .execute(&board.power, &board.timing, u64::MAX)
+            .unwrap();
+        assert_eq!(out.return_value, 2);
+        // 3 ALU cycles + 3 for the return terminator.
+        assert_eq!(out.meter.cycles, 6);
+    }
+
+    #[test]
+    fn calls_split_blocks_into_segments() {
+        let mut program = one_block_program(vec![
+            Inst::MovImm {
+                rd: Reg::R0,
+                imm: 5,
+            },
+            Inst::Bl { callee: 1 },
+            Inst::AddImm {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                imm: 1,
+            },
+        ]);
+        program.functions.push(MachineFunction {
+            name: "callee".into(),
+            blocks: vec![MachineBlock::new(
+                vec![Inst::AddImm {
+                    rd: Reg::R0,
+                    rn: Reg::R0,
+                    imm: 10,
+                }],
+                Terminator::Return,
+            )],
+            frame_size: 0,
+            num_params: 1,
+            is_library: false,
+        });
+        let decoded = decode(&program).unwrap();
+        assert_eq!(decoded.num_chunks(), 3, "main splits at the call");
+        let board = Board::stm32vldiscovery();
+        let out = decoded
+            .execute(&board.power, &board.timing, u64::MAX)
+            .unwrap();
+        assert_eq!(out.return_value, 16);
+        assert_eq!(
+            out.profile.call_count(FuncId(1)),
+            1,
+            "callee counted exactly once"
+        );
+    }
+}

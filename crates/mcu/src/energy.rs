@@ -124,6 +124,9 @@ fn data_index(data: Option<Section>) -> usize {
     }
 }
 
+/// Total number of buckets in the `(exec × class × data)` cube.
+const NUM_BUCKETS: usize = NUM_EXEC * NUM_CLASSES * NUM_DATA_KINDS;
+
 /// Flat integer cycle accumulators for the interpreter hot loop.
 ///
 /// Every instruction the CPU retires lands in one bucket of a small
@@ -131,9 +134,17 @@ fn data_index(data: Option<Section>) -> usize {
 /// model assigns one average power per bucket, so the expensive per-cycle
 /// float accounting of a naive meter collapses into one multiply per
 /// *bucket* at the end of the run (see [`CycleCounters::finish`]).
+///
+/// The cube is stored flat, with the data axis innermost, so the decoded
+/// execution engine (`crate::decode`) can precompute a bucket index per
+/// operation at decode time ([`CycleCounters::flat_index`]) and charge it
+/// with a single array add ([`CycleCounters::add_flat`]) — for memory
+/// operations, whose data section is only known at run time, the
+/// decode-time index covers `(class, exec)` and the dynamic section is
+/// added as an offset ([`CycleCounters::data_offset`]).
 #[derive(Debug, Clone)]
 pub struct CycleCounters {
-    buckets: [[[u64; NUM_DATA_KINDS]; NUM_CLASSES]; NUM_EXEC],
+    buckets: [u64; NUM_BUCKETS],
     total: u64,
 }
 
@@ -147,17 +158,61 @@ impl CycleCounters {
     /// Fresh, all-zero counters.
     pub fn new() -> CycleCounters {
         CycleCounters {
-            buckets: [[[0; NUM_DATA_KINDS]; NUM_CLASSES]; NUM_EXEC],
+            buckets: [0; NUM_BUCKETS],
             total: 0,
         }
+    }
+
+    /// The flat index of the `(class, exec, data)` bucket, for decode-time
+    /// precomputation.  The data axis is innermost: the index for a memory
+    /// operation whose data section is unknown until run time is
+    /// `flat_index(class, exec, None) + data_offset(section)`.
+    #[inline]
+    pub fn flat_index(class: InstClass, exec: Section, data: Option<Section>) -> u16 {
+        ((exec_index(exec) * NUM_CLASSES + class_index(class)) * NUM_DATA_KINDS + data_index(data))
+            as u16
+    }
+
+    /// The offset added to a `flat_index(class, exec, None)` base for a data
+    /// access that hit `section`.
+    #[inline]
+    pub fn data_offset(section: Section) -> u16 {
+        data_index(Some(section)) as u16
+    }
+
+    /// Charge `cycles` cycles to a bucket precomputed with
+    /// [`CycleCounters::flat_index`].
+    #[inline]
+    pub fn add_flat(&mut self, bucket: u16, cycles: u64) {
+        self.buckets[bucket as usize] += cycles;
+        self.total += cycles;
+    }
+
+    /// Charge a bucket **without** updating the running total.
+    ///
+    /// For callers that maintain the total themselves in a register (the
+    /// decoded engine's hot loop does: three dependent read-modify-writes
+    /// of a memory-resident total per chunk would otherwise form the loop's
+    /// critical path).  Crate-private because it can desynchronize
+    /// [`CycleCounters::total_cycles`] from the buckets; pair with
+    /// [`CycleCounters::set_total`] before the counters are read back.
+    #[inline]
+    pub(crate) fn add_bucket(&mut self, bucket: u16, cycles: u64) {
+        self.buckets[bucket as usize] += cycles;
+    }
+
+    /// Set the running total, for callers that charged buckets through
+    /// [`CycleCounters::add_bucket`].
+    #[inline]
+    pub(crate) fn set_total(&mut self, total: u64) {
+        self.total = total;
     }
 
     /// Charge `cycles` cycles to the bucket for an instruction of `class`
     /// executing from `exec` whose data access (if any) hit `data`.
     #[inline]
     pub fn add(&mut self, class: InstClass, exec: Section, data: Option<Section>, cycles: u64) {
-        self.buckets[exec_index(exec)][class_index(class)][data_index(data)] += cycles;
-        self.total += cycles;
+        self.add_flat(Self::flat_index(class, exec, data), cycles);
     }
 
     /// Total cycles charged so far (the interpreter's cycle-limit check
@@ -174,22 +229,22 @@ impl CycleCounters {
     /// were charged.
     pub fn finish(&self, power: &PowerModel, timing: &TimingModel) -> EnergyMeter {
         let mut meter = EnergyMeter::new();
-        for (e, per_exec) in self.buckets.iter().enumerate() {
-            let exec = if e == 0 { Section::Flash } else { Section::Ram };
-            for (c, per_class) in per_exec.iter().enumerate() {
-                let class = class_of(c);
-                for (d, &cycles) in per_class.iter().enumerate() {
-                    if cycles == 0 {
-                        continue;
-                    }
-                    let data = match d {
-                        0 => None,
-                        1 => Some(Section::Flash),
-                        _ => Some(Section::Ram),
-                    };
-                    meter.add(cycles, power.power_mw(class, exec, data), exec, timing);
-                }
+        for (i, &cycles) in self.buckets.iter().enumerate() {
+            if cycles == 0 {
+                continue;
             }
+            let exec = if i / (NUM_CLASSES * NUM_DATA_KINDS) == 0 {
+                Section::Flash
+            } else {
+                Section::Ram
+            };
+            let class = class_of((i / NUM_DATA_KINDS) % NUM_CLASSES);
+            let data = match i % NUM_DATA_KINDS {
+                0 => None,
+                1 => Some(Section::Flash),
+                _ => Some(Section::Ram),
+            };
+            meter.add(cycles, power.power_mw(class, exec, data), exec, timing);
         }
         meter
     }
@@ -274,6 +329,54 @@ mod tests {
         assert!((folded.energy_j - meter.energy_j).abs() < 1e-15);
         // Folding twice is bit-identical (fixed bucket order).
         assert_eq!(folded, counters.finish(&p, &t));
+    }
+
+    #[test]
+    fn flat_indices_are_unique_and_data_axis_is_innermost() {
+        let all_classes = [
+            InstClass::Alu,
+            InstClass::Mul,
+            InstClass::Div,
+            InstClass::Load,
+            InstClass::Store,
+            InstClass::Stack,
+            InstClass::Nop,
+            InstClass::Call,
+            InstClass::Branch,
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for class in all_classes {
+            for exec in [Section::Flash, Section::Ram] {
+                for data in [None, Some(Section::Flash), Some(Section::Ram)] {
+                    let flat = CycleCounters::flat_index(class, exec, data);
+                    assert!((flat as usize) < NUM_BUCKETS);
+                    assert!(seen.insert(flat), "{class:?}/{exec:?}/{data:?} collides");
+                    // The decode-time base + runtime data offset must land in
+                    // the same bucket as the direct three-axis lookup.
+                    if let Some(section) = data {
+                        assert_eq!(
+                            flat,
+                            CycleCounters::flat_index(class, exec, None)
+                                + CycleCounters::data_offset(section)
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), NUM_BUCKETS);
+    }
+
+    #[test]
+    fn add_flat_matches_add() {
+        let t = CORTEX_M3_TIMING;
+        let p = PowerModel::stm32f100();
+        let mut direct = CycleCounters::new();
+        direct.add(InstClass::Load, Section::Ram, Some(Section::Ram), 7);
+        let mut flat = CycleCounters::new();
+        let base = CycleCounters::flat_index(InstClass::Load, Section::Ram, None);
+        flat.add_flat(base + CycleCounters::data_offset(Section::Ram), 7);
+        assert_eq!(direct.total_cycles(), flat.total_cycles());
+        assert_eq!(direct.finish(&p, &t), flat.finish(&p, &t));
     }
 
     #[test]

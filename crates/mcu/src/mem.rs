@@ -116,6 +116,27 @@ impl std::fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
+/// A runtime access fault, as a compact `Copy` value.
+///
+/// The decoded execution engine's hot loop threads this through its ops
+/// instead of the boxed-string-bearing [`MemError`] so that the error
+/// branch costs a register pair, not a by-memory return; it widens into
+/// [`MemError::Fault`] at the loop boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fault {
+    pub addr: u32,
+    pub write: bool,
+}
+
+impl From<Fault> for MemError {
+    fn from(f: Fault) -> Self {
+        MemError::Fault {
+            addr: f.addr,
+            write: f.write,
+        }
+    }
+}
+
 /// The data memory of the simulated SoC: a flat byte image of flash (for
 /// read-only data) and RAM (for mutable data, relocated code's reservation
 /// and the stack).
@@ -217,24 +238,25 @@ impl Memory {
         self.map.section_of(addr)
     }
 
-    fn slot(&self, addr: u32, len: u32, write: bool) -> Result<(Section, usize), MemError> {
+    #[inline]
+    fn slot(&self, addr: u32, len: u32, write: bool) -> Result<(Section, usize), Fault> {
         match self.map.section_of(addr) {
             Some(Section::Flash) if !write => {
                 let off = (addr - self.map.flash_base) as usize;
                 if off + len as usize <= self.flash.len() {
                     return Ok((Section::Flash, off));
                 }
-                Err(MemError::Fault { addr, write })
+                Err(Fault { addr, write })
             }
-            Some(Section::Flash) => Err(MemError::Fault { addr, write }),
+            Some(Section::Flash) => Err(Fault { addr, write }),
             Some(Section::Ram) => {
                 let off = (addr - self.map.ram_base) as usize;
                 if off + len as usize <= self.ram.len() {
                     return Ok((Section::Ram, off));
                 }
-                Err(MemError::Fault { addr, write })
+                Err(Fault { addr, write })
             }
-            None => Err(MemError::Fault { addr, write }),
+            None => Err(Fault { addr, write }),
         }
     }
 
@@ -244,6 +266,22 @@ impl Memory {
     ///
     /// Returns a fault for unmapped addresses.
     pub fn read(&self, addr: u32, width: MemWidth) -> Result<(i32, Section), MemError> {
+        self.read_fast(addr, width).map_err(MemError::from)
+    }
+
+    /// Write a value of the given width (truncating).
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault for unmapped addresses or writes to flash.
+    pub fn write(&mut self, addr: u32, value: i32, width: MemWidth) -> Result<Section, MemError> {
+        self.write_fast(addr, value, width).map_err(MemError::from)
+    }
+
+    /// [`Memory::read`] with the compact [`Fault`] error, for the decoded
+    /// engine's hot loop.
+    #[inline(always)]
+    pub(crate) fn read_fast(&self, addr: u32, width: MemWidth) -> Result<(i32, Section), Fault> {
         let len = width.bytes();
         let (section, off) = self.slot(addr, len, false)?;
         let bytes = match section {
@@ -258,12 +296,15 @@ impl Memory {
         Ok((value, section))
     }
 
-    /// Write a value of the given width (truncating).
-    ///
-    /// # Errors
-    ///
-    /// Returns a fault for unmapped addresses or writes to flash.
-    pub fn write(&mut self, addr: u32, value: i32, width: MemWidth) -> Result<Section, MemError> {
+    /// [`Memory::write`] with the compact [`Fault`] error, for the decoded
+    /// engine's hot loop.
+    #[inline(always)]
+    pub(crate) fn write_fast(
+        &mut self,
+        addr: u32,
+        value: i32,
+        width: MemWidth,
+    ) -> Result<Section, Fault> {
         let len = width.bytes();
         let (section, off) = self.slot(addr, len, true)?;
         let dst = match section {

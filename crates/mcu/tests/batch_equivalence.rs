@@ -104,28 +104,7 @@ proptest! {
         for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
             let b = b.as_ref().expect("batched run succeeds");
             let s = s.as_ref().expect("sequential run succeeds");
-            prop_assert_eq!(b.return_value, s.return_value, "job {} checksum", i);
-            prop_assert_eq!(&b.meter, &s.meter, "job {} meter", i);
-            prop_assert_eq!(
-                b.energy_mj.to_bits(),
-                s.energy_mj.to_bits(),
-                "job {} energy bits",
-                i
-            );
-            prop_assert_eq!(
-                b.time_s.to_bits(),
-                s.time_s.to_bits(),
-                "job {} time bits",
-                i
-            );
-            prop_assert_eq!(
-                b.avg_power_mw.to_bits(),
-                s.avg_power_mw.to_bits(),
-                "job {} power bits",
-                i
-            );
-            prop_assert_eq!(&b.profile, &s.profile, "job {} profile", i);
-            prop_assert_eq!(&b.layout, &s.layout, "job {} layout", i);
+            prop_assert!(b.bits_eq(s), "job {} not bit-identical", i);
         }
     }
 

@@ -34,20 +34,12 @@ fn batched_beebs_sweep_is_bit_identical_to_sequential() {
         let batched = runner.map(&programs, |board, p| board.run(p).expect("kernel runs"));
         assert_eq!(batched.len(), sequential.len());
         for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
-            assert_eq!(b.return_value, s.return_value, "job {i}: checksum");
-            assert_eq!(b.meter, s.meter, "job {i}: meter");
-            assert_eq!(
-                b.energy_mj.to_bits(),
-                s.energy_mj.to_bits(),
-                "job {i}: energy must be bit-identical"
+            assert!(
+                b.bits_eq(s),
+                "job {i} not bit-identical
+batched: {b:?}
+sequential: {s:?}"
             );
-            assert_eq!(
-                b.avg_power_mw.to_bits(),
-                s.avg_power_mw.to_bits(),
-                "job {i}: power must be bit-identical"
-            );
-            assert_eq!(b.profile, s.profile, "job {i}: profile");
-            assert_eq!(b.layout, s.layout, "job {i}: layout");
         }
     }
 }

@@ -1,0 +1,124 @@
+//! Differential test for the decoded execution engine at workspace level:
+//! for every BEEBS kernel — plain and placement-optimized — the decoded
+//! engine behind `Board::run` must be observably indistinguishable,
+//! bit-for-bit, from the IR-walking reference interpreter.
+//!
+//! This is the guarantee that lets every harness in `flashram-bench` (and
+//! every downstream experiment) run on the decoded engine by default: the
+//! numbers they print are exactly the numbers the reference semantics
+//! produce.
+
+use flashram_beebs::Benchmark;
+use flashram_core::RamOptimizer;
+use flashram_mcu::{Board, RunConfig, RunError, RunResult};
+use flashram_minicc::OptLevel;
+
+fn assert_bit_identical(decoded: &RunResult, reference: &RunResult, what: &str) {
+    assert!(
+        decoded.bits_eq(reference),
+        "{what}: results diverge\ndecoded: {decoded:?}\nreference: {reference:?}"
+    );
+}
+
+#[test]
+fn decoded_engine_matches_reference_on_all_beebs_kernels() {
+    let board = Board::stm32vldiscovery();
+    for bench in Benchmark::all() {
+        for level in [OptLevel::O2, OptLevel::Os] {
+            let program = bench.compile_cached(level).expect("kernel compiles");
+            let decoded = board.run(&program).expect("decoded run");
+            let reference = board.run_reference(&program).expect("reference run");
+            assert_bit_identical(&decoded, &reference, &format!("{} {level}", bench.name));
+        }
+    }
+}
+
+/// Placement-optimized kernels exercise the paths the plain kernels do
+/// not: RAM-resident blocks (contention charges) and the indirect
+/// long-range terminators the transformation substitutes.
+#[test]
+fn decoded_engine_matches_reference_on_optimized_kernels() {
+    let board = Board::stm32vldiscovery();
+    for name in ["int_matmult", "fdct", "crc32"] {
+        let bench = Benchmark::by_name(name).expect("known kernel");
+        let program = bench.compile_cached(OptLevel::O2).expect("kernel compiles");
+        let placement = RamOptimizer::new()
+            .optimize(&program, &board)
+            .expect("placement succeeds");
+        assert!(
+            !placement.selected.is_empty(),
+            "{name}: optimizer should move blocks to RAM"
+        );
+        let decoded = board.run(&placement.program).expect("decoded run");
+        let reference = board
+            .run_reference(&placement.program)
+            .expect("reference run");
+        assert_bit_identical(&decoded, &reference, &format!("{name} optimized"));
+    }
+}
+
+/// The engines agree on `CycleLimit { limit, executed }` under a budget
+/// that fires mid-run.
+#[test]
+fn decoded_engine_matches_reference_cycle_limits_on_beebs() {
+    let board = Board::stm32vldiscovery();
+    let bench = Benchmark::by_name("crc32").expect("known kernel");
+    let program = bench.compile_cached(OptLevel::O2).expect("kernel compiles");
+    let total = board.run(&program).expect("full run").cycles();
+    let mut limited = 0;
+    // `total - 1` is the interesting edge: the budget check fires only at
+    // block entry, so a run whose final block overshoots by one cycle
+    // still completes — in both engines, identically.
+    for limit in [0, 1, total / 3, total / 2, total - 1, total] {
+        let config = RunConfig { max_cycles: limit };
+        let decoded = board.run_with_config(&program, &config);
+        let reference = board.run_reference_with_config(&program, &config);
+        match (&decoded, &reference) {
+            (
+                Err(RunError::CycleLimit {
+                    limit: dl,
+                    executed: de,
+                }),
+                Err(RunError::CycleLimit {
+                    limit: rl,
+                    executed: re,
+                }),
+            ) => {
+                assert_eq!((dl, de), (rl, re), "limit {limit}: CycleLimit diverges");
+                limited += 1;
+            }
+            (Ok(d), Ok(r)) => assert_bit_identical(d, r, &format!("limit {limit}")),
+            other => panic!("limit {limit}: engines disagree: {other:?}"),
+        }
+    }
+    assert!(limited >= 3, "the tight budgets must actually fire");
+}
+
+/// `BatchRunner::run_configs` decodes once and shares the decoded program
+/// across the sweep; the results must still match per-config `Board::run`
+/// calls bitwise.
+#[test]
+fn shared_decode_in_run_configs_matches_independent_runs() {
+    let board = Board::stm32vldiscovery();
+    let bench = Benchmark::by_name("sha").expect("known kernel");
+    let program = bench.compile_cached(OptLevel::O2).expect("kernel compiles");
+    let total = board.run(&program).expect("full run").cycles();
+    let configs = vec![
+        RunConfig { max_cycles: 100 },
+        RunConfig::default(),
+        RunConfig {
+            max_cycles: total / 2,
+        },
+        RunConfig { max_cycles: total },
+    ];
+    let runner = flashram_mcu::BatchRunner::new(board.clone());
+    let shared = runner.run_configs(&program, &configs);
+    for (config, got) in configs.iter().zip(&shared) {
+        let independent = board.run_with_config(&program, config);
+        match (got, &independent) {
+            (Ok(a), Ok(b)) => assert_bit_identical(a, b, "shared decode"),
+            (Err(a), Err(b)) => assert_eq!(a, b, "shared decode errors"),
+            other => panic!("shared vs independent diverge: {other:?}"),
+        }
+    }
+}

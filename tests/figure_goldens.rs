@@ -1,0 +1,25 @@
+//! Figure-regeneration goldens: the text a `fig*` binary prints is checked
+//! against a committed golden file, so a change to the underlying cost
+//! model (or to the table formatting) shows up as a reviewable diff
+//! instead of silently shifting the reproduced figures.
+//!
+//! This starts the ROADMAP item with the cheapest fully-deterministic
+//! figure — the Figure 4 instrumentation-cost table, whose numbers come
+//! straight from the ISA cost model with no simulation or solver in the
+//! loop.  To regenerate after an intentional change:
+//!
+//! ```sh
+//! cargo run --release -p flashram-bench --bin fig4_instrumentation_costs \
+//!     > tests/goldens/fig4_instrumentation_costs.txt
+//! ```
+
+#[test]
+fn fig4_table_matches_committed_golden() {
+    let golden = include_str!("goldens/fig4_instrumentation_costs.txt");
+    let printed = flashram_bench::figure4_text();
+    assert_eq!(
+        printed, golden,
+        "fig4_instrumentation_costs output changed; if intentional, \
+         regenerate tests/goldens/fig4_instrumentation_costs.txt"
+    );
+}
