@@ -2,7 +2,7 @@
 //! execution time at O2 and Os, with both the static frequency estimate and
 //! actual (profiled) frequencies.
 
-use flashram_bench::beebs_sweep;
+use flashram_bench::{beebs_sweep, figure5_averages_text};
 use flashram_mcu::Board;
 use flashram_minicc::OptLevel;
 
@@ -46,4 +46,6 @@ fn main() {
         best_power.benchmark,
         best_power.level
     );
+    println!();
+    print!("{}", figure5_averages_text(&results));
 }

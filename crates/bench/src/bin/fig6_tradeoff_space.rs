@@ -1,63 +1,22 @@
 //! Regenerates Figure 6: the trade-off space of possible placements for
 //! `int_matmult` and `fdct`, with the solver's trajectory as the RAM and
-//! time constraints are relaxed.
+//! time constraints are relaxed and the exact Pareto staircase of the
+//! energy/RAM trade-off.
+//!
+//! All solver samples run on the frontier sweep engine
+//! (`flashram_core::PlacementSession`): one model per benchmark, every
+//! sweep point warm-started from the previous one.  The printed report is
+//! [`flashram_bench::figure6_text`], which the figure-regeneration golden
+//! test asserts verbatim (`tests/figure_goldens.rs`).
 
-use flashram_beebs::Benchmark;
-use flashram_bench::tradeoff_space;
+use flashram_bench::figure6_text;
 use flashram_mcu::Board;
 use flashram_minicc::OptLevel;
 
 fn main() {
     let board = Board::stm32vldiscovery();
-    for name in ["int_matmult", "fdct"] {
-        let bench = Benchmark::by_name(name).expect("known benchmark");
-        let space = tradeoff_space(&board, &bench, OptLevel::O2, 10);
-        println!("Figure 6 — placement trade-off space for {name} (model units)");
-        println!(
-            "  {} enumerated placements of the 10 hottest blocks",
-            space.points.len()
-        );
-        let min_e = space
-            .points
-            .iter()
-            .map(|p| p.energy)
-            .fold(f64::INFINITY, f64::min);
-        let max_e = space.points.iter().map(|p| p.energy).fold(0.0f64, f64::max);
-        let min_c = space
-            .points
-            .iter()
-            .map(|p| p.cycles)
-            .fold(f64::INFINITY, f64::min);
-        let max_c = space.points.iter().map(|p| p.cycles).fold(0.0f64, f64::max);
-        println!("  energy range: {min_e:.3e} .. {max_e:.3e}");
-        println!("  cycle range:  {min_c:.3e} .. {max_c:.3e}");
-        println!(
-            "  all blocks in flash: energy {:.3e}, cycles {:.3e}",
-            space.baseline.energy, space.baseline.cycles
-        );
-
-        println!("  constraining RAM (X_limit relaxed):");
-        println!(
-            "    {:>10} {:>14} {:>14} {:>10}",
-            "R_spare", "energy", "cycles", "ram bytes"
-        );
-        for (budget, p) in &space.ram_sweep {
-            println!(
-                "    {:>10} {:>14.4e} {:>14.4e} {:>10}",
-                budget, p.energy, p.cycles, p.ram_bytes
-            );
-        }
-        println!("  constraining time (R_spare relaxed):");
-        println!(
-            "    {:>10} {:>14} {:>14} {:>10}",
-            "X_limit", "energy", "cycles", "ram bytes"
-        );
-        for (x, p) in &space.time_sweep {
-            println!(
-                "    {:>10.2} {:>14.4e} {:>14.4e} {:>10}",
-                x, p.energy, p.cycles, p.ram_bytes
-            );
-        }
-        println!();
-    }
+    print!(
+        "{}",
+        figure6_text(&board, &["int_matmult", "fdct"], OptLevel::O2, 10)
+    );
 }

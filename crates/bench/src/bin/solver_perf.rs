@@ -1,14 +1,16 @@
 //! Solver performance smoke: solve every BEEBS placement ILP with the
-//! warm-started branch-and-bound and with cold per-node re-solves, print the
-//! comparison, and write the numbers to `BENCH_solver.json` so the solver's
-//! perf trajectory can be tracked across commits.
+//! warm-started branch-and-bound and with cold per-node re-solves, sweep
+//! every model over a RAM-budget grid chained vs cold-per-budget, print the
+//! comparisons, and write the numbers to `BENCH_solver.json` so the
+//! solver's perf trajectory can be tracked across commits.
 //!
 //! Exits nonzero when a solver acceptance check fails (objective mismatch
-//! between the two modes, or warm-started nodes not pivoting strictly less
-//! than cold solves); pass `--no-fail` to report without failing (used by
-//! CI, where the numbers are informational).
+//! between warm and cold modes, warm-started nodes not pivoting strictly
+//! less than cold solves, or a chained sweep not pivoting strictly less
+//! than its cold per-budget counterpart); pass `--no-fail` to report
+//! without failing (used by CI, where the numbers are informational).
 
-use flashram_bench::{solver_perf, solver_perf_json};
+use flashram_bench::{solver_perf, solver_perf_json, solver_sweep_perf};
 use flashram_mcu::Board;
 use flashram_minicc::OptLevel;
 
@@ -82,7 +84,89 @@ fn main() {
     let total_cold: usize = rows.iter().map(|r| r.cold.stats.lp_pivots).sum();
     println!("total LP pivots: warm-started {total_warm}, cold {total_cold}");
 
-    let json = solver_perf_json(&rows);
+    // The frontier-engine comparison: whole constraint sweeps (both
+    // Figure 6 axes) chained on one session vs solved cold per point.
+    let (sweep_rows, sweep_errors) = solver_sweep_perf(&board, OptLevel::O2);
+    failures.extend(sweep_errors);
+    println!();
+    println!(
+        "{:<16} {:>5} {:>4} | {:>8} {:>8} {:>6} {:>9} | {:>8} {:>8} {:>6} {:>9}",
+        "sweep",
+        "axis",
+        "pts",
+        "pivots",
+        "root piv",
+        "nodes",
+        "warm ms",
+        "pivots",
+        "root piv",
+        "nodes",
+        "cold ms"
+    );
+    for row in &sweep_rows {
+        println!(
+            "{:<16} {:>5} {:>4} | {:>8} {:>8} {:>6} {:>9.2} | {:>8} {:>8} {:>6} {:>9.2}",
+            row.benchmark,
+            row.axis,
+            row.points,
+            row.warm.lp_pivots,
+            row.warm.root_pivots,
+            row.warm.nodes,
+            row.warm.wall_ms,
+            row.cold.lp_pivots,
+            row.cold.root_pivots,
+            row.cold.nodes,
+            row.cold.wall_ms,
+        );
+        if !row.proven {
+            // Truncated searches may return different (both heuristic)
+            // incumbents and incomparable trees; report, don't fail.
+            eprintln!(
+                "note: {} {} sweep had node-budget-truncated points; \
+                 strict checks skipped",
+                row.benchmark, row.axis
+            );
+            continue;
+        }
+        if row.max_objective_delta > 1e-6 {
+            failures.push(format!(
+                "{} ({} sweep): chained objective drifts {:.2e} from cold \
+                 per-point solves",
+                row.benchmark, row.axis, row.max_objective_delta
+            ));
+        }
+        if row.warm.root_pivots >= row.cold.root_pivots {
+            failures.push(format!(
+                "{} ({} sweep): chained roots spent {} pivots, not strictly \
+                 fewer than the {} of cold roots",
+                row.benchmark, row.axis, row.warm.root_pivots, row.cold.root_pivots
+            ));
+        }
+    }
+    let sweep_warm: usize = sweep_rows.iter().map(|r| r.warm.lp_pivots).sum();
+    let sweep_cold: usize = sweep_rows.iter().map(|r| r.cold.lp_pivots).sum();
+    let root_warm: usize = sweep_rows.iter().map(|r| r.warm.root_pivots).sum();
+    let root_cold: usize = sweep_rows.iter().map(|r| r.cold.root_pivots).sum();
+    println!(
+        "total sweep LP pivots: chained {sweep_warm} ({root_warm} in roots), \
+         cold per-point {sweep_cold} ({root_cold} in roots)"
+    );
+    // The aggregate acceptance check covers proven rows only, consistent
+    // with the per-row policy: truncated searches have incomparable trees.
+    let proven = |rows: &[flashram_bench::SweepPerfRow]| -> (usize, usize) {
+        rows.iter().filter(|r| r.proven).fold((0, 0), |(w, c), r| {
+            (w + r.warm.lp_pivots, c + r.cold.lp_pivots)
+        })
+    };
+    let (proven_warm, proven_cold) = proven(&sweep_rows);
+    if proven_warm >= proven_cold {
+        failures.push(format!(
+            "aggregate chained sweeps spent {proven_warm} pivots over proven \
+             rows, not fewer than the {proven_cold} of cold per-point solves"
+        ));
+    }
+
+    let json = solver_perf_json(&rows, &sweep_rows);
     let path = "BENCH_solver.json";
     std::fs::write(path, json).expect("write BENCH_solver.json");
     println!("wrote {path}");

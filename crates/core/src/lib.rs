@@ -24,6 +24,12 @@
 //!    scenario, where lower power plus longer runtime still extends battery
 //!    life.
 //!
+//! The constraint-space exploration behind Figure 6 has a dedicated
+//! subsystem: [`frontier`] builds the model once per `(program, board,
+//! scope)` in a [`PlacementSession`], re-solves sweep points by moving only
+//! the budget rows' right-hand sides (chaining warm-started dual-simplex
+//! roots), and enumerates the exact energy/RAM Pareto staircase.
+//!
 //! # Example
 //!
 //! ```
@@ -50,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod case_study;
+pub mod frontier;
 pub mod model;
 pub mod optimizer;
 pub mod params;
@@ -57,6 +64,7 @@ pub mod report;
 pub mod transform;
 
 pub use case_study::{measure_case_study, period_sweep, CaseStudyMeasurement};
+pub use frontier::{Frontier, PlacementSession, SweepPoint, SweepStats, ValidatedPoint};
 pub use model::{evaluate_placement, ModelConfig, PlacementEstimate, PlacementModel};
 pub use optimizer::{OptimizeError, OptimizerConfig, Placement, RamOptimizer, Solver};
 pub use params::{

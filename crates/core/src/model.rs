@@ -63,14 +63,33 @@ pub struct BlockVars {
 }
 
 /// The built ILP together with its variable map.
+///
+/// The two developer knobs — the RAM budget `R_spare` (Eq. 7) and the
+/// execution-time bound `X_limit` (Eq. 9) — live purely in the right-hand
+/// sides of their rows, so a built model can be retargeted to a new budget
+/// pair in place with [`PlacementModel::set_budgets`] instead of being
+/// rebuilt.  That is what makes frontier sweeps incremental: the rows,
+/// columns and objective never change across sweep points, and the solver
+/// chains warm-started re-solves through the moved right-hand sides (see
+/// [`crate::frontier`]).
 #[derive(Debug, Clone)]
 pub struct PlacementModel {
     /// The 0-1 linear program (minimization).
     pub problem: Problem,
     /// Per-block variables.
     pub vars: BTreeMap<BlockRef, BlockVars>,
-    /// The configuration the model was built with.
+    /// The configuration the model was built with (kept in sync by
+    /// [`PlacementModel::set_budgets`]).
     pub config: ModelConfig,
+    /// Row index of the RAM-budget constraint (Eq. 7); its right-hand side
+    /// is `config.r_spare`.
+    pub ram_row: usize,
+    /// Row index of the execution-time constraint (Eq. 9); its right-hand
+    /// side is `config.x_limit × base_cycles`.
+    pub time_row: usize,
+    /// The all-in-flash weighted cycle count `Σ F_b·C_b` the time bound is
+    /// relative to.
+    pub base_cycles: f64,
 }
 
 impl PlacementModel {
@@ -178,16 +197,53 @@ impl PlacementModel {
             ram_expr.add_term(v.in_ram, p.size_bytes as f64);
             ram_expr.add_term(v.instrumented, p.instr_bytes as f64);
         }
+        let ram_row = problem.num_constraints();
         problem.add_constraint(ram_expr, Cmp::Le, config.r_spare as f64);
 
-        // Eq. 9: execution-time bound.
+        // Eq. 9: execution-time bound.  `time_expr` carries the constant
+        // `Σ F_b·C_b`, which `add_constraint` folds into the stored
+        // right-hand side — `set_budgets` must fold it the same way.
+        let time_row = problem.num_constraints();
         problem.add_constraint(time_expr, Cmp::Le, config.x_limit * base_cycles);
 
         PlacementModel {
             problem,
             vars,
             config: config.clone(),
+            ram_row,
+            time_row,
+            base_cycles,
         }
+    }
+
+    /// Retarget the model to a new `(R_spare, X_limit)` pair **in place**:
+    /// only the right-hand sides of the two budget rows move, every other
+    /// row, column and objective coefficient is untouched.  A solver state
+    /// chained from before the call therefore stays structurally valid and
+    /// can be re-entered with the dual simplex
+    /// ([`flashram_ilp::BranchBound::solve_chained`]).
+    pub fn set_budgets(&mut self, r_spare: u32, x_limit: f64) {
+        // The time expression's constant part (the all-in-flash cycles) was
+        // folded into the stored rhs at build time; replicate that fold.
+        self.problem
+            .set_rhs(self.ram_row, r_spare as f64)
+            .expect("RAM-budget row exists");
+        self.problem
+            .set_rhs(self.time_row, x_limit * self.base_cycles - self.base_cycles)
+            .expect("time-bound row exists");
+        self.config.r_spare = r_spare;
+        self.config.x_limit = x_limit;
+    }
+
+    /// The RAM the model charges a solution for: the left-hand side of the
+    /// Eq. 7 budget row (block bytes plus instrumentation bytes of every
+    /// instrumented block).  This is the budget below which the solution
+    /// becomes infeasible — the breakpoint the frontier enumeration descends
+    /// to.
+    pub fn ram_used(&self, solution: &Solution) -> f64 {
+        self.problem.constraints()[self.ram_row]
+            .expr
+            .evaluate(&solution.values)
     }
 
     /// Solve the placement ILP with a default warm-started branch-and-bound
@@ -445,6 +501,42 @@ mod tests {
                 "warm-started nodes must pivot less: {per_warm:.2} vs {per_cold:.2}"
             );
         }
+    }
+
+    #[test]
+    fn set_budgets_matches_a_rebuilt_model_exactly() {
+        // In-place retargeting must be indistinguishable from a rebuild:
+        // identical rows, coefficients and (bitwise) right-hand sides, so a
+        // chained solver state stays valid across the mutation.
+        let p = params();
+        let mut model = PlacementModel::build(&p, &ModelConfig::default());
+        for (r_spare, x_limit) in [(64u32, 1.1), (4096, 2.0), (0, 1.0), (2048, 1.5)] {
+            model.set_budgets(r_spare, x_limit);
+            let rebuilt = PlacementModel::build(
+                &p,
+                &ModelConfig {
+                    r_spare,
+                    x_limit,
+                    ..ModelConfig::default()
+                },
+            );
+            assert_eq!(model.problem, rebuilt.problem);
+            assert_eq!(model.config, rebuilt.config);
+        }
+    }
+
+    #[test]
+    fn ram_used_reads_the_budget_row() {
+        let p = params();
+        let model = PlacementModel::build(&p, &ModelConfig::default());
+        let sol = BranchBound::new().solve(&model.problem).unwrap();
+        let used = model.ram_used(&sol);
+        assert!(used >= 0.0 && used <= model.config.r_spare as f64 + 1e-6);
+        // The budget row charges block bytes plus instrumentation bytes of
+        // every instrumented block (RAM- and flash-side alike), so it is at
+        // least the relocated bytes the estimate reports.
+        let est = evaluate_placement(&p, &model.selected_blocks(&sol), &model.config);
+        assert!(used + 1e-6 >= est.ram_bytes as f64);
     }
 
     #[test]

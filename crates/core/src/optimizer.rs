@@ -7,10 +7,11 @@
 //! evaluation can compare against baselines, and with either the static
 //! frequency estimate or a measured profile (Figure 5).
 
-use flashram_ilp::{BranchBound, BranchBoundStats, GreedySolver, SolveError};
+use flashram_ilp::{BranchBoundStats, GreedySolver, SolveError};
 use flashram_ir::{BlockRef, MachineProgram};
 use flashram_mcu::Board;
 
+use crate::frontier::PlacementSession;
 use crate::model::{evaluate_placement, ModelConfig, PlacementEstimate, PlacementModel};
 use crate::params::{extract_params_scoped, FrequencySource, PlacementScope, ProgramParams};
 use crate::transform::apply_placement_scoped;
@@ -158,6 +159,22 @@ impl RamOptimizer {
         RamOptimizer { config }
     }
 
+    /// Open a [`PlacementSession`] for `program` on `board` with this
+    /// optimizer's configuration: the frontier-sweep entry point when more
+    /// than one `(R_spare, X_limit)` point is wanted (model built once,
+    /// sweep points chained through warm-started roots).
+    ///
+    /// # Errors
+    ///
+    /// See [`PlacementSession::new`].
+    pub fn session(
+        &self,
+        program: &MachineProgram,
+        board: &Board,
+    ) -> Result<PlacementSession, OptimizeError> {
+        PlacementSession::new(program, board, &self.config)
+    }
+
     /// Derive the model coefficients for a given board.
     pub fn model_config_for(&self, board: &Board, r_spare: u32) -> ModelConfig {
         let (e_flash, e_ram) = board.power.model_coefficients();
@@ -189,41 +206,52 @@ impl RamOptimizer {
         let params = extract_params_scoped(program, &self.config.frequency, self.config.scope);
         let model_config = self.model_config_for(board, spare);
 
-        let (selected, heuristic, solver_stats): (Vec<BlockRef>, bool, Option<BranchBoundStats>) =
-            match self.config.solver {
-                Solver::None => (Vec::new(), false, None),
-                Solver::Ilp => {
-                    let model = PlacementModel::build(&params, &model_config);
-                    let mut solver = BranchBound::new();
-                    if let Some(n) = self.config.max_ilp_nodes {
-                        solver.max_nodes = n;
-                    }
-                    match model.solve_with(&solver) {
-                        Ok((solution, stats)) => {
-                            // An incumbent returned under an exhausted node
-                            // budget (or with LP-limited subtrees skipped)
-                            // is not a proven optimum.
-                            let unproven = stats.budget_exhausted || stats.lp_iteration_limited > 0;
-                            (model.selected_blocks(&solution), unproven, Some(stats))
-                        }
-                        // The documented fallback: when the node budget (or a
-                        // node's LP pivot budget) runs out before any integer
-                        // solution exists, degrade to the greedy heuristic
-                        // rather than failing the whole pipeline.
-                        Err(SolveError::BudgetExhausted(_)) => {
-                            let solution =
-                                GreedySolver { allow_unset: false }.solve(&model.problem)?;
-                            (model.selected_blocks(&solution), true, None)
-                        }
-                        Err(e) => return Err(e.into()),
-                    }
+        type Outcome = (ProgramParams, Vec<BlockRef>, bool, Option<BranchBoundStats>);
+        let (params, selected, heuristic, solver_stats): Outcome = match self.config.solver {
+            Solver::None => (params, Vec::new(), false, None),
+            Solver::Ilp => {
+                // A one-point placement session: `optimize` is the
+                // degenerate sweep, so it shares the frontier engine's
+                // solve path (and a caller who wants more points opens
+                // the session directly via `RamOptimizer::session`).  The
+                // session owns the params while solving and hands them
+                // back afterwards.
+                let mut session = PlacementSession::from_params(params, &model_config);
+                if let Some(n) = self.config.max_ilp_nodes {
+                    session.solver.max_nodes = n;
                 }
-                Solver::Greedy => {
-                    let model = PlacementModel::build(&params, &model_config);
-                    let solution = GreedySolver { allow_unset: false }.solve(&model.problem)?;
-                    (model.selected_blocks(&solution), true, None)
+                match session.solve_point(spare, self.config.x_limit) {
+                    Ok(point) => {
+                        // An incumbent returned under an exhausted node
+                        // budget (or with LP-limited subtrees skipped)
+                        // is not a proven optimum.
+                        (
+                            session.into_params(),
+                            point.selected,
+                            !point.proven,
+                            Some(point.stats),
+                        )
+                    }
+                    // The documented fallback: when the node budget (or a
+                    // node's LP pivot budget) runs out before any integer
+                    // solution exists, degrade to the greedy heuristic
+                    // rather than failing the whole pipeline.
+                    Err(SolveError::BudgetExhausted(_)) => {
+                        let model = session.model();
+                        let solution = GreedySolver { allow_unset: false }.solve(&model.problem)?;
+                        let selected = model.selected_blocks(&solution);
+                        (session.into_params(), selected, true, None)
+                    }
+                    Err(e) => return Err(e.into()),
                 }
-            };
+            }
+            Solver::Greedy => {
+                let model = PlacementModel::build(&params, &model_config);
+                let solution = GreedySolver { allow_unset: false }.solve(&model.problem)?;
+                let selected = model.selected_blocks(&solution);
+                (params, selected, true, None)
+            }
+        };
 
         let predicted = evaluate_placement(&params, &selected, &model_config);
         let predicted_base = evaluate_placement(&params, &[], &model_config);

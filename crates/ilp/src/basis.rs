@@ -49,6 +49,11 @@ pub struct LpState {
     pub(crate) up: Vec<f64>,
     /// Phase-2 reduced costs (minimization form), maintained across pivots.
     pub(crate) d: Vec<f64>,
+    /// The constraint right-hand sides this state was last solved against
+    /// (one per row, in the problem's row order and original sign).  Kept so
+    /// [`crate::SimplexSolver::resolve_with_rhs`] can compute the deltas to a
+    /// problem whose right-hand sides were mutated in place.
+    pub(crate) rhs: Vec<f64>,
     /// Number of structural variables (columns `0..n`).
     pub(crate) n: usize,
     /// First artificial column (`cols` when the solve needed none).
@@ -77,6 +82,14 @@ impl LpState {
     /// Total number of tableau columns (structurals + slacks + artificials).
     pub fn num_cols(&self) -> usize {
         self.cols
+    }
+
+    /// The constraint right-hand sides this state was last solved against,
+    /// one per row.  After
+    /// [`resolve_with_rhs`](crate::SimplexSolver::resolve_with_rhs) this
+    /// matches the problem's current right-hand sides.
+    pub fn solved_rhs(&self) -> &[f64] {
+        &self.rhs
     }
 
     /// A compact snapshot of the current basis.

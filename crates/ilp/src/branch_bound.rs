@@ -36,6 +36,13 @@ pub struct BranchBoundStats {
     pub lp_iteration_limited: usize,
     /// Total simplex pivots across every node's LP solve.
     pub lp_pivots: usize,
+    /// Pivots the **root** relaxation alone took (a cold two-phase solve,
+    /// or a dual-simplex re-entry for chained sweeps — see
+    /// [`BranchBound::solve_chained`]).
+    pub root_pivots: usize,
+    /// Whether the search started from a feasible seeded incumbent (see
+    /// [`BranchBound::solve_chained`]).
+    pub seeded: bool,
     /// Nodes solved cold (two-phase solve from scratch).
     pub cold_solves: usize,
     /// Pivots spent in cold solves.
@@ -44,6 +51,24 @@ pub struct BranchBoundStats {
     pub warm_solves: usize,
     /// Pivots spent in warm-started solves.
     pub warm_pivots: usize,
+}
+
+/// The outcome of one chained branch-and-bound solve (see
+/// [`BranchBound::solve_chained`]): the incumbent, the search statistics,
+/// and the solved state of the **root** relaxation, which the next solve in
+/// a sweep chain warm-starts from after the problem's right-hand sides move.
+#[derive(Debug, Clone)]
+pub struct ChainedSolve {
+    /// The best integer solution found.
+    pub solution: Solution,
+    /// Search statistics of this solve.
+    pub stats: BranchBoundStats,
+    /// The solved root relaxation, for chaining into the next solve
+    /// (`None` only if the root LP produced no reusable state).
+    pub root_state: Option<LpState>,
+    /// Whether the root relaxation was warm-started from a previous chained
+    /// state rather than solved cold.
+    pub chained: bool,
 }
 
 /// A 0-1 ILP solver.
@@ -58,6 +83,16 @@ pub struct BranchBound {
     /// Warm-start child nodes with the dual simplex from the parent basis
     /// (on by default; disable to benchmark against cold solves).
     pub warm_start: bool,
+    /// Bounded-regret guard for chained solves
+    /// ([`BranchBound::solve_chained`]): when a *chained* root's search tree
+    /// exceeds this many nodes, the attempt is abandoned and the point
+    /// re-solved from a cold root (the seed is kept).  The placement models
+    /// are degenerate enough that alternate optimal root vertices can
+    /// partition the space very differently; this caps how much an unlucky
+    /// chained vertex can cost over the cold solve, while small trees —
+    /// where chaining pays — keep the full saving.  `usize::MAX` disables
+    /// the guard; plain (non-chained) solves never use it.
+    pub chain_fallback_nodes: usize,
 }
 
 impl Default for BranchBound {
@@ -67,8 +102,17 @@ impl Default for BranchBound {
             max_nodes: 20_000,
             tolerance: 1e-6,
             warm_start: true,
+            chain_fallback_nodes: 512,
         }
     }
+}
+
+/// What one [`BranchBound::solve_inner`] pass concluded: a finished solve,
+/// or a chained attempt abandoned at its node cap (the bounded-regret
+/// guard), carrying the effort spent so the retry can account for it.
+enum InnerOutcome {
+    Done(Box<ChainedSolve>),
+    ChainAborted(BranchBoundStats),
 }
 
 /// One open node of the search tree.
@@ -119,9 +163,109 @@ impl BranchBound {
         &self,
         problem: &Problem,
     ) -> Result<(Solution, BranchBoundStats), SolveError> {
+        match self.solve_inner(problem, None, None, false, None)? {
+            InnerOutcome::Done(run) => Ok((run.solution, run.stats)),
+            InnerOutcome::ChainAborted(_) => unreachable!("an uncapped solve cannot abort"),
+        }
+    }
+
+    /// Solve as part of a **sweep chain**: when `warm_root` is the root
+    /// state of a previous solve of the *same problem structure* (only
+    /// right-hand sides may have changed in between, via
+    /// [`crate::Problem::set_rhs`]), the root relaxation is re-solved with
+    /// the dual simplex from that state instead of a cold two-phase solve —
+    /// the same warm-start saving branch-and-bound already applies per node,
+    /// applied *across* solves.  The returned [`ChainedSolve::root_state`]
+    /// feeds the next link of the chain.
+    ///
+    /// `seed` is a candidate integer solution — typically the previous sweep
+    /// point's optimum.  If it is feasible under the current right-hand
+    /// sides (always the case when a budget *relaxes*), it becomes the
+    /// initial incumbent, so the search starts with a proven bound and
+    /// prunes everything the budget change did not improve; when the new
+    /// optimum equals the seed, the solve reduces to the root relaxation
+    /// proving optimality.  An infeasible seed is ignored.
+    ///
+    /// With `warm_root: None` and `seed: None` (or `warm_start` disabled)
+    /// this is exactly [`BranchBound::solve_with_stats`] plus the
+    /// root-state capture.
+    ///
+    /// # Errors
+    ///
+    /// See [`BranchBound::solve`]; additionally, a `warm_root` whose
+    /// dimensions do not match `problem` is an
+    /// [`SolveError::InvalidModel`].
+    pub fn solve_chained(
+        &self,
+        problem: &Problem,
+        warm_root: Option<&LpState>,
+        seed: Option<&Solution>,
+    ) -> Result<ChainedSolve, SolveError> {
+        if self.warm_start && warm_root.is_some() {
+            let cap =
+                (self.chain_fallback_nodes < self.max_nodes).then_some(self.chain_fallback_nodes);
+            match self.solve_inner(problem, warm_root, seed, true, cap)? {
+                InnerOutcome::Done(run) => return Ok(*run),
+                InnerOutcome::ChainAborted(aborted) => {
+                    // The chained vertex partitioned the space badly; pay
+                    // the bounded abort cost and re-solve from a cold root,
+                    // keeping the seed.  The wasted effort stays in the
+                    // stats — pivot accounting must cover the failed
+                    // attempt too.
+                    let InnerOutcome::Done(mut run) =
+                        self.solve_inner(problem, None, seed, true, None)?
+                    else {
+                        unreachable!("an uncapped solve cannot abort")
+                    };
+                    run.stats.nodes_explored += aborted.nodes_explored;
+                    run.stats.nodes_pruned += aborted.nodes_pruned;
+                    run.stats.lp_pivots += aborted.lp_pivots;
+                    run.stats.root_pivots += aborted.root_pivots;
+                    run.stats.lp_iteration_limited += aborted.lp_iteration_limited;
+                    run.stats.cold_solves += aborted.cold_solves;
+                    run.stats.cold_pivots += aborted.cold_pivots;
+                    run.stats.warm_solves += aborted.warm_solves;
+                    run.stats.warm_pivots += aborted.warm_pivots;
+                    return Ok(*run);
+                }
+            }
+        }
+        match self.solve_inner(problem, warm_root, seed, true, None)? {
+            InnerOutcome::Done(run) => Ok(*run),
+            InnerOutcome::ChainAborted(_) => unreachable!("an uncapped solve cannot abort"),
+        }
+    }
+
+    /// The shared search loop.  `capture_root` keeps a clone of the solved
+    /// root relaxation state for sweep chaining (skipped for the plain
+    /// entry points, which have no use for it); `chain_cap` aborts the
+    /// search once that many nodes were explored (the bounded-regret guard
+    /// of [`BranchBound::solve_chained`]).
+    fn solve_inner(
+        &self,
+        problem: &Problem,
+        warm_root: Option<&LpState>,
+        seed: Option<&Solution>,
+        capture_root: bool,
+        chain_cap: Option<usize>,
+    ) -> Result<InnerOutcome, SolveError> {
         problem.check()?;
         let mut stats = BranchBoundStats::default();
-        let mut incumbent: Option<Solution> = None;
+        let mut root_state: Option<LpState> = None;
+        let chained = warm_root.is_some() && self.warm_start;
+
+        // A feasible seed becomes the initial incumbent: its objective is a
+        // proven bound, so the search only explores what the moved
+        // right-hand sides actually improved.  (The objective is
+        // re-evaluated — RHS changes never alter it, but the seed may come
+        // from an arbitrary caller.)
+        let mut incumbent: Option<Solution> = seed
+            .filter(|s| problem.is_feasible(&s.values, self.tolerance))
+            .map(|s| Solution {
+                values: s.values.clone(),
+                objective: problem.objective_value(&s.values),
+            });
+        stats.seeded = incumbent.is_some();
 
         let mut stack: Vec<Node> = vec![Node {
             fixings: Vec::new(),
@@ -136,6 +280,11 @@ impl BranchBound {
             if node.parent_state.is_some() {
                 retained_entries -= 1;
             }
+            if let Some(cap) = chain_cap {
+                if stats.nodes_explored >= cap {
+                    return Ok(InnerOutcome::ChainAborted(stats));
+                }
+            }
             if stats.nodes_explored >= self.max_nodes {
                 stats.budget_exhausted = true;
                 break;
@@ -147,28 +296,45 @@ impl BranchBound {
             } else {
                 None
             };
-            let result = match warm_state {
-                Some(state) => {
-                    // Only the final fixing is new relative to the parent's
-                    // state; everything earlier is already baked in.  The
-                    // sibling explored first still shares the Rc (clone);
-                    // the second child is the last user and takes the state
-                    // without copying the tableau.
-                    let last = *node.fixings.last().expect("warm node has a fixing");
-                    let state = Rc::try_unwrap(state).unwrap_or_else(|rc| (*rc).clone());
-                    stats.warm_solves += 1;
-                    let r = self.lp.resolve_owned(problem, state, &[last]);
-                    stats.warm_pivots += r.pivots;
-                    r
-                }
-                None => {
-                    stats.cold_solves += 1;
-                    let r = self.lp.solve_tracked(problem, &node.fixings);
-                    stats.cold_pivots += r.pivots;
-                    r
+            let result = if node.fixings.is_empty() && chained {
+                // The chained root: same rows and columns as the previous
+                // sweep point, only right-hand sides moved — re-enter with
+                // the dual simplex from the previous root basis.
+                let warm_root = warm_root.expect("chained implies a warm root");
+                stats.warm_solves += 1;
+                let r = self.lp.resolve_with_rhs(problem, warm_root);
+                stats.warm_pivots += r.pivots;
+                r
+            } else {
+                match warm_state {
+                    Some(state) => {
+                        // Only the final fixing is new relative to the
+                        // parent's state; everything earlier is already baked
+                        // in.  The sibling explored first still shares the Rc
+                        // (clone); the second child is the last user and
+                        // takes the state without copying the tableau.
+                        let last = *node.fixings.last().expect("warm node has a fixing");
+                        let state = Rc::try_unwrap(state).unwrap_or_else(|rc| (*rc).clone());
+                        stats.warm_solves += 1;
+                        let r = self.lp.resolve_owned(problem, state, &[last]);
+                        stats.warm_pivots += r.pivots;
+                        r
+                    }
+                    None => {
+                        stats.cold_solves += 1;
+                        let r = self.lp.solve_tracked(problem, &node.fixings);
+                        stats.cold_pivots += r.pivots;
+                        r
+                    }
                 }
             };
             stats.lp_pivots += result.pivots;
+            if node.fixings.is_empty() {
+                stats.root_pivots = result.pivots;
+                if capture_root {
+                    root_state = result.state.clone();
+                }
+            }
 
             let relaxed = match result.outcome {
                 SimplexOutcome::Optimal(s) => s,
@@ -278,7 +444,12 @@ impl BranchBound {
         }
 
         match incumbent {
-            Some(sol) => Ok((sol, stats)),
+            Some(solution) => Ok(InnerOutcome::Done(Box::new(ChainedSolve {
+                solution,
+                stats,
+                root_state,
+                chained,
+            }))),
             None if stats.budget_exhausted || stats.lp_iteration_limited > 0 => {
                 let mut reasons = Vec::new();
                 if stats.budget_exhausted {
@@ -515,6 +686,104 @@ mod tests {
             xs.iter().copied().zip(values.iter().copied()),
         ));
         p
+    }
+
+    #[test]
+    fn chained_sweep_matches_cold_per_budget_solves() {
+        // Sweep the knapsack capacity row: each chained solve must match a
+        // cold solve of the same mutated problem exactly, and the chained
+        // roots must be warm (no cold re-solve of the root relaxation).
+        let mut p = branching_instance();
+        let solver = BranchBound::new();
+        let mut root = None;
+        let mut seed = None;
+        for capacity in [17.0, 12.0, 9.0, 6.0, 3.0, 0.0, 14.0] {
+            p.set_rhs(0, capacity).unwrap();
+            let run = solver
+                .solve_chained(&p, root.as_ref(), seed.as_ref())
+                .expect("chained solve");
+            let (cold, _) = solver.solve_with_stats(&p).expect("cold solve");
+            assert_close(run.solution.objective, cold.objective);
+            assert!(p.is_feasible(&run.solution.values, 1e-6));
+            assert_eq!(run.chained, root.is_some());
+            if run.chained {
+                assert!(
+                    run.stats.warm_solves >= 1,
+                    "a chained root must count as a warm solve"
+                );
+            }
+            assert!(run.root_state.is_some(), "feasible solves keep the root");
+            root = run.root_state;
+            seed = Some(run.solution);
+        }
+    }
+
+    #[test]
+    fn relaxing_sweeps_keep_seeds_feasible_and_reenter_roots_cheaply() {
+        // Sweeping the capacity *up* keeps the previous optimum feasible, so
+        // every chained point starts seeded; a point whose right-hand side
+        // did not move at all re-enters its root with zero pivots (the dual
+        // simplex has nothing to repair).  The seed bounds the search — it
+        // cannot collapse trees whose LP bound sits above the integer
+        // optimum, but the answer must stay exactly the cold one.
+        let mut p = branching_instance();
+        let solver = BranchBound::new();
+        let mut root = None;
+        let mut seed: Option<Solution> = None;
+        let mut prev_objective = f64::NEG_INFINITY;
+        let mut prev_capacity = f64::NAN;
+        for capacity in [3.0, 6.0, 9.0, 9.0, 12.0, 17.0, 40.0, 40.0] {
+            p.set_rhs(0, capacity).unwrap();
+            let run = solver
+                .solve_chained(&p, root.as_ref(), seed.as_ref())
+                .expect("chained solve");
+            let (cold, _) = solver.solve_with_stats(&p).expect("cold solve");
+            assert_close(run.solution.objective, cold.objective);
+            assert_eq!(
+                run.stats.seeded,
+                seed.is_some(),
+                "relaxed seeds stay feasible"
+            );
+            assert!(
+                run.solution.objective >= prev_objective - 1e-9,
+                "relaxing a budget never hurts"
+            );
+            if capacity == prev_capacity {
+                assert_eq!(
+                    run.stats.root_pivots, 0,
+                    "an unmoved right-hand side needs no root repair"
+                );
+            }
+            prev_objective = run.solution.objective;
+            prev_capacity = capacity;
+            root = run.root_state;
+            seed = Some(run.solution);
+        }
+    }
+
+    #[test]
+    fn chained_root_state_survives_infeasible_points() {
+        // An infeasible sweep point returns an error; the caller keeps the
+        // previous root and the chain continues unharmed.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Le, 2.0);
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Ge, 1.0);
+        p.set_objective(LinearExpr::from_terms([(x, 3.0), (y, 2.0)]));
+        let solver = BranchBound::new();
+        let first = solver.solve_chained(&p, None, None).expect("feasible");
+        let root = first.root_state.expect("root state");
+        p.set_rhs(0, 0.0).unwrap();
+        assert_eq!(
+            solver.solve_chained(&p, Some(&root), None).err(),
+            Some(SolveError::Infeasible)
+        );
+        p.set_rhs(0, 1.0).unwrap();
+        let resumed = solver
+            .solve_chained(&p, Some(&root), None)
+            .expect("feasible");
+        assert_close(resumed.solution.objective, 3.0);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod problem;
 pub mod simplex;
 
 pub use basis::{Basis, LpState};
-pub use branch_bound::{BranchBound, BranchBoundStats};
+pub use branch_bound::{BranchBound, BranchBoundStats, ChainedSolve};
 pub use exhaustive::ExhaustiveSolver;
 pub use expr::{LinearExpr, Var};
 pub use greedy::GreedySolver;

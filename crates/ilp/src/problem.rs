@@ -194,6 +194,50 @@ impl Problem {
         self.objective = objective;
     }
 
+    /// Overwrite the right-hand side of constraint `index` in place, leaving
+    /// its expression and operator untouched.
+    ///
+    /// This is the mutation the frontier sweeps are built on: a budget
+    /// constraint like `Σ S_b·r_b ≤ R_spare` keeps its row and coefficients
+    /// across sweep points, only the bound moves.  A solved
+    /// [`LpState`](crate::basis::LpState) taken *before* the mutation can be re-solved
+    /// against the new right-hand side with
+    /// [`SimplexSolver::resolve_with_rhs`](crate::SimplexSolver::resolve_with_rhs)
+    /// — an RHS change never disturbs the reduced costs, so the dual simplex
+    /// repairs the old optimal basis in a handful of pivots.
+    ///
+    /// Note that [`Problem::add_constraint`] folds the expression's constant
+    /// part into the stored right-hand side; `set_rhs` sets the *stored*
+    /// value directly, so callers that built the row from an expression with
+    /// a constant part must fold it themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::InvalidModel`] when `index` is out of range or
+    /// `rhs` is not finite.
+    pub fn set_rhs(&mut self, index: usize, rhs: f64) -> Result<(), SolveError> {
+        if !rhs.is_finite() {
+            return Err(SolveError::InvalidModel(format!(
+                "constraint {index} right-hand side set to non-finite {rhs}"
+            )));
+        }
+        match self.constraints.get_mut(index) {
+            Some(c) => {
+                c.rhs = rhs;
+                Ok(())
+            }
+            None => Err(SolveError::InvalidModel(format!(
+                "set_rhs on constraint {index} but only {} constraints exist",
+                self.constraints.len()
+            ))),
+        }
+    }
+
+    /// The right-hand side of constraint `index` (`None` when out of range).
+    pub fn rhs(&self, index: usize) -> Option<f64> {
+        self.constraints.get(index).map(|c| c.rhs)
+    }
+
     /// The objective expression.
     pub fn objective(&self) -> &LinearExpr {
         &self.objective

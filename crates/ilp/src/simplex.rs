@@ -246,6 +246,74 @@ impl SimplexSolver {
             }
         }
 
+        self.repair_and_extract(problem, st)
+    }
+
+    /// Re-solve from a previously solved state of the **same problem
+    /// structure** after its constraint right-hand sides were mutated in
+    /// place (see [`crate::Problem::set_rhs`]).  The deltas are computed
+    /// against the right-hand sides recorded in the state, so the caller
+    /// only mutates the problem and hands back the old state.
+    ///
+    /// An RHS change moves the basic variables by `B⁻¹·Δb` (read off the
+    /// slack columns of the tableau) and leaves the reduced costs untouched,
+    /// so — exactly as for bound tightenings — the parent basis stays dual
+    /// feasible and the **dual simplex** repairs primal feasibility in a few
+    /// pivots instead of a cold two-phase solve.  This is the re-entry path
+    /// the frontier sweeps chain: adjacent sweep points differ only in the
+    /// budget rows' right-hand sides.
+    pub fn resolve_with_rhs(&self, problem: &Problem, parent: &LpState) -> LpResult {
+        self.resolve_rhs_owned(problem, parent.clone())
+    }
+
+    /// Like [`SimplexSolver::resolve_with_rhs`], but consumes the state,
+    /// sparing the tableau copy when the caller is its last user.
+    pub fn resolve_rhs_owned(&self, problem: &Problem, mut st: LpState) -> LpResult {
+        if problem.num_vars() != st.n || problem.num_constraints() != st.num_rows() {
+            return LpResult::plain(
+                SimplexOutcome::InvalidModel(format!(
+                    "resolve_with_rhs: problem has {} vars × {} constraints but the \
+                     state was solved for {} × {} — only right-hand sides may change \
+                     between chained solves",
+                    problem.num_vars(),
+                    problem.num_constraints(),
+                    st.n,
+                    st.num_rows()
+                )),
+                0,
+            );
+        }
+        for (row, c) in problem.constraints().iter().enumerate() {
+            let delta = c.rhs - st.rhs[row];
+            if !delta.is_finite() {
+                return LpResult::plain(
+                    SimplexOutcome::InvalidModel(format!(
+                        "constraint {row} right-hand side {} is not finite",
+                        c.rhs
+                    )),
+                    0,
+                );
+            }
+            if delta == 0.0 {
+                continue;
+            }
+            // In the initial tableau the unit column of row `row` is its
+            // slack column (up to the build-time row sign, which cancels
+            // against the same sign on the right-hand side), so the current
+            // slack column *is* `B⁻¹·e_row` and the basic values shift by
+            // `delta` times it.
+            let slack = st.n + row;
+            for (xb, a_row) in st.xb.iter_mut().zip(&st.a) {
+                *xb += delta * a_row[slack];
+            }
+            st.rhs[row] = c.rhs;
+        }
+        self.repair_and_extract(problem, st)
+    }
+
+    /// Shared warm-restart tail: dual simplex to repair primal feasibility,
+    /// primal cleanup, then extraction.
+    fn repair_and_extract(&self, problem: &Problem, mut st: LpState) -> LpResult {
         let mut iterations = 0usize;
         let mut pivots = 0usize;
         match self.dual_phase(&mut st, &mut iterations, &mut pivots) {
@@ -391,6 +459,7 @@ impl SimplexSolver {
             lo,
             up,
             d,
+            rhs: problem.constraints().iter().map(|c| c.rhs).collect(),
             n,
             artificial_start,
             cols,
@@ -1149,6 +1218,75 @@ mod tests {
         assert_close(s1.value(y), 1.0);
         let step2 = solver.resolve_with_fixings(&p, step1.state.as_ref().unwrap(), &[(y, 0.0)]);
         assert_eq!(step2.outcome, SimplexOutcome::Infeasible);
+    }
+
+    #[test]
+    fn rhs_resolve_matches_cold_solves_along_a_chain() {
+        // A knapsack-style LP: sweep the capacity row's right-hand side up
+        // and down through a chain of warm restarts; every link must agree
+        // with a cold solve of the mutated problem.
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<Var> = (0..6).map(|i| p.add_binary(format!("x{i}"))).collect();
+        let weights = [3.0, 5.0, 2.0, 7.0, 4.0, 1.0];
+        let values = [4.0, 6.0, 3.0, 8.0, 5.0, 1.5];
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().copied().zip(weights.iter().copied())),
+            Cmp::Le,
+            11.0,
+        );
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().map(|v| (*v, 1.0))),
+            Cmp::Ge,
+            1.0,
+        );
+        p.set_objective(LinearExpr::from_terms(
+            xs.iter().copied().zip(values.iter().copied()),
+        ));
+        let solver = SimplexSolver::new();
+        let mut state = solver.solve_tracked(&p, &[]).state.expect("root optimal");
+        for capacity in [4.0, 22.0, 1.0, 9.5, 2.0] {
+            p.set_rhs(0, capacity).unwrap();
+            let warm = solver.resolve_with_rhs(&p, &state);
+            let cold = solver.solve_tracked(&p, &[]);
+            let w = warm.outcome.solution().expect("warm optimal");
+            let c = cold.outcome.solution().expect("cold optimal");
+            assert_close(w.objective, c.objective);
+            state = warm.state.expect("warm state");
+            assert_eq!(state.solved_rhs()[0], capacity);
+        }
+    }
+
+    #[test]
+    fn rhs_resolve_detects_infeasibility() {
+        // x + y ≤ c with x + y ≥ 1: dropping c below 1 has no feasible point.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Le, 2.0);
+        p.add_constraint(LinearExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Ge, 1.0);
+        p.set_objective(LinearExpr::from_terms([(x, 1.0), (y, 2.0)]));
+        let solver = SimplexSolver::new();
+        let state = solver.solve_tracked(&p, &[]).state.expect("optimal");
+        p.set_rhs(0, 0.5).unwrap();
+        let warm = solver.resolve_with_rhs(&p, &state);
+        assert_eq!(warm.outcome, SimplexOutcome::Infeasible);
+    }
+
+    #[test]
+    fn rhs_resolve_rejects_structural_changes() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_binary("x");
+        p.add_constraint(LinearExpr::var(x), Cmp::Le, 1.0);
+        p.set_objective(LinearExpr::var(x));
+        let solver = SimplexSolver::new();
+        let state = solver.solve_tracked(&p, &[]).state.expect("optimal");
+        // Adding a row (or a variable) invalidates the chained state.
+        let y = p.add_binary("y");
+        p.add_constraint(LinearExpr::var(y), Cmp::Le, 1.0);
+        assert!(matches!(
+            solver.resolve_with_rhs(&p, &state).outcome,
+            SimplexOutcome::InvalidModel(_)
+        ));
     }
 
     #[test]

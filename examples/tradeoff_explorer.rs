@@ -1,11 +1,15 @@
 //! Explore the energy/time/RAM trade-off space the solver navigates
 //! (the Figure 6 experiment, interactively parameterized).
 //!
-//! The example compiles one benchmark, extracts the cost-model parameters,
-//! and then shows how the solver's choice changes as the two developer knobs
-//! move: the RAM budget `R_spare` (Eq. 7) and the allowed slow-down
-//! `X_limit` (Eq. 9).  It also enumerates every placement of the hottest
-//! blocks so the solver's picks can be seen against the whole space.
+//! The example compiles one benchmark, opens a [`PlacementSession`] — the
+//! frontier sweep engine: parameters extracted and the placement ILP built
+//! **once**, every subsequent point re-solved in place with moved budget
+//! right-hand sides and a warm-started root — and then shows how the
+//! solver's choice changes as the two developer knobs move: the RAM budget
+//! `R_spare` (Eq. 7) and the allowed slow-down `X_limit` (Eq. 9).  It also
+//! enumerates the exact Pareto staircase (every distinct optimal placement
+//! between a zero budget and the board's spare RAM) and the brute-force
+//! space of the hottest blocks for comparison.
 //!
 //! Run with (benchmark name optional, default `int_matmult`):
 //!
@@ -14,11 +18,7 @@
 //! ```
 
 use flashram_beebs::Benchmark;
-use flashram_core::{
-    evaluate_placement, extract_params, FrequencySource, ModelConfig, OptimizerConfig,
-    PlacementModel, RamOptimizer,
-};
-use flashram_ilp::BranchBound;
+use flashram_core::{evaluate_placement, OptimizerConfig, PlacementSession, RamOptimizer};
 use flashram_ir::BlockRef;
 use flashram_mcu::Board;
 use flashram_minicc::{CompileError, OptLevel};
@@ -37,14 +37,25 @@ fn main() -> Result<(), CompileError> {
 
     let board = Board::stm32vldiscovery();
     let program = bench.compile(OptLevel::O2)?;
-    let params = extract_params(&program, &FrequencySource::default());
-    let spare = board.spare_ram(&program).expect("program fits the part");
     let (e_flash, e_ram) = board.power.model_coefficients();
+
+    // One session serves every sweep below: the model is built here, once.
+    let mut session = PlacementSession::new(
+        &program,
+        &board,
+        &OptimizerConfig {
+            x_limit: 10.0,
+            ..OptimizerConfig::default()
+        },
+    )
+    .expect("program fits the part");
+    let spare = session.spare_ram();
+    let base = session.baseline();
 
     println!("trade-off explorer: {name} at O2");
     println!(
         "  {} candidate blocks, {} bytes of spare RAM, E_flash = {e_flash:.2} mW, E_ram = {e_ram:.2} mW",
-        params.blocks.len(),
+        session.params().blocks.len(),
         spare
     );
     println!();
@@ -52,38 +63,20 @@ fn main() -> Result<(), CompileError> {
     // --- Sweep the RAM budget with a relaxed time bound -------------------
     println!("  sweep 1: relaxing the RAM budget (X_limit = 10)");
     println!(
-        "  {:>10} {:>9} {:>14} {:>12} {:>12}",
-        "R_spare", "blocks", "energy (model)", "time ratio", "RAM bytes"
-    );
-    let base = evaluate_placement(
-        &params,
-        &[],
-        &ModelConfig {
-            x_limit: 10.0,
-            r_spare: spare,
-            e_flash,
-            e_ram,
-        },
+        "  {:>10} {:>9} {:>14} {:>12} {:>12} {:>6}",
+        "R_spare", "blocks", "energy (model)", "time ratio", "RAM bytes", "root"
     );
     for budget in [0u32, 32, 64, 128, 256, 512, 1024, 2048, spare] {
         let budget = budget.min(spare);
-        let config = ModelConfig {
-            x_limit: 10.0,
-            r_spare: budget,
-            e_flash,
-            e_ram,
-        };
-        let model = PlacementModel::build(&params, &config);
-        let solution = BranchBound::new().solve(&model.problem).expect("solvable");
-        let selected = model.selected_blocks(&solution);
-        let est = evaluate_placement(&params, &selected, &config);
+        let point = session.solve_point(budget, 10.0).expect("solvable");
         println!(
-            "  {:>10} {:>9} {:>14.4e} {:>12.3} {:>12}",
+            "  {:>10} {:>9} {:>14.4e} {:>12.3} {:>12} {:>6}",
             budget,
-            selected.len(),
-            est.energy,
-            est.cycles / base.cycles,
-            est.ram_bytes
+            point.selected.len(),
+            point.predicted.energy,
+            point.predicted.cycles / base.cycles,
+            point.predicted.ram_bytes,
+            if point.chained { "warm" } else { "cold" }
         );
     }
     println!();
@@ -91,32 +84,57 @@ fn main() -> Result<(), CompileError> {
     // --- Sweep the time bound with the full RAM budget --------------------
     println!("  sweep 2: relaxing the execution-time bound (full RAM budget)");
     println!(
-        "  {:>10} {:>9} {:>14} {:>12} {:>12}",
-        "X_limit", "blocks", "energy (model)", "time ratio", "RAM bytes"
+        "  {:>10} {:>9} {:>14} {:>12} {:>12} {:>6}",
+        "X_limit", "blocks", "energy (model)", "time ratio", "RAM bytes", "root"
     );
     for x_limit in [1.0, 1.02, 1.05, 1.1, 1.2, 1.4, 1.8, 2.5] {
-        let config = ModelConfig {
-            x_limit,
-            r_spare: spare,
-            e_flash,
-            e_ram,
-        };
-        let model = PlacementModel::build(&params, &config);
-        let solution = BranchBound::new().solve(&model.problem).expect("solvable");
-        let selected = model.selected_blocks(&solution);
-        let est = evaluate_placement(&params, &selected, &config);
+        let point = session.solve_point(spare, x_limit).expect("solvable");
         println!(
-            "  {:>10.2} {:>9} {:>14.4e} {:>12.3} {:>12}",
+            "  {:>10.2} {:>9} {:>14.4e} {:>12.3} {:>12} {:>6}",
             x_limit,
-            selected.len(),
-            est.energy,
-            est.cycles / base.cycles,
-            est.ram_bytes
+            point.selected.len(),
+            point.predicted.energy,
+            point.predicted.cycles / base.cycles,
+            point.predicted.ram_bytes,
+            if point.chained { "warm" } else { "cold" }
         );
     }
     println!();
 
+    // --- The exact Pareto staircase ---------------------------------------
+    let frontier = session.enumerate_frontier(10.0, spare).expect("solvable");
+    println!(
+        "  exact Pareto staircase: {} distinct optimal placements between 0 and {} bytes{}",
+        frontier.points.len(),
+        spare,
+        if frontier.exact {
+            ""
+        } else {
+            " (not proven optimal)"
+        }
+    );
+    println!(
+        "  {:>10} {:>9} {:>14} {:>12}",
+        "min RAM", "blocks", "energy (model)", "time ratio"
+    );
+    for point in &frontier.points {
+        println!(
+            "  {:>10} {:>9} {:>14.4e} {:>12.3}",
+            point.model_ram_used,
+            point.selected.len(),
+            point.predicted.energy,
+            point.predicted.cycles / base.cycles,
+        );
+    }
+    let stats = session.stats();
+    println!(
+        "  solver effort: {} points, {} chained roots, {} LP pivots ({} in roots)",
+        stats.points_solved, stats.chained_roots, stats.lp_pivots, stats.root_pivots
+    );
+    println!();
+
     // --- The space itself: every placement of the hottest blocks ----------
+    let params = session.params();
     let mut ranked: Vec<(BlockRef, u64)> = params
         .blocks
         .iter()
@@ -124,22 +142,17 @@ fn main() -> Result<(), CompileError> {
         .collect();
     ranked.sort_by_key(|(_, w)| std::cmp::Reverse(*w));
     let hot: Vec<BlockRef> = ranked.iter().take(8).map(|(r, _)| *r).collect();
-    let config = ModelConfig {
-        x_limit: 10.0,
-        r_spare: spare,
-        e_flash,
-        e_ram,
-    };
-    let mut best = (f64::INFINITY, 0u32);
-    let mut worst = (0.0f64, 0u32);
-    for mask in 0u32..(1 << hot.len()) {
+    let config = session.model().config.clone();
+    let mut best = (f64::INFINITY, 0u64);
+    let mut worst = (0.0f64, 0u64);
+    for mask in 0u64..(1 << hot.len()) {
         let subset: Vec<BlockRef> = hot
             .iter()
             .enumerate()
             .filter(|(i, _)| mask & (1 << i) != 0)
             .map(|(_, r)| *r)
             .collect();
-        let est = evaluate_placement(&params, &subset, &config);
+        let est = evaluate_placement(params, &subset, &config);
         if est.energy < best.0 {
             best = (est.energy, mask);
         }
@@ -149,7 +162,7 @@ fn main() -> Result<(), CompileError> {
     }
     println!(
         "  exhaustive space over the 8 hottest blocks: {} placements, model energy {:.4e} (best) .. {:.4e} (worst)",
-        1 << hot.len(),
+        1u64 << hot.len(),
         best.0,
         worst.0
     );
