@@ -1,25 +1,11 @@
 //! Regenerates Figure 1: average power per instruction type when executing
-//! from flash and from RAM.
+//! from flash and from RAM.  The report text lives in
+//! [`flashram_bench::figure1_text`], shared with the figure golden test.
 
-use flashram_bench::figure1_series;
+use flashram_bench::figure1_text;
 use flashram_mcu::Board;
 
 fn main() {
     let board = Board::stm32vldiscovery();
-    let series = figure1_series(&board);
-    println!("Figure 1 — average power per instruction type (mW)");
-    println!("{:<14} {:>10} {:>10}", "instruction", "flash", "ram");
-    for row in &series {
-        println!(
-            "{:<14} {:>10.2} {:>10.2}",
-            row.label, row.flash_mw, row.ram_mw
-        );
-    }
-    let avg_gap: f64 = series
-        .iter()
-        .filter(|r| r.label != "flash load")
-        .map(|r| r.flash_mw - r.ram_mw)
-        .sum::<f64>()
-        / (series.len() - 1) as f64;
-    println!("\naverage flash-RAM power gap (excluding flash-load): {avg_gap:.2} mW");
+    print!("{}", figure1_text(&board));
 }

@@ -1,43 +1,22 @@
 //! Regenerates Figure 9 and the Section 7 numbers: the periodic-sensing
 //! case study, where the device wakes every `T` seconds to run a benchmark
-//! and sleeps in between.
+//! and sleeps in between.  The report text lives in
+//! [`flashram_bench::figure9_text`], shared with the figure golden test.
 
-use flashram_bench::case_study_series;
+use flashram_bench::figure9_text;
 use flashram_mcu::Board;
 use flashram_minicc::OptLevel;
 
 fn main() {
     let board = Board::stm32vldiscovery();
     let multiples = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0];
-    let series = case_study_series(
-        &board,
-        &["fdct", "int_matmult", "2dfir"],
-        OptLevel::O2,
-        &multiples,
+    print!(
+        "{}",
+        figure9_text(
+            &board,
+            &["fdct", "int_matmult", "2dfir"],
+            OptLevel::O2,
+            &multiples,
+        )
     );
-
-    println!("Section 7 / Figure 9 — periodic sensing case study (P_sleep = 3.5 mW)");
-    for s in &series {
-        let m = &s.measurement;
-        println!("\n{}:", s.benchmark);
-        println!(
-            "  E0 = {:.4} mJ, T_A = {:.4} s, k_e = {:.3}, k_t = {:.3}",
-            m.base_energy_mj,
-            m.base_time_s,
-            m.k_e(),
-            m.k_t()
-        );
-        println!(
-            "  battery-life extension at the shortest period: {:.1}%",
-            (s.best_extension - 1.0) * 100.0
-        );
-        println!("  {:>12} {:>18}", "period T (s)", "energy after opt (%)");
-        for (t, pct) in &s.series {
-            println!("  {:>12.4} {:>18.1}", t, pct);
-        }
-    }
-
-    println!("\n(For comparison, the paper's fdct measurement was E0 = 16.9 mJ, T_A = 1.18 s,");
-    println!(" k_e = 0.825, k_t = 1.33, giving up to 25% period-energy saving and up to 32%");
-    println!(" longer battery life.)");
 }

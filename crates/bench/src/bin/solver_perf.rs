@@ -142,6 +142,15 @@ fn main() {
                 row.benchmark, row.axis, row.warm.root_pivots, row.cold.root_pivots
             ));
         }
+        // Per-kernel total-pivot regression check: on proven rows a chained
+        // sweep must never pivot more than the cold per-point baseline.
+        if row.warm.lp_pivots > row.cold.lp_pivots {
+            failures.push(format!(
+                "{} ({} sweep): chained sweep spent {} total pivots, more than \
+                 the {} of cold per-point solves",
+                row.benchmark, row.axis, row.warm.lp_pivots, row.cold.lp_pivots
+            ));
+        }
     }
     let sweep_warm: usize = sweep_rows.iter().map(|r| r.warm.lp_pivots).sum();
     let sweep_cold: usize = sweep_rows.iter().map(|r| r.cold.lp_pivots).sum();

@@ -107,6 +107,33 @@ pub fn figure1_series(board: &Board) -> Vec<InstructionPower> {
     out
 }
 
+/// The Figure 1 report exactly as the `fig1_instruction_power` binary
+/// prints it, shared with the figure-regeneration golden test.
+pub fn figure1_text(board: &Board) -> String {
+    let series = figure1_series(board);
+    let mut out = String::from("Figure 1 — average power per instruction type (mW)\n");
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10}\n",
+        "instruction", "flash", "ram"
+    ));
+    for row in &series {
+        out.push_str(&format!(
+            "{:<14} {:>10.2} {:>10.2}\n",
+            row.label, row.flash_mw, row.ram_mw
+        ));
+    }
+    let avg_gap: f64 = series
+        .iter()
+        .filter(|r| r.label != "flash load")
+        .map(|r| r.flash_mw - r.ram_mw)
+        .sum::<f64>()
+        / (series.len() - 1) as f64;
+    out.push_str(&format!(
+        "\naverage flash-RAM power gap (excluding flash-load): {avg_gap:.2} mW\n"
+    ));
+    out
+}
+
 /// Build and run a 16-instruction loop placed in the given section,
 /// returning the measured average power in milliwatts.
 fn measure_instruction_loop(board: &Board, body: &[Inst], section: Section) -> f64 {
@@ -810,6 +837,47 @@ pub fn case_study_series(
     })
 }
 
+/// The Figure 9 / Section 7 report exactly as the `fig9_case_study` binary
+/// prints it, shared with the figure-regeneration golden test.
+pub fn figure9_text(
+    board: &Board,
+    names: &[&str],
+    level: OptLevel,
+    period_multiples: &[f64],
+) -> String {
+    let series = case_study_series(board, names, level, period_multiples);
+    let mut out =
+        String::from("Section 7 / Figure 9 — periodic sensing case study (P_sleep = 3.5 mW)\n");
+    for s in &series {
+        let m = &s.measurement;
+        out.push_str(&format!("\n{}:\n", s.benchmark));
+        out.push_str(&format!(
+            "  E0 = {:.4} mJ, T_A = {:.4} s, k_e = {:.3}, k_t = {:.3}\n",
+            m.base_energy_mj,
+            m.base_time_s,
+            m.k_e(),
+            m.k_t()
+        ));
+        out.push_str(&format!(
+            "  battery-life extension at the shortest period: {:.1}%\n",
+            (s.best_extension - 1.0) * 100.0
+        ));
+        out.push_str(&format!(
+            "  {:>12} {:>18}\n",
+            "period T (s)", "energy after opt (%)"
+        ));
+        for (t, pct) in &s.series {
+            out.push_str(&format!("  {:>12.4} {:>18.1}\n", t, pct));
+        }
+    }
+    out.push_str(
+        "\n(For comparison, the paper's fdct measurement was E0 = 16.9 mJ, T_A = 1.18 s,\n",
+    );
+    out.push_str(" k_e = 0.825, k_t = 1.33, giving up to 25% period-energy saving and up to 32%\n");
+    out.push_str(" longer battery life.)\n");
+    out
+}
+
 /// The numbers of one branch-and-bound run over a placement model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverRunNumbers {
@@ -1237,7 +1305,10 @@ pub fn solver_perf_json(rows: &[SolverPerfRow], sweep: &[SweepPerfRow]) -> Strin
         out.push_str(&format!(
             concat!(
                 "    {{\"benchmark\": \"{}\", \"axis\": \"{}\", \"points\": {}, ",
-                "\"warm\": {}, \"cold\": {}, \"max_objective_delta\": {:.2e}, ",
+                "\"warm\": {}, \"cold\": {}, ",
+                "\"total_pivots_warm\": {}, \"total_pivots_cold\": {}, ",
+                "\"total_pivots_delta\": {}, ",
+                "\"max_objective_delta\": {:.2e}, ",
                 "\"proven\": {}}}{}\n"
             ),
             row.benchmark,
@@ -1245,6 +1316,9 @@ pub fn solver_perf_json(rows: &[SolverPerfRow], sweep: &[SweepPerfRow]) -> Strin
             row.points,
             numbers(&row.warm),
             numbers(&row.cold),
+            row.warm.lp_pivots,
+            row.cold.lp_pivots,
+            row.warm.lp_pivots as i64 - row.cold.lp_pivots as i64,
             row.max_objective_delta,
             row.proven,
             if i + 1 < sweep.len() { "," } else { "" },

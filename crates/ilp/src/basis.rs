@@ -118,6 +118,95 @@ impl LpState {
     pub(crate) fn is_basic(&self, col: usize) -> bool {
         self.row_of[col] != usize::MAX
     }
+
+    /// Append constraint rows to a solved state, preserving every layout
+    /// invariant the warm-start paths rely on — in particular that the slack
+    /// of row `r` is column `n + r`, which
+    /// [`resolve_with_rhs`](crate::SimplexSolver::resolve_with_rhs) reads as
+    /// `B⁻¹·e_r`.
+    ///
+    /// Each entry is `(structural coefficients, rhs, slack lower, slack
+    /// upper)`.  The new slack columns are spliced in *before* the artificial
+    /// block (so they land exactly at `n + old_rows ..`), every basis
+    /// reference into the artificial block shifts accordingly, and each new
+    /// tableau row is eliminated against the current basic columns so it is
+    /// expressed in `B⁻¹A` form like the existing rows.  The new row's slack
+    /// enters the basis at value `rhs − a·x` for the current point `x`; when
+    /// that violates the slack's bounds (the row cuts the current point off)
+    /// the state is primal infeasible but still **dual feasible** — its
+    /// reduced costs are untouched because the new slacks cost zero — so a
+    /// dual-simplex repair restores optimality.  This is what lets
+    /// branch-and-bound add cutting planes mid-search and keep warm-starting:
+    /// states snapshotted *before* a cut was added are upgraded with this
+    /// method when a node is expanded out of order.
+    pub(crate) fn append_rows(&mut self, rows: &[(Vec<f64>, f64, f64, f64)]) {
+        let k = rows.len();
+        if k == 0 {
+            return;
+        }
+        let insert = self.artificial_start;
+        let old_rows = self.num_rows();
+
+        // Splice k zero columns (the new slacks) in front of the artificials.
+        for row in &mut self.a {
+            row.splice(insert..insert, std::iter::repeat_n(0.0, k));
+        }
+        self.lo
+            .splice(insert..insert, rows.iter().map(|&(_, _, slo, _)| slo));
+        self.up
+            .splice(insert..insert, rows.iter().map(|&(_, _, _, sup)| sup));
+        self.at_upper
+            .splice(insert..insert, std::iter::repeat_n(false, k));
+        self.d.splice(insert..insert, std::iter::repeat_n(0.0, k));
+        self.row_of
+            .splice(insert..insert, std::iter::repeat_n(usize::MAX, k));
+        for b in &mut self.basis {
+            if *b >= insert {
+                *b += k;
+            }
+        }
+        self.artificial_start += k;
+        self.cols += k;
+        // Re-point the shifted artificial columns.
+        for (row, &b) in self.basis.iter().enumerate() {
+            self.row_of[b] = row;
+        }
+
+        // Build each new row in B⁻¹A form with its slack basic.
+        for (i, (coeffs, rhs, _, _)) in rows.iter().enumerate() {
+            debug_assert_eq!(coeffs.len(), self.n);
+            let slack_col = insert + i;
+            // Slack value at the current point, from the *original* row.
+            let dot: f64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| c * self.value_of(j))
+                .sum();
+            let xb_new = rhs - dot;
+
+            let mut full = vec![0.0; self.cols];
+            full[..self.n].copy_from_slice(coeffs);
+            full[slack_col] = 1.0;
+            // Eliminate against the existing basic columns: each is a unit
+            // column across the old rows, so one pass suffices.  The new
+            // rows' own slacks never appear in older rows, so new rows need
+            // no elimination against each other.
+            for r in 0..old_rows + i {
+                let b = self.basis[r];
+                let factor = full[b];
+                if factor != 0.0 {
+                    for (f, p) in full.iter_mut().zip(&self.a[r]) {
+                        *f -= factor * p;
+                    }
+                }
+            }
+            self.a.push(full);
+            self.xb.push(xb_new);
+            self.basis.push(slack_col);
+            self.row_of[slack_col] = old_rows + i;
+            self.rhs.push(*rhs);
+        }
+    }
 }
 
 #[cfg(test)]

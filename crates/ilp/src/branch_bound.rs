@@ -1,29 +1,61 @@
 //! Branch-and-bound 0-1 ILP solver over the simplex relaxation.
 //!
 //! Branching fixes one fractional binary variable to 0 and to 1 in turn; the
-//! LP relaxation of each node provides the bound used for pruning.  The
-//! search is depth-first with the "most fractional variable" branching rule,
-//! exploring the rounded value first so that good incumbents appear early.
+//! LP relaxation of each node provides the bound used for pruning.  Three
+//! search-quality mechanisms sit on top of the plain tree walk:
+//!
+//! * **Node selection** ([`NodeSelection`]): by default the open list is a
+//!   priority queue ordered by the parent's LP bound (*best-bound* search),
+//!   combined with a **plunging** dive — after branching, the child on the
+//!   rounded side is explored immediately, depth-first, so integer
+//!   incumbents appear as early as under DFS and the frontier stays small;
+//!   only the "far" children enter the queue.  Best-bound order expands the
+//!   node that could still beat the incumbent by the most, which on the
+//!   degenerate placement trees prunes far more than LIFO order does.
+//!   Nodes are re-checked against the incumbent when popped, so stale queue
+//!   entries cost nothing but their memory.
+//! * **Pseudo-cost branching**: instead of the most-fractional rule, each
+//!   binary variable keeps a running average of how much the LP bound
+//!   degraded per unit of bound movement in each direction, seeded from the
+//!   variable's |objective coefficient| so the very first branchings already
+//!   prefer high-impact blocks.  The branching score is the product of the
+//!   estimated up- and down-degradations.
+//! * **Cover cuts and presolve** ([`crate::cuts`]): the placement model's
+//!   budget rows are knapsacks, so before the tree starts a presolve pass
+//!   fixes trivially flash-/RAM-resident blocks and tightens coefficients,
+//!   and at the root (and optionally shallow nodes) violated lifted cover
+//!   inequalities are appended as rows.  Cuts and tightened rows go to a
+//!   **solve-local copy** of the problem — the caller's problem, its row
+//!   indices, and the pre-cut root state used for sweep chaining are never
+//!   disturbed — and states snapshotted before a cut existed are upgraded
+//!   via [`crate::SimplexSolver::resolve_appended_owned`] when expanded.
 //!
 //! Child relaxations are **warm-started**: a branch fixing only tightens one
 //! variable's bounds, which leaves the parent's optimal basis dual feasible,
 //! so each child is re-solved with the dual simplex from the parent's
-//! [`LpState`] instead of a cold two-phase solve.
-//! [`BranchBoundStats`] reports the pivot counts of both kinds of solve.
+//! [`LpState`] instead of a cold two-phase solve.  Best-bound order expands
+//! nodes out of creation order, but the snapshots don't care: each carries
+//! its full bound state, and row growth is healed by appending the missing
+//! rows.  [`BranchBoundStats`] reports the pivot counts of every kind of
+//! solve.
 
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap};
 use std::rc::Rc;
+use std::time::Instant;
 
 use crate::basis::LpState;
-use crate::expr::Var;
-use crate::problem::{Problem, Solution, SolveError};
+use crate::cuts::{self, PresolveResult};
+use crate::expr::{LinearExpr, Var};
+use crate::problem::{Cmp, Problem, Sense, Solution, SolveError};
 use crate::simplex::{SimplexOutcome, SimplexSolver};
 
 /// Statistics about a branch-and-bound run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BranchBoundStats {
     /// Number of nodes whose relaxation was solved.
     pub nodes_explored: usize,
-    /// Number of nodes pruned by bound.
+    /// Number of nodes pruned by bound (before or after their LP solve).
     pub nodes_pruned: usize,
     /// Whether the **node budget** was exhausted (the returned solution is
     /// then the best incumbent, not necessarily optimal).  LP iteration
@@ -34,14 +66,20 @@ pub struct BranchBoundStats {
     /// subtrees are skipped, so a nonzero count means the incumbent may be
     /// suboptimal even when the node budget was never exhausted.
     pub lp_iteration_limited: usize,
-    /// Total simplex pivots across every node's LP solve.
+    /// Total simplex pivots across every LP solve of the run (node
+    /// relaxations and cut re-solves alike).
     pub lp_pivots: usize,
     /// Pivots the **root** relaxation alone took (a cold two-phase solve,
     /// or a dual-simplex re-entry for chained sweeps — see
-    /// [`BranchBound::solve_chained`]).
+    /// [`BranchBound::solve_chained`]).  Cut-plane re-solves at the root are
+    /// *not* counted here (see [`cut_pivots`](BranchBoundStats::cut_pivots));
+    /// after a chain abort and fallback, this is the pivot count of the
+    /// final (cold) root only.
     pub root_pivots: usize,
-    /// Whether the search started from a feasible seeded incumbent (see
-    /// [`BranchBound::solve_chained`]).
+    /// Whether the search started from a feasible incumbent seeded **by the
+    /// caller** (see [`BranchBound::solve_chained`]).  An abort/fallback
+    /// retry re-seeded from the aborted attempt's own incumbent does not
+    /// set this.
     pub seeded: bool,
     /// Nodes solved cold (two-phase solve from scratch).
     pub cold_solves: usize,
@@ -51,6 +89,17 @@ pub struct BranchBoundStats {
     pub warm_solves: usize,
     /// Pivots spent in warm-started solves.
     pub warm_pivots: usize,
+    /// Pivots spent re-solving after cut rows were appended (root and
+    /// shallow-node cut loops).  `lp_pivots = warm + cold + cut` pivots.
+    pub cut_pivots: usize,
+    /// Rows appended to the solve-local problem by the cut machinery:
+    /// lifted cover cuts plus tightened knapsack copies from presolve.
+    pub cuts_added: usize,
+    /// Variables fixed by the presolve pass before the tree started.
+    pub presolve_fixed: usize,
+    /// Wall-clock time of the solve in milliseconds.  After an abort and
+    /// fallback this covers **both** attempts.
+    pub wall_ms: f64,
 }
 
 /// The outcome of one chained branch-and-bound solve (see
@@ -64,11 +113,26 @@ pub struct ChainedSolve {
     /// Search statistics of this solve.
     pub stats: BranchBoundStats,
     /// The solved root relaxation, for chaining into the next solve
-    /// (`None` only if the root LP produced no reusable state).
+    /// (`None` only if the root LP produced no reusable state).  Captured
+    /// **before** any cut rows are appended, so its dimensions always match
+    /// the caller's problem and survive into the next sweep point.
     pub root_state: Option<LpState>,
     /// Whether the root relaxation was warm-started from a previous chained
     /// state rather than solved cold.
     pub chained: bool,
+}
+
+/// How the open list orders nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSelection {
+    /// Priority queue on the parent LP bound: always expand the open node
+    /// whose bound leaves the most room to beat the incumbent.  Combined
+    /// with the plunging dive this is the default.
+    BestBound,
+    /// LIFO stack (classic DFS).  With the dive always taking the rounded
+    /// child first, this reproduces the pre-best-bound search order exactly;
+    /// kept for benchmarking and differential tests.
+    DepthFirst,
 }
 
 /// A 0-1 ILP solver.
@@ -90,9 +154,28 @@ pub struct BranchBound {
     /// are degenerate enough that alternate optimal root vertices can
     /// partition the space very differently; this caps how much an unlucky
     /// chained vertex can cost over the cold solve, while small trees —
-    /// where chaining pays — keep the full saving.  `usize::MAX` disables
-    /// the guard; plain (non-chained) solves never use it.
+    /// where chaining pays — keep the full saving.  The effective cap is
+    /// `min(chain_fallback_nodes, max_nodes)`, so node-budget exhaustion
+    /// under a chained root always gets its cold restart; `usize::MAX`
+    /// disables the guard entirely (a chained tree may then exhaust
+    /// `max_nodes` without a cold retry).  Plain (non-chained) solves never
+    /// use it.
     pub chain_fallback_nodes: usize,
+    /// Node selection strategy (default [`NodeSelection::BestBound`]).
+    pub node_selection: NodeSelection,
+    /// Separate and append lifted cover cuts from knapsack rows (default
+    /// on).
+    pub cuts: bool,
+    /// Maximum node depth at which cut separation still runs (the root is
+    /// depth 0; cuts stay global, so deeper separation only trades LP size
+    /// for bound quality).
+    pub cut_depth: usize,
+    /// Ceiling on the number of rows the cut machinery may append per solve
+    /// (cover cuts plus tightened knapsack copies).
+    pub max_cuts: usize,
+    /// Run the knapsack presolve pass (variable fixing + coefficient
+    /// tightening) before the search (default on).
+    pub presolve: bool,
 }
 
 impl Default for BranchBound {
@@ -103,36 +186,167 @@ impl Default for BranchBound {
             tolerance: 1e-6,
             warm_start: true,
             chain_fallback_nodes: 512,
+            node_selection: NodeSelection::BestBound,
+            cuts: true,
+            cut_depth: 2,
+            max_cuts: 24,
+            presolve: true,
         }
     }
 }
 
 /// What one [`BranchBound::solve_inner`] pass concluded: a finished solve,
 /// or a chained attempt abandoned at its node cap (the bounded-regret
-/// guard), carrying the effort spent so the retry can account for it.
+/// guard), carrying the effort spent *and the best incumbent found* so the
+/// retry can account for the first and be seeded by the second.
 enum InnerOutcome {
     Done(Box<ChainedSolve>),
-    ChainAborted(BranchBoundStats),
+    ChainAborted(BranchBoundStats, Option<Solution>),
+}
+
+/// The branching step that created a node, kept for pseudo-cost updates.
+#[derive(Clone, Copy)]
+struct BranchStep {
+    /// The variable branched on.
+    var: Var,
+    /// Its fractional LP value at the parent.
+    frac: f64,
+    /// Whether this child fixed the variable up to 1 (else down to 0).
+    up: bool,
 }
 
 /// One open node of the search tree.
 struct Node {
-    /// All fixings accumulated along the path from the root.
+    /// All fixings accumulated along the path from the root (the root node
+    /// itself carries the presolve fixings).
     fixings: Vec<(Var, f64)>,
     /// The solved state of the parent's relaxation, shared with the sibling.
     parent_state: Option<Rc<LpState>>,
+    /// The parent's LP objective — an optimistic bound for this subtree,
+    /// used both for best-bound ordering and for pruning stale nodes
+    /// without solving their LP.
+    bound: f64,
+    /// Depth in the tree (root = 0).
+    depth: usize,
+    /// The branching that created this node (`None` at the root).
+    branch: Option<BranchStep>,
 }
 
-/// Ceiling on the total memory the DFS frontier may hold in warm-start
+/// Heap entry for best-bound order: `key` is the bound normalized so larger
+/// is better; ties break toward the **newest** node (largest `seq`), which
+/// keeps degenerate plateaus DFS-like instead of breadth-first.
+struct OpenNode {
+    key: f64,
+    seq: u64,
+    node: Node,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key
+            .partial_cmp(&other.key)
+            .unwrap_or(Ordering::Equal)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The open list: a LIFO stack or a best-bound priority queue.
+enum OpenList {
+    Dfs(Vec<Node>),
+    Best(BinaryHeap<OpenNode>),
+}
+
+impl OpenList {
+    fn push(&mut self, node: Node, key: f64, seq: u64) {
+        match self {
+            OpenList::Dfs(stack) => stack.push(node),
+            OpenList::Best(heap) => heap.push(OpenNode { key, seq, node }),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Node> {
+        match self {
+            OpenList::Dfs(stack) => stack.pop(),
+            OpenList::Best(heap) => heap.pop().map(|e| e.node),
+        }
+    }
+}
+
+/// Per-variable pseudo-costs: running `(sum, count)` of LP-bound degradation
+/// per unit of bound movement, one pair per direction, seeded from the
+/// objective coefficients.
+struct PseudoCosts {
+    down: Vec<(f64, usize)>,
+    up: Vec<(f64, usize)>,
+}
+
+impl PseudoCosts {
+    fn seeded(problem: &Problem) -> PseudoCosts {
+        let n = problem.num_vars();
+        let mut down = vec![(0.0, 1usize); n];
+        let mut up = vec![(0.0, 1usize); n];
+        for (v, c) in problem.objective().terms() {
+            down[v.index()].0 = c.abs();
+            up[v.index()].0 = c.abs();
+        }
+        PseudoCosts { down, up }
+    }
+
+    /// Branching score of variable `j` at fractional value `val`: product of
+    /// the estimated bound degradations of the two children.
+    fn score(&self, j: usize, val: f64) -> f64 {
+        let down_avg = self.down[j].0 / self.down[j].1 as f64;
+        let up_avg = self.up[j].0 / self.up[j].1 as f64;
+        (down_avg * val).max(1e-9) * (up_avg * (1.0 - val)).max(1e-9)
+    }
+
+    /// Fold an observed degradation into the branched direction's average.
+    fn record(&mut self, step: BranchStep, degradation: f64, tol: f64) {
+        let dist = if step.up { 1.0 - step.frac } else { step.frac }.max(tol);
+        let entry = if step.up {
+            &mut self.up[step.var.index()]
+        } else {
+            &mut self.down[step.var.index()]
+        };
+        entry.0 += degradation / dist;
+        entry.1 += 1;
+    }
+}
+
+/// Ceiling on the total memory the search frontier may hold in warm-start
 /// tableau snapshots (each is shared by the two children of a node).  Nodes
 /// pushed beyond the budget carry no state and re-solve cold — correctness
 /// is unaffected, only the warm-start saving for those nodes.
 const WARM_STATE_MEMORY_BUDGET: usize = 64 << 20;
 
+/// Minimum violation for a cover cut to be worth appending.
+const COVER_VIOLATION_THRESHOLD: f64 = 1e-4;
+
+/// Ceiling on separate-and-resolve rounds per node.
+const MAX_CUT_ROUNDS: usize = 8;
+
 /// Approximate heap footprint of one [`LpState`] snapshot.
 fn state_bytes(state: &LpState) -> usize {
     let (rows, cols) = (state.num_rows(), state.num_cols());
     8 * (rows * cols + 2 * rows + 4 * cols)
+}
+
+fn is_integral(solution: &Solution, binaries: &[Var], tol: f64) -> bool {
+    binaries.iter().all(|v| {
+        let val = solution.value(*v);
+        (val - val.round()).abs() <= tol
+    })
 }
 
 impl BranchBound {
@@ -165,18 +379,20 @@ impl BranchBound {
     ) -> Result<(Solution, BranchBoundStats), SolveError> {
         match self.solve_inner(problem, None, None, false, None)? {
             InnerOutcome::Done(run) => Ok((run.solution, run.stats)),
-            InnerOutcome::ChainAborted(_) => unreachable!("an uncapped solve cannot abort"),
+            InnerOutcome::ChainAborted(..) => unreachable!("an uncapped solve cannot abort"),
         }
     }
 
     /// Solve as part of a **sweep chain**: when `warm_root` is the root
     /// state of a previous solve of the *same problem structure* (only
     /// right-hand sides may have changed in between, via
-    /// [`crate::Problem::set_rhs`]), the root relaxation is re-solved with
+    /// [`crate::Problem::set_rhs`]), the root relaxation is re-entered with
     /// the dual simplex from that state instead of a cold two-phase solve —
     /// the same warm-start saving branch-and-bound already applies per node,
-    /// applied *across* solves.  The returned [`ChainedSolve::root_state`]
-    /// feeds the next link of the chain.
+    /// applied *across* solves.  Re-entry resets any presolve fixings the
+    /// carried state was solved under and applies the current point's
+    /// fixings instead, so presolve and chaining compose.  The returned
+    /// [`ChainedSolve::root_state`] feeds the next link of the chain.
     ///
     /// `seed` is a candidate integer solution — typically the previous sweep
     /// point's optimum.  If it is feasible under the current right-hand
@@ -184,7 +400,9 @@ impl BranchBound {
     /// initial incumbent, so the search starts with a proven bound and
     /// prunes everything the budget change did not improve; when the new
     /// optimum equals the seed, the solve reduces to the root relaxation
-    /// proving optimality.  An infeasible seed is ignored.
+    /// proving optimality.  An infeasible seed is ignored.  Seeded
+    /// incumbents compose with best-bound order: the seed's objective
+    /// prunes queue entries at pop time before their LP is ever solved.
     ///
     /// With `warm_root: None` and `seed: None` (or `warm_start` disabled)
     /// this is exactly [`BranchBound::solve_with_stats`] plus the
@@ -202,38 +420,63 @@ impl BranchBound {
         seed: Option<&Solution>,
     ) -> Result<ChainedSolve, SolveError> {
         if self.warm_start && warm_root.is_some() {
-            let cap =
-                (self.chain_fallback_nodes < self.max_nodes).then_some(self.chain_fallback_nodes);
-            match self.solve_inner(problem, warm_root, seed, true, cap)? {
+            match self.solve_inner(problem, warm_root, seed, true, self.chain_cap())? {
                 InnerOutcome::Done(run) => return Ok(*run),
-                InnerOutcome::ChainAborted(aborted) => {
+                InnerOutcome::ChainAborted(aborted, aborted_incumbent) => {
                     // The chained vertex partitioned the space badly; pay
-                    // the bounded abort cost and re-solve from a cold root,
-                    // keeping the seed.  The wasted effort stays in the
-                    // stats — pivot accounting must cover the failed
-                    // attempt too.
+                    // the bounded abort cost and re-solve from a cold root.
+                    // The retry is seeded with the better of the caller's
+                    // seed and whatever incumbent the aborted attempt found.
+                    let retry_seed: Option<&Solution> = match (&aborted_incumbent, seed) {
+                        (Some(inc), Some(s)) => {
+                            Some(if problem.is_better(inc.objective, s.objective) {
+                                inc
+                            } else {
+                                s
+                            })
+                        }
+                        (Some(inc), None) => Some(inc),
+                        (None, s) => s,
+                    };
                     let InnerOutcome::Done(mut run) =
-                        self.solve_inner(problem, None, seed, true, None)?
+                        self.solve_inner(problem, None, retry_seed, true, None)?
                     else {
                         unreachable!("an uncapped solve cannot abort")
                     };
+                    // The wasted effort stays in the stats — pivot
+                    // accounting must cover the failed attempt too.  The
+                    // aborted root's pivots are already inside lp/warm
+                    // pivots; `root_pivots` stays the *final* root's count
+                    // (the retry recorded it), and `seeded` reports the
+                    // caller's seed, not the internal re-seed.
                     run.stats.nodes_explored += aborted.nodes_explored;
                     run.stats.nodes_pruned += aborted.nodes_pruned;
                     run.stats.lp_pivots += aborted.lp_pivots;
-                    run.stats.root_pivots += aborted.root_pivots;
                     run.stats.lp_iteration_limited += aborted.lp_iteration_limited;
                     run.stats.cold_solves += aborted.cold_solves;
                     run.stats.cold_pivots += aborted.cold_pivots;
                     run.stats.warm_solves += aborted.warm_solves;
                     run.stats.warm_pivots += aborted.warm_pivots;
+                    run.stats.cut_pivots += aborted.cut_pivots;
+                    run.stats.cuts_added += aborted.cuts_added;
+                    run.stats.wall_ms += aborted.wall_ms;
+                    run.stats.seeded = aborted.seeded;
                     return Ok(*run);
                 }
             }
         }
         match self.solve_inner(problem, warm_root, seed, true, None)? {
             InnerOutcome::Done(run) => Ok(*run),
-            InnerOutcome::ChainAborted(_) => unreachable!("an uncapped solve cannot abort"),
+            InnerOutcome::ChainAborted(..) => unreachable!("an uncapped solve cannot abort"),
         }
+    }
+
+    /// The effective bounded-regret cap for a chained attempt: clamped to
+    /// `max_nodes` so a chained tree can never silently eat the whole node
+    /// budget without its cold restart; `usize::MAX` disables the guard.
+    fn chain_cap(&self) -> Option<usize> {
+        (self.chain_fallback_nodes != usize::MAX)
+            .then(|| self.chain_fallback_nodes.min(self.max_nodes))
     }
 
     /// The shared search loop.  `capture_root` keeps a clone of the solved
@@ -249,10 +492,51 @@ impl BranchBound {
         capture_root: bool,
         chain_cap: Option<usize>,
     ) -> Result<InnerOutcome, SolveError> {
+        let started = Instant::now();
         problem.check()?;
         let mut stats = BranchBoundStats::default();
         let mut root_state: Option<LpState> = None;
         let chained = warm_root.is_some() && self.warm_start;
+        let binaries = problem.binary_vars();
+        let key_sign = match problem.sense() {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+
+        // Knapsack analysis: presolve fixings/tightenings and the rows cover
+        // separation will scan.  Everything derived here is valid only at
+        // the problem's *current* right-hand sides, which is fine — it lives
+        // and dies with this solve.
+        let knap = if self.presolve || self.cuts {
+            cuts::knapsack_rows(problem, self.tolerance)
+        } else {
+            Vec::new()
+        };
+        let pre = if self.presolve {
+            cuts::presolve(problem, &knap, self.tolerance)
+        } else {
+            PresolveResult::default()
+        };
+        if pre.infeasible {
+            return Err(SolveError::Infeasible);
+        }
+        stats.presolve_fixed = pre.num_fixed();
+        let sep_sources: Vec<(Vec<(Var, f64)>, f64)> = if self.cuts {
+            knap.iter()
+                .map(|r| {
+                    let rhs = problem.rhs(r.row).unwrap_or(f64::INFINITY);
+                    (r.terms.clone(), rhs)
+                })
+                .chain(pre.tightened.iter().map(|(e, b)| (e.terms().collect(), *b)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut seen_cuts: BTreeSet<(Vec<usize>, usize)> = BTreeSet::new();
+        // Cuts and tightened rows are appended to this lazily created copy;
+        // the caller's problem keeps its row layout for RHS chaining.
+        let mut work: Option<Problem> = None;
+        let mut tightened_appended = false;
 
         // A feasible seed becomes the initial incumbent: its objective is a
         // proven bound, so the search only explores what the moved
@@ -267,22 +551,48 @@ impl BranchBound {
             });
         stats.seeded = incumbent.is_some();
 
-        let mut stack: Vec<Node> = vec![Node {
-            fixings: Vec::new(),
+        let mut pc = PseudoCosts::seeded(problem);
+        let mut open = match self.node_selection {
+            NodeSelection::DepthFirst => OpenList::Dfs(Vec::new()),
+            NodeSelection::BestBound => OpenList::Best(BinaryHeap::new()),
+        };
+        let mut seq = 0u64;
+        // The dive slot: the rounded-side child explored immediately after
+        // its parent (plunging).  The root starts here.
+        let mut dive: Option<Node> = Some(Node {
+            fixings: pre.fixings.clone(),
             parent_state: None,
-        }];
+            bound: problem.worst_objective(),
+            depth: 0,
+            branch: None,
+        });
 
-        // Stack entries currently holding a warm-start state (each state is
-        // shared by the two sibling entries), used to bound retained memory.
+        // Frontier entries currently holding a warm-start state (each state
+        // is shared by the two sibling entries), to bound retained memory.
         let mut retained_entries = 0usize;
 
-        while let Some(mut node) = stack.pop() {
+        while let Some(mut node) = dive.take().or_else(|| open.pop()) {
             if node.parent_state.is_some() {
                 retained_entries -= 1;
             }
+            // Best-bound queues hold nodes long after their bound went
+            // stale; prune against the current incumbent before paying for
+            // an LP solve.  (The root is exempt: its "bound" is a sentinel.)
+            if node.depth > 0 {
+                if let Some(best) = &incumbent {
+                    let margin = self.tolerance * best.objective.abs().max(1.0);
+                    let improves = problem.is_better(node.bound, best.objective)
+                        && (node.bound - best.objective).abs() > margin;
+                    if !improves {
+                        stats.nodes_pruned += 1;
+                        continue;
+                    }
+                }
+            }
             if let Some(cap) = chain_cap {
                 if stats.nodes_explored >= cap {
-                    return Ok(InnerOutcome::ChainAborted(stats));
+                    stats.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                    return Ok(InnerOutcome::ChainAborted(stats, incumbent));
                 }
             }
             if stats.nodes_explored >= self.max_nodes {
@@ -296,54 +606,63 @@ impl BranchBound {
             } else {
                 None
             };
-            let result = if node.fixings.is_empty() && chained {
+            let result = if node.depth == 0 && chained {
                 // The chained root: same rows and columns as the previous
-                // sweep point, only right-hand sides moved — re-enter with
-                // the dual simplex from the previous root basis.
+                // sweep point, only right-hand sides (and possibly presolve
+                // fixings) moved — re-enter with the dual simplex from the
+                // previous root basis, against the *original* problem so the
+                // captured state stays chainable.
                 let warm_root = warm_root.expect("chained implies a warm root");
                 stats.warm_solves += 1;
-                let r = self.lp.resolve_with_rhs(problem, warm_root);
+                let r = self.lp.reenter(problem, warm_root, &node.fixings);
                 stats.warm_pivots += r.pivots;
                 r
             } else {
+                let cur: &Problem = work.as_ref().unwrap_or(problem);
                 match warm_state {
                     Some(state) => {
                         // Only the final fixing is new relative to the
                         // parent's state; everything earlier is already baked
                         // in.  The sibling explored first still shares the Rc
                         // (clone); the second child is the last user and
-                        // takes the state without copying the tableau.
+                        // takes the state without copying the tableau.  A
+                        // snapshot that predates newer cut rows is upgraded
+                        // by appending them before the dual repair.
                         let last = *node.fixings.last().expect("warm node has a fixing");
                         let state = Rc::try_unwrap(state).unwrap_or_else(|rc| (*rc).clone());
                         stats.warm_solves += 1;
-                        let r = self.lp.resolve_owned(problem, state, &[last]);
+                        let r = if state.num_rows() < cur.num_constraints() {
+                            self.lp.resolve_appended_owned(cur, state, &[last])
+                        } else {
+                            self.lp.resolve_owned(cur, state, &[last])
+                        };
                         stats.warm_pivots += r.pivots;
                         r
                     }
                     None => {
                         stats.cold_solves += 1;
-                        let r = self.lp.solve_tracked(problem, &node.fixings);
+                        let r = self.lp.solve_tracked(cur, &node.fixings);
                         stats.cold_pivots += r.pivots;
                         r
                     }
                 }
             };
             stats.lp_pivots += result.pivots;
-            if node.fixings.is_empty() {
+            if node.depth == 0 {
                 stats.root_pivots = result.pivots;
                 if capture_root {
                     root_state = result.state.clone();
                 }
             }
 
-            let relaxed = match result.outcome {
-                SimplexOutcome::Optimal(s) => s,
+            let (mut relaxed, mut state) = match result.outcome {
+                SimplexOutcome::Optimal(s) => (s, result.state),
                 SimplexOutcome::Infeasible => continue,
                 SimplexOutcome::Unbounded => {
                     // The relaxation being unbounded at the root means the
                     // ILP itself is unbounded (binaries alone cannot bound
                     // a continuous ray).
-                    if node.fixings.is_empty() {
+                    if node.depth == 0 {
                         return Err(SolveError::Unbounded);
                     }
                     continue;
@@ -361,6 +680,108 @@ impl BranchBound {
                 }
             };
 
+            // Pseudo-cost update: how much did this child's bound degrade
+            // per unit of the branching move?
+            if let Some(step) = node.branch {
+                let degradation = match problem.sense() {
+                    Sense::Maximize => node.bound - relaxed.objective,
+                    Sense::Minimize => relaxed.objective - node.bound,
+                }
+                .max(0.0);
+                pc.record(step, degradation, self.tolerance);
+            }
+
+            // Cutting-plane loop at shallow depths: append violated lifted
+            // cover cuts (and, once, the presolve-tightened rows) to the
+            // solve-local problem and dual-repair the node state over the
+            // new rows.  Cuts are globally valid at these budgets, so they
+            // strengthen every later node too.
+            if node.depth <= self.cut_depth
+                && (self.cuts || (self.presolve && node.depth == 0))
+                && state.is_some()
+            {
+                let mut subtree_done = false;
+                for _ in 0..MAX_CUT_ROUNDS {
+                    if is_integral(&relaxed, &binaries, self.tolerance) {
+                        break;
+                    }
+                    let append_tightened = node.depth == 0
+                        && self.presolve
+                        && !tightened_appended
+                        && !pre.tightened.is_empty();
+                    let mut fresh: Vec<(Vec<Var>, f64)> = Vec::new();
+                    if self.cuts && stats.cuts_added < self.max_cuts {
+                        let budget = self.max_cuts - stats.cuts_added;
+                        for (terms, rhs) in &sep_sources {
+                            if fresh.len() >= budget {
+                                break;
+                            }
+                            if let Some((vars, cut_rhs)) = cuts::separate_cover(
+                                terms,
+                                *rhs,
+                                &relaxed.values,
+                                COVER_VIOLATION_THRESHOLD,
+                            ) {
+                                let key = (
+                                    vars.iter().map(|v| v.index()).collect::<Vec<_>>(),
+                                    cut_rhs as usize,
+                                );
+                                if seen_cuts.insert(key) {
+                                    fresh.push((vars, cut_rhs));
+                                }
+                            }
+                        }
+                    }
+                    if !append_tightened && fresh.is_empty() {
+                        break;
+                    }
+                    let w = work.get_or_insert_with(|| problem.clone());
+                    if append_tightened {
+                        for (expr, rhs) in &pre.tightened {
+                            w.add_constraint(expr.clone(), Cmp::Le, *rhs);
+                            stats.cuts_added += 1;
+                        }
+                        tightened_appended = true;
+                    }
+                    for (vars, cut_rhs) in fresh {
+                        w.add_constraint(
+                            LinearExpr::from_terms(vars.iter().map(|v| (*v, 1.0))),
+                            Cmp::Le,
+                            cut_rhs,
+                        );
+                        stats.cuts_added += 1;
+                    }
+                    let st = state.take().expect("cut loop requires a state");
+                    let r = self.lp.resolve_appended_owned(w, st, &[]);
+                    stats.cut_pivots += r.pivots;
+                    stats.lp_pivots += r.pivots;
+                    match r.outcome {
+                        SimplexOutcome::Optimal(s) => {
+                            relaxed = s;
+                            state = r.state;
+                        }
+                        SimplexOutcome::Infeasible | SimplexOutcome::Unbounded => {
+                            // Cuts never exclude an integer point, so an
+                            // infeasible cut LP proves this subtree holds no
+                            // integer solution.
+                            subtree_done = true;
+                            break;
+                        }
+                        SimplexOutcome::IterationLimit => {
+                            stats.lp_iteration_limited += 1;
+                            subtree_done = true;
+                            break;
+                        }
+                        SimplexOutcome::InvalidModel(why) => {
+                            return Err(SolveError::InvalidModel(why));
+                        }
+                    }
+                }
+                if subtree_done {
+                    continue;
+                }
+            }
+
             // Bound: prune unless the relaxation strictly improves on the
             // incumbent.  Ties must be pruned too — the placement models are
             // massively degenerate, and exploring equal-bound nodes can only
@@ -375,23 +796,27 @@ impl BranchBound {
                 }
             }
 
-            // Find the most fractional binary variable.
-            let mut branch_var: Option<Var> = None;
-            let mut most_fractional = self.tolerance;
-            for v in problem.binary_vars() {
+            // Pseudo-cost branching: among the fractional binaries, pick the
+            // one whose estimated two-sided bound degradation is largest
+            // (ties fall to the lowest index, as iteration order is
+            // ascending and the comparison strict).
+            let mut choice: Option<(Var, f64, f64)> = None;
+            for &v in &binaries {
                 let val = relaxed.value(v);
-                let frac = (val - val.round()).abs();
-                if frac > most_fractional {
-                    most_fractional = frac;
-                    branch_var = Some(v);
+                if (val - val.round()).abs() <= self.tolerance {
+                    continue;
+                }
+                let score = pc.score(v.index(), val);
+                if choice.is_none_or(|(_, _, best)| score > best) {
+                    choice = Some((v, val, score));
                 }
             }
 
-            match branch_var {
+            match choice {
                 None => {
                     // Integer feasible: candidate incumbent.
                     let mut values = relaxed.values.clone();
-                    for v in problem.binary_vars() {
+                    for v in &binaries {
                         let idx = v.index();
                         values[idx] = values[idx].round();
                     }
@@ -404,19 +829,14 @@ impl BranchBound {
                         incumbent = Some(candidate);
                     }
                 }
-                Some(v) => {
-                    let val = relaxed.value(v);
+                Some((v, val, _)) => {
                     let rounded = val.round().clamp(0.0, 1.0);
                     let other = 1.0 - rounded;
                     // Hand the solved state to both children unless warm
                     // starts are disabled or the frontier already retains
                     // its memory budget's worth of snapshots — beyond that,
                     // children re-solve cold.
-                    let state = self
-                        .warm_start
-                        .then_some(result.state)
-                        .flatten()
-                        .map(Rc::new);
+                    let state = self.warm_start.then_some(state).flatten().map(Rc::new);
                     let bytes = state.as_deref().map_or(0, state_bytes);
                     let state = if state.is_some()
                         && (retained_entries + 2) * (bytes / 2) <= WARM_STATE_MEMORY_BUDGET
@@ -426,23 +846,45 @@ impl BranchBound {
                     } else {
                         None
                     };
-                    // Explore the rounded branch first (pushed last).
+                    let bound = relaxed.objective;
+                    // The far child joins the open list; the near (rounded)
+                    // child goes straight into the dive slot.
                     let mut far = node.fixings.clone();
                     far.push((v, other));
-                    stack.push(Node {
-                        fixings: far,
-                        parent_state: state.clone(),
-                    });
+                    seq += 1;
+                    open.push(
+                        Node {
+                            fixings: far,
+                            parent_state: state.clone(),
+                            bound,
+                            depth: node.depth + 1,
+                            branch: Some(BranchStep {
+                                var: v,
+                                frac: val,
+                                up: other > 0.5,
+                            }),
+                        },
+                        key_sign * bound,
+                        seq,
+                    );
                     let mut near = node.fixings;
                     near.push((v, rounded));
-                    stack.push(Node {
+                    dive = Some(Node {
                         fixings: near,
                         parent_state: state,
+                        bound,
+                        depth: node.depth + 1,
+                        branch: Some(BranchStep {
+                            var: v,
+                            frac: val,
+                            up: rounded > 0.5,
+                        }),
                     });
                 }
             }
         }
 
+        stats.wall_ms = started.elapsed().as_secs_f64() * 1e3;
         match incumbent {
             Some(solution) => Ok(InnerOutcome::Done(Box::new(ChainedSolve {
                 solution,
@@ -579,7 +1021,11 @@ mod tests {
             stats.nodes_explored,
             "every explored node is either warm or cold"
         );
-        assert_eq!(stats.lp_pivots, stats.warm_pivots + stats.cold_pivots);
+        assert_eq!(
+            stats.lp_pivots,
+            stats.warm_pivots + stats.cold_pivots + stats.cut_pivots,
+            "every pivot is a warm, cold or cut-repair pivot"
+        );
     }
 
     #[test]
@@ -807,5 +1253,129 @@ mod tests {
             warm_per_node < cold_per_node,
             "warm {warm_per_node:.2} pivots/node vs cold {cold_per_node:.2}"
         );
+    }
+
+    #[test]
+    fn best_bound_and_depth_first_agree_on_the_optimum() {
+        let p = branching_instance();
+        let best = BranchBound::new();
+        let dfs = BranchBound {
+            node_selection: NodeSelection::DepthFirst,
+            ..BranchBound::default()
+        };
+        let a = best.solve(&p).unwrap();
+        let b = dfs.solve(&p).unwrap();
+        assert_close(a.objective, b.objective);
+    }
+
+    #[test]
+    fn presolve_fixes_are_reported_and_do_not_change_the_optimum() {
+        // The 30-weight item overflows the budget alone: presolve fixes it
+        // to 0 before the tree starts.
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<Var> = (0..5).map(|i| p.add_binary(format!("x{i}"))).collect();
+        let weights = [30.0, 5.0, 4.0, 3.0, 2.0];
+        let values = [100.0, 6.0, 5.0, 4.0, 3.0];
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().copied().zip(weights.iter().copied())),
+            Cmp::Le,
+            10.0,
+        );
+        p.set_objective(LinearExpr::from_terms(
+            xs.iter().copied().zip(values.iter().copied()),
+        ));
+        let (sol, stats) = BranchBound::new().solve_with_stats(&p).unwrap();
+        let plain = BranchBound {
+            presolve: false,
+            cuts: false,
+            ..BranchBound::default()
+        };
+        let bare = plain.solve(&p).unwrap();
+        assert_close(sol.objective, bare.objective);
+        assert!(!sol.is_set(xs[0]));
+        assert!(stats.presolve_fixed >= 1, "the overflow fixing is reported");
+    }
+
+    #[test]
+    fn chain_cap_clamps_to_the_node_budget() {
+        // Regression: a fallback threshold at or above max_nodes used to
+        // disable the bounded-regret guard entirely, so a bad chained root
+        // could silently eat the whole node budget with no cold restart.
+        let clamped = BranchBound {
+            chain_fallback_nodes: 512,
+            max_nodes: 100,
+            ..BranchBound::default()
+        };
+        assert_eq!(clamped.chain_cap(), Some(100));
+        let normal = BranchBound {
+            chain_fallback_nodes: 512,
+            max_nodes: 20_000,
+            ..BranchBound::default()
+        };
+        assert_eq!(normal.chain_cap(), Some(512));
+        let disabled = BranchBound {
+            chain_fallback_nodes: usize::MAX,
+            max_nodes: 100,
+            ..BranchBound::default()
+        };
+        assert_eq!(disabled.chain_cap(), None);
+    }
+
+    #[test]
+    fn aborted_chain_fallback_reports_only_the_final_root_pivots() {
+        // Regression: the fallback used to *add* the aborted attempt's root
+        // pivots onto the retry's, so root_pivots described no real root.
+        // Cuts and presolve are off so the fractional root guarantees the
+        // tree needs a second node and the cap of 1 forces the abort.
+        let mut p = branching_instance();
+        let solver = BranchBound {
+            chain_fallback_nodes: 1,
+            cuts: false,
+            presolve: false,
+            ..BranchBound::default()
+        };
+        let first = solver.solve_chained(&p, None, None).unwrap();
+        let root = first.root_state.expect("root state");
+        p.set_rhs(0, 12.0).unwrap();
+        let chained = solver.solve_chained(&p, Some(&root), None).unwrap();
+        let plain = solver.solve_chained(&p, None, None).unwrap();
+        assert_close(chained.solution.objective, plain.solution.objective);
+        assert_eq!(
+            chained.stats.root_pivots, plain.stats.root_pivots,
+            "root_pivots must be the final (cold) root's count alone"
+        );
+        assert!(
+            chained.stats.nodes_explored > plain.stats.nodes_explored,
+            "the aborted attempt's nodes still count toward the totals"
+        );
+    }
+
+    #[test]
+    fn fallback_preserves_the_callers_seeding_and_reports_wall_time() {
+        let mut p = branching_instance();
+        p.set_rhs(0, 12.0).unwrap();
+        let solver = BranchBound {
+            chain_fallback_nodes: 3,
+            cuts: false,
+            presolve: false,
+            ..BranchBound::default()
+        };
+        let first = solver.solve_chained(&p, None, None).unwrap();
+        let root = first.root_state.clone().expect("root state");
+        let seed = first.solution.clone();
+        // Relaxing 12 → 17 keeps the seed feasible; with a cap of 3 the
+        // chained attempt may abort and retry, and the retry internally
+        // re-seeds itself from the aborted incumbent — but `seeded` must
+        // keep reporting the *caller's* seed either way.
+        p.set_rhs(0, 17.0).unwrap();
+        let seeded = solver.solve_chained(&p, Some(&root), Some(&seed)).unwrap();
+        assert!(seeded.stats.seeded, "the caller's seed survives a fallback");
+        assert!(seeded.stats.wall_ms > 0.0);
+        let unseeded = solver.solve_chained(&p, Some(&root), None).unwrap();
+        assert!(
+            !unseeded.stats.seeded,
+            "an internal re-seed must not report as caller-seeded"
+        );
+        assert!(unseeded.stats.wall_ms > 0.0);
     }
 }

@@ -40,6 +40,7 @@
 
 pub mod basis;
 pub mod branch_bound;
+pub(crate) mod cuts;
 pub mod exhaustive;
 pub mod expr;
 pub mod greedy;
@@ -47,7 +48,7 @@ pub mod problem;
 pub mod simplex;
 
 pub use basis::{Basis, LpState};
-pub use branch_bound::{BranchBound, BranchBoundStats, ChainedSolve};
+pub use branch_bound::{BranchBound, BranchBoundStats, ChainedSolve, NodeSelection};
 pub use exhaustive::ExhaustiveSolver;
 pub use expr::{LinearExpr, Var};
 pub use greedy::GreedySolver;

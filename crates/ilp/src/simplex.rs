@@ -213,29 +213,37 @@ impl SimplexSolver {
         mut st: LpState,
         fixings: &[(Var, f64)],
     ) -> LpResult {
+        if let Err(e) = self.apply_fixings(&mut st, fixings) {
+            return *e;
+        }
+        self.repair_and_extract(problem, st)
+    }
+
+    /// Tighten `(var, value)` fixings into a state's bounds, moving nonbasic
+    /// variables onto their new degenerate bound (the basic values absorb
+    /// the shift).  Shared by every warm-restart entry point.
+    fn apply_fixings(&self, st: &mut LpState, fixings: &[(Var, f64)]) -> Result<(), Box<LpResult>> {
         for (v, val) in fixings {
             let j = v.index();
             if j >= st.n {
-                return LpResult::plain(
+                return Err(Box::new(LpResult::plain(
                     SimplexOutcome::InvalidModel(format!(
                         "fixing references {v} but the state has {} variables",
                         st.n
                     )),
                     0,
-                );
+                )));
             }
             if !val.is_finite() {
-                return LpResult::plain(
+                return Err(Box::new(LpResult::plain(
                     SimplexOutcome::InvalidModel(format!("fixing of {v} to {val} is not finite")),
                     0,
-                );
+                )));
             }
             let old = st.value_of(j);
             st.lo[j] = *val;
             st.up[j] = *val;
             if !st.is_basic(j) {
-                // Move the nonbasic variable to its new (degenerate) bound;
-                // the basic values absorb the shift.
                 let delta = *val - old;
                 if delta != 0.0 {
                     for (xb, row) in st.xb.iter_mut().zip(&st.a) {
@@ -245,7 +253,156 @@ impl SimplexSolver {
                 st.at_upper[j] = false;
             }
         }
+        Ok(())
+    }
 
+    /// Re-enter a chained state whose *variable bounds* may be stale: reset
+    /// every structural column to its native bound from the problem, apply
+    /// the given fixings on top, absorb any right-hand-side deltas, and
+    /// dual-repair.
+    ///
+    /// This is the frontier-chaining entry point.  A root state carried from
+    /// one sweep point to the next may have been solved with presolve
+    /// fixings that are **no longer valid** at the new budgets (a block that
+    /// was trivially flash-resident can fit again after the budget relaxes),
+    /// so unlike [`SimplexSolver::resolve_with_rhs`] this resets the bound
+    /// state first instead of trusting it.  Nonbasic columns are moved to
+    /// the native bound nearest their current resting value, which keeps the
+    /// shift — and therefore the dual-repair work — minimal.
+    pub fn reenter(&self, problem: &Problem, parent: &LpState, fixings: &[(Var, f64)]) -> LpResult {
+        self.reenter_owned(problem, parent.clone(), fixings)
+    }
+
+    /// Like [`SimplexSolver::reenter`], but consumes the state.
+    pub fn reenter_owned(
+        &self,
+        problem: &Problem,
+        mut st: LpState,
+        fixings: &[(Var, f64)],
+    ) -> LpResult {
+        if problem.num_vars() != st.n || problem.num_constraints() != st.num_rows() {
+            return LpResult::plain(
+                SimplexOutcome::InvalidModel(format!(
+                    "reenter: problem has {} vars × {} constraints but the state \
+                     was solved for {} × {}",
+                    problem.num_vars(),
+                    problem.num_constraints(),
+                    st.n,
+                    st.num_rows()
+                )),
+                0,
+            );
+        }
+        // Reset structural bounds to their native values.
+        for (j, def) in problem.vars().iter().enumerate() {
+            let (nlo, nup) = match def.kind {
+                VarKind::Binary => (0.0, 1.0),
+                VarKind::Continuous { lower, upper } => {
+                    if !lower.is_finite() || upper.is_some_and(f64::is_nan) {
+                        return LpResult::plain(
+                            SimplexOutcome::InvalidModel(format!(
+                                "variable {} has a non-finite bound",
+                                def.name
+                            )),
+                            0,
+                        );
+                    }
+                    (lower, upper.unwrap_or(f64::INFINITY))
+                }
+            };
+            if st.lo[j] == nlo && st.up[j] == nup {
+                continue;
+            }
+            let old = st.value_of(j);
+            st.lo[j] = nlo;
+            st.up[j] = nup;
+            if !st.is_basic(j) {
+                // Rest at the native bound nearest the old value.
+                let to_upper = nup.is_finite() && (nup - old).abs() < (old - nlo).abs();
+                let target = if to_upper { nup } else { nlo };
+                let delta = target - old;
+                if delta != 0.0 {
+                    for (xb, row) in st.xb.iter_mut().zip(&st.a) {
+                        *xb -= row[j] * delta;
+                    }
+                }
+                st.at_upper[j] = to_upper;
+            }
+        }
+        if let Err(e) = self.apply_fixings(&mut st, fixings) {
+            return *e;
+        }
+        // Absorb right-hand-side deltas exactly as resolve_with_rhs does.
+        for (row, c) in problem.constraints().iter().enumerate() {
+            let delta = c.rhs - st.rhs[row];
+            if !delta.is_finite() {
+                return LpResult::plain(
+                    SimplexOutcome::InvalidModel(format!(
+                        "constraint {row} right-hand side {} is not finite",
+                        c.rhs
+                    )),
+                    0,
+                );
+            }
+            if delta != 0.0 {
+                let slack = st.n + row;
+                for (xb, a_row) in st.xb.iter_mut().zip(&st.a) {
+                    *xb += delta * a_row[slack];
+                }
+                st.rhs[row] = c.rhs;
+            }
+        }
+        self.repair_and_extract(problem, st)
+    }
+
+    /// Warm re-solve from a state that predates rows appended to the
+    /// problem: apply the fixings, upgrade the state with the missing
+    /// trailing rows (see [`LpState::append_rows`]), and dual-repair.
+    ///
+    /// This is how branch-and-bound keeps warm-starting after cutting planes
+    /// are added mid-search: a node snapshotted before a cut existed is
+    /// expanded against the cut-augmented problem by appending the new rows
+    /// — each enters with its slack basic and zero reduced cost, so dual
+    /// feasibility survives and the dual simplex re-optimizes from the
+    /// parent basis instead of a cold two-phase solve.
+    pub fn resolve_appended_owned(
+        &self,
+        problem: &Problem,
+        mut st: LpState,
+        fixings: &[(Var, f64)],
+    ) -> LpResult {
+        if problem.num_vars() != st.n || problem.num_constraints() < st.num_rows() {
+            return LpResult::plain(
+                SimplexOutcome::InvalidModel(format!(
+                    "resolve_appended: problem has {} vars × {} constraints but the \
+                     state was solved for {} × {} — rows may only be appended",
+                    problem.num_vars(),
+                    problem.num_constraints(),
+                    st.n,
+                    st.num_rows()
+                )),
+                0,
+            );
+        }
+        if let Err(e) = self.apply_fixings(&mut st, fixings) {
+            return *e;
+        }
+        let missing: Vec<(Vec<f64>, f64, f64, f64)> = problem.constraints()[st.num_rows()..]
+            .iter()
+            .map(|c| {
+                let mut coeffs = vec![0.0; st.n];
+                for (v, k) in c.expr.terms() {
+                    coeffs[v.index()] += k;
+                }
+                let (slo, sup) = match c.op {
+                    Cmp::Le => (0.0, f64::INFINITY),
+                    Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+                    Cmp::Eq => (0.0, 0.0),
+                };
+                (coeffs, c.rhs, slo, sup)
+            })
+            .collect();
+        st.append_rows(&missing);
         self.repair_and_extract(problem, st)
     }
 

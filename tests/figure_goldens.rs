@@ -22,12 +22,16 @@
 //! regenerate:
 //!
 //! ```sh
+//! cargo run --release -p flashram-bench --bin fig1_instruction_power \
+//!     > tests/goldens/fig1_instruction_power.txt
 //! cargo run --release -p flashram-bench --bin fig4_instrumentation_costs \
 //!     > tests/goldens/fig4_instrumentation_costs.txt
 //! cargo run --release -p flashram-bench --bin fig6_tradeoff_space \
 //!     > tests/goldens/fig6_tradeoff_space.txt
 //! cargo run --release -p flashram-bench --bin fig5_beebs_results \
 //!     | sed -n '/^Section 6 averages/,$p' > tests/goldens/fig5_averages.txt
+//! cargo run --release -p flashram-bench --bin fig9_case_study \
+//!     > tests/goldens/fig9_case_study.txt
 //! ```
 
 use flashram::mcu::Board;
@@ -72,5 +76,42 @@ fn fig5_averages_match_committed_golden() {
         printed, golden,
         "fig5 averages changed; see the tolerance policy in this file, \
          then regenerate tests/goldens/fig5_averages.txt"
+    );
+}
+
+/// The Figure 1 micro-benchmark table (per-instruction power from flash
+/// and RAM) against its golden.  The loops are deterministic simulator
+/// runs, so this is exact.
+#[test]
+fn fig1_instruction_power_matches_committed_golden() {
+    let golden = include_str!("goldens/fig1_instruction_power.txt");
+    let board = Board::stm32vldiscovery();
+    let printed = flashram_bench::figure1_text(&board);
+    assert_eq!(
+        printed, golden,
+        "fig1_instruction_power output changed; if intentional, \
+         regenerate tests/goldens/fig1_instruction_power.txt"
+    );
+}
+
+/// The Figure 9 / Section 7 case-study report against its golden.  The
+/// measured factors come from deterministic simulation and the placement
+/// ILP; tie-break churn in the solver cannot move them because the series
+/// reports energy ratios of the *chosen* placement, so any change here is
+/// a real model change.
+#[test]
+fn fig9_case_study_matches_committed_golden() {
+    let golden = include_str!("goldens/fig9_case_study.txt");
+    let board = Board::stm32vldiscovery();
+    let printed = flashram_bench::figure9_text(
+        &board,
+        &["fdct", "int_matmult", "2dfir"],
+        OptLevel::O2,
+        &[1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0],
+    );
+    assert_eq!(
+        printed, golden,
+        "fig9_case_study output changed; see the tolerance policy in this \
+         file, then regenerate tests/goldens/fig9_case_study.txt"
     );
 }
