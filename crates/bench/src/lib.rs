@@ -14,6 +14,7 @@
 //! | Figure 9 + Section 7 numbers | [`case_study_series`] | `fig9_case_study` |
 //! | Solver performance (warm vs cold B&B) | [`solver_perf`] | `solver_perf` → `BENCH_solver.json` |
 //! | Simulator throughput (batched vs sequential) | [`sim_perf`] | `sim_perf` → `BENCH_sim.json` |
+//! | Cross-device frontier matrix (device database) | [`device_matrix`] | `device_matrix` → `BENCH_device.json` |
 //!
 //! The sweeps run on [`BatchRunner`], the `flashram-mcu` worker pool, so a
 //! ten-kernel × five-level sweep saturates every core while returning
@@ -28,9 +29,10 @@
 use flashram_beebs::Benchmark;
 use flashram_core::{
     evaluate_placement, extract_params, measure_case_study, period_sweep, CaseStudyMeasurement,
-    FrequencySource, ModelConfig, OptimizerConfig, PlacementModel, PlacementScope,
-    PlacementSession, RamOptimizer, SweepStats,
+    DeviceMatrix, DevicePoint, FrequencySource, ModelConfig, OptimizerConfig, PlacementModel,
+    PlacementScope, PlacementSession, RamOptimizer, SweepStats,
 };
+use flashram_device::DEVICE_DB;
 use flashram_ilp::{BranchBound, BranchBoundStats, ExhaustiveSolver};
 use flashram_ir::{
     BlockId, BlockRef, FuncId, GlobalData, MachineBlock, MachineFunction, MachineProgram, Section,
@@ -1776,9 +1778,353 @@ pub fn sim_perf_json(report: &SimPerfReport) -> String {
     out
 }
 
+/// One `(kernel, device)` cell of the cross-device placement matrix: the
+/// outcome of enumerating that kernel's exact energy/RAM frontier on that
+/// device-database entry.
+#[derive(Debug, Clone)]
+pub struct DeviceMatrixRow {
+    /// BEEBS kernel name.
+    pub benchmark: &'static str,
+    /// Device-database key.
+    pub device: &'static str,
+    /// Steps on the device's exact Pareto staircase.
+    pub frontier_points: usize,
+    /// Spare RAM the kernel leaves on the device, in bytes (the budget
+    /// ceiling of the enumeration).
+    pub spare_ram: u32,
+    /// All-in-flash baseline energy in millijoules (objective scaled by the
+    /// device's cycle period, so the column is comparable across devices).
+    pub baseline_energy_mj: f64,
+    /// Energy of the device's energy-optimal staircase step (mJ).
+    pub best_energy_mj: f64,
+    /// RAM bytes the Eq. 7 budget row charges the optimal step for.
+    pub best_ram_bytes: u32,
+    /// The blocks the optimal step moves to RAM.
+    pub best_selected: Vec<BlockRef>,
+    /// The blocks selected under the shared tight probe budget
+    /// ([`TIGHT_PROBE_RAM`] bytes) — where the per-device block *ranking*
+    /// shows, because the budget forces a choice.
+    pub tight_selected: Vec<BlockRef>,
+    /// Branch-and-bound nodes spent enumerating the staircase.
+    pub nodes_explored: usize,
+    /// Simplex pivots spent enumerating the staircase.
+    pub lp_pivots: usize,
+    /// Whether every step was solved to proven optimality.
+    pub exact: bool,
+}
+
+impl DeviceMatrixRow {
+    /// Energy the optimal placement saves relative to all-in-flash, in
+    /// percent.
+    pub fn saving_pct(&self) -> f64 {
+        if self.baseline_energy_mj == 0.0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.best_energy_mj / self.baseline_energy_mj)
+    }
+}
+
+/// One kernel's cross-device outcome: a row per database device plus the
+/// merged device-dominant Pareto set.
+#[derive(Debug, Clone)]
+pub struct DeviceMatrixKernel {
+    /// BEEBS kernel name.
+    pub benchmark: &'static str,
+    /// Per-device rows, in device-database order.
+    pub rows: Vec<DeviceMatrixRow>,
+    /// The device-dominant Pareto set over `(RAM budget, energy in mJ)`:
+    /// which part to pick at each budget, merged across the database.
+    pub pareto: Vec<DevicePoint>,
+}
+
+impl DeviceMatrixKernel {
+    /// Whether the wait-state part `stm32f401` picks a different block set
+    /// than the zero-wait-state `stm32f100` — at the unconstrained optimum
+    /// or under the [`TIGHT_PROBE_RAM`] probe budget.
+    pub fn f401_diverges(&self) -> bool {
+        let row = |dev: &str| self.rows.iter().find(|r| r.device == dev);
+        match (row("stm32f100"), row("stm32f401")) {
+            (Some(a), Some(b)) => {
+                a.best_selected != b.best_selected || a.tight_selected != b.tight_selected
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The RAM budget (bytes) of the tight divergence probe: small enough that
+/// no kernel fits every profitable block, so the solver must *rank* blocks
+/// — and the ranking is where wait states and per-device energy tables
+/// change the answer.  (At the unconstrained optimum every device simply
+/// takes every profitable block, and the sets coincide.)
+pub const TIGHT_PROBE_RAM: u32 = 128;
+
+/// Enumerate the exact energy/RAM frontier of each named BEEBS kernel on
+/// every entry of the device database, fanning the per-device enumerations
+/// over a worker pool ([`DeviceMatrix::enumerate`]), plus one extra solve
+/// per device at the [`TIGHT_PROBE_RAM`] budget.  An empty `names` slice
+/// selects the whole suite.
+///
+/// The second element collects acceptance failures: kernels that fail to
+/// compile, devices the program does not fit or whose staircase was
+/// truncated, and — the property the device model exists to show — the
+/// wait-state part `stm32f401` picking the *same* block set as the
+/// zero-wait-state `stm32f100` on every kernel, at the optimum and under
+/// the tight probe (wait states make RAM moves shed fetch stalls, so
+/// constrained placements must measurably differ).
+pub fn device_matrix(
+    names: &[&str],
+    level: OptLevel,
+    x_limit: f64,
+) -> (Vec<DeviceMatrixKernel>, Vec<String>) {
+    let devices = DEVICE_DB.all();
+    let benches: Vec<Benchmark> = if names.is_empty() {
+        Benchmark::all()
+    } else {
+        names
+            .iter()
+            .map(|n| Benchmark::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+            .collect()
+    };
+    let runner = BatchRunner::new(Board::stm32vldiscovery());
+    let config = OptimizerConfig {
+        x_limit,
+        ..OptimizerConfig::default()
+    };
+    let mut kernels = Vec::new();
+    let mut failures = Vec::new();
+    for bench in &benches {
+        let program = match bench.compile_cached(level) {
+            Ok(p) => p,
+            Err(e) => {
+                failures.push(format!("{}: compile failed: {e}", bench.name));
+                continue;
+            }
+        };
+        let matrix = DeviceMatrix::enumerate(&program, devices, &config, &runner);
+        for (device, err) in &matrix.skipped {
+            failures.push(format!("{} on {device}: {err}", bench.name));
+        }
+        let mut rows = Vec::new();
+        for df in &matrix.frontiers {
+            let Some(best) = df.best() else {
+                failures.push(format!("{} on {}: empty frontier", bench.name, df.device));
+                continue;
+            };
+            if !df.frontier.exact {
+                failures.push(format!(
+                    "{} on {}: staircase truncated (not proven exact)",
+                    bench.name, df.device
+                ));
+            }
+            let desc = DEVICE_DB
+                .get(df.device)
+                .expect("frontier device is registered");
+            let tight_selected = PlacementSession::new(&program, &Board::new(desc), &config)
+                .map_err(|e| e.to_string())
+                .and_then(|mut s| {
+                    s.solve_point(TIGHT_PROBE_RAM.min(df.spare_ram), x_limit)
+                        .map(|p| p.selected)
+                        .map_err(|e| e.to_string())
+                })
+                .unwrap_or_else(|e| {
+                    failures.push(format!(
+                        "{} on {}: tight probe failed: {e}",
+                        bench.name, df.device
+                    ));
+                    Vec::new()
+                });
+            rows.push(DeviceMatrixRow {
+                benchmark: bench.name,
+                device: df.device,
+                frontier_points: df.frontier.points.len(),
+                spare_ram: df.spare_ram,
+                baseline_energy_mj: df.frontier.baseline.energy * df.cycle_time_s,
+                best_energy_mj: df.energy_mj(best),
+                best_ram_bytes: best.model_ram_used,
+                best_selected: best.selected.clone(),
+                tight_selected,
+                nodes_explored: df.stats.nodes_explored,
+                lp_pivots: df.stats.lp_pivots,
+                exact: df.frontier.exact,
+            });
+        }
+        kernels.push(DeviceMatrixKernel {
+            benchmark: bench.name,
+            rows,
+            pareto: matrix.pareto,
+        });
+    }
+    let diverging = kernels.iter().filter(|k| k.f401_diverges()).count();
+    if !kernels.is_empty() && diverging == 0 {
+        failures.push(
+            "wait-state part stm32f401 chose the same block set as zero-wait \
+             stm32f100 on every kernel, at the optimum and under the tight probe"
+                .to_string(),
+        );
+    }
+    (kernels, failures)
+}
+
+/// Render the cross-device matrix as the text table the `device_matrix`
+/// binary prints (and the `device_matrix` golden pins for a kernel subset).
+pub fn device_matrix_text(kernels: &[DeviceMatrixKernel]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<11} {:>4} {:>7} {:>12} {:>12} {:>7} {:>6} {:>6} {:>5} {:>6}\n",
+        "benchmark",
+        "device",
+        "pts",
+        "spare",
+        "base mJ",
+        "best mJ",
+        "save%",
+        "ram",
+        "blocks",
+        "tight",
+        "exact"
+    ));
+    for k in kernels {
+        for r in &k.rows {
+            out.push_str(&format!(
+                "{:<14} {:<11} {:>4} {:>7} {:>12.6} {:>12.6} {:>7.2} {:>6} {:>6} {:>5} {:>6}\n",
+                r.benchmark,
+                r.device,
+                r.frontier_points,
+                r.spare_ram,
+                r.baseline_energy_mj,
+                r.best_energy_mj,
+                r.saving_pct(),
+                r.best_ram_bytes,
+                r.best_selected.len(),
+                r.tight_selected.len(),
+                if r.exact { "yes" } else { "no" },
+            ));
+        }
+        let steps: Vec<String> = k
+            .pareto
+            .iter()
+            .map(|p| format!("{} @{}B {:.6}mJ", p.device, p.min_ram_bytes, p.energy_mj))
+            .collect();
+        out.push_str(&format!("  pareto: {}\n", steps.join(" -> ")));
+        out.push_str(&format!(
+            "  f401 vs f100 block set (opt or tight probe) differs: {}\n",
+            if k.f401_diverges() { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
+/// Render the cross-device matrix as the `BENCH_device.json` document
+/// (hand-rolled: the build environment has no serde).
+pub fn device_matrix_json(kernels: &[DeviceMatrixKernel], failures: &[String]) -> String {
+    let mut out = String::from("{\n  \"devices\": [");
+    for (i, desc) in DEVICE_DB.all().iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{}\"",
+            if i > 0 { ", " } else { "" },
+            desc.key
+        ));
+    }
+    out.push_str("],\n  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"devices\": [\n",
+            k.benchmark
+        ));
+        for (j, r) in k.rows.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "      {{\"device\": \"{}\", \"frontier_points\": {}, ",
+                    "\"spare_ram\": {}, \"baseline_energy_mj\": {:.9}, ",
+                    "\"best_energy_mj\": {:.9}, \"saving_pct\": {:.3}, ",
+                    "\"best_ram_bytes\": {}, \"best_blocks\": {}, ",
+                    "\"tight_blocks\": {}, ",
+                    "\"nodes_explored\": {}, \"lp_pivots\": {}, \"exact\": {}}}{}\n"
+                ),
+                r.device,
+                r.frontier_points,
+                r.spare_ram,
+                r.baseline_energy_mj,
+                r.best_energy_mj,
+                r.saving_pct(),
+                r.best_ram_bytes,
+                r.best_selected.len(),
+                r.tight_selected.len(),
+                r.nodes_explored,
+                r.lp_pivots,
+                r.exact,
+                if j + 1 < k.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "    ], \"f401_diverges\": {}, \"pareto\": [\n",
+            k.f401_diverges()
+        ));
+        for (j, p) in k.pareto.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"device\": \"{}\", \"min_ram_bytes\": {}, \"energy_mj\": {:.9}}}{}\n",
+                p.device,
+                p.min_ram_bytes,
+                p.energy_mj,
+                if j + 1 < k.pareto.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"failures\": [\n");
+    for (i, f) in failures.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\"{}\n",
+            f.replace('"', "'"),
+            if i + 1 < failures.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn device_matrix_covers_the_database_and_renders() {
+        let (kernels, failures) = device_matrix(&["fdct"], OptLevel::O2, 1.5);
+        assert_eq!(failures, Vec::<String>::new());
+        assert_eq!(kernels.len(), 1);
+        let k = &kernels[0];
+        assert_eq!(k.rows.len(), DEVICE_DB.all().len());
+        for r in &k.rows {
+            assert!(r.exact, "{}: staircase must be exact", r.device);
+            assert!(r.frontier_points > 0);
+            assert!(
+                r.best_energy_mj < r.baseline_energy_mj,
+                "{}: the optimal placement must save energy",
+                r.device
+            );
+            assert!(!r.tight_selected.is_empty());
+        }
+        // The merged Pareto set is non-decreasing in RAM and strictly
+        // decreasing in energy, and the wait-state part must pick a
+        // different block set than the zero-wait reference on fdct.
+        for w in k.pareto.windows(2) {
+            assert!(w[0].min_ram_bytes <= w[1].min_ram_bytes);
+            assert!(w[0].energy_mj > w[1].energy_mj);
+        }
+        assert!(k.f401_diverges(), "fdct must diverge under the tight probe");
+        let text = device_matrix_text(&kernels);
+        assert!(text.contains("stm32f401"));
+        assert!(text.contains("pareto:"));
+        let json = device_matrix_json(&kernels, &failures);
+        assert!(json.contains("\"benchmark\": \"fdct\""));
+        assert!(json.contains("\"device\": \"stm32l151\""));
+        assert!(json.contains("\"f401_diverges\": true"));
+        assert!(json.contains("\"exact\": true"));
+    }
 
     #[test]
     fn sim_perf_report_is_bit_identical_and_renders() {

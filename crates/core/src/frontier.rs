@@ -44,13 +44,14 @@
 //! actual placements over a [`BatchRunner`] worker pool and simulates each
 //! one, returning measured energies alongside the predictions.
 
+use flashram_device::DeviceDescriptor;
 use flashram_ilp::{BranchBound, BranchBoundStats, LpState, Solution, SolveError};
 use flashram_ir::{BlockRef, MachineProgram};
 use flashram_mcu::{BatchRunner, Board, RunError, RunResult};
 
 use crate::model::{evaluate_placement, ModelConfig, PlacementEstimate, PlacementModel};
 use crate::optimizer::{OptimizeError, OptimizerConfig};
-use crate::params::{extract_params_scoped, PlacementScope, ProgramParams};
+use crate::params::{extract_params_for_timing, PlacementScope, ProgramParams};
 use crate::transform::apply_placement_scoped;
 
 /// Relative tolerance under which two sweep objectives count as a tie (the
@@ -152,7 +153,8 @@ impl PlacementSession {
                 .spare_ram(program)
                 .map_err(|e| OptimizeError::DoesNotFit(e.to_string()))?,
         };
-        let params = extract_params_scoped(program, &config.frequency, config.scope);
+        let params =
+            extract_params_for_timing(program, &config.frequency, config.scope, &board.timing);
         let (e_flash, e_ram) = board.power.model_coefficients();
         let model_config = ModelConfig {
             x_limit: config.x_limit,
@@ -415,6 +417,155 @@ impl Frontier {
     }
 }
 
+/// One device's enumerated frontier within a cross-device sweep
+/// (see [`DeviceMatrix::enumerate`]).
+#[derive(Debug, Clone)]
+pub struct DeviceFrontier {
+    /// The device-database key the frontier was enumerated for.
+    pub device: &'static str,
+    /// The part's human-readable name.
+    pub name: &'static str,
+    /// Seconds per core cycle at the device's default operating point —
+    /// the factor that converts model objectives (mW·cycles) into
+    /// millijoules comparable across devices.
+    pub cycle_time_s: f64,
+    /// The spare RAM the program leaves on this device, in bytes (the
+    /// budget ceiling of the enumeration).
+    pub spare_ram: u32,
+    /// The device's exact Pareto staircase, in model units.
+    pub frontier: Frontier,
+    /// Solver effort spent enumerating this device's staircase.
+    pub stats: SweepStats,
+}
+
+impl DeviceFrontier {
+    /// Predicted energy of one staircase step in millijoules: the ILP
+    /// objective is `Σ mW·cycles`, so scaling by the cycle period yields
+    /// `mW·s = mJ` — a unit that is comparable across clock frequencies.
+    pub fn energy_mj(&self, point: &SweepPoint) -> f64 {
+        point.objective * self.cycle_time_s
+    }
+
+    /// The device's energy-optimal step (the last staircase step).
+    pub fn best(&self) -> Option<&SweepPoint> {
+        self.frontier.points.last()
+    }
+}
+
+/// One step of the device-dominant cross-device Pareto set: the device to
+/// pick at a given RAM budget, and what it costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DevicePoint {
+    /// The device-database key of the winning device.
+    pub device: &'static str,
+    /// Minimum RAM budget (bytes) at which this step becomes available.
+    pub min_ram_bytes: u32,
+    /// Predicted energy in millijoules (cross-device comparable).
+    pub energy_mj: f64,
+    /// The step's raw model objective on its own device (mW·cycles).
+    pub objective: f64,
+}
+
+/// The outcome of a cross-device frontier enumeration: every device's own
+/// staircase plus the merged device-dominant Pareto set.
+#[derive(Debug, Clone)]
+pub struct DeviceMatrix {
+    /// Per-device frontiers, in the order the devices were given.
+    pub frontiers: Vec<DeviceFrontier>,
+    /// Devices that could not be enumerated (program does not fit, solver
+    /// failure), with the reason.
+    pub skipped: Vec<(&'static str, OptimizeError)>,
+    /// The merged Pareto set over `(RAM budget, energy in mJ)` pairs from
+    /// every device: ascending in RAM, strictly decreasing in energy, each
+    /// step tagged with the device that provides it.
+    pub pareto: Vec<DevicePoint>,
+}
+
+impl DeviceMatrix {
+    /// Enumerate the exact energy/RAM frontier of `program` on every device
+    /// in `devices`, fanning the per-device enumerations over `runner`'s
+    /// worker pool.  Each device gets its own [`Board`], model parameters
+    /// and ILP (per-device wait states, contention, energy tables and
+    /// memory sizes all flow in); `config` supplies the shared scope,
+    /// frequency source, time bound and node cap.  The runner's own board
+    /// is ignored — it only provides the threads.
+    pub fn enumerate(
+        program: &MachineProgram,
+        devices: &[&'static DeviceDescriptor],
+        config: &OptimizerConfig,
+        runner: &BatchRunner,
+    ) -> DeviceMatrix {
+        let results = runner.map(devices, |_, desc| {
+            let board = Board::new(desc);
+            let mut session = PlacementSession::new(program, &board, config)?;
+            let spare = session.spare_ram();
+            let frontier = session
+                .enumerate_frontier(config.x_limit, spare)
+                .map_err(OptimizeError::Solver)?;
+            Ok(DeviceFrontier {
+                device: desc.key,
+                name: desc.name,
+                cycle_time_s: board.timing.cycle_time_s(),
+                spare_ram: spare,
+                frontier,
+                stats: session.stats(),
+            })
+        });
+        let mut frontiers = Vec::new();
+        let mut skipped = Vec::new();
+        for (desc, result) in devices.iter().zip(results) {
+            match result {
+                Ok(f) => frontiers.push(f),
+                Err(e) => skipped.push((desc.key, e)),
+            }
+        }
+        let pareto = device_dominant_pareto(&frontiers);
+        DeviceMatrix {
+            frontiers,
+            skipped,
+            pareto,
+        }
+    }
+}
+
+/// Merge per-device staircases into the device-dominant Pareto set: among
+/// all `(RAM budget, energy)` steps of all devices, keep those not
+/// dominated by any step with both smaller-or-equal RAM and lower energy.
+pub fn device_dominant_pareto(frontiers: &[DeviceFrontier]) -> Vec<DevicePoint> {
+    let mut all: Vec<DevicePoint> = frontiers
+        .iter()
+        .flat_map(|df| {
+            df.frontier.points.iter().map(|p| DevicePoint {
+                device: df.device,
+                min_ram_bytes: p.model_ram_used,
+                energy_mj: df.energy_mj(p),
+                objective: p.objective,
+            })
+        })
+        .collect();
+    // Ascending RAM, then ascending energy; a later point survives only if
+    // it strictly improves on the best energy seen at smaller budgets.
+    all.sort_by(|a, b| {
+        a.min_ram_bytes
+            .cmp(&b.min_ram_bytes)
+            .then(a.energy_mj.total_cmp(&b.energy_mj))
+            .then(a.device.cmp(b.device))
+    });
+    let mut pareto: Vec<DevicePoint> = Vec::new();
+    for p in all {
+        match pareto.last() {
+            Some(kept) => {
+                let margin = OBJECTIVE_TIE_TOL * kept.energy_mj.abs().max(1.0);
+                if p.energy_mj < kept.energy_mj - margin {
+                    pareto.push(p);
+                }
+            }
+            None => pareto.push(p),
+        }
+    }
+    pareto
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,5 +682,74 @@ mod tests {
         // The chain survived the infeasible point.
         let relaxed = out[2].1.as_ref().unwrap();
         assert!(relaxed.chained);
+    }
+
+    #[test]
+    fn device_matrix_spans_the_database() {
+        let prog = compile_program(&[SourceUnit::application(SRC)], OptLevel::O1).unwrap();
+        let runner = BatchRunner::new(Board::stm32vldiscovery());
+        let config = OptimizerConfig::default();
+        let devices = flashram_device::DEVICE_DB.all();
+        let matrix = DeviceMatrix::enumerate(&prog, devices, &config, &runner);
+        assert!(matrix.skipped.is_empty(), "every db part fits the program");
+        assert_eq!(matrix.frontiers.len(), devices.len());
+        for df in &matrix.frontiers {
+            assert!(
+                !df.frontier.points.is_empty(),
+                "{}: staircase must have at least the zero-RAM step",
+                df.device
+            );
+            assert!(df.cycle_time_s > 0.0);
+        }
+        // The merged Pareto set is a strictly monotone staircase.
+        assert!(!matrix.pareto.is_empty());
+        for w in matrix.pareto.windows(2) {
+            assert!(w[0].min_ram_bytes < w[1].min_ram_bytes);
+            assert!(w[0].energy_mj > w[1].energy_mj);
+        }
+        // The low-power part draws a fraction of the others' power at a
+        // third of the clock, so it must supply the lowest-energy step.
+        let best = matrix.pareto.last().unwrap();
+        assert_eq!(best.device, "stm32l151");
+    }
+
+    #[test]
+    fn wait_states_make_ram_placement_cheaper_in_the_model() {
+        // On the 84 MHz / 2-wait-state part a flash block stalls on every
+        // fetch, so the model's RAM-move delta must be strictly better than
+        // on the zero-wait reference part for the same program.
+        let prog = compile_program(&[SourceUnit::application(SRC)], OptLevel::O1).unwrap();
+        let f100 = Board::new(flashram_device::DEVICE_DB.get("stm32f100").unwrap());
+        let f401 = Board::new(flashram_device::DEVICE_DB.get("stm32f401").unwrap());
+        let p_f100 = crate::params::extract_params_for_timing(
+            &prog,
+            &FrequencySource::default(),
+            PlacementScope::ApplicationOnly,
+            &f100.timing,
+        );
+        let p_f401 = crate::params::extract_params_for_timing(
+            &prog,
+            &FrequencySource::default(),
+            PlacementScope::ApplicationOnly,
+            &f401.timing,
+        );
+        let mut stalled = 0usize;
+        for (r, a) in &p_f100.blocks {
+            let b = &p_f401.blocks[r];
+            assert_eq!(a.flash_extra_cycles, 0, "zero-wait part never stalls");
+            // With the prefetch buffer enabled only control transfers
+            // stall, so a fall-through block may legitimately pay nothing —
+            // but no block ever pays less than on the zero-wait part.
+            assert!(b.ram_delta_cycles() <= a.ram_delta_cycles());
+            assert_eq!(b.cycles, a.cycles + b.flash_extra_cycles);
+            if b.flash_extra_cycles > 0 {
+                assert!(b.ram_delta_cycles() < a.ram_delta_cycles());
+                stalled += 1;
+            }
+        }
+        assert!(
+            stalled > 0,
+            "branching blocks must pay refill stalls on the wait-state part"
+        );
     }
 }

@@ -64,12 +64,15 @@ pub mod report;
 pub mod transform;
 
 pub use case_study::{measure_case_study, period_sweep, CaseStudyMeasurement};
-pub use frontier::{Frontier, PlacementSession, SweepPoint, SweepStats, ValidatedPoint};
+pub use frontier::{
+    device_dominant_pareto, DeviceFrontier, DeviceMatrix, DevicePoint, Frontier, PlacementSession,
+    SweepPoint, SweepStats, ValidatedPoint,
+};
 pub use model::{evaluate_placement, ModelConfig, PlacementEstimate, PlacementModel};
 pub use optimizer::{OptimizeError, OptimizerConfig, Placement, RamOptimizer, Solver};
 pub use params::{
-    extract_params, extract_params_scoped, BlockParams, FrequencySource, PlacementScope,
-    ProgramParams,
+    extract_params, extract_params_for_timing, extract_params_scoped, BlockParams, FrequencySource,
+    PlacementScope, ProgramParams,
 };
 pub use report::{BlockReport, FunctionReport, PlacementReport};
 pub use transform::{

@@ -122,17 +122,20 @@ impl PlacementModel {
             let f = p.frequency as f64;
             let c = p.cycles as f64;
             let t = p.instr_cycles as f64;
-            let l = p.ram_extra_cycles as f64;
-            // Energy: F·[C·Ef + (C·Δ + L·Er)·r + T·Ef·i + T·Δ·z]
+            // D_b = L_b − W_b: moving to RAM adds contention but sheds the
+            // flash wait-state stalls folded into C_b.  On zero-wait parts
+            // D_b = L_b exactly, bit-for-bit.
+            let d = p.ram_delta_cycles();
+            // Energy: F·[C·Ef + (C·Δ + D·Er)·r + T·Ef·i + T·Δ·z]
             objective.add_constant(f * c * config.e_flash);
-            objective.add_term(v.in_ram, f * (c * delta + l * config.e_ram));
+            objective.add_term(v.in_ram, f * (c * delta + d * config.e_ram));
             objective.add_term(v.instrumented, f * t * config.e_flash);
             objective.add_term(v.both, f * t * delta);
-            // Time: F·(C + T·i + L·r)
+            // Time: F·(C + T·i + D·r)
             base_cycles += f * c;
             time_expr.add_constant(f * c);
             time_expr.add_term(v.instrumented, f * t);
-            time_expr.add_term(v.in_ram, f * l);
+            time_expr.add_term(v.in_ram, f * d);
         }
         problem.set_objective(objective);
 
@@ -318,13 +321,9 @@ pub fn evaluate_placement(
         } else {
             0.0
         };
-        let l = if in_ram {
-            p.ram_extra_cycles as f64
-        } else {
-            0.0
-        };
+        let d = if in_ram { p.ram_delta_cycles() } else { 0.0 };
         let f = p.frequency as f64;
-        let c = p.cycles as f64 + t + l;
+        let c = p.cycles as f64 + t + d;
         energy += f * c * m;
         cycles += f * c;
         if in_ram {

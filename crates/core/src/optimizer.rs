@@ -13,7 +13,7 @@ use flashram_mcu::Board;
 
 use crate::frontier::PlacementSession;
 use crate::model::{evaluate_placement, ModelConfig, PlacementEstimate, PlacementModel};
-use crate::params::{extract_params_scoped, FrequencySource, PlacementScope, ProgramParams};
+use crate::params::{extract_params_for_timing, FrequencySource, PlacementScope, ProgramParams};
 use crate::transform::apply_placement_scoped;
 
 /// Which selection algorithm chooses the blocks.
@@ -203,7 +203,12 @@ impl RamOptimizer {
                 .spare_ram(program)
                 .map_err(|e| OptimizeError::DoesNotFit(e.to_string()))?,
         };
-        let params = extract_params_scoped(program, &self.config.frequency, self.config.scope);
+        let params = extract_params_for_timing(
+            program,
+            &self.config.frequency,
+            self.config.scope,
+            &board.timing,
+        );
         let model_config = self.model_config_for(board, spare);
 
         type Outcome = (ProgramParams, Vec<BlockRef>, bool, Option<BranchBoundStats>);

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use flashram_ir::{BlockId, BlockRef, MachineProgram, ProfileData};
-use flashram_isa::CORTEX_M3_TIMING;
+use flashram_isa::{Inst, TermKind, TimingModel, CORTEX_M3_TIMING};
 
 /// Which functions' blocks are candidates for relocation.
 ///
@@ -67,10 +67,25 @@ pub struct BlockParams {
     /// `L_b`: extra cycles per execution when the block runs from RAM
     /// (memory-bus contention on its loads and stores).
     pub ram_extra_cycles: u64,
+    /// `W_b`: extra cycles per execution when the block runs from flash
+    /// (wait-state stalls on instruction fetches and pipeline refills).
+    /// Zero on zero-wait-state parts such as the STM32F100.
+    pub flash_extra_cycles: u64,
     /// `Succ(b)`: successor blocks within the same function.
     pub successors: Vec<BlockId>,
     /// Number of memory operations (used for reporting).
     pub memory_ops: u32,
+}
+
+impl BlockParams {
+    /// The net change in cycles per execution when the block moves from
+    /// flash to RAM: it gains the RAM contention `L_b` but sheds the flash
+    /// wait-state stalls `W_b` already folded into `C_b`.  Negative on
+    /// wait-state parts whose blocks stall more on fetch than they contend
+    /// on data — moving such blocks to RAM saves both time and energy.
+    pub fn ram_delta_cycles(&self) -> f64 {
+        self.ram_extra_cycles as f64 - self.flash_extra_cycles as f64
+    }
 }
 
 /// Parameters for every optimizable block of a program.
@@ -114,7 +129,20 @@ pub fn extract_params_scoped(
     frequency: &FrequencySource,
     scope: PlacementScope,
 ) -> ProgramParams {
-    let timing = CORTEX_M3_TIMING;
+    extract_params_for_timing(program, frequency, scope, &CORTEX_M3_TIMING)
+}
+
+/// Extract the model parameters against an explicit device timing model, so
+/// that per-device contention and flash wait-state coefficients flow into
+/// the cost model.  `C_b` is the all-in-flash cycle count (base cycles plus
+/// the wait-state overhead `W_b`); moving a block to RAM trades `W_b` for
+/// the contention penalty `L_b` (see [`BlockParams::ram_delta_cycles`]).
+pub fn extract_params_for_timing(
+    program: &MachineProgram,
+    frequency: &FrequencySource,
+    scope: PlacementScope,
+    timing: &TimingModel,
+) -> ProgramParams {
     let mut blocks = BTreeMap::new();
     for (fi, func) in program.functions.iter().enumerate() {
         if func.is_library && scope == PlacementScope::ApplicationOnly {
@@ -136,15 +164,29 @@ pub fn extract_params_scoped(
             let instr = block.term.instrumentation_cost();
             let ram_extra = u64::from(block.load_count()) * timing.ram_load_contention_cycles
                 + u64::from(block.store_count()) * timing.ram_store_contention_cycles;
+            // Wait-state overhead of one flash execution: every instruction
+            // pays the fetch penalty, calls and the (taken) terminator pay
+            // the pipeline-refill penalty too.
+            let kind = block.term.kind();
+            let transfers = u64::from(kind != TermKind::FallThrough);
+            let calls = block
+                .insts
+                .iter()
+                .filter(|i| matches!(i, Inst::Bl { .. }))
+                .count() as u64;
+            let flash_extra = timing.flash_instr_penalty_cycles()
+                * (block.insts.len() as u64 + transfers)
+                + timing.flash_refill_penalty_cycles() * (calls + transfers);
             blocks.insert(
                 r,
                 BlockParams {
                     size_bytes: block.size_bytes(),
-                    cycles: block.body_cycles() + block.term.taken_cycles(),
+                    cycles: block.body_cycles() + block.term.taken_cycles() + flash_extra,
                     frequency: freq,
                     instr_bytes: instr.extra_bytes,
                     instr_cycles: instr.extra_cycles,
                     ram_extra_cycles: ram_extra,
+                    flash_extra_cycles: flash_extra,
                     successors: block.term.successors().into_iter().copied().collect(),
                     memory_ops: block.load_count() + block.store_count(),
                 },

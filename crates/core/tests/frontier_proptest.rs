@@ -7,17 +7,26 @@ use std::collections::BTreeMap;
 
 use flashram_core::{frontier::PlacementSession, BlockParams, ModelConfig, ProgramParams};
 use flashram_ir::{BlockId, BlockRef, FuncId};
+use flashram_mcu::Board;
 use proptest::prelude::*;
 
 /// Build a one-function `ProgramParams` from per-block raw numbers.  The
 /// successor structure is a chain with a back edge from the last block to
 /// the first, which exercises the Eq. 5 instrumentation coupling.
 fn params_from(raw: &[(u32, u64, u64, u32, u64, u64)]) -> ProgramParams {
+    params_with_wait_states(raw, &[])
+}
+
+/// Like [`params_from`], but block `i` additionally carries the flash
+/// wait-state overhead `waits[i]` (folded into `C_b`, as the extractor
+/// does), so RAM moves can have negative cycle deltas.
+fn params_with_wait_states(raw: &[(u32, u64, u64, u32, u64, u64)], waits: &[u64]) -> ProgramParams {
     let n = raw.len() as u32;
     let mut blocks = BTreeMap::new();
     for (i, &(size_bytes, cycles, frequency, instr_bytes, instr_cycles, ram_extra)) in
         raw.iter().enumerate()
     {
+        let flash_extra = waits.get(i).copied().unwrap_or(0);
         let i = i as u32;
         let mut successors = Vec::new();
         if i + 1 < n {
@@ -32,11 +41,12 @@ fn params_from(raw: &[(u32, u64, u64, u32, u64, u64)]) -> ProgramParams {
             },
             BlockParams {
                 size_bytes,
-                cycles,
+                cycles: cycles + flash_extra,
                 frequency,
                 instr_bytes,
                 instr_cycles,
                 ram_extra_cycles: ram_extra,
+                flash_extra_cycles: flash_extra,
                 successors,
                 memory_ops: 0,
             },
@@ -116,6 +126,41 @@ proptest! {
                 b,
                 point.objective,
                 step.objective
+            );
+        }
+    }
+
+    /// Per-device frontiers are strict Pareto staircases for every entry of
+    /// the device database, including wait-state parts whose blocks carry a
+    /// flash overhead `W_b` (so RAM moves can shed cycles, not just gain
+    /// contention): random parameters, random per-block wait-state
+    /// overheads, each device's own energy coefficients.
+    #[test]
+    fn per_device_frontiers_are_strict_staircases(
+        raw in proptest::collection::vec(block_strategy(), 2..8),
+        waits in proptest::collection::vec(0u64..12, 8),
+        device_index in 0usize..3,
+    ) {
+        let desc = flashram_device::DEVICE_DB.all()[device_index];
+        let params = params_with_wait_states(&raw, &waits);
+        let total_bytes: u32 = params.blocks.values().map(|p| p.size_bytes).sum();
+        let max_budget = total_bytes + 64;
+        let (e_flash, e_ram) = Board::new(desc).power.model_coefficients();
+        let device_config = ModelConfig { e_flash, e_ram, ..config() };
+
+        let mut session = PlacementSession::from_params(params, &device_config);
+        let frontier = session.enumerate_frontier(4.0, max_budget).expect("enumerable");
+        prop_assert!(frontier.exact, "{}: truncated solve", desc.key);
+        prop_assert!(!frontier.points.is_empty());
+        prop_assert_eq!(frontier.points[0].model_ram_used, 0);
+        for w in frontier.points.windows(2) {
+            prop_assert!(
+                w[0].model_ram_used < w[1].model_ram_used,
+                "{}: RAM must strictly increase", desc.key
+            );
+            prop_assert!(
+                w[0].objective > w[1].objective,
+                "{}: energy must strictly decrease", desc.key
             );
         }
     }

@@ -1,0 +1,507 @@
+//! The data-driven device database.
+//!
+//! The paper measures one part — an STM32F100RB on the STM32VLDISCOVERY
+//! board — and for a long time this reproduction hard-coded that part's
+//! memory map, power calibration and timing all over the simulator.  This
+//! crate replaces those scattered constants with one typed source of truth:
+//! a [`DeviceDescriptor`] per modelled microcontroller, collected in the
+//! static [`DeviceDb`] registry, so that the board simulator, the placement
+//! cost model and the cross-device sweeps in `flashram-core`/`flashram-bench`
+//! all derive their coefficients from the same entry.
+//!
+//! A descriptor bundles:
+//!
+//! * a typed memory map ([`DeviceMemoryMap`]): base/size of the code memory
+//!   (flash on every shipped entry, but [`CodeMemoryKind`] also admits
+//!   FRAM/EEPROM-backed parts), base/size of SRAM and the stack reserve;
+//! * per-[`InstClass`] energy tables ([`EnergyTable`]) for execution from
+//!   each memory, plus the flash-data-load and sleep figures of the paper;
+//! * one or more [`OperatingPoint`]s (clock, supply voltage and the
+//!   [`FlashTiming`] wait-state/prefetch pair at that clock);
+//! * the RAM bus-contention cycles behind the paper's `L_b` parameter.
+//!
+//! # The wait-state / prefetch model
+//!
+//! Fast cores outrun their flash: above a part-specific clock threshold
+//! every flash access pays `wait_states` extra cycles.  A prefetch buffer
+//! hides those stalls for *sequential* fetch but cannot help when the fetch
+//! stream redirects, so the model splits the penalty in two:
+//!
+//! * **per-instruction penalty** — paid by every instruction fetched from
+//!   flash when no prefetch buffer hides sequential stalls
+//!   ([`TimingModel::flash_instr_penalty_cycles`]);
+//! * **refill penalty** — paid when control transfers out of a
+//!   flash-resident block (taken branches, calls, returns, the indirect
+//!   long-range forms) with the prefetch buffer enabled, because the
+//!   redirect discards the prefetched words
+//!   ([`TimingModel::flash_refill_penalty_cycles`]).
+//!
+//! Zero-wait-state parts (the STM32F100 at 24 MHz, the STM32L151 entry at
+//! 16 MHz) pay neither, which keeps the original single-board behaviour
+//! bit-identical.  Code executing from RAM never pays either penalty — on a
+//! wait-state part that asymmetry is an extra reason (beyond energy) to
+//! move hot blocks to RAM, and it is what makes the cross-device frontiers
+//! in `flashram-core::frontier` genuinely different per device.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flashram_isa::{FlashTiming, InstClass, TimingModel};
+
+/// A contiguous address range of one on-chip memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRegion {
+    /// Base address of the region.
+    pub base: u32,
+    /// Size of the region in bytes.
+    pub size: u32,
+}
+
+/// The technology backing the code memory.
+///
+/// Every shipped entry is NOR flash, but the descriptor shape admits the
+/// FRAM/EEPROM code stores of other deeply embedded families (those parts
+/// trade wait states and energy differently, not structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodeMemoryKind {
+    /// NOR flash (the paper's part and every current entry).
+    #[default]
+    Flash,
+    /// Ferroelectric RAM code store (e.g. MSP430FR-class parts).
+    Fram,
+    /// EEPROM code store.
+    Eeprom,
+}
+
+/// The typed memory map of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceMemoryMap {
+    /// The code memory (what the simulator calls "flash").
+    pub code: MemoryRegion,
+    /// Technology of the code memory.
+    pub code_kind: CodeMemoryKind,
+    /// The SRAM region.
+    pub ram: MemoryRegion,
+    /// Bytes of SRAM reserved for the call stack.
+    pub stack_reserve: u32,
+}
+
+/// Stall cycles a RAM-resident block pays when its data access contends
+/// with instruction fetch on the RAM interface (the paper's `L_b` source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RamContention {
+    /// Extra cycles per contended load.
+    pub load_cycles: u64,
+    /// Extra cycles per contended store.
+    pub store_cycles: u64,
+}
+
+/// One supported clock/voltage configuration of a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Human-readable name (e.g. `"24mhz"`).
+    pub name: &'static str,
+    /// Core clock frequency in hertz.
+    pub clock_hz: f64,
+    /// Supply voltage in millivolts.
+    pub vdd_mv: u32,
+    /// Flash wait-state/prefetch configuration at this clock.
+    pub flash: FlashTiming,
+}
+
+/// Average power (milliwatts) per instruction class while executing from
+/// one memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassEnergy {
+    /// ALU-class instructions (moves, adds, logic, shifts, compares).
+    pub alu_mw: f64,
+    /// Multiplies.
+    pub mul_mw: f64,
+    /// Divides.
+    pub div_mw: f64,
+    /// Loads.
+    pub load_mw: f64,
+    /// Stores.
+    pub store_mw: f64,
+    /// Stack pushes/pops.
+    pub stack_mw: f64,
+    /// `nop`s.
+    pub nop_mw: f64,
+    /// Branches.
+    pub branch_mw: f64,
+    /// Calls.
+    pub call_mw: f64,
+}
+
+impl ClassEnergy {
+    /// The table entry for one instruction class.
+    pub fn class_mw(&self, class: InstClass) -> f64 {
+        match class {
+            InstClass::Alu => self.alu_mw,
+            InstClass::Mul => self.mul_mw,
+            InstClass::Div => self.div_mw,
+            InstClass::Load => self.load_mw,
+            InstClass::Store => self.store_mw,
+            InstClass::Stack => self.stack_mw,
+            InstClass::Nop => self.nop_mw,
+            InstClass::Branch => self.branch_mw,
+            InstClass::Call => self.call_mw,
+        }
+    }
+}
+
+/// The full per-device energy calibration (Figure 1 shape).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyTable {
+    /// Per-class power while executing from flash.
+    pub flash: ClassEnergy,
+    /// Per-class power while executing from RAM.
+    pub ram: ClassEnergy,
+    /// Power of a load executing from RAM whose data lives in flash (the
+    /// expensive "flash load" bar of Figure 1).
+    pub ram_load_flash_data_mw: f64,
+    /// Quiescent power of the sleep state (Section 7's `P_S`).
+    pub sleep_mw: f64,
+}
+
+/// Everything the simulator and the cost model need to know about one
+/// microcontroller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceDescriptor {
+    /// Registry key ([`DeviceDb::get`]); stable, lowercase.
+    pub key: &'static str,
+    /// Human-readable part name.
+    pub name: &'static str,
+    /// CPU core of the part (informational; all entries model the same
+    /// Thumb-2-like ISA).
+    pub core: &'static str,
+    /// The typed memory map.
+    pub memory: DeviceMemoryMap,
+    /// RAM bus-contention cycles.
+    pub ram_contention: RamContention,
+    /// Supported clock/voltage configurations.
+    pub operating_points: &'static [OperatingPoint],
+    /// Index into [`DeviceDescriptor::operating_points`] the board runs at
+    /// by default.
+    pub default_operating_point: usize,
+    /// The per-class energy calibration.
+    pub energy: EnergyTable,
+}
+
+impl DeviceDescriptor {
+    /// The default operating point.
+    pub fn operating_point(&self) -> &'static OperatingPoint {
+        &self.operating_points[self.default_operating_point]
+    }
+
+    /// The timing model at the default operating point: clock, contention
+    /// and the flash wait-state/prefetch pair.
+    pub fn timing_model(&self) -> TimingModel {
+        let op = self.operating_point();
+        TimingModel {
+            clock_hz: op.clock_hz,
+            ram_load_contention_cycles: self.ram_contention.load_cycles,
+            ram_store_contention_cycles: self.ram_contention.store_cycles,
+            flash: op.flash,
+        }
+    }
+}
+
+/// The STM32F100RB of the paper's STM32VLDISCOVERY board: 24 MHz
+/// Cortex-M3, 64 KB flash / 8 KB SRAM, zero-wait-state flash, and the
+/// Figure 1 power calibration.  This entry **is** the historical hard-coded
+/// board — the simulator's `stm32f100` constructors now delegate here and
+/// must stay bit-identical to the old constants.
+pub static STM32F100: DeviceDescriptor = DeviceDescriptor {
+    key: "stm32f100",
+    name: "STM32F100RB (STM32VLDISCOVERY)",
+    core: "cortex-m3",
+    memory: DeviceMemoryMap {
+        code: MemoryRegion {
+            base: 0x0800_0000,
+            size: 64 * 1024,
+        },
+        code_kind: CodeMemoryKind::Flash,
+        ram: MemoryRegion {
+            base: 0x2000_0000,
+            size: 8 * 1024,
+        },
+        stack_reserve: 1024,
+    },
+    ram_contention: RamContention {
+        load_cycles: 1,
+        store_cycles: 1,
+    },
+    operating_points: &[OperatingPoint {
+        name: "24mhz",
+        clock_hz: 24_000_000.0,
+        vdd_mv: 3300,
+        flash: FlashTiming {
+            wait_states: 0,
+            prefetch_enabled: true,
+        },
+    }],
+    default_operating_point: 0,
+    energy: EnergyTable {
+        flash: ClassEnergy {
+            alu_mw: 15.2,
+            mul_mw: 15.2,
+            div_mw: 15.2,
+            load_mw: 16.0,
+            store_mw: 15.6,
+            stack_mw: 15.6,
+            nop_mw: 14.6,
+            branch_mw: 15.0,
+            call_mw: 15.0,
+        },
+        ram: ClassEnergy {
+            alu_mw: 8.6,
+            mul_mw: 8.6,
+            div_mw: 8.6,
+            load_mw: 9.6,
+            store_mw: 9.2,
+            stack_mw: 9.2,
+            nop_mw: 8.0,
+            branch_mw: 8.8,
+            call_mw: 8.8,
+        },
+        ram_load_flash_data_mw: 15.0,
+        sleep_mw: 3.5,
+    },
+};
+
+/// A low-power Cortex-M3 (STM32L151-class): 16 MHz, still zero wait
+/// states, much lower absolute power and a deeper sleep.  The zero-wait
+/// reference point of the cross-device sweeps.
+pub static STM32L151: DeviceDescriptor = DeviceDescriptor {
+    key: "stm32l151",
+    name: "STM32L151C8 (low-power)",
+    core: "cortex-m3",
+    memory: DeviceMemoryMap {
+        code: MemoryRegion {
+            base: 0x0800_0000,
+            size: 64 * 1024,
+        },
+        code_kind: CodeMemoryKind::Flash,
+        ram: MemoryRegion {
+            base: 0x2000_0000,
+            size: 10 * 1024,
+        },
+        stack_reserve: 1024,
+    },
+    ram_contention: RamContention {
+        load_cycles: 1,
+        store_cycles: 1,
+    },
+    operating_points: &[OperatingPoint {
+        name: "16mhz",
+        clock_hz: 16_000_000.0,
+        vdd_mv: 3000,
+        flash: FlashTiming {
+            wait_states: 0,
+            prefetch_enabled: false,
+        },
+    }],
+    default_operating_point: 0,
+    energy: EnergyTable {
+        flash: ClassEnergy {
+            alu_mw: 6.1,
+            mul_mw: 6.2,
+            div_mw: 6.3,
+            load_mw: 6.8,
+            store_mw: 6.6,
+            stack_mw: 6.6,
+            nop_mw: 5.8,
+            branch_mw: 6.0,
+            call_mw: 6.0,
+        },
+        ram: ClassEnergy {
+            alu_mw: 3.9,
+            mul_mw: 4.0,
+            div_mw: 4.1,
+            load_mw: 4.4,
+            store_mw: 4.2,
+            stack_mw: 4.2,
+            nop_mw: 3.6,
+            branch_mw: 3.8,
+            call_mw: 3.8,
+        },
+        ram_load_flash_data_mw: 6.2,
+        sleep_mw: 0.9,
+    },
+};
+
+/// A fast Cortex-M4 (STM32F401-class): 84 MHz behind two flash wait
+/// states with the prefetch buffer enabled, so sequential flash fetch is
+/// full speed but every control transfer from flash pays a two-cycle
+/// refill.  RAM execution pays neither — the wait-state asymmetry that
+/// shifts this device's optimal placements relative to the zero-wait
+/// parts.  A second, slower operating point runs the flash at zero wait
+/// states.
+pub static STM32F401: DeviceDescriptor = DeviceDescriptor {
+    key: "stm32f401",
+    name: "STM32F401RE (high-frequency)",
+    core: "cortex-m4",
+    memory: DeviceMemoryMap {
+        code: MemoryRegion {
+            base: 0x0800_0000,
+            size: 256 * 1024,
+        },
+        code_kind: CodeMemoryKind::Flash,
+        ram: MemoryRegion {
+            base: 0x2000_0000,
+            size: 64 * 1024,
+        },
+        stack_reserve: 1024,
+    },
+    ram_contention: RamContention {
+        load_cycles: 1,
+        store_cycles: 1,
+    },
+    operating_points: &[
+        OperatingPoint {
+            name: "84mhz",
+            clock_hz: 84_000_000.0,
+            vdd_mv: 3300,
+            flash: FlashTiming {
+                wait_states: 2,
+                prefetch_enabled: true,
+            },
+        },
+        OperatingPoint {
+            name: "30mhz",
+            clock_hz: 30_000_000.0,
+            vdd_mv: 3300,
+            flash: FlashTiming {
+                wait_states: 0,
+                prefetch_enabled: true,
+            },
+        },
+    ],
+    default_operating_point: 0,
+    energy: EnergyTable {
+        flash: ClassEnergy {
+            alu_mw: 38.5,
+            mul_mw: 39.0,
+            div_mw: 39.5,
+            load_mw: 41.0,
+            store_mw: 40.0,
+            stack_mw: 40.0,
+            nop_mw: 36.0,
+            branch_mw: 37.5,
+            call_mw: 37.5,
+        },
+        ram: ClassEnergy {
+            alu_mw: 24.0,
+            mul_mw: 24.5,
+            div_mw: 25.0,
+            load_mw: 26.0,
+            store_mw: 25.0,
+            stack_mw: 25.0,
+            nop_mw: 22.5,
+            branch_mw: 23.5,
+            call_mw: 23.5,
+        },
+        ram_load_flash_data_mw: 38.0,
+        sleep_mw: 10.5,
+    },
+};
+
+/// The device registry: keyed lookup plus stable iteration order.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceDb {
+    entries: &'static [&'static DeviceDescriptor],
+}
+
+/// The built-in registry with every shipped device entry.
+pub static DEVICE_DB: DeviceDb = DeviceDb {
+    entries: &[&STM32F100, &STM32L151, &STM32F401],
+};
+
+impl DeviceDb {
+    /// Look a device up by its registry key.
+    pub fn get(&self, key: &str) -> Option<&'static DeviceDescriptor> {
+        self.entries.iter().copied().find(|d| d.key == key)
+    }
+
+    /// Every entry, in registration order (the `stm32f100` reference part
+    /// first).
+    pub fn all(&self) -> &'static [&'static DeviceDescriptor] {
+        self.entries
+    }
+
+    /// The registry keys, in registration order.
+    pub fn keys(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|d| d.key).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashram_isa::CORTEX_M3_TIMING;
+
+    #[test]
+    fn registry_lookup_finds_every_entry() {
+        assert!(DEVICE_DB.all().len() >= 3);
+        for d in DEVICE_DB.all() {
+            assert_eq!(DEVICE_DB.get(d.key).unwrap().key, d.key);
+            assert!(d.default_operating_point < d.operating_points.len());
+        }
+        assert!(DEVICE_DB.get("nonexistent").is_none());
+        assert_eq!(DEVICE_DB.keys()[0], "stm32f100");
+    }
+
+    #[test]
+    fn stm32f100_timing_reproduces_the_historical_constant() {
+        assert_eq!(STM32F100.timing_model(), CORTEX_M3_TIMING);
+    }
+
+    #[test]
+    fn every_entry_charges_ram_below_flash_per_class() {
+        for d in DEVICE_DB.all() {
+            for class in [
+                InstClass::Alu,
+                InstClass::Mul,
+                InstClass::Div,
+                InstClass::Load,
+                InstClass::Store,
+                InstClass::Stack,
+                InstClass::Nop,
+                InstClass::Branch,
+                InstClass::Call,
+            ] {
+                assert!(
+                    d.energy.ram.class_mw(class) < d.energy.flash.class_mw(class),
+                    "{}/{class:?}",
+                    d.key
+                );
+            }
+            assert!(d.energy.sleep_mw < d.energy.ram.class_mw(InstClass::Nop));
+        }
+    }
+
+    #[test]
+    fn the_db_spans_zero_wait_and_wait_state_parts() {
+        let zero_wait = DEVICE_DB
+            .all()
+            .iter()
+            .any(|d| d.operating_point().flash.wait_states == 0);
+        let wait_state = DEVICE_DB
+            .all()
+            .iter()
+            .any(|d| d.operating_point().flash.wait_states > 0);
+        assert!(zero_wait && wait_state);
+    }
+
+    #[test]
+    fn memory_maps_are_well_formed() {
+        for d in DEVICE_DB.all() {
+            let m = &d.memory;
+            assert!(m.code.size > 0 && m.ram.size > m.stack_reserve, "{}", d.key);
+            let code_end = u64::from(m.code.base) + u64::from(m.code.size);
+            let ram_end = u64::from(m.ram.base) + u64::from(m.ram.size);
+            assert!(code_end <= u64::from(m.ram.base) || ram_end <= u64::from(m.code.base));
+        }
+    }
+}

@@ -20,7 +20,7 @@
 //!   variable's |objective coefficient| so the very first branchings already
 //!   prefer high-impact blocks.  The branching score is the product of the
 //!   estimated up- and down-degradations.
-//! * **Cover cuts and presolve** ([`crate::cuts`]): the placement model's
+//! * **Cover cuts and presolve** (the `cuts` module): the placement model's
 //!   budget rows are knapsacks, so before the tree starts a presolve pass
 //!   fixes trivially flash-/RAM-resident blocks and tightens coefficients,
 //!   and at the root (and optionally shallow nodes) violated lifted cover

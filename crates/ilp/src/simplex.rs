@@ -357,7 +357,7 @@ impl SimplexSolver {
 
     /// Warm re-solve from a state that predates rows appended to the
     /// problem: apply the fixings, upgrade the state with the missing
-    /// trailing rows (see [`LpState::append_rows`]), and dual-repair.
+    /// trailing rows (see `LpState::append_rows`), and dual-repair.
     ///
     /// This is how branch-and-bound keeps warm-starting after cutting planes
     /// are added mid-search: a node snapshotted before a cut existed is

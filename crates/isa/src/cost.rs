@@ -113,12 +113,40 @@ impl TermKind {
     }
 }
 
+/// Flash wait-state and prefetch-buffer configuration at one operating
+/// point.
+///
+/// Fast cores outrun their flash: above a part-specific clock threshold
+/// every flash access pays [`FlashTiming::wait_states`] extra cycles.  A
+/// prefetch buffer hides those stalls for sequential fetch but not across a
+/// control transfer, which discards the prefetched words and pays the wait
+/// states as a pipeline-refill penalty instead.  Zero-wait-state parts (the
+/// paper's STM32F100 at 24 MHz) pay nothing either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlashTiming {
+    /// Extra cycles per flash access at this clock.
+    pub wait_states: u64,
+    /// Whether the prefetch buffer hides sequential-fetch wait states.
+    pub prefetch_enabled: bool,
+}
+
+impl FlashTiming {
+    /// Zero-wait-state flash: no penalty regardless of prefetch.
+    pub const ZERO_WAIT: FlashTiming = FlashTiming {
+        wait_states: 0,
+        prefetch_enabled: true,
+    };
+}
+
 /// Core clock and pipeline parameters of the modelled microcontroller.
 ///
-/// These numbers describe the STM32F100-class part the paper prototypes on:
-/// a Cortex-M3 running at 24 MHz with zero-wait-state flash, where both
-/// memories are single-cycle but a load executed *from* RAM contends with the
-/// instruction fetch on the RAM interface.
+/// The historical shape of these numbers is the STM32F100-class part the
+/// paper prototypes on: a Cortex-M3 running at 24 MHz with zero-wait-state
+/// flash, where both memories are single-cycle but a load executed *from*
+/// RAM contends with the instruction fetch on the RAM interface.  The
+/// [`FlashTiming`] field generalizes the model to faster parts whose flash
+/// needs wait states; a `flashram-device` descriptor's operating point
+/// supplies it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingModel {
     /// Core clock frequency in hertz.
@@ -128,6 +156,8 @@ pub struct TimingModel {
     pub ram_load_contention_cycles: u64,
     /// Stall cycles added to a store under the same contention conditions.
     pub ram_store_contention_cycles: u64,
+    /// Flash wait-state/prefetch configuration at this clock.
+    pub flash: FlashTiming,
 }
 
 impl TimingModel {
@@ -139,6 +169,59 @@ impl TimingModel {
     /// Convert a cycle count to seconds.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 * self.cycle_time_s()
+    }
+
+    /// Extra cycles every instruction fetched from flash pays: the wait
+    /// states, unless the prefetch buffer hides sequential fetch.
+    pub fn flash_instr_penalty_cycles(&self) -> u64 {
+        if self.flash.prefetch_enabled {
+            0
+        } else {
+            self.flash.wait_states
+        }
+    }
+
+    /// Extra cycles a control transfer out of flash pays to refill the
+    /// prefetch buffer.  Only charged when prefetching is enabled — without
+    /// a prefetch buffer the per-instruction penalty already covers the
+    /// post-redirect fetch.
+    pub fn flash_refill_penalty_cycles(&self) -> u64 {
+        if self.flash.prefetch_enabled {
+            self.flash.wait_states
+        } else {
+            0
+        }
+    }
+
+    /// Total wait-state penalty of a flash-resident block's terminator:
+    /// the terminator is itself a fetched instruction (per-instruction
+    /// penalty) and, when it actually transfers control, it also refills
+    /// the fetch stream.  `FallThrough` has no encoded instruction and no
+    /// redirect, so it pays nothing; a not-taken two-way branch continues
+    /// sequentially and pays only the per-instruction penalty.
+    pub fn flash_terminator_penalty_cycles(&self, kind: TermKind, taken: bool) -> u64 {
+        if kind == TermKind::FallThrough {
+            return 0;
+        }
+        let transfers = match kind {
+            TermKind::Cond | TermKind::ShortCond => taken,
+            // Uncond, Return and every indirect form redirect fetch even on
+            // their "not taken" cost path (the indirect forms always
+            // perform the long-range transfer).
+            _ => true,
+        };
+        self.flash_instr_penalty_cycles()
+            + if transfers {
+                self.flash_refill_penalty_cycles()
+            } else {
+                0
+            }
+    }
+
+    /// Total wait-state penalty of a call instruction fetched from flash:
+    /// its own fetch plus the redirect to the callee.
+    pub fn flash_call_penalty_cycles(&self) -> u64 {
+        self.flash_instr_penalty_cycles() + self.flash_refill_penalty_cycles()
     }
 }
 
@@ -155,6 +238,7 @@ pub const CORTEX_M3_TIMING: TimingModel = TimingModel {
     clock_hz: 24_000_000.0,
     ram_load_contention_cycles: 1,
     ram_store_contention_cycles: 1,
+    flash: FlashTiming::ZERO_WAIT,
 };
 
 #[cfg(test)]
@@ -207,6 +291,54 @@ mod tests {
         let dt = t.cycle_time_s();
         assert!((dt - 1.0 / 24e6).abs() < 1e-15);
         assert!((t.cycles_to_seconds(24_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wait_flash_pays_no_penalties() {
+        let t = CORTEX_M3_TIMING;
+        assert_eq!(t.flash_instr_penalty_cycles(), 0);
+        assert_eq!(t.flash_refill_penalty_cycles(), 0);
+        assert_eq!(t.flash_call_penalty_cycles(), 0);
+        for kind in [TermKind::Uncond, TermKind::Cond, TermKind::Return] {
+            assert_eq!(t.flash_terminator_penalty_cycles(kind, true), 0);
+            assert_eq!(t.flash_terminator_penalty_cycles(kind, false), 0);
+        }
+    }
+
+    #[test]
+    fn prefetch_splits_the_wait_state_penalty() {
+        let mut t = CORTEX_M3_TIMING;
+        t.flash = FlashTiming {
+            wait_states: 2,
+            prefetch_enabled: true,
+        };
+        // Prefetch hides sequential fetch; redirects pay the refill.
+        assert_eq!(t.flash_instr_penalty_cycles(), 0);
+        assert_eq!(t.flash_refill_penalty_cycles(), 2);
+        assert_eq!(t.flash_call_penalty_cycles(), 2);
+        assert_eq!(t.flash_terminator_penalty_cycles(TermKind::Uncond, true), 2);
+        assert_eq!(t.flash_terminator_penalty_cycles(TermKind::Cond, true), 2);
+        assert_eq!(t.flash_terminator_penalty_cycles(TermKind::Cond, false), 0);
+        assert_eq!(
+            t.flash_terminator_penalty_cycles(TermKind::IndirectCond, false),
+            2,
+            "indirect forms always transfer"
+        );
+        assert_eq!(
+            t.flash_terminator_penalty_cycles(TermKind::FallThrough, true),
+            0
+        );
+
+        t.flash.prefetch_enabled = false;
+        // Without prefetch every fetch pays, and nothing extra on redirect.
+        assert_eq!(t.flash_instr_penalty_cycles(), 2);
+        assert_eq!(t.flash_refill_penalty_cycles(), 0);
+        assert_eq!(t.flash_call_penalty_cycles(), 2);
+        assert_eq!(t.flash_terminator_penalty_cycles(TermKind::Cond, false), 2);
+        assert_eq!(
+            t.flash_terminator_penalty_cycles(TermKind::FallThrough, true),
+            0
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod reg;
 pub mod term;
 
 pub use cond::Cond;
-pub use cost::{InstrumentationCost, TermKind, TimingModel, CORTEX_M3_TIMING};
+pub use cost::{FlashTiming, InstrumentationCost, TermKind, TimingModel, CORTEX_M3_TIMING};
 pub use inst::{Inst, InstClass, MemWidth, ShiftOp, SymbolId};
 pub use reg::Reg;
 pub use term::Terminator;

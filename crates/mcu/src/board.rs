@@ -7,8 +7,9 @@
 //! Section 7 periodic-sensing energy accounting
 //! `E = E_active + P_sleep · (T − T_active)`.
 
+use flashram_device::DeviceDescriptor;
 use flashram_ir::{MachineProgram, ProfileData};
-use flashram_isa::{TimingModel, CORTEX_M3_TIMING};
+use flashram_isa::TimingModel;
 
 use crate::cpu::{Cpu, CpuResult, RunError};
 use crate::decode::DecodedProgram;
@@ -87,15 +88,22 @@ pub struct Board {
 }
 
 impl Board {
+    /// A board simulating the given device-database entry at its default
+    /// operating point: memory map, flash wait-state/prefetch timing and
+    /// power calibration all derive from the descriptor.
+    pub fn new(desc: &DeviceDescriptor) -> Board {
+        Board {
+            map: MemoryMap::from_descriptor(desc),
+            power: PowerModel::from_descriptor(desc),
+            timing: desc.timing_model(),
+        }
+    }
+
     /// The STM32VLDISCOVERY-like configuration used throughout the
     /// evaluation: STM32F100RB memory map, 24 MHz core, Figure 1 power
-    /// calibration.
+    /// calibration (the `stm32f100` entry of the device database).
     pub fn stm32vldiscovery() -> Board {
-        Board {
-            map: MemoryMap::stm32f100(),
-            power: PowerModel::stm32f100(),
-            timing: CORTEX_M3_TIMING,
-        }
+        Board::new(&flashram_device::STM32F100)
     }
 
     /// Run a program with the default configuration.

@@ -228,7 +228,11 @@ impl<'a> Cpu<'a> {
             let mut call: Option<(FuncId, usize)> = None;
             for (i, inst) in b.insts.iter().enumerate().skip(inst_index) {
                 if let Inst::Bl { callee } = inst {
-                    self.charge(InstClass::Call, inst.base_cycles(), exec, None);
+                    let mut cycles = inst.base_cycles();
+                    if exec == Section::Flash {
+                        cycles += self.timing.flash_call_penalty_cycles();
+                    }
+                    self.charge(InstClass::Call, cycles, exec, None);
                     call = Some((FuncId(*callee), i + 1));
                     break;
                 }
@@ -257,7 +261,7 @@ impl<'a> Cpu<'a> {
             }
 
             // Terminator.
-            let (next, charge_cycles) = self.evaluate_terminator(&b.term)?;
+            let (next, charge_cycles) = self.evaluate_terminator(&b.term, exec)?;
             self.charge(InstClass::Branch, charge_cycles, exec, None);
             match next {
                 Next::Block(target) => {
@@ -283,14 +287,18 @@ impl<'a> Cpu<'a> {
         }
     }
 
-    fn evaluate_terminator(&mut self, term: &Terminator<BlockId>) -> Result<(Next, u64), RunError> {
+    fn evaluate_terminator(
+        &mut self,
+        term: &Terminator<BlockId>,
+        exec: Section,
+    ) -> Result<(Next, u64), RunError> {
         let kind = term.kind();
-        Ok(match term {
+        let (next, taken) = match term {
             Terminator::Branch { target } | Terminator::IndirectBranch { target } => {
-                (Next::Block(*target), kind.taken_cycles())
+                (Next::Block(*target), true)
             }
             Terminator::FallThrough { target } | Terminator::IndirectFallThrough { target } => {
-                (Next::Block(*target), kind.taken_cycles())
+                (Next::Block(*target), true)
             }
             Terminator::CondBranch {
                 cond,
@@ -303,9 +311,9 @@ impl<'a> Cpu<'a> {
                 fallthrough,
             } => {
                 if cond.holds(self.flags) {
-                    (Next::Block(*target), kind.taken_cycles())
+                    (Next::Block(*target), true)
                 } else {
-                    (Next::Block(*fallthrough), kind.not_taken_cycles())
+                    (Next::Block(*fallthrough), false)
                 }
             }
             Terminator::CompareBranch {
@@ -320,15 +328,23 @@ impl<'a> Cpu<'a> {
                 target,
                 fallthrough,
             } => {
-                let taken = (self.reg(*rn) != 0) == *nonzero;
-                if taken {
-                    (Next::Block(*target), kind.taken_cycles())
+                if (self.reg(*rn) != 0) == *nonzero {
+                    (Next::Block(*target), true)
                 } else {
-                    (Next::Block(*fallthrough), kind.not_taken_cycles())
+                    (Next::Block(*fallthrough), false)
                 }
             }
-            Terminator::Return => (Next::Return, kind.taken_cycles()),
-        })
+            Terminator::Return => (Next::Return, true),
+        };
+        let mut cycles = if taken {
+            kind.taken_cycles()
+        } else {
+            kind.not_taken_cycles()
+        };
+        if exec == Section::Flash {
+            cycles += self.timing.flash_terminator_penalty_cycles(kind, taken);
+        }
+        Ok((next, cycles))
     }
 
     fn execute(&mut self, inst: &Inst, exec: Section) -> Result<(), RunError> {
@@ -540,6 +556,9 @@ impl<'a> Cpu<'a> {
                 self.set_reg(Reg::Sp, v);
             }
             Bl { .. } => unreachable!("calls are handled by the block loop"),
+        }
+        if exec == Section::Flash {
+            cycles += self.timing.flash_instr_penalty_cycles();
         }
         self.charge(inst.class(), cycles, exec, data_section);
         Ok(())

@@ -1139,6 +1139,18 @@ impl Emitter {
         let alu = CycleCounters::flat_index(InstClass::Alu, exec, None);
         let branch_bucket = CycleCounters::flat_index(InstClass::Branch, exec, None);
 
+        // Flash wait-state penalties are statically known per block:
+        // RAM-resident code pays none, flash-resident code pays the fetch
+        // penalty on every instruction and the refill/call penalties on
+        // control transfers — so they prefuse into the static charges.
+        let (instr_pen, call_pen) = match exec {
+            Section::Flash => (
+                timing.flash_instr_penalty_cycles(),
+                timing.flash_call_penalty_cycles(),
+            ),
+            Section::Ram => (0, 0),
+        };
+
         // Fused static charges and execution ops of the current segment.
         let mut fused: BTreeMap<u16, u64> = BTreeMap::new();
         let mut body: Vec<Op> = Vec::new();
@@ -1150,24 +1162,24 @@ impl Emitter {
                     // Execution is a no-op; only the charge survives decoding.
                     *fused
                         .entry(CycleCounters::flat_index(InstClass::Nop, exec, None))
-                        .or_insert(0) += inst.base_cycles();
+                        .or_insert(0) += inst.base_cycles() + instr_pen;
                 }
                 Inst::MovImm { rd, imm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::MovImm {
                         rd: rd.index() as u8,
                         imm: *imm,
                     });
                 }
                 Inst::MovReg { rd, rm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::MovReg {
                         rd: rd.index() as u8,
                         rm: rm.index() as u8,
                     });
                 }
                 Inst::MovCond { cond, rd, imm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::MovCond {
                         cond: *cond,
                         rd: rd.index() as u8,
@@ -1190,7 +1202,7 @@ impl Emitter {
                     };
                     // The literal pool lives alongside the code, so the data
                     // section equals the executing section — statically known.
-                    let mut cycles = inst.base_cycles();
+                    let mut cycles = inst.base_cycles() + instr_pen;
                     if exec == Section::Ram {
                         cycles += timing.ram_load_contention_cycles;
                     }
@@ -1203,7 +1215,7 @@ impl Emitter {
                     });
                 }
                 Inst::AddImm { rd, rn, imm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::AddImm {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1211,7 +1223,7 @@ impl Emitter {
                     });
                 }
                 Inst::AddReg { rd, rn, rm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::AddReg {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1219,7 +1231,7 @@ impl Emitter {
                     });
                 }
                 Inst::SubImm { rd, rn, imm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::SubImm {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1227,7 +1239,7 @@ impl Emitter {
                     });
                 }
                 Inst::SubReg { rd, rn, rm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::SubReg {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1235,7 +1247,7 @@ impl Emitter {
                     });
                 }
                 Inst::RsbImm { rd, rn, imm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::RsbImm {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1245,7 +1257,7 @@ impl Emitter {
                 Inst::Mul { rd, rn, rm } => {
                     *fused
                         .entry(CycleCounters::flat_index(InstClass::Mul, exec, None))
-                        .or_insert(0) += inst.base_cycles();
+                        .or_insert(0) += inst.base_cycles() + instr_pen;
                     body.push(Op::Mul {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1255,7 +1267,7 @@ impl Emitter {
                 Inst::Sdiv { rd, rn, rm } => {
                     *fused
                         .entry(CycleCounters::flat_index(InstClass::Div, exec, None))
-                        .or_insert(0) += inst.base_cycles();
+                        .or_insert(0) += inst.base_cycles() + instr_pen;
                     body.push(Op::Sdiv {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1265,7 +1277,7 @@ impl Emitter {
                 Inst::Udiv { rd, rn, rm } => {
                     *fused
                         .entry(CycleCounters::flat_index(InstClass::Div, exec, None))
-                        .or_insert(0) += inst.base_cycles();
+                        .or_insert(0) += inst.base_cycles() + instr_pen;
                     body.push(Op::Udiv {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1273,7 +1285,7 @@ impl Emitter {
                     });
                 }
                 Inst::And { rd, rn, rm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::And {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1281,7 +1293,7 @@ impl Emitter {
                     });
                 }
                 Inst::Orr { rd, rn, rm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::Orr {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1289,7 +1301,7 @@ impl Emitter {
                     });
                 }
                 Inst::Eor { rd, rn, rm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::Eor {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1297,7 +1309,7 @@ impl Emitter {
                     });
                 }
                 Inst::Bic { rd, rn, rm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::Bic {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1305,14 +1317,14 @@ impl Emitter {
                     });
                 }
                 Inst::Mvn { rd, rm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::Mvn {
                         rd: rd.index() as u8,
                         rm: rm.index() as u8,
                     });
                 }
                 Inst::AndImm { rd, rn, imm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::AndImm {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1320,7 +1332,7 @@ impl Emitter {
                     });
                 }
                 Inst::OrrImm { rd, rn, imm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::OrrImm {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1328,7 +1340,7 @@ impl Emitter {
                     });
                 }
                 Inst::EorImm { rd, rn, imm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::EorImm {
                         rd: rd.index() as u8,
                         rn: rn.index() as u8,
@@ -1336,7 +1348,7 @@ impl Emitter {
                     });
                 }
                 Inst::ShiftImm { op, rd, rm, imm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::ShiftImm {
                         op: *op,
                         rd: rd.index() as u8,
@@ -1345,7 +1357,7 @@ impl Emitter {
                     });
                 }
                 Inst::ShiftReg { op, rd, rn, rm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::ShiftReg {
                         op: *op,
                         rd: rd.index() as u8,
@@ -1354,14 +1366,14 @@ impl Emitter {
                     });
                 }
                 Inst::CmpImm { rn, imm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::CmpImm {
                         rn: rn.index() as u8,
                         imm: *imm,
                     });
                 }
                 Inst::CmpReg { rn, rm } => {
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::CmpReg {
                         rn: rn.index() as u8,
                         rm: rm.index() as u8,
@@ -1370,7 +1382,7 @@ impl Emitter {
                 Inst::AddSp { delta } => {
                     // `add sp, sp, #delta` is just an immediate add after
                     // decoding.
-                    *fused.entry(alu).or_insert(0) += 1;
+                    *fused.entry(alu).or_insert(0) += 1 + instr_pen;
                     body.push(Op::AddImm {
                         rd: Reg::Sp.index() as u8,
                         rn: Reg::Sp.index() as u8,
@@ -1387,7 +1399,7 @@ impl Emitter {
                         rd: rd.index() as u8,
                         base: base.index() as u8,
                         width: *width,
-                        charge: mem_charge(inst, InstClass::Load, exec),
+                        charge: mem_charge(inst, InstClass::Load, exec, instr_pen),
                         offset: *offset,
                     });
                 }
@@ -1402,7 +1414,7 @@ impl Emitter {
                         base: base.index() as u8,
                         index: index.index() as u8,
                         width: *width,
-                        charge: mem_charge(inst, InstClass::Load, exec),
+                        charge: mem_charge(inst, InstClass::Load, exec, instr_pen),
                     });
                 }
                 Inst::Store {
@@ -1415,7 +1427,7 @@ impl Emitter {
                         rs: rs.index() as u8,
                         base: base.index() as u8,
                         width: *width,
-                        charge: mem_charge(inst, InstClass::Store, exec),
+                        charge: mem_charge(inst, InstClass::Store, exec, instr_pen),
                         offset: *offset,
                     });
                 }
@@ -1430,7 +1442,7 @@ impl Emitter {
                         base: base.index() as u8,
                         index: index.index() as u8,
                         width: *width,
-                        charge: mem_charge(inst, InstClass::Store, exec),
+                        charge: mem_charge(inst, InstClass::Store, exec, instr_pen),
                     });
                 }
                 Inst::Push { regs } => {
@@ -1444,7 +1456,7 @@ impl Emitter {
                             exec,
                             Some(Section::Ram),
                         ))
-                        .or_insert(0) += inst.base_cycles();
+                        .or_insert(0) += inst.base_cycles() + instr_pen;
                     let start = self.reg_lists.len() as u32;
                     self.reg_lists.extend_from_slice(regs);
                     body.push(Op::Push {
@@ -1459,7 +1471,7 @@ impl Emitter {
                             exec,
                             Some(Section::Ram),
                         ))
-                        .or_insert(0) += inst.base_cycles();
+                        .or_insert(0) += inst.base_cycles() + instr_pen;
                     let start = self.reg_lists.len() as u32;
                     self.reg_lists.extend_from_slice(regs);
                     body.push(Op::Pop {
@@ -1481,7 +1493,7 @@ impl Emitter {
                         target: 0,
                         callee: *callee,
                         bucket: CycleCounters::flat_index(InstClass::Call, exec, None),
-                        cycles: inst.base_cycles() as u8,
+                        cycles: (inst.base_cycles() + call_pen) as u8,
                     };
                     self.flush_chunk(&mut fused, &mut body, is_head, flat_block, exit)?;
                     is_head = false;
@@ -1499,6 +1511,13 @@ impl Emitter {
             Ok((self.func_block_base[fi] + t.index()) as u32)
         };
         let kind = b.term.kind();
+        let (term_taken_pen, term_not_taken_pen) = match exec {
+            Section::Flash => (
+                timing.flash_terminator_penalty_cycles(kind, true),
+                timing.flash_terminator_penalty_cycles(kind, false),
+            ),
+            Section::Ram => (0, 0),
+        };
         let exit = match &b.term {
             Terminator::Branch { target }
             | Terminator::IndirectBranch { target }
@@ -1506,7 +1525,7 @@ impl Emitter {
             | Terminator::IndirectFallThrough { target } => ChunkExit::Jump {
                 target: target_block(*target)?,
                 bucket: branch_bucket,
-                cycles: kind.taken_cycles() as u8,
+                cycles: (kind.taken_cycles() + term_taken_pen) as u8,
             },
             Terminator::CondBranch {
                 cond,
@@ -1520,8 +1539,8 @@ impl Emitter {
             } => {
                 let target = target_block(*target)?;
                 let fallthrough = target_block(*fallthrough)?;
-                let taken_cycles = kind.taken_cycles() as u8;
-                let not_taken_cycles = kind.not_taken_cycles() as u8;
+                let taken_cycles = (kind.taken_cycles() + term_taken_pen) as u8;
+                let not_taken_cycles = (kind.not_taken_cycles() + term_not_taken_pen) as u8;
                 // Fuse the compare that feeds the branch into the exit —
                 // `cmp` + conditional branch ends almost half of all
                 // dynamic blocks.
@@ -1578,13 +1597,13 @@ impl Emitter {
                 rn: rn.index() as u8,
                 target: target_block(*target)?,
                 fallthrough: target_block(*fallthrough)?,
-                taken_cycles: kind.taken_cycles() as u8,
-                not_taken_cycles: kind.not_taken_cycles() as u8,
+                taken_cycles: (kind.taken_cycles() + term_taken_pen) as u8,
+                not_taken_cycles: (kind.not_taken_cycles() + term_not_taken_pen) as u8,
                 bucket: branch_bucket,
             },
             Terminator::Return => ChunkExit::Return {
                 bucket: branch_bucket,
-                cycles: kind.taken_cycles() as u8,
+                cycles: (kind.taken_cycles() + term_taken_pen) as u8,
             },
         };
         self.flush_chunk(&mut fused, &mut body, is_head, flat_block, exit)?;
@@ -1629,10 +1648,10 @@ impl Emitter {
     }
 }
 
-fn mem_charge(inst: &Inst, class: InstClass, exec: Section) -> MemCharge {
+fn mem_charge(inst: &Inst, class: InstClass, exec: Section, instr_pen: u64) -> MemCharge {
     MemCharge {
         flat_base: CycleCounters::flat_index(class, exec, None),
-        base_cycles: inst.base_cycles() as u8,
+        base_cycles: (inst.base_cycles() + instr_pen) as u8,
         contend: exec == Section::Ram,
     }
 }

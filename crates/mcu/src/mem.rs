@@ -7,6 +7,7 @@
 //! hardware, and so that every access can be attributed to flash or RAM for
 //! the power model and the contention rule.
 
+use flashram_device::DeviceDescriptor;
 use flashram_ir::{MachineProgram, Section};
 use flashram_isa::MemWidth;
 
@@ -26,27 +27,42 @@ pub struct MemoryMap {
 }
 
 impl MemoryMap {
-    /// The STM32F100RB map used in the paper's evaluation: 64 KB flash,
-    /// 8 KB SRAM, 1 KB of which is reserved for the stack.
-    pub fn stm32f100() -> MemoryMap {
+    /// The memory map described by a device-database entry.
+    pub fn from_descriptor(desc: &DeviceDescriptor) -> MemoryMap {
         MemoryMap {
-            flash_base: 0x0800_0000,
-            flash_size: 64 * 1024,
-            ram_base: 0x2000_0000,
-            ram_size: 8 * 1024,
-            stack_reserve: 1024,
+            flash_base: desc.memory.code.base,
+            flash_size: desc.memory.code.size,
+            ram_base: desc.memory.ram.base,
+            ram_size: desc.memory.ram.size,
+            stack_reserve: desc.memory.stack_reserve,
+        }
+    }
+
+    /// The STM32F100RB map used in the paper's evaluation: 64 KB flash,
+    /// 8 KB SRAM, 1 KB of which is reserved for the stack (the `stm32f100`
+    /// entry of the device database).
+    pub fn stm32f100() -> MemoryMap {
+        MemoryMap::from_descriptor(&flashram_device::STM32F100)
+    }
+
+    /// Classify an address: which memory it falls in (if any) and its byte
+    /// offset within that memory.  This is the single source of truth for
+    /// address decoding; [`MemoryMap::section_of`] and the data memory's
+    /// access path both derive from it.
+    #[inline]
+    pub fn locate(&self, addr: u32) -> Option<(Section, u32)> {
+        if addr >= self.flash_base && addr - self.flash_base < self.flash_size {
+            Some((Section::Flash, addr - self.flash_base))
+        } else if addr >= self.ram_base && addr - self.ram_base < self.ram_size {
+            Some((Section::Ram, addr - self.ram_base))
+        } else {
+            None
         }
     }
 
     /// Which memory an address falls in, if any.
     pub fn section_of(&self, addr: u32) -> Option<Section> {
-        if addr >= self.flash_base && addr < self.flash_base + self.flash_size {
-            Some(Section::Flash)
-        } else if addr >= self.ram_base && addr < self.ram_base + self.ram_size {
-            Some(Section::Ram)
-        } else {
-            None
-        }
+        self.locate(addr).map(|(section, _)| section)
     }
 
     /// The initial stack pointer (top of RAM).
@@ -240,23 +256,18 @@ impl Memory {
 
     #[inline]
     fn slot(&self, addr: u32, len: u32, write: bool) -> Result<(Section, usize), Fault> {
-        match self.map.section_of(addr) {
-            Some(Section::Flash) if !write => {
-                let off = (addr - self.map.flash_base) as usize;
-                if off + len as usize <= self.flash.len() {
-                    return Ok((Section::Flash, off));
-                }
-                Err(Fault { addr, write })
-            }
-            Some(Section::Flash) => Err(Fault { addr, write }),
-            Some(Section::Ram) => {
-                let off = (addr - self.map.ram_base) as usize;
-                if off + len as usize <= self.ram.len() {
-                    return Ok((Section::Ram, off));
-                }
-                Err(Fault { addr, write })
-            }
-            None => Err(Fault { addr, write }),
+        let fault = Fault { addr, write };
+        let (section, off) = self.map.locate(addr).ok_or(fault)?;
+        let limit = match section {
+            Section::Flash if write => return Err(fault),
+            Section::Flash => self.flash.len(),
+            Section::Ram => self.ram.len(),
+        };
+        let off = off as usize;
+        if off + len as usize <= limit {
+            Ok((section, off))
+        } else {
+            Err(fault)
         }
     }
 
@@ -347,6 +358,17 @@ mod tests {
         assert_eq!(map.section_of(0x2000_2000), None);
         assert_eq!(map.section_of(0x0000_0000), None);
         assert_eq!(map.initial_sp(), 0x2000_2000);
+    }
+
+    #[test]
+    fn locate_reports_sections_with_offsets() {
+        let map = MemoryMap::stm32f100();
+        assert_eq!(map.locate(0x0800_0000), Some((Section::Flash, 0)));
+        assert_eq!(map.locate(0x0800_ffff), Some((Section::Flash, 0xffff)));
+        assert_eq!(map.locate(0x2000_0010), Some((Section::Ram, 0x10)));
+        assert_eq!(map.locate(0x2000_1fff), Some((Section::Ram, 0x1fff)));
+        assert_eq!(map.locate(0x07ff_ffff), None);
+        assert_eq!(map.locate(0x2000_2000), None);
     }
 
     #[test]

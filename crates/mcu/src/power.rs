@@ -5,9 +5,17 @@
 //! STM32F100RB.  The flash numbers cluster around 15–16 mW, the RAM numbers
 //! around 8–10 mW, and the one exception is a loop running from RAM whose
 //! loads read flash — it pays close to the flash power again.  The constants
-//! below reproduce those relationships; they are a calibration of the
-//! published figure, not a measurement.
+//! live on the device database's `stm32f100` entry (see `flashram-device`);
+//! they are a calibration of the published figure, not a measurement.
+//!
+//! The model is fully per-class: every [`InstClass`] has its own flash and
+//! RAM power, so device-database entries can describe parts whose multiply
+//! or stack traffic draws differently from plain ALU ops.  The historical
+//! STM32F100 calibration sets `mul = div = alu`, `stack = store` and
+//! `call = branch`, which keeps every simulation bit-identical to the
+//! original five-constant-per-memory model.
 
+use flashram_device::DeviceDescriptor;
 use flashram_ir::Section;
 use flashram_isa::InstClass;
 
@@ -18,16 +26,28 @@ use flashram_isa::InstClass;
 pub struct PowerModel {
     /// Power while executing ALU-class instructions from flash.
     pub flash_alu_mw: f64,
+    /// Power while executing multiplies from flash.
+    pub flash_mul_mw: f64,
+    /// Power while executing divides from flash.
+    pub flash_div_mw: f64,
     /// Power while executing loads from flash (data in either memory).
     pub flash_load_mw: f64,
     /// Power while executing stores from flash.
     pub flash_store_mw: f64,
+    /// Power while executing push/pop stack traffic from flash.
+    pub flash_stack_mw: f64,
     /// Power while executing `nop`s from flash.
     pub flash_nop_mw: f64,
-    /// Power while executing branches/calls from flash.
+    /// Power while executing branches from flash.
     pub flash_branch_mw: f64,
+    /// Power while executing calls from flash.
+    pub flash_call_mw: f64,
     /// Power while executing ALU-class instructions from RAM.
     pub ram_alu_mw: f64,
+    /// Power while executing multiplies from RAM.
+    pub ram_mul_mw: f64,
+    /// Power while executing divides from RAM.
+    pub ram_div_mw: f64,
     /// Power while executing loads from RAM when the data is also in RAM.
     pub ram_load_mw: f64,
     /// Power while executing loads from RAM when the data is in flash
@@ -35,32 +55,52 @@ pub struct PowerModel {
     pub ram_load_flash_data_mw: f64,
     /// Power while executing stores from RAM.
     pub ram_store_mw: f64,
+    /// Power while executing push/pop stack traffic from RAM.
+    pub ram_stack_mw: f64,
     /// Power while executing `nop`s from RAM.
     pub ram_nop_mw: f64,
-    /// Power while executing branches/calls from RAM.
+    /// Power while executing branches from RAM.
     pub ram_branch_mw: f64,
+    /// Power while executing calls from RAM.
+    pub ram_call_mw: f64,
     /// Quiescent power of the sleep state used by the periodic-sensing case
     /// study (Section 7 of the paper measures 3.5 mW).
     pub sleep_mw: f64,
 }
 
 impl PowerModel {
-    /// The calibration used throughout the reproduction (see module docs).
-    pub fn stm32f100() -> PowerModel {
+    /// Build the power model described by a device-database entry.
+    pub fn from_descriptor(desc: &DeviceDescriptor) -> PowerModel {
+        let f = &desc.energy.flash;
+        let r = &desc.energy.ram;
         PowerModel {
-            flash_alu_mw: 15.2,
-            flash_load_mw: 16.0,
-            flash_store_mw: 15.6,
-            flash_nop_mw: 14.6,
-            flash_branch_mw: 15.0,
-            ram_alu_mw: 8.6,
-            ram_load_mw: 9.6,
-            ram_load_flash_data_mw: 15.0,
-            ram_store_mw: 9.2,
-            ram_nop_mw: 8.0,
-            ram_branch_mw: 8.8,
-            sleep_mw: 3.5,
+            flash_alu_mw: f.alu_mw,
+            flash_mul_mw: f.mul_mw,
+            flash_div_mw: f.div_mw,
+            flash_load_mw: f.load_mw,
+            flash_store_mw: f.store_mw,
+            flash_stack_mw: f.stack_mw,
+            flash_nop_mw: f.nop_mw,
+            flash_branch_mw: f.branch_mw,
+            flash_call_mw: f.call_mw,
+            ram_alu_mw: r.alu_mw,
+            ram_mul_mw: r.mul_mw,
+            ram_div_mw: r.div_mw,
+            ram_load_mw: r.load_mw,
+            ram_load_flash_data_mw: desc.energy.ram_load_flash_data_mw,
+            ram_store_mw: r.store_mw,
+            ram_stack_mw: r.stack_mw,
+            ram_nop_mw: r.nop_mw,
+            ram_branch_mw: r.branch_mw,
+            ram_call_mw: r.call_mw,
+            sleep_mw: desc.energy.sleep_mw,
         }
+    }
+
+    /// The calibration used throughout the reproduction: the `stm32f100`
+    /// entry of the device database (see module docs).
+    pub fn stm32f100() -> PowerModel {
+        PowerModel::from_descriptor(&flashram_device::STM32F100)
     }
 
     /// The average power drawn while an instruction of class `class`
@@ -70,20 +110,28 @@ impl PowerModel {
         match exec {
             Section::Flash => match class {
                 InstClass::Load => self.flash_load_mw,
-                InstClass::Store | InstClass::Stack => self.flash_store_mw,
+                InstClass::Store => self.flash_store_mw,
+                InstClass::Stack => self.flash_stack_mw,
                 InstClass::Nop => self.flash_nop_mw,
-                InstClass::Branch | InstClass::Call => self.flash_branch_mw,
-                InstClass::Mul | InstClass::Div | InstClass::Alu => self.flash_alu_mw,
+                InstClass::Branch => self.flash_branch_mw,
+                InstClass::Call => self.flash_call_mw,
+                InstClass::Mul => self.flash_mul_mw,
+                InstClass::Div => self.flash_div_mw,
+                InstClass::Alu => self.flash_alu_mw,
             },
             Section::Ram => match class {
                 InstClass::Load => match data {
                     Some(Section::Flash) => self.ram_load_flash_data_mw,
                     _ => self.ram_load_mw,
                 },
-                InstClass::Store | InstClass::Stack => self.ram_store_mw,
+                InstClass::Store => self.ram_store_mw,
+                InstClass::Stack => self.ram_stack_mw,
                 InstClass::Nop => self.ram_nop_mw,
-                InstClass::Branch | InstClass::Call => self.ram_branch_mw,
-                InstClass::Mul | InstClass::Div | InstClass::Alu => self.ram_alu_mw,
+                InstClass::Branch => self.ram_branch_mw,
+                InstClass::Call => self.ram_call_mw,
+                InstClass::Mul => self.ram_mul_mw,
+                InstClass::Div => self.ram_div_mw,
+                InstClass::Alu => self.ram_alu_mw,
             },
         }
     }
@@ -159,5 +207,38 @@ mod tests {
     #[test]
     fn sleep_power_matches_section7() {
         assert!((PowerModel::stm32f100().sleep_mw - 3.5).abs() < 1e-9);
+    }
+
+    /// Regression pin: the `stm32f100` database entry must reproduce the
+    /// exact constants that used to live here as literals, including the
+    /// per-class aliasing (`mul = div = alu`, `stack = store`,
+    /// `call = branch`) and the derived ILP coefficients.  Any drift would
+    /// silently invalidate every golden in the repository.
+    #[test]
+    fn stm32f100_descriptor_pins_the_historical_constants() {
+        let p = PowerModel::stm32f100();
+        assert_eq!(p.flash_alu_mw, 15.2);
+        assert_eq!(p.flash_mul_mw, 15.2);
+        assert_eq!(p.flash_div_mw, 15.2);
+        assert_eq!(p.flash_load_mw, 16.0);
+        assert_eq!(p.flash_store_mw, 15.6);
+        assert_eq!(p.flash_stack_mw, 15.6);
+        assert_eq!(p.flash_nop_mw, 14.6);
+        assert_eq!(p.flash_branch_mw, 15.0);
+        assert_eq!(p.flash_call_mw, 15.0);
+        assert_eq!(p.ram_alu_mw, 8.6);
+        assert_eq!(p.ram_mul_mw, 8.6);
+        assert_eq!(p.ram_div_mw, 8.6);
+        assert_eq!(p.ram_load_mw, 9.6);
+        assert_eq!(p.ram_load_flash_data_mw, 15.0);
+        assert_eq!(p.ram_store_mw, 9.2);
+        assert_eq!(p.ram_stack_mw, 9.2);
+        assert_eq!(p.ram_nop_mw, 8.0);
+        assert_eq!(p.ram_branch_mw, 8.8);
+        assert_eq!(p.ram_call_mw, 8.8);
+        assert_eq!(p.sleep_mw, 3.5);
+        let (e_flash, e_ram) = p.model_coefficients();
+        assert_eq!(e_flash, 15.45);
+        assert_eq!(e_ram, 9.05);
     }
 }

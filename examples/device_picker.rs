@@ -1,0 +1,90 @@
+//! Pick the right part for a power budget: enumerate one kernel's exact
+//! energy/RAM frontier on every entry of the device database and print the
+//! merged device-dominant Pareto set — which device to choose at each RAM
+//! budget, and what the optimal flash-to-RAM placement saves on it.
+//!
+//! The same program lands very differently across parts: a low-power part
+//! wins outright on energy, while a wait-state part (flash fetch stalls
+//! behind the core clock) gets the *largest relative* saving from RAM
+//! placement, because relocated blocks shed the stalls too.
+//!
+//! Run with (benchmark name optional, default `fdct`):
+//!
+//! ```text
+//! cargo run --release --example device_picker [-- benchmark]
+//! ```
+
+use flashram_beebs::Benchmark;
+use flashram_core::{DeviceMatrix, OptimizerConfig};
+use flashram_device::DEVICE_DB;
+use flashram_mcu::{BatchRunner, Board};
+use flashram_minicc::{CompileError, OptLevel};
+
+fn main() -> Result<(), CompileError> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fdct".to_string());
+    let bench = Benchmark::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; available:");
+        for b in Benchmark::all() {
+            eprintln!("  {:<16} {}", b.name, b.description);
+        }
+        std::process::exit(1);
+    });
+    let program = bench.compile(OptLevel::O2)?;
+
+    println!("device database:");
+    for desc in DEVICE_DB.all() {
+        let op = &desc.operating_points[desc.default_operating_point];
+        println!(
+            "  {:<11} {:<34} {:>3} MHz, {} wait state(s), prefetch {}",
+            desc.key,
+            desc.name,
+            (op.clock_hz / 1e6).round() as u64,
+            op.flash.wait_states,
+            if op.flash.prefetch_enabled {
+                "on"
+            } else {
+                "off"
+            },
+        );
+    }
+
+    // Fan the per-device frontier enumerations over the worker pool; the
+    // runner's own board only provides the threads.
+    let runner = BatchRunner::new(Board::stm32vldiscovery());
+    let config = OptimizerConfig::default();
+    let matrix = DeviceMatrix::enumerate(&program, DEVICE_DB.all(), &config, &runner);
+    for (device, err) in &matrix.skipped {
+        eprintln!("skipped {device}: {err}");
+    }
+
+    println!();
+    println!("per-device optimum for `{}`:", bench.name);
+    for df in &matrix.frontiers {
+        let baseline = df.frontier.baseline.energy * df.cycle_time_s;
+        let best = df.best().expect("staircase has a zero-budget step");
+        let best_mj = df.energy_mj(best);
+        println!(
+            "  {:<11} {:>3} frontier steps; all-in-flash {:.6} mJ -> best {:.6} mJ \
+             ({:.1}% saved, {} B of RAM, {} blocks moved)",
+            df.device,
+            df.frontier.points.len(),
+            baseline,
+            best_mj,
+            100.0 * (1.0 - best_mj / baseline),
+            best.model_ram_used,
+            best.selected.len(),
+        );
+    }
+
+    println!();
+    println!("device-dominant Pareto set (which part to pick at each budget):");
+    for p in &matrix.pareto {
+        println!(
+            "  >= {:>5} B spare RAM: {:<11} {:.6} mJ",
+            p.min_ram_bytes, p.device, p.energy_mj
+        );
+    }
+    Ok(())
+}

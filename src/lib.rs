@@ -12,10 +12,13 @@
 //! 3. [`core`] extracts per-block parameters, builds the paper's integer
 //!    linear program, solves it with [`ilp`], and relocates the chosen
 //!    blocks from flash to RAM, rewriting memory-crossing branches;
-//! 4. [`mcu`] simulates the result on an STM32VLDISCOVERY-like board and
-//!    reports cycles, energy and average power;
+//! 4. [`mcu`] simulates the result on any part of the [`device`] database
+//!    (an STM32VLDISCOVERY-like board by default) and reports cycles,
+//!    energy and average power;
 //! 5. [`mod@bench`] wraps all of it into harnesses that regenerate the
-//!    paper's tables and figures, batched over [`mcu::BatchRunner`].
+//!    paper's tables and figures, batched over [`mcu::BatchRunner`],
+//!    including the cross-device placement matrix over every database
+//!    entry.
 //!
 //! This crate re-exports each layer under a short name and hosts the
 //! workspace-level integration tests and examples.
@@ -26,6 +29,7 @@
 pub use flashram_beebs as beebs;
 pub use flashram_bench as bench;
 pub use flashram_core as core;
+pub use flashram_device as device;
 pub use flashram_ilp as ilp;
 pub use flashram_ir as ir;
 pub use flashram_isa as isa;

@@ -32,6 +32,9 @@
 //!     | sed -n '/^Section 6 averages/,$p' > tests/goldens/fig5_averages.txt
 //! cargo run --release -p flashram-bench --bin fig9_case_study \
 //!     > tests/goldens/fig9_case_study.txt
+//! cargo run --release -p flashram-bench --bin device_matrix \
+//!     -- --no-fail crc32 fdct int_matmult \
+//!     | sed '/^kernels where/,$d' > tests/goldens/device_matrix.txt
 //! ```
 
 use flashram::mcu::Board;
@@ -91,6 +94,27 @@ fn fig1_instruction_power_matches_committed_golden() {
         printed, golden,
         "fig1_instruction_power output changed; if intentional, \
          regenerate tests/goldens/fig1_instruction_power.txt"
+    );
+}
+
+/// The cross-device placement matrix (a kernel subset of the
+/// `device_matrix` binary's summary table) against its golden: per-device
+/// exact frontiers, the merged device-dominant Pareto set, and the
+/// tight-probe divergence between the wait-state part and the zero-wait
+/// reference.  Everything behind it is a deterministic ILP enumeration, so
+/// the comparison is exact; the same tie-break caveat as the other solver
+/// goldens applies.
+#[test]
+fn device_matrix_matches_committed_golden() {
+    let golden = include_str!("goldens/device_matrix.txt");
+    let (kernels, failures) =
+        flashram::bench::device_matrix(&["crc32", "fdct", "int_matmult"], OptLevel::O2, 1.5);
+    assert_eq!(failures, Vec::<String>::new(), "device matrix acceptance");
+    let printed = flashram::bench::device_matrix_text(&kernels);
+    assert_eq!(
+        printed, golden,
+        "device_matrix output changed; see the tolerance policy in this \
+         file, then regenerate tests/goldens/device_matrix.txt"
     );
 }
 
