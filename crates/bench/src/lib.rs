@@ -16,6 +16,11 @@
 //! | Simulator throughput (batched vs sequential) | [`sim_perf`] | `sim_perf` → `BENCH_sim.json` |
 //! | Cross-device frontier matrix (device database) | [`device_matrix`] | `device_matrix` → `BENCH_device.json` |
 //!
+//! One trajectory file lives outside this crate: the placement *service*
+//! stress harness (`flashram-serve`'s `stress` binary) regenerates
+//! `BENCH_serve.json` — server throughput, latency percentiles, cache-hit
+//! and degradation rates — alongside the three tracked here.
+//!
 //! The sweeps run on [`BatchRunner`], the `flashram-mcu` worker pool, so a
 //! ten-kernel × five-level sweep saturates every core while returning
 //! results bit-identical to (and ordered like) a sequential loop; compiled

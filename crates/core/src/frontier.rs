@@ -45,7 +45,7 @@
 //! one, returning measured energies alongside the predictions.
 
 use flashram_device::DeviceDescriptor;
-use flashram_ilp::{BranchBound, BranchBoundStats, LpState, Solution, SolveError};
+use flashram_ilp::{BranchBound, BranchBoundStats, GreedySolver, LpState, Solution, SolveError};
 use flashram_ir::{BlockRef, MachineProgram};
 use flashram_mcu::{BatchRunner, Board, RunError, RunResult};
 
@@ -104,6 +104,36 @@ pub struct SweepStats {
     /// cross-point chaining shrinks (the per-node warm-start win inside
     /// each tree is already counted by `BranchBoundStats`).
     pub root_pivots: usize,
+}
+
+/// How a degraded point solve ([`PlacementSession::solve_point_degraded`])
+/// arrived at its answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointResolution {
+    /// The ILP ran to proven optimality.
+    Exact,
+    /// The ILP returned its best incumbent under an exhausted node budget,
+    /// an expired wall-clock limit, or LP-iteration-limited subtrees — a
+    /// feasible placement, not a proven optimum.
+    Incumbent,
+    /// The ILP found no integer solution before its budget ran out and the
+    /// greedy heuristic supplied the placement instead (the documented
+    /// degradation path of [`crate::RamOptimizer`], shared here so the
+    /// service layer degrades identically).
+    FallbackGreedy,
+}
+
+/// A sweep point solved with degradation: the placement plus how it was
+/// obtained.  [`SweepPoint::stats`] always reports the true ILP effort —
+/// for [`PointResolution::FallbackGreedy`] they are the stats of the
+/// *failed* ILP attempt (its `wall_ms`, `seeded` and `root_pivots` cover
+/// the work actually done before the fallback), not zeros.
+#[derive(Debug, Clone)]
+pub struct DegradedPoint {
+    /// The solved (or heuristically chosen) placement.
+    pub point: SweepPoint,
+    /// How the placement was obtained.
+    pub resolution: PointResolution,
 }
 
 /// A placement-optimization session: the model parameters and the ILP are
@@ -234,12 +264,22 @@ impl PlacementSession {
     /// root state survives a failed point, so the sweep continues from the
     /// last good basis.
     pub fn solve_point(&mut self, r_spare: u32, x_limit: f64) -> Result<SweepPoint, SolveError> {
+        self.solve_point_raw(r_spare, x_limit).map_err(|(e, _)| e)
+    }
+
+    /// [`PlacementSession::solve_point`], but a failed solve also reports
+    /// the branch-and-bound effort spent before the failure.
+    fn solve_point_raw(
+        &mut self,
+        r_spare: u32,
+        x_limit: f64,
+    ) -> Result<SweepPoint, (SolveError, Box<BranchBoundStats>)> {
         self.model.set_budgets(r_spare, x_limit);
         // The previous point's optimum seeds the incumbent whenever it is
         // still feasible (always, when a budget relaxes): the search then
         // starts with a proven bound and only explores what the moved
         // right-hand sides improved.
-        let run = self.solver.solve_chained(
+        let run = self.solver.solve_chained_stats(
             &self.model.problem,
             self.root.as_ref(),
             self.last_solution.as_ref(),
@@ -270,8 +310,73 @@ impl PlacementSession {
             model_ram_used,
             stats: run.stats,
             chained: run.chained,
-            proven: !run.stats.budget_exhausted && run.stats.lp_iteration_limited == 0,
+            proven: !run.stats.budget_exhausted
+                && run.stats.lp_iteration_limited == 0
+                && !run.stats.time_limit_hit,
         })
+    }
+
+    /// Solve one point with the documented degradation path: when the ILP
+    /// finds no integer solution within its budgets
+    /// ([`SolveError::BudgetExhausted`] — node cap or wall-clock limit),
+    /// fall back to the greedy heuristic on the same model instead of
+    /// failing.  The returned point's [`SweepPoint::stats`] stay truthful
+    /// in every case: for the fallback they are the failed ILP attempt's
+    /// stats (wall time, seeding, root pivots actually spent), and
+    /// [`DegradedPoint::resolution`] says how the answer was produced.
+    ///
+    /// The warm-start chain is untouched by a degraded point (the greedy
+    /// solution would poison the seeded-incumbent invariant), so a later
+    /// exact point continues from the last good basis.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] and other non-budget failures propagate;
+    /// a greedy failure after budget exhaustion also propagates.
+    pub fn solve_point_degraded(
+        &mut self,
+        r_spare: u32,
+        x_limit: f64,
+    ) -> Result<DegradedPoint, SolveError> {
+        match self.solve_point_raw(r_spare, x_limit) {
+            Ok(point) => {
+                let resolution = if point.proven {
+                    PointResolution::Exact
+                } else {
+                    PointResolution::Incumbent
+                };
+                Ok(DegradedPoint { point, resolution })
+            }
+            Err((SolveError::BudgetExhausted(_), attempt)) => {
+                // `solve_point_raw` already retargeted the budget rows, so
+                // the greedy heuristic sees exactly the budgets the ILP
+                // gave up on.
+                let solution = GreedySolver { allow_unset: false }.solve(&self.model.problem)?;
+                let selected = self.model.selected_blocks(&solution);
+                let predicted = evaluate_placement(&self.params, &selected, &self.model.config);
+                let model_ram_used =
+                    (self.model.ram_used(&solution).round().max(0.0) as u32).min(r_spare);
+                self.stats.points_solved += 1;
+                self.stats.nodes_explored += attempt.nodes_explored;
+                self.stats.lp_pivots += attempt.lp_pivots;
+                self.stats.root_pivots += attempt.root_pivots;
+                Ok(DegradedPoint {
+                    point: SweepPoint {
+                        r_spare,
+                        x_limit,
+                        selected,
+                        predicted,
+                        objective: solution.objective,
+                        model_ram_used,
+                        stats: *attempt,
+                        chained: false,
+                        proven: false,
+                    },
+                    resolution: PointResolution::FallbackGreedy,
+                })
+            }
+            Err((e, _)) => Err(e),
+        }
     }
 
     /// Solve every budget of `budgets` (ascending or descending — chaining
@@ -682,6 +787,38 @@ mod tests {
         // The chain survived the infeasible point.
         let relaxed = out[2].1.as_ref().unwrap();
         assert!(relaxed.chained);
+    }
+
+    #[test]
+    fn degraded_point_is_exact_when_the_budget_suffices() {
+        let mut degraded = session();
+        let solved = degraded.solve_point_degraded(256, 1.5).expect("feasible");
+        assert_eq!(solved.resolution, PointResolution::Exact);
+        assert!(solved.point.proven);
+        let mut plain = session();
+        let reference = plain.solve_point(256, 1.5).expect("feasible");
+        assert_eq!(solved.point.objective, reference.objective);
+        assert_eq!(solved.point.selected, reference.selected);
+    }
+
+    #[test]
+    fn degraded_point_falls_back_to_greedy_with_truthful_stats() {
+        let mut s = session();
+        s.solver.max_nodes = 0;
+        let solved = s.solve_point_degraded(256, 1.5).expect("greedy fallback");
+        assert_eq!(solved.resolution, PointResolution::FallbackGreedy);
+        assert!(!solved.point.proven);
+        assert!(!solved.point.chained);
+        // The stats describe the failed ILP attempt, not the greedy pass.
+        assert!(solved.point.stats.budget_exhausted);
+        assert_eq!(solved.point.stats.nodes_explored, 0);
+        assert!(solved.point.model_ram_used <= 256);
+        // The chain is untouched by a degraded point: restoring the node
+        // budget yields an exact, unchained (cold-root) solve.
+        s.solver.max_nodes = usize::MAX;
+        let next = s.solve_point_degraded(256, 1.5).expect("feasible");
+        assert_eq!(next.resolution, PointResolution::Exact);
+        assert!(!next.point.chained);
     }
 
     #[test]

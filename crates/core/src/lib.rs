@@ -65,8 +65,8 @@ pub mod transform;
 
 pub use case_study::{measure_case_study, period_sweep, CaseStudyMeasurement};
 pub use frontier::{
-    device_dominant_pareto, DeviceFrontier, DeviceMatrix, DevicePoint, Frontier, PlacementSession,
-    SweepPoint, SweepStats, ValidatedPoint,
+    device_dominant_pareto, DegradedPoint, DeviceFrontier, DeviceMatrix, DevicePoint, Frontier,
+    PlacementSession, PointResolution, SweepPoint, SweepStats, ValidatedPoint,
 };
 pub use model::{evaluate_placement, ModelConfig, PlacementEstimate, PlacementModel};
 pub use optimizer::{OptimizeError, OptimizerConfig, Placement, RamOptimizer, Solver};

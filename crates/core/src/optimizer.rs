@@ -8,10 +8,11 @@
 //! frequency estimate or a measured profile (Figure 5).
 
 use flashram_ilp::{BranchBoundStats, GreedySolver, SolveError};
+
 use flashram_ir::{BlockRef, MachineProgram};
 use flashram_mcu::Board;
 
-use crate::frontier::PlacementSession;
+use crate::frontier::{PlacementSession, PointResolution};
 use crate::model::{evaluate_placement, ModelConfig, PlacementEstimate, PlacementModel};
 use crate::params::{extract_params_for_timing, FrequencySource, PlacementScope, ProgramParams};
 use crate::transform::apply_placement_scoped;
@@ -116,8 +117,10 @@ pub struct Placement {
     /// incumbent returned under an exhausted budget or with LP-iteration-
     /// limited subtrees skipped.
     pub heuristic: bool,
-    /// Branch-and-bound statistics of the ILP solve, when one ran to
-    /// completion (`None` for the greedy/none solvers and the fallback).
+    /// Branch-and-bound statistics of the ILP solve (`None` for the
+    /// greedy/none solvers).  For the greedy *fallback* after budget
+    /// exhaustion these are the stats of the failed ILP attempt — the
+    /// effort actually spent before degrading, not zeros.
     pub solver_stats: Option<BranchBoundStats>,
 }
 
@@ -217,38 +220,22 @@ impl RamOptimizer {
             Solver::Ilp => {
                 // A one-point placement session: `optimize` is the
                 // degenerate sweep, so it shares the frontier engine's
-                // solve path (and a caller who wants more points opens
-                // the session directly via `RamOptimizer::session`).  The
+                // solve path — including the degradation to the greedy
+                // heuristic when the node budget (or a wall-clock limit)
+                // runs out before any integer solution exists.  The
                 // session owns the params while solving and hands them
                 // back afterwards.
                 let mut session = PlacementSession::from_params(params, &model_config);
                 if let Some(n) = self.config.max_ilp_nodes {
                     session.solver.max_nodes = n;
                 }
-                match session.solve_point(spare, self.config.x_limit) {
-                    Ok(point) => {
-                        // An incumbent returned under an exhausted node
-                        // budget (or with LP-limited subtrees skipped)
-                        // is not a proven optimum.
-                        (
-                            session.into_params(),
-                            point.selected,
-                            !point.proven,
-                            Some(point.stats),
-                        )
-                    }
-                    // The documented fallback: when the node budget (or a
-                    // node's LP pivot budget) runs out before any integer
-                    // solution exists, degrade to the greedy heuristic
-                    // rather than failing the whole pipeline.
-                    Err(SolveError::BudgetExhausted(_)) => {
-                        let model = session.model();
-                        let solution = GreedySolver { allow_unset: false }.solve(&model.problem)?;
-                        let selected = model.selected_blocks(&solution);
-                        (session.into_params(), selected, true, None)
-                    }
-                    Err(e) => return Err(e.into()),
-                }
+                let solved = session.solve_point_degraded(spare, self.config.x_limit)?;
+                (
+                    session.into_params(),
+                    solved.point.selected,
+                    solved.resolution != PointResolution::Exact,
+                    Some(solved.point.stats),
+                )
             }
             Solver::Greedy => {
                 let model = PlacementModel::build(&params, &model_config);
@@ -428,7 +415,11 @@ mod tests {
         .optimize(&prog, &board)
         .expect("budget exhaustion must not be a hard error");
         assert!(placement.heuristic, "the fallback result is heuristic");
-        assert!(placement.solver_stats.is_none());
+        let stats = placement
+            .solver_stats
+            .expect("the failed ILP attempt's stats are reported truthfully");
+        assert!(stats.budget_exhausted, "a zero-node budget is exhausted");
+        assert_eq!(stats.nodes_explored, 0);
         // The fallback placement must still be safe to run.
         let opt = board.run(&placement.program).unwrap();
         let base = board.run(&prog).unwrap();

@@ -42,7 +42,7 @@
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::rc::Rc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::basis::LpState;
 use crate::cuts::{self, PresolveResult};
@@ -100,6 +100,13 @@ pub struct BranchBoundStats {
     /// Wall-clock time of the solve in milliseconds.  After an abort and
     /// fallback this covers **both** attempts.
     pub wall_ms: f64,
+    /// Whether the solve was cut short by [`BranchBound::time_limit`].  The
+    /// returned solution (if any) is then the best incumbent, not
+    /// necessarily optimal — the wall-clock analogue of
+    /// [`budget_exhausted`](BranchBoundStats::budget_exhausted), kept
+    /// separate so deadline-driven degradation (inherently timing-dependent)
+    /// is distinguishable from deterministic node-budget exhaustion.
+    pub time_limit_hit: bool,
 }
 
 /// The outcome of one chained branch-and-bound solve (see
@@ -176,6 +183,14 @@ pub struct BranchBound {
     /// Run the knapsack presolve pass (variable fixing + coefficient
     /// tightening) before the search (default on).
     pub presolve: bool,
+    /// Wall-clock budget for one solve, checked before every node
+    /// expansion.  When it expires the search stops and returns the best
+    /// incumbent with [`BranchBoundStats::time_limit_hit`] set (or
+    /// [`SolveError::BudgetExhausted`] if no integer solution was found
+    /// yet).  `None` (the default) disables the check.  A solve interrupted
+    /// by the time limit is **not deterministic** — callers that need
+    /// reproducible results must leave this unset and rely on `max_nodes`.
+    pub time_limit: Option<Duration>,
 }
 
 impl Default for BranchBound {
@@ -191,6 +206,7 @@ impl Default for BranchBound {
             cut_depth: 2,
             max_cuts: 24,
             presolve: true,
+            time_limit: None,
         }
     }
 }
@@ -342,6 +358,24 @@ fn state_bytes(state: &LpState) -> usize {
     8 * (rows * cols + 2 * rows + 4 * cols)
 }
 
+/// Fold the effort of an abandoned chained attempt into the retry's stats
+/// (additive counters only — `root_pivots` stays the final root's count and
+/// `seeded` is handled by the caller).
+fn merge_aborted_attempt(stats: &mut BranchBoundStats, aborted: &BranchBoundStats) {
+    stats.nodes_explored += aborted.nodes_explored;
+    stats.nodes_pruned += aborted.nodes_pruned;
+    stats.lp_pivots += aborted.lp_pivots;
+    stats.lp_iteration_limited += aborted.lp_iteration_limited;
+    stats.cold_solves += aborted.cold_solves;
+    stats.cold_pivots += aborted.cold_pivots;
+    stats.warm_solves += aborted.warm_solves;
+    stats.warm_pivots += aborted.warm_pivots;
+    stats.cut_pivots += aborted.cut_pivots;
+    stats.cuts_added += aborted.cuts_added;
+    stats.wall_ms += aborted.wall_ms;
+    stats.time_limit_hit |= aborted.time_limit_hit;
+}
+
 fn is_integral(solution: &Solution, binaries: &[Var], tol: f64) -> bool {
     binaries.iter().all(|v| {
         let val = solution.value(*v);
@@ -377,9 +411,10 @@ impl BranchBound {
         &self,
         problem: &Problem,
     ) -> Result<(Solution, BranchBoundStats), SolveError> {
-        match self.solve_inner(problem, None, None, false, None)? {
-            InnerOutcome::Done(run) => Ok((run.solution, run.stats)),
-            InnerOutcome::ChainAborted(..) => unreachable!("an uncapped solve cannot abort"),
+        match self.solve_inner(problem, None, None, false, None) {
+            Ok(InnerOutcome::Done(run)) => Ok((run.solution, run.stats)),
+            Ok(InnerOutcome::ChainAborted(..)) => unreachable!("an uncapped solve cannot abort"),
+            Err((e, _)) => Err(e),
         }
     }
 
@@ -419,6 +454,29 @@ impl BranchBound {
         warm_root: Option<&LpState>,
         seed: Option<&Solution>,
     ) -> Result<ChainedSolve, SolveError> {
+        self.solve_chained_stats(problem, warm_root, seed)
+            .map_err(|(e, _)| e)
+    }
+
+    /// [`BranchBound::solve_chained`], but a failed solve also reports the
+    /// search statistics of the attempt — the node/pivot counts and wall
+    /// time spent before the budget (node, LP-iteration or wall-clock) ran
+    /// out.  Degradation layers that fall back to a heuristic after
+    /// [`SolveError::BudgetExhausted`] use this to keep their effort
+    /// accounting truthful instead of reporting the failed attempt as free.
+    ///
+    /// # Errors
+    ///
+    /// See [`BranchBound::solve_chained`]; every error carries the stats of
+    /// the work done up to the failure (for a chained attempt that aborted
+    /// and failed on the cold retry, the stats cover both attempts).  The
+    /// stats ride boxed so the error variant stays pointer-sized.
+    pub fn solve_chained_stats(
+        &self,
+        problem: &Problem,
+        warm_root: Option<&LpState>,
+        seed: Option<&Solution>,
+    ) -> Result<ChainedSolve, (SolveError, Box<BranchBoundStats>)> {
         if self.warm_start && warm_root.is_some() {
             match self.solve_inner(problem, warm_root, seed, true, self.chain_cap())? {
                 InnerOutcome::Done(run) => return Ok(*run),
@@ -438,28 +496,25 @@ impl BranchBound {
                         (Some(inc), None) => Some(inc),
                         (None, s) => s,
                     };
-                    let InnerOutcome::Done(mut run) =
-                        self.solve_inner(problem, None, retry_seed, true, None)?
-                    else {
-                        unreachable!("an uncapped solve cannot abort")
-                    };
                     // The wasted effort stays in the stats — pivot
-                    // accounting must cover the failed attempt too.  The
-                    // aborted root's pivots are already inside lp/warm
-                    // pivots; `root_pivots` stays the *final* root's count
-                    // (the retry recorded it), and `seeded` reports the
-                    // caller's seed, not the internal re-seed.
-                    run.stats.nodes_explored += aborted.nodes_explored;
-                    run.stats.nodes_pruned += aborted.nodes_pruned;
-                    run.stats.lp_pivots += aborted.lp_pivots;
-                    run.stats.lp_iteration_limited += aborted.lp_iteration_limited;
-                    run.stats.cold_solves += aborted.cold_solves;
-                    run.stats.cold_pivots += aborted.cold_pivots;
-                    run.stats.warm_solves += aborted.warm_solves;
-                    run.stats.warm_pivots += aborted.warm_pivots;
-                    run.stats.cut_pivots += aborted.cut_pivots;
-                    run.stats.cuts_added += aborted.cuts_added;
-                    run.stats.wall_ms += aborted.wall_ms;
+                    // accounting must cover the failed attempt too, on the
+                    // error path as much as on success.  The aborted root's
+                    // pivots are already inside lp/warm pivots;
+                    // `root_pivots` stays the *final* root's count (the
+                    // retry recorded it), and `seeded` reports the caller's
+                    // seed, not the internal re-seed.
+                    let mut run = match self.solve_inner(problem, None, retry_seed, true, None) {
+                        Ok(InnerOutcome::Done(run)) => run,
+                        Ok(InnerOutcome::ChainAborted(..)) => {
+                            unreachable!("an uncapped solve cannot abort")
+                        }
+                        Err((e, mut stats)) => {
+                            merge_aborted_attempt(&mut stats, &aborted);
+                            stats.seeded = aborted.seeded;
+                            return Err((e, stats));
+                        }
+                    };
+                    merge_aborted_attempt(&mut run.stats, &aborted);
                     run.stats.seeded = aborted.seeded;
                     return Ok(*run);
                 }
@@ -491,10 +546,15 @@ impl BranchBound {
         seed: Option<&Solution>,
         capture_root: bool,
         chain_cap: Option<usize>,
-    ) -> Result<InnerOutcome, SolveError> {
+    ) -> Result<InnerOutcome, (SolveError, Box<BranchBoundStats>)> {
         let started = Instant::now();
-        problem.check()?;
+        problem.check().map_err(|e| (e, Box::default()))?;
         let mut stats = BranchBoundStats::default();
+        // Stamp the wall time into the stats of whichever error path fires.
+        let fail = |mut stats: BranchBoundStats, e: SolveError| {
+            stats.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            (e, Box::new(stats))
+        };
         let mut root_state: Option<LpState> = None;
         let chained = warm_root.is_some() && self.warm_start;
         let binaries = problem.binary_vars();
@@ -518,7 +578,7 @@ impl BranchBound {
             PresolveResult::default()
         };
         if pre.infeasible {
-            return Err(SolveError::Infeasible);
+            return Err(fail(stats, SolveError::Infeasible));
         }
         stats.presolve_fixed = pre.num_fixed();
         let sep_sources: Vec<(Vec<(Var, f64)>, f64)> = if self.cuts {
@@ -587,6 +647,15 @@ impl BranchBound {
                         stats.nodes_pruned += 1;
                         continue;
                     }
+                }
+            }
+            // The wall-clock budget outranks every other stopping rule: an
+            // expired deadline ends the search immediately, chained or not,
+            // returning whatever incumbent exists.
+            if let Some(limit) = self.time_limit {
+                if started.elapsed() >= limit {
+                    stats.time_limit_hit = true;
+                    break;
                 }
             }
             if let Some(cap) = chain_cap {
@@ -663,7 +732,7 @@ impl BranchBound {
                     // ILP itself is unbounded (binaries alone cannot bound
                     // a continuous ray).
                     if node.depth == 0 {
-                        return Err(SolveError::Unbounded);
+                        return Err(fail(stats, SolveError::Unbounded));
                     }
                     continue;
                 }
@@ -676,7 +745,7 @@ impl BranchBound {
                 SimplexOutcome::InvalidModel(why) => {
                     // `problem.check()` passed, so this indicates solver-side
                     // state corruption; surface it rather than mask it.
-                    return Err(SolveError::InvalidModel(why));
+                    return Err(fail(stats, SolveError::InvalidModel(why)));
                 }
             };
 
@@ -773,7 +842,7 @@ impl BranchBound {
                             break;
                         }
                         SimplexOutcome::InvalidModel(why) => {
-                            return Err(SolveError::InvalidModel(why));
+                            return Err(fail(stats, SolveError::InvalidModel(why)));
                         }
                     }
                 }
@@ -892,7 +961,10 @@ impl BranchBound {
                 root_state,
                 chained,
             }))),
-            None if stats.budget_exhausted || stats.lp_iteration_limited > 0 => {
+            None if stats.budget_exhausted
+                || stats.lp_iteration_limited > 0
+                || stats.time_limit_hit =>
+            {
                 let mut reasons = Vec::new();
                 if stats.budget_exhausted {
                     reasons.push(format!("node budget of {} exhausted", self.max_nodes));
@@ -903,12 +975,21 @@ impl BranchBound {
                         stats.lp_iteration_limited
                     ));
                 }
-                Err(SolveError::BudgetExhausted(format!(
-                    "no integer solution found: {}",
-                    reasons.join("; ")
-                )))
+                if stats.time_limit_hit {
+                    reasons.push(format!(
+                        "wall-clock limit of {:?} expired",
+                        self.time_limit.unwrap_or_default()
+                    ));
+                }
+                Err((
+                    SolveError::BudgetExhausted(format!(
+                        "no integer solution found: {}",
+                        reasons.join("; ")
+                    )),
+                    Box::new(stats),
+                ))
             }
-            None => Err(SolveError::Infeasible),
+            None => Err((SolveError::Infeasible, Box::new(stats))),
         }
     }
 }
@@ -943,6 +1024,84 @@ mod tests {
         assert!(sol.is_set(xs[0]));
         assert!(sol.is_set(xs[1]));
         assert!(!sol.is_set(xs[2]));
+    }
+
+    /// The `knapsack_small` model, returned with its variables.
+    fn small_knapsack() -> (Problem, Vec<Var>) {
+        let values = [10.0, 7.0, 4.0];
+        let weights = [5.0, 4.0, 3.0];
+        let mut p = Problem::new(Sense::Maximize);
+        let xs: Vec<Var> = (0..3).map(|i| p.add_binary(format!("x{i}"))).collect();
+        p.add_constraint(
+            LinearExpr::from_terms(xs.iter().copied().zip(weights.iter().copied())),
+            Cmp::Le,
+            9.0,
+        );
+        p.set_objective(LinearExpr::from_terms(
+            xs.iter().copied().zip(values.iter().copied()),
+        ));
+        (p, xs)
+    }
+
+    #[test]
+    fn expired_time_limit_without_incumbent_reports_stats() {
+        let (p, _) = small_knapsack();
+        let mut solver = BranchBound::new();
+        solver.time_limit = Some(Duration::ZERO);
+        let (err, stats) = solver.solve_chained_stats(&p, None, None).unwrap_err();
+        assert!(
+            matches!(err, SolveError::BudgetExhausted(ref why) if why.contains("wall-clock")),
+            "unexpected error: {err:?}"
+        );
+        assert!(stats.time_limit_hit);
+        assert!(
+            !stats.budget_exhausted,
+            "time and node budgets are distinct"
+        );
+        assert_eq!(stats.nodes_explored, 0, "the search never opened a node");
+        assert!(!stats.seeded);
+    }
+
+    #[test]
+    fn expired_time_limit_returns_the_seeded_incumbent() {
+        let (p, xs) = small_knapsack();
+        // Feasible but suboptimal: item 2 alone (weight 3, value 4).
+        let seed = Solution {
+            values: vec![0.0, 0.0, 1.0],
+            objective: 4.0,
+        };
+        let mut solver = BranchBound::new();
+        solver.time_limit = Some(Duration::ZERO);
+        let run = solver.solve_chained(&p, None, Some(&seed)).unwrap();
+        assert_close(run.solution.objective, 4.0);
+        assert!(run.solution.is_set(xs[2]));
+        assert!(run.stats.time_limit_hit);
+        assert!(run.stats.seeded);
+        assert_eq!(run.stats.nodes_explored, 0);
+    }
+
+    #[test]
+    fn generous_time_limit_changes_nothing() {
+        let (p, _) = small_knapsack();
+        let mut solver = BranchBound::new();
+        solver.time_limit = Some(Duration::from_secs(3600));
+        let run = solver.solve_chained(&p, None, None).unwrap();
+        assert_close(run.solution.objective, 17.0);
+        assert!(!run.stats.time_limit_hit);
+        let plain = BranchBound::new().solve(&p).unwrap();
+        assert_eq!(run.solution.values, plain.values);
+    }
+
+    #[test]
+    fn budget_exhausted_error_carries_the_attempt_stats() {
+        let (p, _) = small_knapsack();
+        let mut solver = BranchBound::new();
+        solver.max_nodes = 0;
+        let (err, stats) = solver.solve_chained_stats(&p, None, None).unwrap_err();
+        assert!(matches!(err, SolveError::BudgetExhausted(_)));
+        assert!(stats.budget_exhausted);
+        assert!(!stats.time_limit_hit);
+        assert!(stats.wall_ms >= 0.0);
     }
 
     #[test]

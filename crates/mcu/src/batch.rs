@@ -54,6 +54,17 @@ pub struct BatchRunner {
     threads: NonZeroUsize,
 }
 
+/// One variant's outcome from [`BatchRunner::validate_against`].
+#[derive(Debug, Clone)]
+pub struct Validation {
+    /// Whether the variant ran to completion **and** returned the
+    /// baseline's value.
+    pub matches: bool,
+    /// The variant's own simulation outcome (kept even on mismatch so
+    /// callers can report what the variant actually did).
+    pub result: Result<RunResult, RunError>,
+}
+
 impl BatchRunner {
     /// A runner over `board` using all available CPU parallelism.
     pub fn new(board: Board) -> BatchRunner {
@@ -115,6 +126,40 @@ impl BatchRunner {
             Err(e) => return configs.iter().map(|_| Err(e.clone())).collect(),
         };
         self.map(configs, |board, config| board.run_decoded(&decoded, config))
+    }
+
+    /// Validation fan-out: run `baseline` once, then every variant across
+    /// the pool, and report for each whether it reproduced the baseline's
+    /// return value.  This is the substrate the service-layer stress/soak
+    /// harness uses to spot-check that optimized placements still compute
+    /// the same answer as the unmodified program.
+    ///
+    /// `validations[i]` corresponds to `variants[i]` (order-stable, like
+    /// every runner method).  A variant that fails to run is reported with
+    /// `matches == false` and the error kept in
+    /// [`Validation::result`].
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the **baseline** itself does not run — there is
+    /// nothing to validate against in that case.
+    pub fn validate_against(
+        &self,
+        baseline: &MachineProgram,
+        variants: &[MachineProgram],
+    ) -> Result<(RunResult, Vec<Validation>), RunError> {
+        let base = self.board.run(baseline)?;
+        let validations = self
+            .run_programs(variants)
+            .into_iter()
+            .map(|result| Validation {
+                matches: result
+                    .as_ref()
+                    .is_ok_and(|r| r.return_value == base.return_value),
+                result,
+            })
+            .collect();
+        Ok((base, validations))
     }
 
     /// The generic substrate: evaluate `f(board, &jobs[i])` for every job
@@ -269,6 +314,22 @@ mod tests {
             j * 2
         });
         assert_eq!(out, jobs.iter().map(|j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn validate_against_flags_divergent_variants() {
+        let board = Board::stm32vldiscovery();
+        let baseline = compile("int main() { return 7; }");
+        let variants = vec![
+            compile("int main() { return 3 + 4; }"),
+            compile("int main() { return 8; }"),
+        ];
+        let runner = BatchRunner::with_threads(board, NonZeroUsize::new(2).unwrap());
+        let (base, validations) = runner.validate_against(&baseline, &variants).unwrap();
+        assert_eq!(base.return_value, 7);
+        assert!(validations[0].matches, "same value computed differently");
+        assert!(validations[0].result.is_ok());
+        assert!(!validations[1].matches, "different return value");
     }
 
     #[test]

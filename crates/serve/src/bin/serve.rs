@@ -1,0 +1,202 @@
+//! The interactive placement service: a line-oriented REPL over a
+//! [`PlacementServer`] preloaded with the BEEBS suite.
+//!
+//! Commands (one per line on stdin):
+//!
+//! ```text
+//! solve <kernel> <device> <r_spare> <x_limit> [deadline_ms]
+//! sweep <kernel> <device> <x_limit> <budget> [budget ...]
+//! frontier <kernel> <device> <x_limit> <max_budget>
+//! stats
+//! quit
+//! ```
+//!
+//! Flags: `--workers N`, `--cache N`, `--opt O0..O3s` (compile level for
+//! the preregistered kernels).
+
+use std::io::BufRead;
+use std::sync::Arc;
+use std::time::Duration;
+
+use flashram_beebs::Benchmark;
+use flashram_core::PlacementScope;
+use flashram_device::DEVICE_DB;
+use flashram_minicc::OptLevel;
+use flashram_serve::{PlacementServer, Query, Request, ServerConfig};
+
+fn parse_opt_level(s: &str) -> OptLevel {
+    match s {
+        "O0" => OptLevel::O0,
+        "O1" => OptLevel::O1,
+        "O2" => OptLevel::O2,
+        "O3" => OptLevel::O3,
+        _ => OptLevel::O2,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let mut config = ServerConfig::default();
+    if let Some(w) = flag("--workers").and_then(|v| v.parse().ok()) {
+        config.workers = w;
+    }
+    if let Some(c) = flag("--cache").and_then(|v| v.parse().ok()) {
+        config.cache_capacity = c;
+    }
+    let opt = parse_opt_level(&flag("--opt").unwrap_or_default());
+
+    let server = PlacementServer::new(config);
+    for bench in Benchmark::all() {
+        match bench.compile_cached(opt) {
+            Ok(program) => server.register_program(bench.name, Arc::clone(&program)),
+            Err(e) => eprintln!("skipping {}: {e}", bench.name),
+        }
+    }
+    println!(
+        "placement service ready: {} kernels at {opt:?}, devices: {}",
+        Benchmark::all().len(),
+        DEVICE_DB
+            .all()
+            .iter()
+            .map(|d| d.key)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let reply = match words.as_slice() {
+            [] => continue,
+            ["quit"] | ["exit"] => break,
+            ["stats"] => {
+                let s = server.stats();
+                format!(
+                    "submitted={} completed={} exact={} heuristic={} timeout={} \
+                     session_hits={} memo_hits={} evictions={}",
+                    s.submitted,
+                    s.completed,
+                    s.exact,
+                    s.heuristic,
+                    s.timeout,
+                    s.session_hits,
+                    s.memo_hits,
+                    s.cache.evictions
+                )
+            }
+            ["solve", kernel, device, r_spare, x_limit, rest @ ..] => {
+                match (r_spare.parse(), x_limit.parse()) {
+                    (Ok(r_spare), Ok(x_limit)) => {
+                        let deadline = rest
+                            .first()
+                            .and_then(|ms| ms.parse().ok())
+                            .map(Duration::from_millis);
+                        answer(
+                            &server,
+                            kernel,
+                            device,
+                            Query::Point { r_spare, x_limit },
+                            deadline,
+                        )
+                    }
+                    _ => "parse error: solve <kernel> <device> <r_spare> <x_limit> [deadline_ms]"
+                        .to_string(),
+                }
+            }
+            ["sweep", kernel, device, x_limit, budgets @ ..] if !budgets.is_empty() => {
+                match (
+                    x_limit.parse(),
+                    budgets.iter().map(|b| b.parse()).collect::<Result<_, _>>(),
+                ) {
+                    (Ok(x_limit), Ok(budgets)) => answer(
+                        &server,
+                        kernel,
+                        device,
+                        Query::Sweep { budgets, x_limit },
+                        None,
+                    ),
+                    _ => "parse error: sweep <kernel> <device> <x_limit> <budget>...".to_string(),
+                }
+            }
+            ["frontier", kernel, device, x_limit, max_budget] => {
+                match (x_limit.parse(), max_budget.parse()) {
+                    (Ok(x_limit), Ok(max_budget)) => answer(
+                        &server,
+                        kernel,
+                        device,
+                        Query::Frontier {
+                            x_limit,
+                            max_budget,
+                        },
+                        None,
+                    ),
+                    _ => {
+                        "parse error: frontier <kernel> <device> <x_limit> <max_budget>".to_string()
+                    }
+                }
+            }
+            _ => "commands: solve | sweep | frontier | stats | quit".to_string(),
+        };
+        println!("{reply}");
+    }
+    let stats = server.shutdown();
+    eprintln!(
+        "served {} requests ({} exact, {} heuristic, {} timeout)",
+        stats.completed, stats.exact, stats.heuristic, stats.timeout
+    );
+}
+
+fn answer(
+    server: &PlacementServer,
+    kernel: &str,
+    device: &str,
+    query: Query,
+    deadline: Option<Duration>,
+) -> String {
+    let request = Request {
+        program: kernel.to_string(),
+        device: device.to_string(),
+        scope: PlacementScope::default(),
+        query,
+        deadline,
+    };
+    match server.solve(request) {
+        Ok(response) => {
+            let mut lines = vec![format!(
+                "{} ({} point{}, queue {:.2} ms, solve {:.2} ms{}{})",
+                response.outcome.tag(),
+                response.points.len(),
+                if response.points.len() == 1 { "" } else { "s" },
+                response.queue_ms,
+                response.solve_ms,
+                if response.session_hit {
+                    ", session hit"
+                } else {
+                    ""
+                },
+                if response.memo_hit { ", memo hit" } else { "" },
+            )];
+            for p in &response.points {
+                lines.push(format!(
+                    "  budget {:>5} B  x≤{:<5}  energy {:>12.2}  ram {:>5} B  {} blocks in RAM",
+                    p.r_spare,
+                    p.x_limit,
+                    p.objective,
+                    p.model_ram_used,
+                    p.selected.len()
+                ));
+            }
+            lines.join("\n")
+        }
+        Err(e) => format!("error: {e}"),
+    }
+}

@@ -1,0 +1,116 @@
+//! Seeded stress driver for the placement service: replays a synthetic
+//! workload (mixed kernels, budgets, query shapes, arrival jitter) against
+//! a [`PlacementServer`](flashram_serve::PlacementServer) and writes throughput / latency-percentile /
+//! cache-hit / degradation-rate numbers to `BENCH_serve.json`.
+//!
+//! Acceptance checks (exit nonzero unless `--no-fail`):
+//!
+//! * zero queue leaks — every admitted request was answered;
+//! * zero equivalence failures — sampled responses are bit-identical to a
+//!   sequential re-solve;
+//! * zero validation failures — sampled placements, simulated, still
+//!   compute the baseline's answer.
+//!
+//! Flags: `--short` (the small CI workload), `--no-fail`, `--seed N`,
+//! `--duration-s N` (soak mode), `--clients N`, `--requests N` (per
+//! client), `--deadlines` (mix in tight deadlines to exercise the timeout
+//! path; implies the equivalence sample skips those requests), `--out P`.
+
+use std::time::Duration;
+
+use flashram_serve::workload::{run_stress, stress_report_json, StressConfig, WorkloadShape};
+use flashram_serve::ServerConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |name: &str| args.iter().any(|a| a == name);
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let no_fail = has("--no-fail");
+    let seed: u64 = flag("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20150207);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let mut cfg = if has("--short") {
+        StressConfig::short(seed)
+    } else {
+        StressConfig {
+            seed,
+            clients: 8,
+            requests_per_client: 150,
+            duration: None,
+            server: ServerConfig::default(),
+            shape: WorkloadShape::beebs_default(),
+            opt_level: flashram_minicc::OptLevel::O2,
+            validate_per_client: 4,
+        }
+    };
+    if let Some(c) = flag("--clients").and_then(|v| v.parse().ok()) {
+        cfg.clients = c;
+    }
+    if let Some(r) = flag("--requests").and_then(|v| v.parse().ok()) {
+        cfg.requests_per_client = r;
+    }
+    if let Some(s) = flag("--duration-s").and_then(|v| v.parse().ok()) {
+        cfg.duration = Some(Duration::from_secs(s));
+    }
+    if has("--deadlines") {
+        cfg.shape.deadline_per_mille = 100;
+    }
+
+    eprintln!(
+        "stress: seed {seed}, {} clients, {} ({} kernels × {} devices)",
+        cfg.clients,
+        match cfg.duration {
+            Some(d) => format!("{}s soak", d.as_secs()),
+            None => format!("{} requests/client", cfg.requests_per_client),
+        },
+        cfg.shape.kernels.len(),
+        cfg.shape.devices.len()
+    );
+
+    let report = run_stress(&cfg);
+
+    println!(
+        "throughput {:.1} req/s over {:.1}s  latency p50/p95/p99 {:.2}/{:.2}/{:.2} ms",
+        report.throughput_rps,
+        report.wall_s,
+        report.latency_p50_ms,
+        report.latency_p95_ms,
+        report.latency_p99_ms
+    );
+    println!(
+        "session hit rate {:.1}%  memo hit rate {:.1}%  degradation rate {:.1}% \
+         ({} exact / {} heuristic / {} timeout)",
+        report.session_hit_rate * 100.0,
+        report.memo_hit_rate * 100.0,
+        report.degradation_rate * 100.0,
+        report.server.exact,
+        report.server.heuristic,
+        report.server.timeout
+    );
+    println!(
+        "equivalence {}/{} bit-identical  validation {}/{} placements correct",
+        report.equivalence_checked - report.equivalence_failures,
+        report.equivalence_checked,
+        report.validated - report.validation_failures,
+        report.validated
+    );
+
+    std::fs::write(&out, stress_report_json(&report)).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!("FAIL: {f}");
+        }
+        if !no_fail {
+            std::process::exit(1);
+        }
+        eprintln!("(--no-fail: reporting only)");
+    }
+}

@@ -1,0 +1,333 @@
+//! The session cache: one built [`PlacementSession`] per `(program
+//! contents, device, scope)`, with LRU eviction.
+//!
+//! # Keying and collision safety
+//!
+//! Entries are indexed by [`SessionKey`] — a 64-bit content fingerprint of
+//! the program plus the device key and placement scope.  The fingerprint is
+//! **not trusted**: a lookup that lands on a key match still compares the
+//! full program (cheap `Arc` pointer check first, deep equality second)
+//! before declaring a hit, so two distinct programs whose fingerprints
+//! collide coexist as separate entries under the same key.  The
+//! `cache_correctness` integration tests force this path with a constant
+//! fingerprint function.
+//!
+//! Because the key covers the program *contents* (not its registered name),
+//! re-registering a name with different contents can never serve a stale
+//! placement: the new contents miss the old entry by deep comparison and
+//! build their own session.
+//!
+//! # Eviction invariants
+//!
+//! Eviction happens on insert, least-recently-used first, and **never**
+//! touches an entry that is pinned (queued jobs reference it) or claimed (a
+//! worker is solving on it).  If every entry is in use the cache grows past
+//! its capacity rather than blocking — admission backpressure is the
+//! server's job, not the cache's.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flashram_core::{PlacementScope, PlacementSession, SweepPoint};
+use flashram_ir::MachineProgram;
+
+use crate::request::{Outcome, QueryKey};
+
+/// The cache key: program content fingerprint + device + scope.
+///
+/// The fingerprint is advisory (see the module docs); the device key is a
+/// `&'static str` from the device database, so key equality is exact on
+/// the other two coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// Content fingerprint of the program (see
+    /// [`MachineProgram::content_fingerprint`]); collisions are tolerated.
+    pub fingerprint: u64,
+    /// Device database key the session's board was built from.
+    pub device: &'static str,
+    /// The placement scope the session's model was extracted under.
+    pub scope: PlacementScope,
+}
+
+/// A memoized answer for one exact query against one session.
+///
+/// Only deterministic outcomes are memoized ([`Outcome::Exact`] and
+/// [`Outcome::Heuristic`]); a [`Outcome::Timeout`] answer depends on
+/// wall-clock timing and is recomputed on every submission.
+#[derive(Debug, Clone)]
+pub(crate) struct MemoEntry {
+    pub outcome: Outcome,
+    pub points: Vec<SweepPoint>,
+}
+
+/// The per-entry solver state a worker checks out while solving.
+#[derive(Debug, Default)]
+pub(crate) struct EntryState {
+    /// The built session; `None` until the first claiming worker builds it
+    /// (building the ILP is too slow to do under the server lock).
+    pub session: Option<PlacementSession>,
+    /// Memoized deterministic answers, keyed by canonical query.
+    pub memo: HashMap<QueryKey, MemoEntry>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    key: SessionKey,
+    program: Arc<MachineProgram>,
+    /// `None` while a worker has the state checked out.
+    state: Option<EntryState>,
+    /// Queued jobs referencing this entry; pinned entries are never evicted.
+    pins: usize,
+    /// LRU clock value of the last lookup or claim.
+    last_used: u64,
+}
+
+/// Counters describing the cache's behavior so far (monotone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an existing session entry for the same program
+    /// contents.
+    pub hits: u64,
+    /// Lookups that had to create a new entry.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Lookups whose [`SessionKey`] matched an entry holding a *different*
+    /// program — a fingerprint collision caught by the deep comparison.
+    pub collisions: u64,
+}
+
+/// Opaque handle to a cache entry.  Handles stay valid for as long as the
+/// entry is pinned or claimed; the server's job bookkeeping guarantees it
+/// never holds a handle to an evictable entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct EntryId(u64);
+
+/// The LRU session cache (see the module docs for the invariants).
+#[derive(Debug)]
+pub struct SessionCache {
+    capacity: usize,
+    clock: u64,
+    next_id: u64,
+    entries: HashMap<EntryId, CacheEntry>,
+    /// Key → entries carrying that key (more than one only under
+    /// fingerprint collisions).
+    index: HashMap<SessionKey, Vec<EntryId>>,
+    stats: CacheStats,
+}
+
+impl SessionCache {
+    /// A cache holding at most `capacity` unpinned sessions (it may
+    /// transiently exceed `capacity` when every entry is in use).
+    pub fn new(capacity: usize) -> SessionCache {
+        SessionCache {
+            capacity: capacity.max(1),
+            clock: 0,
+            next_id: 0,
+            entries: HashMap::new(),
+            index: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The monotone behavior counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Find the entry for `(key, program)` or create one, returning the
+    /// handle and whether it was a hit.  The deep program comparison makes
+    /// this collision- and staleness-safe (module docs).
+    pub(crate) fn lookup_or_insert(
+        &mut self,
+        key: SessionKey,
+        program: &Arc<MachineProgram>,
+    ) -> (EntryId, bool) {
+        let tick = self.tick();
+        if let Some(ids) = self.index.get(&key) {
+            let mut collided = false;
+            let mut found = None;
+            for &id in ids {
+                let entry = &self.entries[&id];
+                if Arc::ptr_eq(&entry.program, program) || entry.program == *program {
+                    found = Some(id);
+                    break;
+                }
+                collided = true;
+            }
+            if collided {
+                self.stats.collisions += 1;
+            }
+            if let Some(id) = found {
+                self.stats.hits += 1;
+                self.entries.get_mut(&id).expect("indexed entry").last_used = tick;
+                return (id, true);
+            }
+        }
+        self.stats.misses += 1;
+        self.evict_to_fit();
+        let id = EntryId(self.next_id);
+        self.next_id += 1;
+        self.entries.insert(
+            id,
+            CacheEntry {
+                key,
+                program: Arc::clone(program),
+                state: Some(EntryState::default()),
+                pins: 0,
+                last_used: tick,
+            },
+        );
+        self.index.entry(key).or_default().push(id);
+        (id, false)
+    }
+
+    /// Evict least-recently-used evictable entries until a new insert fits.
+    fn evict_to_fit(&mut self) {
+        while self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.pins == 0 && e.state.is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&id, _)| id);
+            let Some(id) = victim else {
+                // Everything is in use; grow past capacity instead of
+                // blocking (the admission queue bounds how far).
+                return;
+            };
+            let entry = self.entries.remove(&id).expect("victim exists");
+            let ids = self.index.get_mut(&entry.key).expect("victim indexed");
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.index.remove(&entry.key);
+            }
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Keep `id` alive: one pin per queued job referencing the entry.
+    pub(crate) fn pin(&mut self, id: EntryId) {
+        self.entries.get_mut(&id).expect("pinned entry exists").pins += 1;
+    }
+
+    /// Drop `count` pins from `id` (its jobs were drained for solving).
+    pub(crate) fn unpin(&mut self, id: EntryId, count: usize) {
+        let entry = self.entries.get_mut(&id).expect("unpinned entry exists");
+        entry.pins = entry.pins.checked_sub(count).expect("pin underflow");
+    }
+
+    /// Check the entry's solver state out for a worker.  Returns `None`
+    /// when another worker already holds it (the server's ready-queue
+    /// bookkeeping should make that impossible).
+    pub(crate) fn claim(&mut self, id: EntryId) -> Option<(Arc<MachineProgram>, EntryState)> {
+        let tick = self.tick();
+        let entry = self.entries.get_mut(&id)?;
+        let state = entry.state.take()?;
+        entry.last_used = tick;
+        Some((Arc::clone(&entry.program), state))
+    }
+
+    /// Return a claimed entry's state after solving.
+    pub(crate) fn release(&mut self, id: EntryId, state: EntryState) {
+        let entry = self.entries.get_mut(&id).expect("released entry exists");
+        debug_assert!(entry.state.is_none(), "release without claim");
+        entry.state = Some(state);
+    }
+
+    /// The session key of a live entry (used by workers to rebuild the
+    /// board for lazy session construction).
+    pub(crate) fn key_of(&self, id: EntryId) -> SessionKey {
+        self.entries[&id].key
+    }
+
+    /// Whether a worker currently holds the entry's state.
+    pub(crate) fn is_claimed(&self, id: EntryId) -> bool {
+        self.entries[&id].state.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+
+    fn program(ret: i32) -> Arc<MachineProgram> {
+        let src = format!("int main() {{ return {ret}; }}");
+        Arc::new(compile_program(&[SourceUnit::application(&src)], OptLevel::O1).unwrap())
+    }
+
+    fn key(fingerprint: u64) -> SessionKey {
+        SessionKey {
+            fingerprint,
+            device: "stm32f100",
+            scope: PlacementScope::default(),
+        }
+    }
+
+    #[test]
+    fn lookup_hits_only_on_identical_contents() {
+        let mut cache = SessionCache::new(4);
+        let a = program(1);
+        let b = program(2);
+        let (ia, hit_a) = cache.lookup_or_insert(key(7), &a);
+        assert!(!hit_a);
+        // Same fingerprint, different program: a collision, not a hit.
+        let (ib, hit_b) = cache.lookup_or_insert(key(7), &b);
+        assert!(!hit_b);
+        assert_ne!(ia, ib);
+        assert_eq!(cache.stats().collisions, 1);
+        // A clone of the same contents (different Arc) still hits.
+        let a2 = Arc::new((*a).clone());
+        let (ia2, hit_a2) = cache.lookup_or_insert(key(7), &a2);
+        assert!(hit_a2);
+        assert_eq!(ia, ia2);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_unpinned_entry() {
+        let mut cache = SessionCache::new(2);
+        let (i1, _) = cache.lookup_or_insert(key(1), &program(1));
+        let (i2, _) = cache.lookup_or_insert(key(2), &program(2));
+        // Touch entry 1 so entry 2 is the LRU victim.
+        cache.lookup_or_insert(key(1), &program(1));
+        let (_, _) = cache.lookup_or_insert(key(3), &program(3));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.entries.contains_key(&i1), "recently used survives");
+        assert!(!cache.entries.contains_key(&i2), "LRU entry evicted");
+    }
+
+    #[test]
+    fn pinned_and_claimed_entries_are_never_evicted() {
+        let mut cache = SessionCache::new(1);
+        let (i1, _) = cache.lookup_or_insert(key(1), &program(1));
+        cache.pin(i1);
+        let (i2, _) = cache.lookup_or_insert(key(2), &program(2));
+        assert_eq!(cache.stats().evictions, 0, "pinned entry survives");
+        assert_eq!(cache.len(), 2, "cache grows past capacity instead");
+        cache.unpin(i1, 1);
+        // i2 claimed (state checked out): the next insert must evict i1.
+        assert!(cache.claim(i2).is_some());
+        assert!(cache.claim(i2).is_none(), "double claim is refused");
+        let (_, _) = cache.lookup_or_insert(key(3), &program(3));
+        assert!(!cache.entries.contains_key(&i1));
+        assert!(cache.entries.contains_key(&i2));
+    }
+}

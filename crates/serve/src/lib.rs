@@ -1,0 +1,36 @@
+//! Placement-as-a-service: a concurrent optimization server over
+//! [`PlacementSession`](flashram_core::PlacementSession).
+//!
+//! The paper's tool answers one query — "place these blocks for this
+//! budget".  This crate is the production-shaped front end around it: a
+//! long-running multi-threaded [`PlacementServer`] with
+//!
+//! * a [`SessionCache`] keyed by `(program contents, device, scope)` with
+//!   LRU eviction, so repeat queries share one model build and memo table;
+//! * a bounded admission queue that coalesces queued queries for the same
+//!   session into one worker batch and shards independent sessions across
+//!   the worker pool (the work-stealing point for the very uneven 0.1 ms –
+//!   1.3 s per-point solve costs);
+//! * per-request deadlines with backpressure and degradation to the greedy
+//!   fallback, responses tagged [`Outcome::Exact`] /
+//!   [`Outcome::Heuristic`] / [`Outcome::Timeout`];
+//! * a deterministic design making every response a pure function of the
+//!   request — see the [`server`] module docs for why concurrent results
+//!   are provably bit-identical to sequential ones.
+//!
+//! Two binaries ship with the crate: `serve`, a line-oriented REPL over
+//! the preregistered BEEBS kernels, and `stress`, the seeded workload
+//! driver that writes `BENCH_serve.json` (see [`workload`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod request;
+pub mod server;
+pub mod workload;
+
+pub use cache::{CacheStats, SessionCache, SessionKey};
+pub use request::{Outcome, Query, Request, Response, ServeError};
+pub use server::{PlacementServer, ServerConfig, ServerStats, Ticket};
+pub use workload::{run_stress, stress_report_json, StressConfig, StressReport, WorkloadShape};

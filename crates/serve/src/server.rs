@@ -1,0 +1,670 @@
+//! The concurrent placement server.
+//!
+//! # Architecture
+//!
+//! ```text
+//! clients ──submit──▶ admission queue ──▶ per-session job lists ──▶ workers
+//!                     (bounded, blocks      (coalesced batches)      (claim a
+//!                      or Overloaded)                                session,
+//!                                                                    drain its
+//!                                                                    batch)
+//! ```
+//!
+//! A request is validated and bound to a [`SessionCache`] entry at
+//! admission; jobs for the same entry queue together and a worker drains
+//! the whole batch in one claim, so repeat traffic against one program
+//! shares a single model build and memo table.  Independent entries are
+//! claimed by whichever worker is free — the ready queue is the
+//! work-stealing point, so a long solve on one session never blocks
+//! traffic for the others (the uneven 0.1 ms–1.3 s per-point costs in
+//! `BENCH_solver.json` are exactly why).
+//!
+//! # Why results stay deterministic
+//!
+//! Warm-started chained solves are only tolerance-equal (≤ 1e-6) to cold
+//! ones, so sharing chain state across requests would make answers depend
+//! on arrival order.  The server instead makes every response a **pure
+//! function of the request** (program contents, device, scope, query):
+//!
+//! * every query solves from a reset chain
+//!   ([`PlacementSession::reset_chain`]) — point queries get a cold root;
+//!   multi-point queries (sweeps, frontiers) chain **internally**, in the
+//!   order the request defines, exactly as a sequential caller would;
+//! * what *is* shared across requests — the built model and the memo
+//!   table — cannot change answers: the model is immutable per entry, and
+//!   the memo only replays a previously computed answer for a bit-identical
+//!   query key ([`f64::to_bits`] on the time bound);
+//! * answers that depend on wall-clock timing (deadline expiry,
+//!   [`Outcome::Timeout`]) are **never** memoized.
+//!
+//! The `equivalence` integration test drives N client threads against the
+//! server under seeded schedule jitter and asserts bit-identical objectives
+//! and placements versus a sequential [`PlacementSession`].
+//!
+//! # Degradation
+//!
+//! Per-request deadlines are measured from admission.  The remaining
+//! budget is handed to the branch-and-bound as a wall-clock limit
+//! ([`time_limit`](flashram_ilp::BranchBound::time_limit)); when it
+//! expires the solver surfaces its best incumbent, or — if no integer
+//! solution was found — the server falls back to [`GreedySolver`] via
+//! [`PlacementSession::solve_point_degraded`], tagging the response
+//! [`Outcome::Timeout`].  Node-budget exhaustion degrades the same way but
+//! deterministically, and is tagged [`Outcome::Heuristic`].  In every case
+//! the response's [`SweepPoint::stats`] report the *actual* ILP effort
+//! spent (the failed attempt's stats for a greedy fallback), never zeros.
+//!
+//! [`GreedySolver`]: flashram_ilp::GreedySolver
+//! [`PlacementSession`]: flashram_core::PlacementSession
+//! [`PlacementSession::reset_chain`]: flashram_core::PlacementSession::reset_chain
+//! [`PlacementSession::solve_point_degraded`]: flashram_core::PlacementSession::solve_point_degraded
+//! [`SweepPoint::stats`]: flashram_core::SweepPoint
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use flashram_core::{
+    OptimizeError, OptimizerConfig, PlacementSession, PointResolution, SweepPoint,
+};
+use flashram_device::DEVICE_DB;
+use flashram_ilp::SolveError;
+use flashram_ir::MachineProgram;
+use flashram_mcu::Board;
+
+use crate::cache::{CacheStats, EntryId, EntryState, MemoEntry, SessionCache, SessionKey};
+use crate::request::{Outcome, Query, Request, Response, ServeError};
+
+/// Configuration for [`PlacementServer::new`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads solving placements.
+    pub workers: usize,
+    /// Admission-queue bound: at most this many jobs queued (not yet
+    /// claimed by a worker).  [`PlacementServer::submit`] blocks while
+    /// full; [`PlacementServer::try_submit`] returns
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Maximum cached sessions (see [`SessionCache`]).
+    pub cache_capacity: usize,
+    /// Branch-and-bound node budget per point; exhausting it degrades the
+    /// response to [`Outcome::Heuristic`] deterministically.  `None` uses
+    /// the solver default.
+    pub max_ilp_nodes: Option<usize>,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Program content fingerprint for [`SessionKey`]s.  Pluggable so
+    /// tests can force collisions; collisions are always survivable (the
+    /// cache compares full contents), only slower.
+    pub fingerprint: fn(&MachineProgram) -> u64,
+    /// When set, each worker sleeps a seeded pseudo-random few hundred
+    /// microseconds before claiming work, perturbing the schedule
+    /// reproducibly.  The concurrency-equivalence tests sweep this seed to
+    /// exercise many interleavings.
+    pub worker_jitter_seed: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(1),
+            queue_capacity: 64,
+            cache_capacity: 8,
+            max_ilp_nodes: None,
+            default_deadline: None,
+            fingerprint: MachineProgram::content_fingerprint,
+            worker_jitter_seed: None,
+        }
+    }
+}
+
+/// Monotone server counters (a snapshot; see [`PlacementServer::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Responses delivered (successes and errors alike).
+    pub completed: u64,
+    /// Responses that were errors ([`ServeError`]).
+    pub errors: u64,
+    /// Responses tagged [`Outcome::Exact`].
+    pub exact: u64,
+    /// Responses tagged [`Outcome::Heuristic`].
+    pub heuristic: u64,
+    /// Responses tagged [`Outcome::Timeout`].
+    pub timeout: u64,
+    /// Admissions that found their session already cached.
+    pub session_hits: u64,
+    /// Admissions that created a new session entry.
+    pub session_misses: u64,
+    /// Responses answered from a session's memo table without solving.
+    pub memo_hits: u64,
+    /// The session cache's own counters.
+    pub cache: CacheStats,
+    /// Jobs currently queued (admitted, not yet drained by a worker).
+    pub queued: usize,
+}
+
+struct Job {
+    query: Query,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    session_hit: bool,
+    tx: mpsc::Sender<Result<Response, ServeError>>,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    errors: u64,
+    exact: u64,
+    heuristic: u64,
+    timeout: u64,
+    session_hits: u64,
+    session_misses: u64,
+    memo_hits: u64,
+}
+
+struct State {
+    cache: SessionCache,
+    registry: HashMap<String, (Arc<MachineProgram>, u64)>,
+    pending: HashMap<EntryId, Vec<Job>>,
+    ready: VecDeque<EntryId>,
+    in_ready: HashSet<EntryId>,
+    queued: usize,
+    shutdown: bool,
+    counters: Counters,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    state: Mutex<State>,
+    /// Signaled when `ready` gains an entry or shutdown begins.
+    work: Condvar,
+    /// Signaled when queue slots free up.
+    space: Condvar,
+}
+
+/// A pending response: returned by [`PlacementServer::submit`], redeemed
+/// with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response, ServeError>>,
+}
+
+impl Ticket {
+    /// Block until the server answers.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// The long-running placement service (see the module docs).
+///
+/// Dropping the server shuts it down gracefully: no new admissions, every
+/// already-admitted job is still solved and answered, workers joined.
+pub struct PlacementServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PlacementServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlacementServer")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PlacementServer {
+    /// Start the server: spawns `config.workers` solver threads.
+    pub fn new(config: ServerConfig) -> PlacementServer {
+        let shared = Arc::new(Shared {
+            cfg: config,
+            state: Mutex::new(State {
+                cache: SessionCache::new(config.cache_capacity),
+                registry: HashMap::new(),
+                pending: HashMap::new(),
+                ready: VecDeque::new(),
+                in_ready: HashSet::new(),
+                queued: 0,
+                shutdown: false,
+                counters: Counters::default(),
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("placement-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        PlacementServer { shared, workers }
+    }
+
+    /// Register (or re-register) `name`.  Re-registering with different
+    /// contents changes the content fingerprint, so cached sessions of the
+    /// old contents can never answer for the new ones (and vice versa —
+    /// requests already admitted against the old contents still resolve
+    /// against them).
+    pub fn register_program(&self, name: &str, program: Arc<MachineProgram>) {
+        let fp = (self.shared.cfg.fingerprint)(&program);
+        let mut st = self.lock();
+        st.registry.insert(name.to_string(), (program, fp));
+    }
+
+    /// Admit a request, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownProgram`] / [`ServeError::UnknownDevice`] for
+    /// unresolvable names, [`ServeError::ShuttingDown`] after shutdown.
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        self.enqueue(req, true)
+    }
+
+    /// Admit a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// As [`PlacementServer::submit`], plus [`ServeError::Overloaded`]
+    /// when the queue is full (the backpressure signal).
+    pub fn try_submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        self.enqueue(req, false)
+    }
+
+    /// Submit and wait: the synchronous convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PlacementServer::submit`] and the solve itself can
+    /// produce.
+    pub fn solve(&self, req: Request) -> Result<Response, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// A snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        let st = self.lock();
+        ServerStats {
+            submitted: st.counters.submitted,
+            completed: st.counters.completed,
+            errors: st.counters.errors,
+            exact: st.counters.exact,
+            heuristic: st.counters.heuristic,
+            timeout: st.counters.timeout,
+            session_hits: st.counters.session_hits,
+            session_misses: st.counters.session_misses,
+            memo_hits: st.counters.memo_hits,
+            cache: st.cache.stats(),
+            queued: st.queued,
+        }
+    }
+
+    /// Stop admitting, drain every queued job, join the workers, and
+    /// return the final counters.  Zero-leak guarantee: on return,
+    /// `stats.completed == stats.submitted`.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("a worker thread panicked");
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = self.lock();
+        st.shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.shared
+            .state
+            .lock()
+            .expect("server state lock poisoned")
+    }
+
+    fn enqueue(&self, req: Request, block: bool) -> Result<Ticket, ServeError> {
+        let device = DEVICE_DB
+            .get(&req.device)
+            .ok_or_else(|| ServeError::UnknownDevice(req.device.clone()))?;
+        let mut st = self.lock();
+        loop {
+            if st.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.queued < self.shared.cfg.queue_capacity {
+                break;
+            }
+            if !block {
+                return Err(ServeError::Overloaded);
+            }
+            st = self
+                .shared
+                .space
+                .wait(st)
+                .expect("server state lock poisoned");
+        }
+        let (program, fingerprint) = st
+            .registry
+            .get(&req.program)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownProgram(req.program.clone()))?;
+        let key = SessionKey {
+            fingerprint,
+            device: device.key,
+            scope: req.scope,
+        };
+        let (id, session_hit) = st.cache.lookup_or_insert(key, &program);
+        st.cache.pin(id);
+        if session_hit {
+            st.counters.session_hits += 1;
+        } else {
+            st.counters.session_misses += 1;
+        }
+        let now = Instant::now();
+        let deadline = req
+            .deadline
+            .or(self.shared.cfg.default_deadline)
+            .map(|d| now + d);
+        let (tx, rx) = mpsc::channel();
+        st.pending.entry(id).or_default().push(Job {
+            query: req.query,
+            deadline,
+            enqueued: now,
+            session_hit,
+            tx,
+        });
+        st.queued += 1;
+        st.counters.submitted += 1;
+        if !st.in_ready.contains(&id) && !st.cache.is_claimed(id) {
+            st.ready.push_back(id);
+            st.in_ready.insert(id);
+            self.shared.work.notify_one();
+        }
+        Ok(Ticket { rx })
+    }
+}
+
+impl Drop for PlacementServer {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            // Propagating a worker panic out of drop would abort; the soak
+            // test checks for panics via `shutdown()` instead.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut jitter = shared
+        .cfg
+        .worker_jitter_seed
+        .map(|seed| seed ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    loop {
+        if let Some(state) = jitter.as_mut() {
+            std::thread::sleep(Duration::from_micros(xorshift(state) % 300));
+        }
+        let mut st = shared.state.lock().expect("server state lock poisoned");
+        let id = loop {
+            if let Some(id) = st.ready.pop_front() {
+                break id;
+            }
+            if st.shutdown {
+                return;
+            }
+            st = shared.work.wait(st).expect("server state lock poisoned");
+        };
+        st.in_ready.remove(&id);
+        let (program, mut state) = st
+            .cache
+            .claim(id)
+            .expect("entries in the ready queue are unclaimed");
+        let jobs = st.pending.remove(&id).unwrap_or_default();
+        let key = st.cache.key_of(id);
+        st.cache.unpin(id, jobs.len());
+        st.queued -= jobs.len();
+        shared.space.notify_all();
+        drop(st);
+
+        let batch = solve_batch(&shared.cfg, key, &program, &mut state, jobs);
+
+        let mut st = shared.state.lock().expect("server state lock poisoned");
+        st.cache.release(id, state);
+        st.counters.completed += batch.completed;
+        st.counters.errors += batch.errors;
+        st.counters.exact += batch.exact;
+        st.counters.heuristic += batch.heuristic;
+        st.counters.timeout += batch.timeout;
+        st.counters.memo_hits += batch.memo_hits;
+        if st.pending.contains_key(&id) && !st.in_ready.contains(&id) {
+            st.ready.push_back(id);
+            st.in_ready.insert(id);
+            shared.work.notify_one();
+        }
+    }
+}
+
+#[derive(Default)]
+struct BatchTally {
+    completed: u64,
+    errors: u64,
+    exact: u64,
+    heuristic: u64,
+    timeout: u64,
+    memo_hits: u64,
+}
+
+/// Solve one coalesced batch of jobs against one session, sending each
+/// job's response as it completes.
+fn solve_batch(
+    cfg: &ServerConfig,
+    key: SessionKey,
+    program: &Arc<MachineProgram>,
+    state: &mut EntryState,
+    jobs: Vec<Job>,
+) -> BatchTally {
+    let mut tally = BatchTally::default();
+    if state.session.is_none() {
+        if let Err(e) = build_session(cfg, key, program, state) {
+            for job in jobs {
+                tally.completed += 1;
+                tally.errors += 1;
+                let _ = job.tx.send(Err(e.clone()));
+            }
+            return tally;
+        }
+    }
+    for job in jobs {
+        let started = Instant::now();
+        let queue_ms = started.duration_since(job.enqueued).as_secs_f64() * 1e3;
+        tally.completed += 1;
+        let memo_key = job.query.memo_key();
+        if let Some(memo) = state.memo.get(&memo_key) {
+            tally.memo_hits += 1;
+            tally_outcome(&mut tally, memo.outcome);
+            let _ = job.tx.send(Ok(Response {
+                outcome: memo.outcome,
+                points: memo.points.clone(),
+                session_hit: job.session_hit,
+                memo_hit: true,
+                queue_ms,
+                solve_ms: 0.0,
+            }));
+            continue;
+        }
+        let session = state.session.as_mut().expect("session built above");
+        let result = solve_query(session, &job.query, job.deadline);
+        let solve_ms = started.elapsed().as_secs_f64() * 1e3;
+        match result {
+            Ok((outcome, points)) => {
+                if outcome != Outcome::Timeout {
+                    state.memo.insert(
+                        memo_key,
+                        MemoEntry {
+                            outcome,
+                            points: points.clone(),
+                        },
+                    );
+                }
+                tally_outcome(&mut tally, outcome);
+                let _ = job.tx.send(Ok(Response {
+                    outcome,
+                    points,
+                    session_hit: job.session_hit,
+                    memo_hit: false,
+                    queue_ms,
+                    solve_ms,
+                }));
+            }
+            Err(e) => {
+                tally.errors += 1;
+                let _ = job.tx.send(Err(e));
+            }
+        }
+    }
+    tally
+}
+
+fn tally_outcome(tally: &mut BatchTally, outcome: Outcome) {
+    match outcome {
+        Outcome::Exact => tally.exact += 1,
+        Outcome::Heuristic => tally.heuristic += 1,
+        Outcome::Timeout => tally.timeout += 1,
+    }
+}
+
+fn build_session(
+    cfg: &ServerConfig,
+    key: SessionKey,
+    program: &Arc<MachineProgram>,
+    state: &mut EntryState,
+) -> Result<(), ServeError> {
+    let desc = DEVICE_DB.get(key.device).expect("validated at admission");
+    let board = Board::new(desc);
+    let config = OptimizerConfig {
+        scope: key.scope,
+        max_ilp_nodes: cfg.max_ilp_nodes,
+        ..OptimizerConfig::default()
+    };
+    match PlacementSession::new(program, &board, &config) {
+        Ok(session) => {
+            state.session = Some(session);
+            Ok(())
+        }
+        Err(OptimizeError::DoesNotFit(why)) => Err(ServeError::DoesNotFit(why)),
+        Err(OptimizeError::Solver(e)) => Err(ServeError::Solver(e)),
+    }
+}
+
+/// The remaining wall-clock budget; `Some(ZERO)` once expired, which the
+/// branch-and-bound treats as "degrade immediately".
+fn remaining(deadline: Option<Instant>) -> Option<Duration> {
+    deadline.map(|d| d.saturating_duration_since(Instant::now()))
+}
+
+fn point_outcome(resolution: PointResolution, timed_out: bool) -> Outcome {
+    match resolution {
+        PointResolution::Exact => Outcome::Exact,
+        _ if timed_out => Outcome::Timeout,
+        _ => Outcome::Heuristic,
+    }
+}
+
+pub(crate) fn solve_query(
+    session: &mut PlacementSession,
+    query: &Query,
+    deadline: Option<Instant>,
+) -> Result<(Outcome, Vec<SweepPoint>), ServeError> {
+    // Purity: every query starts from a reset chain, so the answer cannot
+    // depend on what this session solved before (module docs).
+    session.reset_chain();
+    let result = match query {
+        Query::Point { r_spare, x_limit } => {
+            session.solver.time_limit = remaining(deadline);
+            let solved = session.solve_point_degraded(*r_spare, *x_limit)?;
+            let outcome = point_outcome(solved.resolution, solved.point.stats.time_limit_hit);
+            Ok((outcome, vec![solved.point]))
+        }
+        Query::Sweep { budgets, x_limit } => {
+            // The coalesced sweep: one chained solve_chained run in request
+            // order (solve_point_degraded chains across these calls because
+            // the chain is only reset once, above).
+            let mut outcome = Outcome::Exact;
+            let mut points = Vec::with_capacity(budgets.len());
+            for &budget in budgets {
+                session.solver.time_limit = remaining(deadline);
+                let solved = session.solve_point_degraded(budget, *x_limit)?;
+                let this = point_outcome(solved.resolution, solved.point.stats.time_limit_hit);
+                outcome = worst_outcome(outcome, this);
+                points.push(solved.point);
+            }
+            Ok((outcome, points))
+        }
+        Query::Frontier {
+            x_limit,
+            max_budget,
+        } => {
+            session.solver.time_limit = remaining(deadline);
+            match session.enumerate_frontier(*x_limit, *max_budget) {
+                Ok(frontier) => {
+                    let timed = frontier.points.iter().any(|p| p.stats.time_limit_hit);
+                    let outcome = if timed {
+                        Outcome::Timeout
+                    } else if frontier.exact {
+                        Outcome::Exact
+                    } else {
+                        Outcome::Heuristic
+                    };
+                    Ok((outcome, frontier.points))
+                }
+                Err(SolveError::BudgetExhausted(_)) => {
+                    // The enumeration ran out of nodes or time with no
+                    // incumbent at some step: collapse to the best-effort
+                    // single point at the full budget.
+                    session.reset_chain();
+                    session.solver.time_limit = remaining(deadline);
+                    let solved = session.solve_point_degraded(*max_budget, *x_limit)?;
+                    let timed = solved.point.stats.time_limit_hit
+                        || remaining(deadline).is_some_and(|r| r.is_zero());
+                    let outcome = match solved.resolution {
+                        PointResolution::Exact if !timed => Outcome::Heuristic,
+                        resolution => point_outcome(resolution, timed),
+                    };
+                    Ok((outcome, vec![solved.point]))
+                }
+                Err(e) => Err(ServeError::Solver(e)),
+            }
+        }
+    };
+    session.solver.time_limit = None;
+    result
+}
+
+fn worst_outcome(a: Outcome, b: Outcome) -> Outcome {
+    use Outcome::*;
+    match (a, b) {
+        (Timeout, _) | (_, Timeout) => Timeout,
+        (Heuristic, _) | (_, Heuristic) => Heuristic,
+        _ => Exact,
+    }
+}

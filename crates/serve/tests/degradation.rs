@@ -1,0 +1,201 @@
+//! Degradation-path tests: forced `BudgetExhausted` and deadline expiry
+//! must produce well-formed greedy-fallback responses, tagged honestly,
+//! with truthful `solver_stats` accounting — the PR 6 fallback-stats fixes
+//! extended to the service layer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use flashram_beebs::Benchmark;
+use flashram_minicc::OptLevel;
+use flashram_serve::{Outcome, PlacementServer, Query, Request, ServerConfig};
+
+fn kernel() -> Arc<flashram_ir::MachineProgram> {
+    Benchmark::by_name("2dfir")
+        .expect("kernel exists")
+        .compile_cached(OptLevel::O1)
+        .expect("kernel compiles")
+}
+
+#[test]
+fn node_budget_exhaustion_degrades_to_a_well_formed_heuristic() {
+    // max_ilp_nodes = 0: the branch-and-bound gives up before finding any
+    // integer solution, so every point degrades to the greedy fallback.
+    let server = PlacementServer::new(ServerConfig {
+        workers: 1,
+        max_ilp_nodes: Some(0),
+        ..ServerConfig::default()
+    });
+    server.register_program("2dfir", kernel());
+    let response = server
+        .solve(Request::point("2dfir", "stm32f100", 256, 1.5))
+        .expect("the greedy fallback answers");
+
+    assert_eq!(response.outcome, Outcome::Heuristic, "tagged heuristic");
+    assert_eq!(response.points.len(), 1);
+    let point = &response.points[0];
+    // Well-formed: a feasible placement under the requested budget.
+    assert!(point.model_ram_used <= 256);
+    assert!(point.objective.is_finite() && point.objective > 0.0);
+    assert!(!point.proven);
+    // Truthful accounting: these are the *failed ILP attempt's* stats,
+    // not zeros invented for the greedy pass.
+    assert!(point.stats.budget_exhausted, "the node budget ran out");
+    assert_eq!(
+        point.stats.nodes_explored, 0,
+        "zero budget explores nothing"
+    );
+    assert!(!point.stats.seeded, "a cold point query is never seeded");
+    assert!(!point.stats.time_limit_hit, "no deadline was set");
+    assert!(point.stats.wall_ms >= 0.0 && point.stats.wall_ms.is_finite());
+
+    // Deterministic degradation is memoizable: an identical repeat is
+    // answered from the memo, bit-identically.
+    let repeat = server
+        .solve(Request::point("2dfir", "stm32f100", 256, 1.5))
+        .expect("solvable");
+    assert!(repeat.memo_hit);
+    assert_eq!(repeat.outcome, Outcome::Heuristic);
+    assert_eq!(
+        repeat.points[0].objective.to_bits(),
+        point.objective.to_bits()
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.heuristic, 2);
+    assert_eq!(stats.exact, 0);
+    assert_eq!(stats.timeout, 0);
+}
+
+#[test]
+fn an_expired_deadline_degrades_to_a_timeout_tagged_fallback() {
+    let server = PlacementServer::new(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    server.register_program("2dfir", kernel());
+    let mut request = Request::point("2dfir", "stm32f100", 256, 1.5);
+    request.deadline = Some(Duration::ZERO);
+    let response = server.solve(request.clone()).expect("degrades, not fails");
+
+    assert_eq!(response.outcome, Outcome::Timeout, "tagged timeout");
+    let point = &response.points[0];
+    assert!(point.model_ram_used <= 256, "still a feasible placement");
+    assert!(point.objective.is_finite() && point.objective > 0.0);
+    assert!(
+        point.stats.time_limit_hit,
+        "the stats say the wall clock, not the node budget, ended the solve"
+    );
+    assert_eq!(point.stats.nodes_explored, 0);
+
+    // Timing-dependent answers are never memoized: re-submitting the same
+    // request solves again (and without the deadline it is exact).
+    let repeat = server.solve(request).expect("degrades again");
+    assert!(!repeat.memo_hit, "timeouts are not memoized");
+    assert_eq!(repeat.outcome, Outcome::Timeout);
+    let relaxed = server
+        .solve(Request::point("2dfir", "stm32f100", 256, 1.5))
+        .expect("solvable");
+    assert!(!relaxed.memo_hit, "no stale timeout answer was cached");
+    assert_eq!(relaxed.outcome, Outcome::Exact);
+    assert!(relaxed.points[0].proven);
+    assert!(
+        relaxed.points[0].objective <= point.objective,
+        "the exact optimum is at least as good as the degraded answer"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.timeout, 2);
+    assert_eq!(stats.exact, 1);
+}
+
+#[test]
+fn a_generous_deadline_changes_nothing() {
+    let server = PlacementServer::new(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    server.register_program("2dfir", kernel());
+    let mut bounded = Request::point("2dfir", "stm32f100", 128, 1.5);
+    bounded.deadline = Some(Duration::from_secs(600));
+    let with_deadline = server.solve(bounded).expect("solvable");
+    let without = server
+        .solve(Request::point("2dfir", "stm32f100", 128, 1.5))
+        .expect("solvable");
+    assert_eq!(with_deadline.outcome, Outcome::Exact);
+    assert!(
+        !with_deadline.points[0].stats.time_limit_hit,
+        "an unexpired deadline leaves no trace in the stats"
+    );
+    assert_eq!(
+        with_deadline.points[0].objective.to_bits(),
+        without.points[0].objective.to_bits(),
+        "a deadline that never fires cannot change the answer"
+    );
+    // The exact answer (deadline or not) was memoized by the first solve.
+    assert!(without.memo_hit);
+    server.shutdown();
+}
+
+#[test]
+fn degraded_sweeps_report_the_worst_point_outcome() {
+    let server = PlacementServer::new(ServerConfig {
+        workers: 1,
+        max_ilp_nodes: Some(0),
+        ..ServerConfig::default()
+    });
+    server.register_program("2dfir", kernel());
+    let response = server
+        .solve(Request {
+            query: Query::Sweep {
+                budgets: vec![0, 64, 256],
+                x_limit: 1.5,
+            },
+            ..Request::point("2dfir", "stm32f100", 0, 1.5)
+        })
+        .expect("solvable");
+    assert_eq!(response.points.len(), 3, "one point per requested budget");
+    assert_eq!(
+        response.outcome,
+        Outcome::Heuristic,
+        "any degraded point degrades the whole sweep's tag"
+    );
+    for point in &response.points {
+        assert!(point.stats.budget_exhausted);
+        assert!(point.objective.is_finite());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn backpressure_overloads_instead_of_growing_unboundedly() {
+    // One worker, tiny queue: fill it with slow-ish requests, then assert
+    // try_submit reports Overloaded rather than queueing forever.
+    let server = PlacementServer::new(ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServerConfig::default()
+    });
+    server.register_program("2dfir", kernel());
+    let mut tickets = Vec::new();
+    let mut overloaded = false;
+    for budget in 0..64u32 {
+        match server.try_submit(Request::point("2dfir", "stm32f100", budget * 7, 1.5)) {
+            Ok(t) => tickets.push(t),
+            Err(flashram_serve::ServeError::Overloaded) => {
+                overloaded = true;
+                break;
+            }
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    assert!(
+        overloaded,
+        "a queue of capacity 2 must push back well before 64 submissions"
+    );
+    for ticket in tickets {
+        ticket.wait().expect("admitted jobs still complete");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, stats.submitted, "no admitted job leaked");
+}

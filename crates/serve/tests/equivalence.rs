@@ -1,0 +1,212 @@
+//! Concurrency-equivalence property test: N client threads submitting
+//! random (kernel, budget, query-shape) requests through the server must
+//! get **bit-identical** answers to the same queries solved sequentially
+//! via `PlacementSession` — objectives compared by `f64::to_bits`,
+//! placements by exact block-set equality — under any interleaving.
+//!
+//! Interleavings are exercised two ways, both seeded and reproducible:
+//! the per-worker schedule jitter (`ServerConfig::worker_jitter_seed`)
+//! perturbs when workers claim batches, and varying worker/client counts
+//! changes how much coalescing and cache sharing actually happens
+//! (1 worker = fully serialized, more workers = real concurrency).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use flashram_core::PlacementSession;
+use flashram_serve::workload::{
+    check_equivalence, reference_response, reference_session, WorkloadShape,
+};
+use flashram_serve::{Outcome, PlacementServer, Request, ServerConfig};
+use proptest::prelude::*;
+
+/// A small, fast workload shape: two kernels, two devices, modest budgets.
+fn shape() -> WorkloadShape {
+    let mut shape = WorkloadShape::beebs_default();
+    shape.kernels.truncate(2);
+    shape.devices.truncate(2);
+    shape.budgets = vec![0, 16, 64, 256];
+    shape.x_limits = vec![1.1, 1.5, 2.0];
+    shape
+}
+
+type Answered = Vec<(Request, Outcome, Vec<flashram_core::SweepPoint>)>;
+type Programs = HashMap<String, Arc<flashram_ir::MachineProgram>>;
+
+/// Drive `clients` threads × `per_client` requests through a server with
+/// `workers` workers, and return every (request, outcome, points) answered.
+fn drive(seed: u64, workers: usize, clients: usize, per_client: usize) -> (Answered, Programs) {
+    let shape = shape();
+    let server = PlacementServer::new(ServerConfig {
+        workers,
+        cache_capacity: 3,
+        worker_jitter_seed: Some(seed),
+        ..ServerConfig::default()
+    });
+    let mut programs = HashMap::new();
+    for name in &shape.kernels {
+        let bench = flashram_beebs::Benchmark::by_name(name).expect("kernel exists");
+        let program = bench
+            .compile_cached(flashram_minicc::OptLevel::O1)
+            .expect("kernel compiles");
+        server.register_program(name, Arc::clone(&program));
+        programs.insert(name.clone(), program);
+    }
+    let answered = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let server = &server;
+            let shape = &shape;
+            let answered = &answered;
+            scope.spawn(move || {
+                let mut rng = seed ^ (client as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                for _ in 0..per_client {
+                    let request = shape.next_request(&mut rng);
+                    let response = server
+                        .submit(request.clone())
+                        .expect("submission is valid")
+                        .wait()
+                        .expect("workload queries are solvable");
+                    answered.lock().expect("collect lock").push((
+                        request,
+                        response.outcome,
+                        response.points,
+                    ));
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.completed, stats.submitted,
+        "zero-leak invariant: every admitted job answered"
+    );
+    (answered.into_inner().expect("collect lock"), programs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+    #[test]
+    fn concurrent_answers_are_bit_identical_to_sequential(
+        seed in 0u64..1_000_000,
+        workers in 1usize..5,
+        clients in 1usize..4,
+    ) {
+        let (answered, programs) = drive(seed, workers, clients, 8);
+        prop_assert!(!answered.is_empty());
+        // Sequential reference: one session per (kernel, device), chain
+        // reset per query — exactly what the server guarantees.
+        let mut sessions: HashMap<(String, String), PlacementSession> = HashMap::new();
+        for (request, outcome, points) in &answered {
+            let session = match sessions
+                .entry((request.program.clone(), request.device.clone()))
+            {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => v.insert(
+                    reference_session(
+                        &programs[&request.program],
+                        &request.device,
+                        request.scope,
+                        None,
+                    )
+                    .expect("reference session builds"),
+                ),
+            };
+            let expected = reference_response(session, &request.query)
+                .expect("reference solve succeeds");
+            let diff = check_equivalence(&expected, *outcome, points);
+            prop_assert!(
+                diff.is_none(),
+                "seed {}, workers {}, clients {}: {} on {}: {}",
+                seed,
+                workers,
+                clients,
+                request.program,
+                request.device,
+                diff.unwrap_or_default()
+            );
+        }
+    }
+}
+
+/// The same equivalence with deliberately colliding session fingerprints:
+/// the cache must disambiguate by content and still answer bit-identically.
+#[test]
+fn equivalence_survives_fingerprint_collisions() {
+    let shape = shape();
+    let server = PlacementServer::new(ServerConfig {
+        workers: 3,
+        cache_capacity: 2,
+        fingerprint: |_| 0xC0111DE,
+        worker_jitter_seed: Some(7),
+        ..ServerConfig::default()
+    });
+    let mut programs = HashMap::new();
+    for name in &shape.kernels {
+        let bench = flashram_beebs::Benchmark::by_name(name).expect("kernel exists");
+        let program = bench
+            .compile_cached(flashram_minicc::OptLevel::O1)
+            .expect("kernel compiles");
+        server.register_program(name, Arc::clone(&program));
+        programs.insert(name.clone(), program);
+    }
+    let mut rng = 99u64;
+    let requests: Vec<Request> = (0..12).map(|_| shape.next_request(&mut rng)).collect();
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|r| server.submit(r.clone()).expect("valid"))
+        .collect();
+    for (request, ticket) in requests.iter().zip(tickets) {
+        let response = ticket.wait().expect("solvable");
+        let mut session = reference_session(
+            &programs[&request.program],
+            &request.device,
+            request.scope,
+            None,
+        )
+        .expect("reference session builds");
+        let expected = reference_response(&mut session, &request.query).expect("reference solves");
+        assert!(
+            check_equivalence(&expected, response.outcome, &response.points).is_none(),
+            "collision-keyed cache must still answer exactly"
+        );
+    }
+    let stats = server.shutdown();
+    assert!(
+        stats.cache.collisions > 0,
+        "the constant fingerprint must actually collide"
+    );
+}
+
+/// Responses answered from the memo table must be byte-for-byte the same
+/// as the first solve of that query.
+#[test]
+fn memoized_answers_replay_the_first_solve() {
+    let server = PlacementServer::new(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let bench = flashram_beebs::Benchmark::by_name("2dfir").expect("kernel exists");
+    let program = bench
+        .compile_cached(flashram_minicc::OptLevel::O1)
+        .expect("kernel compiles");
+    server.register_program("2dfir", program);
+    let request = Request::point("2dfir", "stm32f100", 128, 1.5);
+    let first = server.solve(request.clone()).expect("solvable");
+    let second = server.solve(request.clone()).expect("solvable");
+    assert!(second.memo_hit, "an identical repeat query hits the memo");
+    assert_eq!(first.outcome, second.outcome);
+    assert_eq!(
+        first.points[0].objective.to_bits(),
+        second.points[0].objective.to_bits()
+    );
+    assert_eq!(first.points[0].selected, second.points[0].selected);
+    // A bit-different time bound is a different query.
+    let mut nudged = request;
+    nudged.query = flashram_serve::Query::Point {
+        r_spare: 128,
+        x_limit: 1.5 + f64::EPSILON,
+    };
+    let third = server.solve(nudged).expect("solvable");
+    assert!(!third.memo_hit, "to_bits keying: epsilon changes the key");
+}

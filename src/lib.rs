@@ -18,7 +18,11 @@
 //! 5. [`mod@bench`] wraps all of it into harnesses that regenerate the
 //!    paper's tables and figures, batched over [`mcu::BatchRunner`],
 //!    including the cross-device placement matrix over every database
-//!    entry.
+//!    entry;
+//! 6. [`serve`] turns the optimizer into a long-running concurrent
+//!    service: a [`serve::PlacementServer`] with a warm-session cache,
+//!    request coalescing, deadlines with greedy degradation, and a
+//!    deterministic stress harness (`BENCH_serve.json`).
 //!
 //! This crate re-exports each layer under a short name and hosts the
 //! workspace-level integration tests and examples.
@@ -35,3 +39,4 @@ pub use flashram_ir as ir;
 pub use flashram_isa as isa;
 pub use flashram_mcu as mcu;
 pub use flashram_minicc as minicc;
+pub use flashram_serve as serve;
