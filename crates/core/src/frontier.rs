@@ -274,6 +274,19 @@ impl PlacementSession {
         r_spare: u32,
         x_limit: f64,
     ) -> Result<SweepPoint, (SolveError, Box<BranchBoundStats>)> {
+        #[cfg(feature = "fault-injection")]
+        if flashram_ilp::fault::should_fire(flashram_ilp::fault::FaultSite::CorePointError) {
+            return Err((
+                SolveError::InvalidModel(format!(
+                    "{} point resolve failed",
+                    flashram_ilp::fault::INJECTED_MARKER
+                )),
+                Box::new(BranchBoundStats {
+                    injected: true,
+                    ..BranchBoundStats::default()
+                }),
+            ));
+        }
         self.model.set_budgets(r_spare, x_limit);
         // The previous point's optimum seeds the incumbent whenever it is
         // still feasible (always, when a budget relaxes): the search then

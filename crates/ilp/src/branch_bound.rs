@@ -107,6 +107,11 @@ pub struct BranchBoundStats {
     /// separate so deadline-driven degradation (inherently timing-dependent)
     /// is distinguishable from deterministic node-budget exhaustion.
     pub time_limit_hit: bool,
+    /// Whether a fault-injection failpoint (the `fault-injection` cargo
+    /// feature) perturbed this solve.  Always `false` in normal builds;
+    /// consumers use it to keep injected-degraded answers out of memo
+    /// tables and bit-identity comparisons.
+    pub injected: bool,
 }
 
 /// The outcome of one chained branch-and-bound solve (see
@@ -374,6 +379,7 @@ fn merge_aborted_attempt(stats: &mut BranchBoundStats, aborted: &BranchBoundStat
     stats.cuts_added += aborted.cuts_added;
     stats.wall_ms += aborted.wall_ms;
     stats.time_limit_hit |= aborted.time_limit_hit;
+    stats.injected |= aborted.injected;
 }
 
 fn is_integral(solution: &Solution, binaries: &[Var], tol: f64) -> bool {
@@ -477,6 +483,29 @@ impl BranchBound {
         warm_root: Option<&LpState>,
         seed: Option<&Solution>,
     ) -> Result<ChainedSolve, (SolveError, Box<BranchBoundStats>)> {
+        #[cfg(feature = "fault-injection")]
+        {
+            if crate::fault::should_fire(crate::fault::FaultSite::IlpPanic) {
+                panic!(
+                    "{} branch-and-bound panic mid-solve",
+                    crate::fault::INJECTED_MARKER
+                );
+            }
+            if crate::fault::should_fire(crate::fault::FaultSite::IlpSpuriousExhaustion) {
+                let stats = BranchBoundStats {
+                    budget_exhausted: true,
+                    injected: true,
+                    ..BranchBoundStats::default()
+                };
+                return Err((
+                    SolveError::BudgetExhausted(format!(
+                        "{} spurious node-budget exhaustion",
+                        crate::fault::INJECTED_MARKER
+                    )),
+                    Box::new(stats),
+                ));
+            }
+        }
         if self.warm_start && warm_root.is_some() {
             match self.solve_inner(problem, warm_root, seed, true, self.chain_cap())? {
                 InnerOutcome::Done(run) => return Ok(*run),

@@ -1,0 +1,374 @@
+//! Deterministic fault injection: a seeded [`FaultPlan`] consulted at named
+//! failpoints threaded through the solver stack.
+//!
+//! Only compiled with the `fault-injection` cargo feature, so release hot
+//! paths carry none of this.  The design rules:
+//!
+//! * **Decide-by-counter, no wall clock.**  Every failpoint keeps a
+//!   plan-wide atomic hit counter; whether the *n*-th arrival at a site
+//!   fires is a pure function of `(seed, site, n, rate)`
+//!   ([`FaultPlan::decide`]).  Two runs that reach a site the same number
+//!   of times observe exactly the same firing pattern, regardless of which
+//!   threads did the reaching.
+//! * **Thread-scoped installation.**  A plan is [`install`]ed into a
+//!   thread-local slot; failpoints consult the calling thread's slot and
+//!   are inert (a single thread-local read) on threads without a plan.
+//!   The placement server installs its plan on worker threads only, so
+//!   sequential oracle re-solves on test threads are fault-free by
+//!   construction.
+//! * **Budgeted sites.**  A site can be capped to a maximum number of
+//!   fires ([`FaultPlan::site_budget`]) so targeted tests can inject
+//!   exactly one panic and then watch the system recover.
+//!
+//! The failpoint catalog lives in [`FaultSite`]; the sites themselves are
+//! planted in `BranchBound::solve_chained_stats` (this crate),
+//! `PlacementSession::solve_point` (flashram-core) and the serve worker
+//! loop (flashram-serve).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The failpoint catalog: every named site a [`FaultPlan`] can fire at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `ilp`: panic in the middle of a branch-and-bound solve (after the
+    /// model's budget rows were already retargeted — the session holding
+    /// the solver is genuinely half-mutated when this fires).
+    IlpPanic,
+    /// `ilp`: spurious [`SolveError::BudgetExhausted`] returned from a
+    /// branch-and-bound solve without exploring a single node, exercising
+    /// the degradation ladder below the real node budget.
+    ///
+    /// [`SolveError::BudgetExhausted`]: crate::SolveError::BudgetExhausted
+    IlpSpuriousExhaustion,
+    /// `core`: error out of `PlacementSession`'s point resolve before the
+    /// solver is even invoked.
+    CorePointError,
+    /// `serve`: force-evict the least-recently-used idle cache entry after
+    /// a worker releases its claim, simulating an eviction racing the next
+    /// admission for the same key.
+    ServeEvictRace,
+    /// `serve`: worker panic immediately after claiming a batch (before
+    /// the lazy session build).
+    ServeClaimPanic,
+    /// `serve`: delay a worker between draining its coalesced batch and
+    /// solving it, perturbing the schedule (and, with a delay longer than
+    /// the watchdog deadline, simulating a wedged worker).
+    ServeCoalesceDelay,
+}
+
+impl FaultSite {
+    /// Every site, in a fixed order (the counter-array layout).
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::IlpPanic,
+        FaultSite::IlpSpuriousExhaustion,
+        FaultSite::CorePointError,
+        FaultSite::ServeEvictRace,
+        FaultSite::ServeClaimPanic,
+        FaultSite::ServeCoalesceDelay,
+    ];
+
+    /// The snake_case name used in logs, reports and `BENCH_serve.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::IlpPanic => "ilp_panic",
+            FaultSite::IlpSpuriousExhaustion => "ilp_spurious_exhaustion",
+            FaultSite::CorePointError => "core_point_error",
+            FaultSite::ServeEvictRace => "serve_evict_race",
+            FaultSite::ServeClaimPanic => "serve_claim_panic",
+            FaultSite::ServeCoalesceDelay => "serve_coalesce_delay",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            FaultSite::IlpPanic => 0,
+            FaultSite::IlpSpuriousExhaustion => 1,
+            FaultSite::CorePointError => 2,
+            FaultSite::ServeEvictRace => 3,
+            FaultSite::ServeClaimPanic => 4,
+            FaultSite::ServeCoalesceDelay => 5,
+        }
+    }
+}
+
+/// Prefix every injected panic/error message carries, so containment
+/// layers (and humans reading logs) can tell injected failures from real
+/// ones.
+pub const INJECTED_MARKER: &str = "injected fault:";
+
+#[derive(Debug)]
+struct SiteState {
+    rate_per_mille: u16,
+    /// Maximum number of fires (`u64::MAX` = unlimited).
+    budget: u64,
+    hits: AtomicU64,
+    fired: AtomicU64,
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    seed: u64,
+    delay: Duration,
+    sites: [SiteState; 6],
+}
+
+/// Per-site accounting snapshot (see [`FaultPlan::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteSnapshot {
+    /// The site.
+    pub site: FaultSite,
+    /// How many times execution reached the site.
+    pub hits: u64,
+    /// How many of those arrivals fired the fault.
+    pub fired: u64,
+}
+
+/// A seeded, shareable fault schedule.  Cloning shares the counters, so a
+/// plan handed to a server and kept by the test observes the same
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<PlanInner>,
+}
+
+impl FaultPlan {
+    /// A plan firing every site at `rate_per_mille` (0 = never, 1000 =
+    /// always), decided per hit by [`FaultPlan::decide`].
+    pub fn new(seed: u64, rate_per_mille: u16) -> FaultPlan {
+        FaultPlan {
+            inner: Arc::new(PlanInner {
+                seed,
+                delay: Duration::from_millis(2),
+                sites: std::array::from_fn(|_| SiteState {
+                    rate_per_mille,
+                    budget: u64::MAX,
+                    hits: AtomicU64::new(0),
+                    fired: AtomicU64::new(0),
+                }),
+            }),
+        }
+    }
+
+    /// Override one site's firing rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was already cloned (configure before sharing).
+    pub fn site_rate(mut self, site: FaultSite, rate_per_mille: u16) -> FaultPlan {
+        let inner = Arc::get_mut(&mut self.inner).expect("configure the plan before cloning it");
+        inner.sites[site.idx()].rate_per_mille = rate_per_mille;
+        self
+    }
+
+    /// Cap one site to at most `max_fires` total fires (for targeted
+    /// inject-once-then-recover tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was already cloned (configure before sharing).
+    pub fn site_budget(mut self, site: FaultSite, max_fires: u64) -> FaultPlan {
+        let inner = Arc::get_mut(&mut self.inner).expect("configure the plan before cloning it");
+        inner.sites[site.idx()].budget = max_fires;
+        self
+    }
+
+    /// Set the sleep injected by [`FaultSite::ServeCoalesceDelay`]
+    /// (default 2 ms; a delay past the server's watchdog deadline
+    /// simulates a wedged worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was already cloned (configure before sharing).
+    pub fn delay(mut self, delay: Duration) -> FaultPlan {
+        let inner = Arc::get_mut(&mut self.inner).expect("configure the plan before cloning it");
+        inner.delay = delay;
+        self
+    }
+
+    /// The seed the plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// The pure decision function: does the `hit`-th arrival (0-based) at
+    /// `site` fire under `(seed, rate_per_mille)`?  [`FaultPlan::should_fire`]
+    /// is exactly this applied to the site's atomic hit counter, so the
+    /// firing pattern of a run is fully determined by how often each site
+    /// was reached — never by wall clock or thread identity.
+    pub fn decide(seed: u64, site: FaultSite, hit: u64, rate_per_mille: u16) -> bool {
+        if rate_per_mille == 0 {
+            return false;
+        }
+        if rate_per_mille >= 1000 {
+            return true;
+        }
+        let mut x = seed
+            ^ (site.idx() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ hit.wrapping_mul(0xd1b5_4a32_d192_ed03);
+        // splitmix64 finalizer.
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x % 1000 < rate_per_mille as u64
+    }
+
+    /// Count one arrival at `site` and report whether it fires.
+    pub fn should_fire(&self, site: FaultSite) -> bool {
+        let state = &self.inner.sites[site.idx()];
+        let hit = state.hits.fetch_add(1, Ordering::SeqCst);
+        if !FaultPlan::decide(self.inner.seed, site, hit, state.rate_per_mille) {
+            return false;
+        }
+        state
+            .fired
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |fired| {
+                (fired < state.budget).then_some(fired + 1)
+            })
+            .is_ok()
+    }
+
+    /// How many times execution reached `site`.
+    pub fn hits(&self, site: FaultSite) -> u64 {
+        self.inner.sites[site.idx()].hits.load(Ordering::SeqCst)
+    }
+
+    /// How many times `site` fired.
+    pub fn fired(&self, site: FaultSite) -> u64 {
+        self.inner.sites[site.idx()].fired.load(Ordering::SeqCst)
+    }
+
+    /// Total fires across every site.
+    pub fn total_fired(&self) -> u64 {
+        FaultSite::ALL.iter().map(|&s| self.fired(s)).sum()
+    }
+
+    /// The per-site accounting, in [`FaultSite::ALL`] order.
+    pub fn snapshot(&self) -> Vec<SiteSnapshot> {
+        FaultSite::ALL
+            .iter()
+            .map(|&site| SiteSnapshot {
+                site,
+                hits: self.hits(site),
+                fired: self.fired(site),
+            })
+            .collect()
+    }
+
+    /// The configured [`FaultSite::ServeCoalesceDelay`] sleep.
+    pub fn coalesce_delay(&self) -> Duration {
+        self.inner.delay
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
+}
+
+/// Clears the calling thread's installed plan when dropped (see
+/// [`install`]).
+#[derive(Debug)]
+pub struct InstallGuard {
+    _priv: (),
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|slot| slot.borrow_mut().take());
+    }
+}
+
+/// Install `plan` on the calling thread: failpoints reached from this
+/// thread consult it until the returned guard drops.  Installing over an
+/// existing plan replaces it.
+pub fn install(plan: FaultPlan) -> InstallGuard {
+    ACTIVE.with(|slot| *slot.borrow_mut() = Some(plan));
+    InstallGuard { _priv: () }
+}
+
+/// The failpoint primitive: count one arrival at `site` against the
+/// calling thread's installed plan.  `false` (without counting anything)
+/// on threads with no plan.
+pub fn should_fire(site: FaultSite) -> bool {
+    ACTIVE.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .is_some_and(|plan| plan.should_fire(site))
+    })
+}
+
+/// The calling thread's configured coalesce delay, if a plan is installed.
+pub fn injected_delay() -> Option<Duration> {
+    ACTIVE.with(|slot| slot.borrow().as_ref().map(FaultPlan::coalesce_delay))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_is_pure_and_rate_bounded() {
+        for &site in &FaultSite::ALL {
+            for hit in 0..256 {
+                assert!(!FaultPlan::decide(7, site, hit, 0), "rate 0 never fires");
+                assert!(
+                    FaultPlan::decide(7, site, hit, 1000),
+                    "rate 1000 always fires"
+                );
+                assert_eq!(
+                    FaultPlan::decide(7, site, hit, 250),
+                    FaultPlan::decide(7, site, hit, 250),
+                    "decisions are deterministic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn should_fire_matches_the_decision_prefix() {
+        let plan = FaultPlan::new(0xC4A05, 300);
+        let observed: Vec<bool> = (0..200)
+            .map(|_| plan.should_fire(FaultSite::IlpPanic))
+            .collect();
+        let expected: Vec<bool> = (0..200)
+            .map(|hit| FaultPlan::decide(0xC4A05, FaultSite::IlpPanic, hit, 300))
+            .collect();
+        assert_eq!(observed, expected);
+        assert_eq!(plan.hits(FaultSite::IlpPanic), 200);
+        assert_eq!(
+            plan.fired(FaultSite::IlpPanic),
+            expected.iter().filter(|&&f| f).count() as u64
+        );
+        assert_eq!(plan.hits(FaultSite::CorePointError), 0, "sites independent");
+    }
+
+    #[test]
+    fn budget_caps_total_fires() {
+        let plan = FaultPlan::new(1, 1000).site_budget(FaultSite::ServeClaimPanic, 2);
+        let fires: usize = (0..10)
+            .filter(|_| plan.should_fire(FaultSite::ServeClaimPanic))
+            .count();
+        assert_eq!(fires, 2);
+        assert_eq!(plan.hits(FaultSite::ServeClaimPanic), 10);
+        assert_eq!(plan.fired(FaultSite::ServeClaimPanic), 2);
+    }
+
+    #[test]
+    fn thread_local_install_scopes_the_plan() {
+        assert!(!should_fire(FaultSite::IlpPanic), "no plan: inert");
+        let plan = FaultPlan::new(9, 1000);
+        {
+            let _guard = install(plan.clone());
+            assert!(should_fire(FaultSite::IlpPanic));
+        }
+        assert!(!should_fire(FaultSite::IlpPanic), "guard dropped: inert");
+        assert_eq!(
+            plan.hits(FaultSite::IlpPanic),
+            1,
+            "only the installed hit counted"
+        );
+    }
+}

@@ -43,6 +43,8 @@ pub mod branch_bound;
 pub(crate) mod cuts;
 pub mod exhaustive;
 pub mod expr;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod greedy;
 pub mod problem;
 pub mod simplex;
@@ -51,6 +53,8 @@ pub use basis::{Basis, LpState};
 pub use branch_bound::{BranchBound, BranchBoundStats, ChainedSolve, NodeSelection};
 pub use exhaustive::ExhaustiveSolver;
 pub use expr::{LinearExpr, Var};
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultPlan, FaultSite};
 pub use greedy::GreedySolver;
 pub use problem::{Cmp, Problem, Sense, Solution, SolveError, VarKind};
 pub use simplex::{LpResult, SimplexOutcome, SimplexSolver};

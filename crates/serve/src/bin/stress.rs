@@ -14,11 +14,19 @@
 //! Flags: `--short` (the small CI workload), `--no-fail`, `--seed N`,
 //! `--duration-s N` (soak mode), `--clients N`, `--requests N` (per
 //! client), `--deadlines` (mix in tight deadlines to exercise the timeout
-//! path; implies the equivalence sample skips those requests), `--out P`.
+//! path; implies the equivalence sample skips those requests), `--out P`,
+//! and `--chaos [seed=N] [rate=R]` (chaos mode: replay the workload under
+//! a seeded fault schedule firing each failpoint with probability `R`,
+//! e.g. `rate=0.05`; requires building with `--features fault-injection`).
+//! Chaos runs additionally assert cache coherence and exclude
+//! injected-degraded answers from the bit-identity sample; the report
+//! gains a `chaos` section.
 
 use std::time::Duration;
 
-use flashram_serve::workload::{run_stress, stress_report_json, StressConfig, WorkloadShape};
+use flashram_serve::workload::{
+    run_stress, stress_report_json, ChaosConfig, StressConfig, WorkloadShape,
+};
 use flashram_serve::ServerConfig;
 
 fn main() {
@@ -47,6 +55,7 @@ fn main() {
             shape: WorkloadShape::beebs_default(),
             opt_level: flashram_minicc::OptLevel::O2,
             validate_per_client: 4,
+            chaos: None,
         }
     };
     if let Some(c) = flag("--clients").and_then(|v| v.parse().ok()) {
@@ -61,6 +70,41 @@ fn main() {
     if has("--deadlines") {
         cfg.shape.deadline_per_mille = 100;
     }
+    if let Some(pos) = args.iter().position(|a| a == "--chaos") {
+        let mut chaos = ChaosConfig {
+            seed,
+            rate_per_mille: 50,
+        };
+        // `--chaos` takes trailing key=value operands: seed=N, rate=R
+        // (R a probability, e.g. 0.05).
+        for kv in args[pos + 1..].iter().take_while(|a| a.contains('=')) {
+            match kv.split_once('=') {
+                Some(("seed", v)) => {
+                    chaos.seed = v.parse().unwrap_or_else(|_| {
+                        eprintln!("stress: bad chaos seed {v:?}");
+                        std::process::exit(2);
+                    });
+                }
+                Some(("rate", v)) => {
+                    let rate: f64 = v.parse().unwrap_or(-1.0);
+                    if !(0.0..=1.0).contains(&rate) {
+                        eprintln!("stress: chaos rate must be a probability in [0, 1], got {v:?}");
+                        std::process::exit(2);
+                    }
+                    chaos.rate_per_mille = (rate * 1000.0).round() as u16;
+                }
+                _ => {
+                    eprintln!("stress: unknown chaos option {kv:?} (expected seed=N or rate=R)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if cfg!(not(feature = "fault-injection")) {
+            eprintln!("stress: --chaos requires building with --features fault-injection");
+            std::process::exit(2);
+        }
+        cfg.chaos = Some(chaos);
+    }
 
     eprintln!(
         "stress: seed {seed}, {} clients, {} ({} kernels × {} devices)",
@@ -72,6 +116,12 @@ fn main() {
         cfg.shape.kernels.len(),
         cfg.shape.devices.len()
     );
+    if let Some(chaos) = cfg.chaos {
+        eprintln!(
+            "chaos: fault seed {}, rate {}/1000 per failpoint",
+            chaos.seed, chaos.rate_per_mille
+        );
+    }
 
     let report = run_stress(&cfg);
 
@@ -100,6 +150,18 @@ fn main() {
         report.validated - report.validation_failures,
         report.validated
     );
+    if let Some(chaos) = &report.chaos {
+        let fired: u64 = chaos.sites.iter().map(|(_, _, f)| f).sum();
+        println!(
+            "chaos: {fired} faults fired  {} succeeded / {} failed  \
+             {} quarantined  {} panics contained  {} workers restarted",
+            chaos.succeeded,
+            chaos.failed,
+            chaos.quarantined,
+            chaos.worker_panics,
+            chaos.worker_restarts
+        );
+    }
 
     std::fs::write(&out, stress_report_json(&report)).expect("write BENCH_serve.json");
     println!("wrote {out}");

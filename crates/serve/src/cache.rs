@@ -95,6 +95,13 @@ pub struct CacheStats {
     /// Lookups whose [`SessionKey`] matched an entry holding a *different*
     /// program — a fingerprint collision caught by the deep comparison.
     pub collisions: u64,
+    /// Entries torn down by fault containment: a worker panicked (or was
+    /// presumed wedged by the watchdog) while holding the entry's session,
+    /// so the possibly half-mutated state was discarded instead of
+    /// released.  Queued jobs move to a freshly built entry for the same
+    /// key; sessions are pure functions of `(program, device, scope)`, so
+    /// the rebuild answers identically.
+    pub quarantined: u64,
 }
 
 /// Opaque handle to a cache entry.  Handles stay valid for as long as the
@@ -200,25 +207,64 @@ impl SessionCache {
     /// Evict least-recently-used evictable entries until a new insert fits.
     fn evict_to_fit(&mut self) {
         while self.entries.len() >= self.capacity {
-            let victim = self
-                .entries
-                .iter()
-                .filter(|(_, e)| e.pins == 0 && e.state.is_some())
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&id, _)| id);
-            let Some(id) = victim else {
+            let Some(id) = self.lru_idle_victim() else {
                 // Everything is in use; grow past capacity instead of
                 // blocking (the admission queue bounds how far).
                 return;
             };
-            let entry = self.entries.remove(&id).expect("victim exists");
-            let ids = self.index.get_mut(&entry.key).expect("victim indexed");
-            ids.retain(|&i| i != id);
-            if ids.is_empty() {
-                self.index.remove(&entry.key);
-            }
+            self.remove_entry(id);
             self.stats.evictions += 1;
         }
+    }
+
+    /// The least-recently-used entry that is neither pinned nor claimed.
+    fn lru_idle_victim(&self) -> Option<EntryId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.pins == 0 && e.state.is_some())
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(&id, _)| id)
+    }
+
+    /// Remove `id` and fix the key index.  Panics if absent.
+    fn remove_entry(&mut self, id: EntryId) -> CacheEntry {
+        let entry = self.entries.remove(&id).expect("removed entry exists");
+        let ids = self
+            .index
+            .get_mut(&entry.key)
+            .expect("removed entry indexed");
+        ids.retain(|&i| i != id);
+        if ids.is_empty() {
+            self.index.remove(&entry.key);
+        }
+        entry
+    }
+
+    /// Force-evict the LRU idle entry regardless of occupancy pressure —
+    /// the fault-injection eviction-race failpoint, simulating an eviction
+    /// racing the next admission for the same key.  No-op (returning
+    /// `false`) when every entry is pinned or claimed.
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fn evict_one_idle(&mut self) -> bool {
+        let Some(id) = self.lru_idle_victim() else {
+            return false;
+        };
+        self.remove_entry(id);
+        self.stats.evictions += 1;
+        true
+    }
+
+    /// Tear down a (possibly claimed, possibly pinned) entry whose session
+    /// can no longer be trusted — a panic or watchdog kill interrupted the
+    /// worker holding it mid-mutation.  Returns the key and program so the
+    /// caller can rebuild a fresh entry and re-home the queued jobs.
+    pub(crate) fn quarantine(&mut self, id: EntryId) -> Option<(SessionKey, Arc<MachineProgram>)> {
+        if !self.entries.contains_key(&id) {
+            return None;
+        }
+        let entry = self.remove_entry(id);
+        self.stats.quarantined += 1;
+        Some((entry.key, entry.program))
     }
 
     /// Keep `id` alive: one pin per queued job referencing the entry.
@@ -243,9 +289,13 @@ impl SessionCache {
         Some((Arc::clone(&entry.program), state))
     }
 
-    /// Return a claimed entry's state after solving.
+    /// Return a claimed entry's state after solving.  Tolerates an entry
+    /// that was quarantined while the worker held the state (the stale
+    /// state is simply dropped — the rebuilt entry must never see it).
     pub(crate) fn release(&mut self, id: EntryId, state: EntryState) {
-        let entry = self.entries.get_mut(&id).expect("released entry exists");
+        let Some(entry) = self.entries.get_mut(&id) else {
+            return;
+        };
         debug_assert!(entry.state.is_none(), "release without claim");
         entry.state = Some(state);
     }
@@ -256,9 +306,63 @@ impl SessionCache {
         self.entries[&id].key
     }
 
+    /// Whether `id` names a live entry.
+    pub(crate) fn contains(&self, id: EntryId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
     /// Whether a worker currently holds the entry's state.
     pub(crate) fn is_claimed(&self, id: EntryId) -> bool {
         self.entries[&id].state.is_none()
+    }
+
+    /// Drop every pin.  Only for the server's drain/shutdown sweeps, after
+    /// all queued jobs have been failed — the pin counts they backed are
+    /// meaningless at that point.
+    pub(crate) fn clear_pins(&mut self) {
+        for entry in self.entries.values_mut() {
+            entry.pins = 0;
+        }
+    }
+
+    /// Structural consistency check: the entry map and the key index
+    /// describe the same set of entries, with matching keys and no
+    /// dangling or duplicated ids.  The chaos harness runs this after a
+    /// fault-heavy soak to assert the cache stayed coherent through
+    /// quarantines, forced evictions and worker restarts.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, entry) in &self.entries {
+            match self.index.get(&entry.key) {
+                None => return Err(format!("entry {id:?} missing from the key index")),
+                Some(ids) if !ids.contains(id) => {
+                    return Err(format!("entry {id:?} not listed under its key"));
+                }
+                Some(_) => {}
+            }
+        }
+        let mut indexed = 0usize;
+        for (key, ids) in &self.index {
+            if ids.is_empty() {
+                return Err(format!("empty index bucket for {key:?}"));
+            }
+            for id in ids {
+                indexed += 1;
+                match self.entries.get(id) {
+                    None => return Err(format!("index lists dead entry {id:?}")),
+                    Some(entry) if entry.key != *key => {
+                        return Err(format!("entry {id:?} indexed under the wrong key"));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        if indexed != self.entries.len() {
+            return Err(format!(
+                "index covers {indexed} entries, map holds {}",
+                self.entries.len()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -329,5 +433,41 @@ mod tests {
         let (_, _) = cache.lookup_or_insert(key(3), &program(3));
         assert!(!cache.entries.contains_key(&i1));
         assert!(cache.entries.contains_key(&i2));
+    }
+
+    #[test]
+    fn quarantine_removes_even_claimed_pinned_entries_and_stays_coherent() {
+        let mut cache = SessionCache::new(4);
+        let prog = program(1);
+        let (id, _) = cache.lookup_or_insert(key(7), &prog);
+        cache.pin(id);
+        let (_, state) = cache.claim(id).expect("claimable");
+        let (k, p) = cache.quarantine(id).expect("quarantined");
+        assert_eq!(k, key(7));
+        assert_eq!(*p, *prog);
+        assert_eq!(cache.stats().quarantined, 1);
+        assert!(!cache.contains(id));
+        assert!(cache.quarantine(id).is_none(), "idempotent on dead ids");
+        // A release racing the quarantine drops the stale state silently.
+        cache.release(id, state);
+        assert!(!cache.contains(id));
+        // The rebuild gets a fresh entry under the same key.
+        let (id2, hit) = cache.lookup_or_insert(k, &p);
+        assert!(!hit, "the quarantined session is gone for good");
+        assert_ne!(id, id2);
+        cache
+            .validate()
+            .expect("coherent after quarantine + rebuild");
+    }
+
+    #[test]
+    fn validate_catches_index_corruption() {
+        let mut cache = SessionCache::new(4);
+        let (id, _) = cache.lookup_or_insert(key(1), &program(1));
+        cache.validate().expect("fresh cache is coherent");
+        cache.index.clear();
+        assert!(cache.validate().is_err(), "dangling entry detected");
+        cache.entries.remove(&id);
+        cache.validate().expect("empty cache is coherent again");
     }
 }

@@ -21,6 +21,14 @@
 //! Two binaries ship with the crate: `serve`, a line-oriented REPL over
 //! the preregistered BEEBS kernels, and `stress`, the seeded workload
 //! driver that writes `BENCH_serve.json` (see [`workload`]).
+//!
+//! Failures are contained, not propagated: worker panics become
+//! [`ServeError::SolverPanicked`] responses with the touched cache entry
+//! quarantined, poisoned locks are repaired or drained with zero leaked
+//! tickets, and an optional watchdog respawns wedged workers.  The
+//! `fault-injection` cargo feature compiles deterministic failpoints
+//! through the whole solver stack and a `--chaos` mode into `stress` —
+//! see the [`server`] module docs' *Fault containment* section.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +39,11 @@ pub mod server;
 pub mod workload;
 
 pub use cache::{CacheStats, SessionCache, SessionKey};
+#[cfg(feature = "fault-injection")]
+pub use flashram_ilp::fault::{FaultPlan, FaultSite};
 pub use request::{Outcome, Query, Request, Response, ServeError};
 pub use server::{PlacementServer, ServerConfig, ServerStats, Ticket};
-pub use workload::{run_stress, stress_report_json, StressConfig, StressReport, WorkloadShape};
+pub use workload::{
+    run_stress, stress_report_json, ChaosConfig, ChaosReport, StressConfig, StressReport,
+    WorkloadShape,
+};

@@ -155,6 +155,13 @@ pub struct Response {
     pub queue_ms: f64,
     /// Time spent solving (0 for memo hits), in milliseconds.
     pub solve_ms: f64,
+    /// Whether a deterministic fault-injection failpoint (the
+    /// `fault-injection` cargo feature) perturbed this answer — e.g. a
+    /// spurious budget exhaustion degraded it to the greedy fallback.
+    /// Always `false` in normal builds.  Injected answers are never
+    /// memoized and the chaos harness excludes them from bit-identity
+    /// checks against the fault-free oracle.
+    pub injected: bool,
 }
 
 /// Why a request failed.
@@ -171,14 +178,27 @@ pub enum ServeError {
     /// [`try_submit`](crate::PlacementServer::try_submit) (the blocking
     /// [`submit`](crate::PlacementServer::submit) waits instead).
     Overloaded,
-    /// The server is shutting down and accepts no new work.
-    ShuttingDown,
+    /// The server is shutting down — or has drained after an unrecoverable
+    /// internal failure — and accepts no new work.  Pending tickets are
+    /// failed with this error rather than leaked.
+    Shutdown,
     /// The program does not fit the device's memories even before
     /// optimization.
     DoesNotFit(String),
     /// The solver failed for a non-degradable reason (an infeasible time
     /// bound surfaces as `Solver(SolveError::Infeasible)`).
     Solver(SolveError),
+    /// A panic escaped the solver while this request (or another request in
+    /// the same coalesced batch) was being answered.  The worker contained
+    /// the panic, quarantined the possibly half-mutated session, and kept
+    /// serving; re-submitting the request is safe and — because responses
+    /// are pure functions of the request — yields the exact answer.  Also
+    /// used by the watchdog for the in-flight jobs of a worker presumed
+    /// wedged.
+    SolverPanicked {
+        /// The panic payload (or the watchdog's diagnosis).
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -187,9 +207,12 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownProgram(name) => write!(f, "unknown program {name:?}"),
             ServeError::UnknownDevice(key) => write!(f, "unknown device {key:?}"),
             ServeError::Overloaded => write!(f, "admission queue full"),
-            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Shutdown => write!(f, "server is shutting down"),
             ServeError::DoesNotFit(why) => write!(f, "{why}"),
             ServeError::Solver(e) => write!(f, "placement solver failed: {e}"),
+            ServeError::SolverPanicked { message } => {
+                write!(f, "placement solver panicked (contained): {message}")
+            }
         }
     }
 }

@@ -54,6 +54,38 @@
 //! the response's [`SweepPoint::stats`] report the *actual* ILP effort
 //! spent (the failed attempt's stats for a greedy fallback), never zeros.
 //!
+//! # Fault containment
+//!
+//! A production server earns its throughput numbers under failure, so
+//! every failure domain here is contained to the request batch it hit:
+//!
+//! * **Panic isolation.**  Each batch's session build and each job's solve
+//!   run under `catch_unwind`; a panic becomes
+//!   [`ServeError::SolverPanicked`] for the panicking job and the rest of
+//!   its coalesced batch, never process death.  The cache entry the batch
+//!   held is **quarantined** — a half-mutated [`PlacementSession`] must
+//!   never be reused — and its queued jobs move to a freshly built entry
+//!   for the same key.  Sessions are pure functions of `(program, device,
+//!   scope)`, so the rebuild answers bit-identically; re-submitting a
+//!   panicked request yields the exact answer.
+//! * **Poison recovery.**  Locks are never `expect`ed.  A poisoned state
+//!   mutex is cleared and the state checked for structural consistency: a
+//!   consistent state (the panic struck outside a bookkeeping mutation)
+//!   simply continues; an inconsistent one transitions the server to a
+//!   terminal **draining** state that fails every pending ticket with
+//!   [`ServeError::Shutdown`] — zero leaked tickets either way.
+//! * **Watchdog.**  With [`ServerConfig::watchdog`] set, a monitor thread
+//!   checks each worker's heartbeat (stamped at batch start and before
+//!   every job).  A worker busy past the deadline is presumed wedged: its
+//!   in-flight jobs are failed with [`ServeError::SolverPanicked`], its
+//!   entry quarantined, the batch marked abandoned (so a late finish by
+//!   the old thread cannot double-count), and a replacement worker thread
+//!   spawned — [`ServerStats::worker_restarts`] counts these.
+//!
+//! The deterministic fault-injection failpoints that exercise all of this
+//! live behind the `fault-injection` cargo feature (see
+//! `flashram_ilp::fault` when enabled); release builds carry none of it.
+//!
 //! [`GreedySolver`]: flashram_ilp::GreedySolver
 //! [`PlacementSession`]: flashram_core::PlacementSession
 //! [`PlacementSession::reset_chain`]: flashram_core::PlacementSession::reset_chain
@@ -61,8 +93,10 @@
 //! [`SweepPoint::stats`]: flashram_core::SweepPoint
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -70,6 +104,8 @@ use flashram_core::{
     OptimizeError, OptimizerConfig, PlacementSession, PointResolution, SweepPoint,
 };
 use flashram_device::DEVICE_DB;
+#[cfg(feature = "fault-injection")]
+use flashram_ilp::fault::{self, FaultPlan, FaultSite};
 use flashram_ilp::SolveError;
 use flashram_ir::MachineProgram;
 use flashram_mcu::Board;
@@ -104,6 +140,14 @@ pub struct ServerConfig {
     /// reproducibly.  The concurrency-equivalence tests sweep this seed to
     /// exercise many interleavings.
     pub worker_jitter_seed: Option<u64>,
+    /// When set, a monitor thread watches each worker's heartbeat and
+    /// treats a worker that has been busy on one batch without progress
+    /// for longer than this deadline as wedged: its in-flight jobs are
+    /// failed, its cache entry quarantined, and the worker respawned (see
+    /// the module docs).  `None` (the default) runs no monitor thread.
+    /// Pick a deadline comfortably above the slowest expected single
+    /// solve — heartbeats are stamped per job, not per simplex pivot.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +162,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             fingerprint: MachineProgram::content_fingerprint,
             worker_jitter_seed: None,
+            watchdog: None,
         }
     }
 }
@@ -143,10 +188,20 @@ pub struct ServerStats {
     pub session_misses: u64,
     /// Responses answered from a session's memo table without solving.
     pub memo_hits: u64,
+    /// Panics contained by the per-batch isolation, plus any worker thread
+    /// found dead at join time (a panic that escaped containment).
+    pub worker_panics: u64,
+    /// Worker threads the watchdog presumed wedged and respawned.
+    pub worker_restarts: u64,
     /// The session cache's own counters.
     pub cache: CacheStats,
     /// Jobs currently queued (admitted, not yet drained by a worker).
     pub queued: usize,
+    /// Whether the server fell into the terminal draining state after an
+    /// unrecoverable internal inconsistency (see the module docs).  All
+    /// pending tickets were failed with [`ServeError::Shutdown`] and new
+    /// admissions are refused.
+    pub draining: bool,
 }
 
 struct Job {
@@ -168,6 +223,17 @@ struct Counters {
     session_hits: u64,
     session_misses: u64,
     memo_hits: u64,
+    worker_panics: u64,
+    worker_restarts: u64,
+}
+
+/// The senders of a batch a worker is currently solving, kept so the
+/// watchdog (or a drain) can fail the jobs without the worker's help.  A
+/// send on a channel whose job the worker later also answers is harmless:
+/// the ticket takes the first message.
+struct InflightBatch {
+    entry: EntryId,
+    senders: Vec<mpsc::Sender<Result<Response, ServeError>>>,
 }
 
 struct State {
@@ -178,7 +244,43 @@ struct State {
     in_ready: HashSet<EntryId>,
     queued: usize,
     shutdown: bool,
+    /// Terminal: the server hit an unrecoverable internal inconsistency,
+    /// failed everything pending, and refuses new work (module docs).
+    draining: bool,
+    /// Batches currently being solved, keyed by batch id.
+    inflight: HashMap<u64, InflightBatch>,
+    /// Batch ids whose jobs were already failed by the watchdog or a
+    /// drain; the (possibly still running) worker must not tally or
+    /// release them on completion.
+    abandoned: HashSet<u64>,
+    /// Next batch id (starts at 1 — 0 means "idle" in a worker slot).
+    next_batch: u64,
     counters: Counters,
+}
+
+/// One worker incarnation's liveness record.  The watchdog replaces the
+/// whole slot on respawn, so a retired thread can never stamp the
+/// replacement's heartbeat.
+struct WorkerSlot {
+    index: usize,
+    /// Set by the watchdog; the thread exits at the next loop top (or
+    /// right after discovering its batch was abandoned).
+    retired: AtomicBool,
+    /// The batch id being solved, 0 while idle.
+    busy_batch: AtomicU64,
+    /// Last heartbeat, in milliseconds since [`Shared::epoch`].
+    beat_ms: AtomicU64,
+}
+
+impl WorkerSlot {
+    fn new(index: usize) -> WorkerSlot {
+        WorkerSlot {
+            index,
+            retired: AtomicBool::new(false),
+            busy_batch: AtomicU64::new(0),
+            beat_ms: AtomicU64::new(0),
+        }
+    }
 }
 
 struct Shared {
@@ -188,6 +290,131 @@ struct Shared {
     work: Condvar,
     /// Signaled when queue slots free up.
     space: Condvar,
+    /// Zero point of every heartbeat timestamp.
+    epoch: Instant,
+    /// One slot per worker index, swapped on watchdog respawn.
+    slots: Mutex<Vec<Arc<WorkerSlot>>>,
+    /// Join handles by worker index; a respawn drops the wedged thread's
+    /// handle (detaching it — joining a wedged thread would hang
+    /// shutdown).
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
+    #[cfg(feature = "fault-injection")]
+    fault: Option<FaultPlan>,
+}
+
+/// Lock a bookkeeping-only mutex (slots, handles).  These are held for
+/// pure reads/writes of plain data — a poisoning panic cannot leave them
+/// inconsistent, so recovery is just taking the guard.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Lock the server state with poison recovery (module docs): a
+    /// poisoned guard is cleared and the state either continues (still
+    /// structurally consistent) or drains (fails everything pending and
+    /// goes terminal).  Never panics.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(st) => st,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                let mut st = poisoned.into_inner();
+                self.recover(&mut st);
+                st
+            }
+        }
+    }
+
+    /// [`Condvar::wait`] on `work` with the same poison recovery.
+    fn wait_work<'a>(&'a self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        match self.work.wait(guard) {
+            Ok(st) => st,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                let mut st = poisoned.into_inner();
+                self.recover(&mut st);
+                st
+            }
+        }
+    }
+
+    /// [`Condvar::wait`] on `space` with the same poison recovery.
+    fn wait_space<'a>(&'a self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        match self.space.wait(guard) {
+            Ok(st) => st,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                let mut st = poisoned.into_inner();
+                self.recover(&mut st);
+                st
+            }
+        }
+    }
+
+    /// Post-poison triage: keep a consistent state, drain a broken one.
+    fn recover(&self, st: &mut State) {
+        if state_consistent(st) {
+            return;
+        }
+        drain_state(st);
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+}
+
+/// Whether the bookkeeping invariants hold — the panic that poisoned the
+/// lock struck outside any state mutation.
+fn state_consistent(st: &State) -> bool {
+    let pending_total: usize = st.pending.values().map(Vec::len).sum();
+    if st.queued != pending_total {
+        return false;
+    }
+    if st.in_ready.len() != st.ready.len() {
+        return false;
+    }
+    for id in &st.ready {
+        if !st.in_ready.contains(id) || !st.cache.contains(*id) || st.cache.is_claimed(*id) {
+            return false;
+        }
+    }
+    if !st.pending.keys().all(|id| st.cache.contains(*id)) {
+        return false;
+    }
+    st.cache.validate().is_ok()
+}
+
+/// The terminal transition: fail every pending ticket and every in-flight
+/// batch with [`ServeError::Shutdown`], zero the queue, and refuse new
+/// work.  Counters stay exact (`completed` covers everything failed here),
+/// so the zero-leak guarantee `completed == submitted` holds even on this
+/// path.
+fn drain_state(st: &mut State) {
+    st.shutdown = true;
+    st.draining = true;
+    for (_, jobs) in std::mem::take(&mut st.pending) {
+        for job in jobs {
+            st.counters.completed += 1;
+            st.counters.errors += 1;
+            let _ = job.tx.send(Err(ServeError::Shutdown));
+        }
+    }
+    for (batch_id, batch) in std::mem::take(&mut st.inflight) {
+        st.abandoned.insert(batch_id);
+        for tx in batch.senders {
+            st.counters.completed += 1;
+            st.counters.errors += 1;
+            let _ = tx.send(Err(ServeError::Shutdown));
+        }
+    }
+    st.queued = 0;
+    st.ready.clear();
+    st.in_ready.clear();
+    st.cache.clear_pins();
 }
 
 /// A pending response: returned by [`PlacementServer::submit`], redeemed
@@ -198,9 +425,11 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Block until the server answers.
+    /// Block until the server answers.  A ticket whose channel died
+    /// without an answer (a worker dropped it mid-shutdown) resolves to
+    /// [`ServeError::Shutdown`] — tickets never hang and never leak.
     pub fn wait(self) -> Result<Response, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
     }
 }
 
@@ -208,22 +437,46 @@ impl Ticket {
 ///
 /// Dropping the server shuts it down gracefully: no new admissions, every
 /// already-admitted job is still solved and answered, workers joined.
+/// [`PlacementServer::shutdown`] does the same and returns the final
+/// counters; both routes share one idempotent teardown.
 pub struct PlacementServer {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
+    finished: bool,
 }
 
 impl std::fmt::Debug for PlacementServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PlacementServer")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.shared.cfg.workers.max(1))
             .finish_non_exhaustive()
     }
 }
 
 impl PlacementServer {
-    /// Start the server: spawns `config.workers` solver threads.
+    /// Start the server: spawns `config.workers` solver threads (plus the
+    /// watchdog monitor when [`ServerConfig::watchdog`] is set).
     pub fn new(config: ServerConfig) -> PlacementServer {
+        PlacementServer::launch(
+            config,
+            #[cfg(feature = "fault-injection")]
+            None,
+        )
+    }
+
+    /// Start the server with a fault plan: worker threads install it
+    /// thread-locally, so every failpoint they reach (across serve, core
+    /// and ilp) consults this plan.  Threads outside the server — the
+    /// chaos harness's sequential oracle in particular — see no faults.
+    #[cfg(feature = "fault-injection")]
+    pub fn with_fault_plan(config: ServerConfig, plan: FaultPlan) -> PlacementServer {
+        PlacementServer::launch(config, Some(plan))
+    }
+
+    fn launch(
+        config: ServerConfig,
+        #[cfg(feature = "fault-injection")] plan: Option<FaultPlan>,
+    ) -> PlacementServer {
         let shared = Arc::new(Shared {
             cfg: config,
             state: Mutex::new(State {
@@ -234,21 +487,35 @@ impl PlacementServer {
                 in_ready: HashSet::new(),
                 queued: 0,
                 shutdown: false,
+                draining: false,
+                inflight: HashMap::new(),
+                abandoned: HashSet::new(),
+                next_batch: 1,
                 counters: Counters::default(),
             }),
             work: Condvar::new(),
             space: Condvar::new(),
+            epoch: Instant::now(),
+            slots: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+            #[cfg(feature = "fault-injection")]
+            fault: plan,
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("placement-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
-                    .expect("spawning a worker thread")
-            })
-            .collect();
-        PlacementServer { shared, workers }
+        for index in 0..config.workers.max(1) {
+            spawn_worker(&shared, Arc::new(WorkerSlot::new(index)));
+        }
+        let monitor = config.watchdog.map(|deadline| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("placement-watchdog".to_string())
+                .spawn(move || monitor_loop(&shared, deadline))
+                .expect("spawning the watchdog thread")
+        });
+        PlacementServer {
+            shared,
+            monitor,
+            finished: false,
+        }
     }
 
     /// Register (or re-register) `name`.  Re-registering with different
@@ -258,7 +525,7 @@ impl PlacementServer {
     /// against them).
     pub fn register_program(&self, name: &str, program: Arc<MachineProgram>) {
         let fp = (self.shared.cfg.fingerprint)(&program);
-        let mut st = self.lock();
+        let mut st = self.shared.lock_state();
         st.registry.insert(name.to_string(), (program, fp));
     }
 
@@ -267,7 +534,7 @@ impl PlacementServer {
     /// # Errors
     ///
     /// [`ServeError::UnknownProgram`] / [`ServeError::UnknownDevice`] for
-    /// unresolvable names, [`ServeError::ShuttingDown`] after shutdown.
+    /// unresolvable names, [`ServeError::Shutdown`] after shutdown.
     pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
         self.enqueue(req, true)
     }
@@ -294,7 +561,7 @@ impl PlacementServer {
 
     /// A snapshot of the server counters.
     pub fn stats(&self) -> ServerStats {
-        let st = self.lock();
+        let st = self.shared.lock_state();
         ServerStats {
             submitted: st.counters.submitted,
             completed: st.counters.completed,
@@ -305,44 +572,90 @@ impl PlacementServer {
             session_hits: st.counters.session_hits,
             session_misses: st.counters.session_misses,
             memo_hits: st.counters.memo_hits,
+            worker_panics: st.counters.worker_panics,
+            worker_restarts: st.counters.worker_restarts,
             cache: st.cache.stats(),
             queued: st.queued,
+            draining: st.draining,
         }
+    }
+
+    /// Structural consistency check of the session cache under the server
+    /// lock.  The chaos harness calls this after a fault-heavy soak to
+    /// assert the cache stayed coherent through quarantines, forced
+    /// evictions and worker restarts.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first inconsistency found.
+    pub fn verify_cache(&self) -> Result<(), String> {
+        self.shared.lock_state().cache.validate()
     }
 
     /// Stop admitting, drain every queued job, join the workers, and
     /// return the final counters.  Zero-leak guarantee: on return,
     /// `stats.completed == stats.submitted`.
     pub fn shutdown(mut self) -> ServerStats {
-        self.begin_shutdown();
-        for handle in self.workers.drain(..) {
-            handle.join().expect("a worker thread panicked");
-        }
+        self.shutdown_impl();
         self.stats()
     }
 
+    /// The idempotent teardown shared by [`PlacementServer::shutdown`] and
+    /// `Drop`.  Worker panics discovered at join time are recorded in
+    /// [`ServerStats::worker_panics`], never swallowed; a final sweep
+    /// fails anything a dead worker left behind so `completed ==
+    /// submitted` holds on every path.
+    fn shutdown_impl(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.begin_shutdown();
+        // The monitor first: once it exits no further respawn can race the
+        // handle drain below.
+        if let Some(monitor) = self.monitor.take() {
+            let _ = monitor.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            relock(&self.shared.handles).drain(..).flatten().collect();
+        let mut panicked_workers = 0u64;
+        for handle in handles {
+            if handle.join().is_err() {
+                panicked_workers += 1;
+            }
+        }
+        let mut st = self.shared.lock_state();
+        st.counters.worker_panics += panicked_workers;
+        // Final sweep: a worker that died outside containment may have
+        // left queued or in-flight jobs behind.  Fail them all — their
+        // tickets resolve to Shutdown (some already did, via their dropped
+        // senders) — and reconcile the counters so the zero-leak guarantee
+        // holds even after an uncontained death.
+        if !st.pending.is_empty() || !st.inflight.is_empty() {
+            drain_state(&mut st);
+        }
+        if st.counters.completed < st.counters.submitted {
+            let lost = st.counters.submitted - st.counters.completed;
+            st.counters.completed += lost;
+            st.counters.errors += lost;
+        }
+    }
+
     fn begin_shutdown(&self) {
-        let mut st = self.lock();
+        let mut st = self.shared.lock_state();
         st.shutdown = true;
         self.shared.work.notify_all();
         self.shared.space.notify_all();
-    }
-
-    fn lock(&self) -> MutexGuard<'_, State> {
-        self.shared
-            .state
-            .lock()
-            .expect("server state lock poisoned")
     }
 
     fn enqueue(&self, req: Request, block: bool) -> Result<Ticket, ServeError> {
         let device = DEVICE_DB
             .get(&req.device)
             .ok_or_else(|| ServeError::UnknownDevice(req.device.clone()))?;
-        let mut st = self.lock();
+        let mut st = self.shared.lock_state();
         loop {
             if st.shutdown {
-                return Err(ServeError::ShuttingDown);
+                return Err(ServeError::Shutdown);
             }
             if st.queued < self.shared.cfg.queue_capacity {
                 break;
@@ -350,11 +663,7 @@ impl PlacementServer {
             if !block {
                 return Err(ServeError::Overloaded);
             }
-            st = self
-                .shared
-                .space
-                .wait(st)
-                .expect("server state lock poisoned");
+            st = self.shared.wait_space(st);
         }
         let (program, fingerprint) = st
             .registry
@@ -399,11 +708,113 @@ impl PlacementServer {
 
 impl Drop for PlacementServer {
     fn drop(&mut self) {
-        self.begin_shutdown();
-        for handle in self.workers.drain(..) {
-            // Propagating a worker panic out of drop would abort; the soak
-            // test checks for panics via `shutdown()` instead.
-            let _ = handle.join();
+        self.shutdown_impl();
+    }
+}
+
+/// Register a worker thread for `slot.index`, replacing any previous
+/// incarnation's slot and handle (the replaced handle is dropped, i.e. the
+/// old thread is detached — joining a wedged thread would hang).
+fn spawn_worker(shared: &Arc<Shared>, slot: Arc<WorkerSlot>) {
+    let index = slot.index;
+    let handle = {
+        let shared = Arc::clone(shared);
+        let slot = Arc::clone(&slot);
+        std::thread::Builder::new()
+            .name(format!("placement-worker-{index}"))
+            .spawn(move || worker_loop(&shared, &slot))
+            .expect("spawning a worker thread")
+    };
+    let mut slots = relock(&shared.slots);
+    let mut handles = relock(&shared.handles);
+    if index < slots.len() {
+        slots[index] = slot;
+        handles[index] = Some(handle);
+    } else {
+        slots.push(slot);
+        handles.push(Some(handle));
+    }
+}
+
+/// The watchdog: poll worker heartbeats; presume a worker wedged once it
+/// has been busy on one batch past `deadline` without a heartbeat, fail
+/// its in-flight jobs, quarantine its entry, and respawn it.
+fn monitor_loop(shared: &Arc<Shared>, deadline: Duration) {
+    let poll = (deadline / 4).clamp(Duration::from_millis(5), Duration::from_secs(1));
+    let deadline_ms = deadline.as_millis().max(1) as u64;
+    loop {
+        std::thread::sleep(poll);
+        if shared.lock_state().shutdown {
+            return;
+        }
+        let slots: Vec<Arc<WorkerSlot>> = relock(&shared.slots).clone();
+        for slot in slots {
+            let batch = slot.busy_batch.load(Ordering::Acquire);
+            if batch == 0
+                || shared
+                    .now_ms()
+                    .saturating_sub(slot.beat_ms.load(Ordering::Acquire))
+                    <= deadline_ms
+            {
+                continue;
+            }
+            let mut st = shared.lock_state();
+            // Re-verify under the lock: the worker may have finished (or
+            // progressed) between the unlocked read and here.
+            if slot.busy_batch.load(Ordering::Acquire) != batch
+                || shared
+                    .now_ms()
+                    .saturating_sub(slot.beat_ms.load(Ordering::Acquire))
+                    <= deadline_ms
+            {
+                continue;
+            }
+            let Some(wedged) = st.inflight.remove(&batch) else {
+                continue;
+            };
+            let message = format!(
+                "worker {} made no progress for {deadline_ms}ms mid-batch; presumed wedged, \
+                 its in-flight jobs failed and the worker respawned",
+                slot.index
+            );
+            for tx in &wedged.senders {
+                st.counters.completed += 1;
+                st.counters.errors += 1;
+                let _ = tx.send(Err(ServeError::SolverPanicked {
+                    message: message.clone(),
+                }));
+            }
+            st.abandoned.insert(batch);
+            quarantine_and_rehome(shared, &mut st, wedged.entry);
+            st.counters.worker_restarts += 1;
+            slot.retired.store(true, Ordering::Release);
+            drop(st);
+            spawn_worker(shared, Arc::new(WorkerSlot::new(slot.index)));
+            shared.work.notify_all();
+        }
+    }
+}
+
+/// Quarantine `id` (its session can no longer be trusted) and move its
+/// queued jobs to a freshly built entry for the same key.  Purity makes
+/// this invisible to correctness: the rebuilt session answers the moved
+/// jobs bit-identically.
+fn quarantine_and_rehome(shared: &Shared, st: &mut State, id: EntryId) {
+    let Some((key, program)) = st.cache.quarantine(id) else {
+        return;
+    };
+    st.ready.retain(|&r| r != id);
+    st.in_ready.remove(&id);
+    if let Some(jobs) = st.pending.remove(&id) {
+        let (new_id, _) = st.cache.lookup_or_insert(key, &program);
+        for _ in 0..jobs.len() {
+            st.cache.pin(new_id);
+        }
+        st.pending.entry(new_id).or_default().extend(jobs);
+        if !st.in_ready.contains(&new_id) && !st.cache.is_claimed(new_id) {
+            st.ready.push_back(new_id);
+            st.in_ready.insert(new_id);
+            shared.work.notify_one();
         }
     }
 }
@@ -415,51 +826,101 @@ fn xorshift(state: &mut u64) -> u64 {
     *state
 }
 
-fn worker_loop(shared: &Shared, index: usize) {
+fn worker_loop(shared: &Shared, slot: &WorkerSlot) {
+    #[cfg(feature = "fault-injection")]
+    let _fault_guard = shared.fault.clone().map(fault::install);
     let mut jitter = shared
         .cfg
         .worker_jitter_seed
-        .map(|seed| seed ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        .map(|seed| seed ^ (slot.index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     loop {
+        if slot.retired.load(Ordering::Acquire) {
+            return;
+        }
         if let Some(state) = jitter.as_mut() {
             std::thread::sleep(Duration::from_micros(xorshift(state) % 300));
         }
-        let mut st = shared.state.lock().expect("server state lock poisoned");
+        let mut st = shared.lock_state();
         let id = loop {
+            if slot.retired.load(Ordering::Acquire) {
+                return;
+            }
             if let Some(id) = st.ready.pop_front() {
                 break id;
             }
             if st.shutdown {
                 return;
             }
-            st = shared.work.wait(st).expect("server state lock poisoned");
+            st = shared.wait_work(st);
         };
         st.in_ready.remove(&id);
-        let (program, mut state) = st
-            .cache
-            .claim(id)
-            .expect("entries in the ready queue are unclaimed");
+        let Some((program, mut state)) = st.cache.claim(id) else {
+            // Only reachable after a poison repair left a stale ready
+            // entry; nothing to do.
+            continue;
+        };
         let jobs = st.pending.remove(&id).unwrap_or_default();
         let key = st.cache.key_of(id);
         st.cache.unpin(id, jobs.len());
-        st.queued -= jobs.len();
+        st.queued = st.queued.saturating_sub(jobs.len());
+        if jobs.is_empty() {
+            st.cache.release(id, state);
+            continue;
+        }
+        let batch_id = st.next_batch;
+        st.next_batch += 1;
+        st.inflight.insert(
+            batch_id,
+            InflightBatch {
+                entry: id,
+                senders: jobs.iter().map(|job| job.tx.clone()).collect(),
+            },
+        );
         shared.space.notify_all();
         drop(st);
 
-        let batch = solve_batch(&shared.cfg, key, &program, &mut state, jobs);
+        slot.beat_ms.store(shared.now_ms(), Ordering::Release);
+        slot.busy_batch.store(batch_id, Ordering::Release);
+        #[cfg(feature = "fault-injection")]
+        if fault::should_fire(FaultSite::ServeCoalesceDelay) {
+            if let Some(delay) = fault::injected_delay() {
+                std::thread::sleep(delay);
+            }
+        }
+        let batch = solve_batch(&shared.cfg, key, &program, &mut state, jobs, &|| {
+            slot.beat_ms.store(shared.now_ms(), Ordering::Release);
+        });
+        slot.busy_batch.store(0, Ordering::Release);
 
-        let mut st = shared.state.lock().expect("server state lock poisoned");
-        st.cache.release(id, state);
+        let mut st = shared.lock_state();
+        st.inflight.remove(&batch_id);
+        if st.abandoned.remove(&batch_id) {
+            // The watchdog (or a drain) already failed these jobs and
+            // quarantined the entry; dropping `state` here is the point —
+            // the half-trusted session must not rejoin the cache, and the
+            // tallies were already accounted.
+            continue;
+        }
         st.counters.completed += batch.completed;
         st.counters.errors += batch.errors;
         st.counters.exact += batch.exact;
         st.counters.heuristic += batch.heuristic;
         st.counters.timeout += batch.timeout;
         st.counters.memo_hits += batch.memo_hits;
-        if st.pending.contains_key(&id) && !st.in_ready.contains(&id) {
-            st.ready.push_back(id);
-            st.in_ready.insert(id);
-            shared.work.notify_one();
+        if batch.panicked.is_some() {
+            st.counters.worker_panics += 1;
+            quarantine_and_rehome(shared, &mut st, id);
+        } else {
+            st.cache.release(id, state);
+            if st.pending.contains_key(&id) && !st.in_ready.contains(&id) {
+                st.ready.push_back(id);
+                st.in_ready.insert(id);
+                shared.work.notify_one();
+            }
+        }
+        #[cfg(feature = "fault-injection")]
+        if fault::should_fire(FaultSite::ServeEvictRace) {
+            st.cache.evict_one_idle();
         }
     }
 }
@@ -472,20 +933,76 @@ struct BatchTally {
     heuristic: u64,
     timeout: u64,
     memo_hits: u64,
+    /// The panic message, when a panic escaped the session build or a
+    /// job's solve.  The batch was aborted: the remaining jobs were failed
+    /// with [`ServeError::SolverPanicked`] and the caller must quarantine
+    /// the entry instead of releasing the (half-mutated) state.
+    panicked: Option<String>,
+}
+
+/// Extract a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` with panics contained: `Err(message)` instead of unwinding.
+/// `AssertUnwindSafe` is sound here because every caller discards the
+/// state `f` may have half-mutated (the entry is quarantined, never
+/// released).
+fn contain<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(panic_message)
+}
+
+/// Fail every remaining job of an aborted batch with
+/// [`ServeError::SolverPanicked`].
+fn abort_batch(tally: &mut BatchTally, jobs: impl Iterator<Item = Job>, message: &str) {
+    for job in jobs {
+        tally.completed += 1;
+        tally.errors += 1;
+        let _ = job.tx.send(Err(ServeError::SolverPanicked {
+            message: message.to_string(),
+        }));
+    }
 }
 
 /// Solve one coalesced batch of jobs against one session, sending each
-/// job's response as it completes.
+/// job's response as it completes.  `beat` is stamped before every job —
+/// the worker's heartbeat for the watchdog.  Panics in the session build
+/// or any job's solve are contained (see [`BatchTally::panicked`]).
 fn solve_batch(
     cfg: &ServerConfig,
     key: SessionKey,
     program: &Arc<MachineProgram>,
     state: &mut EntryState,
     jobs: Vec<Job>,
+    beat: &dyn Fn(),
 ) -> BatchTally {
     let mut tally = BatchTally::default();
-    if state.session.is_none() {
-        if let Err(e) = build_session(cfg, key, program, state) {
+    let mut jobs = jobs.into_iter();
+    let setup = contain(|| {
+        #[cfg(feature = "fault-injection")]
+        if fault::should_fire(FaultSite::ServeClaimPanic) {
+            panic!("{} worker panic at batch claim", fault::INJECTED_MARKER);
+        }
+        if state.session.is_none() {
+            build_session(cfg, key, program, state)
+        } else {
+            Ok(())
+        }
+    });
+    match setup {
+        Err(message) => {
+            abort_batch(&mut tally, jobs, &message);
+            tally.panicked = Some(message);
+            return tally;
+        }
+        Ok(Err(e)) => {
             for job in jobs {
                 tally.completed += 1;
                 tally.errors += 1;
@@ -493,8 +1010,10 @@ fn solve_batch(
             }
             return tally;
         }
+        Ok(Ok(())) => {}
     }
-    for job in jobs {
+    while let Some(job) = jobs.next() {
+        beat();
         let started = Instant::now();
         let queue_ms = started.duration_since(job.enqueued).as_secs_f64() * 1e3;
         tally.completed += 1;
@@ -509,15 +1028,28 @@ fn solve_batch(
                 memo_hit: true,
                 queue_ms,
                 solve_ms: 0.0,
+                injected: false,
             }));
             continue;
         }
         let session = state.session.as_mut().expect("session built above");
-        let result = solve_query(session, &job.query, job.deadline);
+        let solved = contain(|| solve_query(session, &job.query, job.deadline));
         let solve_ms = started.elapsed().as_secs_f64() * 1e3;
-        match result {
-            Ok((outcome, points)) => {
-                if outcome != Outcome::Timeout {
+        match solved {
+            Err(message) => {
+                tally.errors += 1;
+                let _ = job.tx.send(Err(ServeError::SolverPanicked {
+                    message: message.clone(),
+                }));
+                abort_batch(&mut tally, jobs, &message);
+                tally.panicked = Some(message);
+                return tally;
+            }
+            Ok(Ok((outcome, points))) => {
+                // An injected-fault-degraded answer is not the pure
+                // function of the request the memo contract requires.
+                let injected = points.iter().any(|p| p.stats.injected);
+                if outcome != Outcome::Timeout && !injected {
                     state.memo.insert(
                         memo_key,
                         MemoEntry {
@@ -534,9 +1066,10 @@ fn solve_batch(
                     memo_hit: false,
                     queue_ms,
                     solve_ms,
+                    injected,
                 }));
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 tally.errors += 1;
                 let _ = job.tx.send(Err(e));
             }
@@ -637,13 +1170,19 @@ pub(crate) fn solve_query(
                     };
                     Ok((outcome, frontier.points))
                 }
-                Err(SolveError::BudgetExhausted(_)) => {
+                Err(SolveError::BudgetExhausted(why)) => {
                     // The enumeration ran out of nodes or time with no
                     // incumbent at some step: collapse to the best-effort
                     // single point at the full budget.
                     session.reset_chain();
                     session.solver.time_limit = remaining(deadline);
-                    let solved = session.solve_point_degraded(*max_budget, *x_limit)?;
+                    let mut solved = session.solve_point_degraded(*max_budget, *x_limit)?;
+                    // A frontier collapsed by an *injected* exhaustion
+                    // must carry the taint even when the fallback point
+                    // itself solved cleanly.
+                    if cfg!(feature = "fault-injection") && why.contains("injected fault") {
+                        solved.point.stats.injected = true;
+                    }
                     let timed = solved.point.stats.time_limit_hit
                         || remaining(deadline).is_some_and(|r| r.is_zero());
                     let outcome = match solved.resolution {
@@ -666,5 +1205,138 @@ fn worst_outcome(a: Outcome, b: Outcome) -> Outcome {
         (Timeout, _) | (_, Timeout) => Timeout,
         (Heuristic, _) | (_, Heuristic) => Heuristic,
         _ => Exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashram_minicc::{compile_program, OptLevel, SourceUnit};
+
+    fn tiny_program() -> Arc<MachineProgram> {
+        let src =
+            "int work(int n) { int s = 0; for (int i = 0; i < n; i++) s += i * i; return s; }\n\
+                   int main() { return work(10); }";
+        Arc::new(compile_program(&[SourceUnit::application(src)], OptLevel::O1).unwrap())
+    }
+
+    fn small_server() -> PlacementServer {
+        let server = PlacementServer::new(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        server.register_program("tiny", tiny_program());
+        server
+    }
+
+    /// Poison the state mutex by panicking while holding it, optionally
+    /// corrupting the bookkeeping first.
+    fn poison_state(server: &PlacementServer, corrupt: bool) {
+        let shared = Arc::clone(&server.shared);
+        let _ = std::thread::spawn(move || {
+            let mut st = shared.state.lock().unwrap();
+            if corrupt {
+                st.queued += 7;
+            }
+            panic!("poisoning the server state for the recovery test");
+        })
+        .join();
+        assert!(server.shared.state.is_poisoned());
+    }
+
+    #[test]
+    fn consistent_poison_is_repaired_and_the_server_keeps_serving() {
+        let server = small_server();
+        poison_state(&server, false);
+        // The next lock clears the poison and, the state being consistent,
+        // the server continues: a full solve round-trip still works.
+        let response = server
+            .solve(Request::point("tiny", "stm32f100", 64, 2.0))
+            .expect("server survived the poisoned lock");
+        assert!(!response.points.is_empty());
+        let stats = server.shutdown();
+        assert!(!stats.draining);
+        assert_eq!(stats.completed, stats.submitted);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn corrupted_poison_drains_terminally_without_leaking() {
+        let server = small_server();
+        poison_state(&server, true);
+        // The corrupted bookkeeping (queued ≠ pending) forces the terminal
+        // drain: new admissions are refused...
+        let err = server
+            .solve(Request::point("tiny", "stm32f100", 64, 2.0))
+            .expect_err("a draining server refuses work");
+        assert_eq!(err, ServeError::Shutdown);
+        let stats = server.stats();
+        assert!(stats.draining);
+        assert_eq!(stats.queued, 0);
+        // ...and the zero-leak guarantee still holds at shutdown.
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, stats.submitted);
+    }
+
+    #[test]
+    fn shutdown_and_drop_share_one_idempotent_teardown() {
+        let server = small_server();
+        let response = server.solve(Request::point("tiny", "stm32f100", 48, 2.0));
+        assert!(response.is_ok());
+        // `shutdown` consumes the server; `Drop` runs right after and must
+        // be a no-op (no double join, no double drain, no panic).
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, stats.submitted);
+        assert_eq!(stats.worker_panics, 0);
+        assert_eq!(stats.worker_restarts, 0);
+    }
+
+    /// The `try_submit`/shutdown race, with the flag flip genuinely
+    /// concurrent with the admission hammering: every admission either
+    /// yields a ticket that resolves (answer or `Shutdown`) or is refused
+    /// with `Shutdown`/`Overloaded` — nothing hangs, nothing leaks.
+    #[test]
+    fn tickets_admitted_concurrently_with_shutdown_resolve_without_leaks() {
+        let server = small_server();
+        let tickets = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for client in 0..3u32 {
+                let server = &server;
+                let tickets = &tickets;
+                scope.spawn(move || {
+                    for i in 0..40u32 {
+                        let budget = [0u32, 32, 96][((client + i) % 3) as usize];
+                        match server.try_submit(Request::point("tiny", "stm32f100", budget, 2.0)) {
+                            Ok(ticket) => relock(tickets).push(ticket),
+                            Err(ServeError::Shutdown) => return,
+                            Err(ServeError::Overloaded) => std::thread::yield_now(),
+                            Err(e) => panic!("unexpected admission error: {e}"),
+                        }
+                    }
+                });
+            }
+            // Flip the flag mid-hammering: admissions racing it land on
+            // either side, and both sides must stay leak-free.
+            std::thread::sleep(Duration::from_millis(2));
+            server.begin_shutdown();
+        });
+        for ticket in relock(&tickets).drain(..) {
+            match ticket.wait() {
+                Ok(_) | Err(ServeError::Shutdown) => {}
+                Err(e) => panic!("a racing ticket resolved to {e}"),
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, stats.submitted, "zero leaked tickets");
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn contain_reports_panic_messages() {
+        assert_eq!(contain(|| 3).unwrap(), 3);
+        let msg = contain(|| -> () { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(msg, "boom 7");
+        let msg = contain(|| -> () { std::panic::panic_any(42i32) }).unwrap_err();
+        assert_eq!(msg, "non-string panic payload");
     }
 }

@@ -1,0 +1,238 @@
+//! Targeted fault-containment tests (the `fault-injection` feature):
+//! inject exactly one fault with a budgeted [`FaultPlan`] and watch the
+//! server recover — a contained panic quarantines its session and the
+//! same cache key keeps answering bit-exactly, an injected spurious
+//! exhaustion taints the degraded answer out of the memo table, the
+//! watchdog respawns a wedged worker, and a short chaos soak holds every
+//! containment invariant at once.
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use flashram_ir::MachineProgram;
+use flashram_serve::workload::{
+    check_equivalence, reference_response, reference_session, run_stress, ChaosConfig, StressConfig,
+};
+use flashram_serve::{
+    FaultPlan, FaultSite, Outcome, PlacementServer, Request, ServeError, ServerConfig,
+};
+
+fn kernel(name: &str) -> Arc<MachineProgram> {
+    flashram_beebs::Benchmark::by_name(name)
+        .expect("kernel exists")
+        .compile_cached(flashram_minicc::OptLevel::O1)
+        .expect("kernel compiles")
+}
+
+/// Solve `request` sequentially on a fresh session (no plan installed on
+/// this thread, so the oracle is fault-free by construction) and assert
+/// the server's answer is bit-identical.
+fn assert_matches_oracle(
+    program: &MachineProgram,
+    request: &Request,
+    outcome: Outcome,
+    points: &[flashram_core::SweepPoint],
+) {
+    let mut oracle = reference_session(program, &request.device, request.scope, None)
+        .expect("oracle session builds");
+    let expected = reference_response(&mut oracle, &request.query).expect("oracle solves");
+    assert!(
+        check_equivalence(&expected, outcome, points).is_none(),
+        "the recovered answer must be bit-identical to the fault-free oracle"
+    );
+}
+
+/// The acceptance demo: an injected mid-solve panic is contained to a
+/// `SolverPanicked` response, the half-mutated session is quarantined,
+/// and re-submitting the same request on the same cache key returns the
+/// exact answer.
+#[test]
+fn contained_panic_leaves_the_cache_key_serving_exact_answers() {
+    let plan = FaultPlan::new(0xBAD, 0)
+        .site_rate(FaultSite::IlpPanic, 1000)
+        .site_budget(FaultSite::IlpPanic, 1);
+    let server = PlacementServer::with_fault_plan(
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        plan.clone(),
+    );
+    let program = kernel("2dfir");
+    server.register_program("2dfir", Arc::clone(&program));
+    let request = Request::point("2dfir", "stm32f100", 128, 1.5);
+
+    match server.solve(request.clone()) {
+        Err(ServeError::SolverPanicked { message }) => {
+            assert!(
+                message.contains("injected fault"),
+                "the panic payload survives containment: {message:?}"
+            );
+        }
+        other => panic!("the first solve must hit the injected panic, got {other:?}"),
+    }
+    assert_eq!(plan.fired(FaultSite::IlpPanic), 1, "the budget caps at one");
+
+    // The fault budget is spent: the rebuilt session answers exactly.
+    let response = server
+        .solve(request.clone())
+        .expect("re-submitting after a contained panic is safe");
+    assert!(!response.injected);
+    // Whether the retry's admission raced the worker's quarantine (and was
+    // rehomed to a fresh entry) or arrived after it, the half-mutated
+    // session must never produce its answer — which the bit-identity
+    // check below and the quarantine count prove.
+    assert_matches_oracle(&program, &request, response.outcome, &response.points);
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.worker_panics, 1,
+        "the panic was recorded, not swallowed"
+    );
+    assert_eq!(stats.cache.quarantined, 1);
+    assert_eq!(
+        stats.worker_restarts, 0,
+        "a contained panic needs no respawn"
+    );
+    assert!(!stats.draining);
+    assert_eq!(stats.completed, stats.submitted, "zero leaked tickets");
+}
+
+/// An injected spurious `BudgetExhausted` degrades the answer to the
+/// greedy fallback, but the response is tainted (`injected`) and must
+/// never be memoized: the next identical request re-solves cleanly and
+/// only *that* answer enters the memo.
+#[test]
+fn injected_exhaustion_taints_the_answer_and_skips_the_memo() {
+    let plan = FaultPlan::new(0x5EED, 0)
+        .site_rate(FaultSite::IlpSpuriousExhaustion, 1000)
+        .site_budget(FaultSite::IlpSpuriousExhaustion, 1);
+    let server = PlacementServer::with_fault_plan(
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        plan.clone(),
+    );
+    let program = kernel("2dfir");
+    server.register_program("2dfir", Arc::clone(&program));
+    let request = Request::point("2dfir", "stm32f100", 128, 1.5);
+
+    let first = server
+        .solve(request.clone())
+        .expect("a spurious exhaustion degrades, it does not fail");
+    assert!(first.injected, "the degraded answer carries the taint");
+    assert_eq!(first.outcome, Outcome::Heuristic);
+
+    let second = server
+        .solve(request.clone())
+        .expect("the fault budget is spent");
+    assert!(!second.injected);
+    assert!(
+        !second.memo_hit,
+        "the tainted answer must not have been memoized"
+    );
+    assert_matches_oracle(&program, &request, second.outcome, &second.points);
+
+    let third = server.solve(request).expect("solvable");
+    assert!(third.memo_hit, "the clean answer is what the memo replays");
+    assert_eq!(
+        second.points[0].objective.to_bits(),
+        third.points[0].objective.to_bits()
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.worker_panics, 0);
+    assert_eq!(stats.cache.quarantined, 0, "no panic, no quarantine");
+}
+
+/// A worker wedged past the watchdog deadline (here: an injected coalesce
+/// delay far longer than the deadline) has its in-flight job failed with
+/// `SolverPanicked`, its session quarantined, and the worker respawned —
+/// and the respawned worker serves the retry exactly.
+#[test]
+fn the_watchdog_restarts_a_wedged_worker_and_fails_its_jobs() {
+    let plan = FaultPlan::new(9, 0)
+        .site_rate(FaultSite::ServeCoalesceDelay, 1000)
+        .site_budget(FaultSite::ServeCoalesceDelay, 1)
+        .delay(Duration::from_millis(1500));
+    let server = PlacementServer::with_fault_plan(
+        ServerConfig {
+            workers: 1,
+            watchdog: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+        plan,
+    );
+    let program = kernel("2dfir");
+    server.register_program("2dfir", Arc::clone(&program));
+    let request = Request::point("2dfir", "stm32f100", 128, 1.5);
+
+    match server.solve(request.clone()) {
+        Err(ServeError::SolverPanicked { message }) => {
+            assert!(
+                message.contains("no progress"),
+                "the watchdog diagnosis names the wedge: {message:?}"
+            );
+        }
+        other => panic!("the wedged batch must be failed by the watchdog, got {other:?}"),
+    }
+
+    let response = server
+        .solve(request.clone())
+        .expect("the respawned worker serves the retry");
+    assert_matches_oracle(&program, &request, response.outcome, &response.points);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.worker_restarts, 1, "exactly one respawn");
+    assert_eq!(
+        stats.cache.quarantined, 1,
+        "the wedged worker's session is suspect"
+    );
+    assert_eq!(stats.completed, stats.submitted, "zero leaked tickets");
+    assert!(!stats.draining);
+}
+
+/// The short chaos soak: every failpoint firing at 6% over the CI
+/// workload, with every containment invariant asserted by `run_stress`
+/// itself (zero leaks, cache coherence, no terminal drain) plus the
+/// bit-identity of surviving fault-free answers.
+#[test]
+fn short_chaos_soak_contains_every_fault() {
+    let mut cfg = StressConfig::short(0xC4A05);
+    cfg.chaos = Some(ChaosConfig {
+        seed: 0xFA117,
+        rate_per_mille: 60,
+    });
+    let report = run_stress(&cfg);
+    assert!(
+        report.failures.is_empty(),
+        "chaos soak failures: {:?}",
+        report.failures
+    );
+    assert_eq!(report.server.completed, report.server.submitted);
+    assert_eq!(
+        report.equivalence_failures, 0,
+        "surviving answers stay exact"
+    );
+    assert_eq!(report.validation_failures, 0);
+    let chaos = report.chaos.expect("chaos runs produce a chaos report");
+    assert_eq!(
+        chaos.succeeded + chaos.failed,
+        report.server.submitted,
+        "every request reached a terminal outcome"
+    );
+    let fired: u64 = chaos.sites.iter().map(|(_, _, fired)| fired).sum();
+    assert!(
+        fired > 0,
+        "a 6% rate over the CI workload must actually inject"
+    );
+    assert!(
+        chaos.succeeded > chaos.failed,
+        "most requests survive a 6% fault rate: {} vs {}",
+        chaos.succeeded,
+        chaos.failed
+    );
+}

@@ -1,0 +1,269 @@
+//! Determinism under injection: the fault schedule is a pure function of
+//! `(seed, site, hit-counter, rate)`, so
+//!
+//! * a rate-0 [`FaultPlan`] must be bit-identical to an uninstrumented
+//!   server — the failpoints take the same no-fire branch the no-feature
+//!   build compiles out entirely (and both builds are separately pinned
+//!   to the same sequential oracle by the equivalence suite, so the
+//!   identity carries across builds);
+//! * replaying the same `(seed, plan)` over the same request sequence
+//!   must fire identical fault sites and produce identical responses —
+//!   including the surviving answers — no matter how many workers the
+//!   server runs, because decisions are made by counter, never by wall
+//!   clock or thread identity.
+
+#![cfg(feature = "fault-injection")]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flashram_core::{PlacementSession, SweepPoint};
+use flashram_ir::MachineProgram;
+use flashram_serve::workload::{
+    check_equivalence, reference_response, reference_session, WorkloadShape,
+};
+use flashram_serve::{
+    FaultPlan, FaultSite, Outcome, PlacementServer, Request, ServeError, ServerConfig,
+};
+use proptest::prelude::*;
+
+/// A small, fast workload shape (mirrors the equivalence suite).
+fn shape() -> WorkloadShape {
+    let mut shape = WorkloadShape::beebs_default();
+    shape.kernels.truncate(2);
+    shape.devices.truncate(2);
+    shape.budgets = vec![0, 16, 64, 256];
+    shape.x_limits = vec![1.1, 1.5, 2.0];
+    shape
+}
+
+/// A fixed request sequence drawn from the shape.
+fn requests(seed: u64, n: usize) -> Vec<Request> {
+    let shape = shape();
+    let mut rng = seed;
+    (0..n).map(|_| shape.next_request(&mut rng)).collect()
+}
+
+/// What one request terminated as, in bit-comparable form.
+#[derive(Debug, Clone)]
+enum Terminal {
+    Answered {
+        outcome: Outcome,
+        injected: bool,
+        points: Vec<SweepPoint>,
+    },
+    Failed(ServeError),
+}
+
+/// One full replay: the per-request terminals plus the per-site
+/// `(hits, fired)` schedule snapshot.
+type Replay = (Vec<Terminal>, Vec<(u64, u64)>);
+
+fn points_identical(a: &[SweepPoint], b: &[SweepPoint]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.objective.to_bits() == y.objective.to_bits()
+                && x.selected == y.selected
+                && x.model_ram_used == y.model_ram_used
+        })
+}
+
+fn terminals_identical(a: &Terminal, b: &Terminal) -> bool {
+    match (a, b) {
+        (
+            Terminal::Answered {
+                outcome,
+                injected,
+                points,
+            },
+            Terminal::Answered {
+                outcome: o2,
+                injected: i2,
+                points: p2,
+            },
+        ) => outcome == o2 && injected == i2 && points_identical(points, p2),
+        (Terminal::Failed(e), Terminal::Failed(e2)) => e == e2,
+        _ => false,
+    }
+}
+
+/// Drive `requests` one at a time (so the hit-counter order is fixed by
+/// the request order, not the thread schedule) through a server with
+/// `workers` workers and the given plan.
+fn drive(
+    plan: Option<FaultPlan>,
+    workers: usize,
+    requests: &[Request],
+    programs: &HashMap<String, Arc<MachineProgram>>,
+) -> Vec<Terminal> {
+    let config = ServerConfig {
+        workers,
+        cache_capacity: 3,
+        ..ServerConfig::default()
+    };
+    let server = match plan {
+        Some(plan) => PlacementServer::with_fault_plan(config, plan),
+        None => PlacementServer::new(config),
+    };
+    for (name, program) in programs {
+        server.register_program(name, Arc::clone(program));
+    }
+    let terminals = requests
+        .iter()
+        .map(|request| match server.solve(request.clone()) {
+            Ok(response) => Terminal::Answered {
+                outcome: response.outcome,
+                injected: response.injected,
+                points: response.points,
+            },
+            Err(e) => Terminal::Failed(e),
+        })
+        .collect();
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, stats.submitted, "zero leaked tickets");
+    terminals
+}
+
+fn compile_shape_kernels() -> HashMap<String, Arc<MachineProgram>> {
+    shape()
+        .kernels
+        .iter()
+        .map(|name| {
+            let program = flashram_beebs::Benchmark::by_name(name)
+                .expect("kernel exists")
+                .compile_cached(flashram_minicc::OptLevel::O1)
+                .expect("kernel compiles");
+            (name.clone(), program)
+        })
+        .collect()
+}
+
+/// Every surviving (answered, untainted) terminal must match the
+/// fault-free sequential oracle bit for bit.
+fn assert_survivors_exact(
+    requests: &[Request],
+    terminals: &[Terminal],
+    programs: &HashMap<String, Arc<MachineProgram>>,
+) -> Result<(), TestCaseError> {
+    let mut sessions: HashMap<(String, String), PlacementSession> = HashMap::new();
+    for (request, terminal) in requests.iter().zip(terminals) {
+        let Terminal::Answered {
+            outcome,
+            injected: false,
+            points,
+        } = terminal
+        else {
+            continue;
+        };
+        let session = match sessions.entry((request.program.clone(), request.device.clone())) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => v.insert(
+                reference_session(
+                    &programs[&request.program],
+                    &request.device,
+                    request.scope,
+                    None,
+                )
+                .expect("reference session builds"),
+            ),
+        };
+        let expected = reference_response(session, &request.query).expect("reference solves");
+        let diff = check_equivalence(&expected, *outcome, points);
+        prop_assert!(
+            diff.is_none(),
+            "surviving answer diverged from the oracle: {} on {}: {}",
+            request.program,
+            request.device,
+            diff.unwrap_or_default()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+    /// Rate 0: the plan is consulted at every failpoint and never fires,
+    /// and the responses are bit-identical to a server with no plan
+    /// installed at all.
+    #[test]
+    fn a_rate_zero_plan_is_bit_identical_to_an_uninstrumented_server(
+        seed in 0u64..1_000_000,
+        workers in 1usize..5,
+    ) {
+        let programs = compile_shape_kernels();
+        let reqs = requests(seed, 10);
+        let plan = FaultPlan::new(seed, 0);
+        let plain = drive(None, workers, &reqs, &programs);
+        let zeroed = drive(Some(plan.clone()), workers, &reqs, &programs);
+        prop_assert_eq!(plain.len(), zeroed.len());
+        for (i, (a, b)) in plain.iter().zip(&zeroed).enumerate() {
+            prop_assert!(
+                terminals_identical(a, b),
+                "request {} diverged under the rate-0 plan: {:?} vs {:?}",
+                i, a, b
+            );
+        }
+        prop_assert_eq!(plan.total_fired(), 0, "rate 0 never fires");
+        prop_assert!(
+            FaultSite::ALL.iter().any(|&site| plan.hits(site) > 0),
+            "the failpoints were actually consulted"
+        );
+        for terminal in &zeroed {
+            if let Terminal::Answered { injected, .. } = terminal {
+                prop_assert!(!injected, "nothing fired, nothing is tainted");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2, ..ProptestConfig::default() })]
+
+    /// The same `(seed, plan)` over the same request sequence replays the
+    /// identical fault schedule — same per-site hit and fire counts, the
+    /// fires exactly the decided prefix of the hit counter — and the
+    /// identical terminals, across 1–4 workers.
+    #[test]
+    fn the_same_plan_replays_identical_fault_sites_and_answers_across_worker_counts(
+        fault_seed in 0u64..1_000_000,
+    ) {
+        const RATE: u16 = 120;
+        let programs = compile_shape_kernels();
+        let reqs = requests(0xD15EA5E, 14);
+        let mut baseline: Option<Replay> = None;
+        for workers in 1..=4usize {
+            let plan = FaultPlan::new(fault_seed, RATE);
+            let terminals = drive(Some(plan.clone()), workers, &reqs, &programs);
+            // Fires are exactly the decided prefix of each site's counter.
+            for snap in plan.snapshot() {
+                let decided = (0..snap.hits)
+                    .filter(|&hit| FaultPlan::decide(fault_seed, snap.site, hit, RATE))
+                    .count() as u64;
+                prop_assert_eq!(
+                    snap.fired, decided,
+                    "site {} fired off-schedule", snap.site.name()
+                );
+            }
+            assert_survivors_exact(&reqs, &terminals, &programs)?;
+            let snapshot: Vec<(u64, u64)> =
+                plan.snapshot().iter().map(|s| (s.hits, s.fired)).collect();
+            match &baseline {
+                None => baseline = Some((terminals, snapshot)),
+                Some((expected_terminals, expected_snapshot)) => {
+                    prop_assert_eq!(
+                        &snapshot, expected_snapshot,
+                        "{} workers reached a different fault schedule", workers
+                    );
+                    for (i, (a, b)) in terminals.iter().zip(expected_terminals).enumerate() {
+                        prop_assert!(
+                            terminals_identical(a, b),
+                            "request {} diverged at {} workers: {:?} vs {:?}",
+                            i, workers, a, b
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

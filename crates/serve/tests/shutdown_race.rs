@@ -1,0 +1,66 @@
+//! Regression test for the `try_submit`/shutdown race: a ticket admitted
+//! before (or concurrently with) shutdown must always resolve — to its
+//! answer or to `ServeError::Shutdown` — never hang or leak, and the
+//! server's counters must reconcile to `completed == submitted` on every
+//! teardown path.
+//!
+//! The companion in-module test (`crates/serve/src/server.rs`) hammers
+//! `try_submit` truly concurrently with the shutdown flag flip; this one
+//! covers the public-API shape of the race: shut the server down while a
+//! burst of admitted tickets is still queued and in flight, then redeem
+//! every ticket after the server is gone.
+
+use std::sync::{Arc, Mutex};
+
+use flashram_serve::{PlacementServer, Request, ServeError, ServerConfig, Ticket};
+
+#[test]
+fn tickets_admitted_before_shutdown_always_resolve() {
+    let program = flashram_beebs::Benchmark::by_name("2dfir")
+        .expect("kernel exists")
+        .compile_cached(flashram_minicc::OptLevel::O1)
+        .expect("kernel compiles");
+    // Several rounds shift the interleaving between the last admission,
+    // the workers' progress through the queue, and the shutdown call.
+    for round in 0..6u32 {
+        let server = PlacementServer::new(ServerConfig {
+            workers: 1 + (round as usize % 2),
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        });
+        server.register_program("2dfir", Arc::clone(&program));
+        let tickets: Mutex<Vec<Ticket>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for client in 0..3u32 {
+                let server = &server;
+                let tickets = &tickets;
+                scope.spawn(move || {
+                    for i in 0..20u32 {
+                        let budget = [0u32, 16, 64, 256][((round + client + i) % 4) as usize];
+                        let request = Request::point("2dfir", "stm32f100", budget, 1.5);
+                        match server.try_submit(request) {
+                            Ok(ticket) => tickets.lock().expect("ticket lock").push(ticket),
+                            Err(ServeError::Overloaded) => std::thread::yield_now(),
+                            Err(e) => panic!("unexpected admission error: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        // Shut down while most of the burst is still queued: workers must
+        // drain every admitted job (or the drain must fail its ticket),
+        // never strand one.
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.completed, stats.submitted,
+            "round {round}: zero leaked tickets across shutdown"
+        );
+        assert_eq!(stats.queued, 0, "round {round}: nothing left in the queue");
+        for ticket in tickets.into_inner().expect("ticket lock") {
+            match ticket.wait() {
+                Ok(_) | Err(ServeError::Shutdown) => {}
+                Err(e) => panic!("round {round}: a ticket resolved to {e}"),
+            }
+        }
+    }
+}
