@@ -1,21 +1,29 @@
-//! Simulator throughput smoke: run the BEEBS sweep on the reference
-//! interpreter, on the decoded engine, and on the `BatchRunner` worker
-//! pool, print the comparison, and write the numbers to `BENCH_sim.json`
-//! so simulator throughput can be tracked across commits.
+//! Simulator throughput smoke: run the BEEBS sweep on every execution
+//! engine — the IR-walking reference interpreter, the decoded engine, the
+//! threaded dispatcher, the tiered superblock engine — and on the
+//! `BatchRunner` worker pool, print the comparison, and write the numbers
+//! to `BENCH_sim.json` so simulator throughput can be tracked across
+//! commits.
 //!
 //! Exits nonzero when an acceptance check fails:
 //!
-//! * decoded and batched results must be bit-identical to the reference
-//!   interpreter's;
+//! * every engine's results must be bit-identical to the reference
+//!   interpreter's, and batched results bit-identical to sequential ones;
 //! * the decoded engine must be at least 1.05× faster than the reference
-//!   interpreter single-threaded.  (The decode-once/run-many pass was
-//!   aimed at 2×, but the reference interpreter already charges integer
-//!   counters with no per-instruction float math or hash lookups, so on
-//!   the hosts measured the decoded engine's win — no per-instruction
-//!   cost/class re-derivation, prefused charges, superinstructions — is
-//!   a reproducible ~1.15–1.25×, not 2×; the floor leaves margin for
-//!   noisy shared single-core runners.  See ROADMAP.md for what a bigger
-//!   win would take.);
+//!   interpreter single-threaded (the PR-4 floor; with the tuned release
+//!   profile its measured win is ~1.7×);
+//! * the best engine must be at least 1.4× faster than the reference
+//!   interpreter single-threaded.  The aspirational target for the tiered
+//!   engines was 2×; the measured best (usually the threaded dispatcher,
+//!   at 1.7–1.9× on the single-core bench host) falls short because
+//!   per-op semantic work — the bounds-checked register file, the memory
+//!   model, and per-bucket energy accounting, all under
+//!   `forbid(unsafe_code)` — dominates ~85% of runtime, so even zero-cost
+//!   dispatch caps the win well below 2×.  The blocking floor is set at
+//!   1.4× to stay noise-tolerant while still catching regressions to the
+//!   old ~1.27× dispatch floor;
+//! * the superblock tier must actually engage on the sweep (superblocks
+//!   built and iterations retired inside them);
 //! * on hosts with at least four CPUs the batched sweep must be at least
 //!   3× faster than the sequential decoded loop;
 //! * on a single-CPU host the batched sweep must not be slower than the
@@ -35,30 +43,52 @@ fn main() {
     let board = Board::stm32vldiscovery();
     let report = sim_perf(&board, &[OptLevel::O1, OptLevel::O2, OptLevel::Os]);
 
-    println!(
-        "{:<16} {:>5} {:>12} {:>12} {:>12}",
-        "benchmark", "level", "cycles", "energy mJ", "checksum"
-    );
-    for row in &report.rows {
-        println!(
-            "{:<16} {:>5} {:>12} {:>12.4} {:>12}",
-            row.benchmark, row.level, row.cycles, row.energy_mj, row.return_value
-        );
+    // Per-kernel engine table: Mcycles/s on each engine, best-of-five.
+    print!("{:<16} {:>5} {:>12}", "benchmark", "level", "cycles");
+    for e in &report.engines {
+        print!(" {:>11}", format!("{}", e.engine));
     }
+    println!();
+    for row in &report.rows {
+        print!("{:<16} {:>5} {:>12}", row.benchmark, row.level, row.cycles);
+        for e in 0..report.engines.len() {
+            print!(" {:>11.1}", row.engine_mcycles_per_s(e));
+        }
+        println!();
+    }
+
     println!(
         "{} programs, {:.1} Mcycles total, {} worker thread(s)",
         report.rows.len(),
         report.total_cycles as f64 / 1e6,
         report.threads
     );
+    for (i, e) in report.engines.iter().enumerate() {
+        println!(
+            "{:<11} {:>8.1} ms  {:>8.1} Mcycles/s  {:>6.2}x vs reference  bit-identical: {}",
+            format!("{}", e.engine),
+            e.wall_ms,
+            report.engine_mcycles_per_s(i),
+            report.engine_speedup(i),
+            e.bit_identical
+        );
+    }
+    let t = &report.tier;
     println!(
-        "reference {:.1} ms ({:.1} Mcycles/s), decoded {:.1} ms ({:.1} Mcycles/s) \
-         -> decode speedup {:.2}x",
-        report.reference_wall_ms,
-        report.reference_mcycles_per_s(),
-        report.sequential_wall_ms,
-        report.decoded_mcycles_per_s(),
-        report.decode_speedup(),
+        "tier: {} hot heads, {} superblocks built ({} rejected), \
+         {} entries, {} iterations, {} ops in superblocks vs {} interpreted",
+        t.hot_heads,
+        t.superblocks_built,
+        t.superblocks_rejected,
+        t.superblock_entries,
+        t.superblock_iterations,
+        t.superblock_ops,
+        t.interpreted_ops
+    );
+    let (best, best_speedup) = report.best_engine();
+    println!(
+        "best engine: {} at {:.2}x over the reference interpreter",
+        report.engines[best].engine, best_speedup
     );
     println!(
         "batched {:.1} ms -> speedup {:.2}x ({:.1} Mcycles/s batched), bit-identical: {}",
@@ -70,16 +100,33 @@ fn main() {
 
     let mut failures: Vec<String> = Vec::new();
     if !report.bit_identical {
-        failures.push(
-            "decoded/batched results are not bit-identical to the reference interpreter"
-                .to_string(),
-        );
+        for e in &report.engines {
+            if !e.bit_identical {
+                failures.push(format!(
+                    "{} results are not bit-identical to the reference interpreter",
+                    e.engine
+                ));
+            }
+        }
+        if report.engines.iter().all(|e| e.bit_identical) {
+            failures.push("batched results are not bit-identical to sequential ones".to_string());
+        }
     }
     if report.decode_speedup() < 1.05 {
         failures.push(format!(
             "decoded engine speedup {:.2}x below the 1.05x floor over the reference interpreter",
             report.decode_speedup()
         ));
+    }
+    if best_speedup < 1.4 {
+        failures.push(format!(
+            "best engine ({}) speedup {:.2}x below the 1.4x dispatch floor \
+             (aspirational target 2x; see module doc for the measured ceiling)",
+            report.engines[best].engine, best_speedup
+        ));
+    }
+    if t.superblocks_built == 0 || t.superblock_iterations == 0 {
+        failures.push("superblock tier never engaged on the BEEBS sweep".to_string());
     }
     if report.threads >= 4 && report.speedup() < 3.0 {
         failures.push(format!(

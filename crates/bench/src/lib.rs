@@ -43,7 +43,7 @@ use flashram_ir::{
     BlockId, BlockRef, FuncId, GlobalData, MachineBlock, MachineFunction, MachineProgram, Section,
 };
 use flashram_isa::{Cond, Inst, MemWidth, Reg, TermKind, Terminator};
-use flashram_mcu::{BatchRunner, Board, PowerModel, RunConfig};
+use flashram_mcu::{BatchRunner, Board, Engine, PowerModel, RunConfig, TierStats};
 use flashram_minicc::OptLevel;
 
 /// One bar pair of Figure 1: the average power of a tight loop of one
@@ -1538,14 +1538,39 @@ pub struct SimPerfRow {
     pub energy_mj: f64,
     /// The kernel's checksum (must match between sequential and batched).
     pub return_value: i32,
+    /// Best-of-rounds wall milliseconds for this kernel per engine,
+    /// aligned index-for-index with [`SimPerfReport::engines`].
+    pub engine_wall_ms: Vec<f64>,
+}
+
+impl SimPerfRow {
+    /// Simulated megacycles/s this kernel achieved on the engine at index
+    /// `i` of [`SimPerfReport::engines`].
+    pub fn engine_mcycles_per_s(&self, i: usize) -> f64 {
+        SimPerfReport::mcycles_per_s(self.cycles, self.engine_wall_ms[i])
+    }
+}
+
+/// Aggregate outcome for one execution engine across the [`sim_perf`]
+/// sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnginePerf {
+    /// Which engine this row measures.
+    pub engine: Engine,
+    /// Sum of the per-kernel best-of-rounds wall times, milliseconds.
+    pub wall_ms: f64,
+    /// Whether every run's result was bit-identical to the reference
+    /// interpreter's (trivially true for the reference itself).
+    pub bit_identical: bool,
 }
 
 /// The simulator-throughput comparison written to `BENCH_sim.json`.
 ///
-/// Three timed passes over the same sweep: the IR-walking reference
-/// interpreter (`Board::run_reference`), the decoded engine
-/// (`Board::run`, which lowers each program once and drives the flattened
-/// form), and the decoded engine on the [`BatchRunner`] worker pool.
+/// Timed passes over the same sweep for every execution engine — the
+/// IR-walking reference interpreter, the decoded engine, the threaded
+/// dispatcher and the tiered superblock engine — plus the decoded engine
+/// on the [`BatchRunner`] worker pool.  Per-kernel wall times are the
+/// minimum over five interleaved rounds with a rotated pass order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimPerfReport {
     /// Worker threads the batched run used.
@@ -1563,6 +1588,12 @@ pub struct SimPerfReport {
     /// sequential decoded ones (cycles, energy bits, checksum, profile,
     /// layout).
     pub bit_identical: bool,
+    /// Per-engine aggregates, in [`Engine::ALL`] order (reference first).
+    pub engines: Vec<EnginePerf>,
+    /// Tier statistics summed over the superblock engine's sweep: how many
+    /// loop heads went hot, how many superblocks were built, and how much
+    /// of the retired work ran inside them.
+    pub tier: TierStats,
     /// Per-program rows, in sweep order.
     pub rows: Vec<SimPerfRow>,
 }
@@ -1585,6 +1616,42 @@ impl SimPerfReport {
             return 1.0;
         }
         self.reference_wall_ms / self.sequential_wall_ms
+    }
+
+    /// Single-thread speedup of the engine at index `i` of [`engines`]
+    /// over the reference interpreter.
+    ///
+    /// [`engines`]: Self::engines
+    pub fn engine_speedup(&self, i: usize) -> f64 {
+        if self.engines[i].wall_ms <= 0.0 {
+            return 1.0;
+        }
+        self.reference_wall_ms / self.engines[i].wall_ms
+    }
+
+    /// Simulated megacycles/s of the engine at index `i` of [`engines`].
+    ///
+    /// [`engines`]: Self::engines
+    pub fn engine_mcycles_per_s(&self, i: usize) -> f64 {
+        Self::mcycles_per_s(self.total_cycles, self.engines[i].wall_ms)
+    }
+
+    /// The fastest bit-identical non-reference engine (index into
+    /// [`engines`] and its speedup over the reference) — the headline
+    /// "dispatch floor" number.
+    ///
+    /// [`engines`]: Self::engines
+    pub fn best_engine(&self) -> (usize, f64) {
+        let mut best = (0, 1.0);
+        for (i, e) in self.engines.iter().enumerate() {
+            if e.engine != Engine::Reference && e.bit_identical {
+                let s = self.engine_speedup(i);
+                if s > best.1 {
+                    best = (i, s);
+                }
+            }
+        }
+        best
     }
 
     /// Simulated megacycles per wall-clock second for the batched run.
@@ -1614,17 +1681,18 @@ impl SimPerfReport {
 }
 
 /// Measure simulator throughput: run every BEEBS kernel at every given
-/// level on the reference interpreter, then on the decoded engine, then on
-/// a [`BatchRunner`], and compare wall times and results.
+/// level on each execution engine ([`Engine::ALL`]) and on a
+/// [`BatchRunner`], and compare wall times and results.
 ///
 /// The result check is exact, not approximate: the deterministic counter
-/// fold means the decoded engine must reproduce the reference cycles,
-/// energy *bits*, checksum, profile and layout, and a batched run must
-/// reproduce the sequential ones; the report's `bit_identical` flag records
-/// whether both held.  Compilation goes through the fixture cache and is
-/// excluded from all timings — this measures the simulator, not the
-/// compiler.  An untimed decoded warm-up pass runs first so page faults and
-/// allocator growth land outside the measurements.
+/// fold means every engine must reproduce the reference cycles, energy
+/// *bits*, checksum, profile and layout, and a batched run must reproduce
+/// the sequential ones; the report records a per-engine verdict plus the
+/// combined `bit_identical` flag.  Compilation goes through the fixture
+/// cache and decoding/threading preparation is untimed — the engines'
+/// contract is prepare-once/run-many, so the timed loops measure the
+/// per-run cost only.  An untimed warm-up pass per engine runs first so
+/// page faults and allocator growth land outside the measurements.
 pub fn sim_perf(board: &Board, levels: &[OptLevel]) -> SimPerfReport {
     let jobs = sweep_jobs(levels);
     let programs: Vec<_> = jobs
@@ -1632,54 +1700,52 @@ pub fn sim_perf(board: &Board, levels: &[OptLevel]) -> SimPerfReport {
         .map(|(bench, level)| bench.compile_cached(*level).expect("benchmark compiles"))
         .collect();
 
-    // Decode once, untimed: the decoded engine's contract is
-    // decode-once/run-many, so the lowering pass is the per-program cost
-    // and the timed loops below measure the per-run cost of each engine.
-    // This also warms every program image.
+    // Prepare once, untimed: the decoded program feeds both the decoded
+    // and superblock engines, the threaded program carries its handler
+    // table.  This also warms every program image.
     let decoded_programs: Vec<_> = programs
         .iter()
         .map(|p| board.decode(p).expect("kernel decodes"))
         .collect();
-    for d in &decoded_programs {
-        let _ = board
-            .run_decoded(d, &RunConfig::default())
-            .expect("kernel runs");
+    let threaded_programs: Vec<_> = programs
+        .iter()
+        .map(|p| board.prepare_threaded(p).expect("kernel decodes"))
+        .collect();
+    let config = RunConfig::default();
+    let run_engine = |engine: Engine, i: usize| match engine {
+        Engine::Reference => board.run_reference(&programs[i]),
+        Engine::Decoded => board.run_decoded(&decoded_programs[i], &config),
+        Engine::Threaded => board.run_threaded(&threaded_programs[i], &config),
+        Engine::Superblock => board.run_superblock(&threaded_programs[i], &config),
+    };
+    for engine in [Engine::Decoded, Engine::Threaded, Engine::Superblock] {
+        for i in 0..programs.len() {
+            let _ = run_engine(engine, i).expect("kernel runs");
+        }
     }
 
     // Five interleaved rounds with a rotated pass order, keeping each
-    // engine's best wall time.  A fixed order systematically penalizes
-    // whichever engine runs later (shared and quota-throttled hosts slow
-    // down under sustained load — the source of the phantom sub-1.0
-    // "batched slowdown" this file used to report at one thread);
-    // rotating gives every engine an early slot and taking minima cancels
-    // the drift.  Results are deterministic, so any round's outputs serve
-    // for the bit-identity comparison.
+    // (kernel, engine) cell's best wall time.  A fixed order
+    // systematically penalizes whichever engine runs later (shared and
+    // quota-throttled hosts slow down under sustained load — the source
+    // of the phantom sub-1.0 "batched slowdown" this file used to report
+    // at one thread); rotating gives every engine an early slot and
+    // taking minima cancels the drift.  Results are deterministic, so any
+    // round's outputs serve for the bit-identity comparison.
     let runner = BatchRunner::new(board.clone());
-    let mut reference_wall_ms = f64::MAX;
-    let mut sequential_wall_ms = f64::MAX;
+    let n = programs.len();
+    let mut cell_wall_ms = vec![vec![f64::MAX; n]; Engine::ALL.len()];
+    let mut outputs: Vec<Vec<flashram_mcu::RunResult>> = vec![Vec::new(); Engine::ALL.len()];
     let mut batched_wall_ms = f64::MAX;
-    let mut reference = Vec::new();
-    let mut sequential = Vec::new();
     let mut batched = Vec::new();
-    let time_reference = |best: &mut f64, out: &mut Vec<_>| {
-        let start = std::time::Instant::now();
-        *out = programs
-            .iter()
-            .map(|p| board.run_reference(p).expect("kernel runs"))
-            .collect();
-        *best = best.min(start.elapsed().as_secs_f64() * 1e3);
-    };
-    let time_sequential = |best: &mut f64, out: &mut Vec<_>| {
-        let start = std::time::Instant::now();
-        *out = decoded_programs
-            .iter()
-            .map(|d| {
-                board
-                    .run_decoded(d, &RunConfig::default())
-                    .expect("kernel runs")
-            })
-            .collect();
-        *best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    let time_engine = |e: usize, cells: &mut [f64], out: &mut Vec<_>| {
+        out.clear();
+        for (i, cell) in cells.iter_mut().enumerate() {
+            let start = std::time::Instant::now();
+            let run = run_engine(Engine::ALL[e], i).expect("kernel runs");
+            *cell = cell.min(start.elapsed().as_secs_f64() * 1e3);
+            out.push(run);
+        }
     };
     let time_batched = |best: &mut f64, out: &mut Vec<_>| {
         let start = std::time::Instant::now();
@@ -1690,48 +1756,75 @@ pub fn sim_perf(board: &Board, levels: &[OptLevel]) -> SimPerfReport {
         });
         *best = best.min(start.elapsed().as_secs_f64() * 1e3);
     };
+    // Five passes per round: the four engines plus the batched sweep.
+    let passes = Engine::ALL.len() + 1;
     for round in 0..5 {
-        match round % 3 {
-            0 => {
-                time_reference(&mut reference_wall_ms, &mut reference);
-                time_sequential(&mut sequential_wall_ms, &mut sequential);
-                time_batched(&mut batched_wall_ms, &mut batched);
-            }
-            1 => {
-                time_batched(&mut batched_wall_ms, &mut batched);
-                time_reference(&mut reference_wall_ms, &mut reference);
-                time_sequential(&mut sequential_wall_ms, &mut sequential);
-            }
-            _ => {
-                time_sequential(&mut sequential_wall_ms, &mut sequential);
-                time_batched(&mut batched_wall_ms, &mut batched);
-                time_reference(&mut reference_wall_ms, &mut reference);
+        for p in 0..passes {
+            match (round + p) % passes {
+                e if e < Engine::ALL.len() => time_engine(e, &mut cell_wall_ms[e], &mut outputs[e]),
+                _ => time_batched(&mut batched_wall_ms, &mut batched),
             }
         }
     }
 
-    let bit_identical = reference.iter().zip(&sequential).all(|(r, s)| r.bits_eq(s))
+    let engines: Vec<EnginePerf> = Engine::ALL
+        .iter()
+        .enumerate()
+        .map(|(e, &engine)| EnginePerf {
+            engine,
+            wall_ms: cell_wall_ms[e].iter().sum(),
+            bit_identical: outputs[e]
+                .iter()
+                .zip(&outputs[0])
+                .all(|(run, r)| run.bits_eq(r)),
+        })
+        .collect();
+    let superblock_index = Engine::ALL
+        .iter()
+        .position(|e| *e == Engine::Superblock)
+        .expect("superblock engine is in ALL");
+    let tier = outputs[superblock_index]
+        .iter()
+        .map(|run| run.tier.expect("superblock engine reports tier stats"))
+        .fold(TierStats::default(), |mut acc, t| {
+            acc.chunks += t.chunks;
+            acc.hot_heads += t.hot_heads;
+            acc.superblocks_built += t.superblocks_built;
+            acc.superblocks_rejected += t.superblocks_rejected;
+            acc.superblock_entries += t.superblock_entries;
+            acc.superblock_iterations += t.superblock_iterations;
+            acc.interpreted_ops += t.interpreted_ops;
+            acc.superblock_ops += t.superblock_ops;
+            acc
+        });
+
+    let sequential = &outputs[1];
+    let bit_identical = engines.iter().all(|e| e.bit_identical)
         && sequential.iter().zip(&batched).all(|(s, b)| s.bits_eq(b));
 
     let rows = jobs
         .iter()
-        .zip(&sequential)
-        .map(|((bench, level), run)| SimPerfRow {
+        .enumerate()
+        .zip(sequential)
+        .map(|((i, (bench, level)), run)| SimPerfRow {
             benchmark: bench.name.to_string(),
             level: *level,
             cycles: run.cycles(),
             energy_mj: run.energy_mj,
             return_value: run.return_value,
+            engine_wall_ms: cell_wall_ms.iter().map(|cells| cells[i]).collect(),
         })
         .collect::<Vec<_>>();
 
     SimPerfReport {
         threads: runner.threads(),
         total_cycles: rows.iter().map(|r| r.cycles).sum(),
-        reference_wall_ms,
-        sequential_wall_ms,
+        reference_wall_ms: engines[0].wall_ms,
+        sequential_wall_ms: engines[1].wall_ms,
         batched_wall_ms,
         bit_identical,
+        engines,
+        tier,
         rows,
     }
 }
@@ -1739,6 +1832,7 @@ pub fn sim_perf(board: &Board, levels: &[OptLevel]) -> SimPerfReport {
 /// Render a [`SimPerfReport`] as the `BENCH_sim.json` document
 /// (hand-rolled: the build environment has no serde).
 pub fn sim_perf_json(report: &SimPerfReport) -> String {
+    let (best, best_speedup) = report.best_engine();
     let mut out = String::from("{\n");
     out.push_str(&format!(
         concat!(
@@ -1750,7 +1844,9 @@ pub fn sim_perf_json(report: &SimPerfReport) -> String {
             "  \"decoded_mcycles_per_s\": {:.1},\n",
             "  \"decode_speedup\": {:.3},\n",
             "  \"speedup\": {:.3},\n  \"batched_mcycles_per_s\": {:.1},\n",
-            "  \"bit_identical\": {},\n  \"runs\": [\n"
+            "  \"bit_identical\": {},\n",
+            "  \"best_engine\": \"{}\",\n  \"best_engine_speedup\": {:.3},\n",
+            "  \"engines\": [\n"
         ),
         report.threads,
         report.rows.len(),
@@ -1764,18 +1860,66 @@ pub fn sim_perf_json(report: &SimPerfReport) -> String {
         report.speedup(),
         report.batched_mcycles_per_s(),
         report.bit_identical,
+        report.engines[best].engine,
+        best_speedup,
+    ));
+    for (i, e) in report.engines.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"wall_ms\": {:.3}, ",
+                "\"mcycles_per_s\": {:.1}, \"speedup\": {:.3}, ",
+                "\"bit_identical\": {}}}{}\n"
+            ),
+            e.engine,
+            e.wall_ms,
+            report.engine_mcycles_per_s(i),
+            report.engine_speedup(i),
+            e.bit_identical,
+            if i + 1 < report.engines.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    let t = &report.tier;
+    out.push_str(&format!(
+        concat!(
+            "  ],\n  \"tier\": {{\"chunks\": {}, \"hot_heads\": {}, ",
+            "\"superblocks_built\": {}, \"superblocks_rejected\": {}, ",
+            "\"superblock_entries\": {}, \"superblock_iterations\": {}, ",
+            "\"interpreted_ops\": {}, \"superblock_ops\": {}}},\n",
+            "  \"runs\": [\n"
+        ),
+        t.chunks,
+        t.hot_heads,
+        t.superblocks_built,
+        t.superblocks_rejected,
+        t.superblock_entries,
+        t.superblock_iterations,
+        t.interpreted_ops,
+        t.superblock_ops,
     ));
     for (i, row) in report.rows.iter().enumerate() {
+        let per_engine = report
+            .engines
+            .iter()
+            .enumerate()
+            .map(|(e, perf)| format!("\"{}\": {:.1}", perf.engine, row.engine_mcycles_per_s(e)))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
             concat!(
                 "    {{\"benchmark\": \"{}\", \"level\": \"{}\", \"cycles\": {}, ",
-                "\"energy_mj\": {:.6}, \"return_value\": {}}}{}\n"
+                "\"energy_mj\": {:.6}, \"return_value\": {}, ",
+                "\"engine_mcycles_per_s\": {{{}}}}}{}\n"
             ),
             row.benchmark,
             row.level,
             row.cycles,
             row.energy_mj,
             row.return_value,
+            per_engine,
             if i + 1 < report.rows.len() { "," } else { "" },
         ));
     }
@@ -2142,11 +2286,29 @@ mod tests {
         );
         assert!(report.total_cycles > 0);
         assert!(report.decode_speedup() > 0.0);
+        assert_eq!(report.engines.len(), Engine::ALL.len());
+        assert!(
+            report.engines.iter().all(|e| e.bit_identical),
+            "every engine must match the reference: {:?}",
+            report.engines
+        );
+        assert!(
+            report.tier.superblocks_built > 0 && report.tier.superblock_iterations > 0,
+            "the superblock tier must engage on BEEBS: {:?}",
+            report.tier
+        );
+        let (best, best_speedup) = report.best_engine();
+        assert!(report.engines[best].engine != Engine::Reference);
+        assert!(best_speedup > 0.0);
         let json = sim_perf_json(&report);
         assert!(json.contains("\"bit_identical\": true"));
         assert!(json.contains("\"decode_speedup\""));
         assert!(json.contains("\"reference_mcycles_per_s\""));
         assert!(json.contains("\"decoded_mcycles_per_s\""));
+        assert!(json.contains("\"best_engine\""));
+        assert!(json.contains("\"engine\": \"superblock\""));
+        assert!(json.contains("\"superblocks_built\""));
+        assert!(json.contains("\"engine_mcycles_per_s\""));
         assert!(json.contains("\"benchmark\": \"int_matmult\""));
     }
 

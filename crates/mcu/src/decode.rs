@@ -58,7 +58,7 @@ use flashram_isa::{Inst, InstClass, MemWidth, Reg, ShiftOp, Terminator, TimingMo
 
 use crate::cpu::{shift, CpuResult, RunError, MAX_CALL_DEPTH};
 use crate::energy::CycleCounters;
-use crate::mem::{DataLayout, MemError, Memory};
+use crate::mem::{DataLayout, Fault, MemError, Memory};
 use crate::power::PowerModel;
 
 /// Errors raised while lowering a program into its decoded form.
@@ -108,15 +108,15 @@ impl From<DecodeError> for RunError {
 /// whether the op executes from RAM (and therefore pays the contention
 /// stall when its data access also hits RAM).
 #[derive(Debug, Clone, Copy)]
-struct MemCharge {
-    flat_base: u16,
-    base_cycles: u8,
-    contend: bool,
+pub(crate) struct MemCharge {
+    pub(crate) flat_base: u16,
+    pub(crate) base_cycles: u8,
+    pub(crate) contend: bool,
 }
 
 /// A prefused static charge aggregate: `(bucket, cycles)`, where a zeroed
 /// slot charges zero cycles to bucket zero (a no-op).
-type ChargeSlot = (u16, u32);
+pub(crate) type ChargeSlot = (u16, u32);
 
 /// One decoded operation.  Compact and fixed-size: register operands are
 /// raw indices, push/pop register lists live in a side table, and literal
@@ -135,7 +135,7 @@ type ChargeSlot = (u16, u32);
 /// *any* adjacent ops of the right shapes, whatever their register
 /// dependencies.
 #[derive(Debug, Clone, Copy)]
-enum Op {
+pub(crate) enum Op {
     /// Charge a prefused cycle aggregate to one counter bucket (post-call
     /// segments, or overflow from the [`Chunk::charges`] slots).
     Charge {
@@ -493,7 +493,7 @@ enum Op {
 /// How control leaves a chunk.  All targets are direct indices into the
 /// chunk array, resolved and validated at decode time.
 #[derive(Debug, Clone, Copy)]
-enum ChunkExit {
+pub(crate) enum ChunkExit {
     /// `bl callee`: charge, push the next chunk, enter the callee's entry
     /// chunk.
     Call {
@@ -558,22 +558,22 @@ enum ChunkExit {
 
 /// Sentinel for chunks that resume a block after a call (they are not
 /// block heads and must not bump the block's execution count).
-const NOT_A_HEAD: u32 = u32::MAX;
+pub(crate) const NOT_A_HEAD: u32 = u32::MAX;
 
 /// One straight-line piece of a basic block: a run of ops ending either at
 /// a call site or at the block's terminator.  Chunk boundaries are exactly
 /// the reference interpreter's scheduling points, which is what keeps the
 /// cycle-limit check bit-identical.
 #[derive(Debug, Clone, Copy)]
-struct Chunk {
-    op_start: u32,
-    op_end: u32,
+pub(crate) struct Chunk {
+    pub(crate) op_start: u32,
+    pub(crate) op_end: u32,
     /// Flat block index for profile counting, or [`NOT_A_HEAD`].
-    block: u32,
+    pub(crate) block: u32,
     /// Prefused static `(bucket, cycles)` charge aggregates, applied
     /// unconditionally on chunk entry (a `(0, 0)` slot charges nothing).
-    charges: [ChargeSlot; 2],
-    exit: ChunkExit,
+    pub(crate) charges: [ChargeSlot; 2],
+    pub(crate) exit: ChunkExit,
 }
 
 /// Decode-time fusion of two adjacent ops into one superinstruction, if
@@ -940,7 +940,7 @@ fn fuse(a: Op, b: Op) -> Option<Op> {
 /// Greedy left-to-right fusion over a chunk body, repeated until a pass
 /// fuses nothing more, so pair superinstructions grow into the triple and
 /// quad patterns.
-fn peephole(body: &mut Vec<Op>) {
+pub(crate) fn peephole(body: &mut Vec<Op>) {
     loop {
         let before = body.len();
         let mut out = Vec::with_capacity(body.len());
@@ -978,15 +978,15 @@ fn peephole(body: &mut Vec<Op>) {
 /// timing model are baked into the lowered ops); run it on the same board.
 #[derive(Debug, Clone)]
 pub struct DecodedProgram {
-    ops: Vec<Op>,
-    chunks: Vec<Chunk>,
-    reg_lists: Vec<Reg>,
-    entry_chunk: u32,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) chunks: Vec<Chunk>,
+    pub(crate) reg_lists: Vec<Reg>,
+    pub(crate) entry_chunk: u32,
     /// Flat block index → `(function, block)`, for the profile fold.
-    block_map: Vec<BlockRef>,
-    num_functions: usize,
-    memory: Memory,
-    layout: DataLayout,
+    pub(crate) block_map: Vec<BlockRef>,
+    pub(crate) num_functions: usize,
+    pub(crate) memory: Memory,
+    pub(crate) layout: DataLayout,
 }
 
 /// Decode-time emission state for one program.
@@ -1656,29 +1656,49 @@ fn mem_charge(inst: &Inst, class: InstClass, exec: Section, instr_pen: u64) -> M
     }
 }
 
-/// Mutable per-run state of the decoded executor.
-struct ExecState {
-    memory: Memory,
-    regs: [i32; 16],
-    flags: Flags,
-    counters: CycleCounters,
-    block_counts: Vec<u64>,
-    call_counts: Vec<u64>,
-    call_stack: Vec<u32>,
-    load_pen: u64,
-    store_pen: u64,
+/// Mutable per-run state shared by every engine that drives the decoded
+/// form (the match-dispatch engine, the threaded-dispatch engine, and the
+/// tiered superblock engine).
+pub(crate) struct ExecState {
+    pub(crate) memory: Memory,
+    pub(crate) regs: [i32; 16],
+    pub(crate) flags: Flags,
+    pub(crate) counters: CycleCounters,
+    pub(crate) block_counts: Vec<u64>,
+    pub(crate) call_counts: Vec<u64>,
+    pub(crate) call_stack: Vec<u32>,
+    pub(crate) load_pen: u64,
+    pub(crate) store_pen: u64,
 }
 
 impl ExecState {
+    /// Fresh per-run state for one execution of `prog` (pristine memory
+    /// image, zeroed counters, SP at the top of RAM).
+    pub(crate) fn new(prog: &DecodedProgram, timing: &TimingModel) -> ExecState {
+        let mut regs = [0i32; 16];
+        regs[Reg::Sp.index()] = prog.memory.map().initial_sp() as i32;
+        ExecState {
+            memory: prog.memory.clone(),
+            regs,
+            flags: Flags::default(),
+            counters: CycleCounters::new(),
+            block_counts: vec![0u64; prog.block_map.len()],
+            call_counts: vec![0u64; prog.num_functions],
+            call_stack: Vec::new(),
+            load_pen: timing.ram_load_contention_cycles,
+            store_pen: timing.ram_store_contention_cycles,
+        }
+    }
+
     /// Read a register.  Indices come from `Reg::index()` at decode time so
     /// they are always `< 16`; the mask proves it to the bounds checker.
     #[inline(always)]
-    fn r(&self, i: u8) -> i32 {
+    pub(crate) fn r(&self, i: u8) -> i32 {
         self.regs[(i & 15) as usize]
     }
 
     #[inline(always)]
-    fn set_r(&mut self, i: u8, v: i32) {
+    pub(crate) fn set_r(&mut self, i: u8, v: i32) {
         self.regs[(i & 15) as usize] = v;
     }
 
@@ -1686,7 +1706,7 @@ impl ExecState {
     /// cycles charged so the caller can maintain the running total in a
     /// register.
     #[inline]
-    fn charge_load(&mut self, charge: MemCharge, section: Section) -> u64 {
+    pub(crate) fn charge_load(&mut self, charge: MemCharge, section: Section) -> u64 {
         let mut cycles = charge.base_cycles as u64;
         if charge.contend && section == Section::Ram {
             cycles += self.load_pen;
@@ -1700,7 +1720,7 @@ impl ExecState {
 
     /// Store counterpart of [`ExecState::charge_load`].
     #[inline]
-    fn charge_store(&mut self, charge: MemCharge, section: Section) -> u64 {
+    pub(crate) fn charge_store(&mut self, charge: MemCharge, section: Section) -> u64 {
         let mut cycles = charge.base_cycles as u64;
         if charge.contend && section == Section::Ram {
             cycles += self.store_pen;
@@ -1727,30 +1747,7 @@ impl DecodedProgram {
         timing: &TimingModel,
         max_cycles: u64,
     ) -> Result<CpuResult, RunError> {
-        let mut regs = [0i32; 16];
-        regs[Reg::Sp.index()] = self.memory.map().initial_sp() as i32;
-        let mut st = ExecState {
-            memory: self.memory.clone(),
-            regs,
-            flags: Flags::default(),
-            counters: CycleCounters::new(),
-            block_counts: vec![0u64; self.block_map.len()],
-            call_counts: vec![0u64; self.num_functions],
-            call_stack: Vec::new(),
-            load_pen: timing.ram_load_contention_cycles,
-            store_pen: timing.ram_store_contention_cycles,
-        };
-
-        // Faults stay a compact `Copy` value inside the op arms and widen
-        // into a `RunError` only here, on the cold path.
-        macro_rules! mem_try {
-            ($e:expr) => {
-                match $e {
-                    Ok(v) => v,
-                    Err(fault) => return Err(RunError::Memory(MemError::from(fault))),
-                }
-            };
-        }
+        let mut st = ExecState::new(self, timing);
 
         // The running cycle total lives in a register, not in the counter
         // struct: the budget check would otherwise chain memory
@@ -1786,526 +1783,575 @@ impl DecodedProgram {
                 .iter()
                 .copied()
             {
+                // Faults stay a compact `Copy` value inside the op bodies
+                // and widen into a `RunError` only here, on the cold path.
+                if let Err(fault) = exec_op(op, &self.reg_lists, &mut st, &mut total) {
+                    return Err(RunError::Memory(MemError::from(fault)));
+                }
+            }
+            match take_exit(&chunk.exit, &mut st, &mut total, pc)? {
+                Some(next) => pc = next,
+                None => return Ok(self.assemble(st, total, power, timing)),
+            }
+        }
+    }
+
+    /// Fold a finished run's state into a [`CpuResult`]: write the running
+    /// total back, collapse the counter cube into the meter, and fold the
+    /// flat profile counts.  Shared by every engine driving the decoded
+    /// form, so the fold order (and therefore the float bits) cannot
+    /// diverge between them.
+    pub(crate) fn assemble(
+        &self,
+        mut st: ExecState,
+        total: u64,
+        power: &PowerModel,
+        timing: &TimingModel,
+    ) -> CpuResult {
+        st.counters.set_total(total);
+        let meter = st.counters.finish(power, timing);
+        let mut profile = ProfileData::new();
+        for (flat, &count) in st.block_counts.iter().enumerate() {
+            profile.add_block_count(self.block_map[flat], count);
+        }
+        for (fi, &count) in st.call_counts.iter().enumerate() {
+            profile.add_call_count(flashram_ir::FuncId(fi as u32), count);
+        }
+        CpuResult {
+            return_value: st.regs[Reg::R0.index()],
+            meter,
+            profile,
+        }
+    }
+}
+
+/// Execute one decoded op against `st`, maintaining the caller's running
+/// cycle total.
+///
+/// This is the single source of op semantics for the match-dispatch engine
+/// and the superblock tier; `crate::dispatch` mirrors these bodies in its
+/// per-variant handlers, and the equivalence suites hold the two in
+/// lockstep.
+#[inline(always)]
+pub(crate) fn exec_op(
+    op: Op,
+    reg_lists: &[Reg],
+    st: &mut ExecState,
+    total: &mut u64,
+) -> Result<(), Fault> {
+    match op {
+        Op::Charge { bucket, cycles } => {
+            st.counters.add_bucket(bucket, cycles as u64);
+            *total += cycles as u64;
+        }
+        Op::MovImm { rd, imm } => st.set_r(rd, imm),
+        Op::MovReg { rd, rm } => st.set_r(rd, st.r(rm)),
+        Op::MovCond { cond, rd, imm } => {
+            if cond.holds(st.flags) {
+                st.set_r(rd, imm);
+            }
+        }
+        Op::AddImm { rd, rn, imm } => st.set_r(rd, st.r(rn).wrapping_add(imm)),
+        Op::AddReg { rd, rn, rm } => st.set_r(rd, st.r(rn).wrapping_add(st.r(rm))),
+        Op::SubImm { rd, rn, imm } => st.set_r(rd, st.r(rn).wrapping_sub(imm)),
+        Op::SubReg { rd, rn, rm } => st.set_r(rd, st.r(rn).wrapping_sub(st.r(rm))),
+        Op::RsbImm { rd, rn, imm } => st.set_r(rd, imm.wrapping_sub(st.r(rn))),
+        Op::Mul { rd, rn, rm } => st.set_r(rd, st.r(rn).wrapping_mul(st.r(rm))),
+        Op::Sdiv { rd, rn, rm } => {
+            let divisor = st.r(rm);
+            let v = if divisor == 0 {
+                0
+            } else {
+                st.r(rn).wrapping_div(divisor)
+            };
+            st.set_r(rd, v);
+        }
+        Op::Udiv { rd, rn, rm } => {
+            let divisor = st.r(rm) as u32;
+            let v = (st.r(rn) as u32).checked_div(divisor).unwrap_or(0) as i32;
+            st.set_r(rd, v);
+        }
+        Op::And { rd, rn, rm } => st.set_r(rd, st.r(rn) & st.r(rm)),
+        Op::Orr { rd, rn, rm } => st.set_r(rd, st.r(rn) | st.r(rm)),
+        Op::Eor { rd, rn, rm } => st.set_r(rd, st.r(rn) ^ st.r(rm)),
+        Op::Bic { rd, rn, rm } => st.set_r(rd, st.r(rn) & !st.r(rm)),
+        Op::Mvn { rd, rm } => st.set_r(rd, !st.r(rm)),
+        Op::AndImm { rd, rn, imm } => st.set_r(rd, st.r(rn) & imm),
+        Op::OrrImm { rd, rn, imm } => st.set_r(rd, st.r(rn) | imm),
+        Op::EorImm { rd, rn, imm } => st.set_r(rd, st.r(rn) ^ imm),
+        Op::ShiftImm { op, rd, rm, imm } => {
+            st.set_r(rd, shift(op, st.r(rm), imm as u32));
+        }
+        Op::ShiftReg { op, rd, rn, rm } => {
+            let amount = (st.r(rm) as u32) & 0xff;
+            let v = if amount >= 32 {
                 match op {
-                    Op::Charge { bucket, cycles } => {
-                        st.counters.add_bucket(bucket, cycles as u64);
-                        total += cycles as u64;
-                    }
-                    Op::MovImm { rd, imm } => st.set_r(rd, imm),
-                    Op::MovReg { rd, rm } => st.set_r(rd, st.r(rm)),
-                    Op::MovCond { cond, rd, imm } => {
-                        if cond.holds(st.flags) {
-                            st.set_r(rd, imm);
-                        }
-                    }
-                    Op::AddImm { rd, rn, imm } => st.set_r(rd, st.r(rn).wrapping_add(imm)),
-                    Op::AddReg { rd, rn, rm } => st.set_r(rd, st.r(rn).wrapping_add(st.r(rm))),
-                    Op::SubImm { rd, rn, imm } => st.set_r(rd, st.r(rn).wrapping_sub(imm)),
-                    Op::SubReg { rd, rn, rm } => st.set_r(rd, st.r(rn).wrapping_sub(st.r(rm))),
-                    Op::RsbImm { rd, rn, imm } => st.set_r(rd, imm.wrapping_sub(st.r(rn))),
-                    Op::Mul { rd, rn, rm } => st.set_r(rd, st.r(rn).wrapping_mul(st.r(rm))),
-                    Op::Sdiv { rd, rn, rm } => {
-                        let divisor = st.r(rm);
-                        let v = if divisor == 0 {
-                            0
-                        } else {
-                            st.r(rn).wrapping_div(divisor)
-                        };
-                        st.set_r(rd, v);
-                    }
-                    Op::Udiv { rd, rn, rm } => {
-                        let divisor = st.r(rm) as u32;
-                        let v = (st.r(rn) as u32).checked_div(divisor).unwrap_or(0) as i32;
-                        st.set_r(rd, v);
-                    }
-                    Op::And { rd, rn, rm } => st.set_r(rd, st.r(rn) & st.r(rm)),
-                    Op::Orr { rd, rn, rm } => st.set_r(rd, st.r(rn) | st.r(rm)),
-                    Op::Eor { rd, rn, rm } => st.set_r(rd, st.r(rn) ^ st.r(rm)),
-                    Op::Bic { rd, rn, rm } => st.set_r(rd, st.r(rn) & !st.r(rm)),
-                    Op::Mvn { rd, rm } => st.set_r(rd, !st.r(rm)),
-                    Op::AndImm { rd, rn, imm } => st.set_r(rd, st.r(rn) & imm),
-                    Op::OrrImm { rd, rn, imm } => st.set_r(rd, st.r(rn) | imm),
-                    Op::EorImm { rd, rn, imm } => st.set_r(rd, st.r(rn) ^ imm),
-                    Op::ShiftImm { op, rd, rm, imm } => {
-                        st.set_r(rd, shift(op, st.r(rm), imm as u32));
-                    }
-                    Op::ShiftReg { op, rd, rn, rm } => {
-                        let amount = (st.r(rm) as u32) & 0xff;
-                        let v = if amount >= 32 {
-                            match op {
-                                ShiftOp::Asr => st.r(rn) >> 31,
-                                _ => 0,
-                            }
-                        } else {
-                            shift(op, st.r(rn), amount)
-                        };
-                        st.set_r(rd, v);
-                    }
-                    Op::CmpImm { rn, imm } => st.flags = Flags::from_cmp(st.r(rn), imm),
-                    Op::CmpReg { rn, rm } => st.flags = Flags::from_cmp(st.r(rn), st.r(rm)),
-                    Op::Load {
-                        rd,
-                        base,
-                        width,
-                        charge,
-                        offset,
-                    } => {
-                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
-                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
-                        st.set_r(rd, v);
-                        total += st.charge_load(charge, section);
-                    }
-                    Op::LoadIdx {
-                        rd,
-                        base,
-                        index,
-                        width,
-                        charge,
-                    } => {
-                        let addr = (st.r(base) as u32).wrapping_add(st.r(index) as u32);
-                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
-                        st.set_r(rd, v);
-                        total += st.charge_load(charge, section);
-                    }
-                    Op::Store {
-                        rs,
-                        base,
-                        width,
-                        charge,
-                        offset,
-                    } => {
-                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
-                        let section = mem_try!(st.memory.write_fast(addr, st.r(rs), width));
-                        total += st.charge_store(charge, section);
-                    }
-                    Op::StoreIdx {
-                        rs,
-                        base,
-                        index,
-                        width,
-                        charge,
-                    } => {
-                        let addr = (st.r(base) as u32).wrapping_add(st.r(index) as u32);
-                        let section = mem_try!(st.memory.write_fast(addr, st.r(rs), width));
-                        total += st.charge_store(charge, section);
-                    }
-                    Op::Push { start, len } => {
-                        let regs = &self.reg_lists[start as usize..start as usize + len as usize];
-                        let mut sp = st.regs[Reg::Sp.index()] as u32;
-                        sp = sp.wrapping_sub(4 * len as u32);
-                        for (i, r) in regs.iter().enumerate() {
-                            mem_try!(st.memory.write_fast(
-                                sp.wrapping_add(4 * i as u32),
-                                st.regs[r.index()],
-                                MemWidth::Word,
-                            ));
-                        }
-                        st.regs[Reg::Sp.index()] = sp as i32;
-                    }
-                    Op::Pop { start, len } => {
-                        let base = st.regs[Reg::Sp.index()] as u32;
-                        for i in 0..len as usize {
-                            let (v, _) = mem_try!(st
-                                .memory
-                                .read_fast(base.wrapping_add(4 * i as u32), MemWidth::Word));
-                            let r = self.reg_lists[start as usize + i];
-                            st.regs[r.index()] = v;
-                        }
-                        st.regs[Reg::Sp.index()] = (base + 4 * len as u32) as i32;
-                    }
-                    // Superinstructions: first op completely, then the second.
-                    Op::MovImm2 {
-                        rd1,
-                        imm1,
-                        rd2,
-                        imm2,
-                    } => {
-                        st.set_r(rd1, imm1);
-                        st.set_r(rd2, imm2);
-                    }
-                    Op::MovImmMul {
-                        rd1,
-                        imm,
-                        rd2,
-                        rn,
-                        rm,
-                    } => {
-                        st.set_r(rd1, imm);
-                        st.set_r(rd2, st.r(rn).wrapping_mul(st.r(rm)));
-                    }
-                    Op::MulAddReg {
-                        rd1,
-                        rn1,
-                        rm1,
-                        rd2,
-                        rn2,
-                        rm2,
-                    } => {
-                        st.set_r(rd1, st.r(rn1).wrapping_mul(st.r(rm1)));
-                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
-                    }
-                    Op::ShiftImmAddReg {
-                        op,
-                        rd1,
-                        rm1,
-                        imm,
-                        rd2,
-                        rn2,
-                        rm2,
-                    } => {
-                        st.set_r(rd1, shift(op, st.r(rm1), imm as u32));
-                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
-                    }
-                    Op::AddRegShiftImm {
-                        rd1,
-                        rn1,
-                        rm1,
-                        op,
-                        rd2,
-                        rm2,
-                        imm,
-                    } => {
-                        st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
-                        st.set_r(rd2, shift(op, st.r(rm2), imm as u32));
-                    }
-                    Op::AddImmMovReg {
-                        rd1,
-                        rn1,
-                        imm,
-                        rd2,
-                        rm2,
-                    } => {
-                        st.set_r(rd1, st.r(rn1).wrapping_add(imm));
-                        st.set_r(rd2, st.r(rm2));
-                    }
-                    Op::AddRegLoad {
-                        rd1,
-                        rn1,
-                        rm1,
-                        rd2,
-                        base,
-                        width,
-                        charge,
-                        offset,
-                    } => {
-                        st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
-                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
-                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
-                        st.set_r(rd2, v);
-                        total += st.charge_load(charge, section);
-                    }
-                    Op::LoadAddReg {
-                        rd1,
-                        base,
-                        width,
-                        charge,
-                        offset,
-                        rd2,
-                        rn2,
-                        rm2,
-                    } => {
-                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
-                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
-                        st.set_r(rd1, v);
-                        total += st.charge_load(charge, section);
-                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
-                    }
-                    Op::ShiftImmAddRegLoad {
-                        op,
-                        rd1,
-                        rm1,
-                        imm,
-                        rd2,
-                        rn2,
-                        rm2,
-                        rd3,
-                        base,
-                        width,
-                        charge,
-                        offset,
-                    } => {
-                        st.set_r(rd1, shift(op, st.r(rm1), imm as u32));
-                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
-                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
-                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
-                        st.set_r(rd3, v);
-                        total += st.charge_load(charge, section);
-                    }
-                    Op::AddRegShiftImmAddRegLoad {
-                        rd1,
-                        rn1,
-                        rm1,
-                        op,
-                        rd2,
-                        rm2,
-                        imm,
-                        rd3,
-                        rn3,
-                        rm3,
-                        rd4,
-                        base,
-                        width,
-                        charge,
-                        offset,
-                    } => {
-                        st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
-                        st.set_r(rd2, shift(op, st.r(rm2), imm as u32));
-                        st.set_r(rd3, st.r(rn3).wrapping_add(st.r(rm3)));
-                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
-                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
-                        st.set_r(rd4, v);
-                        total += st.charge_load(charge, section);
-                    }
-                    Op::MovImm2Mul {
-                        rd1,
-                        imm1,
-                        rd2,
-                        imm2,
-                        rd3,
-                        rn,
-                        rm,
-                    } => {
-                        st.set_r(rd1, imm1);
-                        st.set_r(rd2, imm2);
-                        st.set_r(rd3, st.r(rn).wrapping_mul(st.r(rm)));
-                    }
-                    Op::MovImmMulLoad {
-                        rd1,
-                        imm,
-                        rd2,
-                        rn,
-                        rm,
-                        rd3,
-                        base,
-                        width,
-                        charge,
-                        offset,
-                    } => {
-                        st.set_r(rd1, imm);
-                        st.set_r(rd2, st.r(rn).wrapping_mul(st.r(rm)));
-                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
-                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
-                        st.set_r(rd3, v);
-                        total += st.charge_load(charge, section);
-                    }
-                    Op::LoadAddRegShiftImm {
-                        rd1,
-                        base,
-                        width,
-                        charge,
-                        offset,
-                        rd2,
-                        rn2,
-                        rm2,
-                        op,
-                        rd3,
-                        rm3,
-                        imm,
-                    } => {
-                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
-                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
-                        st.set_r(rd1, v);
-                        total += st.charge_load(charge, section);
-                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
-                        st.set_r(rd3, shift(op, st.r(rm3), imm as u32));
-                    }
-                    Op::MulAddRegMovReg {
-                        rd1,
-                        rn1,
-                        rm1,
-                        rd2,
-                        rn2,
-                        rm2,
-                        rd3,
-                        rm3,
-                    } => {
-                        st.set_r(rd1, st.r(rn1).wrapping_mul(st.r(rm1)));
-                        st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
-                        st.set_r(rd3, st.r(rm3));
-                    }
-                    Op::AddImmMovRegStore {
-                        rd1,
-                        rn1,
-                        imm,
-                        rd2,
-                        rm2,
-                        rs,
-                        base,
-                        width,
-                        charge,
-                        offset,
-                    } => {
-                        st.set_r(rd1, st.r(rn1).wrapping_add(imm));
-                        st.set_r(rd2, st.r(rm2));
-                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
-                        let section = mem_try!(st.memory.write_fast(addr, st.r(rs), width));
-                        total += st.charge_store(charge, section);
-                    }
-                    Op::AddRegLoadMul {
-                        rd1,
-                        rn1,
-                        rm1,
-                        rd2,
-                        base,
-                        width,
-                        charge,
-                        offset,
-                        rd3,
-                        rn3,
-                        rm3,
-                    } => {
-                        st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
-                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
-                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
-                        st.set_r(rd2, v);
-                        total += st.charge_load(charge, section);
-                        st.set_r(rd3, st.r(rn3).wrapping_mul(st.r(rm3)));
-                    }
-                    Op::AddRegLoadMovImm {
-                        rd1,
-                        rn1,
-                        rm1,
-                        rd2,
-                        base,
-                        width,
-                        charge,
-                        offset,
-                        rd3,
-                        imm,
-                    } => {
-                        st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
-                        let addr = (st.r(base) as u32).wrapping_add(offset as u32);
-                        let (v, section) = mem_try!(st.memory.read_fast(addr, width));
-                        st.set_r(rd2, v);
-                        total += st.charge_load(charge, section);
-                        st.set_r(rd3, imm);
-                    }
+                    ShiftOp::Asr => st.r(rn) >> 31,
+                    _ => 0,
                 }
+            } else {
+                shift(op, st.r(rn), amount)
+            };
+            st.set_r(rd, v);
+        }
+        Op::CmpImm { rn, imm } => st.flags = Flags::from_cmp(st.r(rn), imm),
+        Op::CmpReg { rn, rm } => st.flags = Flags::from_cmp(st.r(rn), st.r(rm)),
+        Op::Load {
+            rd,
+            base,
+            width,
+            charge,
+            offset,
+        } => {
+            let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+            let (v, section) = st.memory.read_fast(addr, width)?;
+            st.set_r(rd, v);
+            *total += st.charge_load(charge, section);
+        }
+        Op::LoadIdx {
+            rd,
+            base,
+            index,
+            width,
+            charge,
+        } => {
+            let addr = (st.r(base) as u32).wrapping_add(st.r(index) as u32);
+            let (v, section) = st.memory.read_fast(addr, width)?;
+            st.set_r(rd, v);
+            *total += st.charge_load(charge, section);
+        }
+        Op::Store {
+            rs,
+            base,
+            width,
+            charge,
+            offset,
+        } => {
+            let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+            let section = st.memory.write_fast(addr, st.r(rs), width)?;
+            *total += st.charge_store(charge, section);
+        }
+        Op::StoreIdx {
+            rs,
+            base,
+            index,
+            width,
+            charge,
+        } => {
+            let addr = (st.r(base) as u32).wrapping_add(st.r(index) as u32);
+            let section = st.memory.write_fast(addr, st.r(rs), width)?;
+            *total += st.charge_store(charge, section);
+        }
+        Op::Push { start, len } => {
+            let regs = &reg_lists[start as usize..start as usize + len as usize];
+            let mut sp = st.regs[Reg::Sp.index()] as u32;
+            sp = sp.wrapping_sub(4 * len as u32);
+            for (i, r) in regs.iter().enumerate() {
+                st.memory.write_fast(
+                    sp.wrapping_add(4 * i as u32),
+                    st.regs[r.index()],
+                    MemWidth::Word,
+                )?;
             }
-            match chunk.exit {
-                ChunkExit::Call {
-                    target,
-                    callee,
-                    bucket,
-                    cycles,
-                } => {
-                    st.counters.add_bucket(bucket, cycles as u64);
-                    total += cycles as u64;
-                    if st.call_stack.len() >= MAX_CALL_DEPTH {
-                        return Err(RunError::CallDepth(MAX_CALL_DEPTH));
-                    }
-                    st.call_counts[callee as usize] += 1;
-                    st.call_stack.push(pc + 1);
-                    pc = target;
-                }
-                ChunkExit::Jump {
-                    target,
-                    bucket,
-                    cycles,
-                } => {
-                    st.counters.add_bucket(bucket, cycles as u64);
-                    total += cycles as u64;
-                    pc = target;
-                }
-                ChunkExit::CondJump {
-                    cond,
-                    target,
-                    fallthrough,
-                    taken_cycles,
-                    not_taken_cycles,
-                    bucket,
-                } => {
-                    let (next, cycles) = if cond.holds(st.flags) {
-                        (target, taken_cycles)
-                    } else {
-                        (fallthrough, not_taken_cycles)
-                    };
-                    st.counters.add_bucket(bucket, cycles as u64);
-                    total += cycles as u64;
-                    pc = next;
-                }
-                ChunkExit::CmpJump {
-                    nonzero,
-                    rn,
-                    target,
-                    fallthrough,
-                    taken_cycles,
-                    not_taken_cycles,
-                    bucket,
-                } => {
-                    let (next, cycles) = if (st.r(rn) != 0) == nonzero {
-                        (target, taken_cycles)
-                    } else {
-                        (fallthrough, not_taken_cycles)
-                    };
-                    st.counters.add_bucket(bucket, cycles as u64);
-                    total += cycles as u64;
-                    pc = next;
-                }
-                ChunkExit::CmpImmCondJump {
-                    rn,
-                    imm,
-                    cond,
-                    target,
-                    fallthrough,
-                    taken_cycles,
-                    not_taken_cycles,
-                    bucket,
-                } => {
-                    st.flags = Flags::from_cmp(st.r(rn), imm);
-                    let (next, cycles) = if cond.holds(st.flags) {
-                        (target, taken_cycles)
-                    } else {
-                        (fallthrough, not_taken_cycles)
-                    };
-                    st.counters.add_bucket(bucket, cycles as u64);
-                    total += cycles as u64;
-                    pc = next;
-                }
-                ChunkExit::CmpRegCondJump {
-                    rn,
-                    rm,
-                    cond,
-                    target,
-                    fallthrough,
-                    taken_cycles,
-                    not_taken_cycles,
-                    bucket,
-                } => {
-                    st.flags = Flags::from_cmp(st.r(rn), st.r(rm));
-                    let (next, cycles) = if cond.holds(st.flags) {
-                        (target, taken_cycles)
-                    } else {
-                        (fallthrough, not_taken_cycles)
-                    };
-                    st.counters.add_bucket(bucket, cycles as u64);
-                    total += cycles as u64;
-                    pc = next;
-                }
-                ChunkExit::Return { bucket, cycles } => {
-                    st.counters.add_bucket(bucket, cycles as u64);
-                    total += cycles as u64;
-                    match st.call_stack.pop() {
-                        Some(resume) => pc = resume,
-                        None => {
-                            st.counters.set_total(total);
-                            let meter = st.counters.finish(power, timing);
-                            let mut profile = ProfileData::new();
-                            for (flat, &count) in st.block_counts.iter().enumerate() {
-                                profile.add_block_count(self.block_map[flat], count);
-                            }
-                            for (fi, &count) in st.call_counts.iter().enumerate() {
-                                profile.add_call_count(flashram_ir::FuncId(fi as u32), count);
-                            }
-                            return Ok(CpuResult {
-                                return_value: st.regs[Reg::R0.index()],
-                                meter,
-                                profile,
-                            });
-                        }
-                    }
-                }
+            st.regs[Reg::Sp.index()] = sp as i32;
+        }
+        Op::Pop { start, len } => {
+            let base = st.regs[Reg::Sp.index()] as u32;
+            for i in 0..len as usize {
+                let (v, _) = st
+                    .memory
+                    .read_fast(base.wrapping_add(4 * i as u32), MemWidth::Word)?;
+                let r = reg_lists[start as usize + i];
+                st.regs[r.index()] = v;
             }
+            st.regs[Reg::Sp.index()] = (base + 4 * len as u32) as i32;
+        }
+        // Superinstructions: first op completely, then the second.
+        Op::MovImm2 {
+            rd1,
+            imm1,
+            rd2,
+            imm2,
+        } => {
+            st.set_r(rd1, imm1);
+            st.set_r(rd2, imm2);
+        }
+        Op::MovImmMul {
+            rd1,
+            imm,
+            rd2,
+            rn,
+            rm,
+        } => {
+            st.set_r(rd1, imm);
+            st.set_r(rd2, st.r(rn).wrapping_mul(st.r(rm)));
+        }
+        Op::MulAddReg {
+            rd1,
+            rn1,
+            rm1,
+            rd2,
+            rn2,
+            rm2,
+        } => {
+            st.set_r(rd1, st.r(rn1).wrapping_mul(st.r(rm1)));
+            st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+        }
+        Op::ShiftImmAddReg {
+            op,
+            rd1,
+            rm1,
+            imm,
+            rd2,
+            rn2,
+            rm2,
+        } => {
+            st.set_r(rd1, shift(op, st.r(rm1), imm as u32));
+            st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+        }
+        Op::AddRegShiftImm {
+            rd1,
+            rn1,
+            rm1,
+            op,
+            rd2,
+            rm2,
+            imm,
+        } => {
+            st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
+            st.set_r(rd2, shift(op, st.r(rm2), imm as u32));
+        }
+        Op::AddImmMovReg {
+            rd1,
+            rn1,
+            imm,
+            rd2,
+            rm2,
+        } => {
+            st.set_r(rd1, st.r(rn1).wrapping_add(imm));
+            st.set_r(rd2, st.r(rm2));
+        }
+        Op::AddRegLoad {
+            rd1,
+            rn1,
+            rm1,
+            rd2,
+            base,
+            width,
+            charge,
+            offset,
+        } => {
+            st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
+            let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+            let (v, section) = st.memory.read_fast(addr, width)?;
+            st.set_r(rd2, v);
+            *total += st.charge_load(charge, section);
+        }
+        Op::LoadAddReg {
+            rd1,
+            base,
+            width,
+            charge,
+            offset,
+            rd2,
+            rn2,
+            rm2,
+        } => {
+            let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+            let (v, section) = st.memory.read_fast(addr, width)?;
+            st.set_r(rd1, v);
+            *total += st.charge_load(charge, section);
+            st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+        }
+        Op::ShiftImmAddRegLoad {
+            op,
+            rd1,
+            rm1,
+            imm,
+            rd2,
+            rn2,
+            rm2,
+            rd3,
+            base,
+            width,
+            charge,
+            offset,
+        } => {
+            st.set_r(rd1, shift(op, st.r(rm1), imm as u32));
+            st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+            let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+            let (v, section) = st.memory.read_fast(addr, width)?;
+            st.set_r(rd3, v);
+            *total += st.charge_load(charge, section);
+        }
+        Op::AddRegShiftImmAddRegLoad {
+            rd1,
+            rn1,
+            rm1,
+            op,
+            rd2,
+            rm2,
+            imm,
+            rd3,
+            rn3,
+            rm3,
+            rd4,
+            base,
+            width,
+            charge,
+            offset,
+        } => {
+            st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
+            st.set_r(rd2, shift(op, st.r(rm2), imm as u32));
+            st.set_r(rd3, st.r(rn3).wrapping_add(st.r(rm3)));
+            let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+            let (v, section) = st.memory.read_fast(addr, width)?;
+            st.set_r(rd4, v);
+            *total += st.charge_load(charge, section);
+        }
+        Op::MovImm2Mul {
+            rd1,
+            imm1,
+            rd2,
+            imm2,
+            rd3,
+            rn,
+            rm,
+        } => {
+            st.set_r(rd1, imm1);
+            st.set_r(rd2, imm2);
+            st.set_r(rd3, st.r(rn).wrapping_mul(st.r(rm)));
+        }
+        Op::MovImmMulLoad {
+            rd1,
+            imm,
+            rd2,
+            rn,
+            rm,
+            rd3,
+            base,
+            width,
+            charge,
+            offset,
+        } => {
+            st.set_r(rd1, imm);
+            st.set_r(rd2, st.r(rn).wrapping_mul(st.r(rm)));
+            let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+            let (v, section) = st.memory.read_fast(addr, width)?;
+            st.set_r(rd3, v);
+            *total += st.charge_load(charge, section);
+        }
+        Op::LoadAddRegShiftImm {
+            rd1,
+            base,
+            width,
+            charge,
+            offset,
+            rd2,
+            rn2,
+            rm2,
+            op,
+            rd3,
+            rm3,
+            imm,
+        } => {
+            let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+            let (v, section) = st.memory.read_fast(addr, width)?;
+            st.set_r(rd1, v);
+            *total += st.charge_load(charge, section);
+            st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+            st.set_r(rd3, shift(op, st.r(rm3), imm as u32));
+        }
+        Op::MulAddRegMovReg {
+            rd1,
+            rn1,
+            rm1,
+            rd2,
+            rn2,
+            rm2,
+            rd3,
+            rm3,
+        } => {
+            st.set_r(rd1, st.r(rn1).wrapping_mul(st.r(rm1)));
+            st.set_r(rd2, st.r(rn2).wrapping_add(st.r(rm2)));
+            st.set_r(rd3, st.r(rm3));
+        }
+        Op::AddImmMovRegStore {
+            rd1,
+            rn1,
+            imm,
+            rd2,
+            rm2,
+            rs,
+            base,
+            width,
+            charge,
+            offset,
+        } => {
+            st.set_r(rd1, st.r(rn1).wrapping_add(imm));
+            st.set_r(rd2, st.r(rm2));
+            let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+            let section = st.memory.write_fast(addr, st.r(rs), width)?;
+            *total += st.charge_store(charge, section);
+        }
+        Op::AddRegLoadMul {
+            rd1,
+            rn1,
+            rm1,
+            rd2,
+            base,
+            width,
+            charge,
+            offset,
+            rd3,
+            rn3,
+            rm3,
+        } => {
+            st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
+            let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+            let (v, section) = st.memory.read_fast(addr, width)?;
+            st.set_r(rd2, v);
+            *total += st.charge_load(charge, section);
+            st.set_r(rd3, st.r(rn3).wrapping_mul(st.r(rm3)));
+        }
+        Op::AddRegLoadMovImm {
+            rd1,
+            rn1,
+            rm1,
+            rd2,
+            base,
+            width,
+            charge,
+            offset,
+            rd3,
+            imm,
+        } => {
+            st.set_r(rd1, st.r(rn1).wrapping_add(st.r(rm1)));
+            let addr = (st.r(base) as u32).wrapping_add(offset as u32);
+            let (v, section) = st.memory.read_fast(addr, width)?;
+            st.set_r(rd2, v);
+            *total += st.charge_load(charge, section);
+            st.set_r(rd3, imm);
+        }
+    }
+    Ok(())
+}
+
+/// Apply a chunk's exit: charge the branch/call/return cycles, update the
+/// flags and the call stack, and hand back the next chunk to dispatch —
+/// `None` when the outermost frame returned and the run is complete.
+/// Shared by every engine driving the decoded form.
+#[inline(always)]
+pub(crate) fn take_exit(
+    exit: &ChunkExit,
+    st: &mut ExecState,
+    total: &mut u64,
+    pc: u32,
+) -> Result<Option<u32>, RunError> {
+    match *exit {
+        ChunkExit::Call {
+            target,
+            callee,
+            bucket,
+            cycles,
+        } => {
+            st.counters.add_bucket(bucket, cycles as u64);
+            *total += cycles as u64;
+            if st.call_stack.len() >= MAX_CALL_DEPTH {
+                return Err(RunError::CallDepth(MAX_CALL_DEPTH));
+            }
+            st.call_counts[callee as usize] += 1;
+            st.call_stack.push(pc + 1);
+            Ok(Some(target))
+        }
+        ChunkExit::Jump {
+            target,
+            bucket,
+            cycles,
+        } => {
+            st.counters.add_bucket(bucket, cycles as u64);
+            *total += cycles as u64;
+            Ok(Some(target))
+        }
+        ChunkExit::CondJump {
+            cond,
+            target,
+            fallthrough,
+            taken_cycles,
+            not_taken_cycles,
+            bucket,
+        } => {
+            let (next, cycles) = if cond.holds(st.flags) {
+                (target, taken_cycles)
+            } else {
+                (fallthrough, not_taken_cycles)
+            };
+            st.counters.add_bucket(bucket, cycles as u64);
+            *total += cycles as u64;
+            Ok(Some(next))
+        }
+        ChunkExit::CmpJump {
+            nonzero,
+            rn,
+            target,
+            fallthrough,
+            taken_cycles,
+            not_taken_cycles,
+            bucket,
+        } => {
+            let (next, cycles) = if (st.r(rn) != 0) == nonzero {
+                (target, taken_cycles)
+            } else {
+                (fallthrough, not_taken_cycles)
+            };
+            st.counters.add_bucket(bucket, cycles as u64);
+            *total += cycles as u64;
+            Ok(Some(next))
+        }
+        ChunkExit::CmpImmCondJump {
+            rn,
+            imm,
+            cond,
+            target,
+            fallthrough,
+            taken_cycles,
+            not_taken_cycles,
+            bucket,
+        } => {
+            st.flags = Flags::from_cmp(st.r(rn), imm);
+            let (next, cycles) = if cond.holds(st.flags) {
+                (target, taken_cycles)
+            } else {
+                (fallthrough, not_taken_cycles)
+            };
+            st.counters.add_bucket(bucket, cycles as u64);
+            *total += cycles as u64;
+            Ok(Some(next))
+        }
+        ChunkExit::CmpRegCondJump {
+            rn,
+            rm,
+            cond,
+            target,
+            fallthrough,
+            taken_cycles,
+            not_taken_cycles,
+            bucket,
+        } => {
+            st.flags = Flags::from_cmp(st.r(rn), st.r(rm));
+            let (next, cycles) = if cond.holds(st.flags) {
+                (target, taken_cycles)
+            } else {
+                (fallthrough, not_taken_cycles)
+            };
+            st.counters.add_bucket(bucket, cycles as u64);
+            *total += cycles as u64;
+            Ok(Some(next))
+        }
+        ChunkExit::Return { bucket, cycles } => {
+            st.counters.add_bucket(bucket, cycles as u64);
+            *total += cycles as u64;
+            Ok(st.call_stack.pop())
         }
     }
 }

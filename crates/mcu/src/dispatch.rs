@@ -1,0 +1,452 @@
+//! The threaded-dispatch execution engine.
+//!
+//! The decoded engine ([`crate::decode`]) executes the flat op array through
+//! one central `match` — a single indirect branch (the jump table) that every
+//! retired op funnels through, which is exactly the branch the host's
+//! predictor cannot learn: its target history is the op stream itself.  This
+//! module *threads* the dispatch instead: at build time every decoded op is
+//! paired with a handler fn-pointer (`TOp`), and each handler executes its
+//! op and then **calls the next op's handler directly** (continuation-passing
+//! over the op slice).  There is no central dispatch point; every call site
+//! in the chain is its own indirect branch with its own predictor slot, so a
+//! stable op sequence predicts perfectly after the first iteration of a loop.
+//!
+//! Handler bodies mirror the decoded engine's `exec_op` arm for arm — that match
+//! stays the single *documented* source of op semantics, and the equivalence
+//! suites (`decoded_equivalence`, `decoded_differential`, `device_proptest`)
+//! hold the two in lockstep bit-for-bit.  Everything outside the op bodies —
+//! chunk scheduling, budget checks, exits, the result fold — is shared with
+//! the decoded engine (`take_exit`, `DecodedProgram::assemble`), so the
+//! engines cannot drift there by construction.
+//!
+//! Chains are bounded: a chunk's op slice is dispatched in sub-slices of at
+//! most `CHAIN` ops, so the handler call depth never exceeds `CHAIN`
+//! frames regardless of how long a straight-line block is.
+
+use flashram_isa::cond::Flags;
+use flashram_isa::{MemWidth, Reg, ShiftOp, TimingModel};
+
+use crate::cpu::{shift, CpuResult, RunError};
+use crate::decode::{take_exit, DecodedProgram, ExecState, Op, NOT_A_HEAD};
+use crate::mem::{Fault, MemError};
+use crate::power::PowerModel;
+
+/// Maximum handler chain length before the driver re-enters the dispatch
+/// loop.  Bounds stack depth: handlers recurse at most this many frames.
+const CHAIN: usize = 256;
+
+/// A decoded op paired with its handler: the unit of threaded dispatch.
+#[derive(Clone, Copy)]
+pub(crate) struct TOp {
+    h: Handler,
+    op: Op,
+}
+
+/// Per-run execution context threaded through the handler chain.  Also the
+/// execution state of the tiered superblock engine, which drives chunk
+/// interiors and superblock segments through the same handler chains.
+pub(crate) struct Ctx<'a> {
+    pub(crate) st: ExecState,
+    pub(crate) total: u64,
+    pub(crate) lists: &'a [Reg],
+}
+
+/// One op handler: executes `seg[i]` and chains to `seg[i + 1]`.
+type Handler = for<'a> fn(&[TOp], usize, &mut Ctx<'a>) -> Result<(), Fault>;
+
+/// Chain to the next handler in the sub-slice, or finish it.
+#[inline(always)]
+fn chain(seg: &[TOp], i: usize, cx: &mut Ctx<'_>) -> Result<(), Fault> {
+    match seg.get(i + 1) {
+        Some(t) => (t.h)(seg, i + 1, cx),
+        None => Ok(()),
+    }
+}
+
+/// Dispatch a full op slice through bounded handler chains.
+#[inline(always)]
+pub(crate) fn run_ops(tops: &[TOp], cx: &mut Ctx<'_>) -> Result<(), Fault> {
+    for seg in tops.chunks(CHAIN) {
+        (seg[0].h)(seg, 0, cx)?;
+    }
+    Ok(())
+}
+
+/// Resolve the handler table for an op slice.
+pub(crate) fn table(ops: &[Op]) -> Vec<TOp> {
+    ops.iter()
+        .map(|op| TOp {
+            h: handler_of(op),
+            op: *op,
+        })
+        .collect()
+}
+
+// One handler per op variant, plus the total `handler_of` mapping, generated
+// together so neither can fall out of sync with the other.  The bodies are
+// line-for-line transcriptions of the `exec_op` arms in `decode.rs`; change
+// them **there first**, then mirror here — the differential suites will
+// catch any divergence.
+macro_rules! handlers {
+    ($( $name:ident : $Variant:ident { $($pat:tt)* } => |$cx:ident| $body:block )*) => {
+        $(
+            fn $name(seg: &[TOp], i: usize, $cx: &mut Ctx<'_>) -> Result<(), Fault> {
+                let Op::$Variant { $($pat)* } = seg[i].op else {
+                    unreachable!("threaded dispatch: op/handler mismatch");
+                };
+                $body
+                chain(seg, i, $cx)
+            }
+        )*
+
+        /// The handler for one decoded op, resolved once at build time.
+        fn handler_of(op: &Op) -> Handler {
+            match op {
+                $( Op::$Variant { .. } => $name, )*
+            }
+        }
+    };
+}
+
+handlers! {
+    h_charge: Charge { bucket, cycles } => |cx| {
+        cx.st.counters.add_bucket(bucket, cycles as u64);
+        cx.total += cycles as u64;
+    }
+    h_mov_imm: MovImm { rd, imm } => |cx| {
+        cx.st.set_r(rd, imm);
+    }
+    h_mov_reg: MovReg { rd, rm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rm));
+    }
+    h_mov_cond: MovCond { cond, rd, imm } => |cx| {
+        if cond.holds(cx.st.flags) {
+            cx.st.set_r(rd, imm);
+        }
+    }
+    h_add_imm: AddImm { rd, rn, imm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn).wrapping_add(imm));
+    }
+    h_add_reg: AddReg { rd, rn, rm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn).wrapping_add(cx.st.r(rm)));
+    }
+    h_sub_imm: SubImm { rd, rn, imm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn).wrapping_sub(imm));
+    }
+    h_sub_reg: SubReg { rd, rn, rm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn).wrapping_sub(cx.st.r(rm)));
+    }
+    h_rsb_imm: RsbImm { rd, rn, imm } => |cx| {
+        cx.st.set_r(rd, imm.wrapping_sub(cx.st.r(rn)));
+    }
+    h_mul: Mul { rd, rn, rm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn).wrapping_mul(cx.st.r(rm)));
+    }
+    h_sdiv: Sdiv { rd, rn, rm } => |cx| {
+        let divisor = cx.st.r(rm);
+        let v = if divisor == 0 {
+            0
+        } else {
+            cx.st.r(rn).wrapping_div(divisor)
+        };
+        cx.st.set_r(rd, v);
+    }
+    h_udiv: Udiv { rd, rn, rm } => |cx| {
+        let divisor = cx.st.r(rm) as u32;
+        let v = (cx.st.r(rn) as u32).checked_div(divisor).unwrap_or(0) as i32;
+        cx.st.set_r(rd, v);
+    }
+    h_and: And { rd, rn, rm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn) & cx.st.r(rm));
+    }
+    h_orr: Orr { rd, rn, rm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn) | cx.st.r(rm));
+    }
+    h_eor: Eor { rd, rn, rm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn) ^ cx.st.r(rm));
+    }
+    h_bic: Bic { rd, rn, rm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn) & !cx.st.r(rm));
+    }
+    h_mvn: Mvn { rd, rm } => |cx| {
+        cx.st.set_r(rd, !cx.st.r(rm));
+    }
+    h_and_imm: AndImm { rd, rn, imm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn) & imm);
+    }
+    h_orr_imm: OrrImm { rd, rn, imm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn) | imm);
+    }
+    h_eor_imm: EorImm { rd, rn, imm } => |cx| {
+        cx.st.set_r(rd, cx.st.r(rn) ^ imm);
+    }
+    h_shift_imm: ShiftImm { op, rd, rm, imm } => |cx| {
+        cx.st.set_r(rd, shift(op, cx.st.r(rm), imm as u32));
+    }
+    h_shift_reg: ShiftReg { op, rd, rn, rm } => |cx| {
+        let amount = (cx.st.r(rm) as u32) & 0xff;
+        let v = if amount >= 32 {
+            match op {
+                ShiftOp::Asr => cx.st.r(rn) >> 31,
+                _ => 0,
+            }
+        } else {
+            shift(op, cx.st.r(rn), amount)
+        };
+        cx.st.set_r(rd, v);
+    }
+    h_cmp_imm: CmpImm { rn, imm } => |cx| {
+        cx.st.flags = Flags::from_cmp(cx.st.r(rn), imm);
+    }
+    h_cmp_reg: CmpReg { rn, rm } => |cx| {
+        cx.st.flags = Flags::from_cmp(cx.st.r(rn), cx.st.r(rm));
+    }
+    h_load: Load { rd, base, width, charge, offset } => |cx| {
+        let addr = (cx.st.r(base) as u32).wrapping_add(offset as u32);
+        let (v, section) = cx.st.memory.read_fast(addr, width)?;
+        cx.st.set_r(rd, v);
+        cx.total += cx.st.charge_load(charge, section);
+    }
+    h_load_idx: LoadIdx { rd, base, index, width, charge } => |cx| {
+        let addr = (cx.st.r(base) as u32).wrapping_add(cx.st.r(index) as u32);
+        let (v, section) = cx.st.memory.read_fast(addr, width)?;
+        cx.st.set_r(rd, v);
+        cx.total += cx.st.charge_load(charge, section);
+    }
+    h_store: Store { rs, base, width, charge, offset } => |cx| {
+        let addr = (cx.st.r(base) as u32).wrapping_add(offset as u32);
+        let section = cx.st.memory.write_fast(addr, cx.st.r(rs), width)?;
+        cx.total += cx.st.charge_store(charge, section);
+    }
+    h_store_idx: StoreIdx { rs, base, index, width, charge } => |cx| {
+        let addr = (cx.st.r(base) as u32).wrapping_add(cx.st.r(index) as u32);
+        let section = cx.st.memory.write_fast(addr, cx.st.r(rs), width)?;
+        cx.total += cx.st.charge_store(charge, section);
+    }
+    h_push: Push { start, len } => |cx| {
+        let regs = &cx.lists[start as usize..start as usize + len as usize];
+        let mut sp = cx.st.regs[Reg::Sp.index()] as u32;
+        sp = sp.wrapping_sub(4 * len as u32);
+        for (i, r) in regs.iter().enumerate() {
+            cx.st.memory.write_fast(
+                sp.wrapping_add(4 * i as u32),
+                cx.st.regs[r.index()],
+                MemWidth::Word,
+            )?;
+        }
+        cx.st.regs[Reg::Sp.index()] = sp as i32;
+    }
+    h_pop: Pop { start, len } => |cx| {
+        let base = cx.st.regs[Reg::Sp.index()] as u32;
+        for i in 0..len as usize {
+            let (v, _) = cx
+                .st
+                .memory
+                .read_fast(base.wrapping_add(4 * i as u32), MemWidth::Word)?;
+            let r = cx.lists[start as usize + i];
+            cx.st.regs[r.index()] = v;
+        }
+        cx.st.regs[Reg::Sp.index()] = (base + 4 * len as u32) as i32;
+    }
+    h_mov_imm2: MovImm2 { rd1, imm1, rd2, imm2 } => |cx| {
+        cx.st.set_r(rd1, imm1);
+        cx.st.set_r(rd2, imm2);
+    }
+    h_mov_imm_mul: MovImmMul { rd1, imm, rd2, rn, rm } => |cx| {
+        cx.st.set_r(rd1, imm);
+        cx.st.set_r(rd2, cx.st.r(rn).wrapping_mul(cx.st.r(rm)));
+    }
+    h_mul_add_reg: MulAddReg { rd1, rn1, rm1, rd2, rn2, rm2 } => |cx| {
+        cx.st.set_r(rd1, cx.st.r(rn1).wrapping_mul(cx.st.r(rm1)));
+        cx.st.set_r(rd2, cx.st.r(rn2).wrapping_add(cx.st.r(rm2)));
+    }
+    h_shift_imm_add_reg: ShiftImmAddReg { op, rd1, rm1, imm, rd2, rn2, rm2 } => |cx| {
+        cx.st.set_r(rd1, shift(op, cx.st.r(rm1), imm as u32));
+        cx.st.set_r(rd2, cx.st.r(rn2).wrapping_add(cx.st.r(rm2)));
+    }
+    h_add_reg_shift_imm: AddRegShiftImm { rd1, rn1, rm1, op, rd2, rm2, imm } => |cx| {
+        cx.st.set_r(rd1, cx.st.r(rn1).wrapping_add(cx.st.r(rm1)));
+        cx.st.set_r(rd2, shift(op, cx.st.r(rm2), imm as u32));
+    }
+    h_add_imm_mov_reg: AddImmMovReg { rd1, rn1, imm, rd2, rm2 } => |cx| {
+        cx.st.set_r(rd1, cx.st.r(rn1).wrapping_add(imm));
+        cx.st.set_r(rd2, cx.st.r(rm2));
+    }
+    h_add_reg_load: AddRegLoad { rd1, rn1, rm1, rd2, base, width, charge, offset } => |cx| {
+        cx.st.set_r(rd1, cx.st.r(rn1).wrapping_add(cx.st.r(rm1)));
+        let addr = (cx.st.r(base) as u32).wrapping_add(offset as u32);
+        let (v, section) = cx.st.memory.read_fast(addr, width)?;
+        cx.st.set_r(rd2, v);
+        cx.total += cx.st.charge_load(charge, section);
+    }
+    h_load_add_reg: LoadAddReg { rd1, base, width, charge, offset, rd2, rn2, rm2 } => |cx| {
+        let addr = (cx.st.r(base) as u32).wrapping_add(offset as u32);
+        let (v, section) = cx.st.memory.read_fast(addr, width)?;
+        cx.st.set_r(rd1, v);
+        cx.total += cx.st.charge_load(charge, section);
+        cx.st.set_r(rd2, cx.st.r(rn2).wrapping_add(cx.st.r(rm2)));
+    }
+    h_shift_imm_add_reg_load: ShiftImmAddRegLoad {
+        op, rd1, rm1, imm, rd2, rn2, rm2, rd3, base, width, charge, offset
+    } => |cx| {
+        cx.st.set_r(rd1, shift(op, cx.st.r(rm1), imm as u32));
+        cx.st.set_r(rd2, cx.st.r(rn2).wrapping_add(cx.st.r(rm2)));
+        let addr = (cx.st.r(base) as u32).wrapping_add(offset as u32);
+        let (v, section) = cx.st.memory.read_fast(addr, width)?;
+        cx.st.set_r(rd3, v);
+        cx.total += cx.st.charge_load(charge, section);
+    }
+    h_add_reg_shift_imm_add_reg_load: AddRegShiftImmAddRegLoad {
+        rd1, rn1, rm1, op, rd2, rm2, imm, rd3, rn3, rm3, rd4, base, width, charge, offset
+    } => |cx| {
+        cx.st.set_r(rd1, cx.st.r(rn1).wrapping_add(cx.st.r(rm1)));
+        cx.st.set_r(rd2, shift(op, cx.st.r(rm2), imm as u32));
+        cx.st.set_r(rd3, cx.st.r(rn3).wrapping_add(cx.st.r(rm3)));
+        let addr = (cx.st.r(base) as u32).wrapping_add(offset as u32);
+        let (v, section) = cx.st.memory.read_fast(addr, width)?;
+        cx.st.set_r(rd4, v);
+        cx.total += cx.st.charge_load(charge, section);
+    }
+    h_mov_imm2_mul: MovImm2Mul { rd1, imm1, rd2, imm2, rd3, rn, rm } => |cx| {
+        cx.st.set_r(rd1, imm1);
+        cx.st.set_r(rd2, imm2);
+        cx.st.set_r(rd3, cx.st.r(rn).wrapping_mul(cx.st.r(rm)));
+    }
+    h_mov_imm_mul_load: MovImmMulLoad { rd1, imm, rd2, rn, rm, rd3, base, width, charge, offset } => |cx| {
+        cx.st.set_r(rd1, imm);
+        cx.st.set_r(rd2, cx.st.r(rn).wrapping_mul(cx.st.r(rm)));
+        let addr = (cx.st.r(base) as u32).wrapping_add(offset as u32);
+        let (v, section) = cx.st.memory.read_fast(addr, width)?;
+        cx.st.set_r(rd3, v);
+        cx.total += cx.st.charge_load(charge, section);
+    }
+    h_load_add_reg_shift_imm: LoadAddRegShiftImm {
+        rd1, base, width, charge, offset, rd2, rn2, rm2, op, rd3, rm3, imm
+    } => |cx| {
+        let addr = (cx.st.r(base) as u32).wrapping_add(offset as u32);
+        let (v, section) = cx.st.memory.read_fast(addr, width)?;
+        cx.st.set_r(rd1, v);
+        cx.total += cx.st.charge_load(charge, section);
+        cx.st.set_r(rd2, cx.st.r(rn2).wrapping_add(cx.st.r(rm2)));
+        cx.st.set_r(rd3, shift(op, cx.st.r(rm3), imm as u32));
+    }
+    h_mul_add_reg_mov_reg: MulAddRegMovReg { rd1, rn1, rm1, rd2, rn2, rm2, rd3, rm3 } => |cx| {
+        cx.st.set_r(rd1, cx.st.r(rn1).wrapping_mul(cx.st.r(rm1)));
+        cx.st.set_r(rd2, cx.st.r(rn2).wrapping_add(cx.st.r(rm2)));
+        cx.st.set_r(rd3, cx.st.r(rm3));
+    }
+    h_add_imm_mov_reg_store: AddImmMovRegStore {
+        rd1, rn1, imm, rd2, rm2, rs, base, width, charge, offset
+    } => |cx| {
+        cx.st.set_r(rd1, cx.st.r(rn1).wrapping_add(imm));
+        cx.st.set_r(rd2, cx.st.r(rm2));
+        let addr = (cx.st.r(base) as u32).wrapping_add(offset as u32);
+        let section = cx.st.memory.write_fast(addr, cx.st.r(rs), width)?;
+        cx.total += cx.st.charge_store(charge, section);
+    }
+    h_add_reg_load_mul: AddRegLoadMul { rd1, rn1, rm1, rd2, base, width, charge, offset, rd3, rn3, rm3 } => |cx| {
+        cx.st.set_r(rd1, cx.st.r(rn1).wrapping_add(cx.st.r(rm1)));
+        let addr = (cx.st.r(base) as u32).wrapping_add(offset as u32);
+        let (v, section) = cx.st.memory.read_fast(addr, width)?;
+        cx.st.set_r(rd2, v);
+        cx.total += cx.st.charge_load(charge, section);
+        cx.st.set_r(rd3, cx.st.r(rn3).wrapping_mul(cx.st.r(rm3)));
+    }
+    h_add_reg_load_mov_imm: AddRegLoadMovImm { rd1, rn1, rm1, rd2, base, width, charge, offset, rd3, imm } => |cx| {
+        cx.st.set_r(rd1, cx.st.r(rn1).wrapping_add(cx.st.r(rm1)));
+        let addr = (cx.st.r(base) as u32).wrapping_add(offset as u32);
+        let (v, section) = cx.st.memory.read_fast(addr, width)?;
+        cx.st.set_r(rd2, v);
+        cx.total += cx.st.charge_load(charge, section);
+        cx.st.set_r(rd3, imm);
+    }
+}
+
+/// A decoded program with its handler table resolved: every op paired with
+/// the fn-pointer that executes it.  Build one with
+/// [`Board::prepare_threaded`](crate::board::Board::prepare_threaded) (or
+/// [`ThreadedProgram::build`] from an existing [`DecodedProgram`]) and run it
+/// any number of times with
+/// [`Board::run_threaded`](crate::board::Board::run_threaded).
+#[derive(Clone)]
+pub struct ThreadedProgram {
+    pub(crate) base: DecodedProgram,
+    pub(crate) tops: Vec<TOp>,
+}
+
+impl std::fmt::Debug for ThreadedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedProgram")
+            .field("base", &self.base)
+            .field("tops", &self.tops.len())
+            .finish()
+    }
+}
+
+impl ThreadedProgram {
+    /// Resolve the handler table for an already-decoded program.
+    pub fn build(base: DecodedProgram) -> ThreadedProgram {
+        let tops = table(&base.ops);
+        ThreadedProgram { base, tops }
+    }
+
+    /// The decoded program this handler table was resolved from.
+    pub fn base(&self) -> &DecodedProgram {
+        &self.base
+    }
+
+    /// Execute the program by threaded dispatch.
+    ///
+    /// Chunk scheduling, budget checks, exits and the result fold are the
+    /// decoded engine's own (`execute` in `decode.rs`); only the op
+    /// dispatch differs.  Bit-identical to the reference interpreter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on memory faults, call-stack overflow, or
+    /// when `max_cycles` is exceeded.
+    pub(crate) fn execute(
+        &self,
+        power: &PowerModel,
+        timing: &TimingModel,
+        max_cycles: u64,
+    ) -> Result<CpuResult, RunError> {
+        let prog = &self.base;
+        let mut cx = Ctx {
+            st: ExecState::new(prog, timing),
+            total: 0,
+            lists: &prog.reg_lists,
+        };
+        let mut pc = prog.entry_chunk;
+        loop {
+            if cx.total > max_cycles {
+                return Err(RunError::CycleLimit {
+                    limit: max_cycles,
+                    executed: cx.total,
+                });
+            }
+            let chunk = &prog.chunks[pc as usize];
+            if chunk.block != NOT_A_HEAD {
+                cx.st.block_counts[chunk.block as usize] += 1;
+            }
+            cx.st
+                .counters
+                .add_bucket(chunk.charges[0].0, chunk.charges[0].1 as u64);
+            cx.st
+                .counters
+                .add_bucket(chunk.charges[1].0, chunk.charges[1].1 as u64);
+            cx.total += chunk.charges[0].1 as u64 + chunk.charges[1].1 as u64;
+            let ops = &self.tops[chunk.op_start as usize..chunk.op_end as usize];
+            if let Err(fault) = run_ops(ops, &mut cx) {
+                return Err(RunError::Memory(MemError::from(fault)));
+            }
+            match take_exit(&chunk.exit, &mut cx.st, &mut cx.total, pc)? {
+                Some(next) => pc = next,
+                None => {
+                    let Ctx { st, total, .. } = cx;
+                    return Ok(prog.assemble(st, total, power, timing));
+                }
+            }
+        }
+    }
+}

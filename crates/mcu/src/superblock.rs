@@ -1,0 +1,684 @@
+//! The tiered superblock execution engine.
+//!
+//! The decoded engine pays per-chunk overhead on every loop iteration: the
+//! budget check, the profile bump, two counter-bucket adds for the prefused
+//! static charges, the op dispatch, and the exit decode.  For a hot loop all
+//! of that is invariant across thousands of iterations.  This module tiers
+//! execution: chunks start in the tier-0 threaded-dispatch interpreter
+//! (the handler chains of [`crate::dispatch`]), and when a loop head's
+//! execution count crosses `HOT_THRESHOLD` a
+//! **superblock** is built for it — the loop body's chunks stitched into one
+//! straight-line unit:
+//!
+//! * all static charges of the body (chunk charge slots, spilled
+//!   `Op::Charge` ops, merged unconditional-jump costs) are prefused into
+//!   **one** per-segment cycle constant and a single batched counter
+//!   application per loop exit;
+//! * profile bumps for every block in the body are batched the same way
+//!   (applied `full_iters` at a time on exit);
+//! * two-way chunk exits inside the body become **guards**: the condition is
+//!   evaluated in place, the on-trace path falls through into the next
+//!   segment, and the off-trace path applies the partial-iteration charges
+//!   and side-exits back to the interpreter at an ordinary chunk boundary;
+//! * the op stream is re-peepholed across chunk seams, so superinstruction
+//!   fusion works across the merged jumps too.
+//!
+//! **Determinism and bit-identity.**  Tier-up is a pure function of the
+//! decoded program and the run so far (a fixed execution-count threshold —
+//! no wall clock, no sampling), so results are reproducible run to run and
+//! across thread counts.  Bit-identity with the reference interpreter holds
+//! because a superblock iteration only *starts* when
+//! `total ≤ max_cycles − iter_bound`, where `Superblock::iter_bound` is a
+//! static worst-case bound on the cycles one iteration can add: no budget
+//! check the reference interpreter would perform inside the body could fire
+//! (`total` never exceeds `max_cycles` mid-iteration), so skipping those
+//! checks is unobservable.  Once `total` crosses the threshold the engine
+//! falls back to tier 0, which checks at exactly the reference scheduling
+//! points.  Counter-bucket adds and profile bumps are order-insensitive
+//! sums, observable only at run end (a faulting run discards them), so
+//! batching them is unobservable too; `total` itself is maintained exactly,
+//! segment by segment.  Faults inside a superblock propagate with ops
+//! executed in program order up to the faulting op, so fault identity is
+//! preserved as well.
+
+use std::collections::BTreeMap;
+
+use flashram_isa::cond::{Cond, Flags};
+use flashram_isa::TimingModel;
+
+use crate::cpu::{CpuResult, RunError};
+use crate::decode::{
+    exec_op, peephole, take_exit, ChunkExit, DecodedProgram, ExecState, Op, NOT_A_HEAD,
+};
+use crate::dispatch::{run_ops, Ctx, ThreadedProgram};
+use crate::mem::{Fault, MemError};
+use crate::power::PowerModel;
+
+/// Execution count at which a loop-head chunk is promoted to a superblock.
+/// Fixed and wall-clock-free: tier-up is deterministic.
+pub(crate) const HOT_THRESHOLD: u64 = 64;
+
+/// Upper bound on the chunks one superblock walk may absorb.
+const MAX_WALK_CHUNKS: usize = 64;
+
+/// Per-run tiering observability: how much work each execution tier did.
+///
+/// Carried on [`RunResult`](crate::board::RunResult) by the superblock
+/// engine (`tier` field); deliberately **excluded** from
+/// [`RunResult::bits_eq`](crate::board::RunResult::bits_eq) — it describes
+/// *how* the engine ran, not *what* the program computed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Chunks in the decoded program (the profiling universe).
+    pub chunks: u32,
+    /// Loop heads that crossed `HOT_THRESHOLD` and were walked.
+    pub hot_heads: u32,
+    /// Walks that produced a superblock.
+    pub superblocks_built: u32,
+    /// Walks aborted (call in body, revisit, too long) — never retried.
+    pub superblocks_rejected: u32,
+    /// Times execution entered a superblock.
+    pub superblock_entries: u64,
+    /// Full loop iterations retired inside superblocks.
+    pub superblock_iterations: u64,
+    /// Decoded ops retired by the tier-0 interpreter.
+    pub interpreted_ops: u64,
+    /// Decoded ops retired inside superblocks.
+    pub superblock_ops: u64,
+}
+
+/// The condition of a guard: the decoded form of the two-way chunk exit it
+/// replaced.  Evaluation matches [`take_exit`] arm for arm, including the
+/// flag write of the fused compare-and-branch forms.
+#[derive(Debug, Clone, Copy)]
+enum GuardKind {
+    /// Unconditional back-edge to the head (always on-trace).
+    Always,
+    Cond(Cond),
+    Cmp {
+        nonzero: bool,
+        rn: u8,
+    },
+    CmpImm {
+        rn: u8,
+        imm: i32,
+        cond: Cond,
+    },
+    CmpReg {
+        rn: u8,
+        rm: u8,
+        cond: Cond,
+    },
+}
+
+/// A side-exit check closing one segment of a superblock.
+#[derive(Debug, Clone, Copy)]
+struct Guard {
+    kind: GuardKind,
+    /// Whether the *taken* direction of the original exit stays on-trace.
+    on_taken: bool,
+    /// Branch cycles charged when staying on-trace / when side-exiting.
+    on_cycles: u8,
+    off_cycles: u8,
+    /// Counter bucket for the branch cycles (batched, not charged inline).
+    bucket: u16,
+    /// Chunk index the off-trace path resumes interpretation at.
+    off_target: u32,
+}
+
+/// A straight-line run of ops (one or more merged chunks) ending in a guard.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    op_start: u32,
+    op_end: u32,
+    /// All static cycles of the segment (chunk charge slots, spilled
+    /// `Op::Charge` ops, merged jump costs — **not** guard cycles),
+    /// pre-summed; added to the running total in one step.
+    body_cycles: u64,
+    guard: Guard,
+}
+
+/// A compiled hot loop: the unit of tier-1 execution.
+#[derive(Clone)]
+pub(crate) struct Superblock {
+    /// The loop-head chunk this superblock was grown from.
+    head: u32,
+    /// Re-peepholed op stream of the whole body.  Segment interiors run
+    /// through the inlined `exec_op` match: superblock segments are short
+    /// and piping them through handler chains measured *slower* than the
+    /// match inlined straight into the segment loop (a fn-pointer call
+    /// per segment entry against zero calls).
+    ops: Vec<Op>,
+    segments: Vec<Segment>,
+    /// Batched counter charges of one full iteration (statics + on-trace
+    /// guard cycles), bucket-sorted.
+    iter_charges: Vec<(u16, u64)>,
+    /// Flat block indices bumped once per full iteration.
+    iter_heads: Vec<u32>,
+    /// Batched counter charges of a partial iteration side-exiting at
+    /// guard `g` (statics and on-trace guards before `g`, plus guard `g`'s
+    /// off-trace cycles).
+    prefix_charges: Vec<Vec<(u16, u64)>>,
+    /// Flat block indices bumped by a partial iteration exiting at guard `g`.
+    prefix_heads: Vec<Vec<u32>>,
+    /// Ops retired by a partial iteration exiting at guard `g` (stats only).
+    prefix_ops: Vec<u64>,
+    /// Ops retired by one full iteration (stats only).
+    iter_ops: u64,
+    /// Static worst-case cycles one iteration (full or partial) can add:
+    /// all statics, every guard at `max(on, off)`, and every op's maximum
+    /// dynamic memory charge.  The budget-check elision certificate.
+    pub(crate) iter_bound: u64,
+}
+
+/// Tier state of one chunk.  Non-head chunks can never tier up and start
+/// `Rejected`; head chunks start `Cold` and move to `Built` or `Rejected`
+/// exactly once.
+enum TierSlot {
+    Cold,
+    Rejected,
+    Built(Box<Superblock>),
+}
+
+/// Worst-case dynamic (data-section-dependent) cycles one op can charge.
+/// Statically-charged ops contribute zero — their cycles are already in the
+/// segment statics.
+fn op_bound(op: &Op, load_pen: u64, store_pen: u64) -> u64 {
+    match op {
+        Op::Load { charge, .. }
+        | Op::LoadIdx { charge, .. }
+        | Op::AddRegLoad { charge, .. }
+        | Op::LoadAddReg { charge, .. }
+        | Op::ShiftImmAddRegLoad { charge, .. }
+        | Op::AddRegShiftImmAddRegLoad { charge, .. }
+        | Op::MovImmMulLoad { charge, .. }
+        | Op::LoadAddRegShiftImm { charge, .. }
+        | Op::AddRegLoadMul { charge, .. }
+        | Op::AddRegLoadMovImm { charge, .. } => {
+            charge.base_cycles as u64 + if charge.contend { load_pen } else { 0 }
+        }
+        Op::Store { charge, .. }
+        | Op::StoreIdx { charge, .. }
+        | Op::AddImmMovRegStore { charge, .. } => {
+            charge.base_cycles as u64 + if charge.contend { store_pen } else { 0 }
+        }
+        // Stripped into segment statics before this is consulted; kept total
+        // for robustness.
+        Op::Charge { cycles, .. } => *cycles as u64,
+        _ => 0,
+    }
+}
+
+/// Walk the loop body from `head` and build its superblock, or `None` if
+/// the shape is not superblock-able (a call or return in the body, a
+/// revisited chunk that is not the head, or a body longer than
+/// [`MAX_WALK_CHUNKS`]).
+///
+/// The walk is static and deterministic: from each two-way exit it follows
+/// the fallthrough edge (loop bodies overwhelmingly fall through) and turns
+/// the other direction into a guard; unconditional jumps to unvisited
+/// chunks are merged into the current segment outright.
+fn build_superblock(
+    prog: &DecodedProgram,
+    head: u32,
+    load_pen: u64,
+    store_pen: u64,
+) -> Option<Superblock> {
+    let mut ops: Vec<Op> = Vec::new();
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut seg_statics: Vec<BTreeMap<u16, u64>> = Vec::new();
+    let mut seg_heads: Vec<Vec<u32>> = Vec::new();
+
+    let mut cur_ops: Vec<Op> = Vec::new();
+    let mut cur_statics: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut cur_heads: Vec<u32> = Vec::new();
+    let mut visited: Vec<u32> = Vec::new();
+    let mut cur = head;
+
+    // Close the open segment with `guard`, re-peepholing its op stream
+    // (charge-free, so fusion windows span the merged chunk seams).
+    let mut close = |cur_ops: &mut Vec<Op>,
+                     cur_statics: &mut BTreeMap<u16, u64>,
+                     cur_heads: &mut Vec<u32>,
+                     guard: Guard| {
+        peephole(cur_ops);
+        let op_start = ops.len() as u32;
+        ops.append(cur_ops);
+        let body_cycles = cur_statics.values().sum();
+        segments.push(Segment {
+            op_start,
+            op_end: ops.len() as u32,
+            body_cycles,
+            guard,
+        });
+        seg_statics.push(std::mem::take(cur_statics));
+        seg_heads.push(std::mem::take(cur_heads));
+    };
+
+    loop {
+        if visited.len() >= MAX_WALK_CHUNKS || visited.contains(&cur) {
+            return None;
+        }
+        visited.push(cur);
+        let chunk = &prog.chunks[cur as usize];
+        if chunk.block != NOT_A_HEAD {
+            cur_heads.push(chunk.block);
+        }
+        for &(bucket, cycles) in &chunk.charges {
+            if cycles != 0 {
+                *cur_statics.entry(bucket).or_insert(0) += cycles as u64;
+            }
+        }
+        for op in &prog.ops[chunk.op_start as usize..chunk.op_end as usize] {
+            match *op {
+                Op::Charge { bucket, cycles } => {
+                    *cur_statics.entry(bucket).or_insert(0) += cycles as u64;
+                }
+                other => cur_ops.push(other),
+            }
+        }
+
+        // Decompose the exit into a guard condition plus the common two-way
+        // shape; unconditional exits are handled inline.
+        let (kind, target, fallthrough, taken_cycles, not_taken_cycles, bucket) = match chunk.exit {
+            // A call or return in the body: not a loop shape we compile.
+            ChunkExit::Call { .. } | ChunkExit::Return { .. } => return None,
+            ChunkExit::Jump {
+                target,
+                bucket,
+                cycles,
+            } => {
+                if target == head {
+                    // Unconditional back-edge: the loop is closed.
+                    close(
+                        &mut cur_ops,
+                        &mut cur_statics,
+                        &mut cur_heads,
+                        Guard {
+                            kind: GuardKind::Always,
+                            on_taken: true,
+                            on_cycles: cycles,
+                            off_cycles: cycles,
+                            bucket,
+                            off_target: head,
+                        },
+                    );
+                    break;
+                }
+                // Merge the jump into the running segment: its cost becomes
+                // a static, its target's ops continue the straight line.
+                *cur_statics.entry(bucket).or_insert(0) += cycles as u64;
+                cur = target;
+                continue;
+            }
+            ChunkExit::CondJump {
+                cond,
+                target,
+                fallthrough,
+                taken_cycles,
+                not_taken_cycles,
+                bucket,
+            } => (
+                GuardKind::Cond(cond),
+                target,
+                fallthrough,
+                taken_cycles,
+                not_taken_cycles,
+                bucket,
+            ),
+            ChunkExit::CmpJump {
+                nonzero,
+                rn,
+                target,
+                fallthrough,
+                taken_cycles,
+                not_taken_cycles,
+                bucket,
+            } => (
+                GuardKind::Cmp { nonzero, rn },
+                target,
+                fallthrough,
+                taken_cycles,
+                not_taken_cycles,
+                bucket,
+            ),
+            ChunkExit::CmpImmCondJump {
+                rn,
+                imm,
+                cond,
+                target,
+                fallthrough,
+                taken_cycles,
+                not_taken_cycles,
+                bucket,
+            } => (
+                GuardKind::CmpImm { rn, imm, cond },
+                target,
+                fallthrough,
+                taken_cycles,
+                not_taken_cycles,
+                bucket,
+            ),
+            ChunkExit::CmpRegCondJump {
+                rn,
+                rm,
+                cond,
+                target,
+                fallthrough,
+                taken_cycles,
+                not_taken_cycles,
+                bucket,
+            } => (
+                GuardKind::CmpReg { rn, rm, cond },
+                target,
+                fallthrough,
+                taken_cycles,
+                not_taken_cycles,
+                bucket,
+            ),
+        };
+
+        if target == head {
+            // Taken back-edge: staying on-trace means *taking* the branch;
+            // not-taken side-exits to the fallthrough.
+            close(
+                &mut cur_ops,
+                &mut cur_statics,
+                &mut cur_heads,
+                Guard {
+                    kind,
+                    on_taken: true,
+                    on_cycles: taken_cycles,
+                    off_cycles: not_taken_cycles,
+                    bucket,
+                    off_target: fallthrough,
+                },
+            );
+            break;
+        }
+        if fallthrough == head {
+            // Fallthrough back-edge: staying on-trace means *not* taking it.
+            close(
+                &mut cur_ops,
+                &mut cur_statics,
+                &mut cur_heads,
+                Guard {
+                    kind,
+                    on_taken: false,
+                    on_cycles: not_taken_cycles,
+                    off_cycles: taken_cycles,
+                    bucket,
+                    off_target: target,
+                },
+            );
+            break;
+        }
+        // Interior two-way: follow the fallthrough (loop bodies
+        // overwhelmingly fall through), guard the taken direction.
+        close(
+            &mut cur_ops,
+            &mut cur_statics,
+            &mut cur_heads,
+            Guard {
+                kind,
+                on_taken: false,
+                on_cycles: not_taken_cycles,
+                off_cycles: taken_cycles,
+                bucket,
+                off_target: target,
+            },
+        );
+        cur = fallthrough;
+    }
+
+    // Prefix data: a running merge over the segments.  After processing
+    // segment `g` (statics + heads + its guard's on-trace cycles), `running`
+    // holds the aggregate charges of everything retired when guard `g + 1`
+    // is reached; the prefix snapshots add guard `g`'s *off*-trace cycles
+    // instead.  After the last segment `running` is exactly one full
+    // iteration's aggregate.
+    let n = segments.len();
+    let mut running: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut heads_run: Vec<u32> = Vec::new();
+    let mut ops_run: u64 = 0;
+    let mut prefix_charges = Vec::with_capacity(n);
+    let mut prefix_heads = Vec::with_capacity(n);
+    let mut prefix_ops = Vec::with_capacity(n);
+    for g in 0..n {
+        for (&bucket, &cycles) in &seg_statics[g] {
+            *running.entry(bucket).or_insert(0) += cycles;
+        }
+        heads_run.extend_from_slice(&seg_heads[g]);
+        ops_run += (segments[g].op_end - segments[g].op_start) as u64;
+        let guard = segments[g].guard;
+        let mut p = running.clone();
+        *p.entry(guard.bucket).or_insert(0) += guard.off_cycles as u64;
+        prefix_charges.push(p.into_iter().collect::<Vec<_>>());
+        prefix_heads.push(heads_run.clone());
+        prefix_ops.push(ops_run);
+        *running.entry(guard.bucket).or_insert(0) += guard.on_cycles as u64;
+    }
+    let iter_ops = ops_run;
+    let iter_heads = heads_run;
+    let iter_charges: Vec<(u16, u64)> = running.into_iter().collect();
+
+    // The budget-check elision certificate: one iteration — full or partial
+    // — can add at most this many cycles.
+    let mut iter_bound: u64 = 0;
+    for seg in &segments {
+        iter_bound += seg.body_cycles;
+        iter_bound += seg.guard.on_cycles.max(seg.guard.off_cycles) as u64;
+    }
+    for op in &ops {
+        iter_bound += op_bound(op, load_pen, store_pen);
+    }
+
+    Some(Superblock {
+        head,
+        ops,
+        segments,
+        iter_charges,
+        iter_heads,
+        prefix_charges,
+        prefix_heads,
+        prefix_ops,
+        iter_ops,
+        iter_bound,
+    })
+}
+
+/// Execute one superblock entry: iterate the compiled loop until the budget
+/// nears exhaustion or a guard side-exits, then apply the batched charges
+/// and hand back the chunk to resume interpretation at.
+///
+/// The caller guarantees `*total <= threshold` on entry, where
+/// `threshold = max_cycles - iter_bound` — see the module docs for why that
+/// makes the elided per-chunk budget checks unobservable.
+fn run_superblock(
+    sb: &Superblock,
+    cx: &mut Ctx<'_>,
+    threshold: u64,
+    stats: &mut TierStats,
+) -> Result<u32, Fault> {
+    stats.superblock_entries += 1;
+    let mut full_iters: u64 = 0;
+    let next = 'run: loop {
+        if cx.total > threshold {
+            // The next iteration could outrun the budget: tier down.  The
+            // head is a chunk boundary, so the interpreter re-checks there
+            // with exactly the reference semantics.
+            break 'run sb.head;
+        }
+        for (g, seg) in sb.segments.iter().enumerate() {
+            cx.total += seg.body_cycles;
+            for op in sb.ops[seg.op_start as usize..seg.op_end as usize]
+                .iter()
+                .copied()
+            {
+                // A fault aborts the run with all counters discarded, so
+                // the pending batched charges are immaterial; ops have
+                // retired in program order, so fault identity is exact.
+                exec_op(op, cx.lists, &mut cx.st, &mut cx.total)?;
+            }
+            let taken = match seg.guard.kind {
+                GuardKind::Always => true,
+                GuardKind::Cond(cond) => cond.holds(cx.st.flags),
+                GuardKind::Cmp { nonzero, rn } => (cx.st.r(rn) != 0) == nonzero,
+                GuardKind::CmpImm { rn, imm, cond } => {
+                    cx.st.flags = Flags::from_cmp(cx.st.r(rn), imm);
+                    cond.holds(cx.st.flags)
+                }
+                GuardKind::CmpReg { rn, rm, cond } => {
+                    cx.st.flags = Flags::from_cmp(cx.st.r(rn), cx.st.r(rm));
+                    cond.holds(cx.st.flags)
+                }
+            };
+            if taken == seg.guard.on_taken {
+                cx.total += seg.guard.on_cycles as u64;
+            } else {
+                // Side exit: apply this partial iteration's batched charges
+                // and resume interpretation off-trace.
+                cx.total += seg.guard.off_cycles as u64;
+                for &(bucket, cycles) in &sb.prefix_charges[g] {
+                    cx.st.counters.add_bucket(bucket, cycles);
+                }
+                for &h in &sb.prefix_heads[g] {
+                    cx.st.block_counts[h as usize] += 1;
+                }
+                stats.superblock_ops += sb.prefix_ops[g];
+                break 'run seg.guard.off_target;
+            }
+        }
+        full_iters += 1;
+    };
+    if full_iters > 0 {
+        for &(bucket, cycles) in &sb.iter_charges {
+            cx.st.counters.add_bucket(bucket, cycles * full_iters);
+        }
+        for &h in &sb.iter_heads {
+            cx.st.block_counts[h as usize] += full_iters;
+        }
+        stats.superblock_ops += sb.iter_ops * full_iters;
+        stats.superblock_iterations += full_iters;
+    }
+    Ok(next)
+}
+
+/// Execute a program under the tiered engine: tier-0 threaded-dispatch
+/// interpretation with deterministic promotion of hot loop heads to
+/// superblocks.
+///
+/// Bit-identical to the reference interpreter (see the module docs); also
+/// returns the run's [`TierStats`].
+///
+/// # Errors
+///
+/// Returns a [`RunError`] on memory faults, call-stack overflow, or when
+/// `max_cycles` is exceeded — with `executed` bit-exact against the
+/// reference.
+pub(crate) fn execute_tiered(
+    tp: &ThreadedProgram,
+    power: &PowerModel,
+    timing: &TimingModel,
+    max_cycles: u64,
+) -> Result<(CpuResult, TierStats), RunError> {
+    let prog = &tp.base;
+    let mut cx = Ctx {
+        st: ExecState::new(prog, timing),
+        total: 0,
+        lists: &prog.reg_lists,
+    };
+    let mut pc = prog.entry_chunk;
+    let mut stats = TierStats {
+        chunks: prog.chunks.len() as u32,
+        ..TierStats::default()
+    };
+    let mut slots: Vec<TierSlot> = prog
+        .chunks
+        .iter()
+        .map(|c| {
+            if c.block != NOT_A_HEAD {
+                TierSlot::Cold
+            } else {
+                TierSlot::Rejected
+            }
+        })
+        .collect();
+
+    loop {
+        if cx.total > max_cycles {
+            return Err(RunError::CycleLimit {
+                limit: max_cycles,
+                executed: cx.total,
+            });
+        }
+        let chunk = &prog.chunks[pc as usize];
+
+        // Fast path: most chunks are `Rejected` (every non-head is
+        // premarked, and so is every head whose walk aborted), so the
+        // tier machinery costs one discriminant load per chunk.
+        if !matches!(slots[pc as usize], TierSlot::Rejected) {
+            // Deterministic tier-up: promote a cold head the moment its
+            // block count crosses the threshold.  The count is exact at
+            // every chunk entry (superblock exits apply their batches
+            // before returning).
+            if matches!(slots[pc as usize], TierSlot::Cold)
+                && chunk.block != NOT_A_HEAD
+                && cx.st.block_counts[chunk.block as usize] >= HOT_THRESHOLD
+            {
+                stats.hot_heads += 1;
+                match build_superblock(prog, pc, cx.st.load_pen, cx.st.store_pen) {
+                    Some(sb) => {
+                        stats.superblocks_built += 1;
+                        slots[pc as usize] = TierSlot::Built(Box::new(sb));
+                    }
+                    None => {
+                        stats.superblocks_rejected += 1;
+                        slots[pc as usize] = TierSlot::Rejected;
+                    }
+                }
+            }
+
+            if let TierSlot::Built(sb) = &slots[pc as usize] {
+                if let Some(threshold) = max_cycles.checked_sub(sb.iter_bound) {
+                    if cx.total <= threshold {
+                        match run_superblock(sb, &mut cx, threshold, &mut stats) {
+                            Ok(next) => {
+                                pc = next;
+                                continue;
+                            }
+                            Err(fault) => return Err(RunError::Memory(MemError::from(fault))),
+                        }
+                    }
+                }
+                // Budget too close (or budget smaller than one iteration):
+                // interpret this chunk at tier 0 — exact reference checks.
+            }
+        }
+
+        if chunk.block != NOT_A_HEAD {
+            cx.st.block_counts[chunk.block as usize] += 1;
+        }
+        cx.st
+            .counters
+            .add_bucket(chunk.charges[0].0, chunk.charges[0].1 as u64);
+        cx.st
+            .counters
+            .add_bucket(chunk.charges[1].0, chunk.charges[1].1 as u64);
+        cx.total += chunk.charges[0].1 as u64 + chunk.charges[1].1 as u64;
+        stats.interpreted_ops += (chunk.op_end - chunk.op_start) as u64;
+        if let Err(fault) = run_ops(
+            &tp.tops[chunk.op_start as usize..chunk.op_end as usize],
+            &mut cx,
+        ) {
+            return Err(RunError::Memory(MemError::from(fault)));
+        }
+        match take_exit(&chunk.exit, &mut cx.st, &mut cx.total, pc)? {
+            Some(next) => pc = next,
+            None => {
+                let Ctx { st, total, .. } = cx;
+                return Ok((prog.assemble(st, total, power, timing), stats));
+            }
+        }
+    }
+}
